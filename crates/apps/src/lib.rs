@@ -1,0 +1,89 @@
+//! # guesstimate-apps
+//!
+//! The six collaborative applications the GUESSTIMATE paper builds (§6),
+//! reimplemented on the Rust runtime:
+//!
+//! 1. [`sudoku`] — a multi-player collaborative Sudoku puzzle (the paper's
+//!    running example and the §7 measurement workload).
+//! 2. [`event_planner`] — event planning with capacities, per-user quotas,
+//!    blocking sign-in/registration, `Atomic` and `OrElse` patterns.
+//! 3. [`message_board`] — a topic/post message board.
+//! 4. [`carpool`] — a car-pool system with `GetRide` built as an `OrElse`
+//!    chain over vehicles (the §5 specification example: φ_GetRide = "the
+//!    user has *some* ride", whichever vehicle ends up providing it).
+//! 5. [`auction`] — an auction with reserve prices and bid increments.
+//! 6. [`microblog`] — a small twitter-like application.
+//!
+//! Each module provides the shared-object type (a [`guesstimate_core::GState`]),
+//! a `register` function installing its operations into an
+//! [`guesstimate_core::OpRegistry`] (plus a `register_checked` variant that
+//! wraps every operation with runtime conformance checking), typed
+//! operation constructors in an `ops` submodule, and — following the
+//! paper's §5 discipline — a [`guesstimate_spec::SpecSuite`] so the
+//! Boogie-analog verifier can classify the application's assertions.
+//!
+//! `register_all` installs all six applications into one registry, as the
+//! examples and the benchmark harness do.
+
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod carpool;
+pub mod event_planner;
+pub mod message_board;
+pub mod microblog;
+pub mod sudoku;
+
+use guesstimate_core::OpRegistry;
+use guesstimate_spec::ConformanceLog;
+
+/// Registers every application's types and operations.
+pub fn register_all(registry: &mut OpRegistry) {
+    sudoku::register(registry);
+    event_planner::register(registry);
+    message_board::register(registry);
+    carpool::register(registry);
+    auction::register(registry);
+    microblog::register(registry);
+}
+
+/// Registers every application with runtime conformance checking into `log`.
+pub fn register_all_checked(registry: &mut OpRegistry, log: &ConformanceLog) {
+    sudoku::register_checked(registry, log);
+    event_planner::register_checked(registry, log);
+    message_board::register_checked(registry, log);
+    carpool::register_checked(registry, log);
+    auction::register_checked(registry, log);
+    microblog::register_checked(registry, log);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_all_installs_every_type() {
+        let mut r = OpRegistry::new();
+        register_all(&mut r);
+        for t in [
+            "Sudoku",
+            "EventPlanner",
+            "MessageBoard",
+            "CarPool",
+            "Auction",
+            "MicroBlog",
+        ] {
+            assert!(r.has_type(t), "{t} missing");
+        }
+    }
+
+    #[test]
+    fn register_all_checked_installs_every_type() {
+        let mut r = OpRegistry::new();
+        let log = ConformanceLog::new();
+        register_all_checked(&mut r, &log);
+        assert!(r.has_type("Sudoku"));
+        assert!(r.has_method("Auction", "bid"));
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! The message-board application (§6).
+//!
+//! Topics hold an append-only list of posts. The interesting property under
+//! GUESSTIMATE is ordering: two users posting concurrently both see their
+//! own post first on their guesstimated state, and the commit order decides
+//! the final, globally agreed order — no post is ever lost, so posts rarely
+//! conflict (`post` only fails on a missing topic).
+
+use std::collections::BTreeMap;
+
+use guesstimate_core::{args, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value};
+use guesstimate_spec::{ConformanceLog, MethodContract, MethodSpec, SpecSuite};
+
+/// One post.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Post {
+    /// Author name.
+    pub author: String,
+    /// Body text.
+    pub text: String,
+}
+
+/// The shared message-board state.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MessageBoard {
+    topics: BTreeMap<String, Vec<Post>>,
+}
+
+impl MessageBoard {
+    /// A fresh, empty board.
+    pub fn new() -> Self {
+        MessageBoard::default()
+    }
+
+    /// All topic names, in order.
+    pub fn topics(&self) -> Vec<String> {
+        self.topics.keys().cloned().collect()
+    }
+
+    /// The posts of a topic, oldest first.
+    pub fn posts(&self, topic: &str) -> Option<&[Post]> {
+        self.topics.get(topic).map(Vec::as_slice)
+    }
+
+    /// Total number of posts across all topics.
+    pub fn post_count(&self) -> usize {
+        self.topics.values().map(Vec::len).sum()
+    }
+
+    fn create_topic(&mut self, name: &str) -> bool {
+        if name.is_empty() || self.topics.contains_key(name) {
+            return false;
+        }
+        self.topics.insert(name.to_owned(), Vec::new());
+        true
+    }
+
+    fn post(&mut self, topic: &str, author: &str, text: &str) -> bool {
+        if author.is_empty() {
+            return false;
+        }
+        match self.topics.get_mut(topic) {
+            Some(posts) => {
+                posts.push(Post {
+                    author: author.to_owned(),
+                    text: text.to_owned(),
+                });
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl GState for MessageBoard {
+    const TYPE_NAME: &'static str = "MessageBoard";
+
+    fn snapshot(&self) -> Value {
+        Value::map(self.topics.iter().map(|(name, posts)| {
+            (
+                name.clone(),
+                posts
+                    .iter()
+                    .map(|p| {
+                        Value::map([
+                            ("author", Value::from(p.author.clone())),
+                            ("text", Value::from(p.text.clone())),
+                        ])
+                    })
+                    .collect(),
+            )
+        }))
+    }
+
+    fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+        let shape = || RestoreError::shape("message-board snapshot");
+        self.topics.clear();
+        for (name, posts) in v.as_map().ok_or_else(shape)? {
+            let posts = posts
+                .as_list()
+                .ok_or_else(shape)?
+                .iter()
+                .map(|p| {
+                    Ok(Post {
+                        author: p
+                            .field("author")
+                            .and_then(Value::as_str)
+                            .ok_or_else(shape)?
+                            .to_owned(),
+                        text: p
+                            .field("text")
+                            .and_then(Value::as_str)
+                            .ok_or_else(shape)?
+                            .to_owned(),
+                    })
+                })
+                .collect::<Result<Vec<_>, RestoreError>>()?;
+            self.topics.insert(name.clone(), posts);
+        }
+        Ok(())
+    }
+}
+
+/// Typed operation constructors.
+pub mod ops {
+    use super::*;
+
+    /// Create a topic (fails on duplicates).
+    pub fn create_topic(obj: ObjectId, name: &str) -> SharedOp {
+        SharedOp::primitive(obj, "create_topic", args![name])
+    }
+
+    /// Append a post to a topic.
+    pub fn post(obj: ObjectId, topic: &str, author: &str, text: &str) -> SharedOp {
+        SharedOp::primitive(obj, "post", args![topic, author, text])
+    }
+}
+
+fn apply_create(s: &mut MessageBoard, a: guesstimate_core::ArgView<'_>) -> bool {
+    let Some(n) = a.str(0) else { return false };
+    s.create_topic(n)
+}
+
+fn apply_post(s: &mut MessageBoard, a: guesstimate_core::ArgView<'_>) -> bool {
+    let (Some(t), Some(au), Some(x)) = (a.str(0), a.str(1), a.str(2)) else {
+        return false;
+    };
+    s.post(t, au, x)
+}
+
+/// Registers the message-board type and operations.
+pub fn register(registry: &mut OpRegistry) {
+    registry.register_type::<MessageBoard>();
+    registry.register_method::<MessageBoard>("create_topic", apply_create);
+    registry.register_method::<MessageBoard>("post", apply_post);
+}
+
+fn post_contract() -> MethodContract {
+    MethodContract::new().with_post(|pre, post, a| {
+        // φ_post: the topic's post list grew by exactly one — ours, at the
+        // end — and no other topic changed.
+        let (Some(topic), Some(author)) = (
+            a.first().and_then(Value::as_str),
+            a.get(1).and_then(Value::as_str),
+        ) else {
+            return false;
+        };
+        let (Some(mp), Some(mq)) = (pre.as_map(), post.as_map()) else {
+            return false;
+        };
+        let (Some(before), Some(after)) = (
+            mp.get(topic).and_then(Value::as_list),
+            mq.get(topic).and_then(Value::as_list),
+        ) else {
+            return false;
+        };
+        after.len() == before.len() + 1
+            && after[..before.len()] == *before
+            && after
+                .last()
+                .and_then(|p| p.field("author"))
+                .and_then(Value::as_str)
+                == Some(author)
+            && mp
+                .iter()
+                .all(|(k, v)| k == topic || mq.get(k) == Some(v))
+    })
+}
+
+/// Registers with runtime conformance checking.
+pub fn register_checked(registry: &mut OpRegistry, log: &ConformanceLog) {
+    registry.register_type::<MessageBoard>();
+    guesstimate_spec::register_checked::<MessageBoard>(
+        registry,
+        "create_topic",
+        MethodContract::new().with_post(|pre, post, a| {
+            let Some(name) = a.first().and_then(Value::as_str) else {
+                return false;
+            };
+            pre.as_map().is_some_and(|m| !m.contains_key(name))
+                && post
+                    .as_map()
+                    .is_some_and(|m| m.get(name).and_then(Value::as_list).is_some_and(|l| l.is_empty()))
+        }),
+        log,
+        apply_create,
+    );
+    guesstimate_spec::register_checked::<MessageBoard>(
+        registry,
+        "post",
+        post_contract(),
+        log,
+        apply_post,
+    );
+}
+
+/// Specification suite for the verifier table.
+pub fn spec_suite() -> SpecSuite {
+    use guesstimate_spec::Assertion;
+
+    let create = MethodSpec::new(
+        "create_topic",
+        MethodContract::new()
+            .with_assertion_obj(
+                Assertion::new("empty-topic-name-fails", |c| {
+                    c.args.first().and_then(Value::as_str) != Some("")
+                        || (!c.result && c.pre == c.post)
+                })
+                .assume_state_independent(),
+            )
+            .with_assertion("topics-never-disappear", |c| {
+                let (Some(mp), Some(mq)) = (c.pre.as_map(), c.post.as_map()) else {
+                    return false;
+                };
+                mp.keys().all(|k| mq.contains_key(k))
+            }),
+    )
+    // Small-scope abstraction: "" vs one representative non-empty name.
+    .with_args(vec![args!["general"], args![""]], true);
+
+    let post = MethodSpec::new(
+        "post",
+        post_contract()
+            .with_assertion_obj(
+                Assertion::new("anonymous-post-fails", |c| {
+                    c.args.get(1).and_then(Value::as_str) != Some("")
+                        || (!c.result && c.pre == c.post)
+                })
+                .assume_state_independent(),
+            )
+            .with_assertion("posts-are-append-only", |c| {
+                let (Some(mp), Some(mq)) = (c.pre.as_map(), c.post.as_map()) else {
+                    return false;
+                };
+                mp.iter().all(|(k, v)| {
+                    match (v.as_list(), mq.get(k).and_then(Value::as_list)) {
+                        (Some(before), Some(after)) => {
+                            after.len() >= before.len() && after[..before.len()] == *before
+                        }
+                        _ => false,
+                    }
+                })
+            }),
+    )
+    .with_args(
+        vec![
+            args!["general", "ann", "hi"],
+            args!["missing", "ann", "hi"],
+            args!["general", "", "hi"],
+            args!["general", "ann", ""],
+        ],
+        false,
+    );
+
+    SpecSuite::new("MessageBoard").with_method(create).with_method(post)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topics_are_unique_and_nonempty() {
+        let mut b = MessageBoard::new();
+        assert!(b.create_topic("general"));
+        assert!(!b.create_topic("general"));
+        assert!(!b.create_topic(""));
+        assert_eq!(b.topics(), vec!["general"]);
+    }
+
+    #[test]
+    fn posts_append_in_order() {
+        let mut b = MessageBoard::new();
+        b.create_topic("general");
+        assert!(b.post("general", "ann", "first"));
+        assert!(b.post("general", "bob", "second"));
+        let posts = b.posts("general").unwrap();
+        assert_eq!(posts.len(), 2);
+        assert_eq!(posts[0].author, "ann");
+        assert_eq!(posts[1].text, "second");
+        assert_eq!(b.post_count(), 2);
+    }
+
+    #[test]
+    fn post_fails_on_missing_topic_or_anonymous() {
+        let mut b = MessageBoard::new();
+        assert!(!b.post("nope", "ann", "x"));
+        b.create_topic("general");
+        assert!(!b.post("general", "", "x"));
+        assert_eq!(b.post_count(), 0);
+        assert!(b.posts("nope").is_none());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut b = MessageBoard::new();
+        b.create_topic("general");
+        b.post("general", "ann", "hello");
+        let mut c = MessageBoard::new();
+        GState::restore(&mut c, &GState::snapshot(&b)).unwrap();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn restore_rejects_malformed() {
+        let mut b = MessageBoard::new();
+        assert!(GState::restore(&mut b, &Value::from(1)).is_err());
+    }
+
+    #[test]
+    fn checked_registration_is_clean() {
+        use guesstimate_core::{execute, MachineId, ObjectStore};
+        let obj = ObjectId::new(MachineId::new(0), 0);
+        let mut reg = OpRegistry::new();
+        let log = ConformanceLog::new();
+        register_checked(&mut reg, &log);
+        let mut store = ObjectStore::new();
+        store.insert(obj, Box::new(MessageBoard::new()));
+        execute(&ops::create_topic(obj, "general"), &mut store, &reg).unwrap();
+        execute(&ops::post(obj, "general", "ann", "hi"), &mut store, &reg).unwrap();
+        execute(&ops::post(obj, "missing", "ann", "hi"), &mut store, &reg).unwrap();
+        assert!(log.is_empty(), "{:?}", log.violations());
+    }
+
+    #[test]
+    fn spec_suite_verifies_cleanly() {
+        use guesstimate_spec::{verify_suite, CaseSpace};
+        let suite = spec_suite();
+        assert!(suite.assertion_count() >= 7);
+        let mut reg = OpRegistry::new();
+        register(&mut reg);
+        let mut b = MessageBoard::new();
+        b.create_topic("general");
+        let mut b2 = b.clone();
+        b2.post("general", "ann", "hello");
+        let states = vec![
+            GState::snapshot(&MessageBoard::new()),
+            GState::snapshot(&b),
+            GState::snapshot(&b2),
+        ];
+        let report = verify_suite(&reg, &suite, &CaseSpace::sampled(states, 100_000));
+        assert_eq!(report.refuted(), 0);
+        assert!(report.verified() >= 1);
+    }
+}

@@ -1,0 +1,524 @@
+//! The small twitter-like application (§6).
+//!
+//! Users register, follow each other and post short messages; a timeline is
+//! a *local read* over the guesstimated state (posts by the user and
+//! everyone they follow, newest first). Posting is conflict-free by design
+//! — like the message board, only membership operations (duplicate
+//! registration, redundant follow) can fail.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use guesstimate_core::{args, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value};
+use guesstimate_spec::{ConformanceLog, MethodContract, MethodSpec, SpecSuite};
+
+/// One post, tagged with its global commit sequence number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlogPost {
+    /// Author handle.
+    pub author: String,
+    /// Body text.
+    pub text: String,
+    /// Position in the global post order.
+    pub seq: u64,
+}
+
+/// The shared microblog state.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MicroBlog {
+    users: BTreeSet<String>,
+    follows: BTreeMap<String, BTreeSet<String>>,
+    posts: Vec<BlogPost>,
+}
+
+impl MicroBlog {
+    /// A fresh, empty service.
+    pub fn new() -> Self {
+        MicroBlog::default()
+    }
+
+    /// True if `user` is registered.
+    pub fn has_user(&self, user: &str) -> bool {
+        self.users.contains(user)
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// All posts, oldest first.
+    pub fn posts(&self) -> &[BlogPost] {
+        &self.posts
+    }
+
+    /// True if `follower` follows `followee`.
+    pub fn follows(&self, follower: &str, followee: &str) -> bool {
+        self.follows
+            .get(follower)
+            .is_some_and(|s| s.contains(followee))
+    }
+
+    /// The timeline of `user`: own posts plus posts by followees, newest
+    /// first. A local read (§2's `BeginRead`/`EndRead` pattern).
+    pub fn timeline(&self, user: &str) -> Vec<&BlogPost> {
+        let empty = BTreeSet::new();
+        let followed = self.follows.get(user).unwrap_or(&empty);
+        let mut out: Vec<&BlogPost> = self
+            .posts
+            .iter()
+            .filter(|p| p.author == user || followed.contains(&p.author))
+            .collect();
+        out.reverse();
+        out
+    }
+
+    fn register(&mut self, user: &str) -> bool {
+        if user.is_empty() {
+            return false;
+        }
+        self.users.insert(user.to_owned())
+    }
+
+    fn post(&mut self, author: &str, text: &str) -> bool {
+        if !self.users.contains(author) || text.is_empty() {
+            return false;
+        }
+        let seq = self.posts.len() as u64;
+        self.posts.push(BlogPost {
+            author: author.to_owned(),
+            text: text.to_owned(),
+            seq,
+        });
+        true
+    }
+
+    fn follow(&mut self, follower: &str, followee: &str) -> bool {
+        if follower == followee
+            || !self.users.contains(follower)
+            || !self.users.contains(followee)
+        {
+            return false;
+        }
+        self.follows
+            .entry(follower.to_owned())
+            .or_default()
+            .insert(followee.to_owned())
+    }
+
+    fn unfollow(&mut self, follower: &str, followee: &str) -> bool {
+        self.follows
+            .get_mut(follower)
+            .is_some_and(|s| s.remove(followee))
+    }
+}
+
+impl GState for MicroBlog {
+    const TYPE_NAME: &'static str = "MicroBlog";
+
+    fn snapshot(&self) -> Value {
+        let users: Value = self.users.iter().map(|u| Value::from(u.clone())).collect();
+        let follows = Value::map(self.follows.iter().map(|(f, set)| {
+            (
+                f.clone(),
+                set.iter().map(|x| Value::from(x.clone())).collect(),
+            )
+        }));
+        let posts: Value = self
+            .posts
+            .iter()
+            .map(|p| {
+                Value::map([
+                    ("author", Value::from(p.author.clone())),
+                    ("text", Value::from(p.text.clone())),
+                    ("seq", Value::from(p.seq as i64)),
+                ])
+            })
+            .collect();
+        Value::map([("users", users), ("follows", follows), ("posts", posts)])
+    }
+
+    fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+        let shape = || RestoreError::shape("microblog snapshot");
+        self.users = v
+            .field("users")
+            .and_then(Value::as_list)
+            .ok_or_else(shape)?
+            .iter()
+            .map(|u| u.as_str().map(str::to_owned).ok_or_else(shape))
+            .collect::<Result<_, _>>()?;
+        self.follows.clear();
+        for (f, set) in v.field("follows").and_then(Value::as_map).ok_or_else(shape)? {
+            let set = set
+                .as_list()
+                .ok_or_else(shape)?
+                .iter()
+                .map(|x| x.as_str().map(str::to_owned).ok_or_else(shape))
+                .collect::<Result<_, _>>()?;
+            self.follows.insert(f.clone(), set);
+        }
+        self.posts = v
+            .field("posts")
+            .and_then(Value::as_list)
+            .ok_or_else(shape)?
+            .iter()
+            .map(|p| {
+                Ok(BlogPost {
+                    author: p
+                        .field("author")
+                        .and_then(Value::as_str)
+                        .ok_or_else(shape)?
+                        .to_owned(),
+                    text: p
+                        .field("text")
+                        .and_then(Value::as_str)
+                        .ok_or_else(shape)?
+                        .to_owned(),
+                    seq: p.field("seq").and_then(Value::as_i64).ok_or_else(shape)? as u64,
+                })
+            })
+            .collect::<Result<_, RestoreError>>()?;
+        Ok(())
+    }
+}
+
+/// Typed operation constructors.
+pub mod ops {
+    use super::*;
+
+    /// Register a handle (blocking in spirit, like the event planner's).
+    pub fn register(obj: ObjectId, user: &str) -> SharedOp {
+        SharedOp::primitive(obj, "register", args![user])
+    }
+
+    /// Publish a post.
+    pub fn post(obj: ObjectId, author: &str, text: &str) -> SharedOp {
+        SharedOp::primitive(obj, "post", args![author, text])
+    }
+
+    /// Follow another user.
+    pub fn follow(obj: ObjectId, follower: &str, followee: &str) -> SharedOp {
+        SharedOp::primitive(obj, "follow", args![follower, followee])
+    }
+
+    /// Unfollow.
+    pub fn unfollow(obj: ObjectId, follower: &str, followee: &str) -> SharedOp {
+        SharedOp::primitive(obj, "unfollow", args![follower, followee])
+    }
+}
+
+fn apply_register(s: &mut MicroBlog, a: guesstimate_core::ArgView<'_>) -> bool {
+    let Some(u) = a.str(0) else { return false };
+    s.register(u)
+}
+
+fn apply_post(s: &mut MicroBlog, a: guesstimate_core::ArgView<'_>) -> bool {
+    let (Some(au), Some(t)) = (a.str(0), a.str(1)) else {
+        return false;
+    };
+    s.post(au, t)
+}
+
+fn apply_follow(s: &mut MicroBlog, a: guesstimate_core::ArgView<'_>) -> bool {
+    let (Some(f), Some(g)) = (a.str(0), a.str(1)) else {
+        return false;
+    };
+    s.follow(f, g)
+}
+
+fn apply_unfollow(s: &mut MicroBlog, a: guesstimate_core::ArgView<'_>) -> bool {
+    let (Some(f), Some(g)) = (a.str(0), a.str(1)) else {
+        return false;
+    };
+    s.unfollow(f, g)
+}
+
+/// Registers the microblog type and operations.
+pub fn register(registry: &mut OpRegistry) {
+    registry.register_type::<MicroBlog>();
+    registry.register_method::<MicroBlog>("register", apply_register);
+    registry.register_method::<MicroBlog>("post", apply_post);
+    registry.register_method::<MicroBlog>("follow", apply_follow);
+    registry.register_method::<MicroBlog>("unfollow", apply_unfollow);
+}
+
+fn invariant(v: &Value) -> bool {
+    let (Some(users), Some(follows), Some(posts)) = (
+        v.field("users").and_then(Value::as_list),
+        v.field("follows").and_then(Value::as_map),
+        v.field("posts").and_then(Value::as_list),
+    ) else {
+        return false;
+    };
+    let user_set: BTreeSet<&str> = users.iter().filter_map(Value::as_str).collect();
+    // Every author and follow edge refers to registered users; no self
+    // follows; post seq numbers are dense.
+    posts.iter().enumerate().all(|(i, p)| {
+        p.field("author")
+            .and_then(Value::as_str)
+            .is_some_and(|a| user_set.contains(a))
+            && p.field("seq").and_then(Value::as_i64) == Some(i as i64)
+    }) && follows.iter().all(|(f, set)| {
+        user_set.contains(f.as_str())
+            && set.as_list().is_some_and(|l| {
+                l.iter().all(|x| {
+                    x.as_str()
+                        .is_some_and(|x| user_set.contains(x) && x != f.as_str())
+                })
+            })
+    })
+}
+
+/// Registers with runtime conformance checking.
+pub fn register_checked(registry: &mut OpRegistry, log: &ConformanceLog) {
+    registry.register_type::<MicroBlog>();
+    let inv = MethodContract::new().with_invariant(invariant);
+    guesstimate_spec::register_checked::<MicroBlog>(
+        registry,
+        "register",
+        inv.clone(),
+        log,
+        apply_register,
+    );
+    guesstimate_spec::register_checked::<MicroBlog>(
+        registry,
+        "post",
+        inv.clone().with_post(|pre, post, _| {
+            let (Some(b), Some(a)) = (
+                pre.field("posts").and_then(Value::as_list),
+                post.field("posts").and_then(Value::as_list),
+            ) else {
+                return false;
+            };
+            a.len() == b.len() + 1 && a[..b.len()] == *b
+        }),
+        log,
+        apply_post,
+    );
+    guesstimate_spec::register_checked::<MicroBlog>(registry, "follow", inv.clone(), log, apply_follow);
+    guesstimate_spec::register_checked::<MicroBlog>(registry, "unfollow", inv, log, apply_unfollow);
+}
+
+/// Specification suite for the verifier table.
+pub fn spec_suite() -> SpecSuite {
+    use guesstimate_spec::Assertion;
+
+    let handles = ["ann", "bob", "ghost", ""];
+    let mut follow_args = Vec::new();
+    for f in handles {
+        for g in handles {
+            follow_args.push(args![f, g]);
+        }
+    }
+    let register = MethodSpec::new(
+        "register",
+        MethodContract::new()
+            .with_assertion_obj(
+                Assertion::new("empty-handle-fails", |c| {
+                    c.args.first().and_then(Value::as_str) != Some("")
+                        || (!c.result && c.pre == c.post)
+                })
+                .assume_state_independent(),
+            )
+            .with_assertion("users-never-disappear", |c| {
+                let users = |v: &Value| -> Vec<Value> {
+                    v.field("users")
+                        .and_then(Value::as_list)
+                        .map(<[Value]>::to_vec)
+                        .unwrap_or_default()
+                };
+                let before = users(&c.pre);
+                let after = users(&c.post);
+                before.iter().all(|u| after.contains(u))
+            }),
+    )
+    .with_args(handles.iter().map(|h| args![*h]).collect(), true);
+
+    let post = MethodSpec::new(
+        "post",
+        MethodContract::new()
+            .with_post(|pre, post, a| {
+                let Some(author) = a.first().and_then(Value::as_str) else {
+                    return false;
+                };
+                let posts = |v: &Value| v.field("posts").and_then(Value::as_list).map(<[Value]>::len);
+                posts(post) == posts(pre).map(|n| n + 1)
+                    && post
+                        .field("posts")
+                        .and_then(Value::as_list)
+                        .and_then(|l| l.last())
+                        .and_then(|p| p.field("author"))
+                        .and_then(Value::as_str)
+                        == Some(author)
+            })
+            .with_assertion("seq-numbers-stay-dense", |c| {
+                c.post
+                    .field("posts")
+                    .and_then(Value::as_list)
+                    .is_some_and(|l| {
+                        l.iter().enumerate().all(|(i, p)| {
+                            p.field("seq").and_then(Value::as_i64) == Some(i as i64)
+                        })
+                    })
+            })
+            .with_assertion("posting-never-touches-follows", |c| {
+                c.pre.field("follows") == c.post.field("follows")
+            }),
+    )
+    .with_args(
+        vec![args!["ann", "hi"], args!["ghost", "hi"], args!["ann", ""], args!["", "hi"]],
+        false,
+    );
+
+    let follow = MethodSpec::new(
+        "follow",
+        MethodContract::new()
+            .with_post(|_pre, post, a| {
+                let (Some(f), Some(g)) = (
+                    a.first().and_then(Value::as_str),
+                    a.get(1).and_then(Value::as_str),
+                ) else {
+                    return false;
+                };
+                post.field("follows")
+                    .and_then(Value::as_map)
+                    .and_then(|m| m.get(f))
+                    .and_then(Value::as_list)
+                    .is_some_and(|l| l.iter().any(|x| x.as_str() == Some(g)))
+            })
+            .with_assertion("self-follow-always-fails", |c| {
+                let f = c.args.first().and_then(Value::as_str);
+                let g = c.args.get(1).and_then(Value::as_str);
+                f != g || (!c.result && c.pre == c.post)
+            })
+            .with_assertion("follow-never-touches-posts", |c| {
+                c.pre.field("posts") == c.post.field("posts")
+            }),
+    )
+    .with_args(follow_args, false);
+
+    SpecSuite::new("MicroBlog")
+        .with_invariant("referential-integrity", invariant)
+        .with_method(register)
+        .with_method(post)
+        .with_method(follow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blog() -> MicroBlog {
+        let mut b = MicroBlog::new();
+        assert!(b.register("ann"));
+        assert!(b.register("bob"));
+        assert!(b.register("cid"));
+        b
+    }
+
+    #[test]
+    fn register_semantics() {
+        let mut b = blog();
+        assert!(!b.register("ann"), "duplicate");
+        assert!(!b.register(""));
+        assert_eq!(b.user_count(), 3);
+        assert!(b.has_user("cid"));
+        assert!(!b.has_user("dan"));
+    }
+
+    #[test]
+    fn posting_requires_registration_and_text() {
+        let mut b = blog();
+        assert!(b.post("ann", "hello"));
+        assert!(!b.post("ghost", "hi"));
+        assert!(!b.post("ann", ""));
+        assert_eq!(b.posts().len(), 1);
+        assert_eq!(b.posts()[0].seq, 0);
+    }
+
+    #[test]
+    fn follow_and_unfollow() {
+        let mut b = blog();
+        assert!(b.follow("ann", "bob"));
+        assert!(!b.follow("ann", "bob"), "already following");
+        assert!(!b.follow("ann", "ann"), "no self-follow");
+        assert!(!b.follow("ann", "ghost"));
+        assert!(!b.follow("ghost", "ann"));
+        assert!(b.follows("ann", "bob"));
+        assert!(b.unfollow("ann", "bob"));
+        assert!(!b.unfollow("ann", "bob"));
+        assert!(!b.follows("ann", "bob"));
+    }
+
+    #[test]
+    fn timeline_filters_and_orders_newest_first() {
+        let mut b = blog();
+        b.follow("ann", "bob");
+        b.post("ann", "a1");
+        b.post("bob", "b1");
+        b.post("cid", "c1");
+        b.post("ann", "a2");
+        let tl: Vec<&str> = b.timeline("ann").iter().map(|p| p.text.as_str()).collect();
+        assert_eq!(tl, vec!["a2", "b1", "a1"], "cid filtered, newest first");
+        assert!(b.timeline("ghost").is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut b = blog();
+        b.follow("ann", "bob");
+        b.post("bob", "x");
+        let mut c = MicroBlog::new();
+        GState::restore(&mut c, &GState::snapshot(&b)).unwrap();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn invariant_checks() {
+        let mut b = blog();
+        b.follow("ann", "bob");
+        b.post("ann", "x");
+        assert!(invariant(&GState::snapshot(&b)));
+        assert!(!invariant(&Value::Unit));
+    }
+
+    #[test]
+    fn checked_registration_is_clean() {
+        use guesstimate_core::{execute, MachineId, ObjectStore};
+        let obj = ObjectId::new(MachineId::new(0), 0);
+        let mut reg = OpRegistry::new();
+        let log = ConformanceLog::new();
+        register_checked(&mut reg, &log);
+        let mut store = ObjectStore::new();
+        store.insert(obj, Box::new(blog()));
+        for op in [
+            ops::post(obj, "ann", "hello"),
+            ops::follow(obj, "bob", "ann"),
+            ops::post(obj, "ghost", "nope"), // fails
+            ops::unfollow(obj, "bob", "ann"),
+            ops::register(obj, "dan"),
+        ] {
+            let _ = execute(&op, &mut store, &reg).unwrap();
+        }
+        assert!(log.is_empty(), "{:?}", log.violations());
+    }
+
+    #[test]
+    fn spec_suite_verifies_cleanly() {
+        use guesstimate_spec::{verify_suite, CaseSpace};
+        let suite = spec_suite();
+        assert!(suite.assertion_count() >= 14);
+        let mut reg = OpRegistry::new();
+        register(&mut reg);
+        let mut b = blog();
+        b.follow("ann", "bob");
+        b.post("bob", "x");
+        let states = vec![
+            GState::snapshot(&MicroBlog::new()),
+            GState::snapshot(&blog()),
+            GState::snapshot(&b),
+        ];
+        let report = verify_suite(&reg, &suite, &CaseSpace::sampled(states, 100_000));
+        assert_eq!(report.refuted(), 0);
+        assert!(report.verified() >= 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Each application exercised over the real distributed runtime: the §6
+//! "Experience" scenarios, asserted rather than narrated.
+
+use guesstimate_apps::{auction, carpool, event_planner, message_board, microblog, sudoku};
+use guesstimate_core::{MachineId, OpRegistry};
+use guesstimate_net::{LatencyModel, NetConfig, SimNet, SimTime};
+use guesstimate_runtime::{run_until_cohort, sim_cluster, Machine, MachineConfig};
+
+fn cluster(n: u32, seed: u64) -> SimNet<Machine> {
+    let mut registry = OpRegistry::new();
+    guesstimate_apps::register_all(&mut registry);
+    sim_cluster(
+        n,
+        registry,
+        MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(100))
+            .with_stall_timeout(SimTime::from_millis(800)),
+        NetConfig::lan(seed).with_latency(LatencyModel::constant_ms(10)),
+    )
+}
+
+fn settle(net: &mut SimNet<Machine>, secs: u64) {
+    let t = net.now() + SimTime::from_secs(secs);
+    net.run_until(t);
+}
+
+fn assert_converged(net: &SimNet<Machine>, n: u32) {
+    let digests: Vec<u64> = (0..n)
+        .map(|i| net.actor(MachineId::new(i)).unwrap().committed_digest())
+        .collect();
+    assert!(digests.windows(2).all(|w| w[0] == w[1]), "{digests:?}");
+}
+
+#[test]
+fn sudoku_two_players_racing_for_one_cell() {
+    let mut net = cluster(2, 101);
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(sudoku::Sudoku::new());
+    settle(&mut net, 2);
+    // Both want cell (5,5): m0 writes 3, m1 writes 7, in the same round.
+    net.call(MachineId::new(0), |m, _| {
+        assert!(m.issue(sudoku::ops::update(board, 5, 5, 3)).unwrap());
+    });
+    net.call(MachineId::new(1), |m, _| {
+        assert!(m.issue(sudoku::ops::update(board, 5, 5, 7)).unwrap());
+    });
+    settle(&mut net, 3);
+    assert_converged(&net, 2);
+    // The paper's Update overwrites tentative (non-given) cells, so both
+    // writes commit and the one that lands later in the global order wins —
+    // which of the two that is depends on how the issues straddled the
+    // round boundary. No conflict either way, and everyone agrees.
+    let m0 = net.actor(MachineId::new(0)).unwrap();
+    let winner = m0
+        .read::<sudoku::Sudoku, _>(board, |s| s.cell(5, 5))
+        .unwrap()
+        .unwrap();
+    assert!(winner == 3 || winner == 7, "one of the writes stands: {winner}");
+    assert_eq!(
+        net.actor(MachineId::new(1))
+            .unwrap()
+            .read::<sudoku::Sudoku, _>(board, |s| s.cell(5, 5)),
+        Some(Some(winner))
+    );
+    // But a *constraint* race does conflict: same value in one row.
+    net.call(MachineId::new(0), |m, _| {
+        assert!(m.issue(sudoku::ops::update(board, 1, 1, 9)).unwrap());
+    });
+    net.call(MachineId::new(1), |m, _| {
+        assert!(m.issue(sudoku::ops::update(board, 1, 9, 9)).unwrap());
+    });
+    settle(&mut net, 3);
+    assert_converged(&net, 2);
+    let conflicts: u64 = (0..2)
+        .map(|i| net.actor(MachineId::new(i)).unwrap().stats().conflicts)
+        .sum();
+    assert_eq!(conflicts, 1, "one of the two 9s lost");
+}
+
+#[test]
+fn event_planner_quota_and_capacity_races_resolve_consistently() {
+    let n = 4;
+    let mut net = cluster(n, 103);
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    let planner = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(event_planner::EventPlanner::with_quota(1));
+    settle(&mut net, 2);
+    net.call(MachineId::new(0), |m, _| {
+        for u in ["ann", "bob", "cid", "dee"] {
+            m.issue(event_planner::ops::register_user(planner, u, "pw"))
+                .unwrap();
+        }
+        m.issue(event_planner::ops::create_event(planner, "gala", 2))
+            .unwrap();
+        m.issue(event_planner::ops::create_event(planner, "brunch", 4))
+            .unwrap();
+    });
+    settle(&mut net, 2);
+    // All four race for the 2-capacity gala; the OrElse falls back to brunch.
+    for (i, u) in ["ann", "bob", "cid", "dee"].iter().enumerate() {
+        let user = u.to_string();
+        net.schedule_call(
+            net.now() + SimTime::from_millis(5 * i as u64),
+            MachineId::new(i as u32),
+            move |m: &mut Machine, _| {
+                let op =
+                    event_planner::ops::join_one_of(planner, &user, &["gala", "brunch"]).unwrap();
+                assert!(m.issue(op).unwrap());
+            },
+        );
+    }
+    settle(&mut net, 4);
+    assert_converged(&net, n);
+    let m0 = net.actor(MachineId::new(0)).unwrap();
+    m0.read::<event_planner::EventPlanner, _>(planner, |p| {
+        assert_eq!(p.vacancies("gala"), Some(0), "gala filled");
+        assert_eq!(p.vacancies("brunch"), Some(2), "losers landed in brunch");
+        for u in ["ann", "bob", "cid", "dee"] {
+            assert_eq!(p.joined_events(u).len(), 1, "{u} attends exactly one (quota 1)");
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn auction_distributed_bidding_war_has_a_single_winner() {
+    let n = 3;
+    let mut net = cluster(n, 107);
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    let house = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(auction::Auction::new());
+    settle(&mut net, 2);
+    net.call(MachineId::new(0), |m, _| {
+        m.issue(auction::ops::list_item(house, "lamp", "seller", 10, 5))
+            .unwrap();
+    });
+    settle(&mut net, 2);
+    // Bidders on m1/m2 escalate with ladders over several rounds.
+    for round in 0..6u64 {
+        for (i, bidder) in [(1u32, "ann"), (2, "bob")] {
+            let b = bidder.to_string();
+            net.schedule_call(
+                net.now() + SimTime::from_millis(300 * round + 50 * u64::from(i)),
+                MachineId::new(i),
+                move |m: &mut Machine, _| {
+                    let min = m
+                        .read::<auction::Auction, _>(house, |a| a.min_next_bid("lamp"))
+                        .flatten()
+                        .unwrap_or(10);
+                    if min <= 60 {
+                        let _ = m.issue(
+                            auction::ops::bid_up_to(house, "lamp", &b, min, 5, 60).unwrap(),
+                        );
+                    }
+                },
+            );
+        }
+    }
+    settle(&mut net, 4);
+    net.call(MachineId::new(0), |m, _| {
+        assert!(m.issue(auction::ops::close(house, "lamp", "seller")).unwrap());
+    });
+    settle(&mut net, 2);
+    assert_converged(&net, n);
+    let m0 = net.actor(MachineId::new(0)).unwrap();
+    let winner = m0
+        .read::<auction::Auction, _>(house, |a| a.winner("lamp"))
+        .unwrap();
+    let (who, amount) = winner.expect("someone won");
+    assert!(who == "ann" || who == "bob");
+    assert!((10..=65).contains(&amount));
+    assert!(
+        !m0.read::<auction::Auction, _>(house, |a| a.is_open("lamp")).unwrap(),
+        "closed everywhere"
+    );
+}
+
+#[test]
+fn carpool_get_ride_reroutes_under_distributed_contention() {
+    let n = 4;
+    let mut net = cluster(n, 109);
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    let pool = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(carpool::CarPool::new());
+    settle(&mut net, 2);
+    net.call(MachineId::new(0), |m, _| {
+        m.issue(carpool::ops::add_vehicle(pool, "v1", 1, "party")).unwrap();
+        m.issue(carpool::ops::add_vehicle(pool, "v2", 1, "party")).unwrap();
+        m.issue(carpool::ops::add_vehicle(pool, "v3", 2, "party")).unwrap();
+    });
+    settle(&mut net, 2);
+    // Four riders, four seats total, everyone asks for a ride at once.
+    for (i, u) in ["ann", "bob", "cid", "dee"].iter().enumerate() {
+        let user = u.to_string();
+        net.schedule_call(
+            net.now() + SimTime::from_millis(3 * i as u64),
+            MachineId::new(i as u32),
+            move |m: &mut Machine, _| {
+                let ride = m
+                    .read::<carpool::CarPool, _>(pool, |p| {
+                        carpool::ops::get_ride(p, pool, &user, "party")
+                    })
+                    .flatten()
+                    .unwrap();
+                assert!(m.issue(ride).unwrap(), "optimistically seated");
+            },
+        );
+    }
+    settle(&mut net, 4);
+    assert_converged(&net, n);
+    let m0 = net.actor(MachineId::new(0)).unwrap();
+    m0.read::<carpool::CarPool, _>(pool, |p| {
+        // φ_GetRide for everyone: seats exactly matched riders.
+        for u in ["ann", "bob", "cid", "dee"] {
+            assert!(p.has_ride(u, "party"), "{u} has some ride");
+        }
+        for v in ["v1", "v2", "v3"] {
+            assert_eq!(p.free_seats(v), Some(0));
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn message_board_preserves_every_concurrent_post_in_agreed_order() {
+    let n = 3;
+    let mut net = cluster(n, 113);
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(message_board::MessageBoard::new());
+    settle(&mut net, 2);
+    net.call(MachineId::new(0), |m, _| {
+        assert!(m.issue(message_board::ops::create_topic(board, "chat")).unwrap());
+    });
+    settle(&mut net, 2);
+    for k in 0..10u64 {
+        for i in 0..n {
+            let author = format!("user{i}");
+            let text = format!("msg {k}");
+            net.schedule_call(
+                net.now() + SimTime::from_millis(90 * k + 7 * u64::from(i)),
+                MachineId::new(i),
+                move |m: &mut Machine, _| {
+                    assert!(m
+                        .issue(message_board::ops::post(board, "chat", &author, &text))
+                        .unwrap());
+                },
+            );
+        }
+    }
+    settle(&mut net, 5);
+    assert_converged(&net, n);
+    // All 30 posts survive; order identical everywhere (implied by digest),
+    // and per-author subsequences respect issue order (ops from one machine
+    // commit in issue order — OpId sequence).
+    let m0 = net.actor(MachineId::new(0)).unwrap();
+    m0.read::<message_board::MessageBoard, _>(board, |b| {
+        let posts = b.posts("chat").unwrap();
+        assert_eq!(posts.len(), 30, "no post lost");
+        for i in 0..n {
+            let author = format!("user{i}");
+            let mine: Vec<&str> = posts
+                .iter()
+                .filter(|p| p.author == author)
+                .map(|p| p.text.as_str())
+                .collect();
+            let expected: Vec<String> = (0..10).map(|k| format!("msg {k}")).collect();
+            assert_eq!(mine, expected, "{author}'s posts in issue order");
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn microblog_follow_graph_and_timelines_replicate() {
+    let n = 3;
+    let mut net = cluster(n, 127);
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    let blog = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(microblog::MicroBlog::new());
+    settle(&mut net, 2);
+    for (i, u) in ["ann", "bob", "cid"].iter().enumerate() {
+        let user = u.to_string();
+        net.call(MachineId::new(i as u32), move |m, _| {
+            assert!(m.issue(microblog::ops::register(blog, &user)).unwrap());
+        });
+    }
+    settle(&mut net, 2);
+    net.call(MachineId::new(0), |m, _| {
+        assert!(m.issue(microblog::ops::follow(blog, "ann", "bob")).unwrap());
+    });
+    net.call(MachineId::new(2), |m, _| {
+        assert!(m.issue(microblog::ops::post(blog, "cid", "cid speaking")).unwrap());
+    });
+    net.call(MachineId::new(1), |m, _| {
+        assert!(m.issue(microblog::ops::post(blog, "bob", "bob here")).unwrap());
+    });
+    settle(&mut net, 3);
+    assert_converged(&net, n);
+    // Ann's timeline on every machine: only bob's post.
+    for i in 0..n {
+        let m = net.actor(MachineId::new(i)).unwrap();
+        m.read::<microblog::MicroBlog, _>(blog, |b| {
+            let tl: Vec<&str> = b.timeline("ann").iter().map(|p| p.text.as_str()).collect();
+            assert_eq!(tl, vec!["bob here"], "machine {i}");
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,22 @@
+//! # guesstimate-baselines
+//!
+//! The two ends of the consistency–performance spectrum that §1 of the
+//! paper positions GUESSTIMATE between, built on the same mesh substrate so
+//! the benchmark harness can compare them head-to-head:
+//!
+//! * [`one_copy`] — **one-copy serializability**: every operation is routed
+//!   through a central sequencer and becomes visible only when its commit
+//!   is applied, on every machine, in one global order. "One copy
+//!   serializability is the best form of consistency we can hope for.
+//!   However, this programming model is inherently slow" — operations block
+//!   for at least a network round trip before the user sees any effect.
+//! * [`local_only`] — **replicated execution**: each machine applies its
+//!   operations to its own replica immediately and never synchronizes —
+//!   "very high performance, but there is no consistency between the states
+//!   of the various machines". The module exposes divergence metrics so the
+//!   benches can quantify exactly that inconsistency.
+
+#![warn(missing_docs)]
+
+pub mod local_only;
+pub mod one_copy;

@@ -1,0 +1,212 @@
+//! Replicated execution without synchronization: the other extreme.
+//!
+//! Every machine applies its operations to its own replica immediately and
+//! never talks to anyone. Latency is zero and throughput is unbounded —
+//! and the replicas drift apart immediately. [`divergence`] quantifies the
+//! drift so the benches can show what GUESSTIMATE's synchronization buys.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use guesstimate_core::{
+    execute, GState, MachineId, ObjectId, ObjectStore, OpRegistry, SharedOp,
+};
+use guesstimate_net::{Actor, Channel, Ctx, SimNet};
+
+/// A machine that never synchronizes.
+pub struct LocalOnlyMachine {
+    id: MachineId,
+    registry: Arc<OpRegistry>,
+    store: ObjectStore,
+    next_obj: u64,
+    ops_applied: u64,
+}
+
+impl std::fmt::Debug for LocalOnlyMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalOnlyMachine")
+            .field("id", &self.id)
+            .field("ops", &self.ops_applied)
+            .finish()
+    }
+}
+
+impl LocalOnlyMachine {
+    /// Creates a machine.
+    pub fn new(id: MachineId, registry: Arc<OpRegistry>) -> Self {
+        LocalOnlyMachine {
+            id,
+            registry,
+            store: ObjectStore::new(),
+            next_obj: 0,
+            ops_applied: 0,
+        }
+    }
+
+    /// Creates an object — locally, instantly, invisibly to everyone else.
+    pub fn create_instance<T: GState>(&mut self, init: T) -> ObjectId {
+        let object = ObjectId::new(self.id, self.next_obj);
+        self.next_obj += 1;
+        self.store.insert(object, Box::new(init));
+        object
+    }
+
+    /// Pre-installs an object under a fixed id (so every machine can start
+    /// from a common object, mimicking out-of-band distribution).
+    pub fn install<T: GState>(&mut self, object: ObjectId, init: T) {
+        self.store.insert(object, Box::new(init));
+    }
+
+    /// Applies an operation locally; zero latency, no propagation.
+    pub fn issue(&mut self, op: SharedOp) -> bool {
+        let ok = execute(&op, &mut self.store, &self.registry)
+            .map(|o| o.is_success())
+            .unwrap_or(false);
+        self.ops_applied += 1;
+        ok
+    }
+
+    /// Reads the (only) replica.
+    pub fn read<T: GState, R>(&self, id: ObjectId, f: impl FnOnce(&T) -> R) -> Option<R> {
+        self.store.get_as::<T>(id).map(f)
+    }
+
+    /// Replica digest.
+    pub fn digest(&self) -> u64 {
+        self.store.digest()
+    }
+
+    /// Operations applied so far.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+}
+
+impl Actor for LocalOnlyMachine {
+    type Msg = ();
+
+    fn on_message(&mut self, _: MachineId, _: Channel, _: (), _: &mut Ctx<'_, ()>) {
+        // No protocol: this baseline never communicates.
+    }
+}
+
+/// Number of distinct replica states across the cluster (1 = consistent;
+/// `n` = everyone disagrees).
+pub fn divergence(net: &SimNet<LocalOnlyMachine>, ids: &[MachineId]) -> usize {
+    let digests: BTreeSet<u64> = ids
+        .iter()
+        .filter_map(|&i| net.actor(i).map(LocalOnlyMachine::digest))
+        .collect();
+    digests.len()
+}
+
+/// Builds a local-only cluster of `n` machines.
+pub fn local_only_cluster(
+    n: u32,
+    registry: OpRegistry,
+    netcfg: guesstimate_net::NetConfig,
+) -> SimNet<LocalOnlyMachine> {
+    let registry = Arc::new(registry);
+    let mut net = SimNet::new(netcfg);
+    for i in 0..n {
+        net.add_machine(
+            MachineId::new(i),
+            LocalOnlyMachine::new(MachineId::new(i), registry.clone()),
+        );
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guesstimate_core::{args, RestoreError, Value};
+    use guesstimate_net::NetConfig;
+
+    #[derive(Clone, Default)]
+    struct Cnt(i64);
+    impl GState for Cnt {
+        const TYPE_NAME: &'static str = "Cnt";
+        fn snapshot(&self) -> Value {
+            Value::from(self.0)
+        }
+        fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+            self.0 = v.as_i64().ok_or_else(|| RestoreError::shape("i64"))?;
+            Ok(())
+        }
+    }
+
+    fn registry() -> OpRegistry {
+        let mut r = OpRegistry::new();
+        r.register_type::<Cnt>();
+        r.register_method::<Cnt>("add", |c, a| {
+            let Some(d) = a.i64(0) else { return false };
+            c.0 += d;
+            true
+        });
+        r
+    }
+
+    #[test]
+    fn ops_are_instant_and_local() {
+        let mut net = local_only_cluster(2, registry(), NetConfig::lan(1));
+        let shared = ObjectId::new(MachineId::new(9), 0);
+        for i in 0..2 {
+            net.actor_mut(MachineId::new(i))
+                .unwrap()
+                .install(shared, Cnt(0));
+        }
+        let m0 = net.actor_mut(MachineId::new(0)).unwrap();
+        assert!(m0.issue(SharedOp::primitive(shared, "add", args![5])));
+        assert_eq!(m0.read::<Cnt, _>(shared, |c| c.0), Some(5));
+        assert_eq!(m0.ops_applied(), 1);
+        // Machine 1 never hears about it.
+        assert_eq!(
+            net.actor(MachineId::new(1)).unwrap().read::<Cnt, _>(shared, |c| c.0),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn divergence_grows_with_uncoordinated_updates() {
+        let mut net = local_only_cluster(3, registry(), NetConfig::lan(1));
+        let shared = ObjectId::new(MachineId::new(9), 0);
+        let ids: Vec<MachineId> = (0..3).map(MachineId::new).collect();
+        for &i in &ids {
+            net.actor_mut(i).unwrap().install(shared, Cnt(0));
+        }
+        assert_eq!(divergence(&net, &ids), 1, "identical at start");
+        for (k, &i) in ids.iter().enumerate() {
+            net.actor_mut(i)
+                .unwrap()
+                .issue(SharedOp::primitive(shared, "add", args![k as i64 + 1]));
+        }
+        assert_eq!(divergence(&net, &ids), 3, "everyone disagrees");
+    }
+
+    #[test]
+    fn create_instance_is_private() {
+        let mut net = local_only_cluster(2, registry(), NetConfig::lan(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .unwrap()
+            .create_instance(Cnt(7));
+        assert_eq!(
+            net.actor(MachineId::new(0)).unwrap().read::<Cnt, _>(obj, |c| c.0),
+            Some(7)
+        );
+        assert!(net
+            .actor(MachineId::new(1))
+            .unwrap()
+            .read::<Cnt, _>(obj, |c| c.0)
+            .is_none());
+    }
+
+    #[test]
+    fn unknown_ops_count_as_failures() {
+        let mut net = local_only_cluster(1, registry(), NetConfig::lan(1));
+        let m = net.actor_mut(MachineId::new(0)).unwrap();
+        let ghost = ObjectId::new(MachineId::new(5), 5);
+        assert!(!m.issue(SharedOp::primitive(ghost, "add", args![1])));
+    }
+}

@@ -1,0 +1,163 @@
+//! Criterion microbenchmarks for the mechanisms the paper's design leans on:
+//!
+//! * `issue` — executing an operation against the guesstimated store (the
+//!   cost of the non-blocking fast path).
+//! * `atomic_overhead` — the per-object copy-on-write that gives `Atomic`
+//!   its all-or-nothing semantics (§4), vs the same ops un-grouped.
+//! * `store_copy` — the committed → guesstimated whole-store copy performed
+//!   at the end of every synchronization (§9 lists large shared state as a
+//!   limitation precisely because of this copy).
+//! * `snapshot_digest` — canonical snapshot + digest of a Sudoku board
+//!   (convergence checking).
+//! * `sim_round` — one full synchronization round of a simulated 4-machine
+//!   cluster (protocol + virtual network bookkeeping).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use guesstimate_apps::sudoku::{self, Sudoku};
+use guesstimate_core::{
+    args, execute, GState, MachineId, ObjectId, ObjectStore, OpRegistry, SharedOp,
+};
+use guesstimate_net::{LatencyModel, NetConfig, SimTime};
+use guesstimate_runtime::{run_until_cohort, sim_cluster, MachineConfig};
+
+fn board_id(i: u64) -> ObjectId {
+    ObjectId::new(MachineId::new(0), i)
+}
+
+fn sudoku_registry() -> OpRegistry {
+    let mut r = OpRegistry::new();
+    sudoku::register(&mut r);
+    r
+}
+
+fn bench_issue(c: &mut Criterion) {
+    let registry = sudoku_registry();
+    c.bench_function("issue/sudoku_update_on_guess", |b| {
+        b.iter_batched(
+            || {
+                let mut store = ObjectStore::new();
+                store.insert(board_id(0), Box::new(sudoku::example_puzzle()));
+                store
+            },
+            |mut store| {
+                execute(
+                    &sudoku::ops::update(board_id(0), 1, 3, 4),
+                    &mut store,
+                    &registry,
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_atomic_overhead(c: &mut Criterion) {
+    let registry = sudoku_registry();
+    let plain: Vec<SharedOp> = [(1u8, 3u8, 4u8), (1, 4, 6), (3, 1, 1), (2, 2, 2)]
+        .iter()
+        .map(|&(r, cc, v)| sudoku::ops::update(board_id(0), r, cc, v))
+        .collect();
+    let atomic = SharedOp::atomic(plain.clone());
+    let mk_store = || {
+        let mut store = ObjectStore::new();
+        store.insert(board_id(0), Box::new(sudoku::example_puzzle()));
+        store
+    };
+    let mut g = c.benchmark_group("atomic_overhead");
+    g.bench_function("plain_4_updates", |b| {
+        b.iter_batched(
+            mk_store,
+            |mut store| {
+                for op in &plain {
+                    execute(op, &mut store, &registry).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("atomic_4_updates_cow", |b| {
+        b.iter_batched(
+            mk_store,
+            |mut store| execute(&atomic, &mut store, &registry).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_store_copy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_copy");
+    for n in [1usize, 8, 64] {
+        let mut src = ObjectStore::new();
+        for i in 0..n {
+            src.insert(board_id(i as u64), Box::new(sudoku::example_puzzle()));
+        }
+        let mut dst = ObjectStore::new();
+        dst.copy_from(&src);
+        g.bench_function(format!("sc_to_sg_{n}_boards"), |b| {
+            b.iter(|| dst.copy_from(&src))
+        });
+    }
+    g.finish();
+}
+
+fn bench_snapshot_digest(c: &mut Criterion) {
+    let board = sudoku::example_puzzle();
+    c.bench_function("snapshot_digest/sudoku", |b| {
+        b.iter(|| guesstimate_core::value_digest(&GState::snapshot(&board)))
+    });
+    c.bench_function("candidate_moves/sudoku", |b| {
+        b.iter(|| board.candidate_moves().len())
+    });
+}
+
+fn bench_sim_round(c: &mut Criterion) {
+    c.bench_function("sim_round/4_machines_one_sync", |b| {
+        b.iter_batched(
+            || {
+                let cfg = MachineConfig::default()
+                    .with_sync_period(SimTime::from_millis(50))
+                    .with_stall_timeout(SimTime::from_secs(2));
+                let netcfg = NetConfig::lan(7).with_latency(LatencyModel::constant_ms(5));
+                let mut net = sim_cluster(4, sudoku_registry(), cfg, netcfg);
+                assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+                let board = net
+                    .actor_mut(MachineId::new(0))
+                    .unwrap()
+                    .create_instance(sudoku::example_puzzle());
+                let settle = net.now() + SimTime::from_secs(2);
+                net.run_until(settle);
+                for i in 0..4u32 {
+                    let m = net.actor_mut(MachineId::new(i)).unwrap();
+                    let mv = m
+                        .read::<Sudoku, _>(board, |s| s.candidate_moves()[i as usize * 7])
+                        .unwrap();
+                    let _ = m.issue(SharedOp::primitive(
+                        board,
+                        "update",
+                        args![i64::from(mv.0), i64::from(mv.1), i64::from(mv.2)],
+                    ));
+                }
+                net
+            },
+            |mut net| {
+                let t = net.now() + SimTime::from_millis(200);
+                net.run_until(t);
+                net.actor(MachineId::new(0)).unwrap().completed_len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_issue,
+    bench_atomic_overhead,
+    bench_store_copy,
+    bench_snapshot_digest,
+    bench_sim_round
+);
+criterion_main!(benches);

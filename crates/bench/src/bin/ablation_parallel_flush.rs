@@ -1,0 +1,54 @@
+//! Ablation A1: parallel first stage (§9 "Scalable run-time").
+//!
+//! The paper: "the time for synchronization increases linearly with number
+//! of users. This can be attributed to the serial nature of the first stage
+//! (AddUpdatesToMesh) ... One possibility is to parallelize the first stage
+//! of the synchronization protocol so that the time taken depends only on
+//! the number of operations and the network delay but not on the number of
+//! users." This ablation runs the same Figure 6 sweep with the parallel
+//! flush enabled and shows the linear term collapse.
+//!
+//! Usage: `ablation_parallel_flush [duration_secs] [seed]` (defaults: 60, 7).
+
+use guesstimate_bench::{ActivityLevel, SessionConfig};
+use guesstimate_net::SimTime;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+    let cutoff = SimTime::from_secs(12);
+
+    eprintln!("running ablation A1: serial vs parallel flush, users 2..=8, {duration}s each ...");
+    println!("# Ablation A1: serial (paper) vs parallel (future-work) first stage");
+    println!("{:>5} {:>12} {:>14}", "users", "serial_ms", "parallel_ms");
+    let mut serial = Vec::new();
+    let mut parallel = Vec::new();
+    for users in 2..=8u32 {
+        let mut cfg = SessionConfig::paper_default(users, seed + u64::from(users));
+        cfg.duration = SimTime::from_secs(duration);
+        cfg.activity = ActivityLevel::Idle;
+        let s = guesstimate_bench::experiments::run_session(&cfg)
+            .mean_sync_excluding(cutoff)
+            .expect("serial rounds");
+        cfg.parallel_flush = true;
+        let p = guesstimate_bench::experiments::run_session(&cfg)
+            .mean_sync_excluding(cutoff)
+            .expect("parallel rounds");
+        println!(
+            "{users:>5} {:>12.1} {:>14.1}",
+            s.as_millis_f64(),
+            p.as_millis_f64()
+        );
+        serial.push(s.as_millis_f64());
+        parallel.push(p.as_millis_f64());
+    }
+    println!();
+    let growth = |v: &[f64]| v.last().unwrap() / v.first().unwrap();
+    println!(
+        "# growth 2→8 users: serial {:.2}x, parallel {:.2}x",
+        growth(&serial),
+        growth(&parallel)
+    );
+    println!("# expected shape: serial grows ~linearly; parallel stays ~flat");
+}

@@ -1,0 +1,83 @@
+//! Figure 5: distribution of time taken for synchronization.
+//!
+//! Paper setup: "a long run of the application involving 8 users solving 2
+//! Sudoku grids"; most synchronizations complete within 0.5 s; 2 outliers
+//! above 12 s correspond to stalled synchronizations that needed fault
+//! recovery.
+//!
+//! Usage: `fig5_sync_distribution [duration_secs] [seed]`
+//! (defaults: 3600 s — the paper's one hour — and seed 42).
+
+use guesstimate_bench::{histogram, run_fig5};
+use guesstimate_net::SimTime;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3_600);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    eprintln!("running fig5: 8 users, 2 grids, {duration}s virtual, seed {seed} ...");
+    let result = run_fig5(seed, SimTime::from_secs(duration));
+
+    println!("# Figure 5: distribution of time taken for synchronization");
+    println!("# 8 users, 2 Sudoku grids, {duration}s, 2 injected stalls");
+    println!("{:<16} {:>8}", "sync_time", "count");
+    for b in histogram(&result.sync_samples) {
+        let label = if b.lo >= SimTime::from_secs(12) {
+            ">12s".to_owned()
+        } else if b.hi.as_micros() <= 1_000_000 {
+            format!("{}-{}ms", b.lo.as_millis(), b.hi.as_millis())
+        } else {
+            format!("{}-{}s", b.lo.as_micros() / 1_000_000, b.hi.as_micros() / 1_000_000)
+        };
+        println!("{label:<16} {:>8}", b.count);
+    }
+
+    let total = result.sync_samples.len();
+    let mut sorted: Vec<u64> = result
+        .sync_samples
+        .iter()
+        .map(|s| s.duration.as_micros())
+        .collect();
+    sorted.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx] as f64 / 1_000.0
+    };
+    let sub_500ms = result
+        .sync_samples
+        .iter()
+        .filter(|s| s.duration < SimTime::from_millis(500))
+        .count();
+    let outliers = result
+        .sync_samples
+        .iter()
+        .filter(|s| s.duration > SimTime::from_secs(12))
+        .count();
+    println!();
+    println!("# total synchronizations : {total}");
+    println!(
+        "# p50/p90/p99            : {:.1} / {:.1} / {:.1} ms",
+        pct(0.50),
+        pct(0.90),
+        pct(0.99)
+    );
+    println!(
+        "# within 0.5s            : {sub_500ms} ({:.1}%)  [paper: 'within 0.5 seconds most of the time']",
+        100.0 * sub_500ms as f64 / total.max(1) as f64
+    );
+    println!("# outliers > 12s         : {outliers}  [paper: 2, both fault recoveries]");
+    println!(
+        "# recovery rounds        : {}",
+        result.sync_samples.iter().filter(|s| s.recovered()).count()
+    );
+    println!("# machines restarted     : {}", result.machines_restarted);
+    println!("# ops issued/committed   : {}/{}", result.issued, result.committed);
+    println!("# converged              : {}", result.converged);
+}

@@ -1,0 +1,54 @@
+//! Figure 6: average time to synchronize vs. number of users.
+//!
+//! Paper observations: (1) presence or absence of user activity barely
+//! changes sync time (network delay dominates); (2) sync time grows
+//! linearly with the number of users (serial first stage).
+//!
+//! Usage: `fig6_sync_vs_users [duration_secs] [seed]` (defaults: 120, 7).
+
+use guesstimate_bench::run_fig6;
+use guesstimate_net::SimTime;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+
+    eprintln!("running fig6: users 2..=8 x {{active, idle}}, {duration}s each, seed {seed} ...");
+    let rows = run_fig6(seed, SimTime::from_secs(duration));
+
+    println!("# Figure 6: average time to synchronize vs number of users");
+    println!("# (outliers > 12s excluded, as in the paper)");
+    println!(
+        "{:>5} {:>14} {:>14} {:>8}",
+        "users", "active_ms", "idle_ms", "rounds"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>14.1} {:>14.1} {:>8}",
+            r.users,
+            r.active.as_millis_f64(),
+            r.idle.as_millis_f64(),
+            r.rounds
+        );
+    }
+
+    // Shape checks the paper calls out.
+    let first = rows.first().expect("rows");
+    let last = rows.last().expect("rows");
+    println!();
+    println!(
+        "# linearity: 8-user sync is {:.2}x the 2-user sync (serial stage 1)",
+        last.active.as_millis_f64() / first.active.as_millis_f64()
+    );
+    let max_gap = rows
+        .iter()
+        .map(|r| (r.active.as_millis_f64() - r.idle.as_millis_f64()).abs())
+        .fold(0.0f64, f64::max);
+    println!("# activity effect: max |active - idle| = {max_gap:.1} ms (small: network-dominated)");
+    // The paper's extrapolation: "even with 100 users the average time to
+    // synchronize would be within 3 seconds".
+    let per_user = (last.active.as_millis_f64() - first.active.as_millis_f64()) / 6.0;
+    let at_100 = first.active.as_millis_f64() + per_user * 98.0;
+    println!("# extrapolation: ~{:.2} s at 100 users (paper: within 3 s)", at_100 / 1_000.0);
+}

@@ -1,0 +1,47 @@
+//! Figure 7: number of conflicts vs. number of users.
+//!
+//! A *conflict* is "an operation that succeeded on issue \[but\] failed at
+//! commit time". Paper protocol: start small and add "a new user for every
+//! 100 synchronizations performed by the runtime"; conflicts remain rare
+//! even with 8 active users.
+//!
+//! Usage: `fig7_conflicts_vs_users [mean_think_ms] [seed]` (defaults: 1000, 11).
+
+use guesstimate_bench::run_fig7;
+use guesstimate_net::SimTime;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let think_ms: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
+
+    eprintln!("running fig7: +1 user per 100 syncs, think {think_ms}ms, seed {seed} ...");
+    let rows = run_fig7(seed, SimTime::from_millis(think_ms));
+
+    println!("# Figure 7: number of conflicts vs number of users");
+    println!("# one user added per 100 synchronizations (as in the paper)");
+    println!(
+        "{:>5} {:>7} {:>9} {:>10} {:>14}",
+        "users", "syncs", "ops", "conflicts", "conflict_rate"
+    );
+    let mut total_conflicts = 0;
+    let mut total_ops = 0;
+    for r in &rows {
+        println!(
+            "{:>5} {:>7} {:>9} {:>10} {:>13.2}%",
+            r.users,
+            r.syncs,
+            r.ops,
+            r.conflicts,
+            100.0 * r.conflicts as f64 / r.ops.max(1) as f64
+        );
+        total_conflicts += r.conflicts;
+        total_ops += r.ops;
+    }
+    println!();
+    println!(
+        "# total: {total_conflicts} conflicts across {total_ops} committed ops ({:.2}%)",
+        100.0 * total_conflicts as f64 / total_ops.max(1) as f64
+    );
+    println!("# paper: 'conflicts are very rare even [in] the presence of 8 active users'");
+}

@@ -1,0 +1,59 @@
+//! The §6 specification table (Spec#/Boogie analog).
+//!
+//! Paper: "For our final version of Sudoku with contracts, Spec# generated
+//! 323 assertions out of which boogie was able to verify 271 as correct
+//! while the remaining 52 were translated into runtime checks." We generate
+//! each application's assertion population from its contracts and classify
+//! every assertion with the bounded-exhaustive verifier.
+//!
+//! Usage: `table_spec_assertions [seed] [--detail]` (default seed 42;
+//! `--detail` additionally prints the per-method breakdown for Sudoku).
+
+use guesstimate_bench::run_spec_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let detail = args.iter().any(|a| a == "--detail");
+    let seed: u64 = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(42);
+    eprintln!("classifying assertion populations for all six applications (seed {seed}) ...");
+    let rows = run_spec_table(seed);
+
+    println!("# Specification table: assertions per application");
+    println!("# (paper, Sudoku only: 323 assertions = 271 verified + 52 runtime checks)");
+    println!(
+        "{:<14} {:>6} {:>9} {:>15} {:>8}",
+        "app", "total", "verified", "runtime_checks", "refuted"
+    );
+    let (mut t, mut v, mut rc, mut rf) = (0, 0, 0, 0);
+    for r in &rows {
+        println!(
+            "{:<14} {:>6} {:>9} {:>15} {:>8}",
+            r.app, r.total, r.verified, r.runtime_checks, r.refuted
+        );
+        t += r.total;
+        v += r.verified;
+        rc += r.runtime_checks;
+        rf += r.refuted;
+    }
+    println!("{:<14} {:>6} {:>9} {:>15} {:>8}", "TOTAL", t, v, rc, rf);
+    println!();
+    println!("# shape vs paper: a large assertion population, the majority discharged");
+    println!("# statically (here: complete small-scope enumeration), the remainder kept");
+    println!("# as runtime checks; zero refutations on the shipped implementations.");
+
+    if detail {
+        use guesstimate_apps::sudoku;
+        use guesstimate_core::OpRegistry;
+        use guesstimate_spec::verify_suite;
+        let mut reg = OpRegistry::new();
+        sudoku::register(&mut reg);
+        let space = sudoku::sampled_states(4, seed);
+        let report = verify_suite(&reg, &sudoku::spec_suite(), &space);
+        println!();
+        println!("# Sudoku per-method breakdown:");
+        print!("{}", report.format_table());
+    }
+}

@@ -1,0 +1,1067 @@
+//! Experiment drivers regenerating the paper's §7 evaluation.
+//!
+//! Every experiment runs under virtual time on the deterministic simulated
+//! mesh, so identical seeds regenerate identical figures. The latency model
+//! defaults to a LAN-like heavy-tailed distribution (the §7 testbed was a
+//! LAN and "the dominant component of the time for synchronization is
+//! network delay").
+
+use guesstimate_apps::sudoku;
+use guesstimate_core::{MachineId, ObjectId, OpRegistry};
+use guesstimate_net::{FaultPlan, LatencyModel, NetConfig, SimNet, SimTime, StallWindow};
+use guesstimate_runtime::{
+    run_until_cohort, sim_cluster, Machine, MachineConfig, MachineStats, SyncSample,
+};
+use guesstimate_spec::{verify_suite, CaseSpace, Value};
+
+use crate::workload::{schedule_user, schedule_user_dynamic, Activity};
+
+/// Whether simulated users are active during the measured window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivityLevel {
+    /// No user activity ("absence of user activity", Figure 6).
+    Idle,
+    /// Users issue Sudoku moves with the given mean think time.
+    Active {
+        /// Mean think time between moves, per user.
+        mean_think: SimTime,
+    },
+}
+
+/// Configuration of one measured Sudoku session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Number of machines (machine 0 is the master and also a player).
+    pub users: u32,
+    /// Number of shared Sudoku grids.
+    pub boards: usize,
+    /// Length of the measured window.
+    pub duration: SimTime,
+    /// Master's inter-round delay.
+    pub sync_period: SimTime,
+    /// Master's stall timeout (recovery trigger).
+    pub stall_timeout: SimTime,
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// Fault schedule (stalls/drops), in *measured-window* coordinates:
+    /// windows are shifted by the session's warm-up offset.
+    pub faults: FaultPlan,
+    /// User activity.
+    pub activity: ActivityLevel,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ablation A1: parallel first stage.
+    pub parallel_flush: bool,
+}
+
+impl SessionConfig {
+    /// The paper-like default: LAN latency, 250 ms sync period, active
+    /// users with a 2 s mean think time, 2 grids.
+    pub fn paper_default(users: u32, seed: u64) -> Self {
+        SessionConfig {
+            users,
+            boards: 2,
+            duration: SimTime::from_secs(120),
+            sync_period: SimTime::from_millis(250),
+            stall_timeout: SimTime::from_secs(3),
+            latency: LatencyModel::lan_ms(30),
+            faults: FaultPlan::new(),
+            activity: ActivityLevel::Active {
+                mean_think: SimTime::from_secs(2),
+            },
+            seed,
+            parallel_flush: false,
+        }
+    }
+}
+
+/// What a session produced.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// Sync samples whose round started inside the measured window.
+    pub sync_samples: Vec<SyncSample>,
+    /// Per-machine stats at the end of the run.
+    pub per_machine: Vec<MachineStats>,
+    /// Total conflicts across machines.
+    pub conflicts: u64,
+    /// Total operations issued.
+    pub issued: u64,
+    /// Total own-operation commits.
+    pub committed: u64,
+    /// Machines restarted by recovery at least once.
+    pub machines_restarted: usize,
+    /// True if all in-cohort machines ended with identical committed state.
+    pub converged: bool,
+    /// The per-user event counts scheduled.
+    pub events_scheduled: usize,
+}
+
+impl SessionResult {
+    /// Mean sync duration, excluding recovery outliers above `cutoff`
+    /// (Figure 6 "ignores the outliers (time > 12 seconds), as including
+    /// them would skew the average away from the median").
+    pub fn mean_sync_excluding(&self, cutoff: SimTime) -> Option<SimTime> {
+        let kept: Vec<u64> = self
+            .sync_samples
+            .iter()
+            .filter(|s| s.duration <= cutoff)
+            .map(|s| s.duration.as_micros())
+            .collect();
+        if kept.is_empty() {
+            return None;
+        }
+        Some(SimTime::from_micros(
+            kept.iter().sum::<u64>() / kept.len() as u64,
+        ))
+    }
+}
+
+/// Runs one measured Sudoku session.
+///
+/// Timeline: cohort assembly (up to 30 s) → board creation + 2 s settle →
+/// `duration` of measured activity → 10 s settle (so pending operations
+/// commit and the convergence check is meaningful).
+pub fn run_session(cfg: &SessionConfig) -> SessionResult {
+    let mut registry = OpRegistry::new();
+    sudoku::register(&mut registry);
+    let mcfg = MachineConfig::default()
+        .with_sync_period(cfg.sync_period)
+        .with_stall_timeout(cfg.stall_timeout)
+        .with_join_retry(SimTime::from_millis(700))
+        .with_parallel_flush(cfg.parallel_flush);
+
+    // Session-long fault plan: shift stall windows into absolute time after
+    // the warm-up (measured window starts around t=32 s below).
+    let warmup = SimTime::from_secs(32);
+    let mut faults = FaultPlan::new()
+        .with_drop_prob(cfg.faults.drop_prob())
+        .with_dup_prob(cfg.faults.dup_prob());
+    for w in cfg.faults.stalls() {
+        faults = faults.with_stall(StallWindow::new(
+            w.machine,
+            w.from + warmup,
+            w.until + warmup,
+        ));
+    }
+
+    let netcfg = NetConfig::lan(cfg.seed)
+        .with_latency(cfg.latency.clone())
+        .with_faults(faults);
+    let mut net = sim_cluster(cfg.users, registry, mcfg, netcfg);
+    assert!(
+        run_until_cohort(&mut net, SimTime::from_secs(30)),
+        "cohort must assemble before the measured window"
+    );
+
+    // Master creates the shared grids.
+    let boards: Vec<ObjectId> = {
+        let master = net.actor_mut(MachineId::new(0)).expect("master");
+        (0..cfg.boards)
+            .map(|_| master.create_instance(sudoku::example_puzzle()))
+            .collect()
+    };
+    net.run_until(warmup);
+
+    let t0 = net.now();
+    let t_end = t0 + cfg.duration;
+    let mut events_scheduled = 0;
+    if let ActivityLevel::Active { mean_think } = cfg.activity {
+        for i in 0..cfg.users {
+            events_scheduled += schedule_user(
+                &mut net,
+                MachineId::new(i),
+                &boards,
+                Activity {
+                    mean_think,
+                    seed: cfg.seed,
+                },
+                t0,
+                t_end,
+            );
+        }
+    }
+    net.run_until(t_end + SimTime::from_secs(10));
+
+    collect_result(&net, t0, t_end, events_scheduled)
+}
+
+fn collect_result(
+    net: &SimNet<Machine>,
+    t0: SimTime,
+    t_end: SimTime,
+    events_scheduled: usize,
+) -> SessionResult {
+    let ids = net.members();
+    let per_machine: Vec<MachineStats> = ids
+        .iter()
+        .filter_map(|&i| net.actor(i).map(|m| m.stats().clone()))
+        .collect();
+    let master_stats = net
+        .actor(MachineId::new(0))
+        .expect("master alive")
+        .stats()
+        .clone();
+    let sync_samples: Vec<SyncSample> = master_stats
+        .sync_samples
+        .iter()
+        .filter(|s| s.started_at >= t0 && s.started_at < t_end)
+        .copied()
+        .collect();
+    let in_cohort: Vec<MachineId> = ids
+        .iter()
+        .copied()
+        .filter(|&i| net.actor(i).map(Machine::in_cohort).unwrap_or(false))
+        .collect();
+    let digests: Vec<u64> = in_cohort
+        .iter()
+        .map(|&i| net.actor(i).expect("listed").committed_digest())
+        .collect();
+    let converged = digests.windows(2).all(|w| w[0] == w[1])
+        && in_cohort
+            .iter()
+            .all(|&i| net.actor(i).expect("listed").pending_len() == 0);
+    SessionResult {
+        conflicts: per_machine.iter().map(|s| s.conflicts).sum(),
+        issued: per_machine.iter().map(|s| s.issued).sum(),
+        committed: per_machine.iter().map(|s| s.committed_own).sum(),
+        machines_restarted: per_machine.iter().filter(|s| s.restarts > 0).count(),
+        per_machine,
+        sync_samples,
+        converged,
+        events_scheduled,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------
+
+/// One bucket of the Figure 5 histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound.
+    pub lo: SimTime,
+    /// Exclusive upper bound (`SimTime::from_secs(u64::MAX)` for the tail).
+    pub hi: SimTime,
+    /// Number of synchronizations in the bucket.
+    pub count: usize,
+}
+
+/// Buckets sync durations with the paper's resolution (100 ms bins up to
+/// 1 s, then 1 s bins up to 12 s, then a `>12 s` outlier bucket).
+pub fn histogram(samples: &[SyncSample]) -> Vec<HistogramBucket> {
+    let mut edges: Vec<u64> = (0..10).map(|i| i * 100_000).collect(); // 0..1s by 100ms
+    edges.extend((1..=12).map(|s| s * 1_000_000)); // 1s..12s by 1s
+    let mut buckets: Vec<HistogramBucket> = edges
+        .windows(2)
+        .map(|w| HistogramBucket {
+            lo: SimTime::from_micros(w[0]),
+            hi: SimTime::from_micros(w[1]),
+            count: 0,
+        })
+        .collect();
+    buckets.push(HistogramBucket {
+        lo: SimTime::from_secs(12),
+        hi: SimTime::from_secs(u64::MAX / 2_000_000),
+        count: 0,
+    });
+    for s in samples {
+        let us = s.duration.as_micros();
+        let idx = buckets
+            .iter()
+            .position(|b| us >= b.lo.as_micros() && us < b.hi.as_micros())
+            .unwrap_or(buckets.len() - 1);
+        buckets[idx].count += 1;
+    }
+    buckets
+}
+
+/// Figure 5: the sync-duration distribution of a long 8-user, 2-grid
+/// session with two injected stalls (the paper's two >12 s outliers were
+/// "the times when synchronization stalled and the master had to perform a
+/// fault recovery").
+pub fn run_fig5(seed: u64, duration: SimTime) -> SessionResult {
+    let mut cfg = SessionConfig::paper_default(8, seed);
+    cfg.duration = duration;
+    // Long stalls on two different machines, far apart; each blocks a round
+    // until the master's two-step recovery (resend, then remove + restart)
+    // clears it, producing the outlier and the removal.
+    cfg.stall_timeout = SimTime::from_secs(6);
+    let third = SimTime::from_micros(duration.as_micros() / 3);
+    cfg.faults = FaultPlan::new()
+        .with_stall(StallWindow::new(
+            MachineId::new(3),
+            third,
+            third + SimTime::from_secs(30),
+        ))
+        .with_stall(StallWindow::new(
+            MachineId::new(6),
+            third + third,
+            third + third + SimTime::from_secs(30),
+        ));
+    run_session(&cfg)
+}
+
+// ---------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------
+
+/// One row of Figure 6.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Number of users.
+    pub users: u32,
+    /// Average sync time with user activity (outliers excluded).
+    pub active: SimTime,
+    /// Average sync time without user activity.
+    pub idle: SimTime,
+    /// Rounds measured (active run).
+    pub rounds: usize,
+}
+
+/// Figure 6: average synchronization time vs number of users (2–8), with
+/// and without user activity. Expect a linear trend (serial stage 1) and
+/// little difference between active and idle (network-delay dominated).
+pub fn run_fig6(seed: u64, duration: SimTime) -> Vec<Fig6Row> {
+    let cutoff = SimTime::from_secs(12);
+    (2..=8)
+        .map(|users| {
+            let mut active_cfg = SessionConfig::paper_default(users, seed + u64::from(users));
+            active_cfg.duration = duration;
+            let active = run_session(&active_cfg);
+            let mut idle_cfg = active_cfg.clone();
+            idle_cfg.activity = ActivityLevel::Idle;
+            let idle = run_session(&idle_cfg);
+            Fig6Row {
+                users,
+                active: active
+                    .mean_sync_excluding(cutoff)
+                    .expect("active rounds measured"),
+                idle: idle
+                    .mean_sync_excluding(cutoff)
+                    .expect("idle rounds measured"),
+                rounds: active.sync_samples.len(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------
+
+/// One row of Figure 7.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    /// Number of active users during the segment.
+    pub users: u32,
+    /// Synchronizations in the segment (~100, as in the paper).
+    pub syncs: u64,
+    /// Operations committed during the segment.
+    pub ops: u64,
+    /// Conflicts observed during the segment.
+    pub conflicts: u64,
+}
+
+/// Figure 7: conflicts vs number of users. "These measurements were made by
+/// adding a new user for every 100 synchronizations performed by the
+/// runtime" — we start with 2 users and admit one more after each 100
+/// rounds, recording the conflict delta per segment.
+pub fn run_fig7(seed: u64, mean_think: SimTime) -> Vec<Fig7Row> {
+    let mut registry = OpRegistry::new();
+    sudoku::register(&mut registry);
+    let registry = std::sync::Arc::new(registry);
+    let mcfg = MachineConfig::default()
+        .with_sync_period(SimTime::from_millis(250))
+        .with_stall_timeout(SimTime::from_secs(3))
+        .with_join_retry(SimTime::from_millis(700));
+    let netcfg = NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(30));
+    let mut net: SimNet<Machine> = SimNet::new(netcfg);
+    net.add_machine(
+        MachineId::new(0),
+        Machine::new_master(MachineId::new(0), registry.clone(), mcfg.clone()),
+    );
+    net.add_machine(
+        MachineId::new(1),
+        Machine::new_member(MachineId::new(1), registry.clone(), mcfg.clone()),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(30)));
+
+    // Initial grids; fresh ones are added every segment so legal moves
+    // never run dry (the paper's volunteers likewise moved on to new grids).
+    {
+        let master = net.actor_mut(MachineId::new(0)).expect("master");
+        for _ in 0..8 {
+            master.create_instance(sudoku::example_puzzle());
+        }
+    }
+    net.run_until(net.now() + SimTime::from_secs(2));
+
+    let activity = |seed| Activity {
+        mean_think,
+        seed,
+    };
+    // The measured horizon is generous; each segment ends at +100 syncs.
+    let horizon = net.now() + SimTime::from_secs(3_600);
+    let start = net.now();
+    for i in 0..2u32 {
+        schedule_user_dynamic(&mut net, MachineId::new(i), activity(seed), start, horizon);
+    }
+
+    let mut rows = Vec::new();
+    let mut active_users: u32 = 2;
+    let segment_base =
+        |net: &SimNet<Machine>| net.actor(MachineId::new(0)).expect("master").stats().syncs_seen;
+    let conflicts_now = |net: &SimNet<Machine>| -> u64 {
+        net.members()
+            .iter()
+            .filter_map(|&i| net.actor(i))
+            .map(|m| m.stats().conflicts)
+            .sum()
+    };
+    let ops_now = |net: &SimNet<Machine>| -> u64 {
+        net.members()
+            .iter()
+            .filter_map(|&i| net.actor(i))
+            .map(|m| m.stats().committed_own)
+            .sum()
+    };
+
+    while active_users <= 8 {
+        let base_syncs = segment_base(&net);
+        let base_conflicts = conflicts_now(&net);
+        let base_ops = ops_now(&net);
+        // Run until 100 more syncs completed.
+        while segment_base(&net) < base_syncs + 100 {
+            let t = net.now() + SimTime::from_secs(1);
+            net.run_until(t);
+        }
+        rows.push(Fig7Row {
+            users: active_users,
+            syncs: segment_base(&net) - base_syncs,
+            ops: ops_now(&net) - base_ops,
+            conflicts: conflicts_now(&net) - base_conflicts,
+        });
+        if active_users == 8 {
+            break;
+        }
+        // Fresh grids for the next segment, then admit the next user and
+        // give it a workload.
+        {
+            let master = net.actor_mut(MachineId::new(0)).expect("master");
+            for _ in 0..6 {
+                master.create_instance(sudoku::example_puzzle());
+            }
+        }
+        let next = MachineId::new(active_users);
+        net.add_machine(
+            next,
+            Machine::new_member(next, registry.clone(), mcfg.clone()),
+        );
+        let start = net.now() + SimTime::from_secs(3);
+        schedule_user_dynamic(&mut net, next, activity(seed), start, horizon);
+        active_users += 1;
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Spec table (§6)
+// ---------------------------------------------------------------------
+
+/// One row of the specification table.
+#[derive(Debug, Clone)]
+pub struct SpecTableRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Total assertions generated from the contracts.
+    pub total: usize,
+    /// Statically verified (complete enumeration, no counterexample).
+    pub verified: usize,
+    /// Left as runtime checks.
+    pub runtime_checks: usize,
+    /// Refuted (would be compile-time warnings in Spec#).
+    pub refuted: usize,
+}
+
+/// The Spec#/Boogie table: classify every application's assertion
+/// population. The paper reports, for Sudoku alone: "Spec# generated 323
+/// assertions out of which boogie was able to verify 271 as correct while
+/// the remaining 52 were translated into runtime checks."
+pub fn run_spec_table(seed: u64) -> Vec<SpecTableRow> {
+    let mut rows = Vec::new();
+
+    // Sudoku: full argument enumeration over sampled board states.
+    {
+        let mut reg = OpRegistry::new();
+        sudoku::register(&mut reg);
+        let space = sudoku::sampled_states(4, seed);
+        let report = verify_suite(&reg, &sudoku::spec_suite(), &space);
+        rows.push(SpecTableRow {
+            app: "Sudoku",
+            total: report.total(),
+            verified: report.verified(),
+            runtime_checks: report.runtime_checks(),
+            refuted: report.refuted(),
+        });
+    }
+
+    // The other five applications use representative sampled state spaces.
+    let small = |states: Vec<Value>| CaseSpace::sampled(states, 100_000);
+
+    {
+        use guesstimate_apps::event_planner as ep;
+        let mut reg = OpRegistry::new();
+        ep::register(&mut reg);
+        let states = app_states_event_planner(&reg);
+        let report = verify_suite(&reg, &ep::spec_suite(), &small(states));
+        rows.push(row("EventPlanner", &report));
+    }
+    {
+        use guesstimate_apps::message_board as mb;
+        let mut reg = OpRegistry::new();
+        mb::register(&mut reg);
+        let states = app_states_message_board(&reg);
+        let report = verify_suite(&reg, &mb::spec_suite(), &small(states));
+        rows.push(row("MessageBoard", &report));
+    }
+    {
+        use guesstimate_apps::carpool as cp;
+        let mut reg = OpRegistry::new();
+        cp::register(&mut reg);
+        let states = app_states_carpool(&reg);
+        let report = verify_suite(&reg, &cp::spec_suite(), &small(states));
+        rows.push(row("CarPool", &report));
+    }
+    {
+        use guesstimate_apps::auction as au;
+        let mut reg = OpRegistry::new();
+        au::register(&mut reg);
+        let states = app_states_auction(&reg);
+        let report = verify_suite(&reg, &au::spec_suite(), &small(states));
+        rows.push(row("Auction", &report));
+    }
+    {
+        use guesstimate_apps::microblog as micro;
+        let mut reg = OpRegistry::new();
+        micro::register(&mut reg);
+        let states = app_states_microblog(&reg);
+        let report = verify_suite(&reg, &micro::spec_suite(), &small(states));
+        rows.push(row("MicroBlog", &report));
+    }
+    rows
+}
+
+fn row(app: &'static str, report: &guesstimate_spec::VerificationReport) -> SpecTableRow {
+    SpecTableRow {
+        app,
+        total: report.total(),
+        verified: report.verified(),
+        runtime_checks: report.runtime_checks(),
+        refuted: report.refuted(),
+    }
+}
+
+/// Builds representative states for an app by executing op sequences
+/// through the registry and snapshotting after each step.
+fn states_by_ops(
+    reg: &OpRegistry,
+    type_name: &str,
+    seqs: &[Vec<guesstimate_core::SharedOp>],
+    scratch: ObjectId,
+) -> Vec<Value> {
+    let mut out = Vec::new();
+    for seq in seqs {
+        let mut store = guesstimate_core::ObjectStore::new();
+        store.insert(scratch, reg.construct(type_name).expect("registered"));
+        out.push(store.get(scratch).expect("present").snapshot());
+        for op in seq {
+            let _ = guesstimate_core::execute(op, &mut store, reg);
+            out.push(store.get(scratch).expect("present").snapshot());
+        }
+    }
+    out
+}
+
+fn scratch_obj() -> ObjectId {
+    ObjectId::new(MachineId::new(0), 0)
+}
+
+fn app_states_event_planner(reg: &OpRegistry) -> Vec<Value> {
+    use guesstimate_apps::event_planner::ops;
+    let o = scratch_obj();
+    states_by_ops(
+        reg,
+        "EventPlanner",
+        &[vec![
+            ops::register_user(o, "ann", "pw"),
+            ops::register_user(o, "bob", "pw"),
+            ops::create_event(o, "party", 1),
+            ops::create_event(o, "dinner", 2),
+            ops::join(o, "ann", "party"),
+            ops::join(o, "bob", "party"),
+            ops::join(o, "bob", "dinner"),
+            ops::leave(o, "ann", "party"),
+        ]],
+        o,
+    )
+}
+
+fn app_states_message_board(reg: &OpRegistry) -> Vec<Value> {
+    use guesstimate_apps::message_board::ops;
+    let o = scratch_obj();
+    states_by_ops(
+        reg,
+        "MessageBoard",
+        &[vec![
+            ops::create_topic(o, "general"),
+            ops::post(o, "general", "ann", "hi"),
+            ops::post(o, "general", "bob", "yo"),
+        ]],
+        o,
+    )
+}
+
+fn app_states_carpool(reg: &OpRegistry) -> Vec<Value> {
+    use guesstimate_apps::carpool::ops;
+    let o = scratch_obj();
+    states_by_ops(
+        reg,
+        "CarPool",
+        &[vec![
+            ops::add_vehicle(o, "v1", 1, "party"),
+            ops::add_vehicle(o, "v2", 2, "party"),
+            ops::board(o, "ann", "v1"),
+            ops::board(o, "bob", "v2"),
+            ops::disembark(o, "ann", "v1"),
+        ]],
+        o,
+    )
+}
+
+fn app_states_auction(reg: &OpRegistry) -> Vec<Value> {
+    use guesstimate_apps::auction::ops;
+    let o = scratch_obj();
+    states_by_ops(
+        reg,
+        "Auction",
+        &[vec![
+            ops::list_item(o, "lamp", "seller", 10, 5),
+            ops::bid(o, "lamp", "ann", 10),
+            ops::bid(o, "lamp", "bob", 15),
+            ops::close(o, "lamp", "seller"),
+        ]],
+        o,
+    )
+}
+
+fn app_states_microblog(reg: &OpRegistry) -> Vec<Value> {
+    use guesstimate_apps::microblog::ops;
+    let o = scratch_obj();
+    states_by_ops(
+        reg,
+        "MicroBlog",
+        &[vec![
+            ops::register(o, "ann"),
+            ops::register(o, "bob"),
+            ops::follow(o, "ann", "bob"),
+            ops::post(o, "bob", "hello"),
+            ops::post(o, "ann", "hey"),
+        ]],
+        o,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Ablation A2: responsiveness vs one-copy serializability
+// ---------------------------------------------------------------------
+
+/// One row of the responsiveness comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponsivenessRow {
+    /// Number of users.
+    pub users: u32,
+    /// GUESSTIMATE: local visibility latency (always zero — effects are
+    /// applied to the guesstimated state within the issuing call).
+    pub guess_visibility: SimTime,
+    /// GUESSTIMATE: mean issue-to-commit latency.
+    pub guess_commit: SimTime,
+    /// One-copy: mean submit-to-visibility latency (nothing is visible
+    /// before commit).
+    pub one_copy_visibility: SimTime,
+}
+
+/// Ablation A2: GUESSTIMATE's non-blocking issue vs one-copy
+/// serializability, under the same mesh latency and an identical
+/// counter-increment workload.
+pub fn run_responsiveness(seed: u64, users_range: &[u32]) -> Vec<ResponsivenessRow> {
+    users_range
+        .iter()
+        .map(|&users| {
+            let (gv, gc) = guesstimate_latency(users, seed);
+            let oc = one_copy_latency(users, seed);
+            ResponsivenessRow {
+                users,
+                guess_visibility: gv,
+                guess_commit: gc,
+                one_copy_visibility: oc,
+            }
+        })
+        .collect()
+}
+
+fn guesstimate_latency(users: u32, seed: u64) -> (SimTime, SimTime) {
+    let mut registry = OpRegistry::new();
+    sudoku::register(&mut registry);
+    let mcfg = MachineConfig::default()
+        .with_sync_period(SimTime::from_millis(250))
+        .with_stall_timeout(SimTime::from_secs(3));
+    let netcfg = NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(30));
+    let mut net = sim_cluster(users, registry, mcfg, netcfg);
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(30)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .expect("master")
+        .create_instance(sudoku::example_puzzle());
+    net.run_until(net.now() + SimTime::from_secs(2));
+    // Every user issues 20 timed moves.
+    let t0 = net.now();
+    for i in 0..users {
+        for k in 0..20u64 {
+            let seed_k = seed ^ (u64::from(i) << 32) ^ k;
+            net.schedule_call(
+                t0 + SimTime::from_millis(200 * k + 7 * u64::from(i)),
+                MachineId::new(i),
+                move |m: &mut Machine, ctx| {
+                    let boards = [board];
+                    // Reuse the workload move picker, but timed.
+                    let _ = crate::workload::issue_random_move_timed(
+                        m,
+                        &boards[..],
+                        seed_k,
+                        ctx.now(),
+                    );
+                },
+            );
+        }
+    }
+    net.run_until(net.now() + SimTime::from_secs(30));
+    let lats: Vec<SimTime> = (0..users)
+        .filter_map(|i| net.actor(MachineId::new(i)))
+        .flat_map(|m| m.stats().commit_latencies.clone())
+        .collect();
+    let mean = if lats.is_empty() {
+        SimTime::ZERO
+    } else {
+        SimTime::from_micros(lats.iter().map(|t| t.as_micros()).sum::<u64>() / lats.len() as u64)
+    };
+    (SimTime::ZERO, mean)
+}
+
+fn one_copy_latency(users: u32, seed: u64) -> SimTime {
+    use guesstimate_baselines::one_copy::{one_copy_cluster, OneCopyMachine};
+    let mut registry = OpRegistry::new();
+    sudoku::register(&mut registry);
+    let netcfg = NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(30));
+    let mut net = one_copy_cluster(users, registry, netcfg);
+    let board = {
+        let mut out = None;
+        net.call(MachineId::new(0), |m, ctx| {
+            out = Some(m.create_instance(sudoku::example_puzzle(), ctx))
+        });
+        out.expect("created")
+    };
+    net.run_until(SimTime::from_secs(2));
+    let t0 = net.now();
+    for i in 0..users {
+        for k in 0..20u64 {
+            let seed_k = seed ^ (u64::from(i) << 32) ^ k;
+            net.schedule_call(
+                t0 + SimTime::from_millis(200 * k + 7 * u64::from(i)),
+                MachineId::new(i),
+                move |m: &mut OneCopyMachine, ctx| {
+                    use guesstimate_apps::sudoku::Sudoku;
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed_k);
+                    let Some(moves) = m.read::<Sudoku, _>(board, |s| s.candidate_moves()) else {
+                        return;
+                    };
+                    if moves.is_empty() {
+                        return;
+                    }
+                    let (r, c, v) = moves[rng.gen_range(0..moves.len())];
+                    m.issue(sudoku::ops::update(board, r, c, v), None, ctx);
+                },
+            );
+        }
+    }
+    net.run_until(net.now() + SimTime::from_secs(30));
+    let lats: Vec<SimTime> = (0..users)
+        .filter_map(|i| net.actor(MachineId::new(i)))
+        .flat_map(|m| m.stats().latencies.clone())
+        .collect();
+    if lats.is_empty() {
+        SimTime::ZERO
+    } else {
+        SimTime::from_micros(lats.iter().map(|t| t.as_micros()).sum::<u64>() / lats.len() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Consistency spectrum (§1): replicated execution vs GUESSTIMATE vs one-copy
+// ---------------------------------------------------------------------
+
+/// One row of the consistency-spectrum comparison.
+#[derive(Debug, Clone)]
+pub struct SpectrumRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Distinct committed replica states at the end (1 = consistent).
+    pub distinct_states: usize,
+    /// Time until an issued operation is visible to its own issuer.
+    pub visibility: SimTime,
+    /// Moves accepted across the cluster during the workload.
+    pub ops_accepted: u64,
+}
+
+/// §1's three points on the consistency–performance spectrum, under one
+/// identical Sudoku workload: unsynchronized replicated execution (fast,
+/// divergent), GUESSTIMATE (fast *and* eventually agreed), and one-copy
+/// serializability (agreed, but blocking).
+pub fn run_consistency_spectrum(seed: u64, users: u32) -> Vec<SpectrumRow> {
+    use guesstimate_baselines::local_only::{divergence, local_only_cluster};
+    let mut rows = Vec::new();
+
+    // A fixed move schedule: (user, event index) pairs; each model picks
+    // moves from its own replica state with the same per-event seeds.
+    let events: Vec<(u32, u64)> = (0..users)
+        .flat_map(|i| (0..15u64).map(move |k| (i, k)))
+        .collect();
+
+    // 1. Replicated execution (local-only).
+    {
+        let mut registry = OpRegistry::new();
+        sudoku::register(&mut registry);
+        let mut net = local_only_cluster(users, registry, NetConfig::lan(seed));
+        let shared = ObjectId::new(MachineId::new(9), 0);
+        let ids: Vec<MachineId> = (0..users).map(MachineId::new).collect();
+        for &i in &ids {
+            net.actor_mut(i).unwrap().install(shared, sudoku::example_puzzle());
+        }
+        let mut accepted = 0u64;
+        for &(i, k) in &events {
+            let m = net.actor_mut(MachineId::new(i)).expect("machine");
+            let moves = m
+                .read::<sudoku::Sudoku, _>(shared, |s| s.candidate_moves())
+                .unwrap_or_default();
+            let idx = ((k + 3 * u64::from(i)) % 7) as usize;
+            if let Some(&(r, c, v)) = moves.get(idx) {
+                if m.issue(sudoku::ops::update(shared, r, c, v)) {
+                    accepted += 1;
+                }
+            }
+        }
+        rows.push(SpectrumRow {
+            model: "replicated-execution",
+            distinct_states: divergence(&net, &ids),
+            visibility: SimTime::ZERO,
+            ops_accepted: accepted,
+        });
+    }
+
+    // 2. GUESSTIMATE.
+    {
+        let mut registry = OpRegistry::new();
+        sudoku::register(&mut registry);
+        let mcfg = MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(250))
+            .with_stall_timeout(SimTime::from_secs(3));
+        let netcfg = NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(30));
+        let mut net = sim_cluster(users, registry, mcfg, netcfg);
+        assert!(run_until_cohort(&mut net, SimTime::from_secs(30)));
+        let board = net
+            .actor_mut(MachineId::new(0))
+            .expect("master")
+            .create_instance(sudoku::example_puzzle());
+        net.run_until(net.now() + SimTime::from_secs(2));
+        let t0 = net.now();
+        for &(i, k) in &events {
+            net.schedule_call(
+                t0 + SimTime::from_millis(100 * k + 11 * u64::from(i)),
+                MachineId::new(i),
+                move |m: &mut Machine, _| {
+                    if let Some(moves) = m.read::<sudoku::Sudoku, _>(board, |s| s.candidate_moves())
+                    {
+                        let idx = ((k + 3 * u64::from(i)) % 7) as usize;
+                        if let Some(&(r, c, v)) = moves.get(idx) {
+                            let _ = m.issue(sudoku::ops::update(board, r, c, v));
+                        }
+                    }
+                },
+            );
+        }
+        net.run_until(net.now() + SimTime::from_secs(15));
+        let digests: std::collections::BTreeSet<u64> = (0..users)
+            .map(|i| net.actor(MachineId::new(i)).expect("machine").committed_digest())
+            .collect();
+        let accepted: u64 = (0..users)
+            .map(|i| net.actor(MachineId::new(i)).expect("machine").stats().issued)
+            .sum();
+        rows.push(SpectrumRow {
+            model: "guesstimate",
+            distinct_states: digests.len(),
+            visibility: SimTime::ZERO,
+            ops_accepted: accepted,
+        });
+    }
+
+    // 3. One-copy serializability.
+    {
+        use guesstimate_baselines::one_copy::{one_copy_cluster, OneCopyMachine};
+        let mut registry = OpRegistry::new();
+        sudoku::register(&mut registry);
+        let netcfg = NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(30));
+        let mut net = one_copy_cluster(users, registry, netcfg);
+        let board = {
+            let mut out = None;
+            net.call(MachineId::new(0), |m, ctx| {
+                out = Some(m.create_instance(sudoku::example_puzzle(), ctx))
+            });
+            out.expect("created")
+        };
+        net.run_until(SimTime::from_secs(2));
+        let t0 = net.now();
+        for &(i, k) in &events {
+            net.schedule_call(
+                t0 + SimTime::from_millis(100 * k + 11 * u64::from(i)),
+                MachineId::new(i),
+                move |m: &mut OneCopyMachine, ctx| {
+                    if let Some(moves) = m.read::<sudoku::Sudoku, _>(board, |s| s.candidate_moves())
+                    {
+                        if !moves.is_empty() {
+                            let idx = ((k + 3 * u64::from(i)) % 7) as usize % moves.len();
+                            let (r, c, v) = moves[idx];
+                            m.issue(sudoku::ops::update(board, r, c, v), None, ctx);
+                        }
+                    }
+                },
+            );
+        }
+        net.run_until(net.now() + SimTime::from_secs(15));
+        let digests: std::collections::BTreeSet<u64> = (0..users)
+            .map(|i| net.actor(MachineId::new(i)).expect("machine").digest())
+            .collect();
+        let lats: Vec<SimTime> = (0..users)
+            .filter_map(|i| net.actor(MachineId::new(i)))
+            .flat_map(|m| m.stats().latencies.clone())
+            .collect();
+        let mean = if lats.is_empty() {
+            SimTime::ZERO
+        } else {
+            SimTime::from_micros(
+                lats.iter().map(|t| t.as_micros()).sum::<u64>() / lats.len() as u64,
+            )
+        };
+        let accepted: u64 = (0..users)
+            .map(|i| net.actor(MachineId::new(i)).expect("machine").stats().submitted)
+            .sum();
+        rows.push(SpectrumRow {
+            model: "one-copy",
+            distinct_states: digests.len(),
+            visibility: mean,
+            ops_accepted: accepted,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_session_runs_and_converges() {
+        let mut cfg = SessionConfig::paper_default(3, 5);
+        cfg.duration = SimTime::from_secs(20);
+        cfg.activity = ActivityLevel::Active {
+            mean_think: SimTime::from_millis(800),
+        };
+        let r = run_session(&cfg);
+        assert!(r.converged, "session converged");
+        assert!(r.issued > 10);
+        assert!(r.committed > 10);
+        assert!(!r.sync_samples.is_empty());
+        assert!(r.events_scheduled > 0);
+    }
+
+    #[test]
+    fn idle_session_has_rounds_but_no_ops() {
+        let mut cfg = SessionConfig::paper_default(2, 5);
+        cfg.duration = SimTime::from_secs(15);
+        cfg.activity = ActivityLevel::Idle;
+        let r = run_session(&cfg);
+        assert!(r.sync_samples.len() > 20);
+        assert_eq!(r.events_scheduled, 0);
+        // Only the board creations were committed.
+        assert_eq!(r.committed, 2);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_everything() {
+        let mk = |ms: u64| SyncSample {
+            round: 0,
+            started_at: SimTime::ZERO,
+            duration: SimTime::from_millis(ms),
+            participants: 2,
+            ops_committed: 0,
+            resends: 0,
+            removals: 0,
+        };
+        let samples = vec![mk(50), mk(150), mk(950), mk(1500), mk(13_000)];
+        let h = histogram(&samples);
+        let total: usize = h.iter().map(|b| b.count).sum();
+        assert_eq!(total, samples.len());
+        assert_eq!(h.last().unwrap().count, 1, ">12s outlier counted");
+        assert_eq!(h[0].count, 1, "50ms in first bucket");
+    }
+
+    #[test]
+    fn mean_excluding_filters_outliers() {
+        let mk = |ms: u64| SyncSample {
+            round: 0,
+            started_at: SimTime::ZERO,
+            duration: SimTime::from_millis(ms),
+            participants: 2,
+            ops_committed: 0,
+            resends: 0,
+            removals: 0,
+        };
+        let r = SessionResult {
+            sync_samples: vec![mk(100), mk(300), mk(20_000)],
+            per_machine: vec![],
+            conflicts: 0,
+            issued: 0,
+            committed: 0,
+            machines_restarted: 0,
+            converged: true,
+            events_scheduled: 0,
+        };
+        assert_eq!(
+            r.mean_sync_excluding(SimTime::from_secs(12)),
+            Some(SimTime::from_millis(200))
+        );
+    }
+
+    #[test]
+    fn spec_table_has_six_rows_and_no_refutations() {
+        let rows = run_spec_table(3);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(r.refuted, 0, "{}: correct implementations", r.app);
+            assert_eq!(r.total, r.verified + r.runtime_checks);
+        }
+        let sudoku_row = &rows[0];
+        assert_eq!(sudoku_row.total, 227);
+        assert!(sudoku_row.verified >= 5, "the SI guards verify");
+    }
+}

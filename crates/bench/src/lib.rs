@@ -1,0 +1,32 @@
+//! # guesstimate-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! GUESSTIMATE paper's evaluation (§7), plus the ablations called out in
+//! DESIGN.md. Each binary prints the same rows/series the paper reports:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig5_sync_distribution` | Figure 5 — distribution of synchronization time (8 users, 2 grids, 1 h, fault-recovery outliers) |
+//! | `fig6_sync_vs_users` | Figure 6 — average sync time vs number of users, with/without user activity |
+//! | `fig7_conflicts_vs_users` | Figure 7 — conflicts vs number of users, one user added per 100 syncs |
+//! | `table_spec_assertions` | §6 Spec#/Boogie statistic (323 assertions: 271 verified, 52 runtime checks) |
+//! | `failure_recovery` | §7 "Failure and recovery" narrative (stalls, resends, restarts) |
+//! | `ablation_parallel_flush` | §9 future work: parallel stage 1 ⇒ sync time ~independent of user count |
+//! | `ablation_responsiveness` | §1 claim: non-blocking issue vs one-copy serializability |
+//! | `ablation_consistency` | §1 spectrum: replicated execution vs GUESSTIMATE vs one-copy |
+//! | `scalability` | §7/§9 extrapolation ("100 users within 3 s"), actually run |
+//!
+//! The workload is the paper's: concurrent users collaboratively solving
+//! Sudoku grids, with seeded think times and move choices so every figure
+//! is reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workload;
+
+pub use experiments::{
+    histogram, run_consistency_spectrum, run_fig5, run_fig6, run_fig7, run_responsiveness,
+    run_spec_table, ActivityLevel, Fig6Row, Fig7Row, HistogramBucket, ResponsivenessRow,
+    SessionConfig, SessionResult, SpectrumRow, SpecTableRow,
+};

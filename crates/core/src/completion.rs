@@ -1,0 +1,167 @@
+//! Completion operations: commit-time callbacks on the issuing machine.
+//!
+//! A composite operation is a pair `(s, c)` of a shared operation and a
+//! completion operation (§3). The completion runs **on the machine that
+//! issued the operation**, **at commit time**, and receives the boolean
+//! result of the *commit-time* execution — this is how applications learn
+//! that an operation which succeeded optimistically at issue time was lost
+//! to a conflict, and take remedial action (repaint the Sudoku square RED,
+//! release a blocked sign-in thread, …).
+//!
+//! During *ApplyUpdatesFromMesh* the runtime first applies all committed
+//! operations, queuing the completions of its own operations into a
+//! `PendingCompletionRoutines` queue, and only then runs them (§4). The
+//! [`CompletionQueue`] models that queue.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::ids::OpId;
+
+/// A completion callback: receives the commit-time boolean of its operation.
+///
+/// The C# signature is `delegate void CompletionOp(bool v)`; local state the
+/// completion needs (the paper's `G` component) is captured by the closure.
+pub type CompletionFn = Box<dyn FnOnce(bool) + Send>;
+
+/// A completion routine queued for execution, tagged with the operation it
+/// belongs to and that operation's commit-time result.
+pub struct PendingCompletion {
+    /// The operation whose commitment produced this completion.
+    pub op_id: OpId,
+    /// The boolean result of the commit-time execution.
+    pub committed_result: bool,
+    /// The callback itself.
+    pub completion: CompletionFn,
+}
+
+impl fmt::Debug for PendingCompletion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PendingCompletion")
+            .field("op_id", &self.op_id)
+            .field("committed_result", &self.committed_result)
+            .finish()
+    }
+}
+
+/// FIFO queue of completion routines awaiting execution — the paper's
+/// `PendingCompletionRoutines`.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::{CompletionQueue, MachineId, OpId};
+/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use std::sync::Arc;
+///
+/// let flag = Arc::new(AtomicBool::new(false));
+/// let f = flag.clone();
+/// let mut q = CompletionQueue::new();
+/// q.push(
+///     OpId::new(MachineId::new(0), 0),
+///     true,
+///     Box::new(move |b| f.store(b, Ordering::SeqCst)),
+/// );
+/// assert_eq!(q.run_all(), 1);
+/// assert!(flag.load(Ordering::SeqCst));
+/// ```
+#[derive(Debug, Default)]
+pub struct CompletionQueue {
+    queue: VecDeque<PendingCompletion>,
+}
+
+impl CompletionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CompletionQueue::default()
+    }
+
+    /// Number of queued completions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no completions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Queues `completion` for `op_id` with its commit-time result.
+    pub fn push(&mut self, op_id: OpId, committed_result: bool, completion: CompletionFn) {
+        self.queue.push_back(PendingCompletion {
+            op_id,
+            committed_result,
+            completion,
+        });
+    }
+
+    /// Runs every queued completion in FIFO order, returning how many ran.
+    ///
+    /// Completions run after the committed state has been copied onto the
+    /// guesstimated state (§4 step ii), so reads they perform through the
+    /// runtime observe post-commit state.
+    pub fn run_all(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(pc) = self.queue.pop_front() {
+            (pc.completion)(pc.committed_result);
+            n += 1;
+        }
+        n
+    }
+
+    /// Drains the queue without running, returning the pending entries.
+    ///
+    /// Used by drivers that must run completions on a specific thread.
+    pub fn drain(&mut self) -> Vec<PendingCompletion> {
+        self.queue.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MachineId;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn op(n: u64) -> OpId {
+        OpId::new(MachineId::new(0), n)
+    }
+
+    #[test]
+    fn runs_in_fifo_order_with_results() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut q = CompletionQueue::new();
+        for (i, res) in [(0u64, true), (1, false), (2, true)] {
+            let log = log.clone();
+            q.push(op(i), res, Box::new(move |b| log.lock().push((i, b))));
+        }
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        assert_eq!(q.run_all(), 3);
+        assert!(q.is_empty());
+        assert_eq!(*log.lock(), vec![(0, true), (1, false), (2, true)]);
+    }
+
+    #[test]
+    fn run_all_on_empty_is_zero() {
+        let mut q = CompletionQueue::new();
+        assert_eq!(q.run_all(), 0);
+    }
+
+    #[test]
+    fn drain_returns_without_running() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let mut q = CompletionQueue::new();
+        q.push(op(0), true, Box::new(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        let drained = q.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(count.load(Ordering::SeqCst), 0, "not run by drain");
+        assert_eq!(drained[0].op_id, op(0));
+        assert!(drained[0].committed_result);
+        assert!(format!("{:?}", drained[0]).contains("PendingCompletion"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for the core programming model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::ObjectId;
+
+/// Error raised by [`crate::GState::restore`] when a snapshot does not match
+/// the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError {
+    expected: String,
+}
+
+impl RestoreError {
+    /// Creates a restore error describing the expected snapshot shape.
+    pub fn shape(expected: impl Into<String>) -> Self {
+        RestoreError {
+            expected: expected.into(),
+        }
+    }
+
+    /// The shape that was expected.
+    pub fn expected(&self) -> &str {
+        &self.expected
+    }
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot shape mismatch, expected {}", self.expected)
+    }
+}
+
+impl Error for RestoreError {}
+
+/// Error raised while executing a [`crate::SharedOp`].
+///
+/// Execution errors are *programming* errors (unknown object, unregistered
+/// method, type mismatches) and are distinct from an operation merely
+/// *failing* (returning `false`), which is part of the model's semantics:
+/// "a shared operation either returns true and satisfies its specification,
+/// or returns false and does not modify the shared state" (§3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The operation referenced an object id not present in the store.
+    UnknownObject(ObjectId),
+    /// No apply function is registered for `(type_name, method)`.
+    UnknownMethod {
+        /// Registered type name of the target object.
+        type_name: String,
+        /// Requested method name.
+        method: String,
+    },
+    /// No constructor is registered for a type name (during join/replication).
+    UnknownType(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownObject(id) => write!(f, "unknown shared object {id}"),
+            ExecError::UnknownMethod { type_name, method } => {
+                write!(f, "no method {method:?} registered for type {type_name:?}")
+            }
+            ExecError::UnknownType(t) => write!(f, "no constructor registered for type {t:?}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MachineId;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ExecError::UnknownObject(ObjectId::new(MachineId::new(1), 2));
+        assert_eq!(e.to_string(), "unknown shared object obj-m1-2");
+        let e = ExecError::UnknownMethod {
+            type_name: "Sudoku".into(),
+            method: "update".into(),
+        };
+        assert!(e.to_string().contains("update"));
+        let e = ExecError::UnknownType("Foo".into());
+        assert!(e.to_string().contains("Foo"));
+        let r = RestoreError::shape("i64");
+        assert!(r.to_string().contains("i64"));
+        assert_eq!(r.expected(), "i64");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExecError>();
+        assert_send_sync::<RestoreError>();
+    }
+}

@@ -1,0 +1,505 @@
+//! The operation execution engine.
+//!
+//! Executes a [`SharedOp`] tree against an object store, implementing the
+//! semantics of §2/§4 of the paper:
+//!
+//! * A **primitive** operation invokes its registered apply function and
+//!   yields that function's boolean result.
+//! * An **`Atomic`** block is all-or-nothing: children execute against a
+//!   per-object **copy-on-write overlay** ("the first time an object is
+//!   updated within an atomic operation a temporary copy of its state is
+//!   made and from then on all updates within the atomic operation are made
+//!   to this copy", §4). Only if every child succeeds is the overlay copied
+//!   back into the underlying store.
+//! * An **`OrElse`** tries its first child and, only if that fails, its
+//!   second; at most one of the two succeeds.
+//!
+//! The same engine runs at issue time (against the guesstimated store), at
+//! replay time (re-establishing `sg = [P](sc)`) and at commit time (against
+//! the committed store) — which is what makes the issue/commit results
+//! comparable, and their occasional disagreement a *conflict*.
+
+use std::collections::BTreeMap;
+
+use crate::error::ExecError;
+use crate::ids::ObjectId;
+use crate::object::SharedObject;
+use crate::op::SharedOp;
+use crate::registry::{ArgView, OpRegistry};
+use crate::store::ObjectStore;
+
+/// Result of executing a shared operation: the model's boolean, made a type.
+///
+/// `Failure` is *not* an error — it is the defined outcome of an operation
+/// whose precondition does not hold, and by contract leaves the state
+/// unchanged. Programming errors (unknown objects/methods) surface as
+/// [`ExecError`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecOutcome {
+    /// The operation succeeded and may have updated the shared state.
+    Success,
+    /// The operation failed and left the shared state unchanged.
+    Failure,
+}
+
+impl ExecOutcome {
+    /// True for [`ExecOutcome::Success`].
+    pub fn is_success(self) -> bool {
+        matches!(self, ExecOutcome::Success)
+    }
+
+    /// The model's boolean: `true` for success.
+    pub fn as_bool(self) -> bool {
+        self.is_success()
+    }
+}
+
+impl From<bool> for ExecOutcome {
+    fn from(b: bool) -> Self {
+        if b {
+            ExecOutcome::Success
+        } else {
+            ExecOutcome::Failure
+        }
+    }
+}
+
+/// Mutable access to a set of shared objects.
+///
+/// Implemented by [`ObjectStore`] (direct access) and [`CowOverlay`]
+/// (copy-on-write access inside `Atomic` blocks), letting the execution
+/// engine recurse uniformly through nested atomics.
+pub trait ObjectAccess {
+    /// True if `id` resolves to an object.
+    fn exists(&self, id: ObjectId) -> bool;
+
+    /// Clones the object under `id` (used to populate overlays).
+    fn clone_object(&self, id: ObjectId) -> Option<Box<dyn SharedObject>>;
+
+    /// Runs `f` against the object under `id`, returning its boolean, or
+    /// `None` if the object does not exist.
+    fn apply(
+        &mut self,
+        id: ObjectId,
+        f: &mut dyn FnMut(&mut (dyn SharedObject + 'static)) -> bool,
+    ) -> Option<bool>;
+}
+
+/// Per-object copy-on-write overlay used for `Atomic` execution.
+///
+/// Objects are copied from the base on first touch; all subsequent access
+/// inside the atomic block goes to the copy. [`CowOverlay::commit`] writes
+/// the copies back; dropping the overlay discards them.
+///
+/// Overlays nest: an inner `Atomic` builds a `CowOverlay` whose base is the
+/// outer overlay, so an inner rollback never disturbs outer tentative state.
+pub struct CowOverlay<'a, B: ObjectAccess + ?Sized> {
+    base: &'a mut B,
+    copies: BTreeMap<ObjectId, Box<dyn SharedObject>>,
+}
+
+impl<'a, B: ObjectAccess + ?Sized> CowOverlay<'a, B> {
+    /// Creates an empty overlay over `base`.
+    pub fn new(base: &'a mut B) -> Self {
+        CowOverlay {
+            base,
+            copies: BTreeMap::new(),
+        }
+    }
+
+    /// Number of objects copied so far (diagnostics / benchmarks).
+    pub fn touched(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Writes every touched copy back into the base store.
+    pub fn commit(self) {
+        for (id, copy) in self.copies {
+            // The object existed when it was copied; if the base somehow
+            // lost it, re-inserting is not possible through ObjectAccess,
+            // so we overwrite in place and ignore a vanished target.
+            self.base.apply(id, &mut |obj| {
+                obj.copy_from(&*copy);
+                true
+            });
+        }
+    }
+}
+
+impl<B: ObjectAccess + ?Sized> std::fmt::Debug for CowOverlay<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CowOverlay")
+            .field("touched", &self.copies.len())
+            .finish()
+    }
+}
+
+impl<B: ObjectAccess + ?Sized> ObjectAccess for CowOverlay<'_, B> {
+    fn exists(&self, id: ObjectId) -> bool {
+        self.copies.contains_key(&id) || self.base.exists(id)
+    }
+
+    fn clone_object(&self, id: ObjectId) -> Option<Box<dyn SharedObject>> {
+        match self.copies.get(&id) {
+            Some(c) => Some(c.clone_boxed()),
+            None => self.base.clone_object(id),
+        }
+    }
+
+    fn apply(
+        &mut self,
+        id: ObjectId,
+        f: &mut dyn FnMut(&mut (dyn SharedObject + 'static)) -> bool,
+    ) -> Option<bool> {
+        if !self.copies.contains_key(&id) {
+            let copy = self.base.clone_object(id)?;
+            self.copies.insert(id, copy);
+        }
+        self.copies.get_mut(&id).map(|obj| f(&mut **obj))
+    }
+}
+
+/// Executes `op` against an arbitrary [`ObjectAccess`] (store or overlay).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] for unknown objects or unregistered methods. An
+/// error inside an `Atomic` discards the overlay; an error inside either arm
+/// of an `OrElse` aborts the whole operation (a programming error is never
+/// "handled" by falling through to the alternative).
+pub fn execute_against(
+    op: &SharedOp,
+    access: &mut dyn ObjectAccess,
+    registry: &OpRegistry,
+) -> Result<bool, ExecError> {
+    match op {
+        SharedOp::Primitive {
+            object,
+            method,
+            args,
+        } => {
+            let mut routing_err: Option<ExecError> = None;
+            let outcome = access.apply(*object, &mut |obj| {
+                match registry.lookup(obj.type_name(), method) {
+                    Ok(f) => f(obj, ArgView::new(args)),
+                    Err(e) => {
+                        routing_err = Some(e);
+                        false
+                    }
+                }
+            });
+            match outcome {
+                None => Err(ExecError::UnknownObject(*object)),
+                Some(b) => match routing_err {
+                    Some(e) => Err(e),
+                    None => Ok(b),
+                },
+            }
+        }
+        SharedOp::Atomic(ops) => {
+            let mut overlay = CowOverlay::new(access);
+            for child in ops {
+                if !execute_against(child, &mut overlay, registry)? {
+                    return Ok(false); // overlay dropped: nothing visible
+                }
+            }
+            overlay.commit();
+            Ok(true)
+        }
+        SharedOp::OrElse(first, second) => {
+            if execute_against(first, access, registry)? {
+                Ok(true)
+            } else {
+                execute_against(second, access, registry)
+            }
+        }
+    }
+}
+
+/// Executes `op` against a store, yielding the model's boolean as an
+/// [`ExecOutcome`].
+///
+/// This is the entry point the runtime uses at issue, replay and commit time.
+///
+/// # Errors
+///
+/// See [`execute_against`].
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn execute(
+    op: &SharedOp,
+    store: &mut ObjectStore,
+    registry: &OpRegistry,
+) -> Result<ExecOutcome, ExecError> {
+    execute_against(op, store, registry).map(ExecOutcome::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RestoreError;
+    use crate::ids::MachineId;
+    use crate::object::GState;
+    use crate::value::Value;
+    use crate::args;
+
+    /// A bank-account-like object: `deposit(n)` always succeeds,
+    /// `withdraw(n)` fails if the balance would go negative.
+    #[derive(Clone, Default, Debug, PartialEq)]
+    struct Account {
+        balance: i64,
+    }
+
+    impl GState for Account {
+        const TYPE_NAME: &'static str = "Account";
+        fn snapshot(&self) -> Value {
+            Value::from(self.balance)
+        }
+        fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+            self.balance = v.as_i64().ok_or_else(|| RestoreError::shape("i64"))?;
+            Ok(())
+        }
+    }
+
+    fn registry() -> OpRegistry {
+        let mut r = OpRegistry::new();
+        r.register_type::<Account>();
+        r.register_method::<Account>("deposit", |acc, a| {
+            let Some(n) = a.i64(0) else { return false };
+            acc.balance += n;
+            true
+        });
+        r.register_method::<Account>("withdraw", |acc, a| {
+            let Some(n) = a.i64(0) else { return false };
+            if acc.balance < n {
+                return false;
+            }
+            acc.balance -= n;
+            true
+        });
+        r
+    }
+
+    fn oid(s: u64) -> ObjectId {
+        ObjectId::new(MachineId::new(0), s)
+    }
+
+    fn store_with(balances: &[i64]) -> ObjectStore {
+        let mut s = ObjectStore::new();
+        for (i, &b) in balances.iter().enumerate() {
+            s.insert(oid(i as u64), Box::new(Account { balance: b }));
+        }
+        s
+    }
+
+    fn balance(s: &ObjectStore, i: u64) -> i64 {
+        s.get_as::<Account>(oid(i)).unwrap().balance
+    }
+
+    #[test]
+    fn primitive_success_and_failure() {
+        let r = registry();
+        let mut s = store_with(&[10]);
+        let dep = SharedOp::primitive(oid(0), "deposit", args![5]);
+        assert_eq!(execute(&dep, &mut s, &r).unwrap(), ExecOutcome::Success);
+        assert_eq!(balance(&s, 0), 15);
+
+        let wd = SharedOp::primitive(oid(0), "withdraw", args![100]);
+        assert_eq!(execute(&wd, &mut s, &r).unwrap(), ExecOutcome::Failure);
+        assert_eq!(balance(&s, 0), 15, "failed op leaves state unchanged");
+    }
+
+    #[test]
+    fn unknown_object_and_method_are_errors() {
+        let r = registry();
+        let mut s = store_with(&[0]);
+        let op = SharedOp::primitive(oid(9), "deposit", args![1]);
+        assert_eq!(
+            execute(&op, &mut s, &r).unwrap_err(),
+            ExecError::UnknownObject(oid(9))
+        );
+        let op = SharedOp::primitive(oid(0), "bogus", args![]);
+        assert!(matches!(
+            execute(&op, &mut s, &r).unwrap_err(),
+            ExecError::UnknownMethod { .. }
+        ));
+    }
+
+    #[test]
+    fn atomic_commits_all_effects_on_success() {
+        let r = registry();
+        let mut s = store_with(&[10, 0]);
+        // Transfer 10 from account 0 to account 1.
+        let transfer = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(0), "withdraw", args![10]),
+            SharedOp::primitive(oid(1), "deposit", args![10]),
+        ]);
+        assert_eq!(execute(&transfer, &mut s, &r).unwrap(), ExecOutcome::Success);
+        assert_eq!(balance(&s, 0), 0);
+        assert_eq!(balance(&s, 1), 10);
+    }
+
+    #[test]
+    fn atomic_rolls_back_partial_effects_on_failure() {
+        let r = registry();
+        let mut s = store_with(&[10, 0]);
+        // Deposit succeeds first, then withdraw fails: nothing is visible.
+        let op = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(1), "deposit", args![10]),
+            SharedOp::primitive(oid(0), "withdraw", args![100]),
+        ]);
+        assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Failure);
+        assert_eq!(balance(&s, 0), 10);
+        assert_eq!(balance(&s, 1), 0, "atomic discarded the deposit");
+    }
+
+    #[test]
+    fn empty_atomic_succeeds_vacuously() {
+        let r = registry();
+        let mut s = store_with(&[1]);
+        assert_eq!(
+            execute(&SharedOp::atomic(vec![]), &mut s, &r).unwrap(),
+            ExecOutcome::Success
+        );
+        assert_eq!(balance(&s, 0), 1);
+    }
+
+    #[test]
+    fn atomic_error_discards_overlay() {
+        let r = registry();
+        let mut s = store_with(&[10]);
+        let op = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(0), "deposit", args![5]),
+            SharedOp::primitive(oid(0), "bogus", args![]),
+        ]);
+        assert!(execute(&op, &mut s, &r).is_err());
+        assert_eq!(balance(&s, 0), 10, "error rolled back tentative deposit");
+    }
+
+    #[test]
+    fn or_else_prefers_first_alternative() {
+        let r = registry();
+        let mut s = store_with(&[10]);
+        let op = SharedOp::primitive(oid(0), "withdraw", args![5])
+            .or_else(SharedOp::primitive(oid(0), "withdraw", args![1]));
+        assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Success);
+        assert_eq!(balance(&s, 0), 5, "only the first arm ran");
+    }
+
+    #[test]
+    fn or_else_falls_through_on_failure() {
+        let r = registry();
+        let mut s = store_with(&[10]);
+        let op = SharedOp::primitive(oid(0), "withdraw", args![100])
+            .or_else(SharedOp::primitive(oid(0), "withdraw", args![1]));
+        assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Success);
+        assert_eq!(balance(&s, 0), 9, "second arm ran after first failed");
+    }
+
+    #[test]
+    fn or_else_fails_when_both_fail() {
+        let r = registry();
+        let mut s = store_with(&[0]);
+        let op = SharedOp::primitive(oid(0), "withdraw", args![1])
+            .or_else(SharedOp::primitive(oid(0), "withdraw", args![2]));
+        assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Failure);
+        assert_eq!(balance(&s, 0), 0);
+    }
+
+    #[test]
+    fn nested_atomic_inner_rollback_preserves_outer_tentative_state() {
+        let r = registry();
+        let mut s = store_with(&[10, 0]);
+        // Outer atomic: deposit to 1, then an inner atomic that fails,
+        // wrapped in an OrElse so the outer can still succeed.
+        let inner_failing = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(1), "deposit", args![100]),
+            SharedOp::primitive(oid(0), "withdraw", args![999]),
+        ]);
+        let op = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(1), "deposit", args![1]),
+            inner_failing.or_else(SharedOp::primitive(oid(0), "withdraw", args![1])),
+        ]);
+        assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Success);
+        assert_eq!(balance(&s, 1), 1, "outer deposit survived inner rollback");
+        assert_eq!(balance(&s, 0), 9, "fallback arm applied");
+    }
+
+    #[test]
+    fn nested_atomic_failure_propagates_to_outer() {
+        let r = registry();
+        let mut s = store_with(&[10, 0]);
+        let op = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(1), "deposit", args![1]),
+            SharedOp::atomic(vec![SharedOp::primitive(oid(0), "withdraw", args![999])]),
+        ]);
+        assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Failure);
+        assert_eq!(balance(&s, 0), 10);
+        assert_eq!(balance(&s, 1), 0);
+    }
+
+    #[test]
+    fn cow_overlay_touches_only_written_objects() {
+        let r = registry();
+        let mut s = store_with(&[1, 2, 3]);
+        let mut overlay = CowOverlay::new(&mut s);
+        let op = SharedOp::primitive(oid(1), "deposit", args![1]);
+        assert!(execute_against(&op, &mut overlay, &r).unwrap());
+        assert_eq!(overlay.touched(), 1);
+    }
+
+    #[test]
+    fn cow_overlay_discard_leaves_base_untouched() {
+        let r = registry();
+        let mut s = store_with(&[1]);
+        {
+            let mut overlay = CowOverlay::new(&mut s);
+            let op = SharedOp::primitive(oid(0), "deposit", args![100]);
+            assert!(execute_against(&op, &mut overlay, &r).unwrap());
+            // drop without commit
+        }
+        assert_eq!(balance(&s, 0), 1);
+    }
+
+    #[test]
+    fn cow_overlay_exists_and_clone_see_through() {
+        let s0 = store_with(&[5]);
+        let mut s = s0;
+        let overlay = CowOverlay::new(&mut s);
+        assert!(overlay.exists(oid(0)));
+        assert!(!overlay.exists(oid(7)));
+        let cloned = overlay.clone_object(oid(0)).unwrap();
+        assert_eq!(
+            cloned.as_any().downcast_ref::<Account>().unwrap().balance,
+            5
+        );
+        assert!(overlay.clone_object(oid(7)).is_none());
+    }
+
+    #[test]
+    fn or_else_arms_with_atomic_do_not_leak_state() {
+        // An OrElse whose first arm is an Atomic that partially succeeds:
+        // the atomic's CoW must hide the partial effects before the second
+        // arm runs.
+        let r = registry();
+        let mut s = store_with(&[10, 0]);
+        let op = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(1), "deposit", args![7]),
+            SharedOp::primitive(oid(0), "withdraw", args![999]),
+        ])
+        .or_else(SharedOp::primitive(oid(1), "deposit", args![1]));
+        assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Success);
+        assert_eq!(balance(&s, 1), 1, "only the fallback deposit is visible");
+    }
+
+    #[test]
+    fn exec_outcome_conversions() {
+        assert!(ExecOutcome::Success.is_success());
+        assert!(!ExecOutcome::Failure.is_success());
+        assert_eq!(ExecOutcome::from(true), ExecOutcome::Success);
+        assert!(ExecOutcome::from(true).as_bool());
+        assert!(!ExecOutcome::from(false).as_bool());
+    }
+}

@@ -1,0 +1,208 @@
+//! Identifier newtypes for machines, shared objects and operations.
+//!
+//! The paper identifies machines by an index `i ∈ 1..|M|`, shared objects by
+//! a runtime-assigned "unique identifier" string, and operations by
+//! `(machineID, operationnumber)` pairs whose lexicographic order determines
+//! the commit order within a synchronization round (§4, *ApplyUpdatesFromMesh*).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a machine participating in the distributed system.
+///
+/// Machines are the unit of replication: each machine owns a committed and a
+/// guesstimated replica of every shared object it has joined.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::MachineId;
+/// let m = MachineId::new(3);
+/// assert_eq!(m.to_string(), "m3");
+/// assert!(MachineId::new(2) < m);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MachineId(u32);
+
+impl MachineId {
+    /// Creates a machine id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        MachineId(index)
+    }
+
+    /// Returns the raw index of this machine.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u32> for MachineId {
+    fn from(index: u32) -> Self {
+        MachineId(index)
+    }
+}
+
+/// Unique identity of a shared object.
+///
+/// In the paper `Guesstimate.CreateInstance` assigns each shared object a
+/// globally unique identifier string. We make ids unique *without
+/// coordination* by pairing the creating machine with a per-machine creation
+/// counter, which also yields a total order (useful for deterministic
+/// iteration in [`crate::ObjectStore`]).
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::{MachineId, ObjectId};
+/// let id = ObjectId::new(MachineId::new(1), 7);
+/// assert_eq!(id.to_string(), "obj-m1-7");
+/// assert_eq!(ObjectId::parse("obj-m1-7"), Some(id));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId {
+    creator: MachineId,
+    seq: u64,
+}
+
+impl ObjectId {
+    /// Creates an object id from the creating machine and its creation counter.
+    pub const fn new(creator: MachineId, seq: u64) -> Self {
+        ObjectId { creator, seq }
+    }
+
+    /// The machine that created the object.
+    pub const fn creator(self) -> MachineId {
+        self.creator
+    }
+
+    /// The creation sequence number on the creating machine.
+    pub const fn seq(self) -> u64 {
+        self.seq
+    }
+
+    /// Parses the `Display` form (`obj-m<idx>-<seq>`) back into an id.
+    ///
+    /// Returns `None` if `s` is not in the canonical form. This is the analog
+    /// of looking an object up by the paper's `uniqueID` string.
+    pub fn parse(s: &str) -> Option<Self> {
+        let rest = s.strip_prefix("obj-m")?;
+        let (idx, seq) = rest.split_once('-')?;
+        Some(ObjectId::new(
+            MachineId::new(idx.parse().ok()?),
+            seq.parse().ok()?,
+        ))
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj-{}-{}", self.creator, self.seq)
+    }
+}
+
+/// Identity of an issued composite operation: `(machineID, operationnumber)`.
+///
+/// The derived lexicographic `Ord` (machine first, then sequence number) is
+/// exactly the commit order the runtime uses when applying a consolidated
+/// pending list during *ApplyUpdatesFromMesh* (§4).
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::{MachineId, OpId};
+/// let a = OpId::new(MachineId::new(0), 9);
+/// let b = OpId::new(MachineId::new(1), 0);
+/// assert!(a < b, "machine id dominates the order");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OpId {
+    machine: MachineId,
+    seq: u64,
+}
+
+impl OpId {
+    /// Creates an operation id.
+    pub const fn new(machine: MachineId, seq: u64) -> Self {
+        OpId { machine, seq }
+    }
+
+    /// The machine that issued the operation.
+    pub const fn machine(self) -> MachineId {
+        self.machine
+    }
+
+    /// The per-machine issue sequence number.
+    pub const fn seq(self) -> u64 {
+        self.seq
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op-{}-{}", self.machine, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_id_roundtrip_and_order() {
+        let ids: Vec<MachineId> = (0..5).map(MachineId::new).collect();
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(MachineId::new(42).index(), 42);
+        assert_eq!(MachineId::from(7u32), MachineId::new(7));
+    }
+
+    #[test]
+    fn object_id_display_parse_roundtrip() {
+        let id = ObjectId::new(MachineId::new(12), 345);
+        assert_eq!(ObjectId::parse(&id.to_string()), Some(id));
+        assert_eq!(ObjectId::parse("nonsense"), None);
+        assert_eq!(ObjectId::parse("obj-m1"), None);
+        assert_eq!(ObjectId::parse("obj-mx-1"), None);
+        assert_eq!(ObjectId::parse("obj-m1-x"), None);
+    }
+
+    #[test]
+    fn op_id_lexicographic_order_matches_paper() {
+        // §4: apply in lexicographic order of (machineID, operationnumber).
+        let mut ops = vec![
+            OpId::new(MachineId::new(1), 0),
+            OpId::new(MachineId::new(0), 2),
+            OpId::new(MachineId::new(0), 1),
+            OpId::new(MachineId::new(2), 0),
+        ];
+        ops.sort();
+        assert_eq!(
+            ops,
+            vec![
+                OpId::new(MachineId::new(0), 1),
+                OpId::new(MachineId::new(0), 2),
+                OpId::new(MachineId::new(1), 0),
+                OpId::new(MachineId::new(2), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn op_id_display() {
+        assert_eq!(OpId::new(MachineId::new(2), 9).to_string(), "op-m2-9");
+    }
+}

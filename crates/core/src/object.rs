@@ -1,0 +1,239 @@
+//! Shared objects: the Rust analog of the paper's `GSharedObject` base class.
+//!
+//! In the C# API, application state classes derive from `GSharedObject` and
+//! implement a single `Copy` method; the runtime uses `Copy` to overwrite a
+//! replica's state with another replica's state (most importantly for the
+//! `sc → sg` copy at the end of every synchronization, §4).
+//!
+//! In Rust the same contract is split in two:
+//!
+//! * [`GState`] — what the *application* implements: a plain `Clone +
+//!   Default` state type plus a canonical [`GState::snapshot`] /
+//!   [`GState::restore`] pair (used to replicate initial state to joining
+//!   machines and to feed the spec checker).
+//! * [`SharedObject`] — the object-safe trait the *runtime* consumes; it is
+//!   implemented automatically for every `GState` via a blanket impl, so
+//!   applications never write `dyn`-plumbing by hand.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::error::RestoreError;
+use crate::value::Value;
+
+/// Application-visible trait for shared (replicated) state.
+///
+/// Implement this for each class of shared object. The runtime will keep one
+/// *committed* and one *guesstimated* instance per machine and copy between
+/// them; `Clone` provides the paper's `Copy` method, `Default` provides the
+/// factory used when a remote machine first materializes the object.
+///
+/// [`GState::snapshot`] must be a *canonical* encoding: two instances with
+/// equal logical state must produce equal [`Value`]s, because snapshots are
+/// digested to check cross-machine convergence and are consumed by the spec
+/// framework (`guesstimate-spec`) as the pre/post states of operations.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::{GState, RestoreError, Value};
+///
+/// #[derive(Clone, Default)]
+/// struct Score(i64);
+///
+/// impl GState for Score {
+///     const TYPE_NAME: &'static str = "Score";
+///     fn snapshot(&self) -> Value {
+///         Value::from(self.0)
+///     }
+///     fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+///         self.0 = v.as_i64().ok_or_else(|| RestoreError::shape("i64"))?;
+///         Ok(())
+///     }
+/// }
+/// ```
+pub trait GState: Clone + Default + Send + 'static {
+    /// Stable type name used by the operation registry to route method calls.
+    ///
+    /// Must be unique across all registered types in an application.
+    const TYPE_NAME: &'static str;
+
+    /// Canonical encoding of the full logical state.
+    fn snapshot(&self) -> Value;
+
+    /// Overwrites the state from a canonical snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] when `v` does not have the shape produced by
+    /// [`GState::snapshot`].
+    fn restore(&mut self, v: &Value) -> Result<(), RestoreError>;
+}
+
+/// Object-safe shared-object interface used by stores and the runtime.
+///
+/// Implemented automatically for every [`GState`]; you should not need to
+/// implement it by hand. The methods mirror what the GUESSTIMATE runtime
+/// needs: state copying (`copy_from`, the paper's `Copy`), replication
+/// (`clone_boxed`), canonical snapshots, and downcasting.
+pub trait SharedObject: Send {
+    /// The registered type name (matches [`GState::TYPE_NAME`]).
+    fn type_name(&self) -> &'static str;
+
+    /// Overwrites this object's state with `src`'s state.
+    ///
+    /// This is the paper's `Copy(GSharedObject src)` method, used for the
+    /// committed-to-guesstimated copy during synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not the same concrete type — the runtime only ever
+    /// copies between replicas of the same object.
+    fn copy_from(&mut self, src: &dyn SharedObject);
+
+    /// Clones the object into a new box (replication to a joining machine).
+    fn clone_boxed(&self) -> Box<dyn SharedObject>;
+
+    /// Canonical state snapshot (see [`GState::snapshot`]).
+    fn snapshot(&self) -> Value;
+
+    /// Overwrites state from a canonical snapshot (see [`GState::restore`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] when the snapshot shape does not match.
+    fn restore(&mut self, v: &Value) -> Result<(), RestoreError>;
+
+    /// Upcast for concrete-type access.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for concrete-type access.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: GState> SharedObject for T {
+    fn type_name(&self) -> &'static str {
+        T::TYPE_NAME
+    }
+
+    fn copy_from(&mut self, src: &dyn SharedObject) {
+        let src = src
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("copy_from: type mismatch, expected {}", T::TYPE_NAME));
+        self.clone_from(src);
+    }
+
+    fn clone_boxed(&self) -> Box<dyn SharedObject> {
+        Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Value {
+        GState::snapshot(self)
+    }
+
+    fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+        GState::restore(self, v)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl fmt::Debug for dyn SharedObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedObject<{}>({})", self.type_name(), self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RestoreError;
+
+    #[derive(Clone, Default, Debug, PartialEq)]
+    struct Pair {
+        a: i64,
+        b: i64,
+    }
+
+    impl GState for Pair {
+        const TYPE_NAME: &'static str = "Pair";
+        fn snapshot(&self) -> Value {
+            Value::map([("a", Value::from(self.a)), ("b", Value::from(self.b))])
+        }
+        fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+            self.a = v
+                .field("a")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| RestoreError::shape("map with int field a"))?;
+            self.b = v
+                .field("b")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| RestoreError::shape("map with int field b"))?;
+            Ok(())
+        }
+    }
+
+    #[derive(Clone, Default)]
+    struct Other;
+    impl GState for Other {
+        const TYPE_NAME: &'static str = "Other";
+        fn snapshot(&self) -> Value {
+            Value::Unit
+        }
+        fn restore(&mut self, _: &Value) -> Result<(), RestoreError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn copy_from_overwrites_state() {
+        let src = Pair { a: 1, b: 2 };
+        let mut dst = Pair::default();
+        SharedObject::copy_from(&mut dst, &src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn copy_from_panics_on_type_mismatch() {
+        let mut dst = Pair::default();
+        SharedObject::copy_from(&mut dst, &Other);
+    }
+
+    #[test]
+    fn clone_boxed_preserves_state_and_type() {
+        let src = Pair { a: 7, b: -1 };
+        let cloned = SharedObject::clone_boxed(&src);
+        assert_eq!(cloned.type_name(), "Pair");
+        assert_eq!(cloned.as_any().downcast_ref::<Pair>(), Some(&src));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let src = Pair { a: 10, b: 20 };
+        let mut dst = Pair::default();
+        GState::restore(&mut dst, &GState::snapshot(&src)).unwrap();
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn restore_rejects_bad_shape() {
+        let mut p = Pair::default();
+        assert!(GState::restore(&mut p, &Value::from(3)).is_err());
+    }
+
+    #[test]
+    fn debug_for_dyn_object_is_nonempty() {
+        let p = Pair { a: 1, b: 2 };
+        let d: &dyn SharedObject = &p;
+        let s = format!("{d:?}");
+        assert!(s.contains("Pair"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Object stores: one keyed store per replica (committed `sc`, guesstimated `sg`).
+//!
+//! The GUESSTIMATE runtime keeps, on every machine, *two copies* of each
+//! shared object the machine has joined — one backing the committed state and
+//! one backing the guesstimated state (§4). An [`ObjectStore`] is one such
+//! replica set. Stores support whole-store copying ([`ObjectStore::copy_from`],
+//! the `sc → sg` copy at the end of each synchronization) and canonical
+//! digests used to check cross-machine convergence.
+
+use std::collections::BTreeMap;
+
+use crate::exec::ObjectAccess;
+use crate::ids::ObjectId;
+use crate::object::{GState, SharedObject};
+use crate::value::{value_digest, Value};
+
+/// A keyed collection of boxed shared objects.
+///
+/// Iteration order is the total order on [`ObjectId`], so that digests and
+/// copies are deterministic across machines.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::{GState, MachineId, ObjectId, ObjectStore, RestoreError, Value};
+///
+/// #[derive(Clone, Default)]
+/// struct Flag(bool);
+/// impl GState for Flag {
+///     const TYPE_NAME: &'static str = "Flag";
+///     fn snapshot(&self) -> Value { Value::from(self.0) }
+///     fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+///         self.0 = v.as_bool().ok_or_else(|| RestoreError::shape("bool"))?;
+///         Ok(())
+///     }
+/// }
+///
+/// let mut store = ObjectStore::new();
+/// let id = ObjectId::new(MachineId::new(0), 1);
+/// store.insert(id, Box::new(Flag(true)));
+/// assert!(store.get_as::<Flag>(id).unwrap().0);
+/// ```
+#[derive(Default)]
+pub struct ObjectStore {
+    objects: BTreeMap<ObjectId, Box<dyn SharedObject>>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Number of objects in the store.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// True if `id` is present.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Inserts (or replaces) an object under `id`, returning the previous one.
+    pub fn insert(
+        &mut self,
+        id: ObjectId,
+        object: Box<dyn SharedObject>,
+    ) -> Option<Box<dyn SharedObject>> {
+        self.objects.insert(id, object)
+    }
+
+    /// Removes the object under `id`.
+    pub fn remove(&mut self, id: ObjectId) -> Option<Box<dyn SharedObject>> {
+        self.objects.remove(&id)
+    }
+
+    /// Borrows the object under `id`.
+    pub fn get(&self, id: ObjectId) -> Option<&dyn SharedObject> {
+        self.objects.get(&id).map(|b| &**b)
+    }
+
+    /// Mutably borrows the object under `id`.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut (dyn SharedObject + 'static)> {
+        self.objects.get_mut(&id).map(|b| &mut **b)
+    }
+
+    /// Borrows the object under `id` downcast to its concrete type.
+    ///
+    /// Returns `None` if the id is absent **or** the type does not match.
+    pub fn get_as<T: GState>(&self, id: ObjectId) -> Option<&T> {
+        self.get(id)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrows the object under `id` downcast to its concrete type.
+    pub fn get_as_mut<T: GState>(&mut self, id: ObjectId) -> Option<&mut T> {
+        self.get_mut(id)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Iterates over `(id, object)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &dyn SharedObject)> {
+        self.objects.iter().map(|(id, b)| (*id, &**b))
+    }
+
+    /// The ids present in the store, in order.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Overwrites this store's contents with `src`'s contents.
+    ///
+    /// Objects present in both are copied in place via
+    /// [`SharedObject::copy_from`]; objects only in `src` are cloned in;
+    /// objects only in `self` are removed. After the call the two stores hold
+    /// logically identical state. This is the whole-store analog of the
+    /// paper's `Copy` and implements the committed-to-guesstimated state copy.
+    pub fn copy_from(&mut self, src: &ObjectStore) {
+        self.objects.retain(|id, _| src.objects.contains_key(id));
+        for (id, obj) in &src.objects {
+            match self.objects.get_mut(id) {
+                Some(mine) => mine.copy_from(&**obj),
+                None => {
+                    self.objects.insert(*id, obj.clone_boxed());
+                }
+            }
+        }
+    }
+
+    /// Canonical snapshot of the entire store: a map from object id strings
+    /// to object snapshots.
+    pub fn snapshot(&self) -> Value {
+        Value::map(
+            self.objects
+                .iter()
+                .map(|(id, obj)| (id.to_string(), obj.snapshot())),
+        )
+    }
+
+    /// Deterministic digest of the whole store, for convergence checks.
+    pub fn digest(&self) -> u64 {
+        value_digest(&self.snapshot())
+    }
+}
+
+impl Clone for ObjectStore {
+    /// Deep-copies every object via [`SharedObject::clone_boxed`].
+    fn clone(&self) -> Self {
+        let mut s = ObjectStore::new();
+        s.copy_from(self);
+        s
+    }
+}
+
+impl std::fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectStore")
+            .field("len", &self.objects.len())
+            .field("ids", &self.ids())
+            .finish()
+    }
+}
+
+impl ObjectAccess for ObjectStore {
+    fn exists(&self, id: ObjectId) -> bool {
+        self.contains(id)
+    }
+
+    fn clone_object(&self, id: ObjectId) -> Option<Box<dyn SharedObject>> {
+        self.get(id).map(|o| o.clone_boxed())
+    }
+
+    fn apply(
+        &mut self,
+        id: ObjectId,
+        f: &mut dyn FnMut(&mut (dyn SharedObject + 'static)) -> bool,
+    ) -> Option<bool> {
+        self.get_mut(id).map(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RestoreError;
+    use crate::ids::MachineId;
+
+    #[derive(Clone, Default, Debug, PartialEq)]
+    struct Num(i64);
+    impl GState for Num {
+        const TYPE_NAME: &'static str = "Num";
+        fn snapshot(&self) -> Value {
+            Value::from(self.0)
+        }
+        fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+            self.0 = v.as_i64().ok_or_else(|| RestoreError::shape("i64"))?;
+            Ok(())
+        }
+    }
+
+    #[derive(Clone, Default, Debug, PartialEq)]
+    struct Txt(String);
+    impl GState for Txt {
+        const TYPE_NAME: &'static str = "Txt";
+        fn snapshot(&self) -> Value {
+            Value::from(self.0.clone())
+        }
+        fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+            self.0 = v.as_str().ok_or_else(|| RestoreError::shape("str"))?.into();
+            Ok(())
+        }
+    }
+
+    fn oid(m: u32, s: u64) -> ObjectId {
+        ObjectId::new(MachineId::new(m), s)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = ObjectStore::new();
+        assert!(s.is_empty());
+        s.insert(oid(0, 0), Box::new(Num(5)));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(oid(0, 0)));
+        assert_eq!(s.get_as::<Num>(oid(0, 0)), Some(&Num(5)));
+        assert_eq!(s.get_as::<Txt>(oid(0, 0)), None, "wrong type downcast");
+        s.get_as_mut::<Num>(oid(0, 0)).unwrap().0 = 9;
+        assert_eq!(s.get_as::<Num>(oid(0, 0)).unwrap().0, 9);
+        assert!(s.remove(oid(0, 0)).is_some());
+        assert!(s.is_empty());
+        assert!(s.get(oid(0, 0)).is_none());
+    }
+
+    #[test]
+    fn copy_from_makes_stores_identical() {
+        let mut a = ObjectStore::new();
+        a.insert(oid(0, 0), Box::new(Num(1)));
+        a.insert(oid(0, 1), Box::new(Txt("x".into())));
+
+        let mut b = ObjectStore::new();
+        b.insert(oid(0, 0), Box::new(Num(99))); // will be overwritten in place
+        b.insert(oid(9, 9), Box::new(Num(7))); // will be removed
+
+        b.copy_from(&a);
+        assert_eq!(b.digest(), a.digest());
+        assert_eq!(b.get_as::<Num>(oid(0, 0)).unwrap().0, 1);
+        assert_eq!(b.get_as::<Txt>(oid(0, 1)).unwrap().0, "x");
+        assert!(!b.contains(oid(9, 9)));
+    }
+
+    #[test]
+    fn copy_from_then_mutate_does_not_alias() {
+        let mut a = ObjectStore::new();
+        a.insert(oid(0, 0), Box::new(Num(1)));
+        let mut b = ObjectStore::new();
+        b.copy_from(&a);
+        b.get_as_mut::<Num>(oid(0, 0)).unwrap().0 = 2;
+        assert_eq!(a.get_as::<Num>(oid(0, 0)).unwrap().0, 1);
+    }
+
+    #[test]
+    fn digest_reflects_state_not_insert_order() {
+        let mut a = ObjectStore::new();
+        a.insert(oid(0, 1), Box::new(Num(2)));
+        a.insert(oid(0, 0), Box::new(Num(1)));
+        let mut b = ObjectStore::new();
+        b.insert(oid(0, 0), Box::new(Num(1)));
+        b.insert(oid(0, 1), Box::new(Num(2)));
+        assert_eq!(a.digest(), b.digest());
+        b.get_as_mut::<Num>(oid(0, 1)).unwrap().0 = 3;
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn ids_are_sorted() {
+        let mut s = ObjectStore::new();
+        s.insert(oid(1, 0), Box::new(Num(0)));
+        s.insert(oid(0, 5), Box::new(Num(0)));
+        assert_eq!(s.ids(), vec![oid(0, 5), oid(1, 0)]);
+    }
+
+    #[test]
+    fn snapshot_maps_ids_to_object_snapshots() {
+        let mut s = ObjectStore::new();
+        s.insert(oid(0, 0), Box::new(Num(42)));
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.field("obj-m0-0").and_then(Value::as_i64),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = ObjectStore::new();
+        assert!(format!("{s:?}").contains("ObjectStore"));
+    }
+}

@@ -1,0 +1,496 @@
+//! Dynamic values: operation arguments and canonical state snapshots.
+//!
+//! GUESSTIMATE operations must be *replayable*: an operation created on one
+//! machine is re-executed — bit-for-bit identically — on every machine's
+//! committed replica. The C# implementation relies on .NET reflection and
+//! serialization for this; in Rust we represent operation arguments (and
+//! canonical state snapshots used by the spec checker) as a small dynamic
+//! [`Value`] type with a *total* order and hash, so that values can be used
+//! as map keys, compared across replicas and digested for convergence checks.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically typed value.
+///
+/// `Value` is the argument vector element of a [`crate::SharedOp`] and the
+/// canonical encoding returned by [`crate::GState::snapshot`]. Floats are
+/// compared and hashed by their bit pattern, which makes the type totally
+/// ordered ([`Ord`]) and hashable — a deliberate deviation from IEEE `NaN`
+/// semantics in exchange for replica-deterministic comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::Value;
+/// let v = Value::from(vec![Value::from(1), Value::from("x")]);
+/// assert_eq!(v.as_list().unwrap().len(), 2);
+/// assert!(Value::from(1) < Value::from(2));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// The unit (absence of a) value.
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed 64-bit integer.
+    Int(i64),
+    /// A 64-bit float (bit-compared).
+    Float(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// A byte string.
+    Bytes(Vec<u8>),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// A string-keyed map of values (ordered for determinism).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Returns the contained boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained integer, if this is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained float, if this is a `Float` (or an `Int`, widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained byte slice, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained list, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained map, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Convenience map-field lookup: `v.field("name")`.
+    ///
+    /// Returns `None` when `self` is not a map or the key is absent.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    /// True if the value is `Unit`.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+
+    /// Builds a `Map` value from an iterator of `(key, value)` pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use guesstimate_core::Value;
+    /// let v = Value::map([("a", Value::from(1)), ("b", Value::from(true))]);
+    /// assert_eq!(v.field("a").and_then(Value::as_i64), Some(1));
+    /// ```
+    pub fn map<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// A small integer tag identifying the variant, used by the total order.
+    fn discriminant(&self) -> u8 {
+        match self {
+            Value::Unit => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Bytes(_) => 5,
+            Value::List(_) => 6,
+            Value::Map(_) => 7,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Unit, Unit) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            // Total order on floats via sign-magnitude bit trick: preserves
+            // numeric order for ordinary floats and is deterministic for NaN.
+            (Float(a), Float(b)) => total_bits(*a).cmp(&total_bits(*b)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            (Map(a), Map(b)) => a.cmp(b),
+            _ => self.discriminant().cmp(&other.discriminant()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.discriminant().hash(state);
+        match self {
+            Value::Unit => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => total_bits(*f).hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Bytes(b) => b.hash(state),
+            Value::List(l) => l.hash(state),
+            Value::Map(m) => m.hash(state),
+        }
+    }
+}
+
+/// Maps a float to an integer whose order matches numeric order (IEEE-754
+/// sign-magnitude trick); NaNs sort deterministically above +inf.
+fn total_bits(f: f64) -> i64 {
+    let bits = f.to_bits() as i64;
+    bits ^ (((bits >> 63) as u64) >> 1) as i64
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "b{b:?}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Self {
+        Value::Unit
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(l: Vec<Value>) -> Self {
+        Value::List(l)
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Value {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Value::List(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Builds a `Vec<Value>` argument vector from heterogeneous expressions.
+///
+/// Each element is converted with `Into<Value>`, mirroring the `params
+/// object[]` argument of the paper's `CreateOperation`.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::{args, Value};
+/// let a: Vec<Value> = args![1, "two", true];
+/// assert_eq!(a.len(), 3);
+/// ```
+#[macro_export]
+macro_rules! args {
+    () => { ::std::vec::Vec::<$crate::Value>::new() };
+    ($($e:expr),+ $(,)?) => {
+        ::std::vec![$($crate::Value::from($e)),+]
+    };
+}
+
+/// Computes a 64-bit FNV-1a digest of a value's canonical encoding.
+///
+/// Replicas with equal committed state produce equal digests; the runtime and
+/// the test suite use this to assert convergence without shipping whole
+/// snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::{value_digest, Value};
+/// assert_eq!(value_digest(&Value::from(5)), value_digest(&Value::from(5)));
+/// assert_ne!(value_digest(&Value::from(5)), value_digest(&Value::from(6)));
+/// ```
+pub fn value_digest(v: &Value) -> u64 {
+    let mut h = Fnv1a::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// A tiny FNV-1a hasher: deterministic across processes and platforms,
+/// unlike `DefaultHasher` whose keys are randomized per process.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(3).as_i64(), Some(3));
+        assert_eq!(Value::from(3).as_f64(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        assert!(Value::Unit.is_unit());
+        assert_eq!(Value::Unit.as_bool(), None);
+        assert_eq!(Value::from("x").as_i64(), None);
+    }
+
+    #[test]
+    fn map_builder_and_field() {
+        let v = Value::map([("a", Value::from(1)), ("b", Value::from("s"))]);
+        assert_eq!(v.field("a"), Some(&Value::Int(1)));
+        assert_eq!(v.field("missing"), None);
+        assert_eq!(Value::from(1).field("a"), None);
+    }
+
+    #[test]
+    fn total_order_across_variants_is_consistent() {
+        let vals = [Value::Unit,
+            Value::from(false),
+            Value::from(-1),
+            Value::from(1.5),
+            Value::from("a"),
+            Value::Bytes(vec![0]),
+            Value::List(vec![]),
+            Value::Map(BTreeMap::new())];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(a.cmp(b), i.cmp(&j), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn float_order_is_numeric_for_ordinary_floats() {
+        let mut v = vec![
+            Value::from(1.0),
+            Value::from(-2.0),
+            Value::from(0.0),
+            Value::from(100.5),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Value::from(-2.0),
+                Value::from(0.0),
+                Value::from(1.0),
+                Value::from(100.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_compares_deterministically() {
+        let nan = Value::from(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(nan, nan.clone());
+        assert!(Value::from(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn digest_distinguishes_structure() {
+        let a = Value::List(vec![Value::from("ab"), Value::from("c")]);
+        let b = Value::List(vec![Value::from("a"), Value::from("bc")]);
+        assert_ne!(value_digest(&a), value_digest(&b));
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        // Guard against accidental changes to the canonical encoding: the
+        // digest feeds cross-machine convergence checks.
+        let v = Value::map([("k", Value::from(vec![Value::from(1), Value::from(2.0)]))]);
+        assert_eq!(value_digest(&v), value_digest(&v.clone()));
+    }
+
+    #[test]
+    fn args_macro_builds_heterogeneous_vectors() {
+        let a = args![1, "two", true, 2.5];
+        assert_eq!(
+            a,
+            vec![
+                Value::from(1),
+                Value::from("two"),
+                Value::from(true),
+                Value::from(2.5)
+            ]
+        );
+        let empty = args![];
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects_lists() {
+        let v: Value = (0..3).map(|i| i as i64).map(Value::from).collect();
+        assert_eq!(v.as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Value::List(vec![Value::from(1), Value::from(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(
+            Value::map([("a", Value::from(1))]).to_string(),
+            "{a: 1}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! The event-driven participant interface.
+//!
+//! Protocol logic (the GUESSTIMATE synchronizer, the baselines' servers and
+//! clients) is written once against [`Actor`] and runs unchanged under the
+//! deterministic virtual-time driver ([`crate::SimNet`]) and the real-thread
+//! driver ([`crate::ThreadedNet`]). Actors never touch sockets or clocks
+//! directly — they receive events and emit [`Action`]s through a [`Ctx`].
+
+use guesstimate_core::MachineId;
+
+use crate::channel::Channel;
+use crate::time::SimTime;
+
+/// An effect requested by an actor: a message send or a timer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Broadcast `msg` on `channel` to every *other* member of the mesh.
+    Broadcast(Channel, M),
+    /// Send `msg` on `channel` to one machine.
+    Send(MachineId, Channel, M),
+    /// Request an `on_timer(tag)` callback after `delay`.
+    SetTimer {
+        /// How long from now the timer fires.
+        delay: SimTime,
+        /// Opaque tag handed back to `on_timer`.
+        tag: u64,
+    },
+}
+
+/// The context handed to actor callbacks: the current time plus an outbox.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: MachineId,
+    actions: &'a mut Vec<Action<M>>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Creates a context (driver-internal).
+    pub fn new(now: SimTime, self_id: MachineId, actions: &'a mut Vec<Action<M>>) -> Self {
+        Ctx {
+            now,
+            self_id,
+            actions,
+        }
+    }
+
+    /// The current (virtual or wall-derived) time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's machine id.
+    pub fn self_id(&self) -> MachineId {
+        self.self_id
+    }
+
+    /// Broadcasts `msg` on `channel` to every other mesh member.
+    pub fn broadcast(&mut self, channel: Channel, msg: M) {
+        self.actions.push(Action::Broadcast(channel, msg));
+    }
+
+    /// Sends `msg` on `channel` to `to`.
+    pub fn send(&mut self, to: MachineId, channel: Channel, msg: M) {
+        self.actions.push(Action::Send(to, channel, msg));
+    }
+
+    /// Schedules an [`Actor::on_timer`] callback `delay` from now.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.actions.push(Action::SetTimer { delay, tag });
+    }
+}
+
+/// A mesh participant.
+///
+/// All callbacks run with exclusive access to the actor (the threaded driver
+/// serializes them behind a lock), so implementations need no internal
+/// synchronization for their own state.
+pub trait Actor: Send + 'static {
+    /// The message type carried on both channels.
+    type Msg: Clone + Send + 'static;
+
+    /// Called once when the actor joins the mesh.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called for every delivered message.
+    fn on_message(
+        &mut self,
+        from: MachineId,
+        channel: Channel,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg>,
+    );
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    ///
+    /// Timers cannot be cancelled; actors that re-arm timers should carry a
+    /// generation counter in the tag and ignore stale ones.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = (tag, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_records_actions_in_order() {
+        let mut actions = Vec::new();
+        let mut ctx: Ctx<'_, &'static str> =
+            Ctx::new(SimTime::from_millis(5), MachineId::new(1), &mut actions);
+        assert_eq!(ctx.now(), SimTime::from_millis(5));
+        assert_eq!(ctx.self_id(), MachineId::new(1));
+        ctx.broadcast(Channel::Signals, "a");
+        ctx.send(MachineId::new(2), Channel::Operations, "b");
+        ctx.set_timer(SimTime::from_millis(10), 42);
+        assert_eq!(
+            actions,
+            vec![
+                Action::Broadcast(Channel::Signals, "a"),
+                Action::Send(MachineId::new(2), Channel::Operations, "b"),
+                Action::SetTimer {
+                    delay: SimTime::from_millis(10),
+                    tag: 42
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        struct Null;
+        impl Actor for Null {
+            type Msg = ();
+            fn on_message(
+                &mut self,
+                _: MachineId,
+                _: Channel,
+                _: (),
+                _: &mut Ctx<'_, ()>,
+            ) {
+            }
+        }
+        let mut n = Null;
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(SimTime::ZERO, MachineId::new(0), &mut actions);
+        n.on_start(&mut ctx);
+        n.on_timer(0, &mut ctx);
+        assert!(actions.is_empty());
+    }
+}

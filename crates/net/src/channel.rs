@@ -1,0 +1,44 @@
+//! The two logical meshes of the GUESSTIMATE runtime.
+
+use std::fmt;
+
+/// Which mesh a message travels on.
+///
+/// §4: "The GUESSTIMATE runtime uses two meshes, one for sending signals and
+/// another for passing operations. Both meshes contain all participating
+/// machines."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Channel {
+    /// Control mesh: sync-round signals, confirmations, acknowledgments,
+    /// membership and recovery messages.
+    Signals,
+    /// Data mesh: the `(machineID, operationnumber, operation)` triples
+    /// flushed during *AddUpdatesToMesh*.
+    Operations,
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Channel::Signals => write!(f, "signals"),
+            Channel::Operations => write!(f, "operations"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Channel::Signals.to_string(), "signals");
+        assert_eq!(Channel::Operations.to_string(), "operations");
+    }
+
+    #[test]
+    fn ord_and_eq() {
+        assert!(Channel::Signals < Channel::Operations);
+        assert_ne!(Channel::Signals, Channel::Operations);
+    }
+}

@@ -1,0 +1,285 @@
+//! Fault injection: message loss, duplication, stalls and crashes.
+//!
+//! §7 of the paper reports three failures during the measured hour — one
+//! machine restart and two stalled synchronizations "possibly because a
+//! message was lost in transmission" — all recovered automatically by the
+//! master (resend, or removal from the round plus a restart signal). The
+//! [`FaultPlan`] reproduces those conditions on demand: probabilistic
+//! message drops, scheduled *stall windows* during which a machine neither
+//! sends nor receives, and hard crashes.
+
+use guesstimate_core::MachineId;
+
+use crate::time::SimTime;
+
+/// An interval during which a machine is unresponsive.
+///
+/// Models a GC pause, a swapped-out process or a flaky link: messages from
+/// and to the machine are silently dropped while the window is open. The
+/// machine's state is intact afterwards — it is the *recovery protocol's*
+/// job to bring it back in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// The stalled machine.
+    pub machine: MachineId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+impl StallWindow {
+    /// Creates a stall window.
+    pub fn new(machine: MachineId, from: SimTime, until: SimTime) -> Self {
+        StallWindow {
+            machine,
+            from,
+            until,
+        }
+    }
+
+    /// True if the window covers `t`.
+    pub fn covers(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+/// An interval during which the mesh is split in two: messages between the
+/// named group and everyone else are dropped in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// One side of the partition (the other side is the complement).
+    pub group: Vec<MachineId>,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+impl PartitionWindow {
+    /// Creates a partition window.
+    pub fn new(group: Vec<MachineId>, from: SimTime, until: SimTime) -> Self {
+        PartitionWindow { group, from, until }
+    }
+
+    /// True if the window covers `t`.
+    pub fn covers(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// True if `a` and `b` are on opposite sides.
+    pub fn separates(&self, a: MachineId, b: MachineId) -> bool {
+        self.group.contains(&a) != self.group.contains(&b)
+    }
+}
+
+/// A scheduled one-shot fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Permanently crash a machine at a given time.
+    Crash {
+        /// The machine to crash.
+        machine: MachineId,
+        /// When the crash happens.
+        at: SimTime,
+    },
+}
+
+/// The complete fault schedule for one run.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::MachineId;
+/// use guesstimate_net::{FaultPlan, SimTime, StallWindow};
+///
+/// let plan = FaultPlan::new()
+///     .with_drop_prob(0.001)
+///     .with_stall(StallWindow::new(
+///         MachineId::new(2),
+///         SimTime::from_secs(10),
+///         SimTime::from_secs(25),
+///     ));
+/// assert!(plan.is_stalled(MachineId::new(2), SimTime::from_secs(12)));
+/// assert!(!plan.is_stalled(MachineId::new(2), SimTime::from_secs(25)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    drop_prob: f64,
+    dup_prob: f64,
+    stalls: Vec<StallWindow>,
+    partitions: Vec<PartitionWindow>,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the independent per-delivery drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the independent per-delivery duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_dup_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "dup probability out of range");
+        self.dup_prob = p;
+        self
+    }
+
+    /// Adds a stall window.
+    pub fn with_stall(mut self, w: StallWindow) -> Self {
+        self.stalls.push(w);
+        self
+    }
+
+    /// Adds a scheduled crash.
+    pub fn with_crash(mut self, machine: MachineId, at: SimTime) -> Self {
+        self.events.push(FaultEvent::Crash { machine, at });
+        self
+    }
+
+    /// Adds a partition window.
+    pub fn with_partition(mut self, w: PartitionWindow) -> Self {
+        self.partitions.push(w);
+        self
+    }
+
+    /// The per-delivery drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// The per-delivery duplication probability.
+    pub fn dup_prob(&self) -> f64 {
+        self.dup_prob
+    }
+
+    /// True if `machine` is inside any stall window at `t`.
+    pub fn is_stalled(&self, machine: MachineId, t: SimTime) -> bool {
+        self.stalls
+            .iter()
+            .any(|w| w.machine == machine && w.covers(t))
+    }
+
+    /// All scheduled one-shot fault events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// All stall windows.
+    pub fn stalls(&self) -> &[StallWindow] {
+        &self.stalls
+    }
+
+    /// All partition windows.
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
+    }
+
+    /// True if a message from `a` to `b` crosses an open partition at `t`.
+    pub fn is_cut(&self, a: MachineId, b: MachineId, t: SimTime) -> bool {
+        self.partitions
+            .iter()
+            .any(|w| w.covers(t) && w.separates(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_window_boundaries() {
+        let w = StallWindow::new(
+            MachineId::new(0),
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        );
+        assert!(!w.covers(SimTime::from_millis(9)));
+        assert!(w.covers(SimTime::from_millis(10)));
+        assert!(w.covers(SimTime::from_millis(19)));
+        assert!(!w.covers(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn plan_builder_accumulates() {
+        let plan = FaultPlan::new()
+            .with_drop_prob(0.5)
+            .with_dup_prob(0.25)
+            .with_stall(StallWindow::new(
+                MachineId::new(1),
+                SimTime::ZERO,
+                SimTime::from_secs(1),
+            ))
+            .with_crash(MachineId::new(2), SimTime::from_secs(5));
+        assert_eq!(plan.drop_prob(), 0.5);
+        assert_eq!(plan.dup_prob(), 0.25);
+        assert_eq!(plan.stalls().len(), 1);
+        assert_eq!(plan.events().len(), 1);
+        assert!(plan.is_stalled(MachineId::new(1), SimTime::from_millis(500)));
+        assert!(!plan.is_stalled(MachineId::new(2), SimTime::from_millis(500)));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_bad_drop_prob() {
+        let _ = FaultPlan::new().with_drop_prob(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dup probability")]
+    fn rejects_bad_dup_prob() {
+        let _ = FaultPlan::new().with_dup_prob(-0.1);
+    }
+
+    #[test]
+    fn partitions_cut_across_but_not_within_groups() {
+        let w = PartitionWindow::new(
+            vec![MachineId::new(0), MachineId::new(1)],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let plan = FaultPlan::new().with_partition(w);
+        let t = SimTime::from_millis(1_500);
+        assert!(plan.is_cut(MachineId::new(0), MachineId::new(2), t));
+        assert!(plan.is_cut(MachineId::new(2), MachineId::new(1), t));
+        assert!(!plan.is_cut(MachineId::new(0), MachineId::new(1), t), "same side");
+        assert!(!plan.is_cut(MachineId::new(2), MachineId::new(3), t), "same side");
+        assert!(
+            !plan.is_cut(MachineId::new(0), MachineId::new(2), SimTime::from_secs(2)),
+            "window closed"
+        );
+        assert_eq!(plan.partitions().len(), 1);
+    }
+
+    #[test]
+    fn overlapping_stalls_union() {
+        let plan = FaultPlan::new()
+            .with_stall(StallWindow::new(
+                MachineId::new(0),
+                SimTime::from_millis(0),
+                SimTime::from_millis(10),
+            ))
+            .with_stall(StallWindow::new(
+                MachineId::new(0),
+                SimTime::from_millis(5),
+                SimTime::from_millis(15),
+            ));
+        assert!(plan.is_stalled(MachineId::new(0), SimTime::from_millis(12)));
+        assert!(!plan.is_stalled(MachineId::new(0), SimTime::from_millis(15)));
+    }
+}

@@ -1,0 +1,238 @@
+//! Link-latency models.
+//!
+//! The paper's measurements ran on a LAN, where "the dominant component of
+//! the time for synchronization is network delay" (§7). The latency model is
+//! therefore the main knob that shapes Figures 5 and 6. All models are
+//! sampled from a caller-provided RNG so simulations stay deterministic
+//! under a seed.
+
+use rand::Rng;
+
+use crate::time::SimTime;
+
+/// A distribution of one-way message latencies.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_net::LatencyModel;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let m = LatencyModel::uniform_ms(10, 20);
+/// let s = m.sample(&mut rng);
+/// assert!(s.as_millis() >= 10 && s.as_millis() <= 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimTime),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Minimum latency.
+        lo: SimTime,
+        /// Maximum latency.
+        hi: SimTime,
+    },
+    /// Normal with the given mean and standard deviation (truncated at
+    /// `min`); a reasonable LAN model.
+    Normal {
+        /// Mean latency in microseconds.
+        mean_us: f64,
+        /// Standard deviation in microseconds.
+        std_us: f64,
+        /// Lower truncation bound.
+        min: SimTime,
+    },
+    /// Log-normal of the underlying normal `(mu, sigma)` (in ln-microsecond
+    /// space); heavy-tailed, matching observed LAN/WLAN delay tails.
+    LogNormal {
+        /// Mean of the underlying normal (of ln latency-in-us).
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// A base model plus, with probability `spike_prob`, an additive spike
+    /// (models transient congestion; produces Figure 5-style outliers even
+    /// without faults).
+    Spiky {
+        /// The base distribution.
+        base: Box<LatencyModel>,
+        /// Probability that a message hits a spike.
+        spike_prob: f64,
+        /// Extra delay added on a spike.
+        spike: SimTime,
+    },
+}
+
+impl LatencyModel {
+    /// Constant latency of `ms` milliseconds.
+    pub fn constant_ms(ms: u64) -> Self {
+        LatencyModel::Constant(SimTime::from_millis(ms))
+    }
+
+    /// Uniform latency between `lo_ms` and `hi_ms` milliseconds.
+    pub fn uniform_ms(lo_ms: u64, hi_ms: u64) -> Self {
+        LatencyModel::Uniform {
+            lo: SimTime::from_millis(lo_ms),
+            hi: SimTime::from_millis(hi_ms),
+        }
+    }
+
+    /// A LAN-like model: normal around `mean_ms` with 25% relative standard
+    /// deviation, truncated at 1/4 of the mean.
+    pub fn lan_ms(mean_ms: u64) -> Self {
+        let mean_us = (mean_ms * 1_000) as f64;
+        LatencyModel::Normal {
+            mean_us,
+            std_us: mean_us * 0.25,
+            min: SimTime::from_micros((mean_us * 0.25) as u64),
+        }
+    }
+
+    /// Samples a latency.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        match self {
+            LatencyModel::Constant(t) => *t,
+            LatencyModel::Uniform { lo, hi } => {
+                let (lo, hi) = (lo.as_micros(), hi.as_micros());
+                SimTime::from_micros(rng.gen_range(lo..=hi.max(lo)))
+            }
+            LatencyModel::Normal {
+                mean_us,
+                std_us,
+                min,
+            } => {
+                let z = sample_standard_normal(rng);
+                let v = mean_us + std_us * z;
+                SimTime::from_micros((v.max(min.as_micros() as f64)) as u64)
+            }
+            LatencyModel::LogNormal { mu, sigma } => {
+                let z = sample_standard_normal(rng);
+                SimTime::from_micros((mu + sigma * z).exp().min(1e12) as u64)
+            }
+            LatencyModel::Spiky {
+                base,
+                spike_prob,
+                spike,
+            } => {
+                let mut t = base.sample(rng);
+                if rng.gen_bool((*spike_prob).clamp(0.0, 1.0)) {
+                    t += *spike;
+                }
+                t
+            }
+        }
+    }
+
+    /// The model's mean latency, used for coarse schedule planning.
+    pub fn mean(&self) -> SimTime {
+        match self {
+            LatencyModel::Constant(t) => *t,
+            LatencyModel::Uniform { lo, hi } => {
+                SimTime::from_micros((lo.as_micros() + hi.as_micros()) / 2)
+            }
+            LatencyModel::Normal { mean_us, .. } => SimTime::from_micros(*mean_us as u64),
+            LatencyModel::LogNormal { mu, sigma } => {
+                SimTime::from_micros((mu + sigma * sigma / 2.0).exp() as u64)
+            }
+            LatencyModel::Spiky {
+                base,
+                spike_prob,
+                spike,
+            } => {
+                base.mean()
+                    + SimTime::from_micros((spike.as_micros() as f64 * spike_prob) as u64)
+            }
+        }
+    }
+}
+
+/// Box–Muller standard normal sample (avoids a dependency on `rand_distr`).
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::constant_ms(5);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r).as_millis(), 5);
+        }
+        assert_eq!(m.mean().as_millis(), 5);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = LatencyModel::uniform_ms(10, 20);
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = m.sample(&mut r).as_millis();
+            assert!((10..=20).contains(&s), "{s}");
+        }
+        assert_eq!(m.mean().as_millis(), 15);
+    }
+
+    #[test]
+    fn normal_truncates_at_min() {
+        let m = LatencyModel::Normal {
+            mean_us: 1_000.0,
+            std_us: 10_000.0,
+            min: SimTime::from_micros(500),
+        };
+        let mut r = rng();
+        for _ in 0..500 {
+            assert!(m.sample(&mut r).as_micros() >= 500);
+        }
+    }
+
+    #[test]
+    fn lan_model_mean_is_close_empirically() {
+        let m = LatencyModel::lan_ms(40);
+        let mut r = rng();
+        let n = 4_000;
+        let total: u64 = (0..n).map(|_| m.sample(&mut r).as_micros()).sum();
+        let avg = total as f64 / n as f64;
+        assert!((30_000.0..50_000.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn spiky_adds_tail() {
+        let m = LatencyModel::Spiky {
+            base: Box::new(LatencyModel::constant_ms(1)),
+            spike_prob: 0.5,
+            spike: SimTime::from_millis(100),
+        };
+        let mut r = rng();
+        let samples: Vec<u64> = (0..200).map(|_| m.sample(&mut r).as_millis()).collect();
+        assert!(samples.iter().any(|&s| s > 50));
+        assert!(samples.iter().any(|&s| s < 50));
+        assert_eq!(m.mean().as_millis(), 51);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let m = LatencyModel::lan_ms(20);
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(3);
+            (0..50).map(|_| m.sample(&mut r).as_micros()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(3);
+            (0..50).map(|_| m.sample(&mut r).as_micros()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,53 @@
+//! Transport-level counters.
+
+/// Counters accumulated by a driver over a run.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_net::NetMetrics;
+/// let m = NetMetrics::default();
+/// assert_eq!(m.sent, 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetMetrics {
+    /// Point-to-point deliveries attempted (a broadcast to `n-1` peers
+    /// counts `n-1`).
+    pub sent: u64,
+    /// Deliveries that reached `on_message`.
+    pub delivered: u64,
+    /// Deliveries dropped by the fault plan (loss or stall).
+    pub dropped: u64,
+    /// Extra deliveries injected by duplication faults.
+    pub duplicated: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+}
+
+impl NetMetrics {
+    /// Delivery success ratio in `[0, 1]`; `1.0` when nothing was sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero() {
+        assert_eq!(NetMetrics::default().delivery_ratio(), 1.0);
+        let m = NetMetrics {
+            sent: 4,
+            delivered: 3,
+            dropped: 1,
+            ..Default::default()
+        };
+        assert_eq!(m.delivery_ratio(), 0.75);
+    }
+}

@@ -1,0 +1,657 @@
+//! Deterministic virtual-time driver (discrete-event simulation).
+//!
+//! [`SimNet`] owns the actors, an event queue keyed by virtual time, a
+//! seeded RNG (latency samples, fault coin-flips) and the fault plan. Every
+//! run with the same seed, same actors and same scheduled calls produces the
+//! same history — which is what lets the benchmark harness regenerate the
+//! paper's figures repeatably.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use guesstimate_core::MachineId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::actor::{Action, Actor, Ctx};
+use crate::channel::Channel;
+use crate::fault::{FaultEvent, FaultPlan};
+use crate::latency::LatencyModel;
+use crate::metrics::NetMetrics;
+use crate::time::SimTime;
+
+/// Static configuration of a simulated mesh.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Latency model for the Operations channel (and default for Signals).
+    pub latency: LatencyModel,
+    /// Optional distinct latency model for the Signals channel.
+    pub signals_latency: Option<LatencyModel>,
+    /// RNG seed: same seed ⇒ same run.
+    pub seed: u64,
+    /// Fault schedule.
+    pub faults: FaultPlan,
+}
+
+impl NetConfig {
+    /// A fault-free LAN-like mesh (~30 ms one-way latency), as in §7.
+    pub fn lan(seed: u64) -> Self {
+        NetConfig {
+            latency: LatencyModel::lan_ms(30),
+            signals_latency: None,
+            seed,
+            faults: FaultPlan::new(),
+        }
+    }
+
+    /// Replaces the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets a distinct Signals-channel latency model.
+    pub fn with_signals_latency(mut self, latency: LatencyModel) -> Self {
+        self.signals_latency = Some(latency);
+        self
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    fn model_for(&self, channel: Channel) -> &LatencyModel {
+        match channel {
+            Channel::Signals => self.signals_latency.as_ref().unwrap_or(&self.latency),
+            Channel::Operations => &self.latency,
+        }
+    }
+}
+
+/// A deferred invocation on one actor (used by `schedule_call`).
+type DeferredCall<A> = Box<dyn FnOnce(&mut A, &mut Ctx<'_, <A as Actor>::Msg>) + Send>;
+
+enum EventKind<A: Actor> {
+    Deliver {
+        from: MachineId,
+        to: MachineId,
+        channel: Channel,
+        msg: A::Msg,
+    },
+    Timer {
+        machine: MachineId,
+        tag: u64,
+    },
+    Call {
+        machine: MachineId,
+        f: DeferredCall<A>,
+    },
+    Join {
+        machine: MachineId,
+        actor: Option<A>,
+    },
+    Crash {
+        machine: MachineId,
+    },
+}
+
+struct Scheduled<A: Actor> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<A>,
+}
+
+impl<A: Actor> PartialEq for Scheduled<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<A: Actor> Eq for Scheduled<A> {}
+impl<A: Actor> PartialOrd for Scheduled<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<A: Actor> Ord for Scheduled<A> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic, virtual-time mesh of actors.
+///
+/// See the [crate-level example](crate) for a minimal program.
+pub struct SimNet<A: Actor> {
+    cfg: NetConfig,
+    machines: BTreeMap<MachineId, A>,
+    queue: BinaryHeap<Scheduled<A>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    metrics: NetMetrics,
+}
+
+impl<A: Actor> std::fmt::Debug for SimNet<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet")
+            .field("now", &self.now)
+            .field("machines", &self.machines.keys().collect::<Vec<_>>())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<A: Actor> SimNet<A> {
+    /// Creates an empty mesh; scheduled crash faults are armed immediately.
+    pub fn new(cfg: NetConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let mut net = SimNet {
+            rng,
+            machines: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            metrics: NetMetrics::default(),
+            cfg,
+        };
+        for ev in net.cfg.faults.events().to_vec() {
+            match ev {
+                FaultEvent::Crash { machine, at } => {
+                    net.push(at, EventKind::Crash { machine });
+                }
+            }
+        }
+        net
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<A>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Transport counters so far.
+    pub fn metrics(&self) -> NetMetrics {
+        self.metrics
+    }
+
+    /// Ids of current (non-crashed) members, in order.
+    pub fn members(&self) -> Vec<MachineId> {
+        self.machines.keys().copied().collect()
+    }
+
+    /// Immutable access to an actor.
+    pub fn actor(&self, id: MachineId) -> Option<&A> {
+        self.machines.get(&id)
+    }
+
+    /// Mutable access to an actor, **without** a context.
+    ///
+    /// Use for assertions and stat extraction; use [`SimNet::call`] when the
+    /// mutation needs to send messages or set timers.
+    pub fn actor_mut(&mut self, id: MachineId) -> Option<&mut A> {
+        self.machines.get_mut(&id)
+    }
+
+    /// Adds a machine *now*; its [`Actor::on_start`] runs immediately.
+    pub fn add_machine(&mut self, id: MachineId, actor: A) {
+        self.machines.insert(id, actor);
+        self.invoke(id, |a, ctx| a.on_start(ctx));
+    }
+
+    /// Schedules a machine to join at virtual time `at`.
+    pub fn schedule_join(&mut self, at: SimTime, id: MachineId, actor: A) {
+        self.push(
+            at,
+            EventKind::Join {
+                machine: id,
+                actor: Some(actor),
+            },
+        );
+    }
+
+    /// Removes a machine immediately (graceful leave), returning its actor.
+    pub fn remove_machine(&mut self, id: MachineId) -> Option<A> {
+        self.machines.remove(&id)
+    }
+
+    /// Invokes `f` on an actor *now*, with a context (messages/timers work).
+    ///
+    /// Returns `false` if the machine is not a member.
+    pub fn call(
+        &mut self,
+        id: MachineId,
+        f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>),
+    ) -> bool {
+        if !self.machines.contains_key(&id) {
+            return false;
+        }
+        self.invoke(id, f);
+        true
+    }
+
+    /// Schedules `f` to run on machine `id` at virtual time `at`.
+    ///
+    /// This is how workloads inject user activity ("at t=3.2s, user 2
+    /// updates cell (4,5)"). Calls on machines that have crashed or left by
+    /// `at` are silently skipped.
+    pub fn schedule_call(
+        &mut self,
+        at: SimTime,
+        id: MachineId,
+        f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) + Send + 'static,
+    ) {
+        self.push(
+            at,
+            EventKind::Call {
+                machine: id,
+                f: Box::new(f),
+            },
+        );
+    }
+
+    /// Processes the next event, if any, returning its time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        match ev.kind {
+            EventKind::Deliver {
+                from,
+                to,
+                channel,
+                msg,
+            } => {
+                let stalled = self.cfg.faults.is_stalled(to, self.now)
+                    || self.cfg.faults.is_cut(from, to, self.now);
+                if stalled || !self.machines.contains_key(&to) {
+                    self.metrics.dropped += 1;
+                } else {
+                    self.metrics.delivered += 1;
+                    self.invoke(to, |a, ctx| a.on_message(from, channel, msg, ctx));
+                }
+            }
+            EventKind::Timer { machine, tag } => {
+                if self.machines.contains_key(&machine) {
+                    self.metrics.timers_fired += 1;
+                    self.invoke(machine, |a, ctx| a.on_timer(tag, ctx));
+                }
+            }
+            EventKind::Call { machine, f } => {
+                if self.machines.contains_key(&machine) {
+                    self.invoke(machine, f);
+                }
+            }
+            EventKind::Join { machine, mut actor } => {
+                if let Some(actor) = actor.take() {
+                    self.machines.insert(machine, actor);
+                    self.invoke(machine, |a, ctx| a.on_start(ctx));
+                }
+            }
+            EventKind::Crash { machine } => {
+                self.machines.remove(&machine);
+            }
+        }
+        Some(self.now)
+    }
+
+    /// Runs every event scheduled at or before `t`; afterwards `now() == t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek() {
+            if next.at > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs until the event queue drains or virtual time exceeds `limit`.
+    ///
+    /// Returns `true` if the queue drained (quiescence) within the limit.
+    /// Note that periodic protocols (a master that re-arms a sync timer)
+    /// never quiesce; use [`SimNet::run_until`] for those.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> bool {
+        while let Some(next) = self.queue.peek() {
+            if next.at > limit {
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+
+    fn invoke(&mut self, id: MachineId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>)) {
+        let mut actions = Vec::new();
+        {
+            let Some(actor) = self.machines.get_mut(&id) else {
+                return;
+            };
+            let mut ctx = Ctx::new(self.now, id, &mut actions);
+            f(actor, &mut ctx);
+        }
+        self.process_actions(id, actions);
+    }
+
+    fn process_actions(&mut self, src: MachineId, actions: Vec<Action<A::Msg>>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(channel, msg) => {
+                    let targets: Vec<MachineId> = self
+                        .machines
+                        .keys()
+                        .copied()
+                        .filter(|&m| m != src)
+                        .collect();
+                    for to in targets {
+                        self.schedule_delivery(src, to, channel, msg.clone());
+                    }
+                }
+                Action::Send(to, channel, msg) => {
+                    self.schedule_delivery(src, to, channel, msg);
+                }
+                Action::SetTimer { delay, tag } => {
+                    let at = self.now + delay;
+                    self.push(at, EventKind::Timer { machine: src, tag });
+                }
+            }
+        }
+    }
+
+    fn schedule_delivery(&mut self, from: MachineId, to: MachineId, channel: Channel, msg: A::Msg)
+    where
+        A::Msg: Clone,
+    {
+        self.metrics.sent += 1;
+        if self.cfg.faults.is_stalled(from, self.now)
+            || self.cfg.faults.is_cut(from, to, self.now)
+        {
+            self.metrics.dropped += 1;
+            return;
+        }
+        let drop_p = self.cfg.faults.drop_prob();
+        if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
+            self.metrics.dropped += 1;
+            return;
+        }
+        let dup_p = self.cfg.faults.dup_prob();
+        let duplicate = dup_p > 0.0 && self.rng.gen_bool(dup_p);
+        let lat = self.cfg.model_for(channel).sample(&mut self.rng);
+        let at = self.now + lat;
+        self.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                channel,
+                msg: msg.clone(),
+            },
+        );
+        if duplicate {
+            self.metrics.duplicated += 1;
+            let lat2 = self.cfg.model_for(channel).sample(&mut self.rng);
+            self.push(
+                self.now + lat2,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    channel,
+                    msg,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::StallWindow;
+
+    /// Echo actor: replies "pong" to every "ping"; counts pongs received.
+    struct Echo {
+        pongs: usize,
+        timer_fired_at: Option<SimTime>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                pongs: 0,
+                timer_fired_at: None,
+            }
+        }
+    }
+
+    impl Actor for Echo {
+        type Msg = &'static str;
+        fn on_message(
+            &mut self,
+            from: MachineId,
+            channel: Channel,
+            msg: &'static str,
+            ctx: &mut Ctx<'_, &'static str>,
+        ) {
+            match msg {
+                "ping" => ctx.send(from, channel, "pong"),
+                "pong" => self.pongs += 1,
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_, &'static str>) {
+            self.timer_fired_at = Some(ctx.now());
+        }
+    }
+
+    fn mesh(n: u32, cfg: NetConfig) -> SimNet<Echo> {
+        let mut net = SimNet::new(cfg);
+        for i in 0..n {
+            net.add_machine(MachineId::new(i), Echo::new());
+        }
+        net
+    }
+
+    #[test]
+    fn ping_pong_roundtrip_with_constant_latency() {
+        let cfg = NetConfig::lan(1).with_latency(LatencyModel::constant_ms(10));
+        let mut net = mesh(2, cfg);
+        net.call(MachineId::new(0), |_, ctx| {
+            ctx.send(MachineId::new(1), Channel::Operations, "ping")
+        });
+        net.run_until(SimTime::from_millis(9));
+        assert_eq!(net.actor(MachineId::new(0)).unwrap().pongs, 0);
+        net.run_until(SimTime::from_millis(20));
+        assert_eq!(net.actor(MachineId::new(0)).unwrap().pongs, 1);
+        assert_eq!(net.metrics().delivered, 2);
+    }
+
+    #[test]
+    fn broadcast_excludes_sender() {
+        let cfg = NetConfig::lan(1).with_latency(LatencyModel::constant_ms(1));
+        let mut net = mesh(4, cfg);
+        net.call(MachineId::new(0), |_, ctx| {
+            ctx.broadcast(Channel::Operations, "ping")
+        });
+        net.run_until(SimTime::from_millis(10));
+        // 3 pings out, 3 pongs back to machine 0 only.
+        assert_eq!(net.actor(MachineId::new(0)).unwrap().pongs, 3);
+        for i in 1..4 {
+            assert_eq!(net.actor(MachineId::new(i)).unwrap().pongs, 0);
+        }
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_virtual_time() {
+        let mut net = mesh(1, NetConfig::lan(1));
+        net.call(MachineId::new(0), |_, ctx| {
+            ctx.set_timer(SimTime::from_millis(250), 7)
+        });
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            net.actor(MachineId::new(0)).unwrap().timer_fired_at,
+            Some(SimTime::from_millis(250))
+        );
+        assert_eq!(net.metrics().timers_fired, 1);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_histories() {
+        let run = |seed: u64| -> (u64, u64, usize) {
+            let cfg = NetConfig::lan(seed);
+            let mut net = mesh(5, cfg);
+            for i in 0..5u32 {
+                net.schedule_call(
+                    SimTime::from_millis(i as u64 * 13),
+                    MachineId::new(i),
+                    |_, ctx| ctx.broadcast(Channel::Operations, "ping"),
+                );
+            }
+            net.run_until(SimTime::from_secs(2));
+            let m = net.metrics();
+            (
+                m.sent,
+                m.delivered,
+                net.actor(MachineId::new(3)).unwrap().pongs,
+            )
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn drop_faults_lose_messages() {
+        let cfg = NetConfig::lan(5)
+            .with_latency(LatencyModel::constant_ms(1))
+            .with_faults(FaultPlan::new().with_drop_prob(1.0));
+        let mut net = mesh(2, cfg);
+        net.call(MachineId::new(0), |_, ctx| {
+            ctx.send(MachineId::new(1), Channel::Operations, "ping")
+        });
+        net.run_until(SimTime::from_millis(100));
+        assert_eq!(net.metrics().delivered, 0);
+        assert_eq!(net.metrics().dropped, 1);
+        assert_eq!(net.actor(MachineId::new(0)).unwrap().pongs, 0);
+    }
+
+    #[test]
+    fn stalled_machine_neither_sends_nor_receives() {
+        let stall = StallWindow::new(
+            MachineId::new(1),
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+        );
+        let cfg = NetConfig::lan(5)
+            .with_latency(LatencyModel::constant_ms(1))
+            .with_faults(FaultPlan::new().with_stall(stall));
+        let mut net = mesh(2, cfg);
+        // During the stall: ping to m1 is dropped at delivery.
+        net.call(MachineId::new(0), |_, ctx| {
+            ctx.send(MachineId::new(1), Channel::Operations, "ping")
+        });
+        // m1 tries to send during its stall: dropped at send.
+        net.call(MachineId::new(1), |_, ctx| {
+            ctx.send(MachineId::new(0), Channel::Operations, "ping")
+        });
+        net.run_until(SimTime::from_millis(40));
+        assert_eq!(net.metrics().delivered, 0);
+        assert_eq!(net.metrics().dropped, 2);
+        // After the stall ends, traffic flows again.
+        net.run_until(SimTime::from_millis(60));
+        net.call(MachineId::new(0), |_, ctx| {
+            ctx.send(MachineId::new(1), Channel::Operations, "ping")
+        });
+        net.run_until(SimTime::from_millis(100));
+        assert_eq!(net.actor(MachineId::new(0)).unwrap().pongs, 1);
+    }
+
+    #[test]
+    fn crash_removes_machine_permanently() {
+        let cfg = NetConfig::lan(5)
+            .with_latency(LatencyModel::constant_ms(1))
+            .with_faults(FaultPlan::new().with_crash(MachineId::new(1), SimTime::from_millis(10)));
+        let mut net = mesh(2, cfg);
+        net.run_until(SimTime::from_millis(20));
+        assert_eq!(net.members(), vec![MachineId::new(0)]);
+        net.call(MachineId::new(0), |_, ctx| {
+            ctx.send(MachineId::new(1), Channel::Operations, "ping")
+        });
+        net.run_until(SimTime::from_millis(40));
+        assert_eq!(net.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn join_at_time_runs_on_start() {
+        struct Greeter {
+            started_at: Option<SimTime>,
+        }
+        impl Actor for Greeter {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                self.started_at = Some(ctx.now());
+            }
+            fn on_message(&mut self, _: MachineId, _: Channel, _: (), _: &mut Ctx<'_, ()>) {}
+        }
+        let mut net: SimNet<Greeter> = SimNet::new(NetConfig::lan(0));
+        net.schedule_join(
+            SimTime::from_millis(500),
+            MachineId::new(0),
+            Greeter { started_at: None },
+        );
+        assert!(net.members().is_empty());
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            net.actor(MachineId::new(0)).unwrap().started_at,
+            Some(SimTime::from_millis(500))
+        );
+    }
+
+    #[test]
+    fn duplication_faults_duplicate() {
+        let cfg = NetConfig::lan(5)
+            .with_latency(LatencyModel::constant_ms(1))
+            .with_faults(FaultPlan::new().with_dup_prob(1.0));
+        let mut net = mesh(2, cfg);
+        net.call(MachineId::new(1), |_, ctx| {
+            ctx.send(MachineId::new(0), Channel::Operations, "pong")
+        });
+        net.run_until(SimTime::from_millis(100));
+        assert_eq!(net.actor(MachineId::new(0)).unwrap().pongs, 2);
+        assert_eq!(net.metrics().duplicated, 1);
+    }
+
+    #[test]
+    fn run_until_quiescent_detects_drain() {
+        let cfg = NetConfig::lan(1).with_latency(LatencyModel::constant_ms(1));
+        let mut net = mesh(2, cfg);
+        net.call(MachineId::new(0), |_, ctx| {
+            ctx.send(MachineId::new(1), Channel::Operations, "ping")
+        });
+        assert!(net.run_until_quiescent(SimTime::from_secs(10)));
+        assert_eq!(net.actor(MachineId::new(0)).unwrap().pongs, 1);
+    }
+
+    #[test]
+    fn scheduled_call_on_departed_machine_is_skipped() {
+        let mut net = mesh(2, NetConfig::lan(1));
+        net.schedule_call(SimTime::from_millis(10), MachineId::new(1), |_, ctx| {
+            ctx.broadcast(Channel::Operations, "ping")
+        });
+        let removed = net.remove_machine(MachineId::new(1));
+        assert!(removed.is_some());
+        net.run_until(SimTime::from_millis(100));
+        assert_eq!(net.metrics().sent, 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let net = mesh(1, NetConfig::lan(1));
+        assert!(format!("{net:?}").contains("SimNet"));
+    }
+}

@@ -1,0 +1,507 @@
+//! Real-thread wall-clock driver.
+//!
+//! [`ThreadedNet`] runs the same [`Actor`] protocol logic as [`crate::SimNet`],
+//! but with real threads and real delays: application threads (a UI, a
+//! workload generator, a test) interact with their machine through a
+//! [`ThreadedHandle`] while a background *delivery service* thread plays the
+//! network, applying the configured latency model to every message.
+//!
+//! Fault injection is a simulation-mode feature; the threaded driver is
+//! fault-free by design (it exists to demonstrate liveness and the
+//! non-blocking API under true concurrency, not to run measured
+//! experiments).
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use guesstimate_core::MachineId;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Action, Actor, Ctx};
+use crate::channel::Channel;
+use crate::latency::LatencyModel;
+use crate::metrics::NetMetrics;
+use crate::time::SimTime;
+
+enum Submission<M> {
+    Deliver {
+        at: SimTime,
+        from: MachineId,
+        to: MachineId,
+        channel: Channel,
+        msg: M,
+    },
+    Timer {
+        at: SimTime,
+        machine: MachineId,
+        tag: u64,
+    },
+    Shutdown,
+}
+
+struct Due<M> {
+    at: SimTime,
+    seq: u64,
+    item: DueItem<M>,
+}
+
+enum DueItem<M> {
+    Deliver {
+        from: MachineId,
+        to: MachineId,
+        channel: Channel,
+        msg: M,
+    },
+    Timer {
+        machine: MachineId,
+        tag: u64,
+    },
+}
+
+impl<M> PartialEq for Due<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<M> Eq for Due<M> {}
+impl<M> PartialOrd for Due<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Due<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq)) // min-heap
+    }
+}
+
+struct Shared<A: Actor> {
+    machines: RwLock<std::collections::BTreeMap<MachineId, Arc<Mutex<A>>>>,
+    tx: Sender<Submission<A::Msg>>,
+    start: Instant,
+    latency: LatencyModel,
+    rng: Mutex<StdRng>,
+    metrics: Mutex<NetMetrics>,
+}
+
+impl<A: Actor> Shared<A> {
+    fn now(&self) -> SimTime {
+        SimTime::from(self.start.elapsed())
+    }
+
+    /// Runs `f` on the actor with a live context, then routes its actions.
+    fn invoke(&self, id: MachineId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>)) -> bool {
+        let Some(actor) = self.machines.read().get(&id).cloned() else {
+            return false;
+        };
+        let mut actions = Vec::new();
+        {
+            let mut guard = actor.lock();
+            let mut ctx = Ctx::new(self.now(), id, &mut actions);
+            f(&mut guard, &mut ctx);
+        }
+        self.route(id, actions);
+        true
+    }
+
+    fn route(&self, src: MachineId, actions: Vec<Action<A::Msg>>) {
+        let now = self.now();
+        for action in actions {
+            match action {
+                Action::Broadcast(channel, msg) => {
+                    let targets: Vec<MachineId> = self
+                        .machines
+                        .read()
+                        .keys()
+                        .copied()
+                        .filter(|&m| m != src)
+                        .collect();
+                    for to in targets {
+                        self.submit_delivery(now, src, to, channel, msg.clone());
+                    }
+                }
+                Action::Send(to, channel, msg) => {
+                    self.submit_delivery(now, src, to, channel, msg);
+                }
+                Action::SetTimer { delay, tag } => {
+                    let _ = self.tx.send(Submission::Timer {
+                        at: now + delay,
+                        machine: src,
+                        tag,
+                    });
+                }
+            }
+        }
+    }
+
+    fn submit_delivery(
+        &self,
+        now: SimTime,
+        from: MachineId,
+        to: MachineId,
+        channel: Channel,
+        msg: A::Msg,
+    ) {
+        self.metrics.lock().sent += 1;
+        let lat = self.latency.sample(&mut *self.rng.lock());
+        let _ = self.tx.send(Submission::Deliver {
+            at: now + lat,
+            from,
+            to,
+            channel,
+            msg,
+        });
+    }
+}
+
+/// A handle through which application threads drive one machine.
+pub struct ThreadedHandle<A: Actor> {
+    id: MachineId,
+    shared: Arc<Shared<A>>,
+}
+
+impl<A: Actor> Clone for ThreadedHandle<A> {
+    fn clone(&self) -> Self {
+        ThreadedHandle {
+            id: self.id,
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<A: Actor> std::fmt::Debug for ThreadedHandle<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedHandle").field("id", &self.id).finish()
+    }
+}
+
+impl<A: Actor> ThreadedHandle<A> {
+    /// The machine this handle drives.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Runs `f` with exclusive access to the actor and a live context;
+    /// messages and timers the actor emits are routed through the mesh.
+    ///
+    /// Returns `None` if the machine has left the mesh.
+    pub fn with<R>(&self, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) -> R) -> Option<R> {
+        let mut out = None;
+        let ok = self.shared.invoke(self.id, |a, ctx| out = Some(f(a, ctx)));
+        if ok {
+            out
+        } else {
+            None
+        }
+    }
+
+    /// Runs `f` with shared read access to the actor (no context).
+    pub fn read<R>(&self, f: impl FnOnce(&A) -> R) -> Option<R> {
+        let actor = self.shared.machines.read().get(&self.id).cloned()?;
+        let guard = actor.lock();
+        Some(f(&guard))
+    }
+}
+
+/// A wall-clock mesh of actors, one delivery-service thread behind it.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::MachineId;
+/// use guesstimate_net::{Actor, Channel, Ctx, LatencyModel, ThreadedNet};
+///
+/// struct Count(usize);
+/// impl Actor for Count {
+///     type Msg = u8;
+///     fn on_message(&mut self, _: MachineId, _: Channel, _: u8, _: &mut Ctx<'_, u8>) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let net = ThreadedNet::new(LatencyModel::constant_ms(1), 7);
+/// let a = net.add_machine(MachineId::new(0), Count(0));
+/// let b = net.add_machine(MachineId::new(1), Count(0));
+/// a.with(|_, ctx| ctx.broadcast(Channel::Signals, 9u8));
+/// std::thread::sleep(std::time::Duration::from_millis(50));
+/// assert_eq!(b.read(|c| c.0), Some(1));
+/// ```
+pub struct ThreadedNet<A: Actor> {
+    shared: Arc<Shared<A>>,
+    service: Option<JoinHandle<()>>,
+}
+
+impl<A: Actor> std::fmt::Debug for ThreadedNet<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedNet")
+            .field("machines", &self.shared.machines.read().len())
+            .finish()
+    }
+}
+
+impl<A: Actor> ThreadedNet<A> {
+    /// Starts an empty mesh with the given latency model and RNG seed.
+    pub fn new(latency: LatencyModel, seed: u64) -> Self {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(Shared {
+            machines: RwLock::new(std::collections::BTreeMap::new()),
+            tx,
+            start: Instant::now(),
+            latency,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            metrics: Mutex::new(NetMetrics::default()),
+        });
+        let service = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("guesstimate-net-delivery".into())
+                .spawn(move || delivery_service(shared, rx))
+                .expect("spawn delivery service")
+        };
+        ThreadedNet {
+            shared,
+            service: Some(service),
+        }
+    }
+
+    /// Adds a machine; its [`Actor::on_start`] runs before this returns.
+    pub fn add_machine(&self, id: MachineId, actor: A) -> ThreadedHandle<A> {
+        self.shared
+            .machines
+            .write()
+            .insert(id, Arc::new(Mutex::new(actor)));
+        self.shared.invoke(id, |a, ctx| a.on_start(ctx));
+        ThreadedHandle {
+            id,
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Removes a machine from the mesh; in-flight messages to it are dropped.
+    pub fn remove_machine(&self, id: MachineId) {
+        self.shared.machines.write().remove(&id);
+    }
+
+    /// Wall-clock time since mesh start.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Transport counters so far.
+    pub fn metrics(&self) -> NetMetrics {
+        *self.shared.metrics.lock()
+    }
+
+    /// A handle to an existing machine.
+    pub fn handle(&self, id: MachineId) -> Option<ThreadedHandle<A>> {
+        if self.shared.machines.read().contains_key(&id) {
+            Some(ThreadedHandle {
+                id,
+                shared: self.shared.clone(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl<A: Actor> Drop for ThreadedNet<A> {
+    fn drop(&mut self) {
+        let _ = self.shared.tx.send(Submission::Shutdown);
+        if let Some(h) = self.service.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn delivery_service<A: Actor>(shared: Arc<Shared<A>>, rx: Receiver<Submission<A::Msg>>) {
+    let mut heap: BinaryHeap<Due<A::Msg>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    loop {
+        // Dispatch everything due.
+        let now = shared.now();
+        while heap.peek().is_some_and(|d| d.at <= now) {
+            let due = heap.pop().expect("peeked");
+            match due.item {
+                DueItem::Deliver {
+                    from,
+                    to,
+                    channel,
+                    msg,
+                } => {
+                    let delivered =
+                        shared.invoke(to, |a, ctx| a.on_message(from, channel, msg, ctx));
+                    let mut m = shared.metrics.lock();
+                    if delivered {
+                        m.delivered += 1;
+                    } else {
+                        m.dropped += 1;
+                    }
+                }
+                DueItem::Timer { machine, tag } => {
+                    if shared.invoke(machine, |a, ctx| a.on_timer(tag, ctx)) {
+                        shared.metrics.lock().timers_fired += 1;
+                    }
+                }
+            }
+        }
+        // Sleep until the next due time or the next submission.
+        let timeout = heap
+            .peek()
+            .map(|d| Duration::from(d.at.saturating_since(shared.now())))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(Submission::Shutdown) => return,
+            Ok(Submission::Deliver {
+                at,
+                from,
+                to,
+                channel,
+                msg,
+            }) => {
+                seq += 1;
+                heap.push(Due {
+                    at,
+                    seq,
+                    item: DueItem::Deliver {
+                        from,
+                        to,
+                        channel,
+                        msg,
+                    },
+                });
+            }
+            Ok(Submission::Timer { at, machine, tag }) => {
+                seq += 1;
+                heap.push(Due {
+                    at,
+                    seq,
+                    item: DueItem::Timer { machine, tag },
+                });
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Pinger {
+        pings_seen: usize,
+        pongs_seen: Arc<AtomicUsize>,
+        timer_hits: usize,
+    }
+
+    impl Actor for Pinger {
+        type Msg = &'static str;
+        fn on_message(
+            &mut self,
+            from: MachineId,
+            channel: Channel,
+            msg: &'static str,
+            ctx: &mut Ctx<'_, &'static str>,
+        ) {
+            match msg {
+                "ping" => {
+                    self.pings_seen += 1;
+                    ctx.send(from, channel, "pong");
+                }
+                "pong" => {
+                    self.pongs_seen.fetch_add(1, Ordering::SeqCst);
+                }
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_, &'static str>) {
+            self.timer_hits += 1;
+        }
+    }
+
+    fn pinger(pongs: &Arc<AtomicUsize>) -> Pinger {
+        Pinger {
+            pings_seen: 0,
+            pongs_seen: pongs.clone(),
+            timer_hits: 0,
+        }
+    }
+
+    fn wait_for(pred: impl Fn() -> bool, ms: u64) -> bool {
+        let deadline = Instant::now() + Duration::from_millis(ms);
+        while Instant::now() < deadline {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        pred()
+    }
+
+    #[test]
+    fn ping_pong_over_threads() {
+        let pongs = Arc::new(AtomicUsize::new(0));
+        let net = ThreadedNet::new(LatencyModel::constant_ms(1), 3);
+        let a = net.add_machine(MachineId::new(0), pinger(&pongs));
+        let _b = net.add_machine(MachineId::new(1), pinger(&pongs));
+        a.with(|_, ctx| ctx.send(MachineId::new(1), Channel::Operations, "ping"));
+        assert!(wait_for(|| pongs.load(Ordering::SeqCst) == 1, 2_000));
+        assert_eq!(net.metrics().delivered, 2);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_other_machines() {
+        let pongs = Arc::new(AtomicUsize::new(0));
+        let net = ThreadedNet::new(LatencyModel::constant_ms(1), 3);
+        let handles: Vec<_> = (0..4)
+            .map(|i| net.add_machine(MachineId::new(i), pinger(&pongs)))
+            .collect();
+        handles[0].with(|_, ctx| ctx.broadcast(Channel::Operations, "ping"));
+        assert!(wait_for(|| pongs.load(Ordering::SeqCst) == 3, 2_000));
+        for h in &handles[1..] {
+            assert_eq!(h.read(|p| p.pings_seen), Some(1));
+        }
+    }
+
+    #[test]
+    fn timers_fire() {
+        let pongs = Arc::new(AtomicUsize::new(0));
+        let net = ThreadedNet::new(LatencyModel::constant_ms(1), 3);
+        let a = net.add_machine(MachineId::new(0), pinger(&pongs));
+        a.with(|_, ctx| ctx.set_timer(SimTime::from_millis(5), 1));
+        assert!(wait_for(|| a.read(|p| p.timer_hits).unwrap() == 1, 2_000));
+    }
+
+    #[test]
+    fn removed_machine_drops_messages() {
+        let pongs = Arc::new(AtomicUsize::new(0));
+        let net = ThreadedNet::new(LatencyModel::constant_ms(5), 3);
+        let a = net.add_machine(MachineId::new(0), pinger(&pongs));
+        let _b = net.add_machine(MachineId::new(1), pinger(&pongs));
+        a.with(|_, ctx| ctx.send(MachineId::new(1), Channel::Operations, "ping"));
+        net.remove_machine(MachineId::new(1));
+        assert!(wait_for(|| net.metrics().dropped == 1, 2_000));
+        assert_eq!(pongs.load(Ordering::SeqCst), 0);
+        assert!(net.handle(MachineId::new(1)).is_none());
+        assert!(net.handle(MachineId::new(0)).is_some());
+    }
+
+    #[test]
+    fn handle_read_and_with_return_values() {
+        let pongs = Arc::new(AtomicUsize::new(0));
+        let net = ThreadedNet::new(LatencyModel::constant_ms(1), 3);
+        let a = net.add_machine(MachineId::new(0), pinger(&pongs));
+        assert_eq!(a.with(|p, _| p.pings_seen), Some(0));
+        assert_eq!(a.read(|p| p.timer_hits), Some(0));
+        net.remove_machine(MachineId::new(0));
+        assert_eq!(a.with(|p, _| p.pings_seen), None);
+        assert_eq!(a.read(|p| p.timer_hits), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, in microseconds since simulation start.
+///
+/// Both drivers express time as `SimTime`: the simulated driver advances it
+/// through its event queue, the threaded driver derives it from the wall
+/// clock. Microsecond resolution comfortably covers the paper's scales
+/// (sync periods of hundreds of milliseconds, latencies of tens).
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_net::SimTime;
+/// let t = SimTime::from_millis(2) + SimTime::from_micros(500);
+/// assert_eq!(t.as_micros(), 2_500);
+/// assert_eq!(t.as_millis_f64(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// This time in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This time in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This time in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl From<Duration> for SimTime {
+    fn from(d: Duration) -> Self {
+        SimTime(d.as_micros() as u64)
+    }
+}
+
+impl From<SimTime> for Duration {
+    fn from(t: SimTime) -> Duration {
+        Duration::from_micros(t.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_micros(7).as_micros(), 7);
+        assert_eq!(SimTime::from_millis(1500).as_millis(), 1500);
+        assert_eq!(SimTime::from_micros(2500).as_millis(), 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(2);
+        let b = SimTime::from_millis(1);
+        assert_eq!((a + b).as_millis(), 3);
+        assert_eq!((a - b).as_millis(), 1);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_millis(), 3);
+        assert_eq!(b.saturating_since(a), SimTime::ZERO);
+        assert_eq!(a.saturating_since(b).as_millis(), 1);
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let t = SimTime::from(Duration::from_millis(5));
+        assert_eq!(t.as_millis(), 5);
+        assert_eq!(Duration::from(t), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_micros(5).to_string(), "5us");
+        assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimTime::from_secs(5).to_string(), "5.000s");
+    }
+}

@@ -1,0 +1,131 @@
+//! Convenience constructors for whole clusters.
+
+use std::sync::Arc;
+
+use guesstimate_core::{MachineId, OpRegistry};
+use guesstimate_net::{LatencyModel, NetConfig, SimNet, SimTime, ThreadedHandle, ThreadedNet};
+
+use crate::config::MachineConfig;
+use crate::machine::Machine;
+
+/// Builds a simulated cluster of `n` machines (machine 0 is the master),
+/// all sharing one operation registry.
+///
+/// Machines join through the real membership protocol, so run the returned
+/// net for a second or two of virtual time before expecting all members to
+/// participate (or call [`run_until_cohort`] to do that for you).
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::OpRegistry;
+/// use guesstimate_net::{LatencyModel, NetConfig};
+/// use guesstimate_runtime::{sim_cluster, MachineConfig};
+///
+/// let registry = OpRegistry::new();
+/// let net = sim_cluster(
+///     3,
+///     registry,
+///     MachineConfig::default(),
+///     NetConfig::lan(7).with_latency(LatencyModel::constant_ms(5)),
+/// );
+/// assert_eq!(net.members().len(), 3);
+/// ```
+pub fn sim_cluster(
+    n: u32,
+    registry: OpRegistry,
+    cfg: MachineConfig,
+    netcfg: NetConfig,
+) -> SimNet<Machine> {
+    let registry = Arc::new(registry);
+    let mut net = SimNet::new(netcfg);
+    net.add_machine(
+        MachineId::new(0),
+        Machine::new_master(MachineId::new(0), registry.clone(), cfg.clone()),
+    );
+    for i in 1..n {
+        net.add_machine(
+            MachineId::new(i),
+            Machine::new_member(MachineId::new(i), registry.clone(), cfg.clone()),
+        );
+    }
+    net
+}
+
+/// Runs the simulation until every machine participates in rounds (or the
+/// deadline passes). Returns `true` once the full cohort is active.
+pub fn run_until_cohort(net: &mut SimNet<Machine>, deadline: SimTime) -> bool {
+    let step = SimTime::from_millis(100);
+    let mut t = net.now();
+    loop {
+        let all_in = net
+            .members()
+            .iter()
+            .all(|&m| net.actor(m).map(Machine::in_cohort).unwrap_or(false));
+        if all_in {
+            return true;
+        }
+        if t >= deadline {
+            return false;
+        }
+        t += step;
+        net.run_until(t);
+    }
+}
+
+/// Builds a threaded (wall-clock) cluster of `n` machines; returns the net
+/// and one handle per machine (index 0 is the master).
+pub fn threaded_cluster(
+    n: u32,
+    registry: OpRegistry,
+    cfg: MachineConfig,
+    latency: LatencyModel,
+    seed: u64,
+) -> (ThreadedNet<Machine>, Vec<ThreadedHandle<Machine>>) {
+    let registry = Arc::new(registry);
+    let net = ThreadedNet::new(latency, seed);
+    let mut handles = Vec::with_capacity(n as usize);
+    handles.push(net.add_machine(
+        MachineId::new(0),
+        Machine::new_master(MachineId::new(0), registry.clone(), cfg.clone()),
+    ));
+    for i in 1..n {
+        handles.push(net.add_machine(
+            MachineId::new(i),
+            Machine::new_member(MachineId::new(i), registry.clone(), cfg.clone()),
+        ));
+    }
+    (net, handles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::counter_registry;
+
+    #[test]
+    fn sim_cluster_assembles_cohort() {
+        let cfg = MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(100))
+            .with_stall_timeout(SimTime::from_millis(500));
+        let netcfg = NetConfig::lan(5).with_latency(LatencyModel::constant_ms(10));
+        let mut net = sim_cluster(4, counter_registry(), cfg, netcfg);
+        assert!(run_until_cohort(&mut net, SimTime::from_secs(5)));
+        assert_eq!(
+            net.actor(MachineId::new(0)).unwrap().members().len(),
+            4,
+            "master admitted everyone"
+        );
+    }
+
+    #[test]
+    fn run_until_cohort_times_out_when_blocked() {
+        // Join messages always dropped: the cohort never assembles.
+        let faults = guesstimate_net::FaultPlan::new().with_drop_prob(1.0);
+        let netcfg = NetConfig::lan(5)
+            .with_latency(LatencyModel::constant_ms(10))
+            .with_faults(faults);
+        let mut net = sim_cluster(2, counter_registry(), MachineConfig::default(), netcfg);
+        assert!(!run_until_cohort(&mut net, SimTime::from_secs(3)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Runtime configuration.
+
+use guesstimate_net::SimTime;
+
+/// Tunables of a GUESSTIMATE machine.
+///
+/// The defaults approximate the paper's deployment: a master that starts a
+/// synchronization every few hundred milliseconds on a LAN, with a stall
+/// timeout long enough that it only fires when something is genuinely wrong
+/// (the paper's Figure 5 outliers are exactly such recoveries).
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_net::SimTime;
+/// use guesstimate_runtime::MachineConfig;
+/// let cfg = MachineConfig::default().with_sync_period(SimTime::from_millis(100));
+/// assert_eq!(cfg.sync_period, SimTime::from_millis(100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Master: delay between the end of one synchronization and the start of
+    /// the next ("the master can start another synchronization any time
+    /// after this", §4).
+    pub sync_period: SimTime,
+    /// Master: how long a stage may stall before recovery kicks in
+    /// (resend, then removal + restart).
+    pub stall_timeout: SimTime,
+    /// Participant: how often to re-send `JoinRequest` until admitted.
+    pub join_retry: SimTime,
+    /// Ablation A1 (§9 "Scalable run-time"): flush all machines in parallel
+    /// during stage 1 instead of the paper's serial turn-taking.
+    pub parallel_flush: bool,
+    /// Record the full committed-operation history on this machine
+    /// (diagnostics / refinement checking against the formal semantics).
+    pub record_history: bool,
+    /// §9 "Fault tolerance" extension: when set, a member that hears
+    /// nothing from the master for this long starts a master election
+    /// (candidates ranked by committed progress, ties broken by machine
+    /// id). `None` (the default, and the paper's behavior) means master
+    /// failure is not tolerated.
+    pub master_failover: Option<SimTime>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            sync_period: SimTime::from_millis(250),
+            stall_timeout: SimTime::from_secs(2),
+            join_retry: SimTime::from_secs(1),
+            parallel_flush: false,
+            record_history: false,
+            master_failover: None,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Sets the master's inter-round delay.
+    pub fn with_sync_period(mut self, p: SimTime) -> Self {
+        self.sync_period = p;
+        self
+    }
+
+    /// Sets the master's stage stall timeout.
+    pub fn with_stall_timeout(mut self, t: SimTime) -> Self {
+        self.stall_timeout = t;
+        self
+    }
+
+    /// Enables the parallel first stage (Ablation A1).
+    pub fn with_parallel_flush(mut self, on: bool) -> Self {
+        self.parallel_flush = on;
+        self
+    }
+
+    /// Sets the join-retry period.
+    pub fn with_join_retry(mut self, t: SimTime) -> Self {
+        self.join_retry = t;
+        self
+    }
+
+    /// Enables committed-history recording (see [`MachineConfig::record_history`]).
+    pub fn with_record_history(mut self, on: bool) -> Self {
+        self.record_history = on;
+        self
+    }
+
+    /// Enables master failover with the given silence threshold (should be
+    /// several times the stall timeout, so recovery hiccups never trigger
+    /// spurious elections).
+    pub fn with_master_failover(mut self, timeout: SimTime) -> Self {
+        self.master_failover = Some(timeout);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MachineConfig::default();
+        assert!(c.sync_period < c.stall_timeout);
+        assert!(!c.parallel_flush);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(10))
+            .with_stall_timeout(SimTime::from_millis(500))
+            .with_join_retry(SimTime::from_millis(100))
+            .with_parallel_flush(true);
+        assert_eq!(c.sync_period, SimTime::from_millis(10));
+        assert_eq!(c.stall_timeout, SimTime::from_millis(500));
+        assert_eq!(c.join_retry, SimTime::from_millis(100));
+        assert!(c.parallel_flush);
+    }
+}

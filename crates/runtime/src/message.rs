@@ -1,0 +1,220 @@
+//! Wire messages of the GUESSTIMATE synchronizer.
+//!
+//! §4 of the paper: synchronization proceeds in three stages over two meshes.
+//! *AddUpdatesToMesh* flushes each machine's pending operations as
+//! `(machineID, operationnumber, operation)` triples on the **Operations**
+//! channel, with turn-passing confirmations on the **Signals** channel;
+//! *ApplyUpdatesFromMesh* applies the consolidated list and acknowledges;
+//! *FlagCompletion* closes the round. Membership (enter/leave) and fault
+//! recovery (resend/restart) also ride the Signals channel.
+
+use guesstimate_core::{MachineId, ObjectId, OpId, SharedOp, Value};
+
+/// An operation as it travels between machines.
+///
+/// Besides application-level [`SharedOp`]s, the op stream carries object
+/// *creation*: `Guesstimate.CreateInstance` registers a new shared object
+/// with the runtime, and every machine must materialize it in committed
+/// order (creation is itself an operation with an issue identity, so all
+/// later operations on the object sort after it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOp {
+    /// Materialize a new shared object with the given initial state.
+    Create {
+        /// The new object's id.
+        object: ObjectId,
+        /// Registered type name (must be known to every machine's registry).
+        type_name: String,
+        /// Canonical snapshot of the initial state.
+        init: Value,
+    },
+    /// An application-level shared operation.
+    Shared(SharedOp),
+}
+
+/// An operation tagged with its issue identity — one element of a machine's
+/// pending list `P`, and the unit flushed during *AddUpdatesToMesh*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEnvelope {
+    /// `(machineID, operationnumber)`.
+    pub id: OpId,
+    /// The operation.
+    pub op: WireOp,
+}
+
+/// One object's identity, type and state, as shipped to a joining machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectInit {
+    /// The object's id.
+    pub id: ObjectId,
+    /// Registered type name.
+    pub type_name: String,
+    /// Canonical snapshot of the committed state.
+    pub state: Value,
+}
+
+/// A synchronizer message.
+///
+/// Broadcast messages are seen by every mesh member; the runtime also uses
+/// unicast for recovery nudges and join handshakes. All handlers are
+/// idempotent, so duplicated deliveries (a fault mode of the mesh) are
+/// harmless.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ---- Stage 1: AddUpdatesToMesh ----
+    /// Master → all: a synchronization round begins; `order` fixes the
+    /// serial flush turns (master first).
+    BeginSync {
+        /// Round number (monotonically increasing).
+        round: u64,
+        /// Flush order; also the round's participant set.
+        order: Vec<MachineId>,
+    },
+    /// Flushing machine → all: its pending-list batch for this round.
+    Ops {
+        /// Round number.
+        round: u64,
+        /// The flushing machine.
+        machine: MachineId,
+        /// Its pending operations, in issue order.
+        ops: Vec<WireEnvelope>,
+    },
+    /// Flushing machine → all: confirmation that its flush is complete
+    /// (`count` operations); passes the turn to the next machine in order.
+    FlushDone {
+        /// Round number.
+        round: u64,
+        /// The machine that finished flushing.
+        machine: MachineId,
+        /// Number of operations it flushed.
+        count: u64,
+    },
+
+    // ---- Stage 2: ApplyUpdatesFromMesh ----
+    /// Master → all: every participant flushed; apply the consolidated
+    /// pending list. `counts` is the authoritative per-machine op count
+    /// (machines removed by recovery are absent).
+    BeginApply {
+        /// Round number.
+        round: u64,
+        /// Authoritative `(machine, op count)` pairs for the round.
+        counts: Vec<(MachineId, u64)>,
+    },
+    /// Participant → source machine: some of your round-`round` operations
+    /// never arrived here; please resend your batch.
+    OpsRequest {
+        /// Round number.
+        round: u64,
+    },
+    /// Participant → master: applied everything, committed state updated.
+    Ack {
+        /// Round number.
+        round: u64,
+        /// The acknowledging machine.
+        machine: MachineId,
+    },
+
+    // ---- Stage 3: FlagCompletion ----
+    /// Master → all: the round is complete.
+    SyncComplete {
+        /// Round number.
+        round: u64,
+    },
+
+    // ---- Recovery ----
+    /// Master → all: these machines were removed from the current round
+    /// (stalled); do not wait for their flush and discard their ops.
+    RoundUpdate {
+        /// Round number.
+        round: u64,
+        /// Machines removed from the round.
+        removed: Vec<MachineId>,
+    },
+    /// Master → machine: you are out of sync; shut down and re-enter.
+    Restart,
+    /// Member → all: the master has been silent past the failover
+    /// threshold; I stand for election with this much committed progress.
+    MasterCandidate {
+        /// The candidate.
+        machine: MachineId,
+        /// The candidate's last applied round (election rank, ties broken
+        /// by smaller machine id).
+        last_round: u64,
+    },
+    /// Master → all: I am alive (quells in-progress elections; also sent
+    /// by a freshly promoted master to announce itself).
+    MasterHeartbeat,
+
+    // ---- Membership ----
+    /// New machine → all (master handles): request to enter the system.
+    JoinRequest {
+        /// The joining machine.
+        machine: MachineId,
+    },
+    /// Master → joining machine: the list of available objects (with
+    /// committed state) and the completed-operation history.
+    JoinInfo {
+        /// Every shared object's identity, type and committed state.
+        catalog: Vec<ObjectInit>,
+        /// Ids of all committed operations (the sequence `C`).
+        completed: Vec<OpId>,
+    },
+    /// Joining machine → master: initialized; include me from the next
+    /// synchronization onward.
+    JoinReady {
+        /// The now-initialized machine.
+        machine: MachineId,
+    },
+    /// Departing machine → all: remove me from future synchronizations.
+    Leave {
+        /// The departing machine.
+        machine: MachineId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guesstimate_core::args;
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m = Msg::BeginSync {
+            round: 3,
+            order: vec![MachineId::new(0), MachineId::new(1)],
+        };
+        assert_eq!(m, m.clone());
+        let o = Msg::Ops {
+            round: 3,
+            machine: MachineId::new(1),
+            ops: vec![WireEnvelope {
+                id: OpId::new(MachineId::new(1), 0),
+                op: WireOp::Shared(SharedOp::primitive(
+                    ObjectId::new(MachineId::new(0), 0),
+                    "f",
+                    args![1],
+                )),
+            }],
+        };
+        assert_eq!(o, o.clone());
+        assert_ne!(m, o);
+    }
+
+    #[test]
+    fn wire_create_roundtrips_fields() {
+        let w = WireOp::Create {
+            object: ObjectId::new(MachineId::new(2), 5),
+            type_name: "Sudoku".into(),
+            init: Value::from(1),
+        };
+        match &w {
+            WireOp::Create {
+                object, type_name, ..
+            } => {
+                assert_eq!(object.creator(), MachineId::new(2));
+                assert_eq!(type_name, "Sudoku");
+            }
+            WireOp::Shared(_) => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Runtime statistics: the raw series behind the paper's §7 figures.
+
+use guesstimate_net::SimTime;
+
+/// One completed synchronization, as observed by the master.
+///
+/// The duration spans from the `BeginSync` broadcast to the `SyncComplete`
+/// broadcast (all three stages, §7 "the time it takes for each
+/// synchronization (all three stages put together) to complete").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncSample {
+    /// Round number.
+    pub round: u64,
+    /// Virtual time at which the round began.
+    pub started_at: SimTime,
+    /// BeginSync → SyncComplete.
+    pub duration: SimTime,
+    /// Machines participating at round start.
+    pub participants: usize,
+    /// Operations committed in the round.
+    pub ops_committed: u64,
+    /// Recovery resends performed during the round.
+    pub resends: u32,
+    /// Machines removed (and restarted) during the round.
+    pub removals: u32,
+}
+
+impl SyncSample {
+    /// True if fault recovery intervened in this round.
+    pub fn recovered(&self) -> bool {
+        self.resends > 0 || self.removals > 0
+    }
+}
+
+/// Per-machine counters.
+///
+/// `conflicts` is the Figure 7 quantity: "the number of instances when an
+/// operation that succeeded on issue failed at commit time".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineStats {
+    /// Operations issued successfully (entered the pending list).
+    pub issued: u64,
+    /// Operations rejected at issue time (failed on the guesstimated state).
+    pub issue_failures: u64,
+    /// Own operations committed (with either result).
+    pub committed_own: u64,
+    /// Foreign operations applied at commit.
+    pub committed_foreign: u64,
+    /// Own operations that succeeded at issue but failed at commit.
+    pub conflicts: u64,
+    /// Completion routines executed.
+    pub completions_run: u64,
+    /// Completion routines dropped by a restart.
+    pub completions_dropped: u64,
+    /// Pending operations re-executed while re-establishing `sg = [P](sc)`.
+    pub replays: u64,
+    /// Times this machine was restarted by recovery.
+    pub restarts: u64,
+    /// Times this machine promoted itself to master (failover extension).
+    pub promotions: u64,
+    /// Pending operations lost to restarts.
+    pub ops_lost_to_restart: u64,
+    /// Synchronization rounds this machine applied.
+    pub rounds_applied: u64,
+    /// Histogram of executions-per-own-operation; index `k` counts own
+    /// operations that executed exactly `k` times from issue to commit.
+    /// The §4 bound says nothing lands beyond index 3.
+    pub exec_histogram: [u64; 8],
+    /// Maximum executions observed for any single own operation.
+    pub max_exec_count: u32,
+    /// Completed synchronizations seen (master: rounds driven).
+    pub syncs_seen: u64,
+    /// Master only: one sample per completed round.
+    pub sync_samples: Vec<SyncSample>,
+    /// Issue-to-commit latencies of own operations issued through
+    /// [`crate::Machine::issue_at`] (operations issued without a timestamp
+    /// are not tracked).
+    pub commit_latencies: Vec<SimTime>,
+}
+
+impl MachineStats {
+    /// Mean issue-to-commit latency among tracked operations.
+    pub fn mean_commit_latency(&self) -> Option<SimTime> {
+        if self.commit_latencies.is_empty() {
+            return None;
+        }
+        let total: u64 = self.commit_latencies.iter().map(|t| t.as_micros()).sum();
+        Some(SimTime::from_micros(
+            total / self.commit_latencies.len() as u64,
+        ))
+    }
+}
+
+impl MachineStats {
+    /// Records the final execution count of one own operation.
+    pub(crate) fn record_exec_count(&mut self, count: u32) {
+        let idx = (count as usize).min(self.exec_histogram.len() - 1);
+        self.exec_histogram[idx] += 1;
+        self.max_exec_count = self.max_exec_count.max(count);
+    }
+
+    /// Conflict rate among committed own operations (Figure 7, normalized).
+    pub fn conflict_rate(&self) -> f64 {
+        if self.committed_own == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.committed_own as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_histogram_saturates() {
+        let mut s = MachineStats::default();
+        s.record_exec_count(2);
+        s.record_exec_count(3);
+        s.record_exec_count(3);
+        s.record_exec_count(100);
+        assert_eq!(s.exec_histogram[2], 1);
+        assert_eq!(s.exec_histogram[3], 2);
+        assert_eq!(s.exec_histogram[7], 1);
+        assert_eq!(s.max_exec_count, 100);
+    }
+
+    #[test]
+    fn conflict_rate_handles_zero() {
+        let mut s = MachineStats::default();
+        assert_eq!(s.conflict_rate(), 0.0);
+        s.committed_own = 4;
+        s.conflicts = 1;
+        assert_eq!(s.conflict_rate(), 0.25);
+    }
+
+    #[test]
+    fn sample_recovered_flag() {
+        let base = SyncSample {
+            round: 1,
+            started_at: SimTime::ZERO,
+            duration: SimTime::from_millis(300),
+            participants: 8,
+            ops_committed: 10,
+            resends: 0,
+            removals: 0,
+        };
+        assert!(!base.recovered());
+        assert!(SyncSample { resends: 1, ..base }.recovered());
+        assert!(SyncSample { removals: 1, ..base }.recovered());
+    }
+}

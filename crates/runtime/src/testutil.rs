@@ -1,0 +1,54 @@
+//! Shared test fixtures for the runtime crate's unit tests.
+
+use guesstimate_core::{GState, OpRegistry, RestoreError, Value};
+
+/// A counter with a non-negativity precondition — the minimal shared object.
+#[derive(Clone, Default, Debug, PartialEq)]
+pub(crate) struct Counter {
+    pub n: i64,
+}
+
+impl GState for Counter {
+    const TYPE_NAME: &'static str = "Counter";
+    fn snapshot(&self) -> Value {
+        Value::from(self.n)
+    }
+    fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+        self.n = v.as_i64().ok_or_else(|| RestoreError::shape("i64"))?;
+        Ok(())
+    }
+}
+
+/// Registry with `Counter` and three methods:
+/// * `add(d)` — fails if the counter would go negative;
+/// * `add_capped(d, cap)` — additionally fails if the counter would exceed
+///   `cap` (an easy way to manufacture commit-time conflicts);
+/// * `set(v)` — unconditional.
+pub(crate) fn counter_registry() -> OpRegistry {
+    let mut r = OpRegistry::new();
+    r.register_type::<Counter>();
+    r.register_method::<Counter>("add", |c, a| {
+        let Some(d) = a.i64(0) else { return false };
+        if c.n + d < 0 {
+            return false;
+        }
+        c.n += d;
+        true
+    });
+    r.register_method::<Counter>("add_capped", |c, a| {
+        let (Some(d), Some(cap)) = (a.i64(0), a.i64(1)) else {
+            return false;
+        };
+        if c.n + d < 0 || c.n + d > cap {
+            return false;
+        }
+        c.n += d;
+        true
+    });
+    r.register_method::<Counter>("set", |c, a| {
+        let Some(v) = a.i64(0) else { return false };
+        c.n = v;
+        true
+    });
+    r
+}

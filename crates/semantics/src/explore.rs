@@ -1,0 +1,303 @@
+//! Bounded exploration of rule interleavings: a small model checker.
+//!
+//! From an initial system and a finite *menu* of issuable operations per
+//! machine, [`explore`] enumerates every interleaving of R1/R2/R3
+//! transitions up to a depth bound, deduplicating states by digest and
+//! checking the §3 invariants in every reachable state. This mechanizes the
+//! paper's "these invariants can be proved by induction over the transition
+//! rules" for finite instances.
+
+use std::collections::HashSet;
+
+use guesstimate_core::{MachineId, SharedOp};
+
+use crate::invariants::{check_invariants, InvariantViolation};
+use crate::model::SemSystem;
+
+/// One transition choice the explorer can make.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemAction {
+    /// Rule R1 at a machine.
+    Local(MachineId),
+    /// Rule R2 at a machine, issuing menu entry `menu_index`.
+    Issue(MachineId, usize),
+    /// Rule R3: commit the front of a machine's pending queue.
+    Commit(MachineId),
+}
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Maximum transition depth from the initial state.
+    pub max_depth: usize,
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+    /// Each machine may issue at most this many operations along a path
+    /// (keeps the space finite even with a permissive menu).
+    pub max_issues_per_machine: usize,
+    /// Include R1 (local) transitions; they never affect shared state, so
+    /// disabling them shrinks the space without losing invariant coverage.
+    pub include_local: bool,
+    /// Additionally check, in every visited state, that draining all
+    /// pending queues (repeated R3) reaches quiescence with the guesstimated
+    /// and committed states equal on every machine — the paper's
+    /// convergence guarantee, checked from *every* reachable state rather
+    /// than just the initial one.
+    pub check_quiescence: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_depth: 8,
+            max_states: 20_000,
+            max_issues_per_machine: 2,
+            include_local: false,
+            check_quiescence: false,
+        }
+    }
+}
+
+/// What the explorer found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Distinct states visited.
+    pub states_visited: usize,
+    /// Deepest path length reached.
+    pub max_depth_reached: usize,
+    /// Invariant violations, with the action path that led to each
+    /// (empty means every reachable state satisfied the invariants).
+    pub violations: Vec<(Vec<SemAction>, InvariantViolation)>,
+    /// Paths from which draining to quiescence failed to equalize
+    /// guesstimated and committed state (only populated when
+    /// [`ExploreConfig::check_quiescence`] is on).
+    pub quiescence_failures: Vec<Vec<SemAction>>,
+    /// True if the search was truncated by `max_states`.
+    pub truncated: bool,
+}
+
+/// Explores all interleavings of issue/commit (and optionally local)
+/// transitions from `initial`, drawing issued operations from `menu`,
+/// checking invariants in every reachable state.
+pub fn explore(initial: &SemSystem, menu: &[SharedOp], cfg: ExploreConfig) -> ExploreReport {
+    let ids = initial.machine_ids();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut report = ExploreReport {
+        states_visited: 0,
+        max_depth_reached: 0,
+        violations: Vec::new(),
+        quiescence_failures: Vec::new(),
+        truncated: false,
+    };
+    // Depth-first with explicit stack: (system, depth, issues-per-machine, path).
+    let issues0 = vec![0usize; ids.len()];
+    let mut stack: Vec<(SemSystem, usize, Vec<usize>, Vec<SemAction>)> =
+        vec![(initial.clone(), 0, issues0, Vec::new())];
+    seen.insert(initial.digest());
+    while let Some((sys, depth, issues, path)) = stack.pop() {
+        if report.states_visited >= cfg.max_states {
+            report.truncated = true;
+            break;
+        }
+        report.states_visited += 1;
+        report.max_depth_reached = report.max_depth_reached.max(depth);
+        if let Err(v) = check_invariants(&sys) {
+            report.violations.push((path.clone(), v));
+            continue;
+        }
+        if cfg.check_quiescence {
+            let mut drained = sys.clone();
+            while drained.commit_any().unwrap_or(false) {}
+            let converged = drained.quiescent()
+                && drained.machine_ids().iter().all(|&id| {
+                    let m = drained.machine(id).expect("machine");
+                    m.guess.digest() == m.committed.digest()
+                })
+                && check_invariants(&drained).is_ok();
+            if !converged {
+                report.quiescence_failures.push(path.clone());
+            }
+        }
+        if depth >= cfg.max_depth {
+            continue;
+        }
+        for (mi, &machine) in ids.iter().enumerate() {
+            // R3
+            if !sys
+                .machine(machine)
+                .expect("machine exists")
+                .pending
+                .is_empty()
+            {
+                let mut next = sys.clone();
+                next.commit(machine).expect("commit enabled");
+                if seen.insert(next.digest()) {
+                    let mut p = path.clone();
+                    p.push(SemAction::Commit(machine));
+                    stack.push((next, depth + 1, issues.clone(), p));
+                }
+            }
+            // R2
+            if issues[mi] < cfg.max_issues_per_machine {
+                for (oi, op) in menu.iter().enumerate() {
+                    let mut next = sys.clone();
+                    if let Ok(true) = next.issue(machine, op.clone()) {
+                        if seen.insert(next.digest()) {
+                            let mut iss = issues.clone();
+                            iss[mi] += 1;
+                            let mut p = path.clone();
+                            p.push(SemAction::Issue(machine, oi));
+                            stack.push((next, depth + 1, iss, p));
+                        }
+                    }
+                }
+            }
+            // R1
+            if cfg.include_local {
+                let mut next = sys.clone();
+                next.local(machine).expect("machine exists");
+                if seen.insert(next.digest()) {
+                    let mut p = path.clone();
+                    p.push(SemAction::Local(machine));
+                    stack.push((next, depth + 1, issues.clone(), p));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testmodel::{counter_object, counter_system};
+    use guesstimate_core::args;
+
+    #[test]
+    fn exhaustive_small_space_has_no_violations() {
+        let sys = counter_system(2, 3);
+        let obj = counter_object();
+        let menu = vec![
+            SharedOp::primitive(obj, "add", args![1]),
+            SharedOp::primitive(obj, "add_capped", args![1, 5]),
+        ];
+        let report = explore(&sys, &menu, ExploreConfig::default());
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report.states_visited > 100,
+            "space was actually explored: {}",
+            report.states_visited
+        );
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn local_transitions_do_not_break_invariants() {
+        let sys = counter_system(2, 3);
+        let obj = counter_object();
+        let menu = vec![SharedOp::primitive(obj, "add", args![2])];
+        let cfg = ExploreConfig {
+            max_depth: 5,
+            include_local: true,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&sys, &menu, cfg);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn three_machines_with_conflicts_stay_consistent() {
+        let sys = counter_system(3, 3);
+        let obj = counter_object();
+        // Capped adds conflict heavily (cap 5, initial 3, up to 6 claimed);
+        // invariants must survive anyway.
+        let menu = vec![SharedOp::primitive(obj, "add_capped", args![1, 5])];
+        let cfg = ExploreConfig {
+            max_depth: 9,
+            max_issues_per_machine: 2,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&sys, &menu, cfg);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.states_visited > 200, "visited {}", report.states_visited);
+    }
+
+    #[test]
+    fn quiescence_is_reachable_from_every_explored_state() {
+        let sys = counter_system(2, 3);
+        let obj = counter_object();
+        let menu = vec![
+            SharedOp::primitive(obj, "add", args![1]),
+            SharedOp::primitive(obj, "add_capped", args![2, 6]),
+        ];
+        let cfg = ExploreConfig {
+            max_depth: 6,
+            check_quiescence: true,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&sys, &menu, cfg);
+        assert!(report.violations.is_empty());
+        assert!(
+            report.quiescence_failures.is_empty(),
+            "convergence from every reachable state: {:?}",
+            report.quiescence_failures.first()
+        );
+        assert!(report.states_visited > 50);
+    }
+
+    #[test]
+    fn multi_object_menus_keep_invariants() {
+        use guesstimate_core::{MachineId, ObjectId, ObjectStore};
+        use std::sync::Arc;
+        // Two counters with different caps; ops interleave across objects.
+        let a = ObjectId::new(MachineId::new(0), 0);
+        let b = ObjectId::new(MachineId::new(0), 1);
+        let mut store = ObjectStore::new();
+        store.insert(a, Box::new(crate::testmodel::Counter { n: 0 }));
+        store.insert(b, Box::new(crate::testmodel::Counter { n: 1 }));
+        let sys = crate::model::SemSystem::new(
+            2,
+            Arc::new(crate::testmodel::counter_registry()),
+            &store,
+        );
+        let menu = vec![
+            SharedOp::primitive(a, "add_capped", args![1, 2]),
+            SharedOp::primitive(b, "add_capped", args![2, 4]),
+            // A cross-object atomic: both or neither.
+            SharedOp::atomic(vec![
+                SharedOp::primitive(a, "add_capped", args![1, 2]),
+                SharedOp::primitive(b, "add_capped", args![1, 4]),
+            ]),
+        ];
+        let cfg = ExploreConfig {
+            max_depth: 7,
+            check_quiescence: true,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&sys, &menu, cfg);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.quiescence_failures.is_empty());
+        assert!(report.states_visited > 200, "visited {}", report.states_visited);
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let sys = counter_system(3, 3);
+        let obj = counter_object();
+        let menu = vec![
+            SharedOp::primitive(obj, "add", args![1]),
+            SharedOp::primitive(obj, "add", args![2]),
+            SharedOp::primitive(obj, "add", args![3]),
+        ];
+        let cfg = ExploreConfig {
+            max_depth: 12,
+            max_states: 200,
+            max_issues_per_machine: 4,
+            include_local: false,
+            check_quiescence: false,
+        };
+        let report = explore(&sys, &menu, cfg);
+        assert!(report.truncated);
+        assert!(report.states_visited <= 200);
+    }
+}

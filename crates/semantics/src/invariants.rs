@@ -1,0 +1,151 @@
+//! The §3 invariants, checked by re-execution.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::model::{replay_pending, SemSystem};
+
+/// A violated invariant, with enough context to debug the offending state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// `[P](sc) != sg` on some machine.
+    GuessMismatch {
+        /// The offending machine.
+        machine: guesstimate_core::MachineId,
+        /// Digest of `[P](sc)`.
+        expected: u64,
+        /// Digest of `sg`.
+        actual: u64,
+    },
+    /// Two machines disagree on the committed state.
+    CommittedDiverged {
+        /// First machine.
+        a: guesstimate_core::MachineId,
+        /// Second machine.
+        b: guesstimate_core::MachineId,
+    },
+    /// Two machines disagree on the completed sequence.
+    CompletedDiverged {
+        /// First machine.
+        a: guesstimate_core::MachineId,
+        /// Second machine.
+        b: guesstimate_core::MachineId,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::GuessMismatch {
+                machine,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "machine {machine}: [P](sc) digest {expected:#x} != sg digest {actual:#x}"
+            ),
+            InvariantViolation::CommittedDiverged { a, b } => {
+                write!(f, "committed states of {a} and {b} diverged")
+            }
+            InvariantViolation::CompletedDiverged { a, b } => {
+                write!(f, "completed sequences of {a} and {b} diverged")
+            }
+        }
+    }
+}
+
+impl Error for InvariantViolation {}
+
+/// Checks the two §3 invariants on the whole system:
+///
+/// 1. Every machine satisfies `[P](sc) = sg` — the guesstimate is exactly
+///    the committed state with the machine's pending operations applied.
+/// 2. For every pair of machines, `sc(i) = sc(j)` and `C(i) = C(j)`.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_invariants(sys: &SemSystem) -> Result<(), InvariantViolation> {
+    let ids = sys.machine_ids();
+    for &i in &ids {
+        let m = sys.machine(i).expect("listed machine exists");
+        let replayed = replay_pending(m, sys.registry());
+        let expected = replayed.digest();
+        let actual = m.guess.digest();
+        if expected != actual {
+            return Err(InvariantViolation::GuessMismatch {
+                machine: i,
+                expected,
+                actual,
+            });
+        }
+    }
+    for w in ids.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let ma = sys.machine(a).expect("machine exists");
+        let mb = sys.machine(b).expect("machine exists");
+        if ma.committed.digest() != mb.committed.digest() {
+            return Err(InvariantViolation::CommittedDiverged { a, b });
+        }
+        if ma.completed != mb.completed {
+            return Err(InvariantViolation::CompletedDiverged { a, b });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testmodel::{counter_object, counter_system};
+    use guesstimate_core::{args, MachineId, SharedOp};
+
+    #[test]
+    fn fresh_system_satisfies_invariants() {
+        let sys = counter_system(4, 5);
+        check_invariants(&sys).unwrap();
+    }
+
+    #[test]
+    fn violation_displays_are_informative() {
+        let v = InvariantViolation::GuessMismatch {
+            machine: MachineId::new(2),
+            expected: 1,
+            actual: 2,
+        };
+        assert!(v.to_string().contains("m2"));
+        let v = InvariantViolation::CommittedDiverged {
+            a: MachineId::new(0),
+            b: MachineId::new(1),
+        };
+        assert!(v.to_string().contains("diverged"));
+        let v = InvariantViolation::CompletedDiverged {
+            a: MachineId::new(0),
+            b: MachineId::new(1),
+        };
+        assert!(v.to_string().contains("completed"));
+    }
+
+    #[test]
+    fn invariants_hold_across_a_random_walk() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut sys = counter_system(3, 5);
+        let obj = counter_object();
+        for _ in 0..200 {
+            let i = MachineId::new(rng.gen_range(0..3));
+            if rng.gen_bool(0.5) {
+                let d: i64 = rng.gen_range(-2..5);
+                let _ = sys.issue(i, SharedOp::primitive(obj, "add", args![d])).unwrap();
+            } else {
+                let _ = sys.commit(i).unwrap();
+            }
+            check_invariants(&sys).unwrap();
+        }
+        while sys.commit_any().unwrap() {
+            check_invariants(&sys).unwrap();
+        }
+        assert!(sys.quiescent());
+    }
+}

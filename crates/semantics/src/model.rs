@@ -1,0 +1,425 @@
+//! The transition system: machine 5-tuples and rules R1/R2/R3.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use guesstimate_core::{
+    execute, ExecError, MachineId, ObjectStore, OpId, OpRegistry, SharedOp, Value,
+};
+
+/// One entry in the model's local state: something a completion or local
+/// operation observed.
+///
+/// The paper leaves local state `λ` and the completion/local operations
+/// abstract (signatures `(S × G) → G` and `(S × G × B) → G`). The model
+/// instantiates them with a canonical observable choice — an append-only
+/// log — which is general enough to distinguish executions while staying
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LocalNote {
+    /// A completion ran: the operation and its commit-time boolean (rule R3).
+    Completed(OpId, bool),
+    /// A local operation recorded the current guesstimated-state digest (R1).
+    GuessDigest(u64),
+}
+
+/// The model's local state `λ`: an append-only log of observations.
+pub type SemLocal = Vec<LocalNote>;
+
+/// A composite operation `(s, c)` sitting in a pending queue.
+///
+/// The completion `c` is the canonical "record the boolean" completion (see
+/// [`LocalNote::Completed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemOp {
+    /// Issue identity.
+    pub id: OpId,
+    /// The shared operation `s`.
+    pub shared: SharedOp,
+}
+
+/// One machine's 5-tuple `(λ, C, sc, P, sg)`.
+#[derive(Debug, Clone)]
+pub struct SemMachine {
+    /// Local state `λ`.
+    pub local: SemLocal,
+    /// Completed operations `C` (identities, in commit order).
+    pub completed: Vec<OpId>,
+    /// Committed state `sc`.
+    pub committed: ObjectStore,
+    /// Pending composite operations `P`.
+    pub pending: VecDeque<SemOp>,
+    /// Guesstimated state `sg`.
+    pub guess: ObjectStore,
+    next_op: u64,
+}
+
+impl SemMachine {
+    fn new() -> Self {
+        SemMachine {
+            local: Vec::new(),
+            completed: Vec::new(),
+            committed: ObjectStore::new(),
+            pending: VecDeque::new(),
+            guess: ObjectStore::new(),
+            next_op: 0,
+        }
+    }
+}
+
+/// The whole distributed system: `|M|` machines over shared objects `S`.
+///
+/// All transitions go through [`SemSystem::local`], [`SemSystem::issue`]
+/// (R2) and [`SemSystem::commit`] (R3); the invariants of §3 are preserved
+/// by construction and can be re-checked at any point with
+/// [`crate::check_invariants`].
+#[derive(Clone)]
+pub struct SemSystem {
+    machines: BTreeMap<MachineId, SemMachine>,
+    registry: Arc<OpRegistry>,
+}
+
+impl std::fmt::Debug for SemSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemSystem")
+            .field("machines", &self.machines.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl SemSystem {
+    /// Creates a system of `n` machines whose shared state starts as
+    /// `initial` (identical everywhere — the committed state must agree
+    /// from the outset).
+    pub fn new(n: u32, registry: Arc<OpRegistry>, initial: &ObjectStore) -> Self {
+        let mut machines = BTreeMap::new();
+        for i in 0..n {
+            let mut m = SemMachine::new();
+            m.committed.copy_from(initial);
+            m.guess.copy_from(initial);
+            machines.insert(MachineId::new(i), m);
+        }
+        SemSystem { machines, registry }
+    }
+
+    /// The machine ids, in order.
+    pub fn machine_ids(&self) -> Vec<MachineId> {
+        self.machines.keys().copied().collect()
+    }
+
+    /// Read access to a machine's 5-tuple.
+    pub fn machine(&self, id: MachineId) -> Option<&SemMachine> {
+        self.machines.get(&id)
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> &Arc<OpRegistry> {
+        &self.registry
+    }
+
+    /// **R1**: a local operation at machine `i` reads `(sg, λ)` and updates
+    /// `λ` — here, by recording the guesstimated-state digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the machine does not exist.
+    pub fn local(&mut self, i: MachineId) -> Result<(), ExecError> {
+        let m = self
+            .machines
+            .get_mut(&i)
+            .ok_or(ExecError::UnknownObject(guesstimate_core::ObjectId::new(i, 0)))?;
+        let digest = m.guess.digest();
+        m.local.push(LocalNote::GuessDigest(digest));
+        Ok(())
+    }
+
+    /// **R2**: issue a composite operation at machine `i`.
+    ///
+    /// Executes `op` on `sg(i)`. On success the operation is appended to
+    /// `P(i)` and `Ok(true)` is returned; on failure the state is unchanged
+    /// and the operation is dropped (`Ok(false)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] for unknown objects/methods (not part of the
+    /// model — a programming error).
+    pub fn issue(&mut self, i: MachineId, op: SharedOp) -> Result<bool, ExecError> {
+        let m = self
+            .machines
+            .get_mut(&i)
+            .ok_or(ExecError::UnknownObject(guesstimate_core::ObjectId::new(i, 0)))?;
+        let outcome = execute(&op, &mut m.guess, &self.registry)?;
+        if !outcome.is_success() {
+            return Ok(false);
+        }
+        let id = OpId::new(i, m.next_op);
+        m.next_op += 1;
+        m.pending.push_back(SemOp { id, shared: op });
+        Ok(true)
+    }
+
+    /// **R3**: atomically commit the operation at the front of `P(i)`.
+    ///
+    /// The operation is executed on every machine's committed state
+    /// (unguarded — "the operation is executed regardless of whether the
+    /// operation s is successful or not"), appended to every `C`, runs its
+    /// completion on machine `i`, and rebuilds `sg(j) = [P(j)](sc(j))` for
+    /// every other machine `j`. Machine `i`'s guesstimate needs no update:
+    /// the concatenation `C(i) · P(i)` is invariant under the rule.
+    ///
+    /// Returns `Ok(true)` if a commit happened, `Ok(false)` if `P(i)` was
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the machine does not exist.
+    pub fn commit(&mut self, i: MachineId) -> Result<bool, ExecError> {
+        let op = {
+            let m = self
+                .machines
+                .get_mut(&i)
+                .ok_or(ExecError::UnknownObject(guesstimate_core::ObjectId::new(i, 0)))?;
+            match m.pending.pop_front() {
+                Some(op) => op,
+                None => return Ok(false),
+            }
+        };
+        let registry = self.registry.clone();
+        let mut issuing_result = false;
+        for (&j, m) in self.machines.iter_mut() {
+            let res = execute(&op.shared, &mut m.committed, &registry)
+                .map(|o| o.is_success())
+                .unwrap_or(false);
+            m.completed.push(op.id);
+            if j == i {
+                issuing_result = res;
+            } else {
+                // Rebuild sg(j) = [P(j)](sc(j)).
+                m.guess.copy_from(&m.committed);
+                let pend: Vec<SemOp> = m.pending.iter().cloned().collect();
+                for p in &pend {
+                    let _ = execute(&p.shared, &mut m.guess, &registry);
+                }
+            }
+        }
+        // Completion runs on the issuing machine with the commit result.
+        let m = self.machines.get_mut(&i).expect("machine exists");
+        m.local.push(LocalNote::Completed(op.id, issuing_result));
+        Ok(true)
+    }
+
+    /// Commits the front of the first non-empty pending queue (helper for
+    /// quiescence loops). Returns `Ok(false)` when all queues are empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemSystem::commit`] errors.
+    pub fn commit_any(&mut self) -> Result<bool, ExecError> {
+        let next = self
+            .machines
+            .iter()
+            .find(|(_, m)| !m.pending.is_empty())
+            .map(|(&i, _)| i);
+        match next {
+            Some(i) => self.commit(i),
+            None => Ok(false),
+        }
+    }
+
+    /// True when every pending queue is empty (the system has quiesced).
+    pub fn quiescent(&self) -> bool {
+        self.machines.values().all(|m| m.pending.is_empty())
+    }
+
+    /// A deterministic digest of the entire system state (used by the
+    /// explorer to deduplicate states).
+    pub fn digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        struct Fnv(u64);
+        impl Hasher for Fnv {
+            fn finish(&self) -> u64 {
+                self.0
+            }
+            fn write(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        for (id, m) in &self.machines {
+            id.hash(&mut h);
+            m.committed.digest().hash(&mut h);
+            m.guess.digest().hash(&mut h);
+            m.completed.hash(&mut h);
+            for p in &m.pending {
+                p.id.hash(&mut h);
+                p.shared.to_string().hash(&mut h);
+            }
+            m.local.len().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Computes `[P](sc)` for a machine: the committed state with the pending
+/// operations applied in order (used by the invariant checker).
+pub(crate) fn replay_pending(m: &SemMachine, registry: &OpRegistry) -> ObjectStore {
+    let mut s = ObjectStore::new();
+    s.copy_from(&m.committed);
+    for p in &m.pending {
+        let _ = execute(&p.shared, &mut s, registry);
+    }
+    s
+}
+
+/// Convenience: a `Value` digest of a machine's local log (tests).
+#[allow(dead_code)]
+pub(crate) fn local_digest(local: &SemLocal) -> Value {
+    Value::from(
+        local
+            .iter()
+            .map(|n| match n {
+                LocalNote::Completed(id, b) => Value::from(format!("{id}:{b}")),
+                LocalNote::GuessDigest(d) => Value::from(*d as i64),
+            })
+            .collect::<Vec<Value>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::check_invariants;
+    use crate::testmodel::{counter_object, counter_system};
+    use guesstimate_core::args;
+
+    fn m(i: u32) -> MachineId {
+        MachineId::new(i)
+    }
+
+    #[test]
+    fn issue_updates_guess_only() {
+        let mut sys = counter_system(2, 0);
+        let obj = counter_object();
+        assert!(sys.issue(m(0), SharedOp::primitive(obj, "add", args![4])).unwrap());
+        let m0 = sys.machine(m(0)).unwrap();
+        assert_ne!(m0.guess.digest(), m0.committed.digest());
+        assert_eq!(m0.pending.len(), 1);
+        let m1 = sys.machine(m(1)).unwrap();
+        assert_eq!(m1.pending.len(), 0);
+        assert_eq!(m1.guess.digest(), m1.committed.digest());
+        check_invariants(&sys).unwrap();
+    }
+
+    #[test]
+    fn failed_issue_is_dropped() {
+        let mut sys = counter_system(2, 0);
+        let obj = counter_object();
+        assert!(!sys.issue(m(0), SharedOp::primitive(obj, "add", args![-1])).unwrap());
+        assert_eq!(sys.machine(m(0)).unwrap().pending.len(), 0);
+        check_invariants(&sys).unwrap();
+    }
+
+    #[test]
+    fn commit_applies_everywhere_and_runs_completion() {
+        let mut sys = counter_system(3, 0);
+        let obj = counter_object();
+        sys.issue(m(1), SharedOp::primitive(obj, "add", args![2])).unwrap();
+        assert!(sys.commit(m(1)).unwrap());
+        for i in 0..3 {
+            let mm = sys.machine(m(i)).unwrap();
+            assert_eq!(mm.completed.len(), 1);
+            assert_eq!(mm.committed.digest(), mm.guess.digest());
+        }
+        let issuer = sys.machine(m(1)).unwrap();
+        assert_eq!(
+            issuer.local,
+            vec![LocalNote::Completed(OpId::new(m(1), 0), true)]
+        );
+        assert!(sys.machine(m(0)).unwrap().local.is_empty());
+        check_invariants(&sys).unwrap();
+    }
+
+    #[test]
+    fn commit_on_empty_queue_is_noop() {
+        let mut sys = counter_system(2, 0);
+        assert!(!sys.commit(m(0)).unwrap());
+        assert!(sys.quiescent());
+    }
+
+    #[test]
+    fn r3_has_no_success_guard() {
+        // An op that succeeds at issue but fails at commit still commits
+        // (and the completion sees `false`).
+        let mut sys = counter_system(2, 0);
+        let obj = counter_object();
+        // Machine 0 and 1 both claim the last unit (cap 1).
+        sys.issue(m(0), SharedOp::primitive(obj, "add_capped", args![1, 1])).unwrap();
+        sys.issue(m(1), SharedOp::primitive(obj, "add_capped", args![1, 1])).unwrap();
+        assert!(sys.commit(m(0)).unwrap());
+        assert!(sys.commit(m(1)).unwrap());
+        check_invariants(&sys).unwrap();
+        let loser = sys.machine(m(1)).unwrap();
+        assert_eq!(
+            loser.local,
+            vec![LocalNote::Completed(OpId::new(m(1), 0), false)]
+        );
+        // Both machines' completed sequences agree.
+        assert_eq!(
+            sys.machine(m(0)).unwrap().completed,
+            sys.machine(m(1)).unwrap().completed
+        );
+    }
+
+    #[test]
+    fn interleaved_commits_preserve_invariants() {
+        let mut sys = counter_system(3, 0);
+        let obj = counter_object();
+        for i in 0..3 {
+            for k in 0..3 {
+                sys.issue(m(i), SharedOp::primitive(obj, "add", args![k])).unwrap();
+                check_invariants(&sys).unwrap();
+            }
+        }
+        // Commit in a scrambled machine order.
+        for &i in &[2u32, 0, 1, 1, 0, 2, 0, 1, 2] {
+            assert!(sys.commit(m(i)).unwrap());
+            check_invariants(&sys).unwrap();
+        }
+        assert!(sys.quiescent());
+    }
+
+    #[test]
+    fn local_op_records_digest() {
+        let mut sys = counter_system(1, 0);
+        sys.local(m(0)).unwrap();
+        let mm = sys.machine(m(0)).unwrap();
+        assert_eq!(mm.local.len(), 1);
+        assert!(matches!(mm.local[0], LocalNote::GuessDigest(_)));
+        // local_digest is deterministic
+        assert_eq!(local_digest(&mm.local), local_digest(&mm.local.clone()));
+    }
+
+    #[test]
+    fn digest_changes_with_state() {
+        let mut sys = counter_system(2, 0);
+        let d0 = sys.digest();
+        let obj = counter_object();
+        sys.issue(m(0), SharedOp::primitive(obj, "add", args![1])).unwrap();
+        let d1 = sys.digest();
+        assert_ne!(d0, d1);
+        sys.commit(m(0)).unwrap();
+        assert_ne!(d1, sys.digest());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut sys = counter_system(2, 0);
+        let obj = counter_object();
+        let snapshot = sys.clone();
+        sys.issue(m(0), SharedOp::primitive(obj, "add", args![1])).unwrap();
+        assert_ne!(sys.digest(), snapshot.digest());
+    }
+}

@@ -1,0 +1,286 @@
+//! Runtime conformance checking: the "runtime checks" half of Spec#.
+//!
+//! Methods registered through [`register_checked`] are wrapped so that
+//! *every* execution — at issue time on the guesstimated state, at replay,
+//! and at commit time on every machine's committed state — is checked
+//! against the model's frame condition and the method's contract. Detected
+//! violations are recorded in a shared [`ConformanceLog`] (they indicate
+//! application bugs of exactly the kind the paper caught with Spec#, e.g.
+//! the off-by-one in the Sudoku row check).
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use guesstimate_core::{ArgView, GState, OpRegistry, Value};
+
+use crate::contract::MethodContract;
+
+/// What a recorded violation violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The method returned `false` but modified the state (breaks the
+    /// model's universal frame condition, §3).
+    Frame,
+    /// The method returned `true` but `(pre, post) ∉ φ`.
+    Postcondition,
+    /// The object invariant held before and not after.
+    Invariant,
+    /// A named domain assertion failed.
+    Assertion,
+}
+
+/// One recorded conformance violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The shared-object type.
+    pub type_name: String,
+    /// The offending method.
+    pub method: String,
+    /// What was violated.
+    pub kind: ViolationKind,
+    /// Name of the failed assertion (for [`ViolationKind::Assertion`]).
+    pub assertion: Option<String>,
+    /// The argument vector of the offending execution.
+    pub args: Vec<Value>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}::{} violated {:?}",
+            self.type_name, self.method, self.kind
+        )?;
+        if let Some(a) = &self.assertion {
+            write!(f, " ({a})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared, thread-safe sink for conformance violations.
+///
+/// Clone it freely; all clones share the same log.
+#[derive(Debug, Clone, Default)]
+pub struct ConformanceLog {
+    inner: Arc<Mutex<Vec<Violation>>>,
+}
+
+impl ConformanceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ConformanceLog::default()
+    }
+
+    /// True if no violations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("log lock").is_empty()
+    }
+
+    /// Number of recorded violations.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("log lock").len()
+    }
+
+    /// Snapshot of all recorded violations.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner.lock().expect("log lock").clone()
+    }
+
+    /// Clears the log.
+    pub fn clear(&self) {
+        self.inner.lock().expect("log lock").clear();
+    }
+
+    fn record(&self, v: Violation) {
+        self.inner.lock().expect("log lock").push(v);
+    }
+}
+
+/// Registers `method` for `T` with conformance checking wrapped around `f`.
+///
+/// Functionally identical to [`OpRegistry::register_method`], plus: each
+/// execution snapshots the object before and after, checks the frame
+/// condition, the contract's postcondition, invariant and assertions, and
+/// records violations in `log`. The wrapped method's boolean result is
+/// passed through unchanged — checking never alters semantics.
+///
+/// This costs two snapshots per execution; production deployments register
+/// plainly and run the checked registry in tests, exactly as Spec# moves
+/// unproven assertions into (removable) runtime checks.
+pub fn register_checked<T: GState>(
+    registry: &mut OpRegistry,
+    method: &'static str,
+    contract: MethodContract,
+    log: &ConformanceLog,
+    f: impl Fn(&mut T, ArgView<'_>) -> bool + Send + Sync + 'static,
+) {
+    let log = log.clone();
+    registry.register_method::<T>(method, move |obj, argv| {
+        let pre = GState::snapshot(obj);
+        let result = f(obj, argv);
+        let post = GState::snapshot(obj);
+        let args: Vec<Value> = argv.as_slice().to_vec();
+        let mk = |kind, assertion: Option<String>| Violation {
+            type_name: T::TYPE_NAME.to_owned(),
+            method: method.to_owned(),
+            kind,
+            assertion,
+            args: args.clone(),
+        };
+        if !result && pre != post {
+            log.record(mk(ViolationKind::Frame, None));
+        }
+        if result {
+            if let Some(p) = &contract.post {
+                if !p(&pre, &post, &args) {
+                    log.record(mk(ViolationKind::Postcondition, None));
+                }
+            }
+        }
+        if let Some(inv) = &contract.invariant {
+            if inv(&pre) && !inv(&post) {
+                log.record(mk(ViolationKind::Invariant, None));
+            }
+        }
+        if !contract.assertions.is_empty() {
+            let case = crate::contract::ExecCase {
+                pre,
+                args: args.clone(),
+                result,
+                post,
+            };
+            for a in &contract.assertions {
+                if !a.holds(&case) {
+                    log.record(mk(ViolationKind::Assertion, Some(a.name().to_owned())));
+                }
+            }
+        }
+        result
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guesstimate_core::{args, execute, MachineId, ObjectId, ObjectStore, SharedOp};
+    use guesstimate_core::RestoreError;
+
+    /// Deliberately buggy object: `bad_dec` mutates state even when it
+    /// reports failure (frame violation); `overflowing_add` breaks its
+    /// postcondition on a boundary.
+    #[derive(Clone, Default)]
+    struct Gauge(i64);
+    impl GState for Gauge {
+        const TYPE_NAME: &'static str = "Gauge";
+        fn snapshot(&self) -> Value {
+            Value::from(self.0)
+        }
+        fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+            self.0 = v.as_i64().ok_or_else(|| RestoreError::shape("i64"))?;
+            Ok(())
+        }
+    }
+
+    fn setup(
+        contract_add: MethodContract,
+        contract_dec: MethodContract,
+    ) -> (OpRegistry, ConformanceLog, ObjectId, ObjectStore) {
+        let mut reg = OpRegistry::new();
+        reg.register_type::<Gauge>();
+        let log = ConformanceLog::new();
+        register_checked::<Gauge>(&mut reg, "add", contract_add, &log, |g, a| {
+            let Some(d) = a.i64(0) else { return false };
+            // BUG: claims to cap at 10 but actually allows 11.
+            if g.0 + d > 11 {
+                return false;
+            }
+            g.0 += d;
+            true
+        });
+        register_checked::<Gauge>(&mut reg, "bad_dec", contract_dec, &log, |g, _a| {
+            g.0 -= 1; // BUG: mutates before checking
+            if g.0 < 0 {
+                return false;
+            }
+            true
+        });
+        let id = ObjectId::new(MachineId::new(0), 0);
+        let mut store = ObjectStore::new();
+        store.insert(id, Box::new(Gauge(0)));
+        (reg, log, id, store)
+    }
+
+    #[test]
+    fn clean_executions_record_nothing() {
+        let contract = MethodContract::new().with_post(|pre, post, _| post.as_i64() >= pre.as_i64());
+        let (reg, log, id, mut store) = setup(contract, MethodContract::new());
+        execute(&SharedOp::primitive(id, "add", args![5]), &mut store, &reg).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn postcondition_violation_is_caught() {
+        // Contract says result ≤ 10; the buggy impl allows 11.
+        let contract =
+            MethodContract::new().with_post(|_, post, _| post.as_i64().unwrap_or(0) <= 10);
+        let (reg, log, id, mut store) = setup(contract, MethodContract::new());
+        execute(&SharedOp::primitive(id, "add", args![11]), &mut store, &reg).unwrap();
+        let vs = log.violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind, ViolationKind::Postcondition);
+        assert!(vs[0].to_string().contains("Gauge::add"));
+    }
+
+    #[test]
+    fn frame_violation_is_caught() {
+        let (reg, log, id, mut store) = setup(MethodContract::new(), MethodContract::new());
+        // Gauge starts at 0; bad_dec fails but leaves -1 behind.
+        let out = execute(&SharedOp::primitive(id, "bad_dec", args![]), &mut store, &reg).unwrap();
+        assert!(!out.is_success());
+        let vs = log.violations();
+        assert_eq!(vs[0].kind, ViolationKind::Frame);
+    }
+
+    #[test]
+    fn invariant_violation_is_caught() {
+        let contract_dec =
+            MethodContract::new().with_invariant(|s| s.as_i64().unwrap_or(-1) >= 0);
+        let (reg, log, id, mut store) = setup(MethodContract::new(), contract_dec);
+        execute(&SharedOp::primitive(id, "bad_dec", args![]), &mut store, &reg).unwrap();
+        assert!(log
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::Invariant));
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn named_assertion_violation_carries_name() {
+        let contract = MethodContract::new().with_assertion("never-negative-delta", |c| {
+            c.args.first().and_then(Value::as_i64).unwrap_or(0) >= 0
+        });
+        let (reg, log, id, mut store) = setup(contract, MethodContract::new());
+        execute(&SharedOp::primitive(id, "add", args![-1]), &mut store, &reg).unwrap();
+        let vs = log.violations();
+        assert_eq!(vs[0].kind, ViolationKind::Assertion);
+        assert_eq!(vs[0].assertion.as_deref(), Some("never-negative-delta"));
+        assert!(vs[0].to_string().contains("never-negative-delta"));
+    }
+
+    #[test]
+    fn log_clones_share_state() {
+        let log = ConformanceLog::new();
+        let log2 = log.clone();
+        log.record(Violation {
+            type_name: "T".into(),
+            method: "m".into(),
+            kind: ViolationKind::Frame,
+            assertion: None,
+            args: vec![],
+        });
+        assert_eq!(log2.len(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! A bidding war under speculative replication.
+//!
+//! Both bidders' bids succeed instantly on their own guesstimated state;
+//! the commit order decides whose bid stands, the loser's completion
+//! routine fires with `false`, and an OrElse *bid ladder* automatically
+//! escalates — the §5 pattern of composing alternatives so the operation
+//! can succeed "using one alternative during the execution on the
+//! guesstimated state and another during commitment".
+//!
+//! Run with: `cargo run --example auction`
+
+use guesstimate::apps::auction::{self, ops, Auction};
+use guesstimate::net::{LatencyModel, NetConfig, SimTime};
+use guesstimate::runtime::{run_until_cohort, sim_cluster, MachineConfig};
+use guesstimate::{MachineId, OpRegistry};
+
+fn main() {
+    let mut registry = OpRegistry::new();
+    auction::register(&mut registry);
+    let mut net = sim_cluster(
+        3,
+        registry,
+        MachineConfig::default().with_sync_period(SimTime::from_millis(200)),
+        NetConfig::lan(21).with_latency(LatencyModel::lan_ms(30)),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+
+    // The seller (machine 0) lists a lamp: reserve 100, increment 10.
+    let house = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(Auction::new());
+    net.call(MachineId::new(0), |m, _| {
+        m.issue(ops::list_item(house, "lamp", "seller", 100, 10))
+            .unwrap();
+    });
+    net.run_until(net.now() + SimTime::from_secs(1));
+
+    // Ann (m1) and Bob (m2) both bid 100 in the same sync window: each sees
+    // their own bid stand locally; the commit order will pick one.
+    for (i, bidder) in [(1u32, "ann"), (2, "bob")] {
+        let name = bidder.to_owned();
+        net.call(MachineId::new(i), move |m, _| {
+            let issued = m
+                .issue_with_completion(
+                    ops::bid(house, "lamp", &name, 100),
+                    Box::new(move |ok| {
+                        println!(
+                            "{name}'s 100 bid committed: {ok}{}",
+                            if ok { "" } else { "  → outbid before commit!" }
+                        )
+                    }),
+                )
+                .unwrap();
+            assert!(issued, "bid succeeds optimistically");
+        });
+        let view = net
+            .actor(MachineId::new(i))
+            .unwrap()
+            .read::<Auction, _>(house, |a| a.best_bid("lamp"))
+            .unwrap();
+        println!("machine m{i} local view right after issuing: best = {view:?}");
+    }
+    net.run_until(net.now() + SimTime::from_secs(2));
+    let best = net
+        .actor(MachineId::new(0))
+        .unwrap()
+        .read::<Auction, _>(house, |a| a.best_bid("lamp"))
+        .unwrap();
+    println!("\nafter sync, agreed best bid: {best:?} (the loser was told via completion)\n");
+
+    // The loser responds with a bid *ladder*: 110 orelse 120 orelse 130.
+    let loser = if best.as_ref().map(|b| b.0.as_str()) == Some("ann") {
+        (2u32, "bob")
+    } else {
+        (1u32, "ann")
+    };
+    println!("{} escalates with a ladder up to 130 ...", loser.1);
+    let lname = loser.1.to_owned();
+    net.call(MachineId::new(loser.0), move |m, _| {
+        let ladder = ops::bid_up_to(house, "lamp", &lname, 110, 10, 130).unwrap();
+        m.issue(ladder).unwrap();
+    });
+    net.run_until(net.now() + SimTime::from_secs(2));
+
+    // Seller closes.
+    net.call(MachineId::new(0), |m, _| {
+        m.issue(ops::close(house, "lamp", "seller")).unwrap();
+    });
+    net.run_until(net.now() + SimTime::from_secs(2));
+
+    let m0 = net.actor(MachineId::new(0)).unwrap();
+    let winner = m0.read::<Auction, _>(house, |a| a.winner("lamp")).unwrap();
+    println!("auction closed; winner: {winner:?}");
+    let digests: Vec<u64> = (0..3)
+        .map(|i| net.actor(MachineId::new(i)).unwrap().committed_digest())
+        .collect();
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(winner.unwrap().1, 110, "the ladder's first rung sufficed");
+    println!("all replicas agree on the outcome.");
+}

@@ -1,0 +1,175 @@
+//! Event planning on the **threaded** (real-thread, wall-clock) driver,
+//! demonstrating the paper's four design patterns (§5):
+//!
+//! * **blocking sign-in/registration** — Figure 4's semaphore pattern,
+//!   packaged as `issue_blocking`;
+//! * **OrElse** — join the first available of several events;
+//! * **Atomic** — swap events only if the important one can be joined;
+//! * **completions** — non-blocking joins whose outcome is reported later.
+//!
+//! Run with: `cargo run --example event_planner`
+
+use std::time::Duration;
+
+use guesstimate::apps::event_planner::{self, ops, EventPlanner};
+use guesstimate::net::{LatencyModel, SimTime};
+use guesstimate::runtime::{issue_blocking, threaded_cluster, BlockingOutcome, MachineConfig};
+use guesstimate::OpRegistry;
+
+fn wait_until(mut pred: impl FnMut() -> bool, what: &str) {
+    for _ in 0..1_000 {
+        if pred() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn main() {
+    let mut registry = OpRegistry::new();
+    event_planner::register(&mut registry);
+    let cfg = MachineConfig::default()
+        .with_sync_period(SimTime::from_millis(50))
+        .with_join_retry(SimTime::from_millis(100));
+    let (_net, handles) = threaded_cluster(3, registry, cfg, LatencyModel::constant_ms(2), 9);
+    let (ann_pc, bob_pc) = (handles[1].clone(), handles[2].clone());
+    wait_until(
+        || handles.iter().all(|h| h.read(|m| m.in_cohort()).unwrap_or(false)),
+        "cohort",
+    );
+    println!("3 machines online (master + Ann's and Bob's laptops)");
+
+    // The master machine hosts the planner object and seeds the events.
+    let planner = handles[0]
+        .with(|m, _| m.create_instance(EventPlanner::with_quota(2)))
+        .unwrap();
+    handles[0].with(|m, _| {
+        m.issue(ops::create_event(planner, "party", 1)).unwrap();
+        m.issue(ops::create_event(planner, "dinner", 2)).unwrap();
+        m.issue(ops::create_event(planner, "hike", 2)).unwrap();
+    });
+    wait_until(
+        || {
+            ann_pc
+                .read(|m| m.read::<EventPlanner, _>(planner, |p| p.event_names().len()) == Some(3))
+                .unwrap_or(false)
+        },
+        "events to replicate",
+    );
+
+    // --- Pattern 1: blocking registration & sign-in (Figure 4) ---
+    for (handle, user) in [(&ann_pc, "ann"), (&bob_pc, "bob")] {
+        let reg = issue_blocking(
+            handle,
+            ops::register_user(planner, user, "pw"),
+            Duration::from_secs(5),
+        );
+        let sin = issue_blocking(
+            handle,
+            ops::sign_in(planner, user, "pw"),
+            Duration::from_secs(5),
+        );
+        println!("{user}: registration {reg:?}, sign-in {sin:?} (thread blocked until commit)");
+        assert_eq!(reg, BlockingOutcome::Committed(true));
+        assert_eq!(sin, BlockingOutcome::Committed(true));
+    }
+    // Signing in twice must fail at commit — one session per user.
+    let again = issue_blocking(
+        &bob_pc,
+        ops::sign_in(planner, "ann", "pw"),
+        Duration::from_secs(5),
+    );
+    println!("ann tries to sign in on Bob's laptop too: {again:?}");
+    // Either the guesstimate already reflects her session (instant local
+    // rejection) or the race is caught at commit time — never two sessions.
+    assert!(matches!(
+        again,
+        BlockingOutcome::Rejected | BlockingOutcome::Committed(false)
+    ));
+
+    // --- Pattern 2: OrElse — Bob joins whichever event has room ---
+    bob_pc.with(|m, _| {
+        let op = ops::join_one_of(planner, "bob", &["party", "dinner"]).unwrap();
+        m.issue_with_completion(
+            op,
+            Box::new(|ok| println!("bob's join-one-of committed: {ok}")),
+        )
+        .unwrap();
+    });
+
+    // --- Pattern 3: non-blocking join with a completion (Ann races Bob) ---
+    ann_pc.with(|m, _| {
+        m.issue_with_completion(
+            ops::join(planner, "ann", "party"),
+            Box::new(|ok| {
+                println!(
+                    "ann's party join committed: {ok} {}",
+                    if ok { "(she got the last spot)" } else { "(bob got there first)" }
+                )
+            }),
+        )
+        .unwrap();
+    });
+    wait_until(
+        || {
+            handles[0]
+                .read(|m| {
+                    m.read::<EventPlanner, _>(planner, |p| {
+                        p.vacancies("party") == Some(0)
+                    })
+                    .unwrap_or(false)
+                })
+                .unwrap_or(false)
+        },
+        "party to fill",
+    );
+
+    // --- Pattern 4: Atomic swap — keep dinner unless the hike is joinable ---
+    let ann_state = ann_pc
+        .read(|m| {
+            m.read::<EventPlanner, _>(planner, |p| {
+                (p.joined_events("ann"), p.is_attending("ann", "party"))
+            })
+        })
+        .unwrap()
+        .unwrap();
+    println!("ann currently attends {:?}", ann_state.0);
+    ann_pc.with(|m, _| {
+        m.issue(ops::join(planner, "ann", "dinner")).unwrap();
+        let swap = ops::swap_events(planner, "ann", "dinner", "hike");
+        m.issue_with_completion(
+            swap,
+            Box::new(|ok| println!("ann's dinner→hike swap committed: {ok}")),
+        )
+        .unwrap();
+    });
+
+    // Let everything settle and show the converged plan.
+    wait_until(
+        || {
+            let a = handles[0].read(|m| m.committed_digest());
+            handles
+                .iter()
+                .all(|h| h.read(|m| m.committed_digest()) == a)
+                && handles[0].read(|m| m.pending_len() == 0).unwrap_or(false)
+                && ann_pc.read(|m| m.pending_len() == 0).unwrap_or(false)
+                && bob_pc.read(|m| m.pending_len() == 0).unwrap_or(false)
+        },
+        "convergence",
+    );
+    println!("\nfinal plan (identical on every machine):");
+    handles[0].read(|m| {
+        m.read::<EventPlanner, _>(planner, |p| {
+            for e in p.event_names() {
+                println!(
+                    "  {e:<8} capacity {:?}, vacancies {:?}",
+                    p.capacity(&e).unwrap(),
+                    p.vacancies(&e).unwrap()
+                );
+            }
+            println!("  ann attends {:?}", p.joined_events("ann"));
+            println!("  bob attends {:?}", p.joined_events("bob"));
+        })
+    });
+}

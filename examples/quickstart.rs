@@ -1,0 +1,138 @@
+//! Quickstart: the GUESSTIMATE programming model in one file.
+//!
+//! Three machines share a seat-reservation counter. Operations execute
+//! immediately on each machine's *guesstimated* state (no blocking), are
+//! committed in a globally agreed order by the background synchronizer, and
+//! completion routines report the commit-time outcome — including the rare
+//! *conflict* where an operation that succeeded optimistically loses the
+//! race at commit time.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use guesstimate::core::{args, GState, OpRegistry, RestoreError, SharedOp, Value};
+use guesstimate::net::{LatencyModel, NetConfig, SimTime};
+use guesstimate::runtime::{run_until_cohort, sim_cluster, MachineConfig};
+use guesstimate::MachineId;
+
+/// The shared object: seats on a flight. Derives the paper's
+/// `GSharedObject` contract via [`GState`].
+#[derive(Clone, Default)]
+struct Flight {
+    booked: i64,
+    capacity: i64,
+}
+
+impl GState for Flight {
+    const TYPE_NAME: &'static str = "Flight";
+    fn snapshot(&self) -> Value {
+        Value::map([
+            ("booked", Value::from(self.booked)),
+            ("capacity", Value::from(self.capacity)),
+        ])
+    }
+    fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+        let shape = || RestoreError::shape("flight snapshot");
+        self.booked = v.field("booked").and_then(Value::as_i64).ok_or_else(shape)?;
+        self.capacity = v
+            .field("capacity")
+            .and_then(Value::as_i64)
+            .ok_or_else(shape)?;
+        Ok(())
+    }
+}
+
+fn main() {
+    // 1. Register the shared type and its operations — the reflection-free
+    //    analog of `Guesstimate.CreateOperation(obj, "book", n)`.
+    let mut registry = OpRegistry::new();
+    registry.register_type::<Flight>();
+    registry.register_method::<Flight>("book", |f, a| {
+        let Some(n) = a.i64(0) else { return false };
+        if n <= 0 || f.booked + n > f.capacity {
+            return false; // precondition: never oversell
+        }
+        f.booked += n;
+        true
+    });
+
+    // 2. Build a 3-machine mesh (machine 0 is the master) and let the
+    //    membership protocol assemble the cohort.
+    let mut net = sim_cluster(
+        3,
+        registry,
+        MachineConfig::default().with_sync_period(SimTime::from_millis(200)),
+        NetConfig::lan(42).with_latency(LatencyModel::lan_ms(25)),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    println!("cohort assembled: {:?}", net.members());
+
+    // 3. Machine 0 creates the shared object (visible locally at once,
+    //    replicated to everyone at the next synchronization).
+    let m0 = MachineId::new(0);
+    let flight = net.actor_mut(m0).unwrap().create_instance(Flight {
+        booked: 0,
+        capacity: 10,
+    });
+    net.run_until(net.now() + SimTime::from_secs(1));
+
+    // 4. Everyone books seats — non-blocking, against the local guesstimate.
+    let confirmed = Arc::new(AtomicU64::new(0));
+    let lost = Arc::new(AtomicU64::new(0));
+    for i in 0..3u32 {
+        let (confirmed, lost) = (confirmed.clone(), lost.clone());
+        net.call(MachineId::new(i), move |m, _| {
+            let op = SharedOp::primitive(flight, "book", args![4]);
+            let issued = m
+                .issue_with_completion(
+                    op,
+                    Box::new(move |committed| {
+                        // The paper's completion pattern: tell the user
+                        // whether the optimistic booking really committed.
+                        if committed {
+                            confirmed.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            lost.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }),
+                )
+                .unwrap();
+            println!(
+                "machine m{i}: booked 4 seats optimistically (issue ok: {issued}), local view = {:?}/10",
+                m.read::<Flight, _>(flight, |f| f.booked).unwrap()
+            );
+        });
+    }
+
+    // 5. Let the synchronizer commit everything and report.
+    net.run_until(net.now() + SimTime::from_secs(3));
+    let final_booked = net
+        .actor(m0)
+        .unwrap()
+        .read::<Flight, _>(flight, |f| f.booked)
+        .unwrap();
+    println!();
+    println!("after synchronization:");
+    println!("  committed bookings : {final_booked}/10 seats");
+    println!(
+        "  confirmed / lost   : {} / {}",
+        confirmed.load(Ordering::SeqCst),
+        lost.load(Ordering::SeqCst)
+    );
+    for i in 0..3u32 {
+        let m = net.actor(MachineId::new(i)).unwrap();
+        println!(
+            "  m{i}: committed digest {:#018x}, conflicts {}",
+            m.committed_digest(),
+            m.stats().conflicts
+        );
+    }
+    // Three optimistic 4-seat bookings, capacity 10: exactly one must lose.
+    assert_eq!(final_booked, 8);
+    assert_eq!(confirmed.load(Ordering::SeqCst), 2);
+    assert_eq!(lost.load(Ordering::SeqCst), 1);
+    println!("\nexactly one optimistic booking lost the commit-order race — the");
+    println!("losing machine's completion routine was told, and every replica agrees.");
+}

@@ -1,0 +1,95 @@
+//! §4 "Bounded re-executions": each operation executes at most three times
+//! (issue, at most one replay while re-establishing `sg = [P](sc)`, commit)
+//! — checked under dense schedules, many seeds, and varying cluster sizes.
+
+use guesstimate::apps::sudoku::{self, Sudoku};
+use guesstimate::net::{LatencyModel, NetConfig, SimTime};
+use guesstimate::runtime::{run_until_cohort, sim_cluster, Machine, MachineConfig};
+use guesstimate::{MachineId, OpRegistry};
+
+fn run_dense_session(users: u32, seed: u64, latency_ms: u64) -> Vec<Machine> {
+    let mut registry = OpRegistry::new();
+    sudoku::register(&mut registry);
+    let mut net = sim_cluster(
+        users,
+        registry,
+        MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(120))
+            .with_stall_timeout(SimTime::from_secs(2)),
+        NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(latency_ms)),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(15)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(sudoku::example_puzzle());
+    net.run_until(net.now() + SimTime::from_secs(1));
+    // Dense, jittered issue schedule: many ops land mid-round, earning the
+    // third (replay) execution.
+    for i in 0..users {
+        for k in 0..50u64 {
+            let jitter = (seed.wrapping_mul(2654435761).wrapping_add(k * 97 + u64::from(i) * 13))
+                % 53;
+            net.schedule_call(
+                net.now() + SimTime::from_millis(40 * k + jitter),
+                MachineId::new(i),
+                move |m: &mut Machine, _| {
+                    if let Some(moves) = m.read::<Sudoku, _>(board, |s| s.candidate_moves()) {
+                        if let Some(&(r, c, v)) = moves.get((k % 7) as usize) {
+                            let _ = m.issue(sudoku::ops::update(board, r, c, v));
+                        }
+                    }
+                },
+            );
+        }
+    }
+    net.run_until(net.now() + SimTime::from_secs(20));
+    (0..users)
+        .map(|i| net.remove_machine(MachineId::new(i)).unwrap())
+        .collect()
+}
+
+#[test]
+fn ops_execute_at_most_three_times_across_seeds() {
+    for seed in [1u64, 17, 23, 99] {
+        let machines = run_dense_session(4, seed, 25);
+        let mut twos = 0u64;
+        let mut threes = 0u64;
+        for m in &machines {
+            let st = m.stats();
+            assert!(
+                st.max_exec_count <= 3,
+                "seed {seed}, {}: executed {} times",
+                m.id(),
+                st.max_exec_count
+            );
+            assert_eq!(st.exec_histogram[0], 0, "no op commits with zero executions");
+            assert_eq!(st.exec_histogram[1], 0, "every op at least issues + commits");
+            twos += st.exec_histogram[2];
+            threes += st.exec_histogram[3];
+        }
+        assert!(twos > 0, "seed {seed}: common case is two executions");
+        assert!(
+            threes > 0,
+            "seed {seed}: dense schedule produces replayed (3x) ops"
+        );
+    }
+}
+
+#[test]
+fn bound_holds_for_larger_clusters_and_slower_links() {
+    let machines = run_dense_session(8, 5, 60);
+    for m in &machines {
+        assert!(m.stats().max_exec_count <= 3, "{}", m.id());
+    }
+    // And the aggregate histogram only has mass at 2 and 3.
+    let mut total = [0u64; 8];
+    for m in &machines {
+        for (i, v) in m.stats().exec_histogram.iter().enumerate() {
+            total[i] += v;
+        }
+    }
+    assert_eq!(total[0] + total[1], 0);
+    assert!(total[2] + total[3] > 100, "plenty of committed ops measured");
+    assert_eq!(total[4..].iter().sum::<u64>(), 0, "nothing beyond three");
+}

@@ -1,0 +1,107 @@
+//! Reproducibility: the claim EXPERIMENTS.md rests on — identical seeds
+//! produce bit-identical runs (states, stats, transport counters), and
+//! different seeds genuinely differ.
+
+use guesstimate::apps::sudoku::{self, Sudoku};
+use guesstimate::net::{FaultPlan, LatencyModel, NetConfig, NetMetrics, SimTime, StallWindow};
+use guesstimate::runtime::{run_until_cohort, sim_cluster, Machine, MachineConfig};
+use guesstimate::{MachineId, OpRegistry};
+
+struct RunSummary {
+    final_digest: u64,
+    completed: usize,
+    conflicts: u64,
+    syncs: u64,
+    restarts: u64,
+    metrics: NetMetrics,
+    sync_durations: Vec<u64>,
+}
+
+fn run(seed: u64) -> RunSummary {
+    let mut registry = OpRegistry::new();
+    sudoku::register(&mut registry);
+    let faults = FaultPlan::new()
+        .with_drop_prob(0.01)
+        .with_stall(StallWindow::new(
+            MachineId::new(2),
+            SimTime::from_secs(10),
+            SimTime::from_secs(13),
+        ));
+    let mut net = sim_cluster(
+        4,
+        registry,
+        MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(150))
+            .with_stall_timeout(SimTime::from_millis(900)),
+        NetConfig::lan(seed)
+            .with_latency(LatencyModel::lan_ms(20))
+            .with_faults(faults),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(8)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(sudoku::example_puzzle());
+    net.run_until(net.now() + SimTime::from_secs(1));
+    for i in 0..4u32 {
+        for k in 0..25u64 {
+            net.schedule_call(
+                SimTime::from_secs(9) + SimTime::from_millis(120 * k + 17 * u64::from(i)),
+                MachineId::new(i),
+                move |m: &mut Machine, _| {
+                    if let Some(moves) = m.read::<Sudoku, _>(board, |s| s.candidate_moves()) {
+                        if let Some(&(r, c, v)) = moves.get(((k + u64::from(i)) % 6) as usize) {
+                            let _ = m.issue(sudoku::ops::update(board, r, c, v));
+                        }
+                    }
+                },
+            );
+        }
+    }
+    net.run_until(SimTime::from_secs(40));
+    let master = net.actor(MachineId::new(0)).unwrap();
+    RunSummary {
+        final_digest: master.committed_digest(),
+        completed: master.completed_len(),
+        conflicts: (0..4)
+            .filter_map(|i| net.actor(MachineId::new(i)))
+            .map(|m| m.stats().conflicts)
+            .sum(),
+        syncs: master.stats().syncs_seen,
+        restarts: (0..4)
+            .filter_map(|i| net.actor(MachineId::new(i)))
+            .map(|m| m.stats().restarts)
+            .sum(),
+        metrics: net.metrics(),
+        sync_durations: master
+            .stats()
+            .sync_samples
+            .iter()
+            .map(|s| s.duration.as_micros())
+            .collect(),
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_runs_bit_for_bit() {
+    let a = run(1234);
+    let b = run(1234);
+    assert_eq!(a.final_digest, b.final_digest);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.conflicts, b.conflicts);
+    assert_eq!(a.syncs, b.syncs);
+    assert_eq!(a.restarts, b.restarts);
+    assert_eq!(a.metrics, b.metrics, "every message delivery identical");
+    assert_eq!(a.sync_durations, b.sync_durations, "every round duration identical");
+}
+
+#[test]
+fn different_seeds_produce_different_histories() {
+    let a = run(1234);
+    let b = run(5678);
+    // Latency samples and drop coin-flips differ, so the transport history
+    // cannot coincide (state digests might, if workloads commit the same
+    // moves — the transport-level counters are the discriminating check).
+    assert_ne!(a.sync_durations, b.sync_durations);
+    assert_ne!(a.metrics, b.metrics);
+}

@@ -1,0 +1,296 @@
+//! §9 "Limitations and Future Work" extensions, implemented and tested:
+//! off-line updates, remote-update callbacks, and master failover.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use guesstimate::apps::sudoku::{self, Sudoku};
+use guesstimate::net::{FaultPlan, LatencyModel, NetConfig, SimTime};
+use guesstimate::runtime::{run_until_cohort, sim_cluster, MachineConfig};
+use guesstimate::{MachineId, OpRegistry};
+
+fn registry() -> OpRegistry {
+    let mut r = OpRegistry::new();
+    sudoku::register(&mut r);
+    r
+}
+
+fn base_cfg() -> MachineConfig {
+    MachineConfig::default()
+        .with_sync_period(SimTime::from_millis(120))
+        .with_stall_timeout(SimTime::from_millis(700))
+        .with_join_retry(SimTime::from_millis(400))
+}
+
+// ---------------------------------------------------------------------
+// Off-line updates
+// ---------------------------------------------------------------------
+
+#[test]
+fn offline_issues_commit_after_rejoining() {
+    let mut net = sim_cluster(
+        3,
+        registry(),
+        base_cfg(),
+        NetConfig::lan(5).with_latency(LatencyModel::constant_ms(10)),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(sudoku::example_puzzle());
+    net.run_until(net.now() + SimTime::from_secs(1));
+
+    // Machine 2 goes offline, keeps working against its frozen guesstimate.
+    net.call(MachineId::new(2), |m, ctx| m.go_offline(ctx));
+    net.run_until(net.now() + SimTime::from_secs(1));
+    assert_eq!(net.actor(MachineId::new(0)).unwrap().members().len(), 2);
+
+    let offline_move = {
+        let m = net.actor_mut(MachineId::new(2)).unwrap();
+        let mv = m
+            .read::<Sudoku, _>(board, |s| s.candidate_moves()[0])
+            .unwrap();
+        assert!(m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap());
+        assert_eq!(m.pending_len(), 1, "op parked on the offline pending list");
+        mv
+    };
+    // Meanwhile the online machines keep committing.
+    net.call(MachineId::new(1), |m, _| {
+        let mv = m
+            .read::<Sudoku, _>(board, |s| s.candidate_moves()[7])
+            .unwrap();
+        assert!(m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap());
+    });
+    net.run_until(net.now() + SimTime::from_secs(2));
+    // The offline machine hasn't seen machine 1's committed move.
+    assert_ne!(
+        net.actor(MachineId::new(2)).unwrap().committed_digest(),
+        net.actor(MachineId::new(0)).unwrap().committed_digest()
+    );
+
+    // Rejoin: the offline op is preserved, replayed, and committed.
+    net.call(MachineId::new(2), |m, ctx| m.come_online(ctx));
+    net.run_until(net.now() + SimTime::from_secs(4));
+    let digests: Vec<u64> = (0..3)
+        .map(|i| net.actor(MachineId::new(i)).unwrap().committed_digest())
+        .collect();
+    assert!(digests.windows(2).all(|w| w[0] == w[1]), "converged after rejoin");
+    let m0 = net.actor(MachineId::new(0)).unwrap();
+    assert_eq!(
+        m0.read::<Sudoku, _>(board, |s| s.cell(offline_move.0, offline_move.1)),
+        Some(Some(offline_move.2)),
+        "the offline move committed globally"
+    );
+    assert_eq!(net.actor(MachineId::new(2)).unwrap().pending_len(), 0);
+}
+
+#[test]
+fn conflicting_offline_work_is_reported_not_silently_lost() {
+    use std::sync::atomic::AtomicI32;
+    let mut net = sim_cluster(
+        2,
+        registry(),
+        base_cfg(),
+        NetConfig::lan(7).with_latency(LatencyModel::constant_ms(10)),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(sudoku::Sudoku::new());
+    net.run_until(net.now() + SimTime::from_secs(1));
+
+    net.call(MachineId::new(1), |m, ctx| m.go_offline(ctx));
+    // Offline machine pencils 5 into (1,1); online machine commits 5 at
+    // (1,2) — same row, so the offline move must conflict at commit time.
+    let seen = Arc::new(AtomicI32::new(-1));
+    let s = seen.clone();
+    net.call(MachineId::new(1), move |m, _| {
+        assert!(m
+            .issue_with_completion(
+                sudoku::ops::update(board, 1, 1, 5),
+                Box::new(move |ok| s.store(ok as i32, Ordering::SeqCst)),
+            )
+            .unwrap());
+    });
+    net.call(MachineId::new(0), |m, _| {
+        assert!(m.issue(sudoku::ops::update(board, 1, 2, 5)).unwrap());
+    });
+    net.run_until(net.now() + SimTime::from_secs(2));
+    net.call(MachineId::new(1), |m, ctx| m.come_online(ctx));
+    net.run_until(net.now() + SimTime::from_secs(4));
+
+    assert_eq!(
+        seen.load(Ordering::SeqCst),
+        0,
+        "the completion reported the offline conflict"
+    );
+    assert_eq!(net.actor(MachineId::new(1)).unwrap().stats().conflicts, 1);
+    let m0 = net.actor(MachineId::new(0)).unwrap();
+    assert_eq!(m0.read::<Sudoku, _>(board, |s| s.cell(1, 1)), Some(Some(0)));
+    assert_eq!(m0.read::<Sudoku, _>(board, |s| s.cell(1, 2)), Some(Some(5)));
+}
+
+// ---------------------------------------------------------------------
+// Remote-update callbacks
+// ---------------------------------------------------------------------
+
+#[test]
+fn remote_update_hooks_fire_for_foreign_commits_only() {
+    let mut net = sim_cluster(
+        2,
+        registry(),
+        base_cfg(),
+        NetConfig::lan(9).with_latency(LatencyModel::constant_ms(10)),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(10)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(sudoku::example_puzzle());
+
+    let remote_events = Arc::new(AtomicUsize::new(0));
+    let e = remote_events.clone();
+    net.actor_mut(MachineId::new(0))
+        .unwrap()
+        .on_remote_update(Box::new(move |obj| {
+            assert_eq!(obj, board);
+            e.fetch_add(1, Ordering::SeqCst);
+        }));
+    net.run_until(net.now() + SimTime::from_secs(1));
+    // Machine 0's OWN move must not fire its hook (completions cover that).
+    net.call(MachineId::new(0), |m, _| {
+        let mv = m.read::<Sudoku, _>(board, |s| s.candidate_moves()[0]).unwrap();
+        m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap();
+    });
+    net.run_until(net.now() + SimTime::from_secs(2));
+    assert_eq!(remote_events.load(Ordering::SeqCst), 0, "own ops don't fire");
+
+    // A move from machine 1 does fire machine 0's hook.
+    net.call(MachineId::new(1), |m, _| {
+        let mv = m.read::<Sudoku, _>(board, |s| s.candidate_moves()[3]).unwrap();
+        m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap();
+    });
+    net.run_until(net.now() + SimTime::from_secs(2));
+    assert_eq!(remote_events.load(Ordering::SeqCst), 1, "foreign op fires once");
+}
+
+// ---------------------------------------------------------------------
+// Master failover
+// ---------------------------------------------------------------------
+
+#[test]
+fn surviving_members_elect_a_new_master_after_a_crash() {
+    let failover = SimTime::from_secs(3);
+    let cfg = base_cfg().with_master_failover(failover);
+    let faults = FaultPlan::new().with_crash(MachineId::new(0), SimTime::from_secs(8));
+    let mut net = sim_cluster(
+        4,
+        registry(),
+        cfg,
+        NetConfig::lan(11)
+            .with_latency(LatencyModel::constant_ms(10))
+            .with_faults(faults),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(6)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(sudoku::example_puzzle());
+    net.run_until(SimTime::from_secs(7));
+    let committed_before = net.actor(MachineId::new(1)).unwrap().completed_len();
+
+    // Master crashes at t=8s; survivors should elect and resume.
+    net.run_until(SimTime::from_secs(25));
+    let masters: Vec<u32> = (1..4)
+        .filter(|&i| net.actor(MachineId::new(i)).unwrap().is_master())
+        .collect();
+    assert_eq!(masters.len(), 1, "exactly one new master: {masters:?}");
+    let new_master = MachineId::new(masters[0]);
+    assert_eq!(
+        net.actor(new_master).unwrap().stats().promotions,
+        1,
+        "promotion recorded"
+    );
+
+    // The survivors form a working system again: new ops commit everywhere.
+    net.call(MachineId::new(3), |m, _| {
+        if let Some(moves) = m.read::<Sudoku, _>(board, |s| s.candidate_moves()) {
+            let (r, c, v) = moves[0];
+            assert!(m.issue(sudoku::ops::update(board, r, c, v)).unwrap());
+        }
+    });
+    net.run_until(SimTime::from_secs(35));
+    let survivors: Vec<u32> = (1..4)
+        .filter(|&i| net.actor(MachineId::new(i)).unwrap().in_cohort())
+        .collect();
+    assert_eq!(survivors.len(), 3, "everyone re-admitted under the new master");
+    let digests: Vec<u64> = survivors
+        .iter()
+        .map(|&i| net.actor(MachineId::new(i)).unwrap().committed_digest())
+        .collect();
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    assert!(
+        net.actor(MachineId::new(1)).unwrap().completed_len() > committed_before,
+        "commits resumed after failover"
+    );
+    for &i in &survivors {
+        assert_eq!(net.actor(MachineId::new(i)).unwrap().pending_len(), 0);
+    }
+}
+
+#[test]
+fn a_brief_stall_does_not_trigger_a_spurious_election() {
+    let cfg = base_cfg().with_master_failover(SimTime::from_secs(5));
+    // Master silent for 1.5s — well under the failover threshold; the
+    // normal stall machinery handles it without any election.
+    let faults = FaultPlan::new().with_stall(guesstimate::net::StallWindow::new(
+        MachineId::new(0),
+        SimTime::from_secs(8),
+        SimTime::from_millis(9_500),
+    ));
+    let mut net = sim_cluster(
+        3,
+        registry(),
+        cfg,
+        NetConfig::lan(13)
+            .with_latency(LatencyModel::constant_ms(10))
+            .with_faults(faults),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(6)));
+    net.run_until(SimTime::from_secs(20));
+    for i in 1..3 {
+        assert_eq!(
+            net.actor(MachineId::new(i)).unwrap().stats().promotions,
+            0,
+            "m{i} never promoted"
+        );
+        assert!(!net.actor(MachineId::new(i)).unwrap().is_master());
+    }
+    assert!(net.actor(MachineId::new(0)).unwrap().is_master());
+}
+
+#[test]
+fn without_failover_a_dead_master_halts_progress_but_not_consistency() {
+    let faults = FaultPlan::new().with_crash(MachineId::new(0), SimTime::from_secs(8));
+    let mut net = sim_cluster(
+        3,
+        registry(),
+        base_cfg(), // no failover
+        NetConfig::lan(15)
+            .with_latency(LatencyModel::constant_ms(10))
+            .with_faults(faults),
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(6)));
+    net.run_until(SimTime::from_secs(9));
+    let rounds_at_crash = net.actor(MachineId::new(1)).unwrap().stats().syncs_seen;
+    net.run_until(SimTime::from_secs(25));
+    // No progress (the paper's single-point-of-failure limitation) ...
+    let m1 = net.actor(MachineId::new(1)).unwrap();
+    let m2 = net.actor(MachineId::new(2)).unwrap();
+    assert!(m1.stats().syncs_seen <= rounds_at_crash + 1);
+    assert!(!m1.is_master() && !m2.is_master());
+    // ... but also no divergence.
+    assert_eq!(m1.committed_digest(), m2.committed_digest());
+}

@@ -1,0 +1,149 @@
+//! The same runtime under real threads and a wall clock: concurrent
+//! application threads issue against their machines while the delivery
+//! service plays the network — exercising the locking the paper's §6
+//! "Maintaining local state" discusses.
+
+use std::time::{Duration, Instant};
+
+use guesstimate::apps::message_board::{self, MessageBoard};
+use guesstimate::apps::sudoku::{self, Sudoku};
+use guesstimate::net::{LatencyModel, SimTime};
+use guesstimate::runtime::{issue_blocking, threaded_cluster, BlockingOutcome, MachineConfig};
+use guesstimate::OpRegistry;
+
+fn wait_for(pred: impl Fn() -> bool, ms: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    pred()
+}
+
+fn registry() -> OpRegistry {
+    let mut r = OpRegistry::new();
+    sudoku::register(&mut r);
+    message_board::register(&mut r);
+    r
+}
+
+fn cfg() -> MachineConfig {
+    MachineConfig::default()
+        .with_sync_period(SimTime::from_millis(40))
+        .with_stall_timeout(SimTime::from_secs(3))
+        .with_join_retry(SimTime::from_millis(100))
+}
+
+#[test]
+fn concurrent_posters_from_real_threads_converge() {
+    let (_net, handles) = threaded_cluster(3, registry(), cfg(), LatencyModel::constant_ms(1), 3);
+    assert!(wait_for(
+        || handles.iter().all(|h| h.read(|m| m.in_cohort()).unwrap_or(false)),
+        10_000
+    ));
+    let board = handles[0]
+        .with(|m, _| m.create_instance(MessageBoard::new()))
+        .unwrap();
+    handles[0].with(|m, _| m.issue(message_board::ops::create_topic(board, "chat")).unwrap());
+    assert!(wait_for(
+        || handles
+            .iter()
+            .all(|h| h.read(|m| m.object_type(board).is_some()).unwrap_or(false)
+                && h.read(|m| m.read::<MessageBoard, _>(board, |b| b.topics().len()) == Some(1))
+                    .unwrap_or(false)),
+        10_000
+    ));
+
+    // Three OS threads hammer their machines concurrently.
+    let threads: Vec<_> = handles
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, h)| {
+            std::thread::spawn(move || {
+                for k in 0..20 {
+                    h.with(|m, _| {
+                        m.issue(message_board::ops::post(
+                            board,
+                            "chat",
+                            &format!("user{i}"),
+                            &format!("msg {k}"),
+                        ))
+                        .unwrap();
+                    });
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Everyone drains and agrees; all 60 posts survive in the same order.
+    assert!(wait_for(
+        || {
+            let d0 = handles[0].read(|m| m.committed_digest());
+            handles
+                .iter()
+                .all(|h| h.read(|m| m.pending_len() == 0).unwrap_or(false)
+                    && h.read(|m| m.committed_digest()) == d0)
+        },
+        15_000
+    ));
+    let counts: Vec<Option<usize>> = handles
+        .iter()
+        .map(|h| {
+            h.read(|m| m.read::<MessageBoard, _>(board, |b| b.posts("chat").unwrap().len()))
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(counts, vec![Some(60), Some(60), Some(60)]);
+}
+
+#[test]
+fn blocking_and_nonblocking_issues_interleave() {
+    let (_net, handles) = threaded_cluster(2, registry(), cfg(), LatencyModel::constant_ms(1), 5);
+    assert!(wait_for(
+        || handles.iter().all(|h| h.read(|m| m.in_cohort()).unwrap_or(false)),
+        10_000
+    ));
+    let board = handles[0]
+        .with(|m, _| m.create_instance(sudoku::example_puzzle()))
+        .unwrap();
+    assert!(wait_for(
+        || handles[1]
+            .read(|m| m.object_type(board).is_some())
+            .unwrap_or(false),
+        10_000
+    ));
+
+    // Non-blocking move from machine 1 while machine 0's thread does a
+    // blocking one — the blocking call must not deadlock the mesh.
+    handles[1].with(|m, _| {
+        let mv = m
+            .read::<Sudoku, _>(board, |s| s.candidate_moves()[0])
+            .unwrap();
+        m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap();
+    });
+    let mv0 = handles[0]
+        .read(|m| m.read::<Sudoku, _>(board, |s| s.candidate_moves()[5]))
+        .unwrap()
+        .unwrap();
+    let outcome = issue_blocking(
+        &handles[0],
+        sudoku::ops::update(board, mv0.0, mv0.1, mv0.2),
+        Duration::from_secs(10),
+    );
+    assert!(matches!(outcome, BlockingOutcome::Committed(_)));
+    assert!(wait_for(
+        || {
+            let d0 = handles[0].read(|m| m.committed_digest());
+            handles[1].read(|m| m.committed_digest()) == d0
+                && handles.iter().all(|h| h.read(|m| m.pending_len() == 0).unwrap_or(false))
+        },
+        15_000
+    ));
+}
