@@ -59,10 +59,13 @@ impl Auction {
 
     /// The minimum acceptable next bid on `item`, if it is open.
     pub fn min_next_bid(&self, item: &str) -> Option<i64> {
-        self.items.get(item).filter(|i| i.open).map(|i| match &i.best {
-            Some((_, amt)) => amt + i.increment,
-            None => i.reserve,
-        })
+        self.items
+            .get(item)
+            .filter(|i| i.open)
+            .map(|i| match &i.best {
+                Some((_, amt)) => amt + i.increment,
+                None => i.reserve,
+            })
     }
 
     fn list_item(&mut self, name: &str, seller: &str, reserve: i64, increment: i64) -> bool {
@@ -161,13 +164,19 @@ impl GState for Auction {
                         .and_then(Value::as_str)
                         .ok_or_else(shape)?
                         .to_owned(),
-                    reserve: it.field("reserve").and_then(Value::as_i64).ok_or_else(shape)?,
+                    reserve: it
+                        .field("reserve")
+                        .and_then(Value::as_i64)
+                        .ok_or_else(shape)?,
                     increment: it
                         .field("increment")
                         .and_then(Value::as_i64)
                         .ok_or_else(shape)?,
                     best,
-                    open: it.field("open").and_then(Value::as_bool).ok_or_else(shape)?,
+                    open: it
+                        .field("open")
+                        .and_then(Value::as_bool)
+                        .ok_or_else(shape)?,
                 },
             );
         }
@@ -222,8 +231,7 @@ pub mod ops {
 }
 
 fn apply_list(s: &mut Auction, a: guesstimate_core::ArgView<'_>) -> bool {
-    let (Some(n), Some(seller), Some(r), Some(i)) = (a.str(0), a.str(1), a.i64(2), a.i64(3))
-    else {
+    let (Some(n), Some(seller), Some(r), Some(i)) = (a.str(0), a.str(1), a.i64(2), a.i64(3)) else {
         return false;
     };
     s.list_item(n, seller, r, i)
@@ -252,7 +260,9 @@ pub fn register(registry: &mut OpRegistry) {
 }
 
 fn invariant(v: &Value) -> bool {
-    let Some(items) = v.as_map() else { return false };
+    let Some(items) = v.as_map() else {
+        return false;
+    };
     items.values().all(|it| {
         let (Some(reserve), Some(increment), Some(seller)) = (
             it.field("reserve").and_then(Value::as_i64),
@@ -280,7 +290,13 @@ fn invariant(v: &Value) -> bool {
 pub fn register_checked(registry: &mut OpRegistry, log: &ConformanceLog) {
     registry.register_type::<Auction>();
     let inv = MethodContract::new().with_invariant(invariant);
-    guesstimate_spec::register_checked::<Auction>(registry, "list_item", inv.clone(), log, apply_list);
+    guesstimate_spec::register_checked::<Auction>(
+        registry,
+        "list_item",
+        inv.clone(),
+        log,
+        apply_list,
+    );
     guesstimate_spec::register_checked::<Auction>(
         registry,
         "bid",
@@ -370,8 +386,7 @@ pub fn spec_suite() -> SpecSuite {
                 let (Some(mp), Some(mq)) = (c.pre.as_map(), c.post.as_map()) else {
                     return false;
                 };
-                mp.len() == mq.len()
-                    && mp.iter().all(|(k, v)| k == item || mq.get(k) == Some(v))
+                mp.len() == mq.len() && mp.iter().all(|(k, v)| k == item || mq.get(k) == Some(v))
             }),
     )
     .with_args(bid_args, false);
@@ -402,7 +417,11 @@ pub fn spec_suite() -> SpecSuite {
             }),
     )
     .with_args(
-        vec![args!["lamp", "seller"], args!["lamp", "ann"], args!["ghost", "seller"]],
+        vec![
+            args!["lamp", "seller"],
+            args!["lamp", "ann"],
+            args!["ghost", "seller"],
+        ],
         false,
     );
 

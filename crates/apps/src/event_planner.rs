@@ -205,10 +205,7 @@ impl GState for EventPlanner {
                     ("capacity", Value::from(i64::from(e.capacity))),
                     (
                         "attendees",
-                        e.attendees
-                            .iter()
-                            .map(|a| Value::from(a.clone()))
-                            .collect(),
+                        e.attendees.iter().map(|a| Value::from(a.clone())).collect(),
                     ),
                 ]),
             )
@@ -241,7 +238,11 @@ impl GState for EventPlanner {
             );
         }
         self.events.clear();
-        for (name, e) in v.field("events").and_then(Value::as_map).ok_or_else(shape)? {
+        for (name, e) in v
+            .field("events")
+            .and_then(Value::as_map)
+            .ok_or_else(shape)?
+        {
             let attendees = e
                 .field("attendees")
                 .and_then(Value::as_list)
@@ -466,7 +467,9 @@ pub fn spec_suite() -> SpecSuite {
 
     // Shared helpers over snapshots.
     fn event_of<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
-        v.field("events").and_then(Value::as_map).and_then(|m| m.get(name))
+        v.field("events")
+            .and_then(Value::as_map)
+            .and_then(|m| m.get(name))
     }
     fn attends(v: &Value, user: &str, event: &str) -> bool {
         event_of(v, event)
@@ -484,8 +487,7 @@ pub fn spec_suite() -> SpecSuite {
         ) else {
             return false;
         };
-        ep.len() == eq.len()
-            && ep.iter().all(|(k, v)| k == target || eq.get(k) == Some(v))
+        ep.len() == eq.len() && ep.iter().all(|(k, v)| k == target || eq.get(k) == Some(v))
     }
 
     let join = MethodSpec::new(
@@ -572,7 +574,11 @@ pub fn spec_suite() -> SpecSuite {
             }),
     )
     .with_args(
-        vec![args!["ann", "pw"], args!["ann", "wrong"], args!["ghost", "pw"]],
+        vec![
+            args!["ann", "pw"],
+            args!["ann", "wrong"],
+            args!["ghost", "pw"],
+        ],
         false,
     );
 
@@ -603,7 +609,10 @@ pub fn spec_suite() -> SpecSuite {
     )
     // Small-scope abstraction: "" and one representative name cover the
     // guard's argument space.
-    .with_args(vec![args!["", "pw"], args!["newbie", "pw"], args!["ann", "pw"]], true);
+    .with_args(
+        vec![args!["", "pw"], args!["newbie", "pw"], args!["ann", "pw"]],
+        true,
+    );
 
     let create_event = MethodSpec::new(
         "create_event",
@@ -624,7 +633,13 @@ pub fn spec_suite() -> SpecSuite {
             ),
     )
     .with_args(
-        vec![args!["x", 2], args!["x", 0], args!["x", -1], args!["", 1], args!["party", 3]],
+        vec![
+            args!["x", 2],
+            args!["x", 0],
+            args!["x", -1],
+            args!["", 1],
+            args!["party", 3],
+        ],
         true,
     );
 
@@ -832,7 +847,21 @@ mod tests {
             GState::snapshot(&p),
         ];
         let report = verify_suite(&reg, &suite, &CaseSpace::sampled(states, 100_000));
-        assert_eq!(report.refuted(), 0, "{:?}", report.assertions.iter().filter(|a| a.verdict == guesstimate_spec::Verdict::Refuted).map(|a| (&a.method, &a.name)).collect::<Vec<_>>());
-        assert!(report.verified() >= 3, "SI guards verified: {}", report.verified());
+        assert_eq!(
+            report.refuted(),
+            0,
+            "{:?}",
+            report
+                .assertions
+                .iter()
+                .filter(|a| a.verdict == guesstimate_spec::Verdict::Refuted)
+                .map(|a| (&a.method, &a.name))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.verified() >= 3,
+            "SI guards verified: {}",
+            report.verified()
+        );
     }
 }

@@ -181,9 +181,7 @@ fn post_contract() -> MethodContract {
                 .and_then(|p| p.field("author"))
                 .and_then(Value::as_str)
                 == Some(author)
-            && mp
-                .iter()
-                .all(|(k, v)| k == topic || mq.get(k) == Some(v))
+            && mp.iter().all(|(k, v)| k == topic || mq.get(k) == Some(v))
     })
 }
 
@@ -198,9 +196,11 @@ pub fn register_checked(registry: &mut OpRegistry, log: &ConformanceLog) {
                 return false;
             };
             pre.as_map().is_some_and(|m| !m.contains_key(name))
-                && post
-                    .as_map()
-                    .is_some_and(|m| m.get(name).and_then(Value::as_list).is_some_and(|l| l.is_empty()))
+                && post.as_map().is_some_and(|m| {
+                    m.get(name)
+                        .and_then(Value::as_list)
+                        .is_some_and(|l| l.is_empty())
+                })
         }),
         log,
         apply_create,
@@ -252,14 +252,14 @@ pub fn spec_suite() -> SpecSuite {
                 let (Some(mp), Some(mq)) = (c.pre.as_map(), c.post.as_map()) else {
                     return false;
                 };
-                mp.iter().all(|(k, v)| {
-                    match (v.as_list(), mq.get(k).and_then(Value::as_list)) {
+                mp.iter().all(
+                    |(k, v)| match (v.as_list(), mq.get(k).and_then(Value::as_list)) {
                         (Some(before), Some(after)) => {
                             after.len() >= before.len() && after[..before.len()] == *before
                         }
                         _ => false,
-                    }
-                })
+                    },
+                )
             }),
     )
     .with_args(
@@ -272,7 +272,9 @@ pub fn spec_suite() -> SpecSuite {
         false,
     );
 
-    SpecSuite::new("MessageBoard").with_method(create).with_method(post)
+    SpecSuite::new("MessageBoard")
+        .with_method(create)
+        .with_method(post)
 }
 
 #[cfg(test)]

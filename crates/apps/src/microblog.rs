@@ -93,9 +93,7 @@ impl MicroBlog {
     }
 
     fn follow(&mut self, follower: &str, followee: &str) -> bool {
-        if follower == followee
-            || !self.users.contains(follower)
-            || !self.users.contains(followee)
+        if follower == followee || !self.users.contains(follower) || !self.users.contains(followee)
         {
             return false;
         }
@@ -147,7 +145,11 @@ impl GState for MicroBlog {
             .map(|u| u.as_str().map(str::to_owned).ok_or_else(shape))
             .collect::<Result<_, _>>()?;
         self.follows.clear();
-        for (f, set) in v.field("follows").and_then(Value::as_map).ok_or_else(shape)? {
+        for (f, set) in v
+            .field("follows")
+            .and_then(Value::as_map)
+            .ok_or_else(shape)?
+        {
             let set = set
                 .as_list()
                 .ok_or_else(shape)?
@@ -294,7 +296,13 @@ pub fn register_checked(registry: &mut OpRegistry, log: &ConformanceLog) {
         log,
         apply_post,
     );
-    guesstimate_spec::register_checked::<MicroBlog>(registry, "follow", inv.clone(), log, apply_follow);
+    guesstimate_spec::register_checked::<MicroBlog>(
+        registry,
+        "follow",
+        inv.clone(),
+        log,
+        apply_follow,
+    );
     guesstimate_spec::register_checked::<MicroBlog>(registry, "unfollow", inv, log, apply_unfollow);
 }
 
@@ -340,7 +348,11 @@ pub fn spec_suite() -> SpecSuite {
                 let Some(author) = a.first().and_then(Value::as_str) else {
                     return false;
                 };
-                let posts = |v: &Value| v.field("posts").and_then(Value::as_list).map(<[Value]>::len);
+                let posts = |v: &Value| {
+                    v.field("posts")
+                        .and_then(Value::as_list)
+                        .map(<[Value]>::len)
+                };
                 posts(post) == posts(pre).map(|n| n + 1)
                     && post
                         .field("posts")
@@ -355,9 +367,9 @@ pub fn spec_suite() -> SpecSuite {
                     .field("posts")
                     .and_then(Value::as_list)
                     .is_some_and(|l| {
-                        l.iter().enumerate().all(|(i, p)| {
-                            p.field("seq").and_then(Value::as_i64) == Some(i as i64)
-                        })
+                        l.iter()
+                            .enumerate()
+                            .all(|(i, p)| p.field("seq").and_then(Value::as_i64) == Some(i as i64))
                     })
             })
             .with_assertion("posting-never-touches-follows", |c| {
@@ -365,7 +377,12 @@ pub fn spec_suite() -> SpecSuite {
             }),
     )
     .with_args(
-        vec![args!["ann", "hi"], args!["ghost", "hi"], args!["ann", ""], args!["", "hi"]],
+        vec![
+            args!["ann", "hi"],
+            args!["ghost", "hi"],
+            args!["ann", ""],
+            args!["", "hi"],
+        ],
         false,
     );
 

@@ -21,13 +21,11 @@ use guesstimate_spec::{
 ///
 /// Cells hold 0 (empty) or 1–9; `fixed` marks the pre-populated givens,
 /// which operations may never modify.
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Sudoku {
     grid: [[u8; 9]; 9],
     fixed: [[bool; 9]; 9],
 }
-
 
 impl Sudoku {
     /// An empty board.
@@ -72,9 +70,7 @@ impl Sudoku {
 
     /// True if 1-based `(r, c)` is a pre-populated given.
     pub fn is_given(&self, r: u8, c: u8) -> bool {
-        (1..=9).contains(&r)
-            && (1..=9).contains(&c)
-            && self.fixed[r as usize - 1][c as usize - 1]
+        (1..=9).contains(&r) && (1..=9).contains(&c) && self.fixed[r as usize - 1][c as usize - 1]
     }
 
     /// Number of empty cells.
@@ -691,7 +687,10 @@ mod tests {
         assert!(GState::restore(&mut s, &Value::from(1)).is_err());
         assert!(GState::restore(
             &mut s,
-            &Value::map([("grid", Value::from(vec![Value::from(1)])), ("fixed", Value::from(vec![Value::from(true)]))])
+            &Value::map([
+                ("grid", Value::from(vec![Value::from(1)])),
+                ("fixed", Value::from(vec![Value::from(true)]))
+            ])
         )
         .is_err());
     }
@@ -820,7 +819,11 @@ mod tests {
         // assertions — the majority, as in the paper (271 of 323).
         assert_eq!(report.verified(), 167);
         assert_eq!(report.runtime_checks(), 60);
-        for a in report.assertions.iter().filter(|a| a.verdict == Verdict::Verified) {
+        for a in report
+            .assertions
+            .iter()
+            .filter(|a| a.verdict == Verdict::Verified)
+        {
             assert!(
                 a.name.starts_with("guard-") || a.name.starts_with("frame-cell-"),
                 "{}",

@@ -58,7 +58,10 @@ fn sudoku_two_players_racing_for_one_cell() {
         .read::<sudoku::Sudoku, _>(board, |s| s.cell(5, 5))
         .unwrap()
         .unwrap();
-    assert!(winner == 3 || winner == 7, "one of the writes stands: {winner}");
+    assert!(
+        winner == 3 || winner == 7,
+        "one of the writes stands: {winner}"
+    );
     assert_eq!(
         net.actor(MachineId::new(1))
             .unwrap()
@@ -121,7 +124,11 @@ fn event_planner_quota_and_capacity_races_resolve_consistently() {
         assert_eq!(p.vacancies("gala"), Some(0), "gala filled");
         assert_eq!(p.vacancies("brunch"), Some(2), "losers landed in brunch");
         for u in ["ann", "bob", "cid", "dee"] {
-            assert_eq!(p.joined_events(u).len(), 1, "{u} attends exactly one (quota 1)");
+            assert_eq!(
+                p.joined_events(u).len(),
+                1,
+                "{u} attends exactly one (quota 1)"
+            );
         }
     })
     .unwrap();
@@ -155,9 +162,8 @@ fn auction_distributed_bidding_war_has_a_single_winner() {
                         .flatten()
                         .unwrap_or(10);
                     if min <= 60 {
-                        let _ = m.issue(
-                            auction::ops::bid_up_to(house, "lamp", &b, min, 5, 60).unwrap(),
-                        );
+                        let _ = m
+                            .issue(auction::ops::bid_up_to(house, "lamp", &b, min, 5, 60).unwrap());
                     }
                 },
             );
@@ -165,7 +171,9 @@ fn auction_distributed_bidding_war_has_a_single_winner() {
     }
     settle(&mut net, 4);
     net.call(MachineId::new(0), |m, _| {
-        assert!(m.issue(auction::ops::close(house, "lamp", "seller")).unwrap());
+        assert!(m
+            .issue(auction::ops::close(house, "lamp", "seller"))
+            .unwrap());
     });
     settle(&mut net, 2);
     assert_converged(&net, n);
@@ -177,7 +185,8 @@ fn auction_distributed_bidding_war_has_a_single_winner() {
     assert!(who == "ann" || who == "bob");
     assert!((10..=65).contains(&amount));
     assert!(
-        !m0.read::<auction::Auction, _>(house, |a| a.is_open("lamp")).unwrap(),
+        !m0.read::<auction::Auction, _>(house, |a| a.is_open("lamp"))
+            .unwrap(),
         "closed everywhere"
     );
 }
@@ -193,9 +202,12 @@ fn carpool_get_ride_reroutes_under_distributed_contention() {
         .create_instance(carpool::CarPool::new());
     settle(&mut net, 2);
     net.call(MachineId::new(0), |m, _| {
-        m.issue(carpool::ops::add_vehicle(pool, "v1", 1, "party")).unwrap();
-        m.issue(carpool::ops::add_vehicle(pool, "v2", 1, "party")).unwrap();
-        m.issue(carpool::ops::add_vehicle(pool, "v3", 2, "party")).unwrap();
+        m.issue(carpool::ops::add_vehicle(pool, "v1", 1, "party"))
+            .unwrap();
+        m.issue(carpool::ops::add_vehicle(pool, "v2", 1, "party"))
+            .unwrap();
+        m.issue(carpool::ops::add_vehicle(pool, "v3", 2, "party"))
+            .unwrap();
     });
     settle(&mut net, 2);
     // Four riders, four seats total, everyone asks for a ride at once.
@@ -241,7 +253,9 @@ fn message_board_preserves_every_concurrent_post_in_agreed_order() {
         .create_instance(message_board::MessageBoard::new());
     settle(&mut net, 2);
     net.call(MachineId::new(0), |m, _| {
-        assert!(m.issue(message_board::ops::create_topic(board, "chat")).unwrap());
+        assert!(m
+            .issue(message_board::ops::create_topic(board, "chat"))
+            .unwrap());
     });
     settle(&mut net, 2);
     for k in 0..10u64 {
@@ -303,10 +317,14 @@ fn microblog_follow_graph_and_timelines_replicate() {
         assert!(m.issue(microblog::ops::follow(blog, "ann", "bob")).unwrap());
     });
     net.call(MachineId::new(2), |m, _| {
-        assert!(m.issue(microblog::ops::post(blog, "cid", "cid speaking")).unwrap());
+        assert!(m
+            .issue(microblog::ops::post(blog, "cid", "cid speaking"))
+            .unwrap());
     });
     net.call(MachineId::new(1), |m, _| {
-        assert!(m.issue(microblog::ops::post(blog, "bob", "bob here")).unwrap());
+        assert!(m
+            .issue(microblog::ops::post(blog, "bob", "bob here"))
+            .unwrap());
     });
     settle(&mut net, 3);
     assert_converged(&net, n);

@@ -8,9 +8,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use guesstimate_core::{
-    execute, GState, MachineId, ObjectId, ObjectStore, OpRegistry, SharedOp,
-};
+use guesstimate_core::{execute, GState, MachineId, ObjectId, ObjectStore, OpRegistry, SharedOp};
 use guesstimate_net::{Actor, Channel, Ctx, SimNet};
 
 /// A machine that never synchronizes.
@@ -162,7 +160,9 @@ mod tests {
         assert_eq!(m0.ops_applied(), 1);
         // Machine 1 never hears about it.
         assert_eq!(
-            net.actor(MachineId::new(1)).unwrap().read::<Cnt, _>(shared, |c| c.0),
+            net.actor(MachineId::new(1))
+                .unwrap()
+                .read::<Cnt, _>(shared, |c| c.0),
             Some(0)
         );
     }
@@ -177,9 +177,11 @@ mod tests {
         }
         assert_eq!(divergence(&net, &ids), 1, "identical at start");
         for (k, &i) in ids.iter().enumerate() {
-            net.actor_mut(i)
-                .unwrap()
-                .issue(SharedOp::primitive(shared, "add", args![k as i64 + 1]));
+            net.actor_mut(i).unwrap().issue(SharedOp::primitive(
+                shared,
+                "add",
+                args![k as i64 + 1],
+            ));
         }
         assert_eq!(divergence(&net, &ids), 3, "everyone disagrees");
     }
@@ -192,7 +194,9 @@ mod tests {
             .unwrap()
             .create_instance(Cnt(7));
         assert_eq!(
-            net.actor(MachineId::new(0)).unwrap().read::<Cnt, _>(obj, |c| c.0),
+            net.actor(MachineId::new(0))
+                .unwrap()
+                .read::<Cnt, _>(obj, |c| c.0),
             Some(7)
         );
         assert!(net

@@ -349,7 +349,9 @@ mod tests {
         net.run_until(SimTime::from_millis(50));
         for i in 0..3 {
             assert_eq!(
-                net.actor(MachineId::new(i)).unwrap().read::<Cnt, _>(obj, |c| c.0),
+                net.actor(MachineId::new(i))
+                    .unwrap()
+                    .read::<Cnt, _>(obj, |c| c.0),
                 Some(0),
                 "machine {i}"
             );
@@ -387,7 +389,9 @@ mod tests {
             .collect();
         assert!(digests.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(
-            net.actor(MachineId::new(0)).unwrap().read::<Cnt, _>(obj, |c| c.0),
+            net.actor(MachineId::new(0))
+                .unwrap()
+                .read::<Cnt, _>(obj, |c| c.0),
             Some(2)
         );
         let failed: u64 = (0..4)
@@ -408,7 +412,11 @@ mod tests {
         };
         net.run_until(SimTime::from_millis(100));
         net.call(MachineId::new(1), |m, ctx| {
-            m.issue(SharedOp::primitive(obj, "add_capped", args![1, 10]), None, ctx);
+            m.issue(
+                SharedOp::primitive(obj, "add_capped", args![1, 10]),
+                None,
+                ctx,
+            );
         });
         net.run_until(SimTime::from_secs(1));
         let stats = net.actor(MachineId::new(1)).unwrap().stats().clone();
@@ -433,7 +441,9 @@ mod tests {
         };
         // The sequencer applies its own ops immediately (seq order local).
         assert_eq!(
-            net.actor(MachineId::new(0)).unwrap().read::<Cnt, _>(obj, |c| c.0),
+            net.actor(MachineId::new(0))
+                .unwrap()
+                .read::<Cnt, _>(obj, |c| c.0),
             Some(0)
         );
         let s = net.actor(MachineId::new(0)).unwrap().stats().clone();
@@ -465,7 +475,11 @@ mod tests {
                     SimTime::from_millis(300 + 5 * k + u64::from(i)),
                     MachineId::new(i),
                     move |m: &mut OneCopyMachine, ctx| {
-                        m.issue(SharedOp::primitive(obj, "add_capped", args![1, 100]), None, ctx);
+                        m.issue(
+                            SharedOp::primitive(obj, "add_capped", args![1, 100]),
+                            None,
+                            ctx,
+                        );
                     },
                 );
             }

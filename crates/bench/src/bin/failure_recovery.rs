@@ -12,10 +12,25 @@
 //! the system kept committing throughout.
 //!
 //! Usage: `failure_recovery [duration_secs] [seed]` (defaults: 600, 13).
+//!
+//! A full per-event protocol trace is written as JSON lines to
+//! `target/failure_recovery_trace.jsonl` (override with
+//! `GUESSTIMATE_TRACE=<path>`); the recovery rounds' timelines are printed
+//! so each resend/removal can be followed through the three stages.
 
-use guesstimate_bench::experiments::{run_session, ActivityLevel, SessionConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use guesstimate_bench::experiments::{run_session_traced, ActivityLevel, SessionConfig};
+use guesstimate_bench::{render_timelines, summarize_rounds, write_jsonl};
 use guesstimate_core::MachineId;
-use guesstimate_net::{FaultPlan, SimTime, StallWindow};
+use guesstimate_net::{FaultPlan, RecordingTracer, SimTime, StallWindow};
+
+fn trace_path(default_name: &str) -> PathBuf {
+    std::env::var_os("GUESSTIMATE_TRACE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join(default_name))
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -43,7 +58,18 @@ fn main() {
         ));
 
     eprintln!("running failure/recovery session: 6 users, {duration}s, 2 stalls + 0.2% loss ...");
-    let r = run_session(&cfg);
+    let tracer = Arc::new(RecordingTracer::new());
+    let r = run_session_traced(&cfg, Some(tracer.clone()));
+
+    let records = tracer.take();
+    let path = trace_path("failure_recovery_trace.jsonl");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match write_jsonl(&path, &records) {
+        Ok(()) => eprintln!("wrote {} trace events to {}", records.len(), path.display()),
+        Err(e) => eprintln!("could not write trace to {}: {e}", path.display()),
+    }
 
     let resends: u32 = r.sync_samples.iter().map(|s| s.resends).sum();
     let removals: u32 = r.sync_samples.iter().map(|s| s.removals).sum();
@@ -64,5 +90,18 @@ fn main() {
     println!("# expected shape: a handful of recovery rounds, every stalled machine");
     println!("# automatically restarted and re-admitted, and the remaining users'");
     println!("# committed states identical at the end — they never noticed.");
+
+    // Stage-level timelines of exactly the rounds recovery touched.
+    let recovery: Vec<_> = summarize_rounds(&records)
+        .into_iter()
+        .filter(|t| t.resends > 0 || t.removals > 0)
+        .collect();
+    println!();
+    println!(
+        "# recovery-round timelines ({} rounds; full trace: {}):",
+        recovery.len(),
+        path.display()
+    );
+    print!("{}", render_timelines(&recovery));
     assert!(r.converged, "survivors must converge");
 }

@@ -7,20 +7,43 @@
 //!
 //! Usage: `fig5_sync_distribution [duration_secs] [seed]`
 //! (defaults: 3600 s — the paper's one hour — and seed 42).
+//!
+//! A full per-event protocol trace is written as JSON lines to
+//! `target/fig5_trace.jsonl` (override with `GUESSTIMATE_TRACE=<path>`), and
+//! the slowest rounds' per-stage timelines are printed for triage.
 
-use guesstimate_bench::{histogram, run_fig5};
-use guesstimate_net::SimTime;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use guesstimate_bench::{
+    histogram, render_timelines, run_fig5_traced, summarize_rounds, write_jsonl,
+};
+use guesstimate_net::{RecordingTracer, SimTime};
+
+fn trace_path(default_name: &str) -> PathBuf {
+    std::env::var_os("GUESSTIMATE_TRACE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join(default_name))
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let duration: u64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(3_600);
+    let duration: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3_600);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
 
     eprintln!("running fig5: 8 users, 2 grids, {duration}s virtual, seed {seed} ...");
-    let result = run_fig5(seed, SimTime::from_secs(duration));
+    let tracer = Arc::new(RecordingTracer::new());
+    let result = run_fig5_traced(seed, SimTime::from_secs(duration), Some(tracer.clone()));
+
+    let records = tracer.take();
+    let path = trace_path("fig5_trace.jsonl");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match write_jsonl(&path, &records) {
+        Ok(()) => eprintln!("wrote {} trace events to {}", records.len(), path.display()),
+        Err(e) => eprintln!("could not write trace to {}: {e}", path.display()),
+    }
 
     println!("# Figure 5: distribution of time taken for synchronization");
     println!("# 8 users, 2 Sudoku grids, {duration}s, 2 injected stalls");
@@ -31,7 +54,11 @@ fn main() {
         } else if b.hi.as_micros() <= 1_000_000 {
             format!("{}-{}ms", b.lo.as_millis(), b.hi.as_millis())
         } else {
-            format!("{}-{}s", b.lo.as_micros() / 1_000_000, b.hi.as_micros() / 1_000_000)
+            format!(
+                "{}-{}s",
+                b.lo.as_micros() / 1_000_000,
+                b.hi.as_micros() / 1_000_000
+            )
         };
         println!("{label:<16} {:>8}", b.count);
     }
@@ -78,6 +105,22 @@ fn main() {
         result.sync_samples.iter().filter(|s| s.recovered()).count()
     );
     println!("# machines restarted     : {}", result.machines_restarted);
-    println!("# ops issued/committed   : {}/{}", result.issued, result.committed);
+    println!(
+        "# ops issued/committed   : {}/{}",
+        result.issued, result.committed
+    );
     println!("# converged              : {}", result.converged);
+
+    // Per-stage breakdown of the slowest rounds: the >12 s outliers should
+    // show their time in stage 1 (flush stalled until recovery cleared it).
+    let mut timelines = summarize_rounds(&records);
+    timelines.sort_by_key(|t| std::cmp::Reverse(t.duration().unwrap_or(SimTime::ZERO)));
+    timelines.truncate(10);
+    timelines.sort_by_key(|t| t.round);
+    println!();
+    println!(
+        "# slowest 10 rounds, per stage (full trace: {}):",
+        path.display()
+    );
+    print!("{}", render_timelines(&timelines));
 }

@@ -5,9 +5,22 @@
 //! linearly with the number of users (serial first stage).
 //!
 //! Usage: `fig6_sync_vs_users [duration_secs] [seed]` (defaults: 120, 7).
+//!
+//! The 8-user active session (the series' most contended point) is traced;
+//! its JSON-lines trace goes to `target/fig6_trace.jsonl` (override with
+//! `GUESSTIMATE_TRACE=<path>`) and its mean per-stage split is printed.
 
-use guesstimate_bench::run_fig6;
-use guesstimate_net::SimTime;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use guesstimate_bench::{run_fig6_traced, summarize_rounds, write_jsonl};
+use guesstimate_net::{RecordingTracer, SimTime};
+
+fn trace_path(default_name: &str) -> PathBuf {
+    std::env::var_os("GUESSTIMATE_TRACE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join(default_name))
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -15,7 +28,22 @@ fn main() {
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
 
     eprintln!("running fig6: users 2..=8 x {{active, idle}}, {duration}s each, seed {seed} ...");
-    let rows = run_fig6(seed, SimTime::from_secs(duration));
+    let tracer = Arc::new(RecordingTracer::new());
+    let rows = run_fig6_traced(seed, SimTime::from_secs(duration), Some(tracer.clone()));
+
+    let records = tracer.take();
+    let path = trace_path("fig6_trace.jsonl");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match write_jsonl(&path, &records) {
+        Ok(()) => eprintln!(
+            "wrote {} trace events (8-user active session) to {}",
+            records.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("could not write trace to {}: {e}", path.display()),
+    }
 
     println!("# Figure 6: average time to synchronize vs number of users");
     println!("# (outliers > 12s excluded, as in the paper)");
@@ -50,5 +78,27 @@ fn main() {
     // synchronize would be within 3 seconds".
     let per_user = (last.active.as_millis_f64() - first.active.as_millis_f64()) / 6.0;
     let at_100 = first.active.as_millis_f64() + per_user * 98.0;
-    println!("# extrapolation: ~{:.2} s at 100 users (paper: within 3 s)", at_100 / 1_000.0);
+    println!(
+        "# extrapolation: ~{:.2} s at 100 users (paper: within 3 s)",
+        at_100 / 1_000.0
+    );
+
+    // Mean per-stage split of the traced 8-user session: with a serial
+    // stage 1, flush should dominate and be the part that grows with users.
+    let timelines = summarize_rounds(&records);
+    let mean_ms = |f: &dyn Fn(&guesstimate_bench::RoundTimeline) -> Option<SimTime>| {
+        let vals: Vec<f64> = timelines
+            .iter()
+            .filter_map(f)
+            .map(SimTime::as_millis_f64)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    println!(
+        "# 8-user per-stage means : flush {:.1} ms, apply {:.1} ms, flag-spread {:.1} ms ({} rounds traced)",
+        mean_ms(&|t| t.flush_duration()),
+        mean_ms(&|t| t.apply_duration()),
+        mean_ms(&|t| t.completion_spread()),
+        timelines.len()
+    );
 }

@@ -35,7 +35,9 @@ fn main() {
         let s = serial.mean_sync_excluding(cutoff).expect("rounds measured");
         cfg.parallel_flush = true;
         let parallel = run_session(&cfg);
-        let p = parallel.mean_sync_excluding(cutoff).expect("rounds measured");
+        let p = parallel
+            .mean_sync_excluding(cutoff)
+            .expect("rounds measured");
         println!(
             "{users:>6} {:>12.1} {:>14.1} {:>8}",
             s.as_millis_f64(),
@@ -47,9 +49,7 @@ fn main() {
         }
     }
     println!();
-    println!(
-        "# paper's extrapolation: 100 users 'within 3 seconds' — measured: {serial_100:.2} s"
-    );
+    println!("# paper's extrapolation: 100 users 'within 3 seconds' — measured: {serial_100:.2} s");
     println!("# (matches the linear model: ~31 ms of one-way latency per serial flush turn;");
     println!("#  the absolute figure scales with the per-hop latency, 30 ms here)");
     println!("# parallel flush removes the linear term, as §9 anticipates.");

@@ -14,10 +14,7 @@ use guesstimate_bench::run_spec_table;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let detail = args.iter().any(|a| a == "--detail");
-    let seed: u64 = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(42);
+    let seed: u64 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(42);
     eprintln!("classifying assertion populations for all six applications (seed {seed}) ...");
     let rows = run_spec_table(seed);
 

@@ -6,11 +6,14 @@
 //! LAN and "the dominant component of the time for synchronization is
 //! network delay").
 
+use std::sync::Arc;
+
 use guesstimate_apps::sudoku;
 use guesstimate_core::{MachineId, ObjectId, OpRegistry};
-use guesstimate_net::{FaultPlan, LatencyModel, NetConfig, SimNet, SimTime, StallWindow};
+use guesstimate_net::{FaultPlan, LatencyModel, NetConfig, SimNet, SimTime, StallWindow, Tracer};
 use guesstimate_runtime::{
-    run_until_cohort, sim_cluster, Machine, MachineConfig, MachineStats, SyncSample,
+    run_until_cohort, sim_cluster, sim_cluster_traced, Machine, MachineConfig, MachineStats,
+    SyncSample,
 };
 use guesstimate_spec::{verify_suite, CaseSpace, Value};
 
@@ -122,6 +125,16 @@ impl SessionResult {
 /// `duration` of measured activity → 10 s settle (so pending operations
 /// commit and the convergence check is meaningful).
 pub fn run_session(cfg: &SessionConfig) -> SessionResult {
+    run_session_traced(cfg, None)
+}
+
+/// [`run_session`] with a protocol trace sink installed on every machine.
+///
+/// Every machine in the session emits [`guesstimate_net::TraceEvent`]s to
+/// `tracer`; pass a [`guesstimate_net::RecordingTracer`] to post-process the
+/// stream (see [`crate::trace`]) or a [`crate::trace::JsonlSink`] to stream
+/// it to disk. `None` is equivalent to [`run_session`].
+pub fn run_session_traced(cfg: &SessionConfig, tracer: Option<Arc<dyn Tracer>>) -> SessionResult {
     let mut registry = OpRegistry::new();
     sudoku::register(&mut registry);
     let mcfg = MachineConfig::default()
@@ -147,7 +160,7 @@ pub fn run_session(cfg: &SessionConfig) -> SessionResult {
     let netcfg = NetConfig::lan(cfg.seed)
         .with_latency(cfg.latency.clone())
         .with_faults(faults);
-    let mut net = sim_cluster(cfg.users, registry, mcfg, netcfg);
+    let mut net = sim_cluster_traced(cfg.users, registry, mcfg, netcfg, tracer);
     assert!(
         run_until_cohort(&mut net, SimTime::from_secs(30)),
         "cohort must assemble before the measured window"
@@ -281,6 +294,15 @@ pub fn histogram(samples: &[SyncSample]) -> Vec<HistogramBucket> {
 /// "the times when synchronization stalled and the master had to perform a
 /// fault recovery").
 pub fn run_fig5(seed: u64, duration: SimTime) -> SessionResult {
+    run_fig5_traced(seed, duration, None)
+}
+
+/// [`run_fig5`] with a protocol trace sink installed on every machine.
+pub fn run_fig5_traced(
+    seed: u64,
+    duration: SimTime,
+    tracer: Option<Arc<dyn Tracer>>,
+) -> SessionResult {
     let mut cfg = SessionConfig::paper_default(8, seed);
     cfg.duration = duration;
     // Long stalls on two different machines, far apart; each blocks a round
@@ -299,7 +321,7 @@ pub fn run_fig5(seed: u64, duration: SimTime) -> SessionResult {
             third + third,
             third + third + SimTime::from_secs(30),
         ));
-    run_session(&cfg)
+    run_session_traced(&cfg, tracer)
 }
 
 // ---------------------------------------------------------------------
@@ -323,12 +345,24 @@ pub struct Fig6Row {
 /// and without user activity. Expect a linear trend (serial stage 1) and
 /// little difference between active and idle (network-delay dominated).
 pub fn run_fig6(seed: u64, duration: SimTime) -> Vec<Fig6Row> {
+    run_fig6_traced(seed, duration, None)
+}
+
+/// [`run_fig6`] with a protocol trace sink on the **8-user active** session
+/// only — the series' most contended point, and the one whose per-stage
+/// breakdown explains the linear trend (serial stage 1 grows with users).
+pub fn run_fig6_traced(
+    seed: u64,
+    duration: SimTime,
+    tracer: Option<Arc<dyn Tracer>>,
+) -> Vec<Fig6Row> {
     let cutoff = SimTime::from_secs(12);
     (2..=8)
         .map(|users| {
             let mut active_cfg = SessionConfig::paper_default(users, seed + u64::from(users));
             active_cfg.duration = duration;
-            let active = run_session(&active_cfg);
+            let session_tracer = if users == 8 { tracer.clone() } else { None };
+            let active = run_session_traced(&active_cfg, session_tracer);
             let mut idle_cfg = active_cfg.clone();
             idle_cfg.activity = ActivityLevel::Idle;
             let idle = run_session(&idle_cfg);
@@ -397,10 +431,7 @@ pub fn run_fig7(seed: u64, mean_think: SimTime) -> Vec<Fig7Row> {
     }
     net.run_until(net.now() + SimTime::from_secs(2));
 
-    let activity = |seed| Activity {
-        mean_think,
-        seed,
-    };
+    let activity = |seed| Activity { mean_think, seed };
     // The measured horizon is generous; each segment ends at +100 syncs.
     let horizon = net.now() + SimTime::from_secs(3_600);
     let start = net.now();
@@ -410,8 +441,12 @@ pub fn run_fig7(seed: u64, mean_think: SimTime) -> Vec<Fig7Row> {
 
     let mut rows = Vec::new();
     let mut active_users: u32 = 2;
-    let segment_base =
-        |net: &SimNet<Machine>| net.actor(MachineId::new(0)).expect("master").stats().syncs_seen;
+    let segment_base = |net: &SimNet<Machine>| {
+        net.actor(MachineId::new(0))
+            .expect("master")
+            .stats()
+            .syncs_seen
+    };
     let conflicts_now = |net: &SimNet<Machine>| -> u64 {
         net.members()
             .iter()
@@ -735,12 +770,8 @@ fn guesstimate_latency(users: u32, seed: u64) -> (SimTime, SimTime) {
                 move |m: &mut Machine, ctx| {
                     let boards = [board];
                     // Reuse the workload move picker, but timed.
-                    let _ = crate::workload::issue_random_move_timed(
-                        m,
-                        &boards[..],
-                        seed_k,
-                        ctx.now(),
-                    );
+                    let _ =
+                        crate::workload::issue_random_move_timed(m, &boards[..], seed_k, ctx.now());
                 },
             );
         }
@@ -846,7 +877,9 @@ pub fn run_consistency_spectrum(seed: u64, users: u32) -> Vec<SpectrumRow> {
         let shared = ObjectId::new(MachineId::new(9), 0);
         let ids: Vec<MachineId> = (0..users).map(MachineId::new).collect();
         for &i in &ids {
-            net.actor_mut(i).unwrap().install(shared, sudoku::example_puzzle());
+            net.actor_mut(i)
+                .unwrap()
+                .install(shared, sudoku::example_puzzle());
         }
         let mut accepted = 0u64;
         for &(i, k) in &events {
@@ -902,10 +935,19 @@ pub fn run_consistency_spectrum(seed: u64, users: u32) -> Vec<SpectrumRow> {
         }
         net.run_until(net.now() + SimTime::from_secs(15));
         let digests: std::collections::BTreeSet<u64> = (0..users)
-            .map(|i| net.actor(MachineId::new(i)).expect("machine").committed_digest())
+            .map(|i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine")
+                    .committed_digest()
+            })
             .collect();
         let accepted: u64 = (0..users)
-            .map(|i| net.actor(MachineId::new(i)).expect("machine").stats().issued)
+            .map(|i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine")
+                    .stats()
+                    .issued
+            })
             .sum();
         rows.push(SpectrumRow {
             model: "guesstimate",
@@ -963,7 +1005,12 @@ pub fn run_consistency_spectrum(seed: u64, users: u32) -> Vec<SpectrumRow> {
             )
         };
         let accepted: u64 = (0..users)
-            .map(|i| net.actor(MachineId::new(i)).expect("machine").stats().submitted)
+            .map(|i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine")
+                    .stats()
+                    .submitted
+            })
             .sum();
         rows.push(SpectrumRow {
             model: "one-copy",
@@ -1012,8 +1059,12 @@ mod tests {
             round: 0,
             started_at: SimTime::ZERO,
             duration: SimTime::from_millis(ms),
+            flush_duration: SimTime::from_millis(ms),
+            apply_duration: SimTime::ZERO,
+            completion_duration: SimTime::ZERO,
             participants: 2,
             ops_committed: 0,
+            ops_flushed: 0,
             resends: 0,
             removals: 0,
         };
@@ -1031,8 +1082,12 @@ mod tests {
             round: 0,
             started_at: SimTime::ZERO,
             duration: SimTime::from_millis(ms),
+            flush_duration: SimTime::from_millis(ms),
+            apply_duration: SimTime::ZERO,
+            completion_duration: SimTime::ZERO,
             participants: 2,
             ops_committed: 0,
+            ops_flushed: 0,
             resends: 0,
             removals: 0,
         };

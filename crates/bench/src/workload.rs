@@ -144,7 +144,8 @@ pub fn issue_random_move_timed(
         return None;
     }
     let (r, c, v) = moves[rng.gen_range(0..moves.len())];
-    m.issue_at(sudoku::ops::update(board, r, c, v), None, now).ok()
+    m.issue_at(sudoku::ops::update(board, r, c, v), None, now)
+        .ok()
 }
 
 #[cfg(test)]

@@ -154,9 +154,13 @@ mod tests {
         let count = Arc::new(AtomicUsize::new(0));
         let c = count.clone();
         let mut q = CompletionQueue::new();
-        q.push(op(0), true, Box::new(move |_| {
-            c.fetch_add(1, Ordering::SeqCst);
-        }));
+        q.push(
+            op(0),
+            true,
+            Box::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
         let drained = q.drain();
         assert_eq!(drained.len(), 1);
         assert_eq!(count.load(Ordering::SeqCst), 0, "not run by drain");

@@ -54,6 +54,18 @@ pub enum ExecError {
     },
     /// No constructor is registered for a type name (during join/replication).
     UnknownType(String),
+    /// An object had a different concrete type than the operation (or state
+    /// copy) expected. Replicas register the same types under the same
+    /// names, so this indicates registries that disagree across machines.
+    TypeMismatch {
+        /// The type the caller expected.
+        expected: String,
+        /// The registered type name actually found.
+        actual: String,
+    },
+    /// An object targeted by an atomic operation disappeared from the store
+    /// between execution on the overlay and commit of the overlay.
+    VanishedObject(ObjectId),
 }
 
 impl fmt::Display for ExecError {
@@ -64,6 +76,12 @@ impl fmt::Display for ExecError {
                 write!(f, "no method {method:?} registered for type {type_name:?}")
             }
             ExecError::UnknownType(t) => write!(f, "no constructor registered for type {t:?}"),
+            ExecError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected:?}, found {actual:?}")
+            }
+            ExecError::VanishedObject(id) => {
+                write!(f, "shared object {id} vanished before commit")
+            }
         }
     }
 }
@@ -86,6 +104,13 @@ mod tests {
         assert!(e.to_string().contains("update"));
         let e = ExecError::UnknownType("Foo".into());
         assert!(e.to_string().contains("Foo"));
+        let e = ExecError::TypeMismatch {
+            expected: "Pair".into(),
+            actual: "Other".into(),
+        };
+        assert!(e.to_string().contains("Pair") && e.to_string().contains("Other"));
+        let e = ExecError::VanishedObject(ObjectId::new(MachineId::new(2), 5));
+        assert!(e.to_string().contains("obj-m2-5"));
         let r = RestoreError::shape("i64");
         assert!(r.to_string().contains("i64"));
         assert_eq!(r.expected(), "i64");

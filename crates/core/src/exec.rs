@@ -113,16 +113,32 @@ impl<'a, B: ObjectAccess + ?Sized> CowOverlay<'a, B> {
     }
 
     /// Writes every touched copy back into the base store.
-    pub fn commit(self) {
-        for (id, copy) in self.copies {
-            // The object existed when it was copied; if the base somehow
-            // lost it, re-inserting is not possible through ObjectAccess,
-            // so we overwrite in place and ignore a vanished target.
-            self.base.apply(id, &mut |obj| {
-                obj.copy_from(&*copy);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::VanishedObject`] if a touched object no longer
+    /// exists in the base (it existed when it was copied, so something
+    /// removed it mid-operation), or [`ExecError::TypeMismatch`] if the
+    /// object under that id changed concrete type. Both indicate the store
+    /// was mutated behind the overlay's back; copies written before the
+    /// failing one remain applied, so callers must treat the store as
+    /// corrupted and surface the error rather than continue.
+    pub fn commit(self) -> Result<(), ExecError> {
+        let CowOverlay { base, copies } = self;
+        for (id, copy) in copies {
+            let mut copy_err = None;
+            let applied = base.apply(id, &mut |obj| {
+                copy_err = obj.copy_from(&*copy).err();
                 true
             });
+            if applied.is_none() {
+                return Err(ExecError::VanishedObject(id));
+            }
+            if let Some(e) = copy_err {
+                return Err(e);
+            }
         }
+        Ok(())
     }
 }
 
@@ -163,10 +179,12 @@ impl<B: ObjectAccess + ?Sized> ObjectAccess for CowOverlay<'_, B> {
 ///
 /// # Errors
 ///
-/// Returns [`ExecError`] for unknown objects or unregistered methods. An
-/// error inside an `Atomic` discards the overlay; an error inside either arm
-/// of an `OrElse` aborts the whole operation (a programming error is never
-/// "handled" by falling through to the alternative).
+/// Returns [`ExecError`] for unknown objects, unregistered methods, type
+/// mismatches between an object and its apply function, or objects that
+/// vanish between an `Atomic`'s execution and its commit. An error inside an
+/// `Atomic` discards the overlay; an error inside either arm of an `OrElse`
+/// aborts the whole operation (a programming error is never "handled" by
+/// falling through to the alternative).
 pub fn execute_against(
     op: &SharedOp,
     access: &mut dyn ObjectAccess,
@@ -179,13 +197,14 @@ pub fn execute_against(
             args,
         } => {
             let mut routing_err: Option<ExecError> = None;
-            let outcome = access.apply(*object, &mut |obj| {
-                match registry.lookup(obj.type_name(), method) {
-                    Ok(f) => f(obj, ArgView::new(args)),
-                    Err(e) => {
-                        routing_err = Some(e);
-                        false
-                    }
+            let outcome = access.apply(*object, &mut |obj| match registry
+                .lookup(obj.type_name(), method)
+                .and_then(|f| f(obj, ArgView::new(args)))
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    routing_err = Some(e);
+                    false
                 }
             });
             match outcome {
@@ -203,7 +222,7 @@ pub fn execute_against(
                     return Ok(false); // overlay dropped: nothing visible
                 }
             }
-            overlay.commit();
+            overlay.commit()?;
             Ok(true)
         }
         SharedOp::OrElse(first, second) => {
@@ -239,11 +258,11 @@ pub fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::args;
     use crate::error::RestoreError;
     use crate::ids::MachineId;
     use crate::object::GState;
     use crate::value::Value;
-    use crate::args;
 
     /// A bank-account-like object: `deposit(n)` always succeeds,
     /// `withdraw(n)` fails if the balance would go negative.
@@ -336,7 +355,10 @@ mod tests {
             SharedOp::primitive(oid(0), "withdraw", args![10]),
             SharedOp::primitive(oid(1), "deposit", args![10]),
         ]);
-        assert_eq!(execute(&transfer, &mut s, &r).unwrap(), ExecOutcome::Success);
+        assert_eq!(
+            execute(&transfer, &mut s, &r).unwrap(),
+            ExecOutcome::Success
+        );
         assert_eq!(balance(&s, 0), 0);
         assert_eq!(balance(&s, 1), 10);
     }
@@ -382,8 +404,11 @@ mod tests {
     fn or_else_prefers_first_alternative() {
         let r = registry();
         let mut s = store_with(&[10]);
-        let op = SharedOp::primitive(oid(0), "withdraw", args![5])
-            .or_else(SharedOp::primitive(oid(0), "withdraw", args![1]));
+        let op = SharedOp::primitive(oid(0), "withdraw", args![5]).or_else(SharedOp::primitive(
+            oid(0),
+            "withdraw",
+            args![1],
+        ));
         assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Success);
         assert_eq!(balance(&s, 0), 5, "only the first arm ran");
     }
@@ -392,8 +417,11 @@ mod tests {
     fn or_else_falls_through_on_failure() {
         let r = registry();
         let mut s = store_with(&[10]);
-        let op = SharedOp::primitive(oid(0), "withdraw", args![100])
-            .or_else(SharedOp::primitive(oid(0), "withdraw", args![1]));
+        let op = SharedOp::primitive(oid(0), "withdraw", args![100]).or_else(SharedOp::primitive(
+            oid(0),
+            "withdraw",
+            args![1],
+        ));
         assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Success);
         assert_eq!(balance(&s, 0), 9, "second arm ran after first failed");
     }
@@ -402,8 +430,11 @@ mod tests {
     fn or_else_fails_when_both_fail() {
         let r = registry();
         let mut s = store_with(&[0]);
-        let op = SharedOp::primitive(oid(0), "withdraw", args![1])
-            .or_else(SharedOp::primitive(oid(0), "withdraw", args![2]));
+        let op = SharedOp::primitive(oid(0), "withdraw", args![1]).or_else(SharedOp::primitive(
+            oid(0),
+            "withdraw",
+            args![2],
+        ));
         assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Failure);
         assert_eq!(balance(&s, 0), 0);
     }
@@ -492,6 +523,106 @@ mod tests {
         .or_else(SharedOp::primitive(oid(1), "deposit", args![1]));
         assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Success);
         assert_eq!(balance(&s, 1), 1, "only the fallback deposit is visible");
+    }
+
+    /// An [`ObjectAccess`] in which one object can be cloned (so overlays
+    /// can copy it) but never applied against — simulating an object removed
+    /// from the store between an atomic's execution and its commit.
+    struct VanishingStore {
+        inner: ObjectStore,
+        vanished: ObjectId,
+    }
+
+    impl ObjectAccess for VanishingStore {
+        fn exists(&self, id: ObjectId) -> bool {
+            self.inner.exists(id)
+        }
+        fn clone_object(&self, id: ObjectId) -> Option<Box<dyn SharedObject>> {
+            self.inner.clone_object(id)
+        }
+        fn apply(
+            &mut self,
+            id: ObjectId,
+            f: &mut dyn FnMut(&mut (dyn SharedObject + 'static)) -> bool,
+        ) -> Option<bool> {
+            if id == self.vanished {
+                return None;
+            }
+            self.inner.apply(id, f)
+        }
+    }
+
+    #[test]
+    fn commit_surfaces_vanished_object() {
+        let r = registry();
+        let mut s = VanishingStore {
+            inner: store_with(&[10]),
+            vanished: oid(0),
+        };
+        // The deposit executes on the overlay's copy (cloning from the base
+        // still works); at commit time the base refuses to resolve the
+        // object, as if it had been removed mid-operation.
+        let op = SharedOp::atomic(vec![SharedOp::primitive(oid(0), "deposit", args![5])]);
+        assert_eq!(
+            execute_against(&op, &mut s, &r).unwrap_err(),
+            ExecError::VanishedObject(oid(0))
+        );
+    }
+
+    /// A base that clones objects as `Account` but hands `apply` a
+    /// different concrete type, simulating an id whose object changed type
+    /// behind the overlay's back.
+    struct TypeSwappingStore {
+        account: Account,
+        swapped: Blob,
+    }
+
+    #[derive(Clone, Default, Debug)]
+    struct Blob;
+    impl GState for Blob {
+        const TYPE_NAME: &'static str = "Blob";
+        fn snapshot(&self) -> Value {
+            Value::Unit
+        }
+        fn restore(&mut self, _: &Value) -> Result<(), RestoreError> {
+            Ok(())
+        }
+    }
+
+    impl ObjectAccess for TypeSwappingStore {
+        fn exists(&self, id: ObjectId) -> bool {
+            id == oid(0)
+        }
+        fn clone_object(&self, id: ObjectId) -> Option<Box<dyn SharedObject>> {
+            (id == oid(0)).then(|| {
+                let b: Box<dyn SharedObject> = Box::new(self.account.clone());
+                b
+            })
+        }
+        fn apply(
+            &mut self,
+            id: ObjectId,
+            f: &mut dyn FnMut(&mut (dyn SharedObject + 'static)) -> bool,
+        ) -> Option<bool> {
+            (id == oid(0)).then(|| f(&mut self.swapped))
+        }
+    }
+
+    #[test]
+    fn commit_surfaces_type_mismatch() {
+        let r = registry();
+        let mut s = TypeSwappingStore {
+            account: Account { balance: 10 },
+            swapped: Blob,
+        };
+        let op = SharedOp::atomic(vec![SharedOp::primitive(oid(0), "deposit", args![5])]);
+        assert_eq!(
+            execute_against(&op, &mut s, &r).unwrap_err(),
+            ExecError::TypeMismatch {
+                expected: "Blob".into(),
+                actual: "Account".into(),
+            }
+        );
     }
 
     #[test]

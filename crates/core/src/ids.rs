@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identity of a machine participating in the distributed system.
 ///
 /// Machines are the unit of replication: each machine owns a committed and a
@@ -22,9 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.to_string(), "m3");
 /// assert!(MachineId::new(2) < m);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MachineId(u32);
 
 impl MachineId {
@@ -67,9 +63,7 @@ impl From<u32> for MachineId {
 /// assert_eq!(id.to_string(), "obj-m1-7");
 /// assert_eq!(ObjectId::parse("obj-m1-7"), Some(id));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ObjectId {
     creator: MachineId,
     seq: u64,
@@ -125,9 +119,7 @@ impl fmt::Display for ObjectId {
 /// let b = OpId::new(MachineId::new(1), 0);
 /// assert!(a < b, "machine id dominates the order");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct OpId {
     machine: MachineId,
     seq: u64,

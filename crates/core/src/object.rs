@@ -18,7 +18,7 @@
 use std::any::Any;
 use std::fmt;
 
-use crate::error::RestoreError;
+use crate::error::{ExecError, RestoreError};
 use crate::value::Value;
 
 /// Application-visible trait for shared (replicated) state.
@@ -85,11 +85,13 @@ pub trait SharedObject: Send {
     /// This is the paper's `Copy(GSharedObject src)` method, used for the
     /// committed-to-guesstimated copy during synchronization.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `src` is not the same concrete type — the runtime only ever
-    /// copies between replicas of the same object.
-    fn copy_from(&mut self, src: &dyn SharedObject);
+    /// Returns [`ExecError::TypeMismatch`] if `src` is not the same concrete
+    /// type; the state is left unmodified. The runtime only ever copies
+    /// between replicas of the same object, so callers treat this as
+    /// evidence of registries that disagree across machines.
+    fn copy_from(&mut self, src: &dyn SharedObject) -> Result<(), ExecError>;
 
     /// Clones the object into a new box (replication to a joining machine).
     fn clone_boxed(&self) -> Box<dyn SharedObject>;
@@ -116,12 +118,16 @@ impl<T: GState> SharedObject for T {
         T::TYPE_NAME
     }
 
-    fn copy_from(&mut self, src: &dyn SharedObject) {
+    fn copy_from(&mut self, src: &dyn SharedObject) -> Result<(), ExecError> {
         let src = src
             .as_any()
             .downcast_ref::<T>()
-            .unwrap_or_else(|| panic!("copy_from: type mismatch, expected {}", T::TYPE_NAME));
+            .ok_or_else(|| ExecError::TypeMismatch {
+                expected: T::TYPE_NAME.to_owned(),
+                actual: src.type_name().to_owned(),
+            })?;
         self.clone_from(src);
+        Ok(())
     }
 
     fn clone_boxed(&self) -> Box<dyn SharedObject> {
@@ -196,15 +202,22 @@ mod tests {
     fn copy_from_overwrites_state() {
         let src = Pair { a: 1, b: 2 };
         let mut dst = Pair::default();
-        SharedObject::copy_from(&mut dst, &src);
+        SharedObject::copy_from(&mut dst, &src).unwrap();
         assert_eq!(dst, src);
     }
 
     #[test]
-    #[should_panic(expected = "type mismatch")]
-    fn copy_from_panics_on_type_mismatch() {
-        let mut dst = Pair::default();
-        SharedObject::copy_from(&mut dst, &Other);
+    fn copy_from_reports_type_mismatch_and_leaves_state_intact() {
+        let mut dst = Pair { a: 3, b: 4 };
+        let err = SharedObject::copy_from(&mut dst, &Other).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::TypeMismatch {
+                expected: "Pair".into(),
+                actual: "Other".into(),
+            }
+        );
+        assert_eq!(dst, Pair { a: 3, b: 4 }, "failed copy must not mutate");
     }
 
     #[test]

@@ -14,8 +14,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{ObjectId, OpId};
 use crate::value::Value;
 
@@ -38,7 +36,7 @@ use crate::value::Value;
 /// let both = SharedOp::atomic(vec![join_a, either]);
 /// assert_eq!(both.primitive_count(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SharedOp {
     /// A single method invocation on one shared object.
     Primitive {
@@ -59,11 +57,7 @@ pub enum SharedOp {
 
 impl SharedOp {
     /// Creates a primitive operation on `object` invoking `method` with `args`.
-    pub fn primitive(
-        object: ObjectId,
-        method: impl Into<String>,
-        args: Vec<Value>,
-    ) -> SharedOp {
+    pub fn primitive(object: ObjectId, method: impl Into<String>, args: Vec<Value>) -> SharedOp {
         SharedOp::Primitive {
             object,
             method: method.into(),
@@ -174,7 +168,7 @@ impl fmt::Display for SharedOp {
 /// A shared operation tagged with its issue identity — the
 /// `(machineID, operationnumber, operation)` triple flushed on the
 /// Operations channel during *AddUpdatesToMesh* (§4).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpEnvelope {
     /// Issue identity: issuing machine + per-machine sequence number.
     pub id: OpId,
@@ -232,7 +226,10 @@ mod tests {
             SharedOp::primitive(oid(0), "h", args![]),
         ]);
         let touched = op.objects_touched();
-        assert_eq!(touched.into_iter().collect::<Vec<_>>(), vec![oid(0), oid(1)]);
+        assert_eq!(
+            touched.into_iter().collect::<Vec<_>>(),
+            vec![oid(0), oid(1)]
+        );
     }
 
     #[test]
@@ -256,12 +253,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let op = SharedOp::primitive(oid(0), "update", args![1, 2, 3])
-            .or_else(SharedOp::atomic(vec![SharedOp::primitive(
-                oid(1),
-                "join",
-                args!["e"],
-            )]));
+        let op =
+            SharedOp::primitive(oid(0), "update", args![1, 2, 3]).or_else(SharedOp::atomic(vec![
+                SharedOp::primitive(oid(1), "join", args!["e"]),
+            ]));
         let s = op.to_string();
         assert!(s.contains("update(1, 2, 3)"));
         assert!(s.contains("orelse"));

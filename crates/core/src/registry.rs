@@ -20,9 +20,13 @@ use crate::value::Value;
 
 /// Type-erased apply function for one shared-operation method.
 ///
-/// Per the model (§3), the function returns `true` iff the operation
-/// succeeded; on `false` it must leave the object unchanged.
-pub(crate) type ApplyFn = Arc<dyn Fn(&mut dyn SharedObject, ArgView<'_>) -> bool + Send + Sync>;
+/// Per the model (§3), the function returns `Ok(true)` iff the operation
+/// succeeded; on `Ok(false)` it must leave the object unchanged. An `Err`
+/// means the registry routed the call to an object of the wrong concrete
+/// type ([`ExecError::TypeMismatch`]) — a programming error, not a failed
+/// precondition.
+pub(crate) type ApplyFn =
+    Arc<dyn Fn(&mut dyn SharedObject, ArgView<'_>) -> Result<bool, ExecError> + Send + Sync>;
 
 type CtorFn = Arc<dyn Fn() -> Box<dyn SharedObject> + Send + Sync>;
 
@@ -160,11 +164,15 @@ impl OpRegistry {
         f: impl Fn(&mut T, ArgView<'_>) -> bool + Send + Sync + 'static,
     ) {
         let apply: ApplyFn = Arc::new(move |obj, argv| {
-            let obj = obj
-                .as_any_mut()
-                .downcast_mut::<T>()
-                .unwrap_or_else(|| panic!("registry routed {} to wrong type", T::TYPE_NAME));
-            f(obj, argv)
+            let actual = obj.type_name();
+            let obj =
+                obj.as_any_mut()
+                    .downcast_mut::<T>()
+                    .ok_or_else(|| ExecError::TypeMismatch {
+                        expected: T::TYPE_NAME.to_owned(),
+                        actual: actual.to_owned(),
+                    })?;
+            Ok(f(obj, argv))
         });
         self.methods
             .entry(T::TYPE_NAME)
@@ -272,8 +280,34 @@ mod tests {
         let mut obj: Box<dyn SharedObject> = Box::new(Cell(0));
         let f = r.lookup("Cell", "set").unwrap().clone();
         let a = args![7];
-        assert!(f(&mut *obj, ArgView::new(&a)));
+        assert!(f(&mut *obj, ArgView::new(&a)).unwrap());
         assert_eq!(obj.as_any().downcast_ref::<Cell>().unwrap().0, 7);
+    }
+
+    #[test]
+    fn apply_fn_reports_misrouted_type() {
+        #[derive(Clone, Default, Debug)]
+        struct NotCell;
+        impl GState for NotCell {
+            const TYPE_NAME: &'static str = "NotCell";
+            fn snapshot(&self) -> Value {
+                Value::Unit
+            }
+            fn restore(&mut self, _: &Value) -> Result<(), RestoreError> {
+                Ok(())
+            }
+        }
+        let r = registry();
+        let mut obj: Box<dyn SharedObject> = Box::new(NotCell);
+        let f = r.lookup("Cell", "set").unwrap().clone();
+        let a = args![7];
+        assert_eq!(
+            f(&mut *obj, ArgView::new(&a)).unwrap_err(),
+            ExecError::TypeMismatch {
+                expected: "Cell".into(),
+                actual: "NotCell".into(),
+            }
+        );
     }
 
     #[test]
@@ -291,7 +325,7 @@ mod tests {
         let mut obj: Box<dyn SharedObject> = Box::new(Cell(3));
         let f = r.lookup("Cell", "set").unwrap().clone();
         let a = args!["not an int"];
-        assert!(!f(&mut *obj, ArgView::new(&a)));
+        assert!(!f(&mut *obj, ArgView::new(&a)).unwrap());
         assert_eq!(obj.as_any().downcast_ref::<Cell>().unwrap().0, 3);
     }
 
@@ -331,7 +365,7 @@ mod tests {
         let mut obj: Box<dyn SharedObject> = Box::new(Cell(1));
         let f = r.lookup("Cell", "set").unwrap().clone();
         let a = args![9];
-        assert!(!f(&mut *obj, ArgView::new(&a)));
+        assert!(!f(&mut *obj, ArgView::new(&a)).unwrap());
     }
 
     #[test]

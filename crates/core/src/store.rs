@@ -119,14 +119,21 @@ impl ObjectStore {
     /// objects only in `self` are removed. After the call the two stores hold
     /// logically identical state. This is the whole-store analog of the
     /// paper's `Copy` and implements the committed-to-guesstimated state copy.
+    ///
+    /// If an id is occupied by a *different concrete type* in the two stores
+    /// (possible only when an application reuses ids across types), the
+    /// in-place copy is impossible and the object is replaced wholesale with
+    /// a clone of `src`'s — the post-condition (stores logically identical)
+    /// holds either way, so this method is infallible.
     pub fn copy_from(&mut self, src: &ObjectStore) {
         self.objects.retain(|id, _| src.objects.contains_key(id));
         for (id, obj) in &src.objects {
-            match self.objects.get_mut(id) {
-                Some(mine) => mine.copy_from(&**obj),
-                None => {
-                    self.objects.insert(*id, obj.clone_boxed());
-                }
+            let in_place = match self.objects.get_mut(id) {
+                Some(mine) => mine.copy_from(&**obj).is_ok(),
+                None => false,
+            };
+            if !in_place {
+                self.objects.insert(*id, obj.clone_boxed());
             }
         }
     }
@@ -288,10 +295,7 @@ mod tests {
         let mut s = ObjectStore::new();
         s.insert(oid(0, 0), Box::new(Num(42)));
         let snap = s.snapshot();
-        assert_eq!(
-            snap.field("obj-m0-0").and_then(Value::as_i64),
-            Some(42)
-        );
+        assert_eq!(snap.field("obj-m0-0").and_then(Value::as_i64), Some(42));
     }
 
     #[test]

@@ -13,8 +13,6 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 /// A dynamically typed value.
 ///
 /// `Value` is the argument vector element of a [`crate::SharedOp`] and the
@@ -31,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.as_list().unwrap().len(), 2);
 /// assert!(Value::from(1) < Value::from(2));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub enum Value {
     /// The unit (absence of a) value.
     #[default]
@@ -399,14 +397,16 @@ mod tests {
 
     #[test]
     fn total_order_across_variants_is_consistent() {
-        let vals = [Value::Unit,
+        let vals = [
+            Value::Unit,
             Value::from(false),
             Value::from(-1),
             Value::from(1.5),
             Value::from("a"),
             Value::Bytes(vec![0]),
             Value::List(vec![]),
-            Value::Map(BTreeMap::new())];
+            Value::Map(BTreeMap::new()),
+        ];
         for (i, a) in vals.iter().enumerate() {
             for (j, b) in vals.iter().enumerate() {
                 assert_eq!(a.cmp(b), i.cmp(&j), "{a} vs {b}");
@@ -488,9 +488,6 @@ mod tests {
             Value::List(vec![Value::from(1), Value::from(2)]).to_string(),
             "[1, 2]"
         );
-        assert_eq!(
-            Value::map([("a", Value::from(1))]).to_string(),
-            "{a: 1}"
-        );
+        assert_eq!(Value::map([("a", Value::from(1))]).to_string(), "{a: 1}");
     }
 }

@@ -135,14 +135,7 @@ mod tests {
         struct Null;
         impl Actor for Null {
             type Msg = ();
-            fn on_message(
-                &mut self,
-                _: MachineId,
-                _: Channel,
-                _: (),
-                _: &mut Ctx<'_, ()>,
-            ) {
-            }
+            fn on_message(&mut self, _: MachineId, _: Channel, _: (), _: &mut Ctx<'_, ()>) {}
         }
         let mut n = Null;
         let mut actions = Vec::new();

@@ -257,8 +257,14 @@ mod tests {
         let t = SimTime::from_millis(1_500);
         assert!(plan.is_cut(MachineId::new(0), MachineId::new(2), t));
         assert!(plan.is_cut(MachineId::new(2), MachineId::new(1), t));
-        assert!(!plan.is_cut(MachineId::new(0), MachineId::new(1), t), "same side");
-        assert!(!plan.is_cut(MachineId::new(2), MachineId::new(3), t), "same side");
+        assert!(
+            !plan.is_cut(MachineId::new(0), MachineId::new(1), t),
+            "same side"
+        );
+        assert!(
+            !plan.is_cut(MachineId::new(2), MachineId::new(3), t),
+            "same side"
+        );
         assert!(
             !plan.is_cut(MachineId::new(0), MachineId::new(2), SimTime::from_secs(2)),
             "window closed"

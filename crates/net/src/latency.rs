@@ -139,10 +139,7 @@ impl LatencyModel {
                 base,
                 spike_prob,
                 spike,
-            } => {
-                base.mean()
-                    + SimTime::from_micros((spike.as_micros() as f64 * spike_prob) as u64)
-            }
+            } => base.mean() + SimTime::from_micros((spike.as_micros() as f64 * spike_prob) as u64),
         }
     }
 }

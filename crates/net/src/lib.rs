@@ -26,6 +26,10 @@
 //! * [`FaultPlan`] — message loss, duplication, machine stall windows and
 //!   crashes; used to reproduce the §7 failure/recovery events and the
 //!   Figure 5 outliers.
+//! * [`Tracer`] / [`TraceEvent`] — a structured, allocation-light protocol
+//!   trace stream; the runtime emits one event per protocol transition
+//!   (round start, flush windows, apply, acks, completion, recovery) under
+//!   either driver.
 //!
 //! ## Example
 //!
@@ -79,6 +83,7 @@ mod metrics;
 mod sim;
 mod threaded;
 mod time;
+mod trace;
 
 pub use actor::{Action, Actor, Ctx};
 pub use channel::Channel;
@@ -88,3 +93,4 @@ pub use metrics::NetMetrics;
 pub use sim::{NetConfig, SimNet};
 pub use threaded::{ThreadedHandle, ThreadedNet};
 pub use time::SimTime;
+pub use trace::{NoopTracer, RecordingTracer, TraceEvent, TraceRecord, Tracer};

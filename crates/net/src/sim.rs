@@ -226,11 +226,7 @@ impl<A: Actor> SimNet<A> {
     /// Invokes `f` on an actor *now*, with a context (messages/timers work).
     ///
     /// Returns `false` if the machine is not a member.
-    pub fn call(
-        &mut self,
-        id: MachineId,
-        f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>),
-    ) -> bool {
+    pub fn call(&mut self, id: MachineId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>)) -> bool {
         if !self.machines.contains_key(&id) {
             return false;
         }
@@ -371,8 +367,7 @@ impl<A: Actor> SimNet<A> {
         A::Msg: Clone,
     {
         self.metrics.sent += 1;
-        if self.cfg.faults.is_stalled(from, self.now)
-            || self.cfg.faults.is_cut(from, to, self.now)
+        if self.cfg.faults.is_stalled(from, self.now) || self.cfg.faults.is_cut(from, to, self.now)
         {
             self.metrics.dropped += 1;
             return;
@@ -542,11 +537,7 @@ mod tests {
 
     #[test]
     fn stalled_machine_neither_sends_nor_receives() {
-        let stall = StallWindow::new(
-            MachineId::new(1),
-            SimTime::ZERO,
-            SimTime::from_millis(50),
-        );
+        let stall = StallWindow::new(MachineId::new(1), SimTime::ZERO, SimTime::from_millis(50));
         let cfg = NetConfig::lan(5)
             .with_latency(LatencyModel::constant_ms(1))
             .with_faults(FaultPlan::new().with_stall(stall));

@@ -176,7 +176,9 @@ impl<A: Actor> Clone for ThreadedHandle<A> {
 
 impl<A: Actor> std::fmt::Debug for ThreadedHandle<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadedHandle").field("id", &self.id).finish()
+        f.debug_struct("ThreadedHandle")
+            .field("id", &self.id)
+            .finish()
     }
 }
 

@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use guesstimate_core::{MachineId, OpRegistry};
-use guesstimate_net::{LatencyModel, NetConfig, SimNet, SimTime, ThreadedHandle, ThreadedNet};
+use guesstimate_net::{
+    LatencyModel, NetConfig, SimNet, SimTime, ThreadedHandle, ThreadedNet, Tracer,
+};
 
 use crate::config::MachineConfig;
 use crate::machine::Machine;
@@ -37,17 +39,58 @@ pub fn sim_cluster(
     cfg: MachineConfig,
     netcfg: NetConfig,
 ) -> SimNet<Machine> {
+    sim_cluster_traced(n, registry, cfg, netcfg, None)
+}
+
+/// [`sim_cluster`] with a shared trace sink installed on every machine.
+///
+/// Each machine emits [`guesstimate_net::TraceEvent`]s to `tracer` as the
+/// protocol progresses; pass a [`guesstimate_net::RecordingTracer`] (or any
+/// custom sink) to observe per-stage protocol behaviour. `None` is
+/// equivalent to [`sim_cluster`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use guesstimate_core::OpRegistry;
+/// use guesstimate_net::{LatencyModel, NetConfig, RecordingTracer};
+/// use guesstimate_runtime::{sim_cluster_traced, MachineConfig};
+///
+/// let tracer = Arc::new(RecordingTracer::new());
+/// let net = sim_cluster_traced(
+///     3,
+///     OpRegistry::new(),
+///     MachineConfig::default(),
+///     NetConfig::lan(7).with_latency(LatencyModel::constant_ms(5)),
+///     Some(tracer.clone()),
+/// );
+/// assert_eq!(net.members().len(), 3);
+/// assert!(tracer.is_empty(), "nothing traced before the sim runs");
+/// ```
+pub fn sim_cluster_traced(
+    n: u32,
+    registry: OpRegistry,
+    cfg: MachineConfig,
+    netcfg: NetConfig,
+    tracer: Option<Arc<dyn Tracer>>,
+) -> SimNet<Machine> {
     let registry = Arc::new(registry);
     let mut net = SimNet::new(netcfg);
-    net.add_machine(
-        MachineId::new(0),
-        Machine::new_master(MachineId::new(0), registry.clone(), cfg.clone()),
-    );
-    for i in 1..n {
-        net.add_machine(
-            MachineId::new(i),
-            Machine::new_member(MachineId::new(i), registry.clone(), cfg.clone()),
-        );
+    let machine = |i: u32| {
+        let id = MachineId::new(i);
+        let mut m = if i == 0 {
+            Machine::new_master(id, registry.clone(), cfg.clone())
+        } else {
+            Machine::new_member(id, registry.clone(), cfg.clone())
+        };
+        if let Some(t) = &tracer {
+            m.set_tracer(t.clone());
+        }
+        m
+    };
+    for i in 0..n {
+        net.add_machine(MachineId::new(i), machine(i));
     }
     net
 }

@@ -15,7 +15,7 @@ use guesstimate_core::{
     execute, CompletionFn, CompletionQueue, ExecError, GState, MachineId, ObjectId, ObjectStore,
     OpId, OpRegistry, SharedOp,
 };
-use guesstimate_net::SimTime;
+use guesstimate_net::{NoopTracer, SimTime, TraceEvent, TraceRecord, Tracer};
 
 use crate::config::MachineConfig;
 use crate::message::{Msg, ObjectInit, WireEnvelope, WireOp};
@@ -95,6 +95,7 @@ pub struct Machine {
     pub(crate) history: Vec<WireEnvelope>,
     pub(crate) remote_hooks: Vec<RemoteUpdateHook>,
     pub(crate) stats: MachineStats,
+    pub(crate) tracer: Arc<dyn Tracer>,
 }
 
 /// Callback invoked after a synchronization commits *foreign* operations
@@ -168,7 +169,27 @@ impl Machine {
             history: Vec::new(),
             remote_hooks: Vec::new(),
             stats: MachineStats::default(),
+            tracer: Arc::new(NoopTracer),
         }
+    }
+
+    /// Installs a trace sink; subsequent protocol transitions emit
+    /// [`TraceEvent`]s to it. The default sink discards everything.
+    ///
+    /// One sink (behind an `Arc`) may be shared by every machine in a
+    /// cluster; see [`crate::cluster::sim_cluster_traced`].
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Emits one trace event attributed to this machine at `at`.
+    #[inline]
+    pub(crate) fn trace(&self, at: SimTime, event: TraceEvent) {
+        self.tracer.record(TraceRecord {
+            at,
+            source: self.id,
+            event,
+        });
     }
 
     /// This machine's id.
@@ -302,6 +323,7 @@ impl Machine {
         });
         self.exec_counts.insert(op_id, 1);
         self.stats.issued += 1;
+        self.note_pending_depth();
         object
     }
 
@@ -406,7 +428,16 @@ impl Machine {
             self.issue_times.insert(op_id, t);
         }
         self.stats.issued += 1;
+        self.note_pending_depth();
         Ok(true)
+    }
+
+    /// Updates the pending-list high-water mark after a push.
+    fn note_pending_depth(&mut self) {
+        let depth = self.pending.len() as u64;
+        if depth > self.stats.max_pending_depth {
+            self.stats.max_pending_depth = depth;
+        }
     }
 
     /// Reads a shared object's guesstimated state, isolated from concurrent
@@ -422,11 +453,7 @@ impl Machine {
 
     /// Reads a shared object's **committed** state (diagnostics; not part of
     /// the paper's API — applications see only the guesstimated state).
-    pub fn read_committed<T: GState, R>(
-        &self,
-        id: ObjectId,
-        f: impl FnOnce(&T) -> R,
-    ) -> Option<R> {
+    pub fn read_committed<T: GState, R>(&self, id: ObjectId, f: impl FnOnce(&T) -> R) -> Option<R> {
         self.committed.get_as::<T>(id).map(f)
     }
 
@@ -439,7 +466,11 @@ impl Machine {
     /// run queued completion routines, replay remaining pending operations.
     ///
     /// Returns the number of operations committed.
-    pub(crate) fn apply_committed_round(&mut self, ordered: Vec<WireEnvelope>, now: SimTime) -> u64 {
+    pub(crate) fn apply_committed_round(
+        &mut self,
+        ordered: Vec<WireEnvelope>,
+        now: SimTime,
+    ) -> u64 {
         let mut queue = CompletionQueue::new();
         let mut remote_touched: BTreeSet<ObjectId> = BTreeSet::new();
         let n = ordered.len() as u64;
@@ -689,7 +720,9 @@ mod tests {
     fn issue_on_unknown_object_is_error() {
         let mut m = machine();
         let bogus = ObjectId::new(MachineId::new(9), 9);
-        assert!(m.issue(SharedOp::primitive(bogus, "add", args![1])).is_err());
+        assert!(m
+            .issue(SharedOp::primitive(bogus, "add", args![1]))
+            .is_err());
     }
 
     #[test]
@@ -822,11 +855,8 @@ mod tests {
     fn restart_drops_pending_and_counts() {
         let mut m = machine();
         let id = m.create_instance(Counter { n: 0 });
-        m.issue_with_completion(
-            SharedOp::primitive(id, "add", args![1]),
-            Box::new(|_| {}),
-        )
-        .unwrap();
+        m.issue_with_completion(SharedOp::primitive(id, "add", args![1]), Box::new(|_| {}))
+            .unwrap();
         m.reset_for_restart();
         assert_eq!(m.pending_len(), 0);
         assert_eq!(m.completed_len(), 0);

@@ -32,6 +32,29 @@ pub enum WireOp {
     Shared(SharedOp),
 }
 
+impl WireOp {
+    /// The creation fields `(object, type_name, init)`, or `None` if this is
+    /// not a [`WireOp::Create`].
+    pub fn as_create(&self) -> Option<(ObjectId, &str, &Value)> {
+        match self {
+            WireOp::Create {
+                object,
+                type_name,
+                init,
+            } => Some((*object, type_name, init)),
+            WireOp::Shared(_) => None,
+        }
+    }
+
+    /// The shared operation, or `None` if this is not a [`WireOp::Shared`].
+    pub fn as_shared(&self) -> Option<&SharedOp> {
+        match self {
+            WireOp::Shared(op) => Some(op),
+            WireOp::Create { .. } => None,
+        }
+    }
+}
+
 /// An operation tagged with its issue identity — one element of a machine's
 /// pending list `P`, and the unit flushed during *AddUpdatesToMesh*.
 #[derive(Debug, Clone, PartialEq)]
@@ -207,14 +230,18 @@ mod tests {
             type_name: "Sudoku".into(),
             init: Value::from(1),
         };
-        match &w {
-            WireOp::Create {
-                object, type_name, ..
-            } => {
-                assert_eq!(object.creator(), MachineId::new(2));
-                assert_eq!(type_name, "Sudoku");
-            }
-            WireOp::Shared(_) => panic!("wrong variant"),
-        }
+        let (object, type_name, init) = w.as_create().expect("is a Create");
+        assert_eq!(object.creator(), MachineId::new(2));
+        assert_eq!(type_name, "Sudoku");
+        assert_eq!(init, &Value::from(1));
+        assert!(w.as_shared().is_none());
+    }
+
+    #[test]
+    fn wire_shared_accessor_mirrors_create_accessor() {
+        let op = SharedOp::primitive(ObjectId::new(MachineId::new(0), 0), "f", args![1]);
+        let w = WireOp::Shared(op.clone());
+        assert_eq!(w.as_shared(), Some(&op));
+        assert!(w.as_create().is_none());
     }
 }

@@ -28,7 +28,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use guesstimate_core::{MachineId, OpId};
-use guesstimate_net::{Actor, Channel, Ctx, SimTime};
+use guesstimate_net::{Actor, Channel, Ctx, SimTime, TraceEvent};
 
 use crate::machine::{JoinPhase, Machine};
 use crate::message::{Msg, WireEnvelope, WireOp};
@@ -65,6 +65,10 @@ pub(crate) enum Stage {
 pub(crate) struct MasterRound {
     pub(crate) round: u64,
     pub(crate) started_at: SimTime,
+    /// When the master broadcast `BeginApply`, ending stage 1. `None` while
+    /// the round is still flushing; used to decompose the round duration
+    /// into per-stage timings in the final [`crate::SyncSample`].
+    pub(crate) apply_started_at: Option<SimTime>,
     pub(crate) stage: Stage,
     pub(crate) flush_counts: BTreeMap<MachineId, u64>,
     pub(crate) counts: Vec<(MachineId, u64)>,
@@ -81,6 +85,7 @@ impl MasterRound {
         MasterRound {
             round,
             started_at,
+            apply_started_at: None,
             stage: Stage::Flush,
             flush_counts: BTreeMap::new(),
             counts: Vec::new(),
@@ -157,13 +162,7 @@ impl Actor for Machine {
         }
     }
 
-    fn on_message(
-        &mut self,
-        from: MachineId,
-        _channel: Channel,
-        msg: Msg,
-        ctx: &mut Ctx<'_, Msg>,
-    ) {
+    fn on_message(&mut self, from: MachineId, _channel: Channel, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         // Master-originated traffic feeds the failover watchdog; a master
         // hearing round traffic from a *lower-id* master yields (split-brain
         // healing after a failover race).
@@ -193,9 +192,10 @@ impl Actor for Machine {
             Msg::Leave { machine } => self.handle_leave(machine),
             Msg::Restart => self.self_restart(ctx),
             Msg::BeginSync { round, order } => self.handle_begin_sync(round, order, ctx),
-            Msg::MasterCandidate { machine, last_round } => {
-                self.handle_master_candidate(machine, last_round, ctx)
-            }
+            Msg::MasterCandidate {
+                machine,
+                last_round,
+            } => self.handle_master_candidate(machine, last_round, ctx),
             Msg::MasterHeartbeat => {}
             other => self.route_round_msg(from, other, ctx),
         }
@@ -319,7 +319,9 @@ impl Machine {
     /// Flushes the pending list: broadcast the batch on the Operations
     /// channel, then confirm (and pass the turn) on the Signals channel.
     fn do_flush(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let Some(rs) = self.round.as_mut() else { return };
+        let Some(rs) = self.round.as_mut() else {
+            return;
+        };
         if rs.flushed {
             return;
         }
@@ -342,6 +344,7 @@ impl Machine {
                     ops: batch,
                 },
             );
+            self.trace(ctx.now(), TraceEvent::OpsBatchSent { round, ops: count });
         }
         ctx.broadcast(
             Channel::Signals,
@@ -356,7 +359,9 @@ impl Machine {
 
     /// Re-announces an already-performed flush (recovery nudge path).
     fn rebroadcast_flush(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let Some(rs) = self.round.as_ref() else { return };
+        let Some(rs) = self.round.as_ref() else {
+            return;
+        };
         let round = rs.round;
         let count = rs.my_flush.len() as u64;
         if count > 0 {
@@ -368,6 +373,7 @@ impl Machine {
                     ops: rs.my_flush.clone(),
                 },
             );
+            self.trace(ctx.now(), TraceEvent::OpsBatchSent { round, ops: count });
         }
         ctx.broadcast(
             Channel::Signals,
@@ -380,22 +386,54 @@ impl Machine {
     }
 
     fn note_flush_done(&mut self, machine: MachineId, count: u64, ctx: &mut Ctx<'_, Msg>) {
-        let Some(rs) = self.round.as_mut() else { return };
+        let Some(rs) = self.round.as_mut() else {
+            return;
+        };
         rs.flush_done.insert(machine, count);
         if self.is_master {
-            let stage_done = {
+            let (newly, round, stage_done, next_turn) = {
                 let Some(mr) = self.master_round.as_mut() else {
                     return;
                 };
                 if mr.stage != Stage::Flush {
                     return;
                 }
-                mr.flush_counts.insert(machine, count);
-                rs.order
-                    .iter()
-                    .filter(|m| !rs.removed.contains(m))
-                    .all(|m| rs.flush_done.contains_key(m))
+                let newly = mr.flush_counts.insert(machine, count).is_none();
+                let pending = || {
+                    rs.order
+                        .iter()
+                        .filter(|m| !rs.removed.contains(m) && !rs.flush_done.contains_key(m))
+                };
+                let stage_done = pending().next().is_none();
+                // Under serial turn-taking the next unflushed machine in the
+                // round order now holds the flush window.
+                let next_turn = if self.cfg.parallel_flush {
+                    None
+                } else {
+                    pending().next().copied()
+                };
+                (newly, mr.round, stage_done, next_turn)
             };
+            if newly {
+                let now = ctx.now();
+                self.trace(
+                    now,
+                    TraceEvent::FlushWindowClosed {
+                        round,
+                        machine,
+                        ops: count,
+                    },
+                );
+                if let Some(next) = next_turn {
+                    self.trace(
+                        now,
+                        TraceEvent::FlushWindowOpened {
+                            round,
+                            machine: next,
+                        },
+                    );
+                }
+            }
             if stage_done {
                 self.start_apply_stage(ctx);
             }
@@ -408,7 +446,9 @@ impl Machine {
     /// order has flushed (or been removed).
     fn maybe_flush_on_turn(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let ready = {
-            let Some(rs) = self.round.as_ref() else { return };
+            let Some(rs) = self.round.as_ref() else {
+                return;
+            };
             if rs.flushed {
                 return;
             }
@@ -433,6 +473,7 @@ impl Machine {
             let rs = self.round.as_ref().expect("round active");
             let mr = self.master_round.as_mut().expect("master round active");
             mr.stage = Stage::Apply;
+            mr.apply_started_at = Some(ctx.now());
             let counts: Vec<(MachineId, u64)> = rs
                 .order
                 .iter()
@@ -449,6 +490,13 @@ impl Machine {
                 counts: counts.clone(),
             },
         );
+        self.trace(
+            ctx.now(),
+            TraceEvent::BeginApply {
+                round,
+                ops_total: counts.iter().map(|(_, c)| *c).sum(),
+            },
+        );
         ctx.set_timer(self.cfg.stall_timeout, tag(KIND_STAGE2, round));
         self.handle_begin_apply(round, counts, ctx);
     }
@@ -459,7 +507,9 @@ impl Machine {
         counts: Vec<(MachineId, u64)>,
         ctx: &mut Ctx<'_, Msg>,
     ) {
-        let Some(rs) = self.round.as_mut() else { return };
+        let Some(rs) = self.round.as_mut() else {
+            return;
+        };
         if rs.applied {
             // Duplicate BeginApply (recovery): our Ack probably got lost.
             let master = rs.order[0];
@@ -489,7 +539,9 @@ impl Machine {
     /// requests per-source resends for anything missing.
     fn try_apply(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let (round, missing) = {
-            let Some(rs) = self.round.as_ref() else { return };
+            let Some(rs) = self.round.as_ref() else {
+                return;
+            };
             if rs.applied {
                 return;
             }
@@ -498,19 +550,27 @@ impl Machine {
             };
             let missing: Vec<MachineId> = counts
                 .iter()
-                .filter(|(m, c)| {
-                    (rs.received.get(m).map_or(0, |ops| ops.len() as u64)) < **c
-                })
+                .filter(|(m, c)| (rs.received.get(m).map_or(0, |ops| ops.len() as u64)) < **c)
                 .map(|(m, _)| *m)
                 .collect();
             (rs.round, missing)
         };
         if !missing.is_empty() {
-            let rs = self.round.as_mut().expect("round active");
-            for m in missing {
-                if m != self.id && rs.resend_requested.insert(m) {
-                    ctx.send(m, Channel::Operations, Msg::OpsRequest { round });
+            let mut requested = Vec::new();
+            {
+                let rs = self.round.as_mut().expect("round active");
+                for m in missing {
+                    if m != self.id && rs.resend_requested.insert(m) {
+                        requested.push(m);
+                    }
                 }
+            }
+            for m in requested {
+                ctx.send(m, Channel::Operations, Msg::OpsRequest { round });
+                self.trace(
+                    ctx.now(),
+                    TraceEvent::OpsResendRequested { round, source: m },
+                );
             }
             return;
         }
@@ -543,9 +603,18 @@ impl Machine {
         };
         self.last_round_applied = Some(round);
         if self.is_master {
-            let mr = self.master_round.as_mut().expect("master round");
-            mr.ops_committed = n;
-            mr.acks.insert(self.id);
+            {
+                let mr = self.master_round.as_mut().expect("master round");
+                mr.ops_committed = n;
+                mr.acks.insert(self.id);
+            }
+            self.trace(
+                ctx.now(),
+                TraceEvent::AckReceived {
+                    round,
+                    machine: self.id,
+                },
+            );
             self.check_round_completion(ctx);
         } else {
             ctx.send(
@@ -559,27 +628,36 @@ impl Machine {
         }
     }
 
-    fn handle_ops(
-        &mut self,
-        machine: MachineId,
-        ops: Vec<WireEnvelope>,
-        ctx: &mut Ctx<'_, Msg>,
-    ) {
-        {
-            let Some(rs) = self.round.as_mut() else { return };
+    fn handle_ops(&mut self, machine: MachineId, ops: Vec<WireEnvelope>, ctx: &mut Ctx<'_, Msg>) {
+        let (round, n) = {
+            let Some(rs) = self.round.as_mut() else {
+                return;
+            };
             if rs.applied {
                 return;
             }
+            let n = ops.len() as u64;
             let entry = rs.received.entry(machine).or_default();
             for e in ops {
                 entry.insert(e.id, e.op);
             }
-        }
+            (rs.round, n)
+        };
+        self.trace(
+            ctx.now(),
+            TraceEvent::OpsBatchReceived {
+                round,
+                from: machine,
+                ops: n,
+            },
+        );
         self.try_apply(ctx);
     }
 
     fn handle_ops_request(&mut self, round: u64, requester: MachineId, ctx: &mut Ctx<'_, Msg>) {
-        let Some(rs) = self.round.as_ref() else { return };
+        let Some(rs) = self.round.as_ref() else {
+            return;
+        };
         if rs.round == round && rs.flushed {
             ctx.send(
                 requester,
@@ -601,7 +679,9 @@ impl Machine {
             return;
         }
         {
-            let Some(rs) = self.round.as_mut() else { return };
+            let Some(rs) = self.round.as_mut() else {
+                return;
+            };
             rs.removed.extend(removed.iter().copied());
         }
         self.maybe_flush_on_turn(ctx);
@@ -616,10 +696,19 @@ impl Machine {
         if !self.is_master {
             return;
         }
-        let Some(mr) = self.master_round.as_mut() else {
-            return;
+        let newly = {
+            let Some(mr) = self.master_round.as_mut() else {
+                return;
+            };
+            if mr.acks.insert(machine) {
+                Some(mr.round)
+            } else {
+                None
+            }
         };
-        mr.acks.insert(machine);
+        if let Some(round) = newly {
+            self.trace(ctx.now(), TraceEvent::AckReceived { round, machine });
+        }
         self.check_round_completion(ctx);
     }
 
@@ -644,13 +733,37 @@ impl Machine {
         let rs = self.round.take().expect("round active");
         let mr = self.master_round.take().expect("master round active");
         ctx.broadcast(Channel::Signals, Msg::SyncComplete { round: mr.round });
+        let now = ctx.now();
+        let duration = now.saturating_since(mr.started_at);
+        // Per-stage decomposition: stage 1 ran from BeginSync until
+        // BeginApply went out, stage 2 from BeginApply until the last ack
+        // (i.e. now), and stage 3 — a single broadcast with no round trip —
+        // takes the remainder. The three parts sum to `duration` exactly.
+        let flush_duration = mr
+            .apply_started_at
+            .map_or(duration, |t| t.saturating_since(mr.started_at));
+        let apply_duration = mr
+            .apply_started_at
+            .map_or(SimTime::ZERO, |t| now.saturating_since(t));
+        let completion_duration = duration.saturating_since(flush_duration + apply_duration);
+        self.trace(
+            now,
+            TraceEvent::SyncComplete {
+                round: mr.round,
+                ops_committed: mr.ops_committed,
+            },
+        );
         self.stats.syncs_seen += 1;
         self.stats.sync_samples.push(SyncSample {
             round: mr.round,
             started_at: mr.started_at,
-            duration: ctx.now().saturating_since(mr.started_at),
+            duration,
+            flush_duration,
+            apply_duration,
+            completion_duration,
             participants: rs.order.len(),
             ops_committed: mr.ops_committed,
+            ops_flushed: mr.flush_counts.values().sum(),
             resends: mr.resends,
             removals: mr.removals,
         });
@@ -659,13 +772,16 @@ impl Machine {
     }
 
     fn handle_sync_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let applied = {
-            let Some(rs) = self.round.as_ref() else { return };
-            rs.applied
+        let (applied, round) = {
+            let Some(rs) = self.round.as_ref() else {
+                return;
+            };
+            (rs.applied, rs.round)
         };
         if applied {
             self.round = None;
             self.stats.syncs_seen += 1;
+            self.trace(ctx.now(), TraceEvent::SyncCompleteReceived { round });
         } else {
             // The round completed globally but we never applied it: we have
             // a committed-state gap and must resync.
@@ -700,9 +816,27 @@ impl Machine {
                 order: order.clone(),
             },
         );
+        let participants = order.len() as u32;
         self.master_round = Some(MasterRound::new(round, ctx.now()));
         self.round = Some(RoundState::new(round, order));
         self.last_round_applied.get_or_insert(round - 1);
+        self.trace(
+            ctx.now(),
+            TraceEvent::RoundStarted {
+                round,
+                participants,
+            },
+        );
+        if !self.cfg.parallel_flush {
+            // Serial turn-taking: the master flushes first.
+            self.trace(
+                ctx.now(),
+                TraceEvent::FlushWindowOpened {
+                    round,
+                    machine: self.id,
+                },
+            );
+        }
         self.do_flush(ctx);
         ctx.set_timer(self.cfg.stall_timeout, tag(KIND_STAGE1, round));
     }
@@ -754,6 +888,14 @@ impl Machine {
                         order: rs_order,
                     },
                 );
+                self.trace(
+                    ctx.now(),
+                    TraceEvent::Resend {
+                        round,
+                        machine: m,
+                        stage: 1,
+                    },
+                );
             }
         }
         if !newly_removed.is_empty() {
@@ -766,8 +908,7 @@ impl Machine {
             );
             // Removal may have unblocked the stage.
             let stage_done = {
-                let (Some(rs), Some(mr)) = (self.round.as_ref(), self.master_round.as_ref())
-                else {
+                let (Some(rs), Some(mr)) = (self.round.as_ref(), self.master_round.as_ref()) else {
                     return;
                 };
                 mr.stage == Stage::Flush
@@ -828,6 +969,14 @@ impl Machine {
                 mr.resends += 1;
                 let counts = mr.counts.clone();
                 ctx.send(m, Channel::Signals, Msg::BeginApply { round, counts });
+                self.trace(
+                    ctx.now(),
+                    TraceEvent::Resend {
+                        round,
+                        machine: m,
+                        stage: 2,
+                    },
+                );
             }
         }
         if removed_any {
@@ -839,14 +988,18 @@ impl Machine {
     }
 
     fn remove_from_round(&mut self, m: MachineId, ctx: &mut Ctx<'_, Msg>) {
+        let mut round = 0;
         if let Some(rs) = self.round.as_mut() {
             rs.removed.insert(m);
+            round = rs.round;
         }
         if let Some(mr) = self.master_round.as_mut() {
             mr.removals += 1;
+            round = mr.round;
         }
         self.members.remove(&m);
         ctx.send(m, Channel::Signals, Msg::Restart);
+        self.trace(ctx.now(), TraceEvent::Removed { round, machine: m });
     }
 
     // ------------------------------------------------------------------
@@ -904,11 +1057,7 @@ impl Machine {
         if !self.in_cohort {
             self.init_from_join_info(catalog, completed);
         }
-        ctx.send(
-            from,
-            Channel::Signals,
-            Msg::JoinReady { machine: self.id },
-        );
+        ctx.send(from, Channel::Signals, Msg::JoinReady { machine: self.id });
     }
 
     fn handle_join_ready(&mut self, machine: MachineId) {
@@ -1019,6 +1168,7 @@ impl Machine {
         candidates.insert(self.id, last_round);
         self.election = Some(candidates);
         self.election_gen += 1;
+        self.trace(ctx.now(), TraceEvent::ElectionStarted { last_round });
         ctx.broadcast(
             Channel::Signals,
             Msg::MasterCandidate {
@@ -1096,6 +1246,12 @@ impl Machine {
         // partially committed somewhere.
         self.next_round = self.last_round_applied.unwrap_or(0) + 2;
         self.stats.promotions += 1;
+        self.trace(
+            ctx.now(),
+            TraceEvent::ElectionWon {
+                round: self.next_round,
+            },
+        );
         ctx.broadcast(Channel::Signals, Msg::MasterHeartbeat);
         ctx.set_timer(self.cfg.sync_period, tag(KIND_TICK, 0));
     }
@@ -1122,6 +1278,7 @@ impl Machine {
             return; // master failure/restart is not tolerated (§9)
         }
         self.reset_for_restart();
+        self.trace(ctx.now(), TraceEvent::Restarted);
         ctx.broadcast(Channel::Signals, Msg::JoinRequest { machine: self.id });
         ctx.set_timer(self.cfg.join_retry, tag(KIND_JOIN_RETRY, 0));
     }
@@ -1144,7 +1301,9 @@ mod tests {
         cfg: MachineConfig,
     ) -> SimNet<Machine> {
         let registry = Arc::new(counter_registry());
-        let netcfg = NetConfig::lan(seed).with_latency(latency).with_faults(faults);
+        let netcfg = NetConfig::lan(seed)
+            .with_latency(latency)
+            .with_faults(faults);
         let mut net = SimNet::new(netcfg);
         net.add_machine(
             MachineId::new(0),
@@ -1187,11 +1346,7 @@ mod tests {
         );
         for &i in ids {
             let m = net.actor(MachineId::new(i)).unwrap();
-            assert_eq!(
-                m.pending_len(),
-                0,
-                "machine {i} still has pending ops"
-            );
+            assert_eq!(m.pending_len(), 0, "machine {i} still has pending ops");
             assert_eq!(
                 m.guess_digest(),
                 m.committed_digest(),
@@ -1214,9 +1369,7 @@ mod tests {
         for i in 0..2 {
             let m = net.actor_mut(MachineId::new(i)).unwrap();
             assert_eq!(m.object_type(obj), Some("Counter"));
-            assert!(m
-                .issue(SharedOp::primitive(obj, "add", args![1]))
-                .unwrap());
+            assert!(m.issue(SharedOp::primitive(obj, "add", args![1])).unwrap());
         }
         net.run_until(SimTime::from_secs(4));
         assert_converged(&net, &[0, 1]);
@@ -1322,10 +1475,7 @@ mod tests {
         });
         net.run_until(SimTime::from_secs(4));
         assert_eq!(seen.load(Ordering::SeqCst), 0, "completion saw failure");
-        assert_eq!(
-            net.actor(MachineId::new(1)).unwrap().stats().conflicts,
-            1
-        );
+        assert_eq!(net.actor(MachineId::new(1)).unwrap().stats().conflicts, 1);
         assert_converged(&net, &[0, 1]);
     }
 
@@ -1416,13 +1566,7 @@ mod tests {
             SimTime::from_secs(4),
             SimTime::from_secs(8),
         ));
-        let mut net = cluster(
-            3,
-            23,
-            LatencyModel::constant_ms(10),
-            faults,
-            default_cfg(),
-        );
+        let mut net = cluster(3, 23, LatencyModel::constant_ms(10), faults, default_cfg());
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
@@ -1457,13 +1601,7 @@ mod tests {
     #[test]
     fn survives_random_message_loss() {
         let faults = FaultPlan::new().with_drop_prob(0.02);
-        let mut net = cluster(
-            4,
-            29,
-            LatencyModel::constant_ms(10),
-            faults,
-            default_cfg(),
-        );
+        let mut net = cluster(4, 29, LatencyModel::constant_ms(10), faults, default_cfg());
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
@@ -1503,7 +1641,11 @@ mod tests {
             .unwrap()
             .read_committed::<Counter, _>(obj, |c| c.n)
             .unwrap();
-        assert_eq!(n as u64 + lost, 40, "every issued op committed or was lost to a restart");
+        assert_eq!(
+            n as u64 + lost,
+            40,
+            "every issued op committed or was lost to a restart"
+        );
     }
 
     #[test]
@@ -1688,7 +1830,9 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let bogus = ObjectId::new(MachineId::new(9), 0);
         net.call(MachineId::new(1), |m, _| {
-            assert!(m.issue(SharedOp::primitive(bogus, "add", args![1])).is_err());
+            assert!(m
+                .issue(SharedOp::primitive(bogus, "add", args![1]))
+                .is_err());
         });
         net.run_until(SimTime::from_secs(3));
         // Rounds still complete.

@@ -15,10 +15,27 @@ pub struct SyncSample {
     pub started_at: SimTime,
     /// BeginSync → SyncComplete.
     pub duration: SimTime,
+    /// Stage 1, *AddUpdatesToMesh*: `BeginSync` broadcast until the last
+    /// flush is recorded (i.e. until `BeginApply` goes out).
+    pub flush_duration: SimTime,
+    /// Stage 2, *ApplyUpdatesFromMesh*: `BeginApply` broadcast until the
+    /// last ack is recorded.
+    pub apply_duration: SimTime,
+    /// Stage 3, *FlagCompletion*: whatever remains of `duration` after
+    /// stages 1 and 2. The three stage durations sum to `duration` exactly.
+    /// Stage 3 is a single `SyncComplete` broadcast with no round trip, so
+    /// this is zero as observed by the master; the one-way propagation of
+    /// `SyncComplete` to members is visible in the trace stream instead
+    /// (`sync_complete_received` events).
+    pub completion_duration: SimTime,
     /// Machines participating at round start.
     pub participants: usize,
     /// Operations committed in the round.
     pub ops_committed: u64,
+    /// Total operations flushed onto the mesh in stage 1 (the round's queue
+    /// depth). Can exceed `ops_committed` when a machine that already
+    /// flushed is removed before commit.
+    pub ops_flushed: u64,
     /// Recovery resends performed during the round.
     pub resends: u32,
     /// Machines removed (and restarted) during the round.
@@ -29,6 +46,11 @@ impl SyncSample {
     /// True if fault recovery intervened in this round.
     pub fn recovered(&self) -> bool {
         self.resends > 0 || self.removals > 0
+    }
+
+    /// Sum of the three per-stage durations; equals `duration` exactly.
+    pub fn stage_sum(&self) -> SimTime {
+        self.flush_duration + self.apply_duration + self.completion_duration
     }
 }
 
@@ -62,6 +84,8 @@ pub struct MachineStats {
     pub ops_lost_to_restart: u64,
     /// Synchronization rounds this machine applied.
     pub rounds_applied: u64,
+    /// High-water mark of the pending list `P` (queue depth at issue time).
+    pub max_pending_depth: u64,
     /// Histogram of executions-per-own-operation; index `k` counts own
     /// operations that executed exactly `k` times from issue to commit.
     /// The §4 bound says nothing lands beyond index 3.
@@ -141,13 +165,22 @@ mod tests {
             round: 1,
             started_at: SimTime::ZERO,
             duration: SimTime::from_millis(300),
+            flush_duration: SimTime::from_millis(180),
+            apply_duration: SimTime::from_millis(120),
+            completion_duration: SimTime::ZERO,
             participants: 8,
             ops_committed: 10,
+            ops_flushed: 10,
             resends: 0,
             removals: 0,
         };
         assert!(!base.recovered());
         assert!(SyncSample { resends: 1, ..base }.recovered());
-        assert!(SyncSample { removals: 1, ..base }.recovered());
+        assert!(SyncSample {
+            removals: 1,
+            ..base
+        }
+        .recovered());
+        assert_eq!(base.stage_sum(), base.duration);
     }
 }

@@ -219,7 +219,11 @@ mod tests {
         };
         let report = explore(&sys, &menu, cfg);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
-        assert!(report.states_visited > 200, "visited {}", report.states_visited);
+        assert!(
+            report.states_visited > 200,
+            "visited {}",
+            report.states_visited
+        );
     }
 
     #[test]
@@ -255,11 +259,8 @@ mod tests {
         let mut store = ObjectStore::new();
         store.insert(a, Box::new(crate::testmodel::Counter { n: 0 }));
         store.insert(b, Box::new(crate::testmodel::Counter { n: 1 }));
-        let sys = crate::model::SemSystem::new(
-            2,
-            Arc::new(crate::testmodel::counter_registry()),
-            &store,
-        );
+        let sys =
+            crate::model::SemSystem::new(2, Arc::new(crate::testmodel::counter_registry()), &store);
         let menu = vec![
             SharedOp::primitive(a, "add_capped", args![1, 2]),
             SharedOp::primitive(b, "add_capped", args![2, 4]),
@@ -277,7 +278,11 @@ mod tests {
         let report = explore(&sys, &menu, cfg);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.quiescence_failures.is_empty());
-        assert!(report.states_visited > 200, "visited {}", report.states_visited);
+        assert!(
+            report.states_visited > 200,
+            "visited {}",
+            report.states_visited
+        );
     }
 
     #[test]

@@ -137,7 +137,9 @@ mod tests {
             let i = MachineId::new(rng.gen_range(0..3));
             if rng.gen_bool(0.5) {
                 let d: i64 = rng.gen_range(-2..5);
-                let _ = sys.issue(i, SharedOp::primitive(obj, "add", args![d])).unwrap();
+                let _ = sys
+                    .issue(i, SharedOp::primitive(obj, "add", args![d]))
+                    .unwrap();
             } else {
                 let _ = sys.commit(i).unwrap();
             }

@@ -124,10 +124,9 @@ impl SemSystem {
     ///
     /// Returns `Err` if the machine does not exist.
     pub fn local(&mut self, i: MachineId) -> Result<(), ExecError> {
-        let m = self
-            .machines
-            .get_mut(&i)
-            .ok_or(ExecError::UnknownObject(guesstimate_core::ObjectId::new(i, 0)))?;
+        let m = self.machines.get_mut(&i).ok_or(ExecError::UnknownObject(
+            guesstimate_core::ObjectId::new(i, 0),
+        ))?;
         let digest = m.guess.digest();
         m.local.push(LocalNote::GuessDigest(digest));
         Ok(())
@@ -144,10 +143,9 @@ impl SemSystem {
     /// Returns [`ExecError`] for unknown objects/methods (not part of the
     /// model — a programming error).
     pub fn issue(&mut self, i: MachineId, op: SharedOp) -> Result<bool, ExecError> {
-        let m = self
-            .machines
-            .get_mut(&i)
-            .ok_or(ExecError::UnknownObject(guesstimate_core::ObjectId::new(i, 0)))?;
+        let m = self.machines.get_mut(&i).ok_or(ExecError::UnknownObject(
+            guesstimate_core::ObjectId::new(i, 0),
+        ))?;
         let outcome = execute(&op, &mut m.guess, &self.registry)?;
         if !outcome.is_success() {
             return Ok(false);
@@ -175,10 +173,9 @@ impl SemSystem {
     /// Returns [`ExecError`] if the machine does not exist.
     pub fn commit(&mut self, i: MachineId) -> Result<bool, ExecError> {
         let op = {
-            let m = self
-                .machines
-                .get_mut(&i)
-                .ok_or(ExecError::UnknownObject(guesstimate_core::ObjectId::new(i, 0)))?;
+            let m = self.machines.get_mut(&i).ok_or(ExecError::UnknownObject(
+                guesstimate_core::ObjectId::new(i, 0),
+            ))?;
             match m.pending.pop_front() {
                 Some(op) => op,
                 None => return Ok(false),
@@ -303,7 +300,9 @@ mod tests {
     fn issue_updates_guess_only() {
         let mut sys = counter_system(2, 0);
         let obj = counter_object();
-        assert!(sys.issue(m(0), SharedOp::primitive(obj, "add", args![4])).unwrap());
+        assert!(sys
+            .issue(m(0), SharedOp::primitive(obj, "add", args![4]))
+            .unwrap());
         let m0 = sys.machine(m(0)).unwrap();
         assert_ne!(m0.guess.digest(), m0.committed.digest());
         assert_eq!(m0.pending.len(), 1);
@@ -317,7 +316,9 @@ mod tests {
     fn failed_issue_is_dropped() {
         let mut sys = counter_system(2, 0);
         let obj = counter_object();
-        assert!(!sys.issue(m(0), SharedOp::primitive(obj, "add", args![-1])).unwrap());
+        assert!(!sys
+            .issue(m(0), SharedOp::primitive(obj, "add", args![-1]))
+            .unwrap());
         assert_eq!(sys.machine(m(0)).unwrap().pending.len(), 0);
         check_invariants(&sys).unwrap();
     }
@@ -326,7 +327,8 @@ mod tests {
     fn commit_applies_everywhere_and_runs_completion() {
         let mut sys = counter_system(3, 0);
         let obj = counter_object();
-        sys.issue(m(1), SharedOp::primitive(obj, "add", args![2])).unwrap();
+        sys.issue(m(1), SharedOp::primitive(obj, "add", args![2]))
+            .unwrap();
         assert!(sys.commit(m(1)).unwrap());
         for i in 0..3 {
             let mm = sys.machine(m(i)).unwrap();
@@ -356,8 +358,10 @@ mod tests {
         let mut sys = counter_system(2, 0);
         let obj = counter_object();
         // Machine 0 and 1 both claim the last unit (cap 1).
-        sys.issue(m(0), SharedOp::primitive(obj, "add_capped", args![1, 1])).unwrap();
-        sys.issue(m(1), SharedOp::primitive(obj, "add_capped", args![1, 1])).unwrap();
+        sys.issue(m(0), SharedOp::primitive(obj, "add_capped", args![1, 1]))
+            .unwrap();
+        sys.issue(m(1), SharedOp::primitive(obj, "add_capped", args![1, 1]))
+            .unwrap();
         assert!(sys.commit(m(0)).unwrap());
         assert!(sys.commit(m(1)).unwrap());
         check_invariants(&sys).unwrap();
@@ -379,7 +383,8 @@ mod tests {
         let obj = counter_object();
         for i in 0..3 {
             for k in 0..3 {
-                sys.issue(m(i), SharedOp::primitive(obj, "add", args![k])).unwrap();
+                sys.issue(m(i), SharedOp::primitive(obj, "add", args![k]))
+                    .unwrap();
                 check_invariants(&sys).unwrap();
             }
         }
@@ -407,7 +412,8 @@ mod tests {
         let mut sys = counter_system(2, 0);
         let d0 = sys.digest();
         let obj = counter_object();
-        sys.issue(m(0), SharedOp::primitive(obj, "add", args![1])).unwrap();
+        sys.issue(m(0), SharedOp::primitive(obj, "add", args![1]))
+            .unwrap();
         let d1 = sys.digest();
         assert_ne!(d0, d1);
         sys.commit(m(0)).unwrap();
@@ -419,7 +425,8 @@ mod tests {
         let mut sys = counter_system(2, 0);
         let obj = counter_object();
         let snapshot = sys.clone();
-        sys.issue(m(0), SharedOp::primitive(obj, "add", args![1])).unwrap();
+        sys.issue(m(0), SharedOp::primitive(obj, "add", args![1]))
+            .unwrap();
         assert_ne!(sys.digest(), snapshot.digest());
     }
 }

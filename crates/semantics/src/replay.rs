@@ -18,7 +18,11 @@ use guesstimate_core::{execute, ObjectStore, OpRegistry, SharedOp};
 /// as at commit time; execution errors (unknown objects/methods) are treated
 /// as failures, mirroring the runtime's behavior for operations whose target
 /// object was concurrently never created.
-pub fn replay_in_commit_order(initial: &ObjectStore, ops: &[SharedOp], registry: &OpRegistry) -> ObjectStore {
+pub fn replay_in_commit_order(
+    initial: &ObjectStore,
+    ops: &[SharedOp],
+    registry: &OpRegistry,
+) -> ObjectStore {
     let mut state = ObjectStore::new();
     state.copy_from(initial);
     for op in ops {

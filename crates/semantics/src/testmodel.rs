@@ -5,9 +5,7 @@
 
 use std::sync::Arc;
 
-use guesstimate_core::{
-    GState, MachineId, ObjectId, ObjectStore, OpRegistry, RestoreError, Value,
-};
+use guesstimate_core::{GState, MachineId, ObjectId, ObjectStore, OpRegistry, RestoreError, Value};
 
 use crate::model::SemSystem;
 

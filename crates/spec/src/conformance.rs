@@ -163,8 +163,8 @@ pub fn register_checked<T: GState>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use guesstimate_core::{args, execute, MachineId, ObjectId, ObjectStore, SharedOp};
     use guesstimate_core::RestoreError;
+    use guesstimate_core::{args, execute, MachineId, ObjectId, ObjectStore, SharedOp};
 
     /// Deliberately buggy object: `bad_dec` mutates state even when it
     /// reports failure (frame violation); `overflowing_add` breaks its
@@ -213,7 +213,8 @@ mod tests {
 
     #[test]
     fn clean_executions_record_nothing() {
-        let contract = MethodContract::new().with_post(|pre, post, _| post.as_i64() >= pre.as_i64());
+        let contract =
+            MethodContract::new().with_post(|pre, post, _| post.as_i64() >= pre.as_i64());
         let (reg, log, id, mut store) = setup(contract, MethodContract::new());
         execute(&SharedOp::primitive(id, "add", args![5]), &mut store, &reg).unwrap();
         assert!(log.is_empty());
@@ -237,7 +238,12 @@ mod tests {
     fn frame_violation_is_caught() {
         let (reg, log, id, mut store) = setup(MethodContract::new(), MethodContract::new());
         // Gauge starts at 0; bad_dec fails but leaves -1 behind.
-        let out = execute(&SharedOp::primitive(id, "bad_dec", args![]), &mut store, &reg).unwrap();
+        let out = execute(
+            &SharedOp::primitive(id, "bad_dec", args![]),
+            &mut store,
+            &reg,
+        )
+        .unwrap();
         assert!(!out.is_success());
         let vs = log.violations();
         assert_eq!(vs[0].kind, ViolationKind::Frame);
@@ -245,10 +251,14 @@ mod tests {
 
     #[test]
     fn invariant_violation_is_caught() {
-        let contract_dec =
-            MethodContract::new().with_invariant(|s| s.as_i64().unwrap_or(-1) >= 0);
+        let contract_dec = MethodContract::new().with_invariant(|s| s.as_i64().unwrap_or(-1) >= 0);
         let (reg, log, id, mut store) = setup(MethodContract::new(), contract_dec);
-        execute(&SharedOp::primitive(id, "bad_dec", args![]), &mut store, &reg).unwrap();
+        execute(
+            &SharedOp::primitive(id, "bad_dec", args![]),
+            &mut store,
+            &reg,
+        )
+        .unwrap();
         assert!(log
             .violations()
             .iter()

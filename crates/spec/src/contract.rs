@@ -69,10 +69,7 @@ impl MethodContract {
 
     /// Sets the object invariant: must hold of the post state of every
     /// execution whose pre state satisfied it.
-    pub fn with_invariant(
-        mut self,
-        inv: impl Fn(&Value) -> bool + Send + Sync + 'static,
-    ) -> Self {
+    pub fn with_invariant(mut self, inv: impl Fn(&Value) -> bool + Send + Sync + 'static) -> Self {
         self.invariant = Some(Arc::new(inv));
         self
     }

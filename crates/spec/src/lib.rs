@@ -84,6 +84,6 @@ mod verifier;
 
 pub use conformance::{register_checked, ConformanceLog, Violation, ViolationKind};
 pub use contract::{Assertion, ExecCase, InvariantSpec, MethodContract, MethodSpec, SpecSuite};
-pub use verifier::{verify_suite, CaseSpace, ClassifiedAssertion, VerificationReport, Verdict};
+pub use verifier::{verify_suite, CaseSpace, ClassifiedAssertion, Verdict, VerificationReport};
 
 pub use guesstimate_core::Value;

@@ -262,7 +262,11 @@ pub fn verify_suite(
         }
         // Domain assertions.
         for a in &method.contract.assertions {
-            classify(a.name(), &|c: &ExecCase| a.holds(c), a.is_state_independent());
+            classify(
+                a.name(),
+                &|c: &ExecCase| a.holds(c),
+                a.is_state_independent(),
+            );
         }
     }
     report
@@ -358,9 +362,8 @@ mod tests {
     #[test]
     fn sampled_space_demotes_to_runtime_check() {
         let space = CaseSpace::sampled((0..=3).map(Value::from).collect(), 1_000);
-        let suite = SpecSuite::new("Bin").with_method(
-            MethodSpec::new("put", MethodContract::new()).with_args(all_args(), true),
-        );
+        let suite = SpecSuite::new("Bin")
+            .with_method(MethodSpec::new("put", MethodContract::new()).with_args(all_args(), true));
         let report = verify_suite(&registry(), &suite, &space);
         assert_eq!(report.runtime_checks(), 1);
         assert_eq!(report.verified(), 0);
@@ -370,9 +373,8 @@ mod tests {
     fn case_cap_truncates_and_demotes() {
         let mut space = full_space();
         space.max_cases = 2;
-        let suite = SpecSuite::new("Bin").with_method(
-            MethodSpec::new("put", MethodContract::new()).with_args(all_args(), true),
-        );
+        let suite = SpecSuite::new("Bin")
+            .with_method(MethodSpec::new("put", MethodContract::new()).with_args(all_args(), true));
         let report = verify_suite(&registry(), &suite, &space);
         assert_eq!(report.assertions[0].cases, 2);
         assert_eq!(report.runtime_checks(), 1);

@@ -47,7 +47,11 @@ fn main() {
                     Box::new(move |ok| {
                         println!(
                             "{name}'s 100 bid committed: {ok}{}",
-                            if ok { "" } else { "  → outbid before commit!" }
+                            if ok {
+                                ""
+                            } else {
+                                "  → outbid before commit!"
+                            }
                         )
                     }),
                 )

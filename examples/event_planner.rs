@@ -35,7 +35,11 @@ fn main() {
     let (_net, handles) = threaded_cluster(3, registry, cfg, LatencyModel::constant_ms(2), 9);
     let (ann_pc, bob_pc) = (handles[1].clone(), handles[2].clone());
     wait_until(
-        || handles.iter().all(|h| h.read(|m| m.in_cohort()).unwrap_or(false)),
+        || {
+            handles
+                .iter()
+                .all(|h| h.read(|m| m.in_cohort()).unwrap_or(false))
+        },
         "cohort",
     );
     println!("3 machines online (master + Ann's and Bob's laptops)");
@@ -105,7 +109,11 @@ fn main() {
             Box::new(|ok| {
                 println!(
                     "ann's party join committed: {ok} {}",
-                    if ok { "(she got the last spot)" } else { "(bob got there first)" }
+                    if ok {
+                        "(she got the last spot)"
+                    } else {
+                        "(bob got there first)"
+                    }
                 )
             }),
         )
@@ -115,10 +123,8 @@ fn main() {
         || {
             handles[0]
                 .read(|m| {
-                    m.read::<EventPlanner, _>(planner, |p| {
-                        p.vacancies("party") == Some(0)
-                    })
-                    .unwrap_or(false)
+                    m.read::<EventPlanner, _>(planner, |p| p.vacancies("party") == Some(0))
+                        .unwrap_or(false)
                 })
                 .unwrap_or(false)
         },

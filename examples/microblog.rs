@@ -92,7 +92,10 @@ fn main() {
         .map(|i| net.actor(MachineId::new(i)).unwrap().committed_digest())
         .collect();
     assert!(digests.windows(2).all(|w| w[0] == w[1]));
-    assert!(refreshes.load(Ordering::SeqCst) >= 4, "foreign commits refreshed the UI");
+    assert!(
+        refreshes.load(Ordering::SeqCst) >= 4,
+        "foreign commits refreshed the UI"
+    );
     m1.read::<MicroBlog, _>(blog, |b| {
         let tl = b.timeline("ann");
         assert_eq!(tl.len(), 3, "host's post filtered out");

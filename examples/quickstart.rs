@@ -35,7 +35,10 @@ impl GState for Flight {
     }
     fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
         let shape = || RestoreError::shape("flight snapshot");
-        self.booked = v.field("booked").and_then(Value::as_i64).ok_or_else(shape)?;
+        self.booked = v
+            .field("booked")
+            .and_then(Value::as_i64)
+            .ok_or_else(shape)?;
         self.capacity = v
             .field("capacity")
             .and_then(Value::as_i64)

@@ -70,9 +70,7 @@ fn main() {
                             Box::new(move |ok| {
                                 let mut ui = ui2.lock().unwrap();
                                 // Repaint: GREEN on commit, RED on conflict.
-                                if let Some(e) =
-                                    ui.iter_mut().rev().find(|e| e.0 == (r, c))
-                                {
+                                if let Some(e) = ui.iter_mut().rev().find(|e| e.0 == (r, c)) {
                                     e.1 = if ok { Color::Green } else { Color::Red };
                                 }
                             }),
@@ -93,7 +91,9 @@ fn main() {
     for r in 1..=9u8 {
         let mut line = String::new();
         for c in 1..=9u8 {
-            let v = m0.read::<Sudoku, _>(board, |s| s.cell(r, c).unwrap()).unwrap();
+            let v = m0
+                .read::<Sudoku, _>(board, |s| s.cell(r, c).unwrap())
+                .unwrap();
             line.push(if v == 0 { '.' } else { char::from(b'0' + v) });
             line.push(' ');
             if c % 3 == 0 && c != 9 {

@@ -1,0 +1,27 @@
+# Developer workflow. Run `just check` before sending a change.
+
+# Everything CI would run, in order.
+check: fmt clippy test
+
+# Formatting gate (no writes).
+fmt:
+    cargo fmt --all --check
+
+# Lint gate: the whole workspace, tests and bins included, warnings fatal.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# The full test suite (unit + integration + doctests, every crate).
+test:
+    cargo test --workspace -q
+
+# Tier-1 smoke: what the release gate runs.
+tier1:
+    cargo build --release
+    cargo test -q
+
+# Regenerate the paper's headline figures with traces enabled.
+figures:
+    cargo run --release -p guesstimate-bench --bin fig5_sync_distribution
+    cargo run --release -p guesstimate-bench --bin fig6_sync_vs_users
+    cargo run --release -p guesstimate-bench --bin failure_recovery

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# The `just check` pipeline for environments without `just`.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -1,0 +1,111 @@
+//! Workspace-local stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
+//! Unlike crossbeam, std distinguishes bounded (`SyncSender`) from
+//! unbounded (`Sender`) sender types; the shim unifies them behind one
+//! [`channel::Sender`] enum so call sites keep crossbeam's single-type
+//! API.
+
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer channels (mirrors `crossbeam::channel`).
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of a channel (bounded or unbounded).
+    #[derive(Debug)]
+    pub enum Sender<T> {
+        /// Unbounded sender: `send` never blocks.
+        Unbounded(mpsc::Sender<T>),
+        /// Bounded sender: `send` blocks while the buffer is full.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `t`, blocking on a full bounded channel. Errors only if
+        /// the receiving half has disconnected.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(t),
+                Sender::Bounded(s) => s.send(t),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.clone().send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        }
+
+        #[test]
+        fn bounded_round_trip_and_timeout() {
+            let (tx, rx) = bounded(1);
+            tx.send("a").unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), "a");
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            ));
+            drop(tx);
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            ));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose elements come from `elem` and whose length is
+/// uniform in `size` (half-open, as real proptest's `0..n`).
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { elem, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + runner.below(span) as usize;
+        (0..len).map(|_| self.elem.new_value(runner)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>` with an entry count drawn from `size`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// Generates maps from `key`/`value` strategies; duplicate keys collapse,
+/// so the final size may be below the drawn count (as in real proptest).
+pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeMapStrategy { key, value, size }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let n = self.size.start + runner.below(span) as usize;
+        (0..n)
+            .map(|_| (self.key.new_value(runner), self.value.new_value(runner)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProptestConfig, Strategy};
+
+    #[test]
+    fn vec_and_map_respect_sizes() {
+        let mut r = TestRunner::new(&ProptestConfig::default(), "collection-tests");
+        let vs = vec(0u8..10, 0..5);
+        let ms = btree_map("[a-b]{1,2}", 0i64..4, 1..4);
+        for _ in 0..100 {
+            assert!(vs.new_value(&mut r).len() < 5);
+            let m = ms.new_value(&mut r);
+            assert!(m.len() <= 3);
+            assert!(m.keys().all(|k| !k.is_empty()));
+        }
+    }
+}

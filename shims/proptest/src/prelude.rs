@@ -1,0 +1,10 @@
+//! One-stop import for property tests (mirrors `proptest::prelude`).
+
+pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Nested module mirror so `prop::collection::..` paths also work.
+pub mod prop {
+    pub use crate::collection;
+}

@@ -28,7 +28,9 @@ fn run_dense_session(users: u32, seed: u64, latency_ms: u64) -> Vec<Machine> {
     // third (replay) execution.
     for i in 0..users {
         for k in 0..50u64 {
-            let jitter = (seed.wrapping_mul(2654435761).wrapping_add(k * 97 + u64::from(i) * 13))
+            let jitter = (seed
+                .wrapping_mul(2654435761)
+                .wrapping_add(k * 97 + u64::from(i) * 13))
                 % 53;
             net.schedule_call(
                 net.now() + SimTime::from_millis(40 * k + jitter),
@@ -63,8 +65,14 @@ fn ops_execute_at_most_three_times_across_seeds() {
                 m.id(),
                 st.max_exec_count
             );
-            assert_eq!(st.exec_histogram[0], 0, "no op commits with zero executions");
-            assert_eq!(st.exec_histogram[1], 0, "every op at least issues + commits");
+            assert_eq!(
+                st.exec_histogram[0], 0,
+                "no op commits with zero executions"
+            );
+            assert_eq!(
+                st.exec_histogram[1], 0,
+                "every op at least issues + commits"
+            );
             twos += st.exec_histogram[2];
             threes += st.exec_histogram[3];
         }
@@ -90,6 +98,9 @@ fn bound_holds_for_larger_clusters_and_slower_links() {
         }
     }
     assert_eq!(total[0] + total[1], 0);
-    assert!(total[2] + total[3] > 100, "plenty of committed ops measured");
+    assert!(
+        total[2] + total[3] > 100,
+        "plenty of committed ops measured"
+    );
     assert_eq!(total[4..].iter().sum::<u64>(), 0, "nothing beyond three");
 }

@@ -4,9 +4,7 @@
 //! identical, drained, and invariant-clean.
 
 use guesstimate::apps::sudoku::{self, Sudoku};
-use guesstimate::net::{
-    FaultPlan, LatencyModel, NetConfig, PartitionWindow, SimTime, StallWindow,
-};
+use guesstimate::net::{FaultPlan, LatencyModel, NetConfig, PartitionWindow, SimTime, StallWindow};
 use guesstimate::runtime::{run_until_cohort, sim_cluster, Machine, MachineConfig};
 use guesstimate::{MachineId, OpRegistry};
 
@@ -47,7 +45,9 @@ fn everything_at_once_soak() {
     // Several boards so activity never dries up.
     let boards: Vec<_> = {
         let master = net.actor_mut(MachineId::new(0)).unwrap();
-        (0..4).map(|_| master.create_instance(sudoku::example_puzzle())).collect()
+        (0..4)
+            .map(|_| master.create_instance(sudoku::example_puzzle()))
+            .collect()
     };
     net.run_until(SimTime::from_secs(12));
 
@@ -126,5 +126,8 @@ fn everything_at_once_soak() {
         .iter()
         .map(|&i| net.actor(MachineId::new(i)).unwrap().stats().committed_own)
         .sum();
-    assert!(committed > 150, "substantial committed workload: {committed}");
+    assert!(
+        committed > 150,
+        "substantial committed workload: {committed}"
+    );
 }

@@ -68,12 +68,7 @@ fn no_conformance_violations_across_a_distributed_session() {
                         let _ = m.issue(carpool::ops::board(pool, &user, "van"));
                     }
                     2 => {
-                        let _ = m.issue(auction::ops::bid(
-                            house,
-                            "lamp",
-                            &user,
-                            10 + round as i64,
-                        ));
+                        let _ = m.issue(auction::ops::bid(house, "lamp", &user, 10 + round as i64));
                         let _ = m.issue(microblog::ops::post(blog, &user, "hi"));
                     }
                     3 => {
@@ -104,7 +99,10 @@ fn no_conformance_violations_across_a_distributed_session() {
     let committed: u64 = (0..n)
         .map(|i| net.actor(MachineId::new(i)).unwrap().stats().committed_own)
         .sum();
-    assert!(committed > 100, "substantial committed workload: {committed}");
+    assert!(
+        committed > 100,
+        "substantial committed workload: {committed}"
+    );
     assert!(
         log.is_empty(),
         "conformance violations: {:?}",
@@ -126,7 +124,9 @@ fn a_buggy_operation_is_caught_in_flight() {
     let contract = MethodContract::new().with_invariant(|snap| {
         // Reuse the app's invariant through a fresh board restore.
         let mut s = sudoku::Sudoku::new();
-        GState::restore(&mut s, snap).map(|_| s.valid()).unwrap_or(false)
+        GState::restore(&mut s, snap)
+            .map(|_| s.valid())
+            .unwrap_or(false)
     });
     guesstimate::spec::register_checked::<sudoku::Sudoku>(
         &mut registry,

@@ -175,7 +175,9 @@ fn guess_invariant_holds_throughout_a_run() {
         net.run_until(t);
         for i in 0..n {
             assert!(
-                net.actor(MachineId::new(i)).unwrap().check_guess_invariant(),
+                net.actor(MachineId::new(i))
+                    .unwrap()
+                    .check_guess_invariant(),
                 "m{i}: invariant broken between rounds"
             );
         }
@@ -286,8 +288,7 @@ fn sixteen_machine_cluster_converges_under_load() {
                 net.now() + SimTime::from_millis(450 * k + 20 * u64::from(i)),
                 MachineId::new(i),
                 move |m: &mut Machine, _| {
-                    if let Some(moves) =
-                        m.read::<sudoku::Sudoku, _>(board, |s| s.candidate_moves())
+                    if let Some(moves) = m.read::<sudoku::Sudoku, _>(board, |s| s.candidate_moves())
                     {
                         if let Some(&(r, c, v)) = moves.get((k % 5) as usize) {
                             let _ = m.issue(sudoku::ops::update(board, r, c, v));

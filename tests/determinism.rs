@@ -92,7 +92,10 @@ fn identical_seeds_reproduce_runs_bit_for_bit() {
     assert_eq!(a.syncs, b.syncs);
     assert_eq!(a.restarts, b.restarts);
     assert_eq!(a.metrics, b.metrics, "every message delivery identical");
-    assert_eq!(a.sync_durations, b.sync_durations, "every round duration identical");
+    assert_eq!(
+        a.sync_durations, b.sync_durations,
+        "every round duration identical"
+    );
 }
 
 #[test]

@@ -51,7 +51,9 @@ fn offline_issues_commit_after_rejoining() {
         let mv = m
             .read::<Sudoku, _>(board, |s| s.candidate_moves()[0])
             .unwrap();
-        assert!(m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap());
+        assert!(m
+            .issue(sudoku::ops::update(board, mv.0, mv.1, mv.2))
+            .unwrap());
         assert_eq!(m.pending_len(), 1, "op parked on the offline pending list");
         mv
     };
@@ -60,7 +62,9 @@ fn offline_issues_commit_after_rejoining() {
         let mv = m
             .read::<Sudoku, _>(board, |s| s.candidate_moves()[7])
             .unwrap();
-        assert!(m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap());
+        assert!(m
+            .issue(sudoku::ops::update(board, mv.0, mv.1, mv.2))
+            .unwrap());
     });
     net.run_until(net.now() + SimTime::from_secs(2));
     // The offline machine hasn't seen machine 1's committed move.
@@ -75,7 +79,10 @@ fn offline_issues_commit_after_rejoining() {
     let digests: Vec<u64> = (0..3)
         .map(|i| net.actor(MachineId::new(i)).unwrap().committed_digest())
         .collect();
-    assert!(digests.windows(2).all(|w| w[0] == w[1]), "converged after rejoin");
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "converged after rejoin"
+    );
     let m0 = net.actor(MachineId::new(0)).unwrap();
     assert_eq!(
         m0.read::<Sudoku, _>(board, |s| s.cell(offline_move.0, offline_move.1)),
@@ -161,19 +168,33 @@ fn remote_update_hooks_fire_for_foreign_commits_only() {
     net.run_until(net.now() + SimTime::from_secs(1));
     // Machine 0's OWN move must not fire its hook (completions cover that).
     net.call(MachineId::new(0), |m, _| {
-        let mv = m.read::<Sudoku, _>(board, |s| s.candidate_moves()[0]).unwrap();
-        m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap();
+        let mv = m
+            .read::<Sudoku, _>(board, |s| s.candidate_moves()[0])
+            .unwrap();
+        m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2))
+            .unwrap();
     });
     net.run_until(net.now() + SimTime::from_secs(2));
-    assert_eq!(remote_events.load(Ordering::SeqCst), 0, "own ops don't fire");
+    assert_eq!(
+        remote_events.load(Ordering::SeqCst),
+        0,
+        "own ops don't fire"
+    );
 
     // A move from machine 1 does fire machine 0's hook.
     net.call(MachineId::new(1), |m, _| {
-        let mv = m.read::<Sudoku, _>(board, |s| s.candidate_moves()[3]).unwrap();
-        m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap();
+        let mv = m
+            .read::<Sudoku, _>(board, |s| s.candidate_moves()[3])
+            .unwrap();
+        m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2))
+            .unwrap();
     });
     net.run_until(net.now() + SimTime::from_secs(2));
-    assert_eq!(remote_events.load(Ordering::SeqCst), 1, "foreign op fires once");
+    assert_eq!(
+        remote_events.load(Ordering::SeqCst),
+        1,
+        "foreign op fires once"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -225,7 +246,11 @@ fn surviving_members_elect_a_new_master_after_a_crash() {
     let survivors: Vec<u32> = (1..4)
         .filter(|&i| net.actor(MachineId::new(i)).unwrap().in_cohort())
         .collect();
-    assert_eq!(survivors.len(), 3, "everyone re-admitted under the new master");
+    assert_eq!(
+        survivors.len(),
+        3,
+        "everyone re-admitted under the new master"
+    );
     let digests: Vec<u64> = survivors
         .iter()
         .map(|&i| net.actor(MachineId::new(i)).unwrap().committed_digest())

@@ -87,7 +87,10 @@ fn permanent_crash_of_a_member_does_not_block_the_rest() {
         .iter()
         .filter(|s| s.started_at > SimTime::from_secs(10))
         .count();
-    assert!(post_crash_rounds > 20, "rounds kept completing: {post_crash_rounds}");
+    assert!(
+        post_crash_rounds > 20,
+        "rounds kept completing: {post_crash_rounds}"
+    );
     assert_agree(&net, &[0, 1, 3]);
     for i in [0u32, 1, 3] {
         assert_eq!(net.actor(MachineId::new(i)).unwrap().pending_len(), 0);
@@ -133,7 +136,10 @@ fn overlapping_stalls_on_two_machines_recover() {
     assert_agree(&net, &[0, 1, 2, 3]);
     let master = net.actor(MachineId::new(0)).unwrap();
     let removals: u32 = master.stats().sync_samples.iter().map(|s| s.removals).sum();
-    assert!(removals >= 2, "both stalled machines were removed at least once");
+    assert!(
+        removals >= 2,
+        "both stalled machines were removed at least once"
+    );
 }
 
 #[test]

@@ -26,10 +26,7 @@ fn registry() -> OpRegistry {
 }
 
 /// Replays a recorded wire history (creation + shared ops) from scratch.
-fn replay_history(
-    history: &[guesstimate::runtime::WireEnvelope],
-    reg: &OpRegistry,
-) -> ObjectStore {
+fn replay_history(history: &[guesstimate::runtime::WireEnvelope], reg: &OpRegistry) -> ObjectStore {
     let mut store = ObjectStore::new();
     for env in history {
         match &env.op {
@@ -195,6 +192,8 @@ fn histories_agree_even_with_message_loss() {
     let replayed = replay_history(&reference, &reg);
     assert_eq!(
         replayed.digest(),
-        net.actor(MachineId::new(stable[0])).unwrap().committed_digest()
+        net.actor(MachineId::new(stable[0]))
+            .unwrap()
+            .committed_digest()
     );
 }

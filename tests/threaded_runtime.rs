@@ -40,19 +40,24 @@ fn cfg() -> MachineConfig {
 fn concurrent_posters_from_real_threads_converge() {
     let (_net, handles) = threaded_cluster(3, registry(), cfg(), LatencyModel::constant_ms(1), 3);
     assert!(wait_for(
-        || handles.iter().all(|h| h.read(|m| m.in_cohort()).unwrap_or(false)),
+        || handles
+            .iter()
+            .all(|h| h.read(|m| m.in_cohort()).unwrap_or(false)),
         10_000
     ));
     let board = handles[0]
         .with(|m, _| m.create_instance(MessageBoard::new()))
         .unwrap();
-    handles[0].with(|m, _| m.issue(message_board::ops::create_topic(board, "chat")).unwrap());
+    handles[0].with(|m, _| {
+        m.issue(message_board::ops::create_topic(board, "chat"))
+            .unwrap()
+    });
     assert!(wait_for(
-        || handles
-            .iter()
-            .all(|h| h.read(|m| m.object_type(board).is_some()).unwrap_or(false)
+        || handles.iter().all(
+            |h| h.read(|m| m.object_type(board).is_some()).unwrap_or(false)
                 && h.read(|m| m.read::<MessageBoard, _>(board, |b| b.topics().len()) == Some(1))
-                    .unwrap_or(false)),
+                    .unwrap_or(false)
+        ),
         10_000
     ));
 
@@ -86,10 +91,10 @@ fn concurrent_posters_from_real_threads_converge() {
     assert!(wait_for(
         || {
             let d0 = handles[0].read(|m| m.committed_digest());
-            handles
-                .iter()
-                .all(|h| h.read(|m| m.pending_len() == 0).unwrap_or(false)
-                    && h.read(|m| m.committed_digest()) == d0)
+            handles.iter().all(|h| {
+                h.read(|m| m.pending_len() == 0).unwrap_or(false)
+                    && h.read(|m| m.committed_digest()) == d0
+            })
         },
         15_000
     ));
@@ -107,7 +112,9 @@ fn concurrent_posters_from_real_threads_converge() {
 fn blocking_and_nonblocking_issues_interleave() {
     let (_net, handles) = threaded_cluster(2, registry(), cfg(), LatencyModel::constant_ms(1), 5);
     assert!(wait_for(
-        || handles.iter().all(|h| h.read(|m| m.in_cohort()).unwrap_or(false)),
+        || handles
+            .iter()
+            .all(|h| h.read(|m| m.in_cohort()).unwrap_or(false)),
         10_000
     ));
     let board = handles[0]
@@ -126,7 +133,8 @@ fn blocking_and_nonblocking_issues_interleave() {
         let mv = m
             .read::<Sudoku, _>(board, |s| s.candidate_moves()[0])
             .unwrap();
-        m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2)).unwrap();
+        m.issue(sudoku::ops::update(board, mv.0, mv.1, mv.2))
+            .unwrap();
     });
     let mv0 = handles[0]
         .read(|m| m.read::<Sudoku, _>(board, |s| s.candidate_moves()[5]))
@@ -142,7 +150,9 @@ fn blocking_and_nonblocking_issues_interleave() {
         || {
             let d0 = handles[0].read(|m| m.committed_digest());
             handles[1].read(|m| m.committed_digest()) == d0
-                && handles.iter().all(|h| h.read(|m| m.pending_len() == 0).unwrap_or(false))
+                && handles
+                    .iter()
+                    .all(|h| h.read(|m| m.pending_len() == 0).unwrap_or(false))
         },
         15_000
     ));
