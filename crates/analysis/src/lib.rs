@@ -1,0 +1,778 @@
+//! # guesstimate-analysis
+//!
+//! Static effect analysis over registered shared-operation methods.
+//!
+//! GUESSTIMATE's cost model hangs on re-execution: every remote commit
+//! rebuilds the guesstimated state `sg = [P](sc)` by replaying the whole
+//! pending queue. Knowing which operations *commute* is the lever that
+//! removes that cost (Shapiro & Preguiça's commutative replicated data
+//! types), and bounded exploration is how such claims are checked
+//! mechanically (Boucheneb & Imine). This crate provides both halves:
+//!
+//! * a **footprint-based static commutativity judgment** — two invocations
+//!   commute when their declared [`Footprint`]s are disjoint (no write/write
+//!   and no read/write overlap);
+//! * a **bounded-exhaustive semantic validator** that reuses the
+//!   `spec::verifier` [`CaseSpace`] machinery to check `s1;s2 ≡ s2;s1` over
+//!   enumerated states, classifying each method pair
+//!   [`Classification::Commute`] / [`Classification::Conflict`] /
+//!   [`Classification::Unknown`];
+//! * a **footprint sanitizer** refuting any declared effect whose write set
+//!   under-approximates observed snapshot diffs, plus an undeclared-effect
+//!   lint;
+//! * a **determinism sanitizer** executing each method twice from identical
+//!   snapshots — divergence would silently break replica convergence;
+//! * the `analyze` binary printing the per-app conflict matrix and all
+//!   violations (non-zero exit on any violation, so it can gate CI).
+//!
+//! The validated output feeds the runtime's commute-aware replay skipping
+//! (see `docs/ANALYSIS.md`).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use guesstimate_core::{
+    execute, ArgView, CommuteMatrix, MachineId, ObjectId, ObjectStore, OpRegistry, SharedOp, Value,
+};
+use guesstimate_spec::{CaseSpace, SpecSuite};
+
+/// Computes the set of snapshot paths at which two snapshots differ.
+///
+/// Maps recurse per key (a key present on only one side reports the key's
+/// path); lists of equal length recurse per index, lists of different
+/// length report the list's own path (append/remove moves indices, so the
+/// whole list is the honest footprint); scalars report their path. Paths
+/// use the same `/`-separated key language as [`Footprint`].
+pub fn snapshot_diff(pre: &Value, post: &Value) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_into(pre, post, String::new(), &mut out);
+    out
+}
+
+fn diff_into(pre: &Value, post: &Value, path: String, out: &mut Vec<String>) {
+    if pre == post {
+        return;
+    }
+    let child = |path: &str, seg: &str| {
+        if path.is_empty() {
+            seg.to_owned()
+        } else {
+            format!("{path}/{seg}")
+        }
+    };
+    match (pre, post) {
+        (Value::Map(a), Value::Map(b)) => {
+            let keys: BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+            for k in keys {
+                match (a.get(k), b.get(k)) {
+                    (Some(x), Some(y)) => diff_into(x, y, child(&path, k), out),
+                    _ => out.push(child(&path, k)),
+                }
+            }
+        }
+        (Value::List(a), Value::List(b)) if a.len() == b.len() => {
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                diff_into(x, y, child(&path, &i.to_string()), out);
+            }
+        }
+        _ => out.push(path),
+    }
+}
+
+/// The commutativity classification of one method pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Proven to commute: either a complete enumeration found no
+    /// counterexample, or every enumerated argument pair had disjoint
+    /// (and sanitizer-clean) declared footprints.
+    Commute,
+    /// A concrete counterexample was found: some state and argument pair
+    /// where `s1;s2` and `s2;s1` disagree on the final snapshot or on the
+    /// operations' results.
+    Conflict,
+    /// No counterexample, but the enumeration was incomplete and the
+    /// static judgment could not prove disjointness for every argument
+    /// pair. The runtime must fall back to argument-precise footprints.
+    Unknown,
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Classification::Commute => "Commute",
+            Classification::Conflict => "Conflict",
+            Classification::Unknown => "Unknown",
+        })
+    }
+}
+
+/// The kind of a lint violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A registered method has no declared [`guesstimate_core::EffectSpec`].
+    UndeclaredEffect,
+    /// A registered method was given no argument space to analyze over.
+    UnanalyzedMethod,
+    /// An observed snapshot change is not covered by the declared write
+    /// set — the footprint under-approximates and every consumer of it
+    /// (including the runtime's replay skipping) would be unsound.
+    FootprintUnderApproximation,
+    /// Executing the method twice from identical snapshots diverged.
+    Nondeterminism,
+    /// The static judgment says every enumerated argument pair is disjoint,
+    /// yet the semantic validator found a commutation counterexample: the
+    /// declared footprints are wrong in a way the write-sanitizer cannot
+    /// see (an undeclared *read*, typically).
+    StaticSemanticDisagreement,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ViolationKind::UndeclaredEffect => "undeclared-effect",
+            ViolationKind::UnanalyzedMethod => "unanalyzed-method",
+            ViolationKind::FootprintUnderApproximation => "footprint-under-approximation",
+            ViolationKind::Nondeterminism => "nondeterminism",
+            ViolationKind::StaticSemanticDisagreement => "static-semantic-disagreement",
+        })
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct AnalysisViolation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The object type.
+    pub type_name: String,
+    /// The offending method (or method pair, rendered `a;b`).
+    pub method: String,
+    /// Human-readable details (counterexample state/arguments).
+    pub detail: String,
+}
+
+impl fmt::Display for AnalysisViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}::{} — {}",
+            self.kind, self.type_name, self.method, self.detail
+        )
+    }
+}
+
+/// The argument space of one method, for sanitizing and pairing.
+///
+/// Usually derived from the app's [`SpecSuite`] via
+/// [`method_spaces_from_suite`]; methods the suite omits get explicit
+/// spaces from the caller.
+#[derive(Debug, Clone)]
+pub struct MethodSpace {
+    /// Registered method name.
+    pub method: String,
+    /// Argument vectors to enumerate.
+    pub args: Vec<Vec<Value>>,
+    /// True if `args` covers all relevant argument vectors (up to
+    /// symmetry); required for a `Commute`-by-enumeration verdict.
+    pub args_exhaustive: bool,
+}
+
+/// Extracts one [`MethodSpace`] per method of a spec suite.
+pub fn method_spaces_from_suite(suite: &SpecSuite) -> Vec<MethodSpace> {
+    suite
+        .methods
+        .iter()
+        .map(|m| MethodSpace {
+            method: m.method.clone(),
+            args: m.arg_space.clone(),
+            args_exhaustive: m.args_exhaustive,
+        })
+        .collect()
+}
+
+/// The classification of one (unordered) method pair.
+#[derive(Debug, Clone)]
+pub struct PairReport {
+    /// First method (lexicographically ≤ `b`).
+    pub a: String,
+    /// Second method.
+    pub b: String,
+    /// The verdict.
+    pub classification: Classification,
+    /// Cases (state × args × args) evaluated.
+    pub cases: usize,
+    /// True if every enumerated argument pair had disjoint declared
+    /// footprints (the static judgment).
+    pub static_commute: bool,
+    /// A rendered counterexample, when conflicting.
+    pub counterexample: Option<String>,
+}
+
+/// The analysis output for one application type.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// The object type analyzed.
+    pub type_name: String,
+    /// Methods covered, sorted.
+    pub methods: Vec<String>,
+    /// One entry per unordered method pair (including the diagonal).
+    pub pairs: Vec<PairReport>,
+    /// All lint violations.
+    pub violations: Vec<AnalysisViolation>,
+}
+
+impl AppReport {
+    /// True if the app passed the lint (no violations of any kind).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The classification of a method pair (order-insensitive).
+    pub fn classification(&self, m1: &str, m2: &str) -> Option<Classification> {
+        let (a, b) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        self.pairs
+            .iter()
+            .find(|p| p.a == a && p.b == b)
+            .map(|p| p.classification)
+    }
+
+    /// Extracts the validated always-commute pairs as a [`CommuteMatrix`]
+    /// for the runtime's fast path.
+    pub fn commute_matrix(&self) -> CommuteMatrix {
+        let mut m = CommuteMatrix::new();
+        for p in &self.pairs {
+            if p.classification == Classification::Commute {
+                m.insert(&self.type_name, &p.a, &p.b);
+            }
+        }
+        m
+    }
+
+    /// Renders the conflict matrix as an aligned text grid: `C` commute,
+    /// `X` conflict, `?` unknown.
+    pub fn format_matrix(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let w = self
+            .methods
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let _ = write!(out, "{:<w$}", self.type_name, w = w + 1);
+        for m in &self.methods {
+            let _ = write!(out, " {m:>w$}", w = w.min(m.len().max(4)));
+        }
+        let _ = writeln!(out);
+        for m1 in &self.methods {
+            let _ = write!(out, "{m1:<w$}", w = w + 1);
+            for m2 in &self.methods {
+                let sym = match self.classification(m1, m2) {
+                    Some(Classification::Commute) => 'C',
+                    Some(Classification::Conflict) => 'X',
+                    Some(Classification::Unknown) => '?',
+                    None => '-',
+                };
+                let _ = write!(out, " {sym:>w$}", w = w.min(m2.len().max(4)));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn scratch_id() -> ObjectId {
+    ObjectId::new(MachineId::new(u32::MAX), u64::MAX)
+}
+
+/// Restores `state` into a fresh object and executes `ops` in order.
+/// Returns each op's success flag and the final snapshot, or `None` when
+/// the state does not restore into this type.
+fn run_seq(
+    registry: &OpRegistry,
+    type_name: &str,
+    state: &Value,
+    ops: &[(&str, &[Value])],
+) -> Option<(Vec<bool>, Value)> {
+    let id = scratch_id();
+    let mut obj = registry.construct(type_name).ok()?;
+    if obj.restore(state).is_err() {
+        return None;
+    }
+    let mut store = ObjectStore::new();
+    store.insert(id, obj);
+    let mut results = Vec::with_capacity(ops.len());
+    for (method, args) in ops {
+        let op = SharedOp::primitive(id, *method, args.to_vec());
+        results.push(execute(&op, &mut store, registry).ok()?.is_success());
+    }
+    Some((results, store.get(id)?.snapshot()))
+}
+
+fn render_case(state: &Value, a1: &[Value], a2: &[Value]) -> String {
+    let mut s = format!("state={state:?} args1={a1:?} args2={a2:?}");
+    if s.len() > 240 {
+        s.truncate(240);
+        s.push('…');
+    }
+    s
+}
+
+/// Runs the full analysis for one application type.
+///
+/// `spaces` must cover every registered method of `type_name` (missing
+/// methods produce an [`ViolationKind::UnanalyzedMethod`] violation);
+/// `space` supplies the state enumeration and the per-method case cap
+/// (`max_cases` also caps each pair's `state × args × args` product).
+pub fn analyze_app(
+    registry: &OpRegistry,
+    type_name: &str,
+    spaces: &[MethodSpace],
+    space: &CaseSpace,
+) -> AppReport {
+    let mut violations = Vec::new();
+
+    // --- coverage lints -------------------------------------------------
+    for m in registry.methods_without_effects(type_name) {
+        violations.push(AnalysisViolation {
+            kind: ViolationKind::UndeclaredEffect,
+            type_name: type_name.to_owned(),
+            method: m.to_owned(),
+            detail: "registered without an EffectSpec".to_owned(),
+        });
+    }
+    let methods: Vec<String> = registry
+        .methods_of(type_name)
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    for m in &methods {
+        if !spaces.iter().any(|s| &s.method == m) {
+            violations.push(AnalysisViolation {
+                kind: ViolationKind::UnanalyzedMethod,
+                type_name: type_name.to_owned(),
+                method: m.clone(),
+                detail: "no argument space supplied for analysis".to_owned(),
+            });
+        }
+    }
+
+    // --- sanitizers: determinism + footprint writes ---------------------
+    // Methods whose declared footprints survive the sanitizer; only these
+    // may be promoted to Commute by the static judgment.
+    let mut sanitized: BTreeSet<&str> = BTreeSet::new();
+    for ms in spaces {
+        let mut clean = registry.effect_of(type_name, &ms.method).is_some();
+        let mut cases = 0usize;
+        'outer: for state in &space.states {
+            for argv in &ms.args {
+                if cases >= space.max_cases {
+                    break 'outer;
+                }
+                let Some((r1, post1)) = run_seq(registry, type_name, state, &[(&ms.method, argv)])
+                else {
+                    continue;
+                };
+                cases += 1;
+                // Determinism: identical snapshot, identical outcome.
+                let rerun = run_seq(registry, type_name, state, &[(&ms.method, argv)]);
+                if rerun.as_ref().map(|(r, p)| (r, p)) != Some((&r1, &post1)) {
+                    clean = false;
+                    violations.push(AnalysisViolation {
+                        kind: ViolationKind::Nondeterminism,
+                        type_name: type_name.to_owned(),
+                        method: ms.method.clone(),
+                        detail: render_case(state, argv, &[]),
+                    });
+                    break 'outer;
+                }
+                // Footprint: every observed write covered by the declaration.
+                if let Some(effect) = registry.effect_of(type_name, &ms.method) {
+                    let fp = effect.footprint(ArgView::new(argv));
+                    for path in snapshot_diff(state, &post1) {
+                        if !fp.writes_cover(&path) {
+                            clean = false;
+                            violations.push(AnalysisViolation {
+                                kind: ViolationKind::FootprintUnderApproximation,
+                                type_name: type_name.to_owned(),
+                                method: ms.method.clone(),
+                                detail: format!(
+                                    "observed write at {path:?} not in declared writes {:?} ({})",
+                                    fp.writes,
+                                    render_case(state, argv, &[])
+                                ),
+                            });
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        if clean {
+            sanitized.insert(&ms.method);
+        }
+    }
+
+    // --- pairwise commutativity -----------------------------------------
+    let mut pairs = Vec::new();
+    for (i, ms1) in spaces.iter().enumerate() {
+        for ms2 in spaces.iter().skip(i) {
+            let (a, b) = if ms1.method <= ms2.method {
+                (ms1, ms2)
+            } else {
+                (ms2, ms1)
+            };
+            let fx1 = registry.effect_of(type_name, &a.method);
+            let fx2 = registry.effect_of(type_name, &b.method);
+            // Static judgment: disjoint declared footprints for EVERY
+            // argument pair. This scans the full (uncapped) argument
+            // product — it is pure footprint evaluation, no execution —
+            // and requires both spaces to be exhaustive, since the verdict
+            // generalizes to arbitrary runtime arguments.
+            let static_commute = match (fx1, fx2) {
+                (Some(f1), Some(f2)) if a.args_exhaustive && b.args_exhaustive => {
+                    a.args.iter().all(|a1| {
+                        let fp1 = f1.footprint(ArgView::new(a1));
+                        b.args
+                            .iter()
+                            .all(|a2| fp1.disjoint(&f2.footprint(ArgView::new(a2))))
+                    })
+                }
+                _ => false,
+            };
+            let mut counterexample = None;
+            let mut cases = 0usize;
+            let mut truncated = false;
+            'pair: for state in &space.states {
+                for a1 in &a.args {
+                    for a2 in &b.args {
+                        if cases >= space.max_cases {
+                            truncated = true;
+                            break 'pair;
+                        }
+                        let ab = run_seq(
+                            registry,
+                            type_name,
+                            state,
+                            &[(&a.method, a1), (&b.method, a2)],
+                        );
+                        let ba = run_seq(
+                            registry,
+                            type_name,
+                            state,
+                            &[(&b.method, a2), (&a.method, a1)],
+                        );
+                        cases += 1;
+                        let (Some((rab, sab)), Some((rba, sba))) = (ab, ba) else {
+                            continue;
+                        };
+                        // s1;s2 ≡ s2;s1: same final snapshot AND each op
+                        // reports the same result in both orders.
+                        if sab != sba || rab[0] != rba[1] || rab[1] != rba[0] {
+                            counterexample = Some(render_case(state, a1, a2));
+                            break 'pair;
+                        }
+                    }
+                }
+            }
+            let complete =
+                space.states_exhaustive && a.args_exhaustive && b.args_exhaustive && !truncated;
+            let static_ok = static_commute
+                && sanitized.contains(a.method.as_str())
+                && sanitized.contains(b.method.as_str());
+            let classification = if counterexample.is_some() {
+                if static_ok {
+                    // The write sanitizer cannot catch undeclared reads; a
+                    // semantic counterexample under a static "disjoint"
+                    // verdict means the declaration is wrong.
+                    violations.push(AnalysisViolation {
+                        kind: ViolationKind::StaticSemanticDisagreement,
+                        type_name: type_name.to_owned(),
+                        method: format!("{};{}", a.method, b.method),
+                        detail: counterexample.clone().unwrap_or_default(),
+                    });
+                }
+                Classification::Conflict
+            } else if complete || static_ok {
+                Classification::Commute
+            } else {
+                Classification::Unknown
+            };
+            pairs.push(PairReport {
+                a: a.method.clone(),
+                b: b.method.clone(),
+                classification,
+                cases,
+                static_commute,
+                counterexample,
+            });
+        }
+    }
+
+    AppReport {
+        type_name: type_name.to_owned(),
+        methods,
+        pairs,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guesstimate_core::{args, EffectSpec, Footprint, GState, RestoreError};
+
+    /// Two independent cells plus an append-only log.
+    #[derive(Clone, Default)]
+    struct Cells {
+        a: i64,
+        b: i64,
+        log: Vec<i64>,
+    }
+
+    impl GState for Cells {
+        const TYPE_NAME: &'static str = "Cells";
+        fn snapshot(&self) -> Value {
+            Value::map([
+                ("a", Value::from(self.a)),
+                ("b", Value::from(self.b)),
+                ("log", self.log.iter().map(|&x| Value::from(x)).collect()),
+            ])
+        }
+        fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+            let shape = || RestoreError::shape("cells");
+            self.a = v.field("a").and_then(Value::as_i64).ok_or_else(shape)?;
+            self.b = v.field("b").and_then(Value::as_i64).ok_or_else(shape)?;
+            self.log = v
+                .field("log")
+                .and_then(Value::as_list)
+                .ok_or_else(shape)?
+                .iter()
+                .map(|x| x.as_i64().ok_or_else(shape))
+                .collect::<Result<_, _>>()?;
+            Ok(())
+        }
+    }
+
+    fn cell_effect(key: &'static str) -> EffectSpec {
+        EffectSpec::new(move |_| Footprint::new().reads([key]).writes([key]))
+    }
+
+    fn registry() -> OpRegistry {
+        let mut r = OpRegistry::new();
+        r.register_type::<Cells>();
+        r.register_with_effects::<Cells>("set_a", cell_effect("a"), |s, a| {
+            let Some(v) = a.i64(0) else { return false };
+            s.a = v;
+            true
+        });
+        r.register_with_effects::<Cells>("set_b", cell_effect("b"), |s, a| {
+            let Some(v) = a.i64(0) else { return false };
+            s.b = v;
+            true
+        });
+        r.register_with_effects::<Cells>(
+            "append",
+            EffectSpec::new(|_| Footprint::new().reads(["log"]).writes(["log"])),
+            |s, a| {
+                let Some(v) = a.i64(0) else { return false };
+                s.log.push(v);
+                true
+            },
+        );
+        // BUG for the sanitizer: declares `a` but also writes `b`.
+        r.register_with_effects::<Cells>("sneaky", cell_effect("a"), |s, a| {
+            let Some(v) = a.i64(0) else { return false };
+            s.a = v;
+            s.b = v;
+            true
+        });
+        r
+    }
+
+    fn states() -> Vec<Value> {
+        let mut one = Cells {
+            a: 1,
+            ..Cells::default()
+        };
+        one.log.push(7);
+        vec![GState::snapshot(&Cells::default()), GState::snapshot(&one)]
+    }
+
+    fn spc(method: &str) -> MethodSpace {
+        MethodSpace {
+            method: method.to_owned(),
+            args: vec![args![1], args![2]],
+            // Small-scope abstraction: the cell setters ignore which value
+            // is stored, so two representatives cover the space.
+            args_exhaustive: true,
+        }
+    }
+
+    #[test]
+    fn diff_reports_leaf_and_structural_changes() {
+        let mut x = Cells::default();
+        let pre = GState::snapshot(&x);
+        x.a = 5;
+        x.log.push(1);
+        let d = snapshot_diff(&pre, &GState::snapshot(&x));
+        assert_eq!(d, vec!["a".to_owned(), "log".to_owned()]);
+        assert!(snapshot_diff(&pre, &pre).is_empty());
+        // Equal-length lists diff per index.
+        let l1: Value = [1, 2].iter().map(|&x| Value::from(x)).collect();
+        let l2: Value = [1, 3].iter().map(|&x| Value::from(x)).collect();
+        assert_eq!(snapshot_diff(&l1, &l2), vec!["1".to_owned()]);
+        // Type mismatch at the root reports the root.
+        assert_eq!(snapshot_diff(&Value::from(1), &l2), vec![String::new()]);
+    }
+
+    #[test]
+    fn disjoint_footprints_classify_as_commute() {
+        let report = analyze_app(
+            &registry(),
+            "Cells",
+            &[spc("set_a"), spc("set_b"), spc("append")],
+            &CaseSpace::sampled(states(), 10_000),
+        );
+        assert_eq!(
+            report.classification("set_a", "set_b"),
+            Some(Classification::Commute),
+            "statically disjoint"
+        );
+        assert_eq!(
+            report.classification("set_a", "append"),
+            Some(Classification::Commute)
+        );
+        // sneaky is registered but unanalyzed → violation, not a crash.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::UnanalyzedMethod && v.method == "sneaky"));
+    }
+
+    #[test]
+    fn self_pairs_detect_order_sensitivity() {
+        let report = analyze_app(
+            &registry(),
+            "Cells",
+            &[spc("set_a"), spc("append")],
+            &CaseSpace::sampled(states(), 10_000),
+        );
+        // set_a(1); set_a(2) leaves a=2 vs a=1 — conflict on the diagonal.
+        assert_eq!(
+            report.classification("set_a", "set_a"),
+            Some(Classification::Conflict)
+        );
+        // append(1); append(2) orders the log differently.
+        assert_eq!(
+            report.classification("append", "append"),
+            Some(Classification::Conflict)
+        );
+    }
+
+    #[test]
+    fn footprint_sanitizer_refutes_underdeclared_writes() {
+        let report = analyze_app(
+            &registry(),
+            "Cells",
+            &[spc("set_a"), spc("set_b"), spc("append"), spc("sneaky")],
+            &CaseSpace::sampled(states(), 10_000),
+        );
+        assert!(report.violations.iter().any(|v| {
+            v.kind == ViolationKind::FootprintUnderApproximation && v.method == "sneaky"
+        }));
+        // sneaky's static "disjointness" with set_b must NOT yield Commute:
+        // its footprint failed the sanitizer.
+        assert_ne!(
+            report.classification("set_b", "sneaky"),
+            Some(Classification::Commute)
+        );
+    }
+
+    #[test]
+    fn undeclared_effects_are_linted() {
+        let mut r = registry();
+        r.register_method::<Cells>("mystery", |_, _| true);
+        let report = analyze_app(
+            &r,
+            "Cells",
+            &[spc("set_a"), spc("set_b"), spc("append"), spc("sneaky")],
+            &CaseSpace::sampled(states(), 1_000),
+        );
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::UndeclaredEffect && v.method == "mystery"));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn nondeterminism_is_detected() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        use std::sync::Arc;
+        let mut r = OpRegistry::new();
+        r.register_type::<Cells>();
+        let counter = Arc::new(AtomicI64::new(0));
+        r.register_with_effects::<Cells>("flaky", cell_effect("a"), move |s, _| {
+            s.a = counter.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        let report = analyze_app(
+            &r,
+            "Cells",
+            &[spc("flaky")],
+            &CaseSpace::sampled(states(), 1_000),
+        );
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Nondeterminism && v.method == "flaky"));
+    }
+
+    #[test]
+    fn complete_enumeration_proves_commute_without_effects() {
+        let mut r = OpRegistry::new();
+        r.register_type::<Cells>();
+        // No EffectSpec at all: only exhaustive enumeration can prove it.
+        r.register_method::<Cells>("bump_a", |s, _| {
+            s.a += 1;
+            true
+        });
+        let spaces = [MethodSpace {
+            method: "bump_a".to_owned(),
+            args: vec![args![]],
+            args_exhaustive: true,
+        }];
+        let report = analyze_app(&r, "Cells", &spaces, &CaseSpace::exhaustive(states()));
+        assert_eq!(
+            report.classification("bump_a", "bump_a"),
+            Some(Classification::Commute),
+            "increments commute; proven by complete enumeration"
+        );
+        // Still linted for the missing declaration.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::UndeclaredEffect));
+    }
+
+    #[test]
+    fn commute_matrix_extraction_and_formatting() {
+        let report = analyze_app(
+            &registry(),
+            "Cells",
+            &[spc("set_a"), spc("set_b"), spc("append"), spc("sneaky")],
+            &CaseSpace::sampled(states(), 10_000),
+        );
+        let m = report.commute_matrix();
+        assert!(m.commutes("Cells", "set_a", "set_b"));
+        assert!(!m.commutes("Cells", "set_a", "set_a"));
+        let grid = report.format_matrix();
+        assert!(grid.contains("Cells"));
+        assert!(grid.contains("set_a"));
+        assert!(grid.contains('C') && grid.contains('X'));
+    }
+}

@@ -9,7 +9,9 @@
 
 use std::collections::BTreeMap;
 
-use guesstimate_core::{args, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value};
+use guesstimate_core::{
+    args, EffectSpec, Footprint, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value,
+};
 use guesstimate_spec::{ConformanceLog, MethodContract, MethodSpec, SpecSuite};
 
 /// One listed item.
@@ -251,12 +253,51 @@ fn apply_close(s: &mut Auction, a: guesstimate_core::ArgView<'_>) -> bool {
     s.close(item, seller)
 }
 
+fn list_item_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(n), Some(seller), Some(r), Some(i)) = (a.str(0), a.str(1), a.i64(2), a.i64(3))
+        else {
+            return Footprint::new();
+        };
+        if n.is_empty() || seller.is_empty() || r < 0 || i <= 0 {
+            return Footprint::new();
+        }
+        // The snapshot is a map keyed directly by item name.
+        Footprint::new().reads([n]).writes([n])
+    })
+}
+
+fn bid_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(item), Some(bidder), Some(_)) = (a.str(0), a.str(1), a.i64(2)) else {
+            return Footprint::new();
+        };
+        if bidder.is_empty() {
+            return Footprint::new();
+        }
+        Footprint::new()
+            .reads([item.to_owned()])
+            .writes([format!("{item}/best")])
+    })
+}
+
+fn close_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(item), Some(_)) = (a.str(0), a.str(1)) else {
+            return Footprint::new();
+        };
+        Footprint::new()
+            .reads([item.to_owned()])
+            .writes([format!("{item}/open")])
+    })
+}
+
 /// Registers the auction type and operations.
 pub fn register(registry: &mut OpRegistry) {
     registry.register_type::<Auction>();
-    registry.register_method::<Auction>("list_item", apply_list);
-    registry.register_method::<Auction>("bid", apply_bid);
-    registry.register_method::<Auction>("close", apply_close);
+    registry.register_with_effects::<Auction>("list_item", list_item_effect(), apply_list);
+    registry.register_with_effects::<Auction>("bid", bid_effect(), apply_bid);
+    registry.register_with_effects::<Auction>("close", close_effect(), apply_close);
 }
 
 fn invariant(v: &Value) -> bool {

@@ -15,7 +15,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use guesstimate_core::{args, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value};
+use guesstimate_core::{
+    args, EffectSpec, Footprint, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value, ROOT,
+};
 use guesstimate_spec::{ConformanceLog, MethodContract, MethodSpec, SpecSuite};
 
 /// A vehicle driving to one event.
@@ -222,12 +224,51 @@ fn apply_disembark(s: &mut CarPool, a: guesstimate_core::ArgView<'_>) -> bool {
     s.disembark(u, v)
 }
 
+fn add_vehicle_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(n), Some(seats), Some(e)) = (a.str(0), a.i64(1), a.str(2)) else {
+            return Footprint::new();
+        };
+        if n.is_empty() || e.is_empty() || seats <= 0 {
+            return Footprint::new();
+        }
+        // The snapshot is a map keyed directly by vehicle name.
+        Footprint::new().reads([n]).writes([n])
+    })
+}
+
+fn board_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(u), Some(v)) = (a.str(0), a.str(1)) else {
+            return Footprint::new();
+        };
+        if u.is_empty() {
+            return Footprint::new();
+        }
+        // `has_ride` scans every vehicle for an existing ride to the same
+        // event, so the read set is the whole snapshot.
+        Footprint::new()
+            .reads([ROOT])
+            .writes([format!("{v}/riders")])
+    })
+}
+
+fn disembark_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(_), Some(v)) = (a.str(0), a.str(1)) else {
+            return Footprint::new();
+        };
+        let key = format!("{v}/riders");
+        Footprint::new().reads([key.clone()]).writes([key])
+    })
+}
+
 /// Registers the car-pool type and operations.
 pub fn register(registry: &mut OpRegistry) {
     registry.register_type::<CarPool>();
-    registry.register_method::<CarPool>("add_vehicle", apply_add);
-    registry.register_method::<CarPool>("board", apply_board);
-    registry.register_method::<CarPool>("disembark", apply_disembark);
+    registry.register_with_effects::<CarPool>("add_vehicle", add_vehicle_effect(), apply_add);
+    registry.register_with_effects::<CarPool>("board", board_effect(), apply_board);
+    registry.register_with_effects::<CarPool>("disembark", disembark_effect(), apply_disembark);
 }
 
 fn invariant(v: &Value) -> bool {

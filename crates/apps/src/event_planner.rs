@@ -14,7 +14,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use guesstimate_core::{args, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value};
+use guesstimate_core::{
+    args, EffectSpec, Footprint, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value,
+};
 use guesstimate_spec::{ConformanceLog, MethodContract, MethodSpec, SpecSuite};
 
 /// A registered user.
@@ -331,23 +333,82 @@ macro_rules! apply2 {
     };
 }
 
+/// Effect of a method whose footprint is one user record.
+fn user_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let Some(n) = a.str(0) else {
+            return Footprint::new();
+        };
+        if n.is_empty() {
+            return Footprint::new();
+        }
+        let key = format!("users/{n}");
+        Footprint::new().reads([key.clone()]).writes([key])
+    })
+}
+
+fn create_event_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(n), Some(c)) = (a.str(0), a.i64(1)) else {
+            return Footprint::new();
+        };
+        if n.is_empty() || c <= 0 {
+            return Footprint::new();
+        }
+        let key = format!("events/{n}");
+        Footprint::new().reads([key.clone()]).writes([key])
+    })
+}
+
+fn join_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(u), Some(e)) = (a.str(0), a.str(1)) else {
+            return Footprint::new();
+        };
+        // The quota check scans the attendee sets of *every* event, so the
+        // read set covers the whole `events` subtree.
+        Footprint::new()
+            .reads([format!("users/{u}"), "events".to_owned()])
+            .writes([format!("events/{e}/attendees")])
+    })
+}
+
+fn leave_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(_), Some(e)) = (a.str(0), a.str(1)) else {
+            return Footprint::new();
+        };
+        Footprint::new()
+            .reads([format!("events/{e}")])
+            .writes([format!("events/{e}/attendees")])
+    })
+}
+
 /// Registers the event-planner type and operations.
 pub fn register(registry: &mut OpRegistry) {
     registry.register_type::<EventPlanner>();
-    registry.register_method::<EventPlanner>("register_user", apply2!(register_user));
-    registry.register_method::<EventPlanner>("sign_in", apply2!(sign_in));
-    registry.register_method::<EventPlanner>("sign_out", |s, a| {
+    registry.register_with_effects::<EventPlanner>(
+        "register_user",
+        user_effect(),
+        apply2!(register_user),
+    );
+    registry.register_with_effects::<EventPlanner>("sign_in", user_effect(), apply2!(sign_in));
+    registry.register_with_effects::<EventPlanner>("sign_out", user_effect(), |s, a| {
         let Some(n) = a.str(0) else { return false };
         s.sign_out(n)
     });
-    registry.register_method::<EventPlanner>("create_event", |s, a| {
-        let (Some(n), Some(c)) = (a.str(0), a.i64(1)) else {
-            return false;
-        };
-        s.create_event(n, c)
-    });
-    registry.register_method::<EventPlanner>("join", apply2!(join));
-    registry.register_method::<EventPlanner>("leave", apply2!(leave));
+    registry.register_with_effects::<EventPlanner>(
+        "create_event",
+        create_event_effect(),
+        |s, a| {
+            let (Some(n), Some(c)) = (a.str(0), a.i64(1)) else {
+                return false;
+            };
+            s.create_event(n, c)
+        },
+    );
+    registry.register_with_effects::<EventPlanner>("join", join_effect(), apply2!(join));
+    registry.register_with_effects::<EventPlanner>("leave", leave_effect(), apply2!(leave));
 }
 
 fn invariant(v: &Value) -> bool {

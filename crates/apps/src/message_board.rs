@@ -8,7 +8,9 @@
 
 use std::collections::BTreeMap;
 
-use guesstimate_core::{args, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value};
+use guesstimate_core::{
+    args, EffectSpec, Footprint, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value,
+};
 use guesstimate_spec::{ConformanceLog, MethodContract, MethodSpec, SpecSuite};
 
 /// One post.
@@ -148,11 +150,43 @@ fn apply_post(s: &mut MessageBoard, a: guesstimate_core::ArgView<'_>) -> bool {
     s.post(t, au, x)
 }
 
+fn create_topic_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let Some(n) = a.str(0) else {
+            return Footprint::new();
+        };
+        if n.is_empty() {
+            return Footprint::new();
+        }
+        // The snapshot is a map keyed directly by topic name.
+        Footprint::new().reads([n]).writes([n])
+    })
+}
+
+fn post_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(t), Some(au)) = (a.str(0), a.str(1)) else {
+            return Footprint::new();
+        };
+        if au.is_empty() {
+            return Footprint::new();
+        }
+        // Appends to the topic's post list: the list content depends on the
+        // existing posts, so the whole topic key is both read and written —
+        // two posts to the *same* topic deliberately conflict (order-visible).
+        Footprint::new().reads([t]).writes([t])
+    })
+}
+
 /// Registers the message-board type and operations.
 pub fn register(registry: &mut OpRegistry) {
     registry.register_type::<MessageBoard>();
-    registry.register_method::<MessageBoard>("create_topic", apply_create);
-    registry.register_method::<MessageBoard>("post", apply_post);
+    registry.register_with_effects::<MessageBoard>(
+        "create_topic",
+        create_topic_effect(),
+        apply_create,
+    );
+    registry.register_with_effects::<MessageBoard>("post", post_effect(), apply_post);
 }
 
 fn post_contract() -> MethodContract {

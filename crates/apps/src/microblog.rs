@@ -8,7 +8,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use guesstimate_core::{args, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value};
+use guesstimate_core::{
+    args, EffectSpec, Footprint, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value,
+};
 use guesstimate_spec::{ConformanceLog, MethodContract, MethodSpec, SpecSuite};
 
 /// One post, tagged with its global commit sequence number.
@@ -234,13 +236,59 @@ fn apply_unfollow(s: &mut MicroBlog, a: guesstimate_core::ArgView<'_>) -> bool {
     s.unfollow(f, g)
 }
 
+fn register_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let Some(u) = a.str(0) else {
+            return Footprint::new();
+        };
+        if u.is_empty() {
+            return Footprint::new();
+        }
+        // `users` is one sorted list in the snapshot; inserting shifts it.
+        Footprint::new().reads(["users"]).writes(["users"])
+    })
+}
+
+fn post_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(_), Some(_)) = (a.str(0), a.str(1)) else {
+            return Footprint::new();
+        };
+        // Reads the registration set and the current post count (seq);
+        // appends to the global post list, so posts self-conflict.
+        Footprint::new().reads(["users", "posts"]).writes(["posts"])
+    })
+}
+
+fn follow_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(f), Some(_)) = (a.str(0), a.str(1)) else {
+            return Footprint::new();
+        };
+        let key = format!("follows/{f}");
+        Footprint::new()
+            .reads(["users".to_owned(), key.clone()])
+            .writes([key])
+    })
+}
+
+fn unfollow_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(f), Some(_)) = (a.str(0), a.str(1)) else {
+            return Footprint::new();
+        };
+        let key = format!("follows/{f}");
+        Footprint::new().reads([key.clone()]).writes([key])
+    })
+}
+
 /// Registers the microblog type and operations.
 pub fn register(registry: &mut OpRegistry) {
     registry.register_type::<MicroBlog>();
-    registry.register_method::<MicroBlog>("register", apply_register);
-    registry.register_method::<MicroBlog>("post", apply_post);
-    registry.register_method::<MicroBlog>("follow", apply_follow);
-    registry.register_method::<MicroBlog>("unfollow", apply_unfollow);
+    registry.register_with_effects::<MicroBlog>("register", register_effect(), apply_register);
+    registry.register_with_effects::<MicroBlog>("post", post_effect(), apply_post);
+    registry.register_with_effects::<MicroBlog>("follow", follow_effect(), apply_follow);
+    registry.register_with_effects::<MicroBlog>("unfollow", unfollow_effect(), apply_unfollow);
 }
 
 fn invariant(v: &Value) -> bool {

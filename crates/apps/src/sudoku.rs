@@ -12,7 +12,9 @@
 //! success, RED on a conflict. `examples/sudoku.rs` reproduces exactly that
 //! flow.
 
-use guesstimate_core::{args, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value};
+use guesstimate_core::{
+    args, EffectSpec, Footprint, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value,
+};
 use guesstimate_spec::{
     Assertion, CaseSpace, ConformanceLog, MethodContract, MethodSpec, SpecSuite,
 };
@@ -302,11 +304,58 @@ fn apply_clear(s: &mut Sudoku, a: guesstimate_core::ArgView<'_>) -> bool {
     s.clear(r, c)
 }
 
-/// Registers the Sudoku type and operations.
+/// Effect of `update(r, c, v)`: writes the target cell; reads the target's
+/// `fixed` flag and every cell of the target's row, column and 3×3 box (the
+/// constraint check). Out-of-range arguments touch no state at all.
+fn update_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(r), Some(c), Some(v)) = (a.i64(0), a.i64(1), a.i64(2)) else {
+            return Footprint::new();
+        };
+        if !(1..=9).contains(&r) || !(1..=9).contains(&c) || !(1..=9).contains(&v) {
+            return Footprint::new();
+        }
+        let (ri, ci) = (r as usize - 1, c as usize - 1);
+        let idx = ri * 9 + ci;
+        let mut reads = vec![format!("fixed/{idx}")];
+        for i in 0..9 {
+            reads.push(format!("grid/{}", ri * 9 + i));
+            reads.push(format!("grid/{}", i * 9 + ci));
+        }
+        let (br, bc) = (ri / 3 * 3, ci / 3 * 3);
+        for i in br..br + 3 {
+            for j in bc..bc + 3 {
+                reads.push(format!("grid/{}", i * 9 + j));
+            }
+        }
+        Footprint::new()
+            .reads(reads)
+            .writes([format!("grid/{idx}")])
+    })
+}
+
+/// Effect of `clear(r, c)`: reads and writes only the target cell (plus its
+/// `fixed` flag).
+fn clear_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let (Some(r), Some(c)) = (a.i64(0), a.i64(1)) else {
+            return Footprint::new();
+        };
+        if !(1..=9).contains(&r) || !(1..=9).contains(&c) {
+            return Footprint::new();
+        }
+        let idx = (r as usize - 1) * 9 + (c as usize - 1);
+        Footprint::new()
+            .reads([format!("grid/{idx}"), format!("fixed/{idx}")])
+            .writes([format!("grid/{idx}")])
+    })
+}
+
+/// Registers the Sudoku type and operations (with declared effects).
 pub fn register(registry: &mut OpRegistry) {
     registry.register_type::<Sudoku>();
-    registry.register_method::<Sudoku>("update", apply_update);
-    registry.register_method::<Sudoku>("clear", apply_clear);
+    registry.register_with_effects::<Sudoku>("update", update_effect(), apply_update);
+    registry.register_with_effects::<Sudoku>("clear", clear_effect(), apply_clear);
 }
 
 /// Registers with runtime conformance checking (§5 "Specifications").

@@ -109,6 +109,10 @@ fn main() {
         "# ops issued/committed   : {}/{}",
         result.issued, result.committed
     );
+    println!(
+        "# replays run/skipped    : {}/{}  [commute-aware skipping, docs/ANALYSIS.md]",
+        result.replays, result.replays_skipped
+    );
     println!("# converged              : {}", result.converged);
 
     // Per-stage breakdown of the slowest rounds: the >12 s outliers should

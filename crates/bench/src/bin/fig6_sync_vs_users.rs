@@ -48,16 +48,18 @@ fn main() {
     println!("# Figure 6: average time to synchronize vs number of users");
     println!("# (outliers > 12s excluded, as in the paper)");
     println!(
-        "{:>5} {:>14} {:>14} {:>8}",
-        "users", "active_ms", "idle_ms", "rounds"
+        "{:>5} {:>14} {:>14} {:>8} {:>12} {:>14}",
+        "users", "active_ms", "idle_ms", "rounds", "replays", "replays_skip"
     );
     for r in &rows {
         println!(
-            "{:>5} {:>14.1} {:>14.1} {:>8}",
+            "{:>5} {:>14.1} {:>14.1} {:>8} {:>12} {:>14}",
             r.users,
             r.active.as_millis_f64(),
             r.idle.as_millis_f64(),
-            r.rounds
+            r.rounds,
+            r.replays,
+            r.replays_skipped
         );
     }
 

@@ -55,6 +55,10 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Ablation A1: parallel first stage.
     pub parallel_flush: bool,
+    /// Commute-aware replay skipping (`docs/ANALYSIS.md`): elide the
+    /// `sg = [P](sc)` rebuild when a round's foreign commits provably
+    /// commute with every pending local operation.
+    pub commute_skip: bool,
 }
 
 impl SessionConfig {
@@ -74,6 +78,7 @@ impl SessionConfig {
             },
             seed,
             parallel_flush: false,
+            commute_skip: false,
         }
     }
 }
@@ -97,6 +102,11 @@ pub struct SessionResult {
     pub converged: bool,
     /// The per-user event counts scheduled.
     pub events_scheduled: usize,
+    /// Total pending replays executed while rebuilding `sg = [P](sc)`.
+    pub replays: u64,
+    /// Total replays elided by commute-aware skipping (zero unless
+    /// [`SessionConfig::commute_skip`] is set).
+    pub replays_skipped: u64,
 }
 
 impl SessionResult {
@@ -141,7 +151,8 @@ pub fn run_session_traced(cfg: &SessionConfig, tracer: Option<Arc<dyn Tracer>>) 
         .with_sync_period(cfg.sync_period)
         .with_stall_timeout(cfg.stall_timeout)
         .with_join_retry(SimTime::from_millis(700))
-        .with_parallel_flush(cfg.parallel_flush);
+        .with_parallel_flush(cfg.parallel_flush)
+        .with_commute_skip(cfg.commute_skip);
 
     // Session-long fault plan: shift stall windows into absolute time after
     // the warm-up (measured window starts around t=32 s below).
@@ -238,6 +249,8 @@ fn collect_result(
         issued: per_machine.iter().map(|s| s.issued).sum(),
         committed: per_machine.iter().map(|s| s.committed_own).sum(),
         machines_restarted: per_machine.iter().filter(|s| s.restarts > 0).count(),
+        replays: per_machine.iter().map(|s| s.replays).sum(),
+        replays_skipped: per_machine.iter().map(|s| s.replays_skipped).sum(),
         per_machine,
         sync_samples,
         converged,
@@ -305,6 +318,10 @@ pub fn run_fig5_traced(
 ) -> SessionResult {
     let mut cfg = SessionConfig::paper_default(8, seed);
     cfg.duration = duration;
+    // Commute-aware replay skipping stays observationally identical (the
+    // refinement suite proves it) while exercising the optimization: most
+    // Sudoku moves land on distinct cells and so commute.
+    cfg.commute_skip = true;
     // Long stalls on two different machines, far apart; each blocks a round
     // until the master's two-step recovery (resend, then remove + restart)
     // clears it, producing the outlier and the removal.
@@ -339,6 +356,10 @@ pub struct Fig6Row {
     pub idle: SimTime,
     /// Rounds measured (active run).
     pub rounds: usize,
+    /// Pending replays executed in the active run.
+    pub replays: u64,
+    /// Replays elided by commute-aware skipping in the active run.
+    pub replays_skipped: u64,
 }
 
 /// Figure 6: average synchronization time vs number of users (2–8), with
@@ -361,6 +382,7 @@ pub fn run_fig6_traced(
         .map(|users| {
             let mut active_cfg = SessionConfig::paper_default(users, seed + u64::from(users));
             active_cfg.duration = duration;
+            active_cfg.commute_skip = true;
             let session_tracer = if users == 8 { tracer.clone() } else { None };
             let active = run_session_traced(&active_cfg, session_tracer);
             let mut idle_cfg = active_cfg.clone();
@@ -375,6 +397,8 @@ pub fn run_fig6_traced(
                     .mean_sync_excluding(cutoff)
                     .expect("idle rounds measured"),
                 rounds: active.sync_samples.len(),
+                replays: active.replays,
+                replays_skipped: active.replays_skipped,
             }
         })
         .collect()
@@ -1100,6 +1124,8 @@ mod tests {
             machines_restarted: 0,
             converged: true,
             events_scheduled: 0,
+            replays: 0,
+            replays_skipped: 0,
         };
         assert_eq!(
             r.mean_sync_excluding(SimTime::from_secs(12)),

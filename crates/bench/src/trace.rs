@@ -83,6 +83,9 @@ pub fn record_to_json(r: &TraceRecord) -> String {
         TraceEvent::SyncCompleteReceived { round } => {
             let _ = write!(s, ",\"round\":{round}");
         }
+        TraceEvent::ReplaySkipped { round, pending } => {
+            let _ = write!(s, ",\"round\":{round},\"pending\":{pending}");
+        }
         TraceEvent::Resend {
             round,
             machine,

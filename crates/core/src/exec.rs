@@ -525,6 +525,51 @@ mod tests {
         assert_eq!(balance(&s, 1), 1, "only the fallback deposit is visible");
     }
 
+    #[test]
+    fn or_else_inside_atomic_hides_failed_arm_from_the_fallback() {
+        // Inside an `Atomic`, an `OrElse` whose first arm mutates two
+        // objects under its CoW overlay before failing. The fallback arm
+        // must observe pristine state: its withdraw can only succeed if the
+        // discarded tentative deposit leaked, so a `Failure` outcome (and
+        // rollback of the outer atomic's own tentative write) proves the
+        // overlay hid it.
+        let r = registry();
+        let mut s = store_with(&[10, 0]);
+        let first_arm = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(1), "deposit", args![100]),
+            SharedOp::primitive(oid(0), "withdraw", args![999]),
+        ]);
+        let op = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(0), "deposit", args![1]),
+            first_arm.or_else(SharedOp::primitive(oid(1), "withdraw", args![50])),
+        ]);
+        assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Failure);
+        assert_eq!(balance(&s, 0), 10, "outer tentative deposit rolled back");
+        assert_eq!(balance(&s, 1), 0, "inner tentative deposit never visible");
+    }
+
+    #[test]
+    fn atomic_inside_or_else_falls_through_without_visible_state_change() {
+        // The failing first arm deposits into both accounts under its
+        // overlay before failing; the fallback transfer must run from the
+        // pristine balances. The final [0, 10] split is unreachable if any
+        // tentative deposit stayed visible ([3, 14] would result instead).
+        let r = registry();
+        let mut s = store_with(&[10, 0]);
+        let op = SharedOp::atomic(vec![
+            SharedOp::primitive(oid(0), "deposit", args![3]),
+            SharedOp::primitive(oid(1), "deposit", args![4]),
+            SharedOp::primitive(oid(0), "withdraw", args![999]),
+        ])
+        .or_else(SharedOp::atomic(vec![
+            SharedOp::primitive(oid(0), "withdraw", args![10]),
+            SharedOp::primitive(oid(1), "deposit", args![10]),
+        ]));
+        assert_eq!(execute(&op, &mut s, &r).unwrap(), ExecOutcome::Success);
+        assert_eq!(balance(&s, 0), 0, "fallback withdrew from the pristine 10");
+        assert_eq!(balance(&s, 1), 10, "only the fallback deposit is visible");
+    }
+
     /// An [`ObjectAccess`] in which one object can be cloned (so overlays
     /// can copy it) but never applied against — simulating an object removed
     /// from the store between an atomic's execution and its commit.

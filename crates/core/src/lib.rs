@@ -77,6 +77,7 @@
 #![warn(missing_debug_implementations)]
 
 mod completion;
+mod effect;
 mod error;
 mod exec;
 mod ids;
@@ -87,6 +88,7 @@ mod store;
 mod value;
 
 pub use completion::{CompletionFn, CompletionQueue, PendingCompletion};
+pub use effect::{path_covers, paths_overlap, CommuteMatrix, EffectSpec, Footprint, ROOT};
 pub use error::{ExecError, RestoreError};
 pub use exec::{execute, execute_against, CowOverlay, ExecOutcome, ObjectAccess};
 pub use ids::{MachineId, ObjectId, OpId};

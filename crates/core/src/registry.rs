@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::effect::EffectSpec;
 use crate::error::ExecError;
 use crate::object::{GState, SharedObject};
 use crate::value::Value;
@@ -117,6 +118,7 @@ impl<'a> ArgView<'a> {
 pub struct OpRegistry {
     ctors: HashMap<&'static str, CtorFn>,
     methods: HashMap<&'static str, HashMap<&'static str, ApplyFn>>,
+    effects: HashMap<&'static str, HashMap<&'static str, EffectSpec>>,
 }
 
 impl OpRegistry {
@@ -178,6 +180,51 @@ impl OpRegistry {
             .entry(T::TYPE_NAME)
             .or_default()
             .insert(method, apply);
+    }
+
+    /// Registers a shared-operation method for `T` together with its
+    /// declared [`EffectSpec`] (read/write footprint, parameterized on the
+    /// argument vector).
+    ///
+    /// Semantics of the apply function are exactly those of
+    /// [`OpRegistry::register_method`]. The effect declaration is optional
+    /// metadata from the runtime's point of view, but the
+    /// `guesstimate-analysis` lint treats a method without one as a
+    /// violation, and only declared (and sanitizer-validated) footprints let
+    /// the runtime skip guesstimate rebuilds for commuting operations.
+    pub fn register_with_effects<T: GState>(
+        &mut self,
+        method: &'static str,
+        effect: EffectSpec,
+        f: impl Fn(&mut T, ArgView<'_>) -> bool + Send + Sync + 'static,
+    ) {
+        self.register_method::<T>(method, f);
+        self.effects
+            .entry(T::TYPE_NAME)
+            .or_default()
+            .insert(method, effect);
+    }
+
+    /// The declared effect of `(type_name, method)`, if any.
+    pub fn effect_of(&self, type_name: &str, method: &str) -> Option<&EffectSpec> {
+        self.effects.get(type_name)?.get(method)
+    }
+
+    /// Names of the registered methods of a type that have **no** declared
+    /// effect, sorted — the analysis crate's "undeclared effect" lint.
+    pub fn methods_without_effects(&self, type_name: &str) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self
+            .methods
+            .get(type_name)
+            .map(|m| {
+                m.keys()
+                    .filter(|k| self.effect_of(type_name, k).is_none())
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 
     /// True if `(type_name, method)` has a registered apply function.
@@ -371,5 +418,52 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert!(format!("{:?}", registry()).contains("OpRegistry"));
+    }
+
+    #[test]
+    fn register_with_effects_registers_method_and_effect() {
+        use crate::effect::{EffectSpec, Footprint};
+        let mut r = OpRegistry::new();
+        r.register_type::<Cell>();
+        r.register_with_effects::<Cell>(
+            "set",
+            EffectSpec::new(|_| Footprint::new().writes(["value"])),
+            |c, a| {
+                let Some(v) = a.i64(0) else { return false };
+                c.0 = v;
+                true
+            },
+        );
+        assert!(r.has_method("Cell", "set"));
+        let a = args![3];
+        let fp = r
+            .effect_of("Cell", "set")
+            .expect("effect declared")
+            .footprint(ArgView::new(&a));
+        assert!(fp.writes.contains("value"));
+        assert!(r.effect_of("Cell", "bogus").is_none());
+        assert!(r.effect_of("Nope", "set").is_none());
+    }
+
+    #[test]
+    fn methods_without_effects_lists_only_undeclared() {
+        use crate::effect::{EffectSpec, Footprint};
+        let mut r = registry(); // "set" registered without an effect
+        r.register_method::<Cell>("clear", |c, _| {
+            c.0 = 0;
+            true
+        });
+        assert_eq!(r.methods_without_effects("Cell"), vec!["clear", "set"]);
+        r.register_with_effects::<Cell>(
+            "set",
+            EffectSpec::new(|_| Footprint::new().writes(["value"])),
+            |c, a| {
+                let Some(v) = a.i64(0) else { return false };
+                c.0 = v;
+                true
+            },
+        );
+        assert_eq!(r.methods_without_effects("Cell"), vec!["clear"]);
+        assert!(r.methods_without_effects("Nope").is_empty());
     }
 }

@@ -113,6 +113,15 @@ pub enum TraceEvent {
         /// Round number.
         round: u64,
     },
+    /// The emitting machine proved the round's foreign commits commute with
+    /// every still-pending local operation and skipped the `sg` rebuild
+    /// (copy + replay), patching the guesstimated store in place instead.
+    ReplaySkipped {
+        /// Round number.
+        round: u64,
+        /// Pending operations whose re-execution was skipped.
+        pending: u64,
+    },
     /// The master re-sent a stage's kickoff to a straggler.
     ///
     /// `stage` is `1` for a `BeginSync` re-send (flush never observed) or
@@ -166,6 +175,7 @@ impl TraceEvent {
             TraceEvent::AckReceived { .. } => "ack_received",
             TraceEvent::SyncComplete { .. } => "sync_complete",
             TraceEvent::SyncCompleteReceived { .. } => "sync_complete_received",
+            TraceEvent::ReplaySkipped { .. } => "replay_skipped",
             TraceEvent::Resend { .. } => "resend",
             TraceEvent::OpsResendRequested { .. } => "ops_resend_requested",
             TraceEvent::Removed { .. } => "removed",
@@ -190,6 +200,7 @@ impl TraceEvent {
             | TraceEvent::AckReceived { round, .. }
             | TraceEvent::SyncComplete { round, .. }
             | TraceEvent::SyncCompleteReceived { round }
+            | TraceEvent::ReplaySkipped { round, .. }
             | TraceEvent::Resend { round, .. }
             | TraceEvent::OpsResendRequested { round, .. }
             | TraceEvent::Removed { round, .. } => Some(round),
@@ -352,6 +363,10 @@ mod tests {
                 ops_committed: 0,
             },
             TraceEvent::SyncCompleteReceived { round: 0 },
+            TraceEvent::ReplaySkipped {
+                round: 0,
+                pending: 0,
+            },
             TraceEvent::Resend {
                 round: 0,
                 machine: m,

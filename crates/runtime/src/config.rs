@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use guesstimate_core::CommuteMatrix;
 use guesstimate_net::SimTime;
 
 /// Tunables of a GUESSTIMATE machine.
@@ -40,6 +41,16 @@ pub struct MachineConfig {
     /// id). `None` (the default, and the paper's behavior) means master
     /// failure is not tolerated.
     pub master_failover: Option<SimTime>,
+    /// Commute-aware replay skipping (see `docs/ANALYSIS.md`): when every
+    /// foreign operation committed by a round provably commutes with every
+    /// still-pending local operation, patch the guesstimated store in place
+    /// instead of rebuilding `sg = [P](sc)` from scratch. Off by default —
+    /// the paper always rebuilds.
+    pub commute_skip: bool,
+    /// Method pairs validated as always-commuting by the offline analysis
+    /// (`guesstimate-analysis`). Used as a fast path by the replay-skip
+    /// check before falling back to per-argument footprint comparison.
+    pub commute_matrix: CommuteMatrix,
 }
 
 impl Default for MachineConfig {
@@ -51,6 +62,8 @@ impl Default for MachineConfig {
             parallel_flush: false,
             record_history: false,
             master_failover: None,
+            commute_skip: false,
+            commute_matrix: CommuteMatrix::new(),
         }
     }
 }
@@ -91,6 +104,20 @@ impl MachineConfig {
     /// spurious elections).
     pub fn with_master_failover(mut self, timeout: SimTime) -> Self {
         self.master_failover = Some(timeout);
+        self
+    }
+
+    /// Enables commute-aware replay skipping (see
+    /// [`MachineConfig::commute_skip`]).
+    pub fn with_commute_skip(mut self, on: bool) -> Self {
+        self.commute_skip = on;
+        self
+    }
+
+    /// Installs an analysis-validated commute matrix (see
+    /// [`MachineConfig::commute_matrix`]).
+    pub fn with_commute_matrix(mut self, m: CommuteMatrix) -> Self {
+        self.commute_matrix = m;
         self
     }
 }

@@ -12,8 +12,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use guesstimate_core::{
-    execute, CompletionFn, CompletionQueue, ExecError, GState, MachineId, ObjectId, ObjectStore,
-    OpId, OpRegistry, SharedOp,
+    execute, ArgView, CompletionFn, CompletionQueue, ExecError, Footprint, GState, MachineId,
+    ObjectId, ObjectStore, OpId, OpRegistry, SharedOp, ROOT,
 };
 use guesstimate_net::{NoopTracer, SimTime, TraceEvent, TraceRecord, Tracer};
 
@@ -465,16 +465,25 @@ impl Machine {
     /// committed state, then re-establishes `sg = [P](sc)`: copy `sc → sg`,
     /// run queued completion routines, replay remaining pending operations.
     ///
+    /// With [`MachineConfig::commute_skip`] enabled, the rebuild is elided
+    /// whenever every foreign commit provably commutes with the whole
+    /// pending list (see [`Machine::can_skip_replay`]); the guesstimated
+    /// store is then patched in place instead.
+    ///
     /// Returns the number of operations committed.
     pub(crate) fn apply_committed_round(
         &mut self,
         ordered: Vec<WireEnvelope>,
+        round: u64,
         now: SimTime,
     ) -> u64 {
+        // The commutation judgment must see the pending list *before* the
+        // commit loop below pops own operations off its front.
+        let skip = self.cfg.commute_skip && self.can_skip_replay(&ordered);
         let mut queue = CompletionQueue::new();
         let mut remote_touched: BTreeSet<ObjectId> = BTreeSet::new();
         let n = ordered.len() as u64;
-        for env in ordered {
+        for env in &ordered {
             if env.id.machine() != self.id && !self.remote_hooks.is_empty() {
                 match &env.op {
                     WireOp::Create { object, .. } => {
@@ -522,15 +531,39 @@ impl Machine {
                 self.stats.committed_foreign += 1;
             }
         }
-        // §4 steps (i)-(iii): copy committed onto guesstimated, run the
-        // pending completion routines, replay the still-pending operations.
-        self.guess.copy_from(&self.committed);
-        self.stats.completions_run += queue.run_all() as u64;
-        let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
-        for env in &still_pending {
-            let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
-            self.stats.replays += 1;
-            *self.exec_counts.entry(env.id).or_insert(0) += 1;
+        if skip {
+            // Every foreign commit commutes past the whole pending list, so
+            // `sg = [P](sc)` survives the round up to appending the foreign
+            // ops: own committed ops already acted first in `sg` (they sat
+            // at the front of `P`), and the still-pending tail need not
+            // re-execute. Skipped replays do not count as executions, so
+            // `exec_counts` is deliberately left alone.
+            for env in &ordered {
+                if env.id.machine() != self.id {
+                    let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
+                }
+            }
+            let skipped = self.pending.len() as u64;
+            self.stats.replays_skipped += skipped;
+            self.stats.completions_run += queue.run_all() as u64;
+            self.trace(
+                now,
+                TraceEvent::ReplaySkipped {
+                    round,
+                    pending: skipped,
+                },
+            );
+        } else {
+            // §4 steps (i)-(iii): copy committed onto guesstimated, run the
+            // pending completion routines, replay the still-pending operations.
+            self.guess.copy_from(&self.committed);
+            self.stats.completions_run += queue.run_all() as u64;
+            let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
+            for env in &still_pending {
+                let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
+                self.stats.replays += 1;
+                *self.exec_counts.entry(env.id).or_insert(0) += 1;
+            }
         }
         self.stats.rounds_applied += 1;
         for object in remote_touched {
@@ -539,6 +572,183 @@ impl Machine {
             }
         }
         n
+    }
+
+    /// Decides whether this round's rebuild of `sg = [P](sc)` may be
+    /// skipped: every foreign committed operation must provably commute
+    /// with every operation in the pending list `P` — own ops about to
+    /// commit included, since skipping implicitly reorders each foreign op
+    /// past all of them. A round that commits no foreign operation always
+    /// qualifies (own commits act first in both stores, so `sg` is already
+    /// `[P'](sc')`).
+    ///
+    /// Proofs, strongest-first per pair: disjoint touched-object sets;
+    /// the analysis-validated [`MachineConfig::commute_matrix`]; and
+    /// argument-precise footprint disjointness from the methods' declared
+    /// [`guesstimate_core::EffectSpec`]s. Any pair left unproven — including
+    /// any operation whose method lacks a declared effect — forces the
+    /// full rebuild.
+    fn can_skip_replay(&self, ordered: &[WireEnvelope]) -> bool {
+        if self.pending.is_empty() {
+            return false; // nothing to skip; the rebuild is a plain copy
+        }
+        // Objects created this round are not in the catalog yet.
+        let mut created: BTreeMap<ObjectId, &str> = BTreeMap::new();
+        for env in ordered {
+            if let WireOp::Create {
+                object, type_name, ..
+            } = &env.op
+            {
+                created.insert(*object, type_name.as_str());
+            }
+        }
+        let pending_objs: Vec<(&WireEnvelope, BTreeSet<ObjectId>)> = self
+            .pending
+            .iter()
+            .map(|env| (env, wire_objects(&env.op)))
+            .collect();
+        for f in ordered.iter().filter(|e| e.id.machine() != self.id) {
+            let f_objs = wire_objects(&f.op);
+            let mut f_fps: Option<BTreeMap<ObjectId, Footprint>> = None;
+            for (p, p_objs) in &pending_objs {
+                if f_objs.is_disjoint(p_objs) {
+                    continue; // per-object state: disjoint objects commute
+                }
+                if self.matrix_commutes(&f.op, &p.op, &created) {
+                    continue;
+                }
+                if f_fps.is_none() {
+                    match self.wire_footprints(&f.op, &created) {
+                        Some(fp) => f_fps = Some(fp),
+                        None => return false,
+                    }
+                }
+                let ffp = f_fps.as_ref().expect("computed above");
+                let Some(pfp) = self.wire_footprints(&p.op, &created) else {
+                    return false;
+                };
+                let all_disjoint =
+                    f_objs
+                        .intersection(p_objs)
+                        .all(|id| match (ffp.get(id), pfp.get(id)) {
+                            (Some(a), Some(b)) => a.disjoint(b),
+                            _ => false,
+                        });
+                if !all_disjoint {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Matrix fast path: both operations are single primitives on the same
+    /// object whose method pair the offline analysis validated as
+    /// always-commuting (any argument, any state).
+    fn matrix_commutes(&self, a: &WireOp, b: &WireOp, created: &BTreeMap<ObjectId, &str>) -> bool {
+        let (
+            WireOp::Shared(SharedOp::Primitive {
+                object: oa,
+                method: ma,
+                ..
+            }),
+            WireOp::Shared(SharedOp::Primitive {
+                object: ob,
+                method: mb,
+                ..
+            }),
+        ) = (a, b)
+        else {
+            return false;
+        };
+        if oa != ob {
+            return false; // disjoint-object pairs are handled by the caller
+        }
+        let Some(ty) = self.type_of(oa, created) else {
+            return false;
+        };
+        self.cfg.commute_matrix.commutes(ty, ma, mb)
+    }
+
+    /// Resolves an object's type name through the catalog, falling back to
+    /// the round's fresh `Create`s.
+    fn type_of<'a>(
+        &'a self,
+        id: &ObjectId,
+        created: &BTreeMap<ObjectId, &'a str>,
+    ) -> Option<&'a str> {
+        created
+            .get(id)
+            .copied()
+            .or_else(|| self.catalog.get(id).map(String::as_str))
+    }
+
+    /// Per-object read/write footprints of one wire operation, or `None`
+    /// when any constituent method lacks a declared effect (the commutation
+    /// judgment is then impossible). `Create` writes its object's whole
+    /// snapshot, which the root footprint path expresses exactly.
+    fn wire_footprints(
+        &self,
+        op: &WireOp,
+        created: &BTreeMap<ObjectId, &str>,
+    ) -> Option<BTreeMap<ObjectId, Footprint>> {
+        match op {
+            WireOp::Create { object, .. } => {
+                let mut m = BTreeMap::new();
+                m.insert(*object, Footprint::new().writes([ROOT]));
+                Some(m)
+            }
+            WireOp::Shared(op) => self.shared_footprints(op, created),
+        }
+    }
+
+    /// Recursive footprint union over a [`SharedOp`] tree. `Atomic` unions
+    /// its components; `OrElse` unions both alternatives (either may run,
+    /// so the union over-approximates soundly).
+    fn shared_footprints(
+        &self,
+        op: &SharedOp,
+        created: &BTreeMap<ObjectId, &str>,
+    ) -> Option<BTreeMap<ObjectId, Footprint>> {
+        fn merge(acc: &mut BTreeMap<ObjectId, Footprint>, id: ObjectId, fp: Footprint) {
+            match acc.remove(&id) {
+                Some(prev) => {
+                    acc.insert(id, prev.union(&fp));
+                }
+                None => {
+                    acc.insert(id, fp);
+                }
+            }
+        }
+        match op {
+            SharedOp::Primitive {
+                object,
+                method,
+                args,
+            } => {
+                let ty = self.type_of(object, created)?;
+                let eff = self.registry.effect_of(ty, method)?;
+                let mut m = BTreeMap::new();
+                m.insert(*object, eff.footprint(ArgView::new(args)));
+                Some(m)
+            }
+            SharedOp::Atomic(ops) => {
+                let mut acc = BTreeMap::new();
+                for op in ops {
+                    for (id, fp) in self.shared_footprints(op, created)? {
+                        merge(&mut acc, id, fp);
+                    }
+                }
+                Some(acc)
+            }
+            SharedOp::OrElse(a, b) => {
+                let mut acc = self.shared_footprints(a, created)?;
+                for (id, fp) in self.shared_footprints(b, created)? {
+                    merge(&mut acc, id, fp);
+                }
+                Some(acc)
+            }
+        }
     }
 
     /// Builds the catalog snapshot + completed history shipped to a joining
@@ -626,6 +836,14 @@ impl Machine {
 ///
 /// `Create` materializes the object (idempotently overwriting any stale
 /// instance) and always succeeds; `Shared` defers to the core engine.
+/// The set of objects a wire operation may touch.
+fn wire_objects(op: &WireOp) -> BTreeSet<ObjectId> {
+    match op {
+        WireOp::Create { object, .. } => BTreeSet::from([*object]),
+        WireOp::Shared(op) => op.objects_touched(),
+    }
+}
+
 pub(crate) fn execute_wire(
     op: &WireOp,
     store: &mut ObjectStore,
@@ -731,7 +949,7 @@ mod tests {
         let id = m.create_instance(Counter { n: 0 });
         m.issue(SharedOp::primitive(id, "add", args![3])).unwrap();
         let batch: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        let n = m.apply_committed_round(batch, guesstimate_net::SimTime::ZERO);
+        let n = m.apply_committed_round(batch, 0, guesstimate_net::SimTime::ZERO);
         assert_eq!(n, 2);
         assert_eq!(m.pending_len(), 0);
         assert_eq!(m.completed_len(), 2);
@@ -757,7 +975,7 @@ mod tests {
         )
         .unwrap();
         let batch: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        m.apply_committed_round(batch, guesstimate_net::SimTime::ZERO);
+        m.apply_committed_round(batch, 0, guesstimate_net::SimTime::ZERO);
         assert_eq!(seen.load(Ordering::SeqCst), 1);
         assert_eq!(m.stats().completions_run, 1);
     }
@@ -770,7 +988,7 @@ mod tests {
         let id = m.create_instance(Counter { n: 0 });
         // Commit creation first so the foreign op can execute.
         let create: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        m.apply_committed_round(create, guesstimate_net::SimTime::ZERO);
+        m.apply_committed_round(create, 0, guesstimate_net::SimTime::ZERO);
 
         m.issue(SharedOp::primitive(id, "add_capped", args![5, 10]))
             .unwrap();
@@ -787,7 +1005,7 @@ mod tests {
         // Apply in explicit order instead: the protocol sorts; here we hand
         // an already-ordered list with the foreign op first, modelling a
         // foreign machine with a smaller id.
-        let n = m.apply_committed_round(vec![foreign, own], guesstimate_net::SimTime::ZERO);
+        let n = m.apply_committed_round(vec![foreign, own], 0, guesstimate_net::SimTime::ZERO);
         assert_eq!(n, 2);
         assert_eq!(m.stats().conflicts, 1);
         // Committed state has only the foreign add.
@@ -803,7 +1021,7 @@ mod tests {
         // Simulate a round that commits only the creation (as if add was
         // issued after our flush): commit the first pending op only.
         let create = vec![m.pending.front().cloned().unwrap()];
-        m.apply_committed_round(create, guesstimate_net::SimTime::ZERO);
+        m.apply_committed_round(create, 0, guesstimate_net::SimTime::ZERO);
         // add(1) is still pending and was replayed onto the fresh guess.
         assert_eq!(m.pending_len(), 1);
         assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(1));
@@ -811,7 +1029,7 @@ mod tests {
         assert_eq!(m.stats().replays, 1);
         // Now commit it: 3 executions total (issue, replay, commit).
         let rest: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        m.apply_committed_round(rest, guesstimate_net::SimTime::ZERO);
+        m.apply_committed_round(rest, 0, guesstimate_net::SimTime::ZERO);
         assert_eq!(m.stats().exec_histogram[3], 1);
         assert!(m.stats().max_exec_count <= 3);
     }
@@ -821,7 +1039,7 @@ mod tests {
         let mut master = machine();
         let id = master.create_instance(Counter { n: 7 });
         let batch: Vec<WireEnvelope> = master.pending.iter().cloned().collect();
-        master.apply_committed_round(batch, guesstimate_net::SimTime::ZERO);
+        master.apply_committed_round(batch, 0, guesstimate_net::SimTime::ZERO);
 
         let (catalog, completed) = master.build_join_info();
         let mut member = Machine::new_member(
@@ -834,6 +1052,157 @@ mod tests {
         assert_eq!(member.committed_digest(), master.committed_digest());
         assert_eq!(member.read::<Counter, _>(id, |c| c.n), Some(7));
         assert_eq!(member.completed_len(), 1);
+    }
+
+    // --- Commute-aware replay skipping ---
+
+    use crate::testutil::{slots_registry, Slots};
+
+    /// A `Slots` machine with `commute_skip` on and its creation committed.
+    fn skip_machine(cfg: MachineConfig) -> (Machine, ObjectId) {
+        let mut m = Machine::new_master(
+            MachineId::new(0),
+            Arc::new(slots_registry()),
+            cfg.with_commute_skip(true),
+        );
+        let id = m.create_instance(Slots::default());
+        let create: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
+        m.apply_committed_round(create, 0, guesstimate_net::SimTime::ZERO);
+        (m, id)
+    }
+
+    fn foreign_put(id: ObjectId, seq: u64, key: &str, v: i64) -> WireEnvelope {
+        WireEnvelope {
+            id: OpId::new(MachineId::new(1), seq),
+            op: WireOp::Shared(SharedOp::primitive(id, "put", args![key, v])),
+        }
+    }
+
+    #[test]
+    fn foreign_free_round_skips_replay() {
+        let (mut m, id) = skip_machine(MachineConfig::default());
+        m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
+            .unwrap();
+        m.issue(SharedOp::primitive(id, "put", args!["b", 2]))
+            .unwrap();
+        // Commit only the first pending op: the round has no foreign ops, so
+        // the rebuild is always skippable.
+        let first = vec![m.pending.front().cloned().unwrap()];
+        m.apply_committed_round(first, 1, guesstimate_net::SimTime::ZERO);
+        assert_eq!(m.stats().replays, 0);
+        assert_eq!(m.stats().replays_skipped, 1);
+        assert_eq!(m.read::<Slots, _>(id, |s| s.m.len()), Some(2));
+        // The skipped replay is not an execution: when the op commits next
+        // round, its lifetime count is issue + commit = 2, not 3.
+        let rest: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
+        m.apply_committed_round(rest, 2, guesstimate_net::SimTime::ZERO);
+        assert_eq!(m.stats().exec_histogram[2], 3); // create + both puts
+        assert_eq!(m.guess_digest(), m.committed_digest());
+    }
+
+    #[test]
+    fn disjoint_foreign_op_skips_and_patches_guess() {
+        let (mut m, id) = skip_machine(MachineConfig::default());
+        m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
+            .unwrap();
+        let n = m.apply_committed_round(
+            vec![foreign_put(id, 0, "b", 2)],
+            1,
+            guesstimate_net::SimTime::ZERO,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(m.stats().replays, 0);
+        assert_eq!(m.stats().replays_skipped, 1);
+        // Guess = committed (b=2) + still-pending local put (a=1).
+        assert_eq!(
+            m.read::<Slots, _>(id, |s| s.m.get("a").copied()),
+            Some(Some(1))
+        );
+        assert_eq!(
+            m.read::<Slots, _>(id, |s| s.m.get("b").copied()),
+            Some(Some(2))
+        );
+        assert_eq!(
+            m.read_committed::<Slots, _>(id, |s| s.m.get("a").copied()),
+            Some(None)
+        );
+    }
+
+    #[test]
+    fn overlapping_foreign_op_forces_rebuild() {
+        let (mut m, id) = skip_machine(MachineConfig::default());
+        m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
+            .unwrap();
+        m.apply_committed_round(
+            vec![foreign_put(id, 0, "a", 9)],
+            1,
+            guesstimate_net::SimTime::ZERO,
+        );
+        assert_eq!(m.stats().replays_skipped, 0);
+        assert_eq!(m.stats().replays, 1);
+        // Local pending put replayed on top of the conflicting foreign one.
+        assert_eq!(
+            m.read::<Slots, _>(id, |s| s.m.get("a").copied()),
+            Some(Some(1))
+        );
+    }
+
+    #[test]
+    fn undeclared_effect_forces_rebuild_unless_matrix_proves_it() {
+        // raw_put has no declared effect: same-object pairs cannot be judged…
+        let (mut m, id) = skip_machine(MachineConfig::default());
+        m.issue(SharedOp::primitive(id, "raw_put", args!["a", 1]))
+            .unwrap();
+        let foreign = WireEnvelope {
+            id: OpId::new(MachineId::new(1), 0),
+            op: WireOp::Shared(SharedOp::primitive(id, "raw_put", args!["b", 2])),
+        };
+        m.apply_committed_round(vec![foreign.clone()], 1, guesstimate_net::SimTime::ZERO);
+        assert_eq!(m.stats().replays, 1);
+        assert_eq!(m.stats().replays_skipped, 0);
+
+        // …unless an analysis-validated matrix vouches for the method pair.
+        let mut matrix = guesstimate_core::CommuteMatrix::new();
+        matrix.insert("Slots", "raw_put", "raw_put");
+        let (mut m, id) = skip_machine(MachineConfig::default().with_commute_matrix(matrix));
+        m.issue(SharedOp::primitive(id, "raw_put", args!["a", 1]))
+            .unwrap();
+        let foreign = WireEnvelope {
+            id: OpId::new(MachineId::new(1), 0),
+            op: WireOp::Shared(SharedOp::primitive(id, "raw_put", args!["b", 2])),
+        };
+        m.apply_committed_round(vec![foreign], 1, guesstimate_net::SimTime::ZERO);
+        assert_eq!(m.stats().replays, 0);
+        assert_eq!(m.stats().replays_skipped, 1);
+        assert_eq!(m.read::<Slots, _>(id, |s| s.m.len()), Some(2));
+    }
+
+    #[test]
+    fn skip_emits_round_scoped_trace_event() {
+        let tracer = Arc::new(guesstimate_net::RecordingTracer::new());
+        let (mut m, id) = skip_machine(MachineConfig::default());
+        m.set_tracer(tracer.clone());
+        m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
+            .unwrap();
+        m.apply_committed_round(
+            vec![foreign_put(id, 0, "b", 2)],
+            7,
+            guesstimate_net::SimTime::ZERO,
+        );
+        let skips: Vec<_> = tracer
+            .snapshot()
+            .into_iter()
+            .filter(|r| matches!(r.event, TraceEvent::ReplaySkipped { .. }))
+            .collect();
+        assert_eq!(skips.len(), 1);
+        assert_eq!(skips[0].event.round(), Some(7));
+        assert_eq!(
+            skips[0].event,
+            TraceEvent::ReplaySkipped {
+                round: 7,
+                pending: 1
+            }
+        );
     }
 
     #[test]

@@ -595,7 +595,7 @@ impl Machine {
             rs.received.clear();
             ordered
         };
-        let n = self.apply_committed_round(ordered, ctx.now());
+        let n = self.apply_committed_round(ordered, round, ctx.now());
         let (round, master) = {
             let rs = self.round.as_mut().expect("round active");
             rs.applied = true;
@@ -1338,14 +1338,20 @@ mod tests {
     fn assert_converged(net: &SimNet<Machine>, ids: &[u32]) {
         let digests: Vec<u64> = ids
             .iter()
-            .map(|&i| net.actor(MachineId::new(i)).unwrap().committed_digest())
+            .map(|&i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine is registered on the mesh")
+                    .committed_digest()
+            })
             .collect();
         assert!(
             digests.windows(2).all(|w| w[0] == w[1]),
             "committed states diverged: {digests:?}"
         );
         for &i in ids {
-            let m = net.actor(MachineId::new(i)).unwrap();
+            let m = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh");
             assert_eq!(m.pending_len(), 0, "machine {i} still has pending ops");
             assert_eq!(
                 m.guess_digest(),
@@ -1362,19 +1368,25 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(2));
         // Both machines see the object now; both add.
         for i in 0..2 {
-            let m = net.actor_mut(MachineId::new(i)).unwrap();
+            let m = net
+                .actor_mut(MachineId::new(i))
+                .expect("machine is registered on the mesh");
             assert_eq!(m.object_type(obj), Some("Counter"));
-            assert!(m.issue(SharedOp::primitive(obj, "add", args![1])).unwrap());
+            assert!(m
+                .issue(SharedOp::primitive(obj, "add", args![1]))
+                .expect("issue: the target object is known to this machine"));
         }
         net.run_until(SimTime::from_secs(4));
         assert_converged(&net, &[0, 1]);
         for i in 0..2 {
-            let m = net.actor(MachineId::new(i)).unwrap();
+            let m = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh");
             assert_eq!(m.read::<Counter, _>(obj, |c| c.n), Some(2));
         }
     }
@@ -1385,7 +1397,7 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(2));
         // Every machine issues 5 increments at staggered times.
@@ -1404,7 +1416,7 @@ mod tests {
         assert_converged(&net, &[0, 1, 2, 3, 4, 5, 6, 7]);
         assert_eq!(
             net.actor(MachineId::new(3))
-                .unwrap()
+                .expect("machine is registered on the mesh")
                 .read::<Counter, _>(obj, |c| c.n),
             Some(40)
         );
@@ -1416,7 +1428,7 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(2));
         // All four try to claim the last 2 units of a capacity-3 resource
@@ -1428,7 +1440,7 @@ mod tests {
                 move |m: &mut Machine, _| {
                     let ok = m
                         .issue(SharedOp::primitive(obj, "add_capped", args![1, 3]))
-                        .unwrap();
+                        .expect("issue: the target object is known to this machine");
                     assert!(ok, "succeeds optimistically on the guesstimate");
                 },
             );
@@ -1437,12 +1449,17 @@ mod tests {
         assert_converged(&net, &[0, 1, 2, 3]);
         let n = net
             .actor(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .read::<Counter, _>(obj, |c| c.n)
-            .unwrap();
+            .expect("the object is replicated on this machine");
         assert_eq!(n, 3, "cap respected in committed state");
         let conflicts: u64 = (0..4)
-            .map(|i| net.actor(MachineId::new(i)).unwrap().stats().conflicts)
+            .map(|i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine is registered on the mesh")
+                    .stats()
+                    .conflicts
+            })
             .sum();
         assert_eq!(conflicts, 1, "exactly one issuer lost the race");
     }
@@ -1454,7 +1471,7 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(2));
         let seen = Arc::new(AtomicI32::new(-1));
@@ -1463,7 +1480,7 @@ mod tests {
         net.call(MachineId::new(0), |m, _| {
             assert!(m
                 .issue(SharedOp::primitive(obj, "add_capped", args![3, 3]))
-                .unwrap());
+                .expect("issue: the target object is known to this machine"));
         });
         net.call(MachineId::new(1), |m, _| {
             assert!(m
@@ -1471,11 +1488,17 @@ mod tests {
                     SharedOp::primitive(obj, "add_capped", args![3, 3]),
                     Box::new(move |b| s.store(b as i32, Ordering::SeqCst)),
                 )
-                .unwrap());
+                .expect("issue: the target object is known to this machine"));
         });
         net.run_until(SimTime::from_secs(4));
         assert_eq!(seen.load(Ordering::SeqCst), 0, "completion saw failure");
-        assert_eq!(net.actor(MachineId::new(1)).unwrap().stats().conflicts, 1);
+        assert_eq!(
+            net.actor(MachineId::new(1))
+                .expect("machine is registered on the mesh")
+                .stats()
+                .conflicts,
+            1
+        );
         assert_converged(&net, &[0, 1]);
     }
 
@@ -1485,7 +1508,7 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(2));
         // Dense issue schedule so some ops land inside sync rounds (and get
@@ -1504,7 +1527,10 @@ mod tests {
         net.run_until(SimTime::from_secs(10));
         assert_converged(&net, &[0, 1, 2, 3, 4]);
         for i in 0..5 {
-            let st = net.actor(MachineId::new(i)).unwrap().stats();
+            let st = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh")
+                .stats();
             assert!(
                 st.max_exec_count <= 3,
                 "machine {i}: op executed {} times",
@@ -1514,7 +1540,12 @@ mod tests {
         }
         // With a dense schedule, at least someone's op got the 3rd execution.
         let threes: u64 = (0..5)
-            .map(|i| net.actor(MachineId::new(i)).unwrap().stats().exec_histogram[3])
+            .map(|i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine is registered on the mesh")
+                    .stats()
+                    .exec_histogram[3]
+            })
             .sum();
         assert!(threes > 0, "expected some triple executions");
     }
@@ -1525,10 +1556,12 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.call(MachineId::new(0), |m, _| {
-            assert!(m.issue(SharedOp::primitive(obj, "add", args![5])).unwrap());
+            assert!(m
+                .issue(SharedOp::primitive(obj, "add", args![5]))
+                .expect("issue: the target object is known to this machine"));
         });
         net.run_until(SimTime::from_secs(3));
         // Machine 2 joins late.
@@ -1539,18 +1572,22 @@ mod tests {
             Machine::new_member(MachineId::new(2), registry, default_cfg()),
         );
         net.run_until(SimTime::from_secs(6));
-        let late = net.actor(MachineId::new(2)).unwrap();
+        let late = net
+            .actor(MachineId::new(2))
+            .expect("machine is registered on the mesh");
         assert!(late.in_cohort(), "late joiner participates in rounds");
         assert_eq!(late.read::<Counter, _>(obj, |c| c.n), Some(5));
         assert_converged(&net, &[0, 1, 2]);
         // And it can issue ops that commit everywhere.
         net.call(MachineId::new(2), |m, _| {
-            assert!(m.issue(SharedOp::primitive(obj, "add", args![2])).unwrap());
+            assert!(m
+                .issue(SharedOp::primitive(obj, "add", args![2]))
+                .expect("issue: the target object is known to this machine"));
         });
         net.run_until(SimTime::from_secs(8));
         assert_eq!(
             net.actor(MachineId::new(0))
-                .unwrap()
+                .expect("machine is registered on the mesh")
                 .read::<Counter, _>(obj, |c| c.n),
             Some(7)
         );
@@ -1570,7 +1607,7 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(2));
         // Continuous activity on machines 0 and 1 throughout.
@@ -1584,10 +1621,16 @@ mod tests {
             );
         }
         net.run_until(SimTime::from_secs(14));
-        let master_stats = net.actor(MachineId::new(0)).unwrap().stats().clone();
+        let master_stats = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .stats()
+            .clone();
         let removals: u32 = master_stats.sync_samples.iter().map(|s| s.removals).sum();
         assert!(removals >= 1, "master removed the stalled machine");
-        let m2 = net.actor(MachineId::new(2)).unwrap();
+        let m2 = net
+            .actor(MachineId::new(2))
+            .expect("machine is registered on the mesh");
         assert!(m2.stats().restarts >= 1, "machine 2 restarted");
         assert!(m2.in_cohort(), "machine 2 rejoined");
         assert_converged(&net, &[0, 1, 2]);
@@ -1605,7 +1648,7 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(3));
         for i in 0..4u32 {
@@ -1623,7 +1666,11 @@ mod tests {
         net.run_until(SimTime::from_secs(30));
         // All currently-in-cohort machines agree.
         let in_cohort: Vec<u32> = (0..4)
-            .filter(|&i| net.actor(MachineId::new(i)).unwrap().in_cohort())
+            .filter(|&i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine is registered on the mesh")
+                    .in_cohort()
+            })
             .collect();
         assert!(in_cohort.len() >= 2, "most machines still participating");
         assert_converged(&net, &in_cohort);
@@ -1631,16 +1678,16 @@ mod tests {
         let lost: u64 = (0..4)
             .map(|i| {
                 net.actor(MachineId::new(i))
-                    .unwrap()
+                    .expect("machine is registered on the mesh")
                     .stats()
                     .ops_lost_to_restart
             })
             .sum();
         let n = net
             .actor(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .read_committed::<Counter, _>(obj, |c| c.n)
-            .unwrap();
+            .expect("the object is replicated on this machine");
         assert_eq!(
             n as u64 + lost,
             40,
@@ -1652,13 +1699,31 @@ mod tests {
     fn graceful_leave_shrinks_rounds() {
         let mut net = fast_cluster(3, 31);
         net.run_until(SimTime::from_secs(2));
-        assert_eq!(net.actor(MachineId::new(0)).unwrap().members().len(), 3);
+        assert_eq!(
+            net.actor(MachineId::new(0))
+                .expect("machine is registered on the mesh")
+                .members()
+                .len(),
+            3
+        );
         net.call(MachineId::new(2), |m, ctx| m.leave(ctx));
         net.run_until(SimTime::from_secs(4));
-        assert_eq!(net.actor(MachineId::new(0)).unwrap().members().len(), 2);
+        assert_eq!(
+            net.actor(MachineId::new(0))
+                .expect("machine is registered on the mesh")
+                .members()
+                .len(),
+            2
+        );
         // Rounds keep completing with 2 participants.
-        let samples = &net.actor(MachineId::new(0)).unwrap().stats().sync_samples;
-        let last = samples.last().unwrap();
+        let samples = &net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .stats()
+            .sync_samples;
+        let last = samples
+            .last()
+            .expect("the master completed at least one round");
         assert_eq!(last.participants, 2);
     }
 
@@ -1669,7 +1734,7 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(2));
         for i in 0..6 {
@@ -1681,7 +1746,7 @@ mod tests {
         assert_converged(&net, &[0, 1, 2, 3, 4, 5]);
         assert_eq!(
             net.actor(MachineId::new(5))
-                .unwrap()
+                .expect("machine is registered on the mesh")
                 .read::<Counter, _>(obj, |c| c.n),
             Some(6)
         );
@@ -1691,7 +1756,10 @@ mod tests {
     fn sync_samples_are_recorded_with_plausible_durations() {
         let mut net = fast_cluster(4, 41);
         net.run_until(SimTime::from_secs(5));
-        let stats = net.actor(MachineId::new(0)).unwrap().stats();
+        let stats = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .stats();
         assert!(stats.sync_samples.len() >= 10);
         for s in &stats.sync_samples {
             // With 10ms constant latency and 4 machines, a round takes a few
@@ -1721,7 +1789,9 @@ mod tests {
         let mut net = fast_cluster(2, 43);
         net.run_until(SimTime::from_secs(1));
         let (a, b) = {
-            let m = net.actor_mut(MachineId::new(0)).unwrap();
+            let m = net
+                .actor_mut(MachineId::new(0))
+                .expect("machine is registered on the mesh");
             (
                 m.create_instance(Counter { n: 0 }),
                 m.create_instance(Counter { n: 0 }),
@@ -1735,11 +1805,15 @@ mod tests {
                 SharedOp::primitive(b, "add", args![1]),
             ])
             .or_else(SharedOp::primitive(b, "add", args![10]));
-            assert!(m.issue(op).unwrap());
+            assert!(m
+                .issue(op)
+                .expect("issue: the target object is known to this machine"));
         });
         net.run_until(SimTime::from_secs(4));
         assert_converged(&net, &[0, 1]);
-        let m0 = net.actor(MachineId::new(0)).unwrap();
+        let m0 = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh");
         assert_eq!(m0.read::<Counter, _>(a, |c| c.n), Some(0));
         assert_eq!(m0.read::<Counter, _>(b, |c| c.n), Some(10));
     }
@@ -1753,10 +1827,12 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 3 });
         net.run_until(SimTime::from_secs(3));
-        let m1 = net.actor(MachineId::new(1)).unwrap();
+        let m1 = net
+            .actor(MachineId::new(1))
+            .expect("machine is registered on the mesh");
         assert_eq!(m1.object_type(obj), Some("Counter"));
         assert_eq!(m1.available_objects().len(), 1);
         assert_eq!(m1.read::<Counter, _>(obj, |c| c.n), Some(3));
@@ -1770,11 +1846,14 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(2));
-        let m0 = net.actor_mut(MachineId::new(0)).unwrap();
-        m0.issue(SharedOp::primitive(obj, "add", args![9])).unwrap();
+        let m0 = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh");
+        m0.issue(SharedOp::primitive(obj, "add", args![9]))
+            .expect("issue: the target object is known to this machine");
         assert_eq!(m0.read::<Counter, _>(obj, |c| c.n), Some(9), "sg updated");
         assert_eq!(
             m0.read_committed::<Counter, _>(obj, |c| c.n),
@@ -1809,16 +1888,18 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(2));
         net.call(MachineId::new(1), |m, _| {
-            assert!(m.issue(SharedOp::primitive(obj, "add", args![4])).unwrap());
+            assert!(m
+                .issue(SharedOp::primitive(obj, "add", args![4]))
+                .expect("issue: the target object is known to this machine"));
         });
         net.run_until(SimTime::from_secs(4));
         assert_eq!(
             net.actor(MachineId::new(0))
-                .unwrap()
+                .expect("machine is registered on the mesh")
                 .read::<Counter, _>(obj, |c| c.n),
             Some(4)
         );
@@ -1836,7 +1917,13 @@ mod tests {
         });
         net.run_until(SimTime::from_secs(3));
         // Rounds still complete.
-        assert!(net.actor(MachineId::new(0)).unwrap().stats().syncs_seen > 5);
+        assert!(
+            net.actor(MachineId::new(0))
+                .expect("machine is registered on the mesh")
+                .stats()
+                .syncs_seen
+                > 5
+        );
     }
 
     #[test]
@@ -1885,9 +1972,21 @@ mod reorder_tests {
     }
 
     fn converged(net: &SimNet<Machine>, n: u32) -> bool {
-        let d0 = net.actor(MachineId::new(0)).unwrap().committed_digest();
-        (1..n).all(|i| net.actor(MachineId::new(i)).unwrap().committed_digest() == d0)
-            && (0..n).all(|i| net.actor(MachineId::new(i)).unwrap().pending_len() == 0)
+        let d0 = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .committed_digest();
+        (1..n).all(|i| {
+            net.actor(MachineId::new(i))
+                .expect("machine is registered on the mesh")
+                .committed_digest()
+                == d0
+        }) && (0..n).all(|i| {
+            net.actor(MachineId::new(i))
+                .expect("machine is registered on the mesh")
+                .pending_len()
+                == 0
+        })
     }
 
     #[test]
@@ -1898,7 +1997,7 @@ mod reorder_tests {
         net.run_until(SimTime::from_secs(3));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(5));
         for i in 0..3u32 {
@@ -1916,12 +2015,14 @@ mod reorder_tests {
         assert!(converged(&net, 3));
         assert_eq!(
             net.actor(MachineId::new(1))
-                .unwrap()
+                .expect("machine is registered on the mesh")
                 .read::<Counter, _>(obj, |c| c.n),
             Some(24)
         );
         for i in 0..3 {
-            let m = net.actor(MachineId::new(i)).unwrap();
+            let m = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh");
             assert!(m.check_guess_invariant());
             assert!(m.stats().max_exec_count <= 3);
         }
@@ -1936,7 +2037,7 @@ mod reorder_tests {
         net.run_until(SimTime::from_secs(3));
         let obj = net
             .actor_mut(MachineId::new(0))
-            .unwrap()
+            .expect("machine is registered on the mesh")
             .create_instance(Counter { n: 0 });
         net.run_until(SimTime::from_secs(5));
         for i in 0..3u32 {
@@ -1948,7 +2049,7 @@ mod reorder_tests {
         assert!(converged(&net, 3));
         assert_eq!(
             net.actor(MachineId::new(2))
-                .unwrap()
+                .expect("machine is registered on the mesh")
                 .read::<Counter, _>(obj, |c| c.n),
             Some(6)
         );
@@ -1962,7 +2063,9 @@ mod reorder_tests {
         let mut net = skewed_cluster(2, 1, 300, 79);
         net.run_until(SimTime::from_secs(20));
         for i in 0..2 {
-            let m = net.actor(MachineId::new(i)).unwrap();
+            let m = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh");
             assert!(
                 m.buffered.len() <= 8,
                 "m{i}: buffer bounded, got {}",

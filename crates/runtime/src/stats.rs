@@ -76,6 +76,11 @@ pub struct MachineStats {
     pub completions_dropped: u64,
     /// Pending operations re-executed while re-establishing `sg = [P](sc)`.
     pub replays: u64,
+    /// Pending re-executions avoided by commute-aware replay skipping
+    /// ([`crate::MachineConfig::commute_skip`]): each unit is one pending
+    /// operation that would have been replayed had the round's foreign
+    /// commits not provably commuted with the whole pending queue.
+    pub replays_skipped: u64,
     /// Times this machine was restarted by recovery.
     pub restarts: u64,
     /// Times this machine promoted itself to master (failover extension).

@@ -1,7 +1,7 @@
 # Developer workflow. Run `just check` before sending a change.
 
 # Everything CI would run, in order.
-check: fmt clippy test
+check: fmt clippy test analyze
 
 # Formatting gate (no writes).
 fmt:
@@ -14,6 +14,11 @@ clippy:
 # The full test suite (unit + integration + doctests, every crate).
 test:
     cargo test --workspace -q
+
+# Effect-analysis lint: conflict matrices for all six apps; any undeclared
+# effect, footprint under-approximation or nondeterminism is fatal.
+analyze:
+    cargo run -q -p guesstimate-analysis --bin analyze
 
 # Tier-1 smoke: what the release gate runs.
 tier1:

@@ -6,3 +6,6 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+# Effect-analysis lint: undeclared effects, footprint under-approximations
+# and nondeterminism in any bundled app fail the check (docs/ANALYSIS.md).
+cargo run -q -p guesstimate-analysis --bin analyze
