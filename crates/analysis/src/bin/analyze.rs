@@ -5,8 +5,15 @@
 //! all six bundled applications, prints each app's conflict matrix, and
 //! exits non-zero when any violation is found (so `scripts/check.sh` can
 //! gate on it).
+//!
+//! `--json PATH` additionally writes the machine-readable archive
+//! ([`guesstimate_analysis::report_to_json`], schema v1): CI stores it as
+//! a build artifact, and the model checker's `--matrix` flag loads the
+//! validated commute matrix from it without re-running this validator.
 
-use guesstimate_analysis::{analyze_app, method_spaces_from_suite, AppReport, MethodSpace};
+use guesstimate_analysis::{
+    analyze_app, method_spaces_from_suite, report_to_json, AppReport, MethodSpace,
+};
 use guesstimate_core::{
     args, execute, MachineId, ObjectId, ObjectStore, OpRegistry, SharedOp, Value,
 };
@@ -197,6 +204,24 @@ fn analyze_microblog() -> AppReport {
 }
 
 fn main() {
+    let mut json_out: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => match argv.next() {
+                Some(p) => json_out = Some(p),
+                None => {
+                    eprintln!("--json requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (usage: analyze [--json PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let reports = [
         analyze_sudoku(),
         analyze_event_planner(),
@@ -221,6 +246,15 @@ fn main() {
         for v in &r.violations {
             eprintln!("  {v}");
         }
+    }
+    if let Some(path) = &json_out {
+        // Archive even on failure: the violations are exactly what a CI
+        // artifact should preserve for the post-mortem.
+        if let Err(e) = std::fs::write(path, report_to_json(&reports)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote JSON archive to {path}");
     }
     if violations > 0 {
         eprintln!("effect analysis FAILED: {violations} violation(s)");

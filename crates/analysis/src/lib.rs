@@ -30,6 +30,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -520,6 +522,130 @@ pub fn analyze_app(
     }
 }
 
+/// Renders a full analysis run as the archivable JSON document (schema
+/// version 1):
+///
+/// ```json
+/// {"version": 1, "apps": [{"type": ..., "methods": [...], "clean": true,
+///   "pairs": [{"a", "b", "classification", "cases", "static_commute",
+///   "counterexample"}, ...], "violations": [...]}]}
+/// ```
+///
+/// CI archives this file per run; [`matrices_from_json`] reads it back
+/// into a [`CommuteMatrix`] so downstream tools (the model checker, the
+/// runtime's replay skipping) reuse the validated verdicts without
+/// re-running the bounded-exhaustive validator.
+pub fn report_to_json(reports: &[AppReport]) -> String {
+    use json::Json;
+    use std::collections::BTreeMap;
+    let apps: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            let mut app = BTreeMap::new();
+            app.insert("type".to_owned(), Json::Str(r.type_name.clone()));
+            app.insert(
+                "methods".to_owned(),
+                Json::List(r.methods.iter().cloned().map(Json::Str).collect()),
+            );
+            app.insert("clean".to_owned(), Json::Bool(r.is_clean()));
+            app.insert(
+                "pairs".to_owned(),
+                Json::List(
+                    r.pairs
+                        .iter()
+                        .map(|p| {
+                            let mut m = BTreeMap::new();
+                            m.insert("a".to_owned(), Json::Str(p.a.clone()));
+                            m.insert("b".to_owned(), Json::Str(p.b.clone()));
+                            m.insert(
+                                "classification".to_owned(),
+                                Json::Str(p.classification.to_string()),
+                            );
+                            m.insert("cases".to_owned(), Json::Num(p.cases as f64));
+                            m.insert("static_commute".to_owned(), Json::Bool(p.static_commute));
+                            m.insert(
+                                "counterexample".to_owned(),
+                                match &p.counterexample {
+                                    Some(c) => Json::Str(c.clone()),
+                                    None => Json::Null,
+                                },
+                            );
+                            Json::Map(m)
+                        })
+                        .collect(),
+                ),
+            );
+            app.insert(
+                "violations".to_owned(),
+                Json::List(
+                    r.violations
+                        .iter()
+                        .map(|v| {
+                            let mut m = BTreeMap::new();
+                            m.insert("kind".to_owned(), Json::Str(v.kind.to_string()));
+                            m.insert("method".to_owned(), Json::Str(v.method.clone()));
+                            m.insert("detail".to_owned(), Json::Str(v.detail.clone()));
+                            Json::Map(m)
+                        })
+                        .collect(),
+                ),
+            );
+            Json::Map(app)
+        })
+        .collect();
+    let mut doc = BTreeMap::new();
+    doc.insert("version".to_owned(), Json::Num(1.0));
+    doc.insert("apps".to_owned(), Json::List(apps));
+    Json::Map(doc).to_string()
+}
+
+/// Reads an archive written by [`report_to_json`] back into the combined
+/// [`CommuteMatrix`] over all apps (the union of every app's validated
+/// always-commute pairs).
+///
+/// # Errors
+///
+/// Returns a description of the first syntactic or shape problem; an
+/// archive recording any `Conflict`-free schema but zero apps yields an
+/// empty matrix, not an error.
+pub fn matrices_from_json(text: &str) -> Result<CommuteMatrix, String> {
+    use json::Json;
+    let doc = Json::parse(text)?;
+    match doc.get("version").and_then(Json::as_u64) {
+        Some(1) => {}
+        Some(v) => return Err(format!("unsupported archive version {v}")),
+        None => return Err("missing `version`".to_owned()),
+    }
+    let apps = doc
+        .get("apps")
+        .and_then(Json::as_list)
+        .ok_or("missing `apps` array")?;
+    let mut matrix = CommuteMatrix::new();
+    for app in apps {
+        let ty = app
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("app missing `type`")?;
+        let pairs = app
+            .get("pairs")
+            .and_then(Json::as_list)
+            .ok_or("app missing `pairs`")?;
+        for p in pairs {
+            let (Some(a), Some(b), Some(c)) = (
+                p.get("a").and_then(Json::as_str),
+                p.get("b").and_then(Json::as_str),
+                p.get("classification").and_then(Json::as_str),
+            ) else {
+                return Err("pair missing a/b/classification".to_owned());
+            };
+            if c == "Commute" {
+                matrix.insert(ty, a, b);
+            }
+        }
+    }
+    Ok(matrix)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,6 +777,43 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.kind == ViolationKind::UnanalyzedMethod && v.method == "sneaky"));
+    }
+
+    #[test]
+    fn json_archive_roundtrips_to_the_same_matrix() {
+        let report = analyze_app(
+            &registry(),
+            "Cells",
+            &[spc("set_a"), spc("set_b"), spc("append")],
+            &CaseSpace::sampled(states(), 10_000),
+        );
+        let direct = report.commute_matrix();
+        let text = report_to_json(std::slice::from_ref(&report));
+        let restored = matrices_from_json(&text).expect("archive parses");
+        assert_eq!(restored.len(), direct.len());
+        for m1 in &report.methods {
+            for m2 in &report.methods {
+                assert_eq!(
+                    restored.commutes("Cells", m1, m2),
+                    direct.commutes("Cells", m1, m2),
+                    "{m1};{m2}"
+                );
+            }
+        }
+        // Violations and verdicts are preserved verbatim.
+        let doc = json::Json::parse(&text).unwrap();
+        let app = &doc.get("apps").unwrap().as_list().unwrap()[0];
+        assert_eq!(app.get("clean").unwrap().as_bool(), Some(false));
+        assert!(!app.get("violations").unwrap().as_list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn matrices_from_json_rejects_bad_archives() {
+        assert!(matrices_from_json("{").is_err());
+        assert!(matrices_from_json("{\"apps\": []}").is_err(), "no version");
+        assert!(matrices_from_json("{\"version\": 2, \"apps\": []}").is_err());
+        let empty = matrices_from_json("{\"version\": 1, \"apps\": []}").unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Stateless depth-first exploration with sleep-set partial-order
+//! reduction.
+//!
+//! The explorer enumerates schedules of a [`Preset`]'s post-prelude
+//! cluster. Each tree node is a scheduler state; its outgoing edges are
+//! the **enabled choices**: deliver any in-flight message, drop one
+//! (while the preset's loss budget lasts), and — in quiet phases — admit
+//! the staged joiner or fire the earliest timer. Machines are not
+//! clonable (completions are closures), so backtracking is *stateless*:
+//! the cluster is rebuilt from the preset and the current path prefix is
+//! replayed. The prelude and every step are deterministic, so replay
+//! reproduces the node exactly.
+//!
+//! ## Sleep sets
+//!
+//! The reduction is the classic sleep-set algorithm (Godefroid): when a
+//! node's child via choice `c` is entered, the child's sleep set is the
+//! parent's sleep set plus the parent's already-explored choices,
+//! restricted to choices **independent** of `c`. A choice found in its
+//! node's sleep set is skipped (counted as pruned): every behavior
+//! reachable through it has already been covered through a sibling,
+//! because executing independent choices in either order reaches the
+//! same state.
+//!
+//! ## The independence relation
+//!
+//! Grounded in the validated effect analysis (`guesstimate_runtime::commute`,
+//! fed by `guesstimate-analysis`):
+//!
+//! * `Deliver(x)` / `Deliver(y)` to **different machines** are
+//!   independent: delivery only mutates the target.
+//! * `Deliver(x)` / `Deliver(y)` to the **same machine** are independent
+//!   iff both are `Msg::Ops` batches of the *same round* from *different
+//!   senders* and every cross-pair of envelopes commutes per
+//!   [`wire_ops_commute`] (object-disjointness → validated
+//!   [`CommuteMatrix`] → argument-precise footprints). This is strictly
+//!   conservative: the receiver buffers a round's batches by operation id
+//!   and applies them in id order, so same-round batches commute at the
+//!   state level regardless — the commute gate only ever keeps *more*
+//!   interleavings than necessary, never fewer.
+//! * `Drop(x)` is independent of anything except a choice about the same
+//!   message.
+//! * `Admit` and `Timer` are dependent on everything (they change
+//!   membership/time, which feeds back into all future choices).
+//!
+//! One caveat the digest-set soundness test (`mc` crate tests) confirms
+//! empirically: reordering independent deliveries can renumber messages
+//! *created afterwards*, so sleep-set hits are matched on the choice
+//! identity at this node, which the deterministic seq assignment makes
+//! stable across replays of the same prefix.
+
+use std::collections::BTreeSet;
+
+use guesstimate_core::{CommuteMatrix, MachineId};
+use guesstimate_net::SchedNet;
+use guesstimate_runtime::commute::wire_ops_commute;
+use guesstimate_runtime::{Machine, Msg};
+
+use crate::oracle::{check_step, check_terminal, state_digest, Violation};
+use crate::scenario::{Built, Preset};
+use crate::schedule::{Schedule, Step, TamperSpec};
+
+/// Exploration limits and switches.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Stop after this many complete schedules.
+    pub max_schedules: u64,
+    /// Cut any single schedule at this depth (counted as truncated).
+    pub max_steps: usize,
+    /// Enable the sleep-set partial-order reduction.
+    pub reduction: bool,
+    /// Record a digest of every terminal state (for soundness tests).
+    pub collect_digests: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_schedules: 10_000,
+            max_steps: 96,
+            reduction: true,
+            collect_digests: false,
+        }
+    }
+}
+
+/// What an exploration found.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Complete schedules executed to a terminal (or cut) state.
+    pub schedules: u64,
+    /// Choices skipped because they were in their node's sleep set.
+    pub pruned: u64,
+    /// Schedules cut by `max_steps` before quiescing.
+    pub truncated: u64,
+    /// Deepest schedule seen.
+    pub max_depth: usize,
+    /// Total scheduler steps executed (including backtrack replays).
+    pub steps_executed: u64,
+    /// Digests of terminal states (when `collect_digests`).
+    pub terminal_digests: BTreeSet<u64>,
+    /// True when the whole (reduced) tree was exhausted within budget.
+    pub complete: bool,
+    /// The last complete schedule explored — a representative
+    /// non-trivial interleaving (DFS visits the deterministic drain
+    /// first, so later schedules carry the interesting reorderings).
+    pub sample: Option<Vec<Step>>,
+    /// The first oracle violation and the schedule that reached it.
+    pub violation: Option<(Violation, Vec<Step>)>,
+}
+
+struct Frame {
+    choices: Vec<Step>,
+    idx: usize,
+    sleep: Vec<Step>,
+    explored: Vec<Step>,
+}
+
+/// Executes one choice against the cluster. Returns false if the choice
+/// was not applicable (stale seq, no timer).
+pub fn exec_step(net: &mut SchedNet<Machine>, s: Step) -> bool {
+    match s {
+        Step::Deliver(q) => net.deliver(q),
+        Step::Drop(q) => net.drop_msg(q),
+        Step::Admit(q) => net.admit(q),
+        Step::Timer => net.fire_next_timer(),
+    }
+}
+
+fn enabled(built: &Built, preset: &Preset, drops_used: u32) -> Vec<Step> {
+    let net = &built.net;
+    let mut v = Vec::new();
+    let msgs = net.pending_msgs();
+    if !msgs.is_empty() {
+        v.extend(msgs.iter().map(|&s| Step::Deliver(s)));
+        if drops_used < preset.drop_budget {
+            v.extend(msgs.iter().map(|&s| Step::Drop(s)));
+        }
+        return v;
+    }
+    // Quiet phase: the round is over (or has not started). Admission and
+    // the next timer are the only moves; the joiner's handshake messages
+    // then become ordinary delivery choices.
+    let master = net.actor(MachineId::new(0)).expect("master");
+    if master.stats().syncs_seen >= built.base_rounds + preset.rounds {
+        return v; // terminal: explored rounds exhausted, nothing in flight
+    }
+    v.extend(net.pending_joins().iter().map(|&j| Step::Admit(j)));
+    if net.has_timers() {
+        v.push(Step::Timer);
+    }
+    v
+}
+
+/// The independence relation described in the module docs.
+fn independent(built: &Built, matrix: &CommuteMatrix, a: Step, b: Step) -> bool {
+    use Step::{Admit, Deliver, Drop, Timer};
+    match (a, b) {
+        (Admit(_) | Timer, _) | (_, Admit(_) | Timer) => false,
+        (Deliver(x) | Drop(x), Deliver(y) | Drop(y)) if x == y => false,
+        (Drop(_), Deliver(_) | Drop(_)) | (Deliver(_), Drop(_)) => true,
+        (Deliver(x), Deliver(y)) => {
+            let net = &built.net;
+            let (Some(px), Some(py)) = (net.pending_msg(x), net.pending_msg(y)) else {
+                return false;
+            };
+            if px.to != py.to {
+                return true;
+            }
+            let (
+                Msg::Ops {
+                    round: ra,
+                    machine: sa,
+                    ops: oa,
+                },
+                Msg::Ops {
+                    round: rb,
+                    machine: sb,
+                    ops: ob,
+                },
+            ) = (&px.msg, &py.msg)
+            else {
+                return false;
+            };
+            if ra != rb || sa == sb {
+                return false;
+            }
+            let Some(target) = net.actor(px.to) else {
+                return false;
+            };
+            let type_of = |oid| target.object_type(oid).map(str::to_owned);
+            oa.iter().all(|ea| {
+                ob.iter()
+                    .all(|eb| wire_ops_commute(&built.registry, matrix, &type_of, &ea.op, &eb.op))
+            })
+        }
+    }
+}
+
+/// Explores the preset's schedule tree depth-first.
+///
+/// Stops at the first oracle violation (recorded in
+/// [`Outcome::violation`] together with the offending schedule), when
+/// `max_schedules` is reached, or when the tree is exhausted
+/// (`complete = true`).
+pub fn explore(
+    preset: &Preset,
+    matrix: &CommuteMatrix,
+    tamper: Option<TamperSpec>,
+    cfg: &ExploreConfig,
+) -> Outcome {
+    let mut out = Outcome::default();
+    let mut built = preset.build(matrix, tamper);
+    let mut path: Vec<Step> = Vec::new();
+    let mut frames = vec![Frame {
+        choices: enabled(&built, preset, 0),
+        idx: 0,
+        sleep: Vec::new(),
+        explored: Vec::new(),
+    }];
+    let mut drops_used = 0u32;
+    // Set when the cluster state has moved past the node the top frame
+    // describes (after any backtrack): rebuild + replay before executing.
+    let mut dirty = false;
+
+    while out.schedules < cfg.max_schedules {
+        let Some(frame) = frames.last_mut() else {
+            out.complete = true;
+            break;
+        };
+        if frame.idx >= frame.choices.len() {
+            frames.pop();
+            match path.pop() {
+                Some(c) => {
+                    if matches!(c, Step::Drop(_)) {
+                        drops_used -= 1;
+                    }
+                    let parent = frames.last_mut().expect("frames outnumber path by one");
+                    parent.explored.push(c);
+                    parent.idx += 1;
+                    dirty = true;
+                    continue;
+                }
+                None => {
+                    out.complete = true;
+                    break;
+                }
+            }
+        }
+        let c = frame.choices[frame.idx];
+        if cfg.reduction && frame.sleep.contains(&c) {
+            frame.idx += 1;
+            out.pruned += 1;
+            continue;
+        }
+        if dirty {
+            built = preset.build(matrix, tamper);
+            for &s in &path {
+                assert!(
+                    exec_step(&mut built.net, s),
+                    "replaying {s} of a known prefix"
+                );
+                out.steps_executed += 1;
+            }
+            dirty = false;
+        }
+        // The child's sleep set must be computed *before* executing `c`:
+        // independence inspects the messages still pending here.
+        let frame = frames.last().expect("just checked");
+        let child_sleep: Vec<Step> = frame
+            .sleep
+            .iter()
+            .chain(frame.explored.iter())
+            .copied()
+            .filter(|&x| x != c && independent(&built, matrix, x, c))
+            .collect();
+
+        assert!(
+            exec_step(&mut built.net, c),
+            "enabled choice {c} must apply"
+        );
+        out.steps_executed += 1;
+        path.push(c);
+        if matches!(c, Step::Drop(_)) {
+            drops_used += 1;
+        }
+        out.max_depth = out.max_depth.max(path.len());
+        if let Some(v) = check_step(&built.net) {
+            out.violation = Some((v, path.clone()));
+            return out;
+        }
+
+        let next = enabled(&built, preset, drops_used);
+        let terminal = next.is_empty();
+        let cut = !terminal && path.len() >= cfg.max_steps;
+        if terminal || cut {
+            out.schedules += 1;
+            if cut {
+                out.truncated += 1;
+            }
+            if terminal {
+                if let Some(v) =
+                    check_terminal(&built.net, &built.registry, preset.total_machines())
+                {
+                    out.violation = Some((v, path.clone()));
+                    return out;
+                }
+            }
+            if cfg.collect_digests {
+                out.terminal_digests.insert(state_digest(&built.net));
+            }
+            out.sample = Some(path.clone());
+            path.pop();
+            if matches!(c, Step::Drop(_)) {
+                drops_used -= 1;
+            }
+            let frame = frames.last_mut().expect("frame for the popped step");
+            frame.explored.push(c);
+            frame.idx += 1;
+            dirty = true;
+        } else {
+            frames.push(Frame {
+                choices: next,
+                idx: 0,
+                sleep: child_sleep,
+                explored: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// The result of replaying a schedule file.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Steps that applied cleanly.
+    pub applied: usize,
+    /// Steps skipped because their seq was no longer pending (expected
+    /// after minimization; see `schedule` module docs).
+    pub skipped: usize,
+    /// The first oracle violation, if the schedule reproduces one.
+    pub violation: Option<Violation>,
+}
+
+/// Replays a schedule against a freshly built cluster, running the step
+/// oracles after every applied choice and the terminal oracles if the
+/// run quiesces.
+///
+/// # Errors
+///
+/// Returns `Err` when the schedule names an unknown preset.
+pub fn replay(sched: &Schedule, matrix: &CommuteMatrix) -> Result<ReplayReport, String> {
+    let preset =
+        Preset::by_name(&sched.preset).ok_or_else(|| format!("unknown preset {}", sched.preset))?;
+    let mut built = preset.build(matrix, sched.tamper);
+    let mut report = ReplayReport {
+        applied: 0,
+        skipped: 0,
+        violation: None,
+    };
+    for &s in &sched.steps {
+        if exec_step(&mut built.net, s) {
+            report.applied += 1;
+        } else {
+            report.skipped += 1;
+            continue;
+        }
+        if let Some(v) = check_step(&built.net) {
+            report.violation = Some(v);
+            return Ok(report);
+        }
+    }
+    let quiesced = built.net.pending_msgs().is_empty()
+        && built
+            .net
+            .actor(MachineId::new(0))
+            .expect("master")
+            .stats()
+            .syncs_seen
+            >= built.base_rounds + preset.rounds;
+    if quiesced {
+        report.violation = check_terminal(&built.net, &built.registry, preset.total_machines());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(reduction: bool) -> ExploreConfig {
+        ExploreConfig {
+            max_schedules: 1_000_000,
+            max_steps: 64,
+            reduction,
+            collect_digests: true,
+        }
+    }
+
+    /// The reduction must not lose behaviors: on a scenario small enough
+    /// to exhaust, the terminal-state digest sets with and without
+    /// reduction are identical, while the reduced run visits strictly
+    /// fewer schedules. The built-in sudoku preset is shrunk to two
+    /// machines so the unreduced tree stays exhaustible.
+    #[test]
+    fn reduction_preserves_terminal_states_on_sudoku() {
+        let p = Preset {
+            eager: 2,
+            ..*Preset::by_name("sudoku").unwrap()
+        };
+        let matrix = CommuteMatrix::new();
+        let full = explore(&p, &matrix, None, &small_cfg(false));
+        let reduced = explore(&p, &matrix, None, &small_cfg(true));
+        assert!(full.complete, "unreduced exploration must exhaust");
+        assert!(reduced.complete, "reduced exploration must exhaust");
+        assert!(full.violation.is_none(), "{:?}", full.violation);
+        assert!(reduced.violation.is_none(), "{:?}", reduced.violation);
+        assert_eq!(full.terminal_digests, reduced.terminal_digests);
+        assert!(
+            reduced.schedules < full.schedules,
+            "reduction explored {} of {} schedules — no pruning happened",
+            reduced.schedules,
+            full.schedules
+        );
+        assert!(reduced.pruned > 0);
+    }
+
+    /// Replaying any explored prefix is deterministic: the same path
+    /// reaches the same digest.
+    #[test]
+    fn replay_is_deterministic() {
+        let p = Preset::by_name("sudoku").unwrap();
+        let matrix = CommuteMatrix::new();
+        let mut a = p.build(&matrix, None);
+        let mut b = p.build(&matrix, None);
+        let mut steps = Vec::new();
+        for _ in 0..24 {
+            let next = enabled(&a, p, 0);
+            let Some(&c) = next.first() else { break };
+            assert!(exec_step(&mut a.net, c));
+            steps.push(c);
+        }
+        for &s in &steps {
+            assert!(exec_step(&mut b.net, s));
+        }
+        assert_eq!(
+            crate::oracle::state_digest(&a.net),
+            crate::oracle::state_digest(&b.net)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! `guesstimate-mc`: a bounded schedule model checker for the
+//! GUESSTIMATE runtime.
+//!
+//! The checker drives *real* [`guesstimate_runtime::Machine`]s — the
+//! same protocol code deployed everywhere else in this repository —
+//! through a controlled scheduler ([`guesstimate_net::SchedNet`]) in
+//! which every message delivery, message loss, late join and timer
+//! firing is an explicit choice point. It enumerates delivery
+//! interleavings depth-first with sleep-set partial-order reduction
+//! whose independence relation is grounded in the validated operation
+//! effect analysis (`guesstimate-analysis` → `guesstimate_runtime::commute`),
+//! checks the paper's §3 invariants at every explored state, and replays
+//! each terminal schedule through the executable semantic model
+//! (`guesstimate-semantics`) as a refinement check. Violations are
+//! delta-debugged to a minimal, replayable JSON schedule.
+//!
+//! Layout:
+//!
+//! * [`scenario`] — the checking presets (small clusters with
+//!   conflicting workloads) and the deterministic prelude.
+//! * [`schedule`] — the choice alphabet ([`Step`]) and the replayable
+//!   JSON schedule file format.
+//! * [`explore`] — the DFS explorer, the independence relation, and
+//!   schedule replay.
+//! * [`oracle`] — step/terminal oracles and the state digest.
+//! * [`shrink`] — ddmin minimization of failing schedules.
+//!
+//! See `docs/MODELCHECK.md` for the full design and soundness argument.
+
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod oracle;
+pub mod scenario;
+pub mod schedule;
+pub mod shrink;
+
+pub use explore::{explore, replay, ExploreConfig, Outcome, ReplayReport};
+pub use oracle::{check_step, check_terminal, state_digest, Violation};
+pub use scenario::{Built, Preset, PRESETS};
+pub use schedule::{Schedule, Step, TamperSpec};
+pub use shrink::minimize;

@@ -1,0 +1,339 @@
+//! Checking scenarios: small clusters with conflicting workloads.
+//!
+//! A preset builds a real [`Machine`] cluster under the controlled
+//! scheduler ([`SchedNet`]), runs a **deterministic prelude** (membership
+//! handshakes and one synchronization that commits the app objects
+//! everywhere — uninteresting to explore, identical on every branch),
+//! then injects each machine's pending operations. Exploration starts
+//! from that state: the first choice is typically the master's sync tick.
+//!
+//! The workloads are chosen so each preset has both **conflicting**
+//! operation pairs (the interesting interleavings the checker must keep)
+//! and **commuting** pairs (what the partial-order reduction may prune):
+//!
+//! | preset | machines | conflict | commute |
+//! |---|---|---|---|
+//! | `sudoku` | 3 | `update(1,1,1)`;`clear(1,1)` same cell | moves in disjoint rows/cols/boxes |
+//! | `auction` | 2 + late join | two first-bids on `lamp` | bids on different items |
+//! | `event_planner` | 2, lossy | two joins for the last `party` seat | user registration vs joins |
+//!
+//! The `auction` preset stages a third machine whose admission is itself
+//! a choice point (late join at any explored moment); `event_planner`
+//! grants the explorer a message-loss budget, driving the protocol's
+//! resend/recovery paths.
+
+use std::sync::Arc;
+
+use guesstimate_apps::{auction, event_planner, sudoku};
+use guesstimate_core::{CommuteMatrix, MachineId, ObjectId, OpRegistry, SharedOp};
+use guesstimate_net::{SchedNet, SimTime};
+use guesstimate_runtime::{Machine, MachineConfig, Msg};
+
+use crate::schedule::TamperSpec;
+
+/// One checking scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Preset {
+    /// Preset name (also selects the application).
+    pub name: &'static str,
+    /// Machines present from the start (machine 0 is the master).
+    pub eager: u32,
+    /// Stage one additional machine whose admission is a choice point.
+    pub late_join: bool,
+    /// Synchronization rounds to explore after injection.
+    pub rounds: u64,
+    /// How many messages the explorer may drop per schedule.
+    pub drop_budget: u32,
+    /// One-line description for `mc --list`.
+    pub blurb: &'static str,
+}
+
+/// All built-in presets.
+pub const PRESETS: &[Preset] = &[
+    Preset {
+        name: "sudoku",
+        eager: 3,
+        late_join: false,
+        rounds: 2,
+        drop_budget: 0,
+        blurb: "3 machines; same-cell update/clear conflict vs disjoint-unit moves",
+    },
+    Preset {
+        name: "auction",
+        eager: 2,
+        late_join: true,
+        rounds: 2,
+        drop_budget: 0,
+        blurb: "2 machines + late joiner; dueling first-bids vs cross-item bids",
+    },
+    Preset {
+        name: "event_planner",
+        eager: 2,
+        late_join: false,
+        rounds: 3,
+        drop_budget: 2,
+        blurb: "2 machines, lossy network; last-seat race plus recovery paths",
+    },
+];
+
+impl Preset {
+    /// Looks up a preset by name.
+    pub fn by_name(name: &str) -> Option<&'static Preset> {
+        PRESETS.iter().find(|p| p.name == name)
+    }
+
+    /// Total machines once the staged joiner (if any) is admitted.
+    pub fn total_machines(&self) -> u32 {
+        self.eager + u32::from(self.late_join)
+    }
+
+    fn registry(&self) -> OpRegistry {
+        let mut reg = OpRegistry::new();
+        match self.name {
+            "sudoku" => sudoku::register(&mut reg),
+            "auction" => auction::register(&mut reg),
+            "event_planner" => event_planner::register(&mut reg),
+            other => unreachable!("unknown preset {other}"),
+        }
+        reg
+    }
+
+    /// Creates the app object on the master and issues the ops that the
+    /// deterministic prelude must commit before exploration starts.
+    /// Returns the object id and the number of ops issued (incl. the
+    /// creation).
+    fn prelude_ops(&self, master: &mut Machine) -> (ObjectId, u64) {
+        match self.name {
+            "sudoku" => (master.create_instance(sudoku::Sudoku::new()), 1),
+            "auction" => {
+                let obj = master.create_instance(auction::Auction::new());
+                for op in [
+                    auction::ops::list_item(obj, "lamp", "seller", 10, 5),
+                    auction::ops::list_item(obj, "rug", "seller", 5, 1),
+                ] {
+                    assert!(
+                        master.issue(op).expect("prelude issue"),
+                        "prelude op failed"
+                    );
+                }
+                (obj, 3)
+            }
+            "event_planner" => {
+                let obj = master.create_instance(event_planner::EventPlanner::with_quota(2));
+                for op in [
+                    event_planner::ops::register_user(obj, "ann", "pw"),
+                    event_planner::ops::register_user(obj, "bob", "pw"),
+                    event_planner::ops::create_event(obj, "party", 1),
+                    event_planner::ops::create_event(obj, "dinner", 2),
+                ] {
+                    assert!(
+                        master.issue(op).expect("prelude issue"),
+                        "prelude op failed"
+                    );
+                }
+                (obj, 5)
+            }
+            other => unreachable!("unknown preset {other}"),
+        }
+    }
+
+    /// The per-machine operations injected after the prelude — the
+    /// workload whose interleavings are explored.
+    fn injections(&self, obj: ObjectId) -> Vec<(u32, SharedOp)> {
+        match self.name {
+            "sudoku" => vec![
+                // Machine 0: a same-cell conflicting pair (also the
+                // seeded-mutation target: swapping their commit order is
+                // observable).
+                (0, sudoku::ops::update(obj, 1, 1, 1)),
+                (0, sudoku::ops::clear(obj, 1, 1)),
+                // Machine 1: moves in disjoint rows/columns/boxes — their
+                // batch commutes with everything machine 0 flushes.
+                (1, sudoku::ops::update(obj, 5, 5, 3)),
+                (1, sudoku::ops::update(obj, 9, 9, 5)),
+                // Machine 2: another disjoint-unit move (row 6, col 2,
+                // box 3) — its batch commutes with both of the above.
+                (2, sudoku::ops::update(obj, 6, 2, 7)),
+            ],
+            "auction" => vec![
+                // Dueling first-bids at the reserve: the commit order
+                // decides the winner, the loser's bid fails.
+                (0, auction::ops::bid(obj, "lamp", "ann", 10)),
+                (1, auction::ops::bid(obj, "lamp", "bob", 10)),
+                // A bid on the other item commutes with both.
+                (1, auction::ops::bid(obj, "rug", "carol", 5)),
+            ],
+            "event_planner" => vec![
+                // The last-seat race for `party` (capacity 1).
+                (0, event_planner::ops::join(obj, "ann", "party")),
+                (1, event_planner::ops::join(obj, "bob", "party")),
+                // A fresh registration touches only `users/carol`.
+                (0, event_planner::ops::register_user(obj, "carol", "pw")),
+            ],
+            other => unreachable!("unknown preset {other}"),
+        }
+    }
+
+    /// Builds the cluster, runs the deterministic prelude, injects the
+    /// workload, stages the late joiner, and installs the tamper hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prelude fails to converge — that is a bug in either
+    /// the protocol or the harness, not an explorable behavior.
+    pub fn build(&self, matrix: &CommuteMatrix, tamper: Option<TamperSpec>) -> Built {
+        let registry = Arc::new(self.registry());
+        // Timeout spacing mirrors deployment ratios (tick < join retry <
+        // stall) so timer-only phases preserve protocol behavior; absolute
+        // values are irrelevant under the controlled clock.
+        let cfg = MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(100))
+            .with_join_retry(SimTime::from_millis(300))
+            .with_stall_timeout(SimTime::from_millis(500))
+            .with_record_history(true)
+            .with_paranoid_checks(true)
+            .with_commute_matrix(matrix.clone());
+
+        let mut net: SchedNet<Machine> = SchedNet::new();
+        net.add_machine(
+            MachineId::new(0),
+            Machine::new_master(MachineId::new(0), registry.clone(), cfg.clone()),
+        );
+        for i in 1..self.eager {
+            net.add_machine(
+                MachineId::new(i),
+                Machine::new_member(MachineId::new(i), registry.clone(), cfg.clone()),
+            );
+        }
+        let (obj, prelude_ops) =
+            self.prelude_ops(net.actor_mut(MachineId::new(0)).expect("master added"));
+
+        // Deterministic prelude: always deliver the lowest-seq message,
+        // fire a timer only when quiet. Every branch of the exploration
+        // replays this identically, so it contributes no choice points.
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "prelude failed to converge");
+            if let Some(&seq) = net.pending_msgs().first() {
+                net.deliver(seq);
+                continue;
+            }
+            let settled = (0..self.eager).all(|i| {
+                let m = net.actor(MachineId::new(i)).expect("member");
+                m.in_cohort() && m.completed_len() == prelude_ops as usize
+            });
+            if settled {
+                break;
+            }
+            assert!(net.fire_next_timer(), "prelude stalled with no timers");
+        }
+
+        // Injections for machines beyond `eager` are dropped so tests can
+        // shrink a preset (fewer machines → exhaustible tree) without
+        // re-specifying its workload.
+        for (machine, op) in self
+            .injections(obj)
+            .into_iter()
+            .filter(|&(m, _)| m < self.eager)
+        {
+            let issued = net
+                .actor_mut(MachineId::new(machine))
+                .expect("machine exists")
+                .issue(op)
+                .expect("injection references known objects");
+            assert!(issued, "injected op failed at issue");
+        }
+
+        let join_choice = self.late_join.then(|| {
+            let id = MachineId::new(self.eager);
+            net.stage_join(id, Machine::new_member(id, registry.clone(), cfg.clone()))
+        });
+
+        if let Some(t) = tamper {
+            let victim = MachineId::new(t.victim);
+            let (i, j) = t.swap;
+            let mut seen = 0u64;
+            net.set_tamper(Box::new(move |_seq, _from, to, msg: &mut Msg| {
+                if to != victim {
+                    return false;
+                }
+                let Msg::Ops { ops, .. } = msg else {
+                    return false;
+                };
+                seen += 1;
+                if seen != t.nth || i == j || i >= ops.len() || j >= ops.len() {
+                    return false;
+                }
+                // Swap the *ids*: receivers key a round's batch by id and
+                // apply in id order, so this inverts the victim's commit
+                // order for the two operations.
+                let a = ops[i].id;
+                ops[i].id = ops[j].id;
+                ops[j].id = a;
+                true
+            }));
+        }
+
+        let base_rounds = net
+            .actor(MachineId::new(0))
+            .expect("master")
+            .stats()
+            .syncs_seen;
+        Built {
+            net,
+            registry,
+            base_rounds,
+            join_choice,
+        }
+    }
+}
+
+/// A built scenario, ready for exploration or replay.
+#[derive(Debug)]
+pub struct Built {
+    /// The cluster under the controlled scheduler.
+    pub net: SchedNet<Machine>,
+    /// The shared operation registry (also used by oracles).
+    pub registry: Arc<OpRegistry>,
+    /// The master's sync count at the end of the prelude; exploration
+    /// targets `base_rounds + preset.rounds`.
+    pub base_rounds: u64,
+    /// The staged joiner's choice seq, if the preset has a late join.
+    pub join_choice: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_and_quiesce() {
+        for p in PRESETS {
+            let built = p.build(&CommuteMatrix::new(), None);
+            assert!(built.net.pending_msgs().is_empty(), "{}", p.name);
+            assert!(built.net.has_timers(), "{}: tick must be armed", p.name);
+            assert_eq!(built.join_choice.is_some(), p.late_join, "{}", p.name);
+            for i in 0..p.eager {
+                let m = built.net.actor(MachineId::new(i)).unwrap();
+                assert!(m.check_guess_invariant(), "{} machine {i}", p.name);
+            }
+            // Injections are pending, not yet committed.
+            let master = built.net.actor(MachineId::new(0)).unwrap();
+            assert!(master.pending_len() > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = Preset::by_name("auction").unwrap();
+        let a = p.build(&CommuteMatrix::new(), None);
+        let b = p.build(&CommuteMatrix::new(), None);
+        assert_eq!(a.base_rounds, b.base_rounds);
+        assert_eq!(a.join_choice, b.join_choice);
+        assert_eq!(
+            a.net.actor(MachineId::new(0)).unwrap().committed_digest(),
+            b.net.actor(MachineId::new(0)).unwrap().committed_digest()
+        );
+    }
+}

@@ -21,6 +21,10 @@
 //!   making experiments repeatable.
 //! * [`ThreadedNet`] — a real-thread, wall-clock driver with the same
 //!   semantics, for interactive examples.
+//! * [`SchedNet`] — a controlled-scheduler driver for the model checker
+//!   (`guesstimate-mc`): every delivery, drop, join admission and timer
+//!   firing is an externally chosen event, so a checker can enumerate
+//!   interleavings instead of following the simulator's fixed order.
 //! * [`LatencyModel`] — constant / uniform / normal / log-normal / spiky
 //!   link-latency distributions (LAN-like defaults match the §7 testbed).
 //! * [`FaultPlan`] — message loss, duplication, machine stall windows and
@@ -80,6 +84,7 @@ mod channel;
 mod fault;
 mod latency;
 mod metrics;
+mod sched;
 mod sim;
 mod threaded;
 mod time;
@@ -90,6 +95,7 @@ pub use channel::Channel;
 pub use fault::{FaultEvent, FaultPlan, PartitionWindow, StallWindow};
 pub use latency::LatencyModel;
 pub use metrics::NetMetrics;
+pub use sched::{PendingMsg, SchedNet, TamperHook};
 pub use sim::{NetConfig, SimNet};
 pub use threaded::{ThreadedHandle, ThreadedNet};
 pub use time::SimTime;

@@ -97,6 +97,16 @@ enum EventKind<A: Actor> {
     },
 }
 
+/// A queue entry, ordered by `(at, seq)`.
+///
+/// `seq` is a monotonically increasing scheduling counter, so events that
+/// share a virtual timestamp fire in **exactly the order they were
+/// scheduled** — a total, deterministic tie-break. This matters: protocol
+/// stages routinely schedule several same-instant deliveries (a broadcast
+/// under constant latency lands everywhere at once), and without the
+/// counter the heap's ordering among equal keys would be arbitrary.
+/// Exploring *different* same-timestamp orders deliberately is the job of
+/// the model checker's `SchedNet`, not of `SimNet`.
 struct Scheduled<A: Actor> {
     at: SimTime,
     seq: u64,
@@ -255,6 +265,12 @@ impl<A: Actor> SimNet<A> {
     }
 
     /// Processes the next event, if any, returning its time.
+    ///
+    /// Events are consumed in `(at, seq)` order: earliest virtual time
+    /// first, and among events sharing a timestamp, **scheduling order**
+    /// (see [`Scheduled`]). Two runs with the same seed and the same
+    /// sequence of external calls therefore process identical event
+    /// sequences.
     pub fn step(&mut self) -> Option<SimTime> {
         let ev = self.queue.pop()?;
         debug_assert!(ev.at >= self.now, "time went backwards");
@@ -644,5 +660,49 @@ mod tests {
     fn debug_is_nonempty() {
         let net = mesh(1, NetConfig::lan(1));
         assert!(format!("{net:?}").contains("SimNet"));
+    }
+
+    /// Sequence-recording actor for the tie-break test.
+    struct Log {
+        seen: Vec<u64>,
+    }
+    impl Actor for Log {
+        type Msg = u64;
+        fn on_message(&mut self, _: MachineId, _: Channel, msg: u64, _: &mut Ctx<'_, u64>) {
+            self.seen.push(msg);
+        }
+    }
+
+    #[test]
+    fn same_timestamp_events_fire_in_scheduling_order() {
+        // Every event below lands at exactly t=5ms (constant latency, one
+        // shared target). The (at, seq) ordering must break the tie by
+        // scheduling order — 0, 1, 2, ... — not by heap whim.
+        let cfg = NetConfig::lan(1).with_latency(LatencyModel::constant_ms(5));
+        let mut net: SimNet<Log> = SimNet::new(cfg);
+        let target = MachineId::new(0);
+        let sender = MachineId::new(1);
+        net.add_machine(target, Log { seen: Vec::new() });
+        net.add_machine(sender, Log { seen: Vec::new() });
+        for k in 0..8 {
+            net.call(sender, |_, ctx| ctx.send(target, Channel::Operations, k));
+        }
+        net.run_until(SimTime::from_millis(5));
+        assert_eq!(net.actor(target).unwrap().seen, (0..8).collect::<Vec<_>>());
+
+        // And the order is a function of scheduling order alone: a second
+        // run scheduling the same messages in reverse delivers in reverse.
+        let cfg = NetConfig::lan(1).with_latency(LatencyModel::constant_ms(5));
+        let mut net: SimNet<Log> = SimNet::new(cfg);
+        net.add_machine(target, Log { seen: Vec::new() });
+        net.add_machine(sender, Log { seen: Vec::new() });
+        for k in (0..8).rev() {
+            net.call(sender, |_, ctx| ctx.send(target, Channel::Operations, k));
+        }
+        net.run_until(SimTime::from_millis(5));
+        assert_eq!(
+            net.actor(target).unwrap().seen,
+            (0..8).rev().collect::<Vec<_>>()
+        );
     }
 }

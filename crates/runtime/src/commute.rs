@@ -1,0 +1,275 @@
+//! Pairwise commutation judgments over wire operations.
+//!
+//! The replay-skip fast path ([`crate::MachineConfig::commute_skip`]) and
+//! the schedule model checker (`guesstimate-mc`) both need the same
+//! question answered: *do two wire operations provably commute?* The proof
+//! cascade, strongest-first, mirrors `docs/ANALYSIS.md`:
+//!
+//! 1. **Object disjointness** — per-object state means operations on
+//!    disjoint object sets always commute.
+//! 2. **Validated matrix** — the offline analysis proved the method pair
+//!    always-commuting (any argument, any state).
+//! 3. **Argument-precise footprints** — the methods' declared
+//!    [`EffectSpec`]s, instantiated at the operations' actual arguments,
+//!    have disjoint read/write sets on every shared object.
+//!
+//! Any pair left unproven — including any operation whose method lacks a
+//! declared effect — is conservatively treated as conflicting.
+//!
+//! Object types are resolved through a caller-supplied function, because
+//! the catalog to consult differs per caller: a [`crate::Machine`] uses its
+//! own catalog plus the round's fresh `Create`s, while the model checker
+//! uses the scenario's object table plus the creations inside the two
+//! batches under comparison.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use guesstimate_core::{ArgView, CommuteMatrix, Footprint, ObjectId, OpRegistry, SharedOp, ROOT};
+
+use crate::message::WireOp;
+
+/// Resolves an object id to its registered type name.
+pub type TypeOf<'a> = &'a dyn Fn(ObjectId) -> Option<String>;
+
+/// The set of objects a wire operation may touch.
+pub fn wire_objects(op: &WireOp) -> BTreeSet<ObjectId> {
+    match op {
+        WireOp::Create { object, .. } => BTreeSet::from([*object]),
+        WireOp::Shared(op) => op.objects_touched(),
+    }
+}
+
+/// Matrix fast path: both operations are single primitives on the same
+/// object whose method pair the offline analysis validated as
+/// always-commuting (any argument, any state).
+pub fn matrix_commutes(
+    matrix: &CommuteMatrix,
+    type_of: TypeOf<'_>,
+    a: &WireOp,
+    b: &WireOp,
+) -> bool {
+    let (
+        WireOp::Shared(SharedOp::Primitive {
+            object: oa,
+            method: ma,
+            ..
+        }),
+        WireOp::Shared(SharedOp::Primitive {
+            object: ob,
+            method: mb,
+            ..
+        }),
+    ) = (a, b)
+    else {
+        return false;
+    };
+    if oa != ob {
+        return false; // disjoint-object pairs are handled by the caller
+    }
+    let Some(ty) = type_of(*oa) else {
+        return false;
+    };
+    matrix.commutes(&ty, ma, mb)
+}
+
+/// Per-object read/write footprints of one wire operation, or `None` when
+/// any constituent method lacks a declared effect (the commutation
+/// judgment is then impossible). `Create` writes its object's whole
+/// snapshot, which the root footprint path expresses exactly.
+pub fn wire_footprints(
+    registry: &OpRegistry,
+    type_of: TypeOf<'_>,
+    op: &WireOp,
+) -> Option<BTreeMap<ObjectId, Footprint>> {
+    match op {
+        WireOp::Create { object, .. } => {
+            let mut m = BTreeMap::new();
+            m.insert(*object, Footprint::new().writes([ROOT]));
+            Some(m)
+        }
+        WireOp::Shared(op) => shared_footprints(registry, type_of, op),
+    }
+}
+
+/// Recursive footprint union over a [`SharedOp`] tree. `Atomic` unions its
+/// components; `OrElse` unions both alternatives (either may run, so the
+/// union over-approximates soundly).
+fn shared_footprints(
+    registry: &OpRegistry,
+    type_of: TypeOf<'_>,
+    op: &SharedOp,
+) -> Option<BTreeMap<ObjectId, Footprint>> {
+    fn merge(acc: &mut BTreeMap<ObjectId, Footprint>, id: ObjectId, fp: Footprint) {
+        match acc.remove(&id) {
+            Some(prev) => {
+                acc.insert(id, prev.union(&fp));
+            }
+            None => {
+                acc.insert(id, fp);
+            }
+        }
+    }
+    match op {
+        SharedOp::Primitive {
+            object,
+            method,
+            args,
+        } => {
+            let ty = type_of(*object)?;
+            let eff = registry.effect_of(&ty, method)?;
+            let mut m = BTreeMap::new();
+            m.insert(*object, eff.footprint(ArgView::new(args)));
+            Some(m)
+        }
+        SharedOp::Atomic(ops) => {
+            let mut acc = BTreeMap::new();
+            for op in ops {
+                for (id, fp) in shared_footprints(registry, type_of, op)? {
+                    merge(&mut acc, id, fp);
+                }
+            }
+            Some(acc)
+        }
+        SharedOp::OrElse(a, b) => {
+            let mut acc = shared_footprints(registry, type_of, a)?;
+            for (id, fp) in shared_footprints(registry, type_of, b)? {
+                merge(&mut acc, id, fp);
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// Full cascade for one pair: do `a` and `b` provably commute?
+///
+/// Runs the three proofs in order — disjoint touched-object sets, the
+/// analysis-validated matrix, argument-precise footprint disjointness on
+/// every shared object. Returns `false` whenever no proof applies.
+pub fn wire_ops_commute(
+    registry: &OpRegistry,
+    matrix: &CommuteMatrix,
+    type_of: TypeOf<'_>,
+    a: &WireOp,
+    b: &WireOp,
+) -> bool {
+    let a_objs = wire_objects(a);
+    let b_objs = wire_objects(b);
+    if a_objs.is_disjoint(&b_objs) {
+        return true;
+    }
+    if matrix_commutes(matrix, type_of, a, b) {
+        return true;
+    }
+    let (Some(afp), Some(bfp)) = (
+        wire_footprints(registry, type_of, a),
+        wire_footprints(registry, type_of, b),
+    ) else {
+        return false;
+    };
+    a_objs
+        .intersection(&b_objs)
+        .all(|id| match (afp.get(id), bfp.get(id)) {
+            (Some(x), Some(y)) => x.disjoint(y),
+            _ => false,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::slots_registry;
+    use guesstimate_core::{args, MachineId};
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::new(MachineId::new(0), n)
+    }
+
+    fn put(o: ObjectId, k: &str) -> WireOp {
+        WireOp::Shared(SharedOp::primitive(o, "put", args![k, 1]))
+    }
+
+    #[test]
+    fn disjoint_objects_commute_without_effects() {
+        let reg = slots_registry();
+        let resolve = |_: ObjectId| Some("Slots".to_owned());
+        let a = WireOp::Shared(SharedOp::primitive(obj(0), "raw_put", args!["a", 1]));
+        let b = WireOp::Shared(SharedOp::primitive(obj(1), "raw_put", args!["a", 1]));
+        assert!(wire_ops_commute(
+            &reg,
+            &CommuteMatrix::new(),
+            &resolve,
+            &a,
+            &b
+        ));
+    }
+
+    #[test]
+    fn footprints_decide_same_object_pairs() {
+        let reg = slots_registry();
+        let resolve = |_: ObjectId| Some("Slots".to_owned());
+        let m = CommuteMatrix::new();
+        assert!(wire_ops_commute(
+            &reg,
+            &m,
+            &resolve,
+            &put(obj(0), "a"),
+            &put(obj(0), "b")
+        ));
+        assert!(!wire_ops_commute(
+            &reg,
+            &m,
+            &resolve,
+            &put(obj(0), "a"),
+            &put(obj(0), "a")
+        ));
+    }
+
+    #[test]
+    fn matrix_vouches_for_undeclared_methods() {
+        let reg = slots_registry();
+        let resolve = |_: ObjectId| Some("Slots".to_owned());
+        let a = WireOp::Shared(SharedOp::primitive(obj(0), "raw_put", args!["a", 1]));
+        let b = WireOp::Shared(SharedOp::primitive(obj(0), "raw_put", args!["b", 2]));
+        assert!(!wire_ops_commute(
+            &reg,
+            &CommuteMatrix::new(),
+            &resolve,
+            &a,
+            &b
+        ));
+        let mut m = CommuteMatrix::new();
+        m.insert("Slots", "raw_put", "raw_put");
+        assert!(wire_ops_commute(&reg, &m, &resolve, &a, &b));
+    }
+
+    #[test]
+    fn create_footprint_is_the_whole_object() {
+        let reg = slots_registry();
+        let resolve = |_: ObjectId| Some("Slots".to_owned());
+        let create = WireOp::Create {
+            object: obj(0),
+            type_name: "Slots".to_owned(),
+            init: guesstimate_core::Value::Map(Default::default()),
+        };
+        assert!(!wire_ops_commute(
+            &reg,
+            &CommuteMatrix::new(),
+            &resolve,
+            &create,
+            &put(obj(0), "a")
+        ));
+    }
+
+    #[test]
+    fn unresolvable_type_is_conservative() {
+        let reg = slots_registry();
+        let resolve = |_: ObjectId| None;
+        assert!(!wire_ops_commute(
+            &reg,
+            &CommuteMatrix::new(),
+            &resolve,
+            &put(obj(0), "a"),
+            &put(obj(0), "b")
+        ));
+    }
+}

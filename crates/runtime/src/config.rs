@@ -51,6 +51,15 @@ pub struct MachineConfig {
     /// (`guesstimate-analysis`). Used as a fast path by the replay-skip
     /// check before falling back to per-argument footprint comparison.
     pub commute_matrix: CommuteMatrix,
+    /// Debug-assert the §3 invariant `sg = [P](sc)` after **every**
+    /// protocol step (`on_start` / `on_message` / `on_timer`).
+    ///
+    /// Used by the schedule model checker (`guesstimate-mc`) and by test
+    /// clusters instead of ad-hoc per-test invariant calls. The assertion
+    /// is a `debug_assert!`, so release builds pay nothing; the invariant
+    /// replay makes debug runs quadratic in the pending-list length, which
+    /// is why this is off by default.
+    pub paranoid_checks: bool,
 }
 
 impl Default for MachineConfig {
@@ -64,6 +73,7 @@ impl Default for MachineConfig {
             master_failover: None,
             commute_skip: false,
             commute_matrix: CommuteMatrix::new(),
+            paranoid_checks: false,
         }
     }
 }
@@ -118,6 +128,13 @@ impl MachineConfig {
     /// [`MachineConfig::commute_matrix`]).
     pub fn with_commute_matrix(mut self, m: CommuteMatrix) -> Self {
         self.commute_matrix = m;
+        self
+    }
+
+    /// Enables per-step invariant assertions (see
+    /// [`MachineConfig::paranoid_checks`]).
+    pub fn with_paranoid_checks(mut self, on: bool) -> Self {
+        self.paranoid_checks = on;
         self
     }
 }

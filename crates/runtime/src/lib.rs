@@ -72,6 +72,7 @@
 
 mod blocking;
 mod cluster;
+pub mod commute;
 mod config;
 mod machine;
 mod message;

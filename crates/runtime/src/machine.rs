@@ -12,11 +12,12 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use guesstimate_core::{
-    execute, ArgView, CompletionFn, CompletionQueue, ExecError, Footprint, GState, MachineId,
-    ObjectId, ObjectStore, OpId, OpRegistry, SharedOp, ROOT,
+    execute, CompletionFn, CompletionQueue, ExecError, Footprint, GState, MachineId, ObjectId,
+    ObjectStore, OpId, OpRegistry, SharedOp,
 };
 use guesstimate_net::{NoopTracer, SimTime, TraceEvent, TraceRecord, Tracer};
 
+use crate::commute;
 use crate::config::MachineConfig;
 use crate::message::{Msg, ObjectInit, WireEnvelope, WireOp};
 use crate::protocol::{MasterRound, RoundState};
@@ -217,6 +218,16 @@ impl Machine {
         self.completed.len()
     }
 
+    /// The completed-operation identities `C`, in commit order.
+    ///
+    /// Oracle surface for the schedule model checker (`guesstimate-mc`):
+    /// the paper's agreement invariant says any two machines' completed
+    /// sequences are prefix-ordered, and equal sequences imply equal
+    /// committed states.
+    pub fn completed_ops(&self) -> &[OpId] {
+        &self.completed
+    }
+
     /// Deterministic digest of the committed state `sc`.
     pub fn committed_digest(&self) -> u64 {
         self.committed.digest()
@@ -279,6 +290,24 @@ impl Machine {
             let _ = execute_wire(&env.op, &mut replay, &self.registry);
         }
         replay.digest() == self.guess.digest()
+    }
+
+    /// Debug-asserts [`Machine::check_guess_invariant`] when
+    /// [`MachineConfig::paranoid_checks`] is enabled.
+    ///
+    /// The protocol driver calls this after every `on_start` / `on_message`
+    /// / `on_timer` step, so an enabled machine validates the §3 invariant
+    /// at every point a scheduler could observe it. Compiled out of release
+    /// builds (`debug_assert!`).
+    #[inline]
+    pub(crate) fn paranoid_check(&self, site: &str) {
+        if self.cfg.paranoid_checks {
+            debug_assert!(
+                self.check_guess_invariant(),
+                "paranoid_checks: [P](sc) != sg on {:?} after {site}",
+                self.id
+            );
+        }
     }
 
     fn next_op_id(&mut self) -> OpId {
@@ -585,46 +614,52 @@ impl Machine {
     /// Proofs, strongest-first per pair: disjoint touched-object sets;
     /// the analysis-validated [`MachineConfig::commute_matrix`]; and
     /// argument-precise footprint disjointness from the methods' declared
-    /// [`guesstimate_core::EffectSpec`]s. Any pair left unproven — including
-    /// any operation whose method lacks a declared effect — forces the
-    /// full rebuild.
+    /// [`guesstimate_core::EffectSpec`]s (see [`crate::commute`]). Any pair
+    /// left unproven — including any operation whose method lacks a
+    /// declared effect — forces the full rebuild.
     fn can_skip_replay(&self, ordered: &[WireEnvelope]) -> bool {
         if self.pending.is_empty() {
             return false; // nothing to skip; the rebuild is a plain copy
         }
         // Objects created this round are not in the catalog yet.
-        let mut created: BTreeMap<ObjectId, &str> = BTreeMap::new();
+        let mut created: BTreeMap<ObjectId, String> = BTreeMap::new();
         for env in ordered {
             if let WireOp::Create {
                 object, type_name, ..
             } = &env.op
             {
-                created.insert(*object, type_name.as_str());
+                created.insert(*object, type_name.clone());
             }
         }
+        let type_of = |id: ObjectId| {
+            created
+                .get(&id)
+                .cloned()
+                .or_else(|| self.catalog.get(&id).cloned())
+        };
         let pending_objs: Vec<(&WireEnvelope, BTreeSet<ObjectId>)> = self
             .pending
             .iter()
-            .map(|env| (env, wire_objects(&env.op)))
+            .map(|env| (env, commute::wire_objects(&env.op)))
             .collect();
         for f in ordered.iter().filter(|e| e.id.machine() != self.id) {
-            let f_objs = wire_objects(&f.op);
+            let f_objs = commute::wire_objects(&f.op);
             let mut f_fps: Option<BTreeMap<ObjectId, Footprint>> = None;
             for (p, p_objs) in &pending_objs {
                 if f_objs.is_disjoint(p_objs) {
                     continue; // per-object state: disjoint objects commute
                 }
-                if self.matrix_commutes(&f.op, &p.op, &created) {
+                if commute::matrix_commutes(&self.cfg.commute_matrix, &type_of, &f.op, &p.op) {
                     continue;
                 }
                 if f_fps.is_none() {
-                    match self.wire_footprints(&f.op, &created) {
+                    match commute::wire_footprints(&self.registry, &type_of, &f.op) {
                         Some(fp) => f_fps = Some(fp),
                         None => return false,
                     }
                 }
                 let ffp = f_fps.as_ref().expect("computed above");
-                let Some(pfp) = self.wire_footprints(&p.op, &created) else {
+                let Some(pfp) = commute::wire_footprints(&self.registry, &type_of, &p.op) else {
                     return false;
                 };
                 let all_disjoint =
@@ -640,115 +675,6 @@ impl Machine {
             }
         }
         true
-    }
-
-    /// Matrix fast path: both operations are single primitives on the same
-    /// object whose method pair the offline analysis validated as
-    /// always-commuting (any argument, any state).
-    fn matrix_commutes(&self, a: &WireOp, b: &WireOp, created: &BTreeMap<ObjectId, &str>) -> bool {
-        let (
-            WireOp::Shared(SharedOp::Primitive {
-                object: oa,
-                method: ma,
-                ..
-            }),
-            WireOp::Shared(SharedOp::Primitive {
-                object: ob,
-                method: mb,
-                ..
-            }),
-        ) = (a, b)
-        else {
-            return false;
-        };
-        if oa != ob {
-            return false; // disjoint-object pairs are handled by the caller
-        }
-        let Some(ty) = self.type_of(oa, created) else {
-            return false;
-        };
-        self.cfg.commute_matrix.commutes(ty, ma, mb)
-    }
-
-    /// Resolves an object's type name through the catalog, falling back to
-    /// the round's fresh `Create`s.
-    fn type_of<'a>(
-        &'a self,
-        id: &ObjectId,
-        created: &BTreeMap<ObjectId, &'a str>,
-    ) -> Option<&'a str> {
-        created
-            .get(id)
-            .copied()
-            .or_else(|| self.catalog.get(id).map(String::as_str))
-    }
-
-    /// Per-object read/write footprints of one wire operation, or `None`
-    /// when any constituent method lacks a declared effect (the commutation
-    /// judgment is then impossible). `Create` writes its object's whole
-    /// snapshot, which the root footprint path expresses exactly.
-    fn wire_footprints(
-        &self,
-        op: &WireOp,
-        created: &BTreeMap<ObjectId, &str>,
-    ) -> Option<BTreeMap<ObjectId, Footprint>> {
-        match op {
-            WireOp::Create { object, .. } => {
-                let mut m = BTreeMap::new();
-                m.insert(*object, Footprint::new().writes([ROOT]));
-                Some(m)
-            }
-            WireOp::Shared(op) => self.shared_footprints(op, created),
-        }
-    }
-
-    /// Recursive footprint union over a [`SharedOp`] tree. `Atomic` unions
-    /// its components; `OrElse` unions both alternatives (either may run,
-    /// so the union over-approximates soundly).
-    fn shared_footprints(
-        &self,
-        op: &SharedOp,
-        created: &BTreeMap<ObjectId, &str>,
-    ) -> Option<BTreeMap<ObjectId, Footprint>> {
-        fn merge(acc: &mut BTreeMap<ObjectId, Footprint>, id: ObjectId, fp: Footprint) {
-            match acc.remove(&id) {
-                Some(prev) => {
-                    acc.insert(id, prev.union(&fp));
-                }
-                None => {
-                    acc.insert(id, fp);
-                }
-            }
-        }
-        match op {
-            SharedOp::Primitive {
-                object,
-                method,
-                args,
-            } => {
-                let ty = self.type_of(object, created)?;
-                let eff = self.registry.effect_of(ty, method)?;
-                let mut m = BTreeMap::new();
-                m.insert(*object, eff.footprint(ArgView::new(args)));
-                Some(m)
-            }
-            SharedOp::Atomic(ops) => {
-                let mut acc = BTreeMap::new();
-                for op in ops {
-                    for (id, fp) in self.shared_footprints(op, created)? {
-                        merge(&mut acc, id, fp);
-                    }
-                }
-                Some(acc)
-            }
-            SharedOp::OrElse(a, b) => {
-                let mut acc = self.shared_footprints(a, created)?;
-                for (id, fp) in self.shared_footprints(b, created)? {
-                    merge(&mut acc, id, fp);
-                }
-                Some(acc)
-            }
-        }
     }
 
     /// Builds the catalog snapshot + completed history shipped to a joining
@@ -836,14 +762,6 @@ impl Machine {
 ///
 /// `Create` materializes the object (idempotently overwriting any stale
 /// instance) and always succeeds; `Shared` defers to the core engine.
-/// The set of objects a wire operation may touch.
-fn wire_objects(op: &WireOp) -> BTreeSet<ObjectId> {
-    match op {
-        WireOp::Create { object, .. } => BTreeSet::from([*object]),
-        WireOp::Shared(op) => op.objects_touched(),
-    }
-}
-
 pub(crate) fn execute_wire(
     op: &WireOp,
     store: &mut ObjectStore,

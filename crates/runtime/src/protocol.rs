@@ -160,6 +160,7 @@ impl Actor for Machine {
                 ctx.set_timer(timeout, tag(KIND_WATCHDOG, 0));
             }
         }
+        self.paranoid_check("on_start");
     }
 
     fn on_message(&mut self, from: MachineId, _channel: Channel, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
@@ -199,6 +200,7 @@ impl Actor for Machine {
             Msg::MasterHeartbeat => {}
             other => self.route_round_msg(from, other, ctx),
         }
+        self.paranoid_check("on_message");
     }
 
     fn on_timer(&mut self, timer_tag: u64, ctx: &mut Ctx<'_, Msg>) {
@@ -211,6 +213,7 @@ impl Actor for Machine {
             KIND_ELECTION_END => self.handle_election_end(tag_round(timer_tag), ctx),
             _ => {}
         }
+        self.paranoid_check("on_timer");
     }
 }
 
@@ -1319,10 +1322,13 @@ mod tests {
     }
 
     fn default_cfg() -> MachineConfig {
+        // paranoid_checks: every protocol step re-validates `sg = [P](sc)`,
+        // so these tests no longer need ad-hoc mid-run invariant calls.
         MachineConfig::default()
             .with_sync_period(SimTime::from_millis(100))
             .with_stall_timeout(SimTime::from_millis(500))
             .with_join_retry(SimTime::from_millis(300))
+            .with_paranoid_checks(true)
     }
 
     fn fast_cluster(n: u32, seed: u64) -> SimNet<Machine> {

@@ -156,6 +156,74 @@ impl SemSystem {
         Ok(true)
     }
 
+    /// **R2** with a caller-chosen identity: issue `op` at machine `i`
+    /// under the exact [`OpId`] the implementation used.
+    ///
+    /// Refinement checking (the `guesstimate-mc` model checker) replays a
+    /// runtime machine's committed history through the model and needs the
+    /// model's completed sequence `C` to match the runtime's *identically*,
+    /// op ids included — so the id is taken from the wire envelope instead
+    /// of being minted here. The operation is executed on `sg(i)` for its
+    /// effect and appended to `P(i)` unconditionally (a history envelope
+    /// was, by construction, successfully issued at the implementation
+    /// level). `next_op` advances past `id` so interleaved [`SemSystem::issue`]
+    /// calls never collide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] for unknown objects/methods (not part of the
+    /// model — a programming error).
+    pub fn issue_forced(&mut self, i: MachineId, id: OpId, op: SharedOp) -> Result<(), ExecError> {
+        let m = self.machines.get_mut(&i).ok_or(ExecError::UnknownObject(
+            guesstimate_core::ObjectId::new(i, 0),
+        ))?;
+        let _ = execute(&op, &mut m.guess, &self.registry)?;
+        m.next_op = m.next_op.max(id.seq() + 1);
+        m.pending.push_back(SemOp { id, shared: op });
+        Ok(())
+    }
+
+    /// Commits an object creation: installs a fresh `type_name` instance
+    /// restored from `init` into **every** machine's committed state and
+    /// appends `op_id` to every `C`.
+    ///
+    /// The paper's semantics treats the object universe `S` as fixed; the
+    /// implementation creates objects through the same committed-order
+    /// machinery as operations. Refinement checking maps a committed
+    /// `Create` envelope to this transition so the model's completed
+    /// sequences and committed stores keep tracking the runtime's exactly.
+    /// Every machine's guesstimate is rebuilt as `sg = [P](sc)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::UnknownType`] when `type_name` has no
+    /// registered constructor, or a restore failure mapped through the
+    /// registry.
+    pub fn materialize(
+        &mut self,
+        op_id: OpId,
+        object: guesstimate_core::ObjectId,
+        type_name: &str,
+        init: &Value,
+    ) -> Result<(), ExecError> {
+        let registry = self.registry.clone();
+        for m in self.machines.values_mut() {
+            let mut obj = registry.construct(type_name)?;
+            obj.restore(init).map_err(|_| ExecError::TypeMismatch {
+                expected: type_name.to_owned(),
+                actual: "snapshot of another shape".to_owned(),
+            })?;
+            m.committed.insert(object, obj);
+            m.completed.push(op_id);
+            m.guess.copy_from(&m.committed);
+            let pend: Vec<SemOp> = m.pending.iter().cloned().collect();
+            for p in &pend {
+                let _ = execute(&p.shared, &mut m.guess, &registry);
+            }
+        }
+        Ok(())
+    }
+
     /// **R3**: atomically commit the operation at the front of `P(i)`.
     ///
     /// The operation is executed on every machine's committed state
@@ -418,6 +486,63 @@ mod tests {
         assert_ne!(d0, d1);
         sys.commit(m(0)).unwrap();
         assert_ne!(d1, sys.digest());
+    }
+
+    #[test]
+    fn issue_forced_keeps_caller_ids_and_advances_seq() {
+        let mut sys = counter_system(2, 0);
+        let obj = counter_object();
+        let forced = OpId::new(m(0), 7);
+        sys.issue_forced(m(0), forced, SharedOp::primitive(obj, "add", args![2]))
+            .unwrap();
+        check_invariants(&sys).unwrap();
+        assert_eq!(sys.machine(m(0)).unwrap().pending[0].id, forced);
+        // A subsequently minted id must not collide with the forced one.
+        assert!(sys
+            .issue(m(0), SharedOp::primitive(obj, "add", args![1]))
+            .unwrap());
+        assert_eq!(sys.machine(m(0)).unwrap().pending[1].id, OpId::new(m(0), 8));
+        assert!(sys.commit(m(0)).unwrap());
+        assert_eq!(sys.machine(m(1)).unwrap().completed, vec![forced]);
+        check_invariants(&sys).unwrap();
+    }
+
+    #[test]
+    fn materialize_installs_everywhere() {
+        let mut sys = counter_system(2, 0);
+        let new_obj = guesstimate_core::ObjectId::new(m(1), 5);
+        let create_id = OpId::new(m(1), 0);
+        // Pending work on machine 0 must survive the rebuild of sg.
+        let obj = counter_object();
+        sys.issue(m(0), SharedOp::primitive(obj, "add", args![3]))
+            .unwrap();
+        sys.materialize(create_id, new_obj, "SemCounter", &Value::from(9i64))
+            .unwrap();
+        check_invariants(&sys).unwrap();
+        for i in 0..2 {
+            let mm = sys.machine(m(i)).unwrap();
+            assert!(mm.committed.contains(new_obj));
+            assert_eq!(mm.completed, vec![create_id]);
+        }
+        // Ops on the fresh object now commit cleanly.
+        sys.issue(m(1), SharedOp::primitive(new_obj, "add", args![1]))
+            .unwrap();
+        assert!(sys.commit(m(1)).unwrap());
+        check_invariants(&sys).unwrap();
+    }
+
+    #[test]
+    fn materialize_unknown_type_errors() {
+        let mut sys = counter_system(1, 0);
+        let err = sys
+            .materialize(
+                OpId::new(m(0), 0),
+                guesstimate_core::ObjectId::new(m(0), 9),
+                "NoSuchType",
+                &Value::from(0i64),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExecError::UnknownType(_)));
     }
 
     #[test]

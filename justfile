@@ -1,7 +1,7 @@
 # Developer workflow. Run `just check` before sending a change.
 
 # Everything CI would run, in order.
-check: fmt clippy test analyze
+check: fmt clippy test analyze mc-smoke
 
 # Formatting gate (no writes).
 fmt:
@@ -19,6 +19,20 @@ test:
 # effect, footprint under-approximation or nondeterminism is fatal.
 analyze:
     cargo run -q -p guesstimate-analysis --bin analyze
+
+# Model-checker smoke: a quick bounded exploration of every preset
+# (debug build, small budget) — catches oracle violations early.
+mc-smoke:
+    cargo run -q -p guesstimate-mc --bin mc -- --preset all --max-schedules 400
+
+# The CI model-checking gate: release build, full budget, with the
+# validated commute matrix from the effect analysis; requires >= 10k
+# schedules per preset and >= 30% pruning from the reduction.
+mc:
+    cargo run -q -p guesstimate-analysis --bin analyze -- --json target/analysis.json > /dev/null
+    cargo run --release -q -p guesstimate-mc --bin mc -- --preset all \
+        --matrix target/analysis.json --max-schedules 12000 \
+        --min-schedules 10000 --min-prune 0.30
 
 # Tier-1 smoke: what the release gate runs.
 tier1:

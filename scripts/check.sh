@@ -9,3 +9,7 @@ cargo test --workspace -q
 # Effect-analysis lint: undeclared effects, footprint under-approximations
 # and nondeterminism in any bundled app fail the check (docs/ANALYSIS.md).
 cargo run -q -p guesstimate-analysis --bin analyze
+# Model-checker smoke: bounded exploration of every preset with all
+# oracles armed (docs/MODELCHECK.md). The full-budget gated run is
+# CI's `mc` step / `just mc`.
+cargo run -q -p guesstimate-mc --bin mc -- --preset all --max-schedules 400

@@ -36,7 +36,8 @@ fn everything_at_once_soak() {
         MachineConfig::default()
             .with_sync_period(SimTime::from_millis(150))
             .with_stall_timeout(SimTime::from_millis(900))
-            .with_join_retry(SimTime::from_millis(500)),
+            .with_join_retry(SimTime::from_millis(500))
+            .with_paranoid_checks(true),
         NetConfig::lan(4242)
             .with_latency(LatencyModel::lan_ms(20))
             .with_faults(faults),
@@ -78,7 +79,8 @@ fn everything_at_once_soak() {
             MachineConfig::default()
                 .with_sync_period(SimTime::from_millis(150))
                 .with_stall_timeout(SimTime::from_millis(900))
-                .with_join_retry(SimTime::from_millis(500)),
+                .with_join_retry(SimTime::from_millis(500))
+                .with_paranoid_checks(true),
         ),
     );
 

@@ -18,6 +18,7 @@ fn mcfg() -> MachineConfig {
         .with_sync_period(SimTime::from_millis(150))
         .with_stall_timeout(SimTime::from_millis(700))
         .with_join_retry(SimTime::from_millis(400))
+        .with_paranoid_checks(true)
 }
 
 fn schedule_activity(

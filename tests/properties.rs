@@ -213,7 +213,8 @@ proptest! {
             registry,
             MachineConfig::default()
                 .with_sync_period(SimTime::from_millis(120))
-                .with_stall_timeout(SimTime::from_secs(2)),
+                .with_stall_timeout(SimTime::from_secs(2))
+                .with_paranoid_checks(true),
             NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(20)),
         );
         prop_assert!(run_until_cohort(&mut net, SimTime::from_secs(15)));
