@@ -1,0 +1,76 @@
+//! Metrics and trace artifact writing shared by the bench binaries.
+//!
+//! Every instrumented run drops three files next to the JSONL protocol
+//! trace: a Prometheus text snapshot (`<stem>.prom`), the same metrics
+//! rendered as JSON (`<stem>.json`), and a Chrome trace-format timeline
+//! (`<stem>_chrome.json`) that `chrome://tracing` or Perfetto opens
+//! directly. See `docs/OBSERVABILITY.md` for the worked example.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use guesstimate_net::TraceRecord;
+use guesstimate_telemetry::Telemetry;
+
+/// Resolves the metrics artifact stem: the `GUESSTIMATE_METRICS`
+/// environment variable overrides it wholesale, otherwise
+/// `target/<default_stem>`. [`write_metrics_artifacts`] extends the stem
+/// with `.prom`, `.json`, and `_chrome.json`.
+pub fn metrics_stem(default_stem: &str) -> PathBuf {
+    std::env::var_os("GUESSTIMATE_METRICS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join(default_stem))
+}
+
+/// Writes the three metrics artifacts for one instrumented run and
+/// returns their paths in `[prometheus, json, chrome_trace]` order.
+pub fn write_metrics_artifacts(
+    telemetry: &Telemetry,
+    records: &[TraceRecord],
+    stem: &Path,
+) -> io::Result<[PathBuf; 3]> {
+    if let Some(parent) = stem.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let stem = stem.to_string_lossy();
+    let paths = [
+        PathBuf::from(format!("{stem}.prom")),
+        PathBuf::from(format!("{stem}.json")),
+        PathBuf::from(format!("{stem}_chrome.json")),
+    ];
+    std::fs::write(&paths[0], telemetry.render_prometheus())?;
+    std::fs::write(&paths[1], telemetry.render_json())?;
+    std::fs::write(&paths[2], telemetry.render_chrome_trace(records))?;
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_all_three_artifacts() {
+        let dir =
+            std::env::temp_dir().join(format!("guesstimate-artifacts-{}", std::process::id()));
+        let telemetry = Telemetry::new();
+        telemetry.mc_schedule();
+        let paths = write_metrics_artifacts(&telemetry, &[], &dir.join("smoke"))
+            .expect("artifacts written");
+        for p in &paths {
+            let text = std::fs::read_to_string(p).expect("artifact readable");
+            assert!(!text.is_empty(), "{} should not be empty", p.display());
+        }
+        assert!(paths[0].to_string_lossy().ends_with(".prom"));
+        assert!(paths[2].to_string_lossy().ends_with("_chrome.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stem_defaults_under_target() {
+        // Only exercise the default branch: mutating the environment is
+        // not safe under the parallel test harness.
+        if std::env::var_os("GUESSTIMATE_METRICS").is_none() {
+            assert_eq!(metrics_stem("x"), PathBuf::from("target").join("x"));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Telemetry smoke benchmark: a short fixed-seed Figure 5 run with the
+//! full observability stack on, self-validated.
+//!
+//! Checks the invariants docs/OBSERVABILITY.md promises:
+//!
+//! 1. per-stage durations sum exactly to each round's duration;
+//! 2. the commit-lag histogram holds one sample per committed operation;
+//! 3. no operation executed more than 3 times (issue, replay, commit);
+//! 4. a paired run with the no-op telemetry handle commits a
+//!    byte-identical history (observational invisibility).
+//!
+//! Usage: `bench_snapshot [duration_secs] [seed] [out_json]`
+//! (defaults: 60, 42, `target/bench_snapshot.json`). Metrics artifacts
+//! (Prometheus text, JSON, Chrome trace) go under the
+//! `target/bench_snapshot_metrics` stem (override with
+//! `GUESSTIMATE_METRICS=<stem>`). Any violated invariant exits non-zero.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use guesstimate_bench::{
+    metrics_stem, run_fig5, run_fig5_instrumented, write_jsonl, write_metrics_artifacts,
+};
+use guesstimate_net::{RecordingTracer, SimTime};
+use guesstimate_telemetry::Telemetry;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let out_json = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("bench_snapshot.json"));
+
+    eprintln!("bench_snapshot: fig5 {duration}s, seed {seed}, telemetry on ...");
+    let tracer = Arc::new(RecordingTracer::new());
+    let telemetry = Telemetry::new();
+    let instrumented = run_fig5_instrumented(
+        seed,
+        SimTime::from_secs(duration),
+        Some(tracer.clone()),
+        telemetry.clone(),
+    );
+
+    let records = tracer.take();
+    let stem = metrics_stem("bench_snapshot_metrics");
+    let trace_path = PathBuf::from(format!("{}_trace.jsonl", stem.to_string_lossy()));
+    if let Some(parent) = trace_path.parent() {
+        std::fs::create_dir_all(parent).expect("create artifact dir");
+    }
+    write_jsonl(&trace_path, &records).expect("write trace");
+    let artifact_paths =
+        write_metrics_artifacts(&telemetry, &records, &stem).expect("write metrics artifacts");
+    for p in &artifact_paths {
+        eprintln!("wrote metrics artifact {}", p.display());
+    }
+
+    // Invariant 1: the three stage durations partition the round exactly.
+    for s in &instrumented.sync_samples {
+        let sum = s.flush_duration + s.apply_duration + s.completion_duration;
+        assert_eq!(
+            sum, s.duration,
+            "round {}: stage durations {sum:?} != round duration {:?}",
+            s.round, s.duration
+        );
+    }
+
+    // Invariant 2: one commit-lag sample per committed operation, and the
+    // span count agrees with the runtime's own commit tally.
+    assert_eq!(
+        telemetry.commit_lag_count(),
+        telemetry.ops_committed(),
+        "commit-lag histogram must hold exactly one sample per commit"
+    );
+    assert_eq!(
+        telemetry.ops_committed(),
+        instrumented.committed,
+        "telemetry spans must agree with runtime commit stats"
+    );
+
+    // Invariant 3: the paper's bound — an op executes at most 3 times.
+    assert!(
+        telemetry.max_exec_count() <= 3,
+        "op executed {} times, bound is 3",
+        telemetry.max_exec_count()
+    );
+    assert_eq!(
+        telemetry.exec_count_above(3),
+        0,
+        "exec-count histogram must have zero mass above 3"
+    );
+
+    // Invariant 4: observational invisibility — the same seed with the
+    // no-op handle (and no tracer) commits a byte-identical history.
+    eprintln!("bench_snapshot: paired run with no-op telemetry ...");
+    let noop = run_fig5(seed, SimTime::from_secs(duration));
+    assert!(instrumented.converged, "instrumented run must converge");
+    assert!(noop.converged, "noop run must converge");
+    assert_eq!(
+        instrumented.committed_digest, noop.committed_digest,
+        "telemetry must not perturb the committed history"
+    );
+    assert_eq!(instrumented.issued, noop.issued, "issue counts must match");
+    assert_eq!(
+        instrumented.committed, noop.committed,
+        "commit counts must match"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_snapshot\",\n  \"seed\": {seed},\n  \"duration_secs\": {duration},\n  \"synchronizations\": {},\n  \"ops_issued\": {},\n  \"ops_committed\": {},\n  \"commit_lag_samples\": {},\n  \"max_exec_count\": {},\n  \"bytes_sent\": {},\n  \"bytes_delivered\": {},\n  \"trace_events\": {},\n  \"stage_sum_ok\": true,\n  \"invisibility_ok\": true,\n  \"converged\": true\n}}\n",
+        instrumented.sync_samples.len(),
+        instrumented.issued,
+        instrumented.committed,
+        telemetry.commit_lag_count(),
+        telemetry.max_exec_count(),
+        instrumented.net.bytes_sent,
+        instrumented.net.bytes_delivered,
+        records.len(),
+    );
+    if let Some(parent) = out_json.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    std::fs::write(&out_json, &json).expect("write summary json");
+    eprintln!("wrote summary to {}", out_json.display());
+    println!("bench_snapshot: all telemetry invariants hold");
+}

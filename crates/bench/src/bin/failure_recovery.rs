@@ -17,14 +17,20 @@
 //! `target/failure_recovery_trace.jsonl` (override with
 //! `GUESSTIMATE_TRACE=<path>`); the recovery rounds' timelines are printed
 //! so each resend/removal can be followed through the three stages.
+//! Metrics snapshots (Prometheus text, JSON, Chrome trace) land under the
+//! `target/failure_recovery_metrics` stem (override with
+//! `GUESSTIMATE_METRICS=<stem>`); see docs/OBSERVABILITY.md.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use guesstimate_bench::experiments::{run_session_traced, ActivityLevel, SessionConfig};
-use guesstimate_bench::{render_timelines, summarize_rounds, write_jsonl};
+use guesstimate_bench::experiments::{run_session_instrumented, ActivityLevel, SessionConfig};
+use guesstimate_bench::{
+    metrics_stem, render_timelines, summarize_rounds, write_jsonl, write_metrics_artifacts,
+};
 use guesstimate_core::MachineId;
 use guesstimate_net::{FaultPlan, RecordingTracer, SimTime, StallWindow};
+use guesstimate_telemetry::Telemetry;
 
 fn trace_path(default_name: &str) -> PathBuf {
     std::env::var_os("GUESSTIMATE_TRACE")
@@ -59,7 +65,8 @@ fn main() {
 
     eprintln!("running failure/recovery session: 6 users, {duration}s, 2 stalls + 0.2% loss ...");
     let tracer = Arc::new(RecordingTracer::new());
-    let r = run_session_traced(&cfg, Some(tracer.clone()));
+    let telemetry = Telemetry::new();
+    let r = run_session_instrumented(&cfg, Some(tracer.clone()), telemetry.clone());
 
     let records = tracer.take();
     let path = trace_path("failure_recovery_trace.jsonl");
@@ -70,9 +77,18 @@ fn main() {
         Ok(()) => eprintln!("wrote {} trace events to {}", records.len(), path.display()),
         Err(e) => eprintln!("could not write trace to {}: {e}", path.display()),
     }
+    let stem = metrics_stem("failure_recovery_metrics");
+    match write_metrics_artifacts(&telemetry, &records, &stem) {
+        Ok(paths) => {
+            for p in &paths {
+                eprintln!("wrote metrics artifact {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("could not write metrics to {}*: {e}", stem.display()),
+    }
 
-    let resends: u32 = r.sync_samples.iter().map(|s| s.resends).sum();
-    let removals: u32 = r.sync_samples.iter().map(|s| s.removals).sum();
+    let resends: u64 = r.sync_samples.iter().map(|s| s.resends).sum();
+    let removals: u64 = r.sync_samples.iter().map(|s| s.removals).sum();
     let recovered_rounds = r.sync_samples.iter().filter(|s| s.recovered()).count();
     let restarts: u64 = r.per_machine.iter().map(|s| s.restarts).sum();
     let lost: u64 = r.per_machine.iter().map(|s| s.ops_lost_to_restart).sum();
@@ -85,6 +101,14 @@ fn main() {
     println!("machines removed/restarted: {removals} removals, {restarts} restarts");
     println!("pending ops lost to restart: {lost}");
     println!("ops issued/committed     : {}/{}", r.issued, r.committed);
+    println!(
+        "bytes sent/delivered     : {}/{}",
+        r.net.bytes_sent, r.net.bytes_delivered
+    );
+    println!(
+        "max executions per op    : {}  [paper bound: 3]",
+        telemetry.max_exec_count()
+    );
     println!("survivors converged      : {}", r.converged);
     println!();
     println!("# expected shape: a handful of recovery rounds, every stalled machine");

@@ -10,15 +10,20 @@
 //!
 //! A full per-event protocol trace is written as JSON lines to
 //! `target/fig5_trace.jsonl` (override with `GUESSTIMATE_TRACE=<path>`), and
-//! the slowest rounds' per-stage timelines are printed for triage.
+//! the slowest rounds' per-stage timelines are printed for triage. Metrics
+//! snapshots (Prometheus text, JSON, Chrome trace) land next to it under the
+//! `target/fig5_metrics` stem (override with `GUESSTIMATE_METRICS=<stem>`);
+//! see docs/OBSERVABILITY.md.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use guesstimate_bench::{
-    histogram, render_timelines, run_fig5_traced, summarize_rounds, write_jsonl,
+    histogram, metrics_stem, render_timelines, run_fig5_instrumented, summarize_rounds,
+    write_jsonl, write_metrics_artifacts,
 };
 use guesstimate_net::{RecordingTracer, SimTime};
+use guesstimate_telemetry::Telemetry;
 
 fn trace_path(default_name: &str) -> PathBuf {
     std::env::var_os("GUESSTIMATE_TRACE")
@@ -33,7 +38,13 @@ fn main() {
 
     eprintln!("running fig5: 8 users, 2 grids, {duration}s virtual, seed {seed} ...");
     let tracer = Arc::new(RecordingTracer::new());
-    let result = run_fig5_traced(seed, SimTime::from_secs(duration), Some(tracer.clone()));
+    let telemetry = Telemetry::new();
+    let result = run_fig5_instrumented(
+        seed,
+        SimTime::from_secs(duration),
+        Some(tracer.clone()),
+        telemetry.clone(),
+    );
 
     let records = tracer.take();
     let path = trace_path("fig5_trace.jsonl");
@@ -43,6 +54,15 @@ fn main() {
     match write_jsonl(&path, &records) {
         Ok(()) => eprintln!("wrote {} trace events to {}", records.len(), path.display()),
         Err(e) => eprintln!("could not write trace to {}: {e}", path.display()),
+    }
+    let stem = metrics_stem("fig5_metrics");
+    match write_metrics_artifacts(&telemetry, &records, &stem) {
+        Ok(paths) => {
+            for p in &paths {
+                eprintln!("wrote metrics artifact {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("could not write metrics to {}*: {e}", stem.display()),
     }
 
     println!("# Figure 5: distribution of time taken for synchronization");
@@ -112,6 +132,14 @@ fn main() {
     println!(
         "# replays run/skipped    : {}/{}  [commute-aware skipping, docs/ANALYSIS.md]",
         result.replays, result.replays_skipped
+    );
+    println!(
+        "# bytes sent/delivered   : {}/{}  [structural wire-size model]",
+        result.net.bytes_sent, result.net.bytes_delivered
+    );
+    println!(
+        "# max executions per op  : {}  [paper bound: 3]",
+        telemetry.max_exec_count()
     );
     println!("# converged              : {}", result.converged);
 

@@ -9,12 +9,18 @@
 //! The 8-user active session (the series' most contended point) is traced;
 //! its JSON-lines trace goes to `target/fig6_trace.jsonl` (override with
 //! `GUESSTIMATE_TRACE=<path>`) and its mean per-stage split is printed.
+//! Metrics snapshots for the same session (Prometheus text, JSON, Chrome
+//! trace) land under the `target/fig6_metrics` stem (override with
+//! `GUESSTIMATE_METRICS=<stem>`); see docs/OBSERVABILITY.md.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use guesstimate_bench::{run_fig6_traced, summarize_rounds, write_jsonl};
+use guesstimate_bench::{
+    metrics_stem, run_fig6_instrumented, summarize_rounds, write_jsonl, write_metrics_artifacts,
+};
 use guesstimate_net::{RecordingTracer, SimTime};
+use guesstimate_telemetry::Telemetry;
 
 fn trace_path(default_name: &str) -> PathBuf {
     std::env::var_os("GUESSTIMATE_TRACE")
@@ -29,7 +35,13 @@ fn main() {
 
     eprintln!("running fig6: users 2..=8 x {{active, idle}}, {duration}s each, seed {seed} ...");
     let tracer = Arc::new(RecordingTracer::new());
-    let rows = run_fig6_traced(seed, SimTime::from_secs(duration), Some(tracer.clone()));
+    let telemetry = Telemetry::new();
+    let rows = run_fig6_instrumented(
+        seed,
+        SimTime::from_secs(duration),
+        Some(tracer.clone()),
+        telemetry.clone(),
+    );
 
     let records = tracer.take();
     let path = trace_path("fig6_trace.jsonl");
@@ -44,22 +56,40 @@ fn main() {
         ),
         Err(e) => eprintln!("could not write trace to {}: {e}", path.display()),
     }
+    let stem = metrics_stem("fig6_metrics");
+    match write_metrics_artifacts(&telemetry, &records, &stem) {
+        Ok(paths) => {
+            for p in &paths {
+                eprintln!("wrote metrics artifact {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("could not write metrics to {}*: {e}", stem.display()),
+    }
 
     println!("# Figure 6: average time to synchronize vs number of users");
     println!("# (outliers > 12s excluded, as in the paper)");
     println!(
-        "{:>5} {:>14} {:>14} {:>8} {:>12} {:>14}",
-        "users", "active_ms", "idle_ms", "rounds", "replays", "replays_skip"
+        "{:>5} {:>14} {:>14} {:>8} {:>12} {:>14} {:>12} {:>12}",
+        "users",
+        "active_ms",
+        "idle_ms",
+        "rounds",
+        "replays",
+        "replays_skip",
+        "bytes_sent",
+        "bytes_dlvd"
     );
     for r in &rows {
         println!(
-            "{:>5} {:>14.1} {:>14.1} {:>8} {:>12} {:>14}",
+            "{:>5} {:>14.1} {:>14.1} {:>8} {:>12} {:>14} {:>12} {:>12}",
             r.users,
             r.active.as_millis_f64(),
             r.idle.as_millis_f64(),
             r.rounds,
             r.replays,
-            r.replays_skipped
+            r.replays_skipped,
+            r.bytes_sent,
+            r.bytes_delivered
         );
     }
 

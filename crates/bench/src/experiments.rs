@@ -10,12 +10,15 @@ use std::sync::Arc;
 
 use guesstimate_apps::sudoku;
 use guesstimate_core::{MachineId, ObjectId, OpRegistry};
-use guesstimate_net::{FaultPlan, LatencyModel, NetConfig, SimNet, SimTime, StallWindow, Tracer};
+use guesstimate_net::{
+    FaultPlan, LatencyModel, NetConfig, NetMetrics, SimNet, SimTime, StallWindow, Tracer,
+};
 use guesstimate_runtime::{
-    run_until_cohort, sim_cluster, sim_cluster_traced, Machine, MachineConfig, MachineStats,
+    run_until_cohort, sim_cluster, sim_cluster_instrumented, Machine, MachineConfig, MachineStats,
     SyncSample,
 };
 use guesstimate_spec::{verify_suite, CaseSpace, Value};
+use guesstimate_telemetry::Telemetry;
 
 use crate::workload::{schedule_user, schedule_user_dynamic, Activity};
 
@@ -107,6 +110,14 @@ pub struct SessionResult {
     /// Total replays elided by commute-aware skipping (zero unless
     /// [`SessionConfig::commute_skip`] is set).
     pub replays_skipped: u64,
+    /// Transport counters for the whole run, including the structural
+    /// byte accounting (`bytes_sent`/`bytes_delivered`).
+    pub net: NetMetrics,
+    /// Digest of the first in-cohort machine's committed history. When
+    /// [`SessionResult::converged`] holds this is *the* cohort digest, so
+    /// two runs of the same seed can be checked for byte-identical
+    /// committed histories (e.g. the telemetry invisibility check).
+    pub committed_digest: u64,
 }
 
 impl SessionResult {
@@ -145,6 +156,22 @@ pub fn run_session(cfg: &SessionConfig) -> SessionResult {
 /// stream (see [`crate::trace`]) or a [`crate::trace::JsonlSink`] to stream
 /// it to disk. `None` is equivalent to [`run_session`].
 pub fn run_session_traced(cfg: &SessionConfig, tracer: Option<Arc<dyn Tracer>>) -> SessionResult {
+    run_session_instrumented(cfg, tracer, Telemetry::noop())
+}
+
+/// [`run_session_traced`] with a shared [`Telemetry`] handle installed on
+/// every machine and fed the driver's transport counters at the end.
+///
+/// Pass [`Telemetry::noop`] to get exactly [`run_session_traced`]; pass an
+/// enabled handle and snapshot it afterwards
+/// ([`Telemetry::render_prometheus`] / [`Telemetry::render_json`] /
+/// [`Telemetry::render_chrome_trace`]) to get the run's metrics and per-op
+/// spans alongside the figure data.
+pub fn run_session_instrumented(
+    cfg: &SessionConfig,
+    tracer: Option<Arc<dyn Tracer>>,
+    telemetry: Telemetry,
+) -> SessionResult {
     let mut registry = OpRegistry::new();
     sudoku::register(&mut registry);
     let mcfg = MachineConfig::default()
@@ -171,7 +198,8 @@ pub fn run_session_traced(cfg: &SessionConfig, tracer: Option<Arc<dyn Tracer>>) 
     let netcfg = NetConfig::lan(cfg.seed)
         .with_latency(cfg.latency.clone())
         .with_faults(faults);
-    let mut net = sim_cluster_traced(cfg.users, registry, mcfg, netcfg, tracer);
+    let mut net =
+        sim_cluster_instrumented(cfg.users, registry, mcfg, netcfg, tracer, telemetry.clone());
     assert!(
         run_until_cohort(&mut net, SimTime::from_secs(30)),
         "cohort must assemble before the measured window"
@@ -206,6 +234,7 @@ pub fn run_session_traced(cfg: &SessionConfig, tracer: Option<Arc<dyn Tracer>>) 
     }
     net.run_until(t_end + SimTime::from_secs(10));
 
+    telemetry.record_net(&net.metrics());
     collect_result(&net, t0, t_end, events_scheduled)
 }
 
@@ -255,6 +284,8 @@ fn collect_result(
         sync_samples,
         converged,
         events_scheduled,
+        net: net.metrics(),
+        committed_digest: digests.first().copied().unwrap_or(0),
     }
 }
 
@@ -316,6 +347,17 @@ pub fn run_fig5_traced(
     duration: SimTime,
     tracer: Option<Arc<dyn Tracer>>,
 ) -> SessionResult {
+    run_fig5_instrumented(seed, duration, tracer, Telemetry::noop())
+}
+
+/// [`run_fig5_traced`] with a shared [`Telemetry`] handle (see
+/// [`run_session_instrumented`]).
+pub fn run_fig5_instrumented(
+    seed: u64,
+    duration: SimTime,
+    tracer: Option<Arc<dyn Tracer>>,
+    telemetry: Telemetry,
+) -> SessionResult {
     let mut cfg = SessionConfig::paper_default(8, seed);
     cfg.duration = duration;
     // Commute-aware replay skipping stays observationally identical (the
@@ -338,7 +380,7 @@ pub fn run_fig5_traced(
             third + third,
             third + third + SimTime::from_secs(30),
         ));
-    run_session_traced(&cfg, tracer)
+    run_session_instrumented(&cfg, tracer, telemetry)
 }
 
 // ---------------------------------------------------------------------
@@ -360,6 +402,10 @@ pub struct Fig6Row {
     pub replays: u64,
     /// Replays elided by commute-aware skipping in the active run.
     pub replays_skipped: u64,
+    /// Payload bytes sent in the active run (structural wire-size model).
+    pub bytes_sent: u64,
+    /// Payload bytes delivered in the active run.
+    pub bytes_delivered: u64,
 }
 
 /// Figure 6: average synchronization time vs number of users (2–8), with
@@ -377,14 +423,30 @@ pub fn run_fig6_traced(
     duration: SimTime,
     tracer: Option<Arc<dyn Tracer>>,
 ) -> Vec<Fig6Row> {
+    run_fig6_instrumented(seed, duration, tracer, Telemetry::noop())
+}
+
+/// [`run_fig6_traced`] with a shared [`Telemetry`] handle on the same
+/// 8-user active session the tracer observes (see
+/// [`run_session_instrumented`]).
+pub fn run_fig6_instrumented(
+    seed: u64,
+    duration: SimTime,
+    tracer: Option<Arc<dyn Tracer>>,
+    telemetry: Telemetry,
+) -> Vec<Fig6Row> {
     let cutoff = SimTime::from_secs(12);
     (2..=8)
         .map(|users| {
             let mut active_cfg = SessionConfig::paper_default(users, seed + u64::from(users));
             active_cfg.duration = duration;
             active_cfg.commute_skip = true;
-            let session_tracer = if users == 8 { tracer.clone() } else { None };
-            let active = run_session_traced(&active_cfg, session_tracer);
+            let (session_tracer, session_telemetry) = if users == 8 {
+                (tracer.clone(), telemetry.clone())
+            } else {
+                (None, Telemetry::noop())
+            };
+            let active = run_session_instrumented(&active_cfg, session_tracer, session_telemetry);
             let mut idle_cfg = active_cfg.clone();
             idle_cfg.activity = ActivityLevel::Idle;
             let idle = run_session(&idle_cfg);
@@ -399,6 +461,8 @@ pub fn run_fig6_traced(
                 rounds: active.sync_samples.len(),
                 replays: active.replays,
                 replays_skipped: active.replays_skipped,
+                bytes_sent: active.net.bytes_sent,
+                bytes_delivered: active.net.bytes_delivered,
             }
         })
         .collect()
@@ -1126,6 +1190,8 @@ mod tests {
             events_scheduled: 0,
             replays: 0,
             replays_skipped: 0,
+            net: NetMetrics::default(),
+            committed_digest: 0,
         };
         assert_eq!(
             r.mean_sync_excluding(SimTime::from_secs(12)),

@@ -65,8 +65,8 @@ pub fn schedule_user(
         }
         let seed = event_seed(activity.seed, user.index(), events as u64);
         let boards = boards.clone();
-        net.schedule_call(t, user, move |m: &mut Machine, _ctx| {
-            issue_random_move(m, &boards, seed);
+        net.schedule_call(t, user, move |m: &mut Machine, ctx| {
+            issue_random_move_timed(m, &boards, seed, ctx.now());
         });
         events += 1;
     }
@@ -112,14 +112,14 @@ pub fn schedule_user_dynamic(
             break;
         }
         let seed = event_seed(activity.seed, user.index(), events as u64);
-        net.schedule_call(t, user, move |m: &mut Machine, _ctx| {
+        net.schedule_call(t, user, move |m: &mut Machine, ctx| {
             let boards: Vec<ObjectId> = m
                 .available_objects()
                 .into_iter()
                 .filter(|(_, t)| t == "Sudoku")
                 .map(|(id, _)| id)
                 .collect();
-            issue_random_move(m, &boards, seed);
+            issue_random_move_timed(m, &boards, seed, ctx.now());
         });
         events += 1;
     }

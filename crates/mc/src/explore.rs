@@ -55,6 +55,7 @@ use guesstimate_core::{CommuteMatrix, MachineId};
 use guesstimate_net::SchedNet;
 use guesstimate_runtime::commute::wire_ops_commute;
 use guesstimate_runtime::{Machine, Msg};
+use guesstimate_telemetry::Telemetry;
 
 use crate::oracle::{check_step, check_terminal, state_digest, Violation};
 use crate::scenario::{Built, Preset};
@@ -71,6 +72,9 @@ pub struct ExploreConfig {
     pub reduction: bool,
     /// Record a digest of every terminal state (for soundness tests).
     pub collect_digests: bool,
+    /// Exploration counters (schedules, prunes, oracle checks) are
+    /// recorded here; the default no-op handle records nothing.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ExploreConfig {
@@ -80,6 +84,7 @@ impl Default for ExploreConfig {
             max_steps: 96,
             reduction: true,
             collect_digests: false,
+            telemetry: Telemetry::noop(),
         }
     }
 }
@@ -251,6 +256,7 @@ pub fn explore(
         if cfg.reduction && frame.sleep.contains(&c) {
             frame.idx += 1;
             out.pruned += 1;
+            cfg.telemetry.mc_pruned();
             continue;
         }
         if dirty {
@@ -285,6 +291,7 @@ pub fn explore(
             drops_used += 1;
         }
         out.max_depth = out.max_depth.max(path.len());
+        cfg.telemetry.mc_oracle_check();
         if let Some(v) = check_step(&built.net) {
             out.violation = Some((v, path.clone()));
             return out;
@@ -295,10 +302,12 @@ pub fn explore(
         let cut = !terminal && path.len() >= cfg.max_steps;
         if terminal || cut {
             out.schedules += 1;
+            cfg.telemetry.mc_schedule();
             if cut {
                 out.truncated += 1;
             }
             if terminal {
+                cfg.telemetry.mc_oracle_check();
                 if let Some(v) =
                     check_terminal(&built.net, &built.registry, preset.total_machines())
                 {
@@ -394,6 +403,7 @@ mod tests {
             max_steps: 64,
             reduction,
             collect_digests: true,
+            ..ExploreConfig::default()
         }
     }
 

@@ -101,6 +101,18 @@ pub trait Actor: Send + 'static {
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
         let _ = (tag, ctx);
     }
+
+    /// Estimated wire size of `msg` in bytes, used by the drivers to
+    /// account `bytes_sent`/`bytes_delivered` in
+    /// [`crate::NetMetrics`].
+    ///
+    /// The default charges every message one size-of-the-value unit —
+    /// enough for relative comparisons. Protocol actors override this
+    /// with a structural estimate of their message payloads.
+    fn msg_size(msg: &Self::Msg) -> u64 {
+        let _ = msg;
+        std::mem::size_of::<Self::Msg>() as u64
+    }
 }
 
 #[cfg(test)]

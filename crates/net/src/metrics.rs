@@ -22,6 +22,12 @@ pub struct NetMetrics {
     pub duplicated: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
+    /// Estimated payload bytes across all send attempts (sized via
+    /// [`crate::Actor::msg_size`]; duplicates included).
+    pub bytes_sent: u64,
+    /// Estimated payload bytes across deliveries that reached
+    /// `on_message`.
+    pub bytes_delivered: u64,
 }
 
 impl NetMetrics {
@@ -33,11 +39,58 @@ impl NetMetrics {
             self.delivered as f64 / self.sent as f64
         }
     }
+
+    /// Folds another driver's counters into this one (e.g. summing the
+    /// Operations- and Signals-side tallies, or several runs).
+    pub fn merge(&mut self, other: &NetMetrics) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.timers_fired += other.timers_fired;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_delivered += other.bytes_delivered;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = NetMetrics {
+            sent: 1,
+            delivered: 2,
+            dropped: 3,
+            duplicated: 4,
+            timers_fired: 5,
+            bytes_sent: 6,
+            bytes_delivered: 7,
+        };
+        let b = NetMetrics {
+            sent: 10,
+            delivered: 20,
+            dropped: 30,
+            duplicated: 40,
+            timers_fired: 50,
+            bytes_sent: 60,
+            bytes_delivered: 70,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            NetMetrics {
+                sent: 11,
+                delivered: 22,
+                dropped: 33,
+                duplicated: 44,
+                timers_fired: 55,
+                bytes_sent: 66,
+                bytes_delivered: 77,
+            }
+        );
+    }
 
     #[test]
     fn delivery_ratio_handles_zero() {

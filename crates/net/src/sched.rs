@@ -38,6 +38,7 @@ use guesstimate_core::MachineId;
 
 use crate::actor::{Action, Actor, Ctx};
 use crate::channel::Channel;
+use crate::metrics::NetMetrics;
 use crate::time::SimTime;
 
 /// A message leg awaiting a delivery decision.
@@ -80,6 +81,7 @@ pub struct SchedNet<A: Actor> {
     seq: u64,
     tamper: Option<TamperHook<A::Msg>>,
     tampered: u64,
+    metrics: NetMetrics,
 }
 
 impl<A: Actor> std::fmt::Debug for SchedNet<A> {
@@ -112,12 +114,20 @@ impl<A: Actor> SchedNet<A> {
             seq: 0,
             tamper: None,
             tampered: 0,
+            metrics: NetMetrics::default(),
         }
     }
 
     /// The current virtual time (advanced only by timer firings).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Transport counters so far: every send leg counts as `sent`, every
+    /// [`SchedNet::deliver`] as `delivered`, every
+    /// [`SchedNet::drop_msg`] as `dropped`.
+    pub fn metrics(&self) -> NetMetrics {
+        self.metrics
     }
 
     /// Ids of current members, in order.
@@ -215,7 +225,11 @@ impl<A: Actor> SchedNet<A> {
             }
         }
         if self.machines.contains_key(&p.to) {
+            self.metrics.delivered += 1;
+            self.metrics.bytes_delivered += A::msg_size(&p.msg);
             self.invoke(p.to, |a, ctx| a.on_message(p.from, p.channel, p.msg, ctx));
+        } else {
+            self.metrics.dropped += 1;
         }
         true
     }
@@ -223,7 +237,11 @@ impl<A: Actor> SchedNet<A> {
     /// Drops message `seq` (the "network loses it" choice). Returns
     /// `false` if `seq` is not pending.
     pub fn drop_msg(&mut self, seq: u64) -> bool {
-        self.pending.remove(&seq).is_some()
+        let dropped = self.pending.remove(&seq).is_some();
+        if dropped {
+            self.metrics.dropped += 1;
+        }
+        dropped
     }
 
     /// Admits the staged joiner behind choice `seq`: the machine becomes a
@@ -250,6 +268,7 @@ impl<A: Actor> SchedNet<A> {
             debug_assert!(key.due >= self.now, "time went backwards");
             self.now = self.now.max(key.due);
             if self.machines.contains_key(&machine) {
+                self.metrics.timers_fired += 1;
                 self.invoke(machine, |a, ctx| a.on_timer(tag, ctx));
                 return true;
             }
@@ -277,6 +296,8 @@ impl<A: Actor> SchedNet<A> {
                         self.machines.keys().copied().filter(|&m| m != id).collect();
                     for to in targets {
                         let seq = self.next_seq();
+                        self.metrics.sent += 1;
+                        self.metrics.bytes_sent += A::msg_size(&msg);
                         self.pending.insert(
                             seq,
                             PendingMsg {
@@ -291,6 +312,8 @@ impl<A: Actor> SchedNet<A> {
                 }
                 Action::Send(to, channel, msg) => {
                     let seq = self.next_seq();
+                    self.metrics.sent += 1;
+                    self.metrics.bytes_sent += A::msg_size(&msg);
                     self.pending.insert(
                         seq,
                         PendingMsg {
@@ -453,6 +476,27 @@ mod tests {
         assert_eq!(net.now(), SimTime::from_millis(20));
         assert_eq!(net.actor(m(0)).unwrap().timers, vec![2, 1, 3]);
         assert!(!net.fire_next_timer());
+    }
+
+    #[test]
+    fn metrics_track_choices() {
+        let sz = std::mem::size_of::<&'static str>() as u64;
+        let mut net: SchedNet<Probe> = SchedNet::new();
+        net.add_machine(m(0), Probe::new()); // arms one timer on start
+        net.add_machine(m(1), Probe::new());
+        net.call(m(0), |_, ctx| ctx.send(m(1), Channel::Operations, "a"));
+        net.call(m(0), |_, ctx| ctx.send(m(1), Channel::Operations, "b"));
+        let pend = net.pending_msgs();
+        assert_eq!(net.metrics().sent, 2);
+        assert_eq!(net.metrics().bytes_sent, 2 * sz);
+        net.deliver(pend[0]);
+        net.drop_msg(pend[1]);
+        net.fire_next_timer();
+        let got = net.metrics();
+        assert_eq!(got.delivered, 1);
+        assert_eq!(got.bytes_delivered, sz);
+        assert_eq!(got.dropped, 1);
+        assert_eq!(got.timers_fired, 1);
     }
 
     #[test]

@@ -288,6 +288,7 @@ impl<A: Actor> SimNet<A> {
                     self.metrics.dropped += 1;
                 } else {
                     self.metrics.delivered += 1;
+                    self.metrics.bytes_delivered += A::msg_size(&msg);
                     self.invoke(to, |a, ctx| a.on_message(from, channel, msg, ctx));
                 }
             }
@@ -383,6 +384,7 @@ impl<A: Actor> SimNet<A> {
         A::Msg: Clone,
     {
         self.metrics.sent += 1;
+        self.metrics.bytes_sent += A::msg_size(&msg);
         if self.cfg.faults.is_stalled(from, self.now) || self.cfg.faults.is_cut(from, to, self.now)
         {
             self.metrics.dropped += 1;
@@ -654,6 +656,23 @@ mod tests {
         assert!(removed.is_some());
         net.run_until(SimTime::from_millis(100));
         assert_eq!(net.metrics().sent, 0);
+    }
+
+    #[test]
+    fn byte_accounting_follows_msg_size() {
+        // Echo does not override msg_size, so the default (size of the
+        // message type) applies uniformly.
+        let sz = std::mem::size_of::<&'static str>() as u64;
+        let cfg = NetConfig::lan(1).with_latency(LatencyModel::constant_ms(1));
+        let mut net = mesh(2, cfg);
+        net.call(MachineId::new(0), |_, ctx| {
+            ctx.send(MachineId::new(1), Channel::Operations, "ping")
+        });
+        net.run_until(SimTime::from_millis(10));
+        let m = net.metrics();
+        assert_eq!(m.sent, 2); // ping + pong
+        assert_eq!(m.bytes_sent, m.sent * sz);
+        assert_eq!(m.bytes_delivered, m.delivered * sz);
     }
 
     #[test]

@@ -147,7 +147,11 @@ impl<A: Actor> Shared<A> {
         channel: Channel,
         msg: A::Msg,
     ) {
-        self.metrics.lock().sent += 1;
+        {
+            let mut m = self.metrics.lock();
+            m.sent += 1;
+            m.bytes_sent += A::msg_size(&msg);
+        }
         let lat = self.latency.sample(&mut *self.rng.lock());
         let _ = self.tx.send(Submission::Deliver {
             at: now + lat,
@@ -336,11 +340,13 @@ fn delivery_service<A: Actor>(shared: Arc<Shared<A>>, rx: Receiver<Submission<A:
                     channel,
                     msg,
                 } => {
+                    let size = A::msg_size(&msg);
                     let delivered =
                         shared.invoke(to, |a, ctx| a.on_message(from, channel, msg, ctx));
                     let mut m = shared.metrics.lock();
                     if delivered {
                         m.delivered += 1;
+                        m.bytes_delivered += size;
                     } else {
                         m.dropped += 1;
                     }

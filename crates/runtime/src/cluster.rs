@@ -6,6 +6,7 @@ use guesstimate_core::{MachineId, OpRegistry};
 use guesstimate_net::{
     LatencyModel, NetConfig, SimNet, SimTime, ThreadedHandle, ThreadedNet, Tracer,
 };
+use guesstimate_telemetry::Telemetry;
 
 use crate::config::MachineConfig;
 use crate::machine::Machine;
@@ -75,6 +76,45 @@ pub fn sim_cluster_traced(
     netcfg: NetConfig,
     tracer: Option<Arc<dyn Tracer>>,
 ) -> SimNet<Machine> {
+    sim_cluster_instrumented(n, registry, cfg, netcfg, tracer, Telemetry::noop())
+}
+
+/// [`sim_cluster_traced`] with a shared [`Telemetry`] handle installed on
+/// every machine.
+///
+/// All machines record into the same instrument set, so one
+/// [`Telemetry::render_prometheus`] / [`Telemetry::render_json`] snapshot
+/// after the run covers the whole cluster. Pass [`Telemetry::noop`] to get
+/// exactly [`sim_cluster_traced`] (the hooks cost one branch each).
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::OpRegistry;
+/// use guesstimate_net::{LatencyModel, NetConfig};
+/// use guesstimate_runtime::{sim_cluster_instrumented, MachineConfig};
+/// use guesstimate_telemetry::Telemetry;
+///
+/// let telemetry = Telemetry::new();
+/// let net = sim_cluster_instrumented(
+///     3,
+///     OpRegistry::new(),
+///     MachineConfig::default(),
+///     NetConfig::lan(7).with_latency(LatencyModel::constant_ms(5)),
+///     None,
+///     telemetry.clone(),
+/// );
+/// assert_eq!(net.members().len(), 3);
+/// assert_eq!(telemetry.ops_committed(), 0, "nothing recorded before the sim runs");
+/// ```
+pub fn sim_cluster_instrumented(
+    n: u32,
+    registry: OpRegistry,
+    cfg: MachineConfig,
+    netcfg: NetConfig,
+    tracer: Option<Arc<dyn Tracer>>,
+    telemetry: Telemetry,
+) -> SimNet<Machine> {
     let registry = Arc::new(registry);
     let mut net = SimNet::new(netcfg);
     let machine = |i: u32| {
@@ -87,6 +127,7 @@ pub fn sim_cluster_traced(
         if let Some(t) = &tracer {
             m.set_tracer(t.clone());
         }
+        m.set_telemetry(telemetry.clone());
         m
     };
     for i in 0..n {
@@ -125,18 +166,34 @@ pub fn threaded_cluster(
     latency: LatencyModel,
     seed: u64,
 ) -> (ThreadedNet<Machine>, Vec<ThreadedHandle<Machine>>) {
+    threaded_cluster_instrumented(n, registry, cfg, latency, seed, Telemetry::noop())
+}
+
+/// [`threaded_cluster`] with a shared [`Telemetry`] handle installed on
+/// every machine (see [`sim_cluster_instrumented`]).
+pub fn threaded_cluster_instrumented(
+    n: u32,
+    registry: OpRegistry,
+    cfg: MachineConfig,
+    latency: LatencyModel,
+    seed: u64,
+    telemetry: Telemetry,
+) -> (ThreadedNet<Machine>, Vec<ThreadedHandle<Machine>>) {
     let registry = Arc::new(registry);
     let net = ThreadedNet::new(latency, seed);
     let mut handles = Vec::with_capacity(n as usize);
-    handles.push(net.add_machine(
-        MachineId::new(0),
-        Machine::new_master(MachineId::new(0), registry.clone(), cfg.clone()),
-    ));
-    for i in 1..n {
-        handles.push(net.add_machine(
-            MachineId::new(i),
-            Machine::new_member(MachineId::new(i), registry.clone(), cfg.clone()),
-        ));
+    let machine = |i: u32| {
+        let id = MachineId::new(i);
+        let mut m = if i == 0 {
+            Machine::new_master(id, registry.clone(), cfg.clone())
+        } else {
+            Machine::new_member(id, registry.clone(), cfg.clone())
+        };
+        m.set_telemetry(telemetry.clone());
+        m
+    };
+    for i in 0..n {
+        handles.push(net.add_machine(MachineId::new(i), machine(i)));
     }
     (net, handles)
 }

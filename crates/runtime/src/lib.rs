@@ -82,7 +82,10 @@ mod stats;
 mod testutil;
 
 pub use blocking::{issue_blocking, BlockingOutcome};
-pub use cluster::{run_until_cohort, sim_cluster, sim_cluster_traced, threaded_cluster};
+pub use cluster::{
+    run_until_cohort, sim_cluster, sim_cluster_instrumented, sim_cluster_traced, threaded_cluster,
+    threaded_cluster_instrumented,
+};
 pub use config::MachineConfig;
 pub use machine::{Machine, RemoteUpdateHook};
 pub use message::{Msg, ObjectInit, WireEnvelope, WireOp};

@@ -16,6 +16,7 @@ use guesstimate_core::{
     ObjectStore, OpId, OpRegistry, SharedOp,
 };
 use guesstimate_net::{NoopTracer, SimTime, TraceEvent, TraceRecord, Tracer};
+use guesstimate_telemetry::Telemetry;
 
 use crate::commute;
 use crate::config::MachineConfig;
@@ -97,6 +98,7 @@ pub struct Machine {
     pub(crate) remote_hooks: Vec<RemoteUpdateHook>,
     pub(crate) stats: MachineStats,
     pub(crate) tracer: Arc<dyn Tracer>,
+    pub(crate) telemetry: Telemetry,
 }
 
 /// Callback invoked after a synchronization commits *foreign* operations
@@ -171,6 +173,7 @@ impl Machine {
             remote_hooks: Vec::new(),
             stats: MachineStats::default(),
             tracer: Arc::new(NoopTracer),
+            telemetry: Telemetry::noop(),
         }
     }
 
@@ -181,6 +184,23 @@ impl Machine {
     /// cluster; see [`crate::cluster::sim_cluster_traced`].
     pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
         self.tracer = tracer;
+    }
+
+    /// Installs a telemetry handle; subsequent op-lifecycle transitions
+    /// (issue, flush, commit, completion, restart loss) and round-health
+    /// samples are recorded through it. The default handle is the no-op,
+    /// which costs one branch per hook.
+    ///
+    /// One handle (clones share instruments) is typically installed into
+    /// every machine of a cluster; see
+    /// [`crate::cluster::sim_cluster_instrumented`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The machine's telemetry handle (no-op unless installed).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Emits one trace event attributed to this machine at `at`.
@@ -352,6 +372,7 @@ impl Machine {
         });
         self.exec_counts.insert(op_id, 1);
         self.stats.issued += 1;
+        self.telemetry.op_issued(op_id, None);
         self.note_pending_depth();
         object
     }
@@ -457,6 +478,7 @@ impl Machine {
             self.issue_times.insert(op_id, t);
         }
         self.stats.issued += 1;
+        self.telemetry.op_issued(op_id, issued_at);
         self.note_pending_depth();
         Ok(true)
     }
@@ -539,6 +561,7 @@ impl Machine {
                 let count = self.exec_counts.remove(&env.id).unwrap_or(0) + 1;
                 self.stats.record_exec_count(count);
                 self.stats.committed_own += 1;
+                self.telemetry.op_committed(env.id, round, count, now);
                 if !result {
                     // Succeeded at issue (only successful ops are enqueued),
                     // failed at commit: a conflict (Figure 7).
@@ -552,6 +575,7 @@ impl Machine {
                 }
                 if let Some(c) = self.completions.remove(&env.id) {
                     queue.push(env.id, result, c);
+                    self.telemetry.op_completed(env.id, now);
                 }
                 if let Some(t) = self.issue_times.remove(&env.id) {
                     self.stats.commit_latencies.push(now.saturating_since(t));
@@ -740,6 +764,8 @@ impl Machine {
     /// completion routines are lost (and counted).
     pub(crate) fn reset_for_restart(&mut self) {
         self.stats.restarts += 1;
+        self.telemetry
+            .machine_restarted(self.id, self.pending.len() as u64);
         self.stats.ops_lost_to_restart += self.pending.len() as u64;
         self.stats.completions_dropped += self.completions.len() as u64;
         self.pending.clear();

@@ -10,6 +10,46 @@
 
 use guesstimate_core::{MachineId, ObjectId, OpId, SharedOp, Value};
 
+// Structural wire-size model used for byte accounting in
+// [`guesstimate_net::NetMetrics`]: ids are fixed-width, every enum
+// discriminant costs one tag byte, every variable-length sequence costs
+// a length prefix. There is no real serializer (messages travel as Rust
+// values in-process), so these sizes are a deterministic estimate of
+// what a compact binary encoding would ship, not a measured payload.
+const TAG: u64 = 1;
+const LEN: u64 = 4;
+const MACHINE_ID: u64 = 4;
+const OP_ID: u64 = 12; // MachineId + u64 sequence number
+const OBJECT_ID: u64 = 12; // creator MachineId + u64 sequence number
+const ROUND: u64 = 8;
+
+fn value_size(v: &Value) -> u64 {
+    TAG + match v {
+        Value::Unit => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 8,
+        Value::Str(s) => LEN + s.len() as u64,
+        Value::Bytes(b) => LEN + b.len() as u64,
+        Value::List(l) => LEN + l.iter().map(value_size).sum::<u64>(),
+        Value::Map(m) => {
+            LEN + m
+                .iter()
+                .map(|(k, v)| LEN + k.len() as u64 + value_size(v))
+                .sum::<u64>()
+        }
+    }
+}
+
+fn shared_op_size(op: &SharedOp) -> u64 {
+    TAG + match op {
+        SharedOp::Primitive { method, args, .. } => {
+            OBJECT_ID + LEN + method.len() as u64 + LEN + args.iter().map(value_size).sum::<u64>()
+        }
+        SharedOp::Atomic(ops) => LEN + ops.iter().map(shared_op_size).sum::<u64>(),
+        SharedOp::OrElse(a, b) => shared_op_size(a) + shared_op_size(b),
+    }
+}
+
 /// An operation as it travels between machines.
 ///
 /// Besides application-level [`SharedOp`]s, the op stream carries object
@@ -53,6 +93,16 @@ impl WireOp {
             WireOp::Create { .. } => None,
         }
     }
+
+    /// Estimated encoded size in bytes (see the module's wire-size model).
+    pub fn wire_size(&self) -> u64 {
+        TAG + match self {
+            WireOp::Create {
+                type_name, init, ..
+            } => OBJECT_ID + LEN + type_name.len() as u64 + value_size(init),
+            WireOp::Shared(op) => shared_op_size(op),
+        }
+    }
 }
 
 /// An operation tagged with its issue identity — one element of a machine's
@@ -65,6 +115,13 @@ pub struct WireEnvelope {
     pub op: WireOp,
 }
 
+impl WireEnvelope {
+    /// Estimated encoded size in bytes (see the module's wire-size model).
+    pub fn wire_size(&self) -> u64 {
+        OP_ID + self.op.wire_size()
+    }
+}
+
 /// One object's identity, type and state, as shipped to a joining machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObjectInit {
@@ -74,6 +131,13 @@ pub struct ObjectInit {
     pub type_name: String,
     /// Canonical snapshot of the committed state.
     pub state: Value,
+}
+
+impl ObjectInit {
+    /// Estimated encoded size in bytes (see the module's wire-size model).
+    pub fn wire_size(&self) -> u64 {
+        OBJECT_ID + LEN + self.type_name.len() as u64 + value_size(&self.state)
+    }
 }
 
 /// A synchronizer message.
@@ -195,6 +259,37 @@ pub enum Msg {
     },
 }
 
+impl Msg {
+    /// Estimated encoded size in bytes (see the module's wire-size model).
+    ///
+    /// This feeds [`guesstimate_net::Actor::msg_size`] so the drivers can
+    /// account `bytes_sent`/`bytes_delivered` structurally: an `Ops`
+    /// batch is charged for every envelope it carries, a `JoinInfo` for
+    /// the whole catalog and history it ships.
+    pub fn wire_size(&self) -> u64 {
+        TAG + match self {
+            Msg::BeginSync { order, .. } => ROUND + LEN + order.len() as u64 * MACHINE_ID,
+            Msg::Ops { ops, .. } => {
+                ROUND + MACHINE_ID + LEN + ops.iter().map(WireEnvelope::wire_size).sum::<u64>()
+            }
+            Msg::FlushDone { .. } => ROUND + MACHINE_ID + 8,
+            Msg::BeginApply { counts, .. } => ROUND + LEN + counts.len() as u64 * (MACHINE_ID + 8),
+            Msg::OpsRequest { .. } | Msg::SyncComplete { .. } => ROUND,
+            Msg::Ack { .. } => ROUND + MACHINE_ID,
+            Msg::RoundUpdate { removed, .. } => ROUND + LEN + removed.len() as u64 * MACHINE_ID,
+            Msg::Restart | Msg::MasterHeartbeat => 0,
+            Msg::MasterCandidate { .. } => MACHINE_ID + ROUND,
+            Msg::JoinRequest { machine: _ } | Msg::JoinReady { machine: _ } => MACHINE_ID,
+            Msg::JoinInfo { catalog, completed } => {
+                LEN + catalog.iter().map(ObjectInit::wire_size).sum::<u64>()
+                    + LEN
+                    + completed.len() as u64 * OP_ID
+            }
+            Msg::Leave { machine: _ } => MACHINE_ID,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +330,106 @@ mod tests {
         assert_eq!(type_name, "Sudoku");
         assert_eq!(init, &Value::from(1));
         assert!(w.as_shared().is_none());
+    }
+
+    #[test]
+    fn wire_size_scales_with_batch_contents() {
+        let env = |seq| WireEnvelope {
+            id: OpId::new(MachineId::new(1), seq),
+            op: WireOp::Shared(SharedOp::primitive(
+                ObjectId::new(MachineId::new(0), 0),
+                "add",
+                args![1],
+            )),
+        };
+        let empty = Msg::Ops {
+            round: 1,
+            machine: MachineId::new(1),
+            ops: vec![],
+        };
+        let one = Msg::Ops {
+            round: 1,
+            machine: MachineId::new(1),
+            ops: vec![env(0)],
+        };
+        let two = Msg::Ops {
+            round: 1,
+            machine: MachineId::new(1),
+            ops: vec![env(0), env(1)],
+        };
+        assert!(empty.wire_size() < one.wire_size());
+        assert_eq!(
+            two.wire_size() - one.wire_size(),
+            one.wire_size() - empty.wire_size(),
+            "each identical envelope adds the same number of bytes"
+        );
+        // A longer method name costs exactly its extra UTF-8 bytes.
+        let short = WireOp::Shared(SharedOp::primitive(
+            ObjectId::new(MachineId::new(0), 0),
+            "f",
+            args![],
+        ));
+        let long = WireOp::Shared(SharedOp::primitive(
+            ObjectId::new(MachineId::new(0), 0),
+            "frobnicate",
+            args![],
+        ));
+        assert_eq!(
+            long.wire_size() - short.wire_size(),
+            "frobnicate".len() as u64 - 1
+        );
+    }
+
+    #[test]
+    fn wire_size_covers_every_message_variant() {
+        let machine = MachineId::new(3);
+        let msgs = vec![
+            Msg::BeginSync {
+                round: 1,
+                order: vec![machine],
+            },
+            Msg::Ops {
+                round: 1,
+                machine,
+                ops: vec![],
+            },
+            Msg::FlushDone {
+                round: 1,
+                machine,
+                count: 0,
+            },
+            Msg::BeginApply {
+                round: 1,
+                counts: vec![(machine, 2)],
+            },
+            Msg::OpsRequest { round: 1 },
+            Msg::Ack { round: 1, machine },
+            Msg::SyncComplete { round: 1 },
+            Msg::RoundUpdate {
+                round: 1,
+                removed: vec![machine],
+            },
+            Msg::Restart,
+            Msg::MasterCandidate {
+                machine,
+                last_round: 0,
+            },
+            Msg::MasterHeartbeat,
+            Msg::JoinRequest { machine },
+            Msg::JoinInfo {
+                catalog: vec![ObjectInit {
+                    id: ObjectId::new(machine, 0),
+                    type_name: "Counter".into(),
+                    state: Value::from(0),
+                }],
+                completed: vec![OpId::new(machine, 0)],
+            },
+            Msg::JoinReady { machine },
+            Msg::Leave { machine },
+        ];
+        for m in msgs {
+            assert!(m.wire_size() >= 1, "{m:?} has at least its tag byte");
+        }
     }
 
     #[test]

@@ -75,8 +75,8 @@ pub(crate) struct MasterRound {
     pub(crate) acks: BTreeSet<MachineId>,
     pub(crate) nudged_flush: BTreeSet<MachineId>,
     pub(crate) nudged_acks: BTreeSet<MachineId>,
-    pub(crate) resends: u32,
-    pub(crate) removals: u32,
+    pub(crate) resends: u64,
+    pub(crate) removals: u64,
     pub(crate) ops_committed: u64,
 }
 
@@ -215,6 +215,10 @@ impl Actor for Machine {
         }
         self.paranoid_check("on_timer");
     }
+
+    fn msg_size(msg: &Msg) -> u64 {
+        msg.wire_size()
+    }
 }
 
 impl Machine {
@@ -338,6 +342,10 @@ impl Machine {
             batch.iter().map(|e| (e.id, e.op.clone())).collect(),
         );
         let round = rs.round;
+        self.telemetry.pending_depth(count);
+        for e in &batch {
+            self.telemetry.op_flushed(e.id, ctx.now());
+        }
         if count > 0 {
             ctx.broadcast(
                 Channel::Operations,
@@ -599,6 +607,9 @@ impl Machine {
             ordered
         };
         let n = self.apply_committed_round(ordered, round, ctx.now());
+        // After the replay the pending list is exactly the set of ops on
+        // `sg` but not yet in `sc` — the guesstimate-health divergence.
+        self.telemetry.divergence(self.pending.len() as u64);
         let (round, master) = {
             let rs = self.round.as_mut().expect("round active");
             rs.applied = true;
@@ -749,6 +760,14 @@ impl Machine {
             .apply_started_at
             .map_or(SimTime::ZERO, |t| now.saturating_since(t));
         let completion_duration = duration.saturating_since(flush_duration + apply_duration);
+        self.telemetry.round_finished(
+            duration,
+            flush_duration,
+            apply_duration,
+            completion_duration,
+            mr.resends,
+            mr.removals,
+        );
         self.trace(
             now,
             TraceEvent::SyncComplete {
@@ -882,7 +901,8 @@ impl Machine {
                 let rs_order = self.round.as_ref().expect("round").order.clone();
                 let mr = self.master_round.as_mut().expect("master round");
                 mr.nudged_flush.insert(m);
-                mr.resends += 1;
+                debug_assert!(mr.resends < u64::MAX, "resend counter saturated");
+                mr.resends = mr.resends.saturating_add(1);
                 ctx.send(
                     m,
                     Channel::Signals,
@@ -969,7 +989,8 @@ impl Machine {
             } else {
                 let mr = self.master_round.as_mut().expect("master round");
                 mr.nudged_acks.insert(m);
-                mr.resends += 1;
+                debug_assert!(mr.resends < u64::MAX, "resend counter saturated");
+                mr.resends = mr.resends.saturating_add(1);
                 let counts = mr.counts.clone();
                 ctx.send(m, Channel::Signals, Msg::BeginApply { round, counts });
                 self.trace(
@@ -997,7 +1018,8 @@ impl Machine {
             round = rs.round;
         }
         if let Some(mr) = self.master_round.as_mut() {
-            mr.removals += 1;
+            debug_assert!(mr.removals < u64::MAX, "removal counter saturated");
+            mr.removals = mr.removals.saturating_add(1);
             round = mr.round;
         }
         self.members.remove(&m);
@@ -1632,7 +1654,7 @@ mod tests {
             .expect("machine is registered on the mesh")
             .stats()
             .clone();
-        let removals: u32 = master_stats.sync_samples.iter().map(|s| s.removals).sum();
+        let removals: u64 = master_stats.sync_samples.iter().map(|s| s.removals).sum();
         assert!(removals >= 1, "master removed the stalled machine");
         let m2 = net
             .actor(MachineId::new(2))

@@ -36,10 +36,12 @@ pub struct SyncSample {
     /// depth). Can exceed `ops_committed` when a machine that already
     /// flushed is removed before commit.
     pub ops_flushed: u64,
-    /// Recovery resends performed during the round.
-    pub resends: u32,
+    /// Recovery resends performed during the round. `u64` so long
+    /// adversarial runs (many stall/nudge cycles per round under heavy
+    /// loss) can never silently wrap the tally.
+    pub resends: u64,
     /// Machines removed (and restarted) during the round.
-    pub removals: u32,
+    pub removals: u64,
 }
 
 impl SyncSample {

@@ -1,0 +1,152 @@
+//! Chrome trace-format (Trace Event Format) export.
+//!
+//! Converts a protocol [`TraceRecord`] stream plus the per-op spans
+//! into the JSON object format understood by `chrome://tracing` and
+//! Perfetto: one *track* (tid) per machine carrying instant events for
+//! protocol transitions, and one *async span* per operation stretching
+//! from issue to completion. Timestamps are microseconds — exactly
+//! [`SimTime::as_micros`], so virtual time maps 1:1 onto the viewer's
+//! timeline.
+
+use std::collections::BTreeSet;
+
+use guesstimate_net::TraceRecord;
+
+use crate::metrics::escape_json;
+use crate::spans::OpSpan;
+
+/// Renders records + spans as a Chrome trace-format JSON document.
+pub fn render(records: &[TraceRecord], spans: &[OpSpan]) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    // One named track per machine (metadata events).
+    let mut machines: BTreeSet<u32> = BTreeSet::new();
+    for r in records {
+        machines.insert(r.source.index());
+    }
+    for s in spans {
+        machines.insert(s.op.machine().index());
+    }
+    for m in &machines {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{m},\
+             \"args\":{{\"name\":\"machine-{m}\"}}}}"
+        ));
+    }
+
+    // Protocol transitions as thread-scoped instant events.
+    for r in records {
+        let round_arg = match r.event.round() {
+            Some(round) => format!("{{\"round\":{round}}}"),
+            None => "{}".to_owned(),
+        };
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"protocol\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+            escape_json(r.event.name()),
+            r.at.as_micros(),
+            r.source.index(),
+            round_arg,
+        ));
+    }
+
+    // One async span per op: issue (or first observable instant) → the
+    // completion callback. Uncommitted spans render as zero-length with
+    // a status arg so lost ops are still visible on the timeline.
+    for s in spans {
+        let Some(begin) = s.issued_at.or(s.flushed_at).or(s.committed_at) else {
+            continue;
+        };
+        let end = s.completed_at.or(s.committed_at).unwrap_or(begin);
+        let status = if s.committed() {
+            "committed"
+        } else if s.lost {
+            "lost"
+        } else {
+            "in-flight"
+        };
+        let name = s.op.to_string();
+        let mut args = format!("\"exec_count\":{},\"status\":\"{status}\"", s.exec_count);
+        if let Some(r) = s.commit_round {
+            args.push_str(&format!(",\"round\":{r}"));
+        }
+        if let Some(f) = s.flushed_at {
+            args.push_str(&format!(",\"flushed_ts\":{}", f.as_micros()));
+        }
+        let common = format!(
+            "\"cat\":\"op\",\"id\":\"{name}\",\"pid\":0,\"tid\":{}",
+            s.op.machine().index()
+        );
+        events.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"b\",\"ts\":{},{common},\"args\":{{{args}}}}}",
+            begin.as_micros()
+        ));
+        events.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"e\",\"ts\":{},{common},\"args\":{{}}}}",
+            end.as_micros()
+        ));
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        events.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use guesstimate_core::{MachineId, OpId};
+    use guesstimate_net::{SimTime, TraceEvent};
+
+    use super::*;
+    use crate::spans::SpanBook;
+
+    #[test]
+    fn render_produces_tracks_instants_and_async_pairs() {
+        let records = vec![TraceRecord {
+            at: SimTime::from_millis(3),
+            source: MachineId::new(0),
+            event: TraceEvent::RoundStarted {
+                round: 1,
+                participants: 2,
+            },
+        }];
+        let mut book = SpanBook::new();
+        let op = OpId::new(MachineId::new(1), 0);
+        book.issued(op, Some(SimTime::from_millis(1)));
+        book.flushed(op, SimTime::from_millis(2));
+        book.committed(op, 1, 2, SimTime::from_millis(5));
+        book.completed(op, SimTime::from_millis(5));
+        let json = render(&records, &book.snapshot());
+
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // Tracks for both machines (0 from the record, 1 from the span).
+        assert!(json.contains("\"args\":{\"name\":\"machine-0\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"machine-1\"}"));
+        // The protocol instant at t=3ms on machine 0's track.
+        assert!(json.contains("\"name\":\"round_started\""));
+        assert!(json.contains("\"ts\":3000"));
+        // The async pair: begin at issue, end at completion.
+        assert!(json.contains("\"ph\":\"b\",\"ts\":1000"));
+        assert!(json.contains("\"ph\":\"e\",\"ts\":5000"));
+        assert!(json.contains("\"exec_count\":2"));
+        assert!(json.contains("\"status\":\"committed\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn lost_span_renders_zero_length_with_status() {
+        let mut book = SpanBook::new();
+        let op = OpId::new(MachineId::new(2), 4);
+        book.issued(op, Some(SimTime::from_millis(7)));
+        book.machine_restarted(MachineId::new(2));
+        let json = render(&[], &book.snapshot());
+        assert!(json.contains("\"status\":\"lost\""));
+        assert!(json.contains("\"ph\":\"b\",\"ts\":7000"));
+        assert!(json.contains("\"ph\":\"e\",\"ts\":7000"));
+    }
+}

@@ -61,8 +61,8 @@ fn main() {
     for checkpoint in [10u64, 14, 18, 25] {
         net.run_until(SimTime::from_secs(checkpoint));
         let master = net.actor(MachineId::new(0)).unwrap();
-        let resends: u32 = master.stats().sync_samples.iter().map(|s| s.resends).sum();
-        let removals: u32 = master.stats().sync_samples.iter().map(|s| s.removals).sum();
+        let resends: u64 = master.stats().sync_samples.iter().map(|s| s.resends).sum();
+        let removals: u64 = master.stats().sync_samples.iter().map(|s| s.removals).sum();
         let m2 = net.actor(victim).unwrap();
         println!(
             "t={checkpoint}s  rounds={:<4} resends={resends:<3} removals={removals:<2} \

@@ -1,7 +1,7 @@
 # Developer workflow. Run `just check` before sending a change.
 
 # Everything CI would run, in order.
-check: fmt clippy test analyze mc-smoke
+check: fmt clippy test analyze mc-smoke bench-snapshot
 
 # Formatting gate (no writes).
 fmt:
@@ -24,6 +24,12 @@ analyze:
 # (debug build, small budget) — catches oracle violations early.
 mc-smoke:
     cargo run -q -p guesstimate-mc --bin mc -- --preset all --max-schedules 400
+
+# Telemetry smoke: fixed-seed fig5 with metrics + spans + exporters on;
+# validates the observability invariants and artifact well-formedness,
+# and refreshes BENCH_pr4.json (docs/OBSERVABILITY.md).
+bench-snapshot:
+    ./scripts/bench_snapshot.sh
 
 # The CI model-checking gate: release build, full budget, with the
 # validated commute matrix from the effect analysis; requires >= 10k

@@ -13,3 +13,7 @@ cargo run -q -p guesstimate-analysis --bin analyze
 # oracles armed (docs/MODELCHECK.md). The full-budget gated run is
 # CI's `mc` step / `just mc`.
 cargo run -q -p guesstimate-mc --bin mc -- --preset all --max-schedules 400
+# Telemetry smoke: fixed-seed fig5 with the observability stack on,
+# self-validated invariants + artifact well-formedness
+# (docs/OBSERVABILITY.md).
+./scripts/bench_snapshot.sh

@@ -25,6 +25,9 @@
 //! * [`baselines`] — the consistency-model baselines the paper positions
 //!   itself against: one-copy serializability and unsynchronized local
 //!   replication.
+//! * [`telemetry`] — operation-lifecycle observability: the metrics
+//!   registry, per-op spans, guesstimate-health gauges, and the
+//!   Prometheus/JSON/Chrome-trace exporters (`docs/OBSERVABILITY.md`).
 //!
 //! See `README.md` for a tour and `examples/` for runnable programs.
 
@@ -35,6 +38,7 @@ pub use guesstimate_net as net;
 pub use guesstimate_runtime as runtime;
 pub use guesstimate_semantics as semantics;
 pub use guesstimate_spec as spec;
+pub use guesstimate_telemetry as telemetry;
 
 pub use guesstimate_core::{
     args, ArgView, CompletionFn, ExecOutcome, GState, MachineId, ObjectId, ObjectStore, OpId,

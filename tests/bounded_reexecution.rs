@@ -4,19 +4,31 @@
 
 use guesstimate::apps::sudoku::{self, Sudoku};
 use guesstimate::net::{LatencyModel, NetConfig, SimTime};
-use guesstimate::runtime::{run_until_cohort, sim_cluster, Machine, MachineConfig};
+use guesstimate::runtime::{run_until_cohort, sim_cluster_instrumented, Machine, MachineConfig};
+use guesstimate::telemetry::Telemetry;
 use guesstimate::{MachineId, OpRegistry};
 
 fn run_dense_session(users: u32, seed: u64, latency_ms: u64) -> Vec<Machine> {
+    run_dense_session_with(users, seed, latency_ms, Telemetry::noop())
+}
+
+fn run_dense_session_with(
+    users: u32,
+    seed: u64,
+    latency_ms: u64,
+    telemetry: Telemetry,
+) -> Vec<Machine> {
     let mut registry = OpRegistry::new();
     sudoku::register(&mut registry);
-    let mut net = sim_cluster(
+    let mut net = sim_cluster_instrumented(
         users,
         registry,
         MachineConfig::default()
             .with_sync_period(SimTime::from_millis(120))
             .with_stall_timeout(SimTime::from_secs(2)),
         NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(latency_ms)),
+        None,
+        telemetry,
     );
     assert!(run_until_cohort(&mut net, SimTime::from_secs(15)));
     let board = net
@@ -103,4 +115,38 @@ fn bound_holds_for_larger_clusters_and_slower_links() {
         "plenty of committed ops measured"
     );
     assert_eq!(total[4..].iter().sum::<u64>(), 0, "nothing beyond three");
+}
+
+/// The same bound, re-asserted through the telemetry layer: the
+/// exec-count histogram a shared [`Telemetry`] handle accumulates across
+/// the whole cluster must have zero mass above bucket 3, and its span
+/// tally must agree with the runtime's own commit statistics.
+#[test]
+fn bound_reasserted_through_telemetry_histograms() {
+    let telemetry = Telemetry::new();
+    let machines = run_dense_session_with(4, 17, 25, telemetry.clone());
+
+    assert!(
+        telemetry.max_exec_count() <= 3,
+        "telemetry saw an op execute {} times",
+        telemetry.max_exec_count()
+    );
+    assert_eq!(
+        telemetry.exec_count_above(3),
+        0,
+        "exec-count histogram must have zero mass above bucket 3"
+    );
+
+    let committed: u64 = machines.iter().map(|m| m.stats().committed_own).sum();
+    assert!(committed > 0, "dense schedule commits ops");
+    assert_eq!(
+        telemetry.ops_committed(),
+        committed,
+        "one span commit per runtime commit"
+    );
+    assert_eq!(
+        telemetry.commit_lag_count(),
+        committed,
+        "one commit-lag sample per commit"
+    );
 }

@@ -117,8 +117,8 @@ fn everything_at_once_soak() {
     }
     // The chaos actually happened.
     let master_stats = net.actor(MachineId::new(0)).unwrap().stats();
-    let removals: u32 = master_stats.sync_samples.iter().map(|s| s.removals).sum();
-    let resends: u32 = master_stats.sync_samples.iter().map(|s| s.resends).sum();
+    let removals: u64 = master_stats.sync_samples.iter().map(|s| s.removals).sum();
+    let resends: u64 = master_stats.sync_samples.iter().map(|s| s.resends).sum();
     assert!(removals >= 2, "stall + partition evictions: {removals}");
     assert!(resends >= 2, "loss-driven resends: {resends}");
     assert!(net.metrics().dropped > 50);

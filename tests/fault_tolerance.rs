@@ -136,7 +136,7 @@ fn overlapping_stalls_on_two_machines_recover() {
     }
     assert_agree(&net, &[0, 1, 2, 3]);
     let master = net.actor(MachineId::new(0)).unwrap();
-    let removals: u32 = master.stats().sync_samples.iter().map(|s| s.removals).sum();
+    let removals: u64 = master.stats().sync_samples.iter().map(|s| s.removals).sum();
     assert!(
         removals >= 2,
         "both stalled machines were removed at least once"

@@ -1,0 +1,133 @@
+//! Cluster-level telemetry integration: per-op span lifecycle under
+//! message loss, and observational invisibility of the instrumented run
+//! (docs/OBSERVABILITY.md).
+
+use guesstimate::apps::sudoku::{self, Sudoku};
+use guesstimate::net::{FaultPlan, LatencyModel, NetConfig, SimTime};
+use guesstimate::runtime::{run_until_cohort, sim_cluster_instrumented, Machine, MachineConfig};
+use guesstimate::telemetry::Telemetry;
+use guesstimate::{MachineId, OpRegistry};
+
+/// A short seeded session with background message loss: 4 users issue a
+/// couple hundred Sudoku moves while 5% of messages are dropped, forcing
+/// stall recovery (resends, re-flushes) to carry rounds to completion.
+fn lossy_session(seed: u64, drop_prob: f64, telemetry: Telemetry) -> Vec<Machine> {
+    let users = 4u32;
+    let mut registry = OpRegistry::new();
+    sudoku::register(&mut registry);
+    let mut net = sim_cluster_instrumented(
+        users,
+        registry,
+        MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(150))
+            .with_stall_timeout(SimTime::from_secs(2)),
+        NetConfig::lan(seed)
+            .with_latency(LatencyModel::lan_ms(20))
+            .with_faults(FaultPlan::new().with_drop_prob(drop_prob)),
+        None,
+        telemetry,
+    );
+    assert!(run_until_cohort(&mut net, SimTime::from_secs(15)));
+    let board = net
+        .actor_mut(MachineId::new(0))
+        .unwrap()
+        .create_instance(sudoku::example_puzzle());
+    net.run_until(net.now() + SimTime::from_secs(1));
+    for i in 0..users {
+        for k in 0..40u64 {
+            net.schedule_call(
+                net.now() + SimTime::from_millis(120 * k + u64::from(i) * 31),
+                MachineId::new(i),
+                move |m: &mut Machine, _| {
+                    if let Some(moves) = m.read::<Sudoku, _>(board, |s| s.candidate_moves()) {
+                        if let Some(&(r, c, v)) = moves.get((k % 5) as usize) {
+                            let _ = m.issue(sudoku::ops::update(board, r, c, v));
+                        }
+                    }
+                },
+            );
+        }
+    }
+    net.run_until(net.now() + SimTime::from_secs(40));
+    (0..users)
+        .map(|i| net.remove_machine(MachineId::new(i)).unwrap())
+        .collect()
+}
+
+/// Counts a named counter in the Prometheus rendering.
+fn prom_counter(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{name} missing from Prometheus output"))
+}
+
+/// Message loss makes flushes disappear mid-round; recovery re-flushes
+/// them. A re-flush must bump the flush counter but never duplicate the
+/// operation's span, and the paper's ≤3 execution bound must survive.
+#[test]
+fn spans_stay_unique_under_message_loss() {
+    let telemetry = Telemetry::new();
+    let machines = lossy_session(11, 0.05, telemetry.clone());
+
+    let spans = telemetry.spans();
+    assert!(!spans.is_empty(), "lossy session still commits ops");
+    let mut ids: Vec<_> = spans.iter().map(|s| s.op).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), spans.len(), "exactly one span per operation");
+
+    for s in &spans {
+        assert!(
+            s.exec_count <= 3,
+            "{:?} executed {} times",
+            s.op,
+            s.exec_count
+        );
+        if let (Some(issued), Some(flushed)) = (s.issued_at, s.flushed_at) {
+            assert!(issued <= flushed, "{:?}: flushed before issued", s.op);
+        }
+        if let (Some(flushed), Some(committed)) = (s.flushed_at, s.committed_at) {
+            assert!(flushed <= committed, "{:?}: committed before flushed", s.op);
+        }
+    }
+
+    // Re-flushes are visible in the counter, not as extra spans: the
+    // flush broadcasts must be at least as numerous as the distinct
+    // flushed operations, strictly more once recovery re-flushed any.
+    let prom = telemetry.render_prometheus();
+    let flush_broadcasts = prom_counter(&prom, "guesstimate_ops_flushed_total");
+    let flushed_spans = spans.iter().filter(|s| s.flushed_at.is_some()).count() as u64;
+    assert!(
+        flush_broadcasts >= flushed_spans,
+        "flush broadcasts {flush_broadcasts} < distinct flushed ops {flushed_spans}"
+    );
+
+    let committed: u64 = machines.iter().map(|m| m.stats().committed_own).sum();
+    assert!(committed > 0);
+    assert_eq!(telemetry.ops_committed(), committed);
+    assert_eq!(telemetry.commit_lag_count(), committed);
+}
+
+/// Observational invisibility: running the identical seeded session with
+/// a live telemetry handle and with the no-op handle must commit
+/// byte-identical histories on every machine.
+#[test]
+fn telemetry_is_observationally_invisible() {
+    let instrumented = lossy_session(7, 0.02, Telemetry::new());
+    let noop = lossy_session(7, 0.02, Telemetry::noop());
+
+    assert_eq!(instrumented.len(), noop.len());
+    for (a, b) in instrumented.iter().zip(&noop) {
+        assert_eq!(
+            a.committed_digest(),
+            b.committed_digest(),
+            "{}: telemetry perturbed the committed history",
+            a.id()
+        );
+        assert_eq!(a.stats().committed_own, b.stats().committed_own);
+        assert_eq!(a.stats().issued, b.stats().issued);
+    }
+    let committed: u64 = instrumented.iter().map(|m| m.stats().committed_own).sum();
+    assert!(committed > 0, "the comparison must cover real commits");
+}
