@@ -10,7 +10,7 @@
 //! mechanically (Boucheneb & Imine). This crate provides both halves:
 //!
 //! * a **footprint-based static commutativity judgment** — two invocations
-//!   commute when their declared [`Footprint`]s are disjoint (no write/write
+//!   commute when their declared [`guesstimate_core::Footprint`]s are disjoint (no write/write
 //!   and no read/write overlap);
 //! * a **bounded-exhaustive semantic validator** that reuses the
 //!   `spec::verifier` [`CaseSpace`] machinery to check `s1;s2 ≡ s2;s1` over
@@ -46,7 +46,7 @@ use guesstimate_spec::{CaseSpace, SpecSuite};
 /// path); lists of equal length recurse per index, lists of different
 /// length report the list's own path (append/remove moves indices, so the
 /// whole list is the honest footprint); scalars report their path. Paths
-/// use the same `/`-separated key language as [`Footprint`].
+/// use the same `/`-separated key language as [`guesstimate_core::Footprint`].
 pub fn snapshot_diff(pre: &Value, post: &Value) -> Vec<String> {
     let mut out = Vec::new();
     diff_into(pre, post, String::new(), &mut out);

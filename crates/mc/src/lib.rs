@@ -20,7 +20,7 @@
 //!   conflicting workloads) and the deterministic prelude.
 //! * [`schedule`] — the choice alphabet ([`Step`]) and the replayable
 //!   JSON schedule file format.
-//! * [`explore`] — the DFS explorer, the independence relation, and
+//! * [`mod@explore`] — the DFS explorer, the independence relation, and
 //!   schedule replay.
 //! * [`oracle`] — step/terminal oracles and the state digest.
 //! * [`shrink`] — ddmin minimization of failing schedules.

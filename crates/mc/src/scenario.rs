@@ -267,7 +267,9 @@ impl Preset {
                 }
                 // Swap the *ids*: receivers key a round's batch by id and
                 // apply in id order, so this inverts the victim's commit
-                // order for the two operations.
+                // order for the two operations. The batch is shared behind
+                // an Arc; clone-on-write so only this delivery is corrupted.
+                let ops = std::sync::Arc::make_mut(ops);
                 let a = ops[i].id;
                 ops[i].id = ops[j].id;
                 ops[j].id = a;

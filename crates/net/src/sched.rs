@@ -68,7 +68,7 @@ struct TimerKey {
 pub type TamperHook<M> = Box<dyn FnMut(u64, MachineId, MachineId, &mut M) -> bool + Send>;
 
 /// A mesh whose every delivery, join, and timer firing is an external
-/// choice. See the [module docs](self) for the model.
+/// choice. See the module docs for the model.
 pub struct SchedNet<A: Actor> {
     machines: BTreeMap<MachineId, A>,
     /// Messages in flight, keyed by stable seq.
@@ -147,7 +147,7 @@ impl<A: Actor> SchedNet<A> {
         self.machines.get_mut(&id)
     }
 
-    /// Installs the delivery-time tamper hook (see [module docs](self)).
+    /// Installs the delivery-time tamper hook (see the module docs).
     pub fn set_tamper(&mut self, hook: TamperHook<A::Msg>) {
         self.tamper = Some(hook);
     }

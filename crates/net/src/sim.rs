@@ -268,7 +268,7 @@ impl<A: Actor> SimNet<A> {
     ///
     /// Events are consumed in `(at, seq)` order: earliest virtual time
     /// first, and among events sharing a timestamp, **scheduling order**
-    /// (see [`Scheduled`]). Two runs with the same seed and the same
+    /// (see `Scheduled`). Two runs with the same seed and the same
     /// sequence of external calls therefore process identical event
     /// sequences.
     pub fn step(&mut self) -> Option<SimTime> {

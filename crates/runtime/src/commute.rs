@@ -10,7 +10,7 @@
 //! 2. **Validated matrix** — the offline analysis proved the method pair
 //!    always-commuting (any argument, any state).
 //! 3. **Argument-precise footprints** — the methods' declared
-//!    [`EffectSpec`]s, instantiated at the operations' actual arguments,
+//!    [`guesstimate_core::EffectSpec`]s, instantiated at the operations' actual arguments,
 //!    have disjoint read/write sets on every shared object.
 //!
 //! Any pair left unproven — including any operation whose method lacks a

@@ -1,0 +1,318 @@
+//! Commit-side machinery: applying a consolidated round, the commute-skip
+//! judgment, join initialization, and restarts.
+//!
+//! These are the [`Machine`] operations that touch the replicated stores
+//! (`sc`, `sg`) and the pending list in bulk. They are invoked by the
+//! composer in [`crate::protocol`] when it lowers role effects —
+//! [`Machine::apply_committed_round`] behind `Effect::TryApply`,
+//! [`Machine::init_from_join_info`] on `JoinInfo`, and
+//! [`Machine::reset_for_restart`] behind `Effect::SelfRestart`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use guesstimate_core::{
+    execute, CompletionQueue, ExecError, Footprint, ObjectId, ObjectStore, OpId, OpRegistry,
+};
+use guesstimate_net::{SimTime, TraceEvent};
+
+use crate::commute;
+use crate::machine::Machine;
+use crate::message::{ObjectInit, WireEnvelope, WireOp};
+
+impl Machine {
+    /// Applies one round's consolidated, ordered operation list to the
+    /// committed state, then re-establishes `sg = [P](sc)`: copy `sc → sg`,
+    /// run queued completion routines, replay remaining pending operations.
+    ///
+    /// With [`crate::MachineConfig::commute_skip`] enabled, the rebuild is
+    /// elided whenever every foreign commit provably commutes with the whole
+    /// pending list (see [`Machine::can_skip_replay`]); the guesstimated
+    /// store is then patched in place instead.
+    ///
+    /// Returns the number of operations committed.
+    pub(crate) fn apply_committed_round(
+        &mut self,
+        ordered: Vec<WireEnvelope>,
+        round: u64,
+        now: SimTime,
+    ) -> u64 {
+        // The commutation judgment must see the pending list *before* the
+        // commit loop below pops own operations off its front.
+        let skip = self.cfg.commute_skip && self.can_skip_replay(&ordered);
+        let mut queue = CompletionQueue::new();
+        let mut remote_touched: BTreeSet<ObjectId> = BTreeSet::new();
+        let n = ordered.len() as u64;
+        for env in &ordered {
+            if env.id.machine() != self.id && !self.remote_hooks.is_empty() {
+                match &env.op {
+                    WireOp::Create { object, .. } => {
+                        remote_touched.insert(*object);
+                    }
+                    WireOp::Shared(op) => {
+                        remote_touched.extend(op.objects_touched());
+                    }
+                }
+            }
+            if let WireOp::Create {
+                object, type_name, ..
+            } = &env.op
+            {
+                self.catalog.insert(*object, type_name.clone());
+            }
+            let result = execute_wire(&env.op, &mut self.committed, &self.registry)
+                .expect("commit: registries must agree on every machine");
+            self.completed.push(env.id);
+            if self.cfg.record_history {
+                self.history.push(env.clone());
+            }
+            if env.id.machine() == self.id {
+                let count = self.exec_counts.remove(&env.id).unwrap_or(0) + 1;
+                self.stats.record_exec_count(count);
+                self.stats.committed_own += 1;
+                self.telemetry.op_committed(env.id, round, count, now);
+                if !result {
+                    // Succeeded at issue (only successful ops are enqueued),
+                    // failed at commit: a conflict (Figure 7).
+                    self.stats.conflicts += 1;
+                }
+                match self.pending.front() {
+                    Some(front) if front.id == env.id => {
+                        self.pending.pop_front();
+                    }
+                    _ => debug_assert!(false, "own op committed out of pending order"),
+                }
+                if let Some(c) = self.completions.remove(&env.id) {
+                    queue.push(env.id, result, c);
+                    self.telemetry.op_completed(env.id, now);
+                }
+                if let Some(t) = self.issue_times.remove(&env.id) {
+                    self.stats.commit_latencies.push(now.saturating_since(t));
+                }
+            } else {
+                self.stats.committed_foreign += 1;
+            }
+        }
+        if skip {
+            // Every foreign commit commutes past the whole pending list, so
+            // `sg = [P](sc)` survives the round up to appending the foreign
+            // ops: own committed ops already acted first in `sg` (they sat
+            // at the front of `P`), and the still-pending tail need not
+            // re-execute. Skipped replays do not count as executions, so
+            // `exec_counts` is deliberately left alone.
+            for env in &ordered {
+                if env.id.machine() != self.id {
+                    let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
+                }
+            }
+            let skipped = self.pending.len() as u64;
+            self.stats.replays_skipped += skipped;
+            self.stats.completions_run += queue.run_all() as u64;
+            self.trace(
+                now,
+                TraceEvent::ReplaySkipped {
+                    round,
+                    pending: skipped,
+                },
+            );
+        } else {
+            // §4 steps (i)-(iii): copy committed onto guesstimated, run the
+            // pending completion routines, replay the still-pending operations.
+            self.guess.copy_from(&self.committed);
+            self.stats.completions_run += queue.run_all() as u64;
+            let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
+            for env in &still_pending {
+                let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
+                self.stats.replays += 1;
+                *self.exec_counts.entry(env.id).or_insert(0) += 1;
+            }
+        }
+        self.stats.rounds_applied += 1;
+        for object in remote_touched {
+            for hook in &mut self.remote_hooks {
+                hook(object);
+            }
+        }
+        n
+    }
+
+    /// Decides whether this round's rebuild of `sg = [P](sc)` may be
+    /// skipped: every foreign committed operation must provably commute
+    /// with every operation in the pending list `P` — own ops about to
+    /// commit included, since skipping implicitly reorders each foreign op
+    /// past all of them. A round that commits no foreign operation always
+    /// qualifies (own commits act first in both stores, so `sg` is already
+    /// `[P'](sc')`).
+    ///
+    /// Proofs, strongest-first per pair: disjoint touched-object sets;
+    /// the analysis-validated [`crate::MachineConfig::commute_matrix`]; and
+    /// argument-precise footprint disjointness from the methods' declared
+    /// [`guesstimate_core::EffectSpec`]s (see [`crate::commute`]). Any pair
+    /// left unproven — including any operation whose method lacks a
+    /// declared effect — forces the full rebuild.
+    fn can_skip_replay(&self, ordered: &[WireEnvelope]) -> bool {
+        if self.pending.is_empty() {
+            return false; // nothing to skip; the rebuild is a plain copy
+        }
+        // Objects created this round are not in the catalog yet.
+        let mut created: BTreeMap<ObjectId, String> = BTreeMap::new();
+        for env in ordered {
+            if let WireOp::Create {
+                object, type_name, ..
+            } = &env.op
+            {
+                created.insert(*object, type_name.clone());
+            }
+        }
+        let type_of = |id: ObjectId| {
+            created
+                .get(&id)
+                .cloned()
+                .or_else(|| self.catalog.get(&id).cloned())
+        };
+        let pending_objs: Vec<(&WireEnvelope, BTreeSet<ObjectId>)> = self
+            .pending
+            .iter()
+            .map(|env| (env, commute::wire_objects(&env.op)))
+            .collect();
+        for f in ordered.iter().filter(|e| e.id.machine() != self.id) {
+            let f_objs = commute::wire_objects(&f.op);
+            let mut f_fps: Option<BTreeMap<ObjectId, Footprint>> = None;
+            for (p, p_objs) in &pending_objs {
+                if f_objs.is_disjoint(p_objs) {
+                    continue; // per-object state: disjoint objects commute
+                }
+                if commute::matrix_commutes(&self.cfg.commute_matrix, &type_of, &f.op, &p.op) {
+                    continue;
+                }
+                if f_fps.is_none() {
+                    match commute::wire_footprints(&self.registry, &type_of, &f.op) {
+                        Some(fp) => f_fps = Some(fp),
+                        None => return false,
+                    }
+                }
+                let ffp = f_fps.as_ref().expect("computed above");
+                let Some(pfp) = commute::wire_footprints(&self.registry, &type_of, &p.op) else {
+                    return false;
+                };
+                let all_disjoint =
+                    f_objs
+                        .intersection(p_objs)
+                        .all(|id| match (ffp.get(id), pfp.get(id)) {
+                            (Some(a), Some(b)) => a.disjoint(b),
+                            _ => false,
+                        });
+                if !all_disjoint {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds the catalog snapshot + completed history shipped to a joining
+    /// machine (the master's side of "sends the new device both the list of
+    /// available objects and the list of completed operations").
+    pub(crate) fn build_join_info(&self) -> (Vec<ObjectInit>, Vec<OpId>) {
+        let catalog = self
+            .committed
+            .iter()
+            .map(|(id, obj)| ObjectInit {
+                id,
+                type_name: obj.type_name().to_owned(),
+                state: obj.snapshot(),
+            })
+            .collect();
+        (catalog, self.completed.clone())
+    }
+
+    /// Initializes committed and guesstimated state from a `JoinInfo`.
+    ///
+    /// Pending operations issued before admission are preserved and
+    /// replayed onto the fresh guesstimated state; they commit in this
+    /// machine's first round.
+    pub(crate) fn init_from_join_info(&mut self, catalog: Vec<ObjectInit>, completed: Vec<OpId>) {
+        self.committed = ObjectStore::new();
+        self.catalog.clear();
+        for oi in catalog {
+            let mut obj = self
+                .registry
+                .construct(&oi.type_name)
+                .expect("join: type must be registered on every machine");
+            obj.restore(&oi.state)
+                .expect("join: snapshot must match registered type");
+            self.committed.insert(oi.id, obj);
+            self.catalog.insert(oi.id, oi.type_name);
+        }
+        self.completed = completed;
+        self.guess.copy_from(&self.committed);
+        let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
+        for env in &still_pending {
+            if let WireOp::Create {
+                object, type_name, ..
+            } = &env.op
+            {
+                self.catalog.insert(*object, type_name.clone());
+            }
+            let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
+            self.stats.replays += 1;
+            *self.exec_counts.entry(env.id).or_insert(0) += 1;
+        }
+        self.membership.joined_system = true;
+        // Round bookkeeping restarts with the new membership epoch: the
+        // first BeginSync after (re-)admission re-anchors the numbering.
+        self.participant.last_round_applied = None;
+        self.participant.buffered.clear();
+        self.participant.round = None;
+    }
+
+    /// Resets all replicated state, as the paper's restart signal does:
+    /// "the machine shuts down the current instance of the application and
+    /// restarts the application. Upon restart the machine re-enters the
+    /// system in a consistent state." Pending operations and their
+    /// completion routines are lost (and counted).
+    pub(crate) fn reset_for_restart(&mut self) {
+        self.stats.restarts += 1;
+        self.telemetry
+            .machine_restarted(self.id, self.pending.len() as u64);
+        self.stats.ops_lost_to_restart += self.pending.len() as u64;
+        self.stats.completions_dropped += self.completions.len() as u64;
+        self.pending.clear();
+        self.completions.clear();
+        self.exec_counts.clear();
+        self.issue_times.clear();
+        self.committed = ObjectStore::new();
+        self.guess = ObjectStore::new();
+        self.catalog.clear();
+        self.completed.clear();
+        self.membership.joined_system = false;
+        self.membership.in_cohort = false;
+        self.participant.last_round_applied = None;
+        self.participant.round = None;
+        self.participant.buffered.clear();
+    }
+}
+
+/// Executes a wire operation against a store.
+///
+/// `Create` materializes the object (idempotently overwriting any stale
+/// instance) and always succeeds; `Shared` defers to the core engine.
+pub(crate) fn execute_wire(
+    op: &WireOp,
+    store: &mut ObjectStore,
+    registry: &OpRegistry,
+) -> Result<bool, ExecError> {
+    match op {
+        WireOp::Create {
+            object,
+            type_name,
+            init,
+        } => {
+            let mut obj = registry.construct(type_name)?;
+            obj.restore(init)
+                .expect("create: snapshot must match registered type");
+            store.insert(*object, obj);
+            Ok(true)
+        }
+        WireOp::Shared(op) => Ok(execute(op, store, registry)?.as_bool()),
+    }
+}

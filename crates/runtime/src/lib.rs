@@ -74,12 +74,14 @@ mod blocking;
 mod cluster;
 pub mod commute;
 mod config;
+mod exec;
 mod machine;
 mod message;
 mod protocol;
+pub mod roles;
 mod stats;
-#[cfg(test)]
-mod testutil;
+#[doc(hidden)]
+pub mod testutil;
 
 pub use blocking::{issue_blocking, BlockingOutcome};
 pub use cluster::{

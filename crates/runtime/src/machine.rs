@@ -3,36 +3,31 @@
 //! A [`Machine`] holds the 5-tuple of §3 — local state (owned by the
 //! application through completion closures), the completed sequence `C`, the
 //! committed store `sc`, the pending list `P` and the guesstimated store
-//! `sg` — plus the synchronizer bookkeeping of §4. The *protocol* (how
-//! machines talk) lives in [`crate::protocol`]; this module implements
-//! everything local: issuing (rule R2), committing a consolidated round,
-//! rebuilding `sg = [P](sc)`, restarts, and join initialization.
+//! `sg` — plus one instance of each protocol role from [`crate::roles`].
+//! The *protocol* (how machines talk) lives in [`crate::protocol`], which
+//! composes the role state machines; the commit-side machinery (applying a
+//! consolidated round, rebuilding `sg = [P](sc)`, restarts, join
+//! initialization) lives in [`crate::exec`]. This module implements the
+//! local API: issuing (rule R2), reads, and the object catalog.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use guesstimate_core::{
-    execute, CompletionFn, CompletionQueue, ExecError, Footprint, GState, MachineId, ObjectId,
-    ObjectStore, OpId, OpRegistry, SharedOp,
+    execute, CompletionFn, ExecError, GState, MachineId, ObjectId, ObjectStore, OpId, OpRegistry,
+    SharedOp,
 };
 use guesstimate_net::{NoopTracer, SimTime, TraceEvent, TraceRecord, Tracer};
 use guesstimate_telemetry::Telemetry;
 
-use crate::commute;
 use crate::config::MachineConfig;
-use crate::message::{Msg, ObjectInit, WireEnvelope, WireOp};
-use crate::protocol::{MasterRound, RoundState};
+use crate::exec::execute_wire;
+use crate::message::{WireEnvelope, WireOp};
+use crate::roles::election::ElectionRole;
+use crate::roles::master::MasterRole;
+use crate::roles::membership::MembershipRole;
+use crate::roles::participant::ParticipantRole;
 use crate::stats::MachineStats;
-
-/// Join-handshake progress tracked by the master per joining machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum JoinPhase {
-    /// `JoinRequest` received; `JoinInfo` not yet sent.
-    Requested,
-    /// `JoinInfo` sent when the completed history had this length; the
-    /// machine is admitted only if the history has not advanced since.
-    InfoSent(u64),
-}
 
 /// A GUESSTIMATE machine: replicated state plus synchronizer.
 ///
@@ -77,22 +72,12 @@ pub struct Machine {
     pub(crate) exec_counts: HashMap<OpId, u32>,
     pub(crate) issue_times: HashMap<OpId, SimTime>,
 
-    // --- Role and membership ---
+    // --- Protocol roles (sans-IO state machines; see crate::roles) ---
     pub(crate) is_master: bool,
-    pub(crate) members: BTreeSet<MachineId>,
-    pub(crate) pending_joins: BTreeMap<MachineId, JoinPhase>,
-    pub(crate) joined_system: bool,
-    pub(crate) in_cohort: bool,
-    pub(crate) last_round_applied: Option<u64>,
-
-    // --- Round state ---
-    pub(crate) round: Option<RoundState>,
-    pub(crate) master_round: Option<MasterRound>,
-    pub(crate) next_round: u64,
-    pub(crate) last_master_activity: SimTime,
-    pub(crate) election: Option<BTreeMap<MachineId, u64>>,
-    pub(crate) election_gen: u64,
-    pub(crate) buffered: BTreeMap<u64, Vec<(MachineId, Msg)>>,
+    pub(crate) master: MasterRole,
+    pub(crate) participant: ParticipantRole,
+    pub(crate) membership: MembershipRole,
+    pub(crate) election: ElectionRole,
 
     pub(crate) history: Vec<WireEnvelope>,
     pub(crate) remote_hooks: Vec<RemoteUpdateHook>,
@@ -124,11 +109,7 @@ impl Machine {
     /// drives synchronization, membership and recovery. The paper's runtime
     /// designates exactly one master; master failure is not tolerated (§9).
     pub fn new_master(id: MachineId, registry: Arc<OpRegistry>, cfg: MachineConfig) -> Self {
-        let mut m = Machine::new_inner(id, registry, cfg, true);
-        m.members.insert(id);
-        m.joined_system = true;
-        m.in_cohort = true;
-        m
+        Machine::new_inner(id, registry, cfg, true)
     }
 
     /// Creates a non-master member; it will request to join on start.
@@ -157,18 +138,10 @@ impl Machine {
             exec_counts: HashMap::new(),
             issue_times: HashMap::new(),
             is_master,
-            members: BTreeSet::new(),
-            pending_joins: BTreeMap::new(),
-            joined_system: false,
-            in_cohort: false,
-            last_round_applied: None,
-            round: None,
-            master_round: None,
-            next_round: 1,
-            last_master_activity: SimTime::ZERO,
-            election: None,
-            election_gen: 0,
-            buffered: BTreeMap::new(),
+            master: MasterRole::new(id),
+            participant: ParticipantRole::new(id),
+            membership: MembershipRole::new(id, is_master),
+            election: ElectionRole::new(id),
             history: Vec::new(),
             remote_hooks: Vec::new(),
             stats: MachineStats::default(),
@@ -261,17 +234,23 @@ impl Machine {
     /// True once the machine has been admitted to the system (masters start
     /// admitted; members are admitted after the join handshake).
     pub fn is_joined(&self) -> bool {
-        self.joined_system
+        self.membership.is_joined()
     }
 
     /// True once the machine has participated in a synchronization round.
     pub fn in_cohort(&self) -> bool {
-        self.in_cohort
+        self.membership.in_cohort()
     }
 
     /// Current members, as known by the master (empty on non-masters).
     pub fn members(&self) -> Vec<MachineId> {
-        self.members.iter().copied().collect()
+        self.membership.members().iter().copied().collect()
+    }
+
+    /// How many early rounds the participant role is currently buffering
+    /// (round messages that arrived before their `BeginSync`).
+    pub fn buffered_rounds(&self) -> usize {
+        self.participant.buffered_rounds()
     }
 
     /// The recorded committed-operation history (empty unless
@@ -507,693 +486,8 @@ impl Machine {
     pub fn read_committed<T: GState, R>(&self, id: ObjectId, f: impl FnOnce(&T) -> R) -> Option<R> {
         self.committed.get_as::<T>(id).map(f)
     }
-
-    // ------------------------------------------------------------------
-    // Commit-side machinery (used by the protocol module)
-    // ------------------------------------------------------------------
-
-    /// Applies one round's consolidated, ordered operation list to the
-    /// committed state, then re-establishes `sg = [P](sc)`: copy `sc → sg`,
-    /// run queued completion routines, replay remaining pending operations.
-    ///
-    /// With [`MachineConfig::commute_skip`] enabled, the rebuild is elided
-    /// whenever every foreign commit provably commutes with the whole
-    /// pending list (see [`Machine::can_skip_replay`]); the guesstimated
-    /// store is then patched in place instead.
-    ///
-    /// Returns the number of operations committed.
-    pub(crate) fn apply_committed_round(
-        &mut self,
-        ordered: Vec<WireEnvelope>,
-        round: u64,
-        now: SimTime,
-    ) -> u64 {
-        // The commutation judgment must see the pending list *before* the
-        // commit loop below pops own operations off its front.
-        let skip = self.cfg.commute_skip && self.can_skip_replay(&ordered);
-        let mut queue = CompletionQueue::new();
-        let mut remote_touched: BTreeSet<ObjectId> = BTreeSet::new();
-        let n = ordered.len() as u64;
-        for env in &ordered {
-            if env.id.machine() != self.id && !self.remote_hooks.is_empty() {
-                match &env.op {
-                    WireOp::Create { object, .. } => {
-                        remote_touched.insert(*object);
-                    }
-                    WireOp::Shared(op) => {
-                        remote_touched.extend(op.objects_touched());
-                    }
-                }
-            }
-            if let WireOp::Create {
-                object, type_name, ..
-            } = &env.op
-            {
-                self.catalog.insert(*object, type_name.clone());
-            }
-            let result = execute_wire(&env.op, &mut self.committed, &self.registry)
-                .expect("commit: registries must agree on every machine");
-            self.completed.push(env.id);
-            if self.cfg.record_history {
-                self.history.push(env.clone());
-            }
-            if env.id.machine() == self.id {
-                let count = self.exec_counts.remove(&env.id).unwrap_or(0) + 1;
-                self.stats.record_exec_count(count);
-                self.stats.committed_own += 1;
-                self.telemetry.op_committed(env.id, round, count, now);
-                if !result {
-                    // Succeeded at issue (only successful ops are enqueued),
-                    // failed at commit: a conflict (Figure 7).
-                    self.stats.conflicts += 1;
-                }
-                match self.pending.front() {
-                    Some(front) if front.id == env.id => {
-                        self.pending.pop_front();
-                    }
-                    _ => debug_assert!(false, "own op committed out of pending order"),
-                }
-                if let Some(c) = self.completions.remove(&env.id) {
-                    queue.push(env.id, result, c);
-                    self.telemetry.op_completed(env.id, now);
-                }
-                if let Some(t) = self.issue_times.remove(&env.id) {
-                    self.stats.commit_latencies.push(now.saturating_since(t));
-                }
-            } else {
-                self.stats.committed_foreign += 1;
-            }
-        }
-        if skip {
-            // Every foreign commit commutes past the whole pending list, so
-            // `sg = [P](sc)` survives the round up to appending the foreign
-            // ops: own committed ops already acted first in `sg` (they sat
-            // at the front of `P`), and the still-pending tail need not
-            // re-execute. Skipped replays do not count as executions, so
-            // `exec_counts` is deliberately left alone.
-            for env in &ordered {
-                if env.id.machine() != self.id {
-                    let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
-                }
-            }
-            let skipped = self.pending.len() as u64;
-            self.stats.replays_skipped += skipped;
-            self.stats.completions_run += queue.run_all() as u64;
-            self.trace(
-                now,
-                TraceEvent::ReplaySkipped {
-                    round,
-                    pending: skipped,
-                },
-            );
-        } else {
-            // §4 steps (i)-(iii): copy committed onto guesstimated, run the
-            // pending completion routines, replay the still-pending operations.
-            self.guess.copy_from(&self.committed);
-            self.stats.completions_run += queue.run_all() as u64;
-            let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
-            for env in &still_pending {
-                let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
-                self.stats.replays += 1;
-                *self.exec_counts.entry(env.id).or_insert(0) += 1;
-            }
-        }
-        self.stats.rounds_applied += 1;
-        for object in remote_touched {
-            for hook in &mut self.remote_hooks {
-                hook(object);
-            }
-        }
-        n
-    }
-
-    /// Decides whether this round's rebuild of `sg = [P](sc)` may be
-    /// skipped: every foreign committed operation must provably commute
-    /// with every operation in the pending list `P` — own ops about to
-    /// commit included, since skipping implicitly reorders each foreign op
-    /// past all of them. A round that commits no foreign operation always
-    /// qualifies (own commits act first in both stores, so `sg` is already
-    /// `[P'](sc')`).
-    ///
-    /// Proofs, strongest-first per pair: disjoint touched-object sets;
-    /// the analysis-validated [`MachineConfig::commute_matrix`]; and
-    /// argument-precise footprint disjointness from the methods' declared
-    /// [`guesstimate_core::EffectSpec`]s (see [`crate::commute`]). Any pair
-    /// left unproven — including any operation whose method lacks a
-    /// declared effect — forces the full rebuild.
-    fn can_skip_replay(&self, ordered: &[WireEnvelope]) -> bool {
-        if self.pending.is_empty() {
-            return false; // nothing to skip; the rebuild is a plain copy
-        }
-        // Objects created this round are not in the catalog yet.
-        let mut created: BTreeMap<ObjectId, String> = BTreeMap::new();
-        for env in ordered {
-            if let WireOp::Create {
-                object, type_name, ..
-            } = &env.op
-            {
-                created.insert(*object, type_name.clone());
-            }
-        }
-        let type_of = |id: ObjectId| {
-            created
-                .get(&id)
-                .cloned()
-                .or_else(|| self.catalog.get(&id).cloned())
-        };
-        let pending_objs: Vec<(&WireEnvelope, BTreeSet<ObjectId>)> = self
-            .pending
-            .iter()
-            .map(|env| (env, commute::wire_objects(&env.op)))
-            .collect();
-        for f in ordered.iter().filter(|e| e.id.machine() != self.id) {
-            let f_objs = commute::wire_objects(&f.op);
-            let mut f_fps: Option<BTreeMap<ObjectId, Footprint>> = None;
-            for (p, p_objs) in &pending_objs {
-                if f_objs.is_disjoint(p_objs) {
-                    continue; // per-object state: disjoint objects commute
-                }
-                if commute::matrix_commutes(&self.cfg.commute_matrix, &type_of, &f.op, &p.op) {
-                    continue;
-                }
-                if f_fps.is_none() {
-                    match commute::wire_footprints(&self.registry, &type_of, &f.op) {
-                        Some(fp) => f_fps = Some(fp),
-                        None => return false,
-                    }
-                }
-                let ffp = f_fps.as_ref().expect("computed above");
-                let Some(pfp) = commute::wire_footprints(&self.registry, &type_of, &p.op) else {
-                    return false;
-                };
-                let all_disjoint =
-                    f_objs
-                        .intersection(p_objs)
-                        .all(|id| match (ffp.get(id), pfp.get(id)) {
-                            (Some(a), Some(b)) => a.disjoint(b),
-                            _ => false,
-                        });
-                if !all_disjoint {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    /// Builds the catalog snapshot + completed history shipped to a joining
-    /// machine (the master's side of "sends the new device both the list of
-    /// available objects and the list of completed operations").
-    pub(crate) fn build_join_info(&self) -> (Vec<ObjectInit>, Vec<OpId>) {
-        let catalog = self
-            .committed
-            .iter()
-            .map(|(id, obj)| ObjectInit {
-                id,
-                type_name: obj.type_name().to_owned(),
-                state: obj.snapshot(),
-            })
-            .collect();
-        (catalog, self.completed.clone())
-    }
-
-    /// Initializes committed and guesstimated state from a `JoinInfo`.
-    ///
-    /// Pending operations issued before admission are preserved and
-    /// replayed onto the fresh guesstimated state; they commit in this
-    /// machine's first round.
-    pub(crate) fn init_from_join_info(&mut self, catalog: Vec<ObjectInit>, completed: Vec<OpId>) {
-        self.committed = ObjectStore::new();
-        self.catalog.clear();
-        for oi in catalog {
-            let mut obj = self
-                .registry
-                .construct(&oi.type_name)
-                .expect("join: type must be registered on every machine");
-            obj.restore(&oi.state)
-                .expect("join: snapshot must match registered type");
-            self.committed.insert(oi.id, obj);
-            self.catalog.insert(oi.id, oi.type_name);
-        }
-        self.completed = completed;
-        self.guess.copy_from(&self.committed);
-        let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
-        for env in &still_pending {
-            if let WireOp::Create {
-                object, type_name, ..
-            } = &env.op
-            {
-                self.catalog.insert(*object, type_name.clone());
-            }
-            let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
-            self.stats.replays += 1;
-            *self.exec_counts.entry(env.id).or_insert(0) += 1;
-        }
-        self.joined_system = true;
-        // Round bookkeeping restarts with the new membership epoch: the
-        // first BeginSync after (re-)admission re-anchors the numbering.
-        self.last_round_applied = None;
-        self.buffered.clear();
-        self.round = None;
-    }
-
-    /// Resets all replicated state, as the paper's restart signal does:
-    /// "the machine shuts down the current instance of the application and
-    /// restarts the application. Upon restart the machine re-enters the
-    /// system in a consistent state." Pending operations and their
-    /// completion routines are lost (and counted).
-    pub(crate) fn reset_for_restart(&mut self) {
-        self.stats.restarts += 1;
-        self.telemetry
-            .machine_restarted(self.id, self.pending.len() as u64);
-        self.stats.ops_lost_to_restart += self.pending.len() as u64;
-        self.stats.completions_dropped += self.completions.len() as u64;
-        self.pending.clear();
-        self.completions.clear();
-        self.exec_counts.clear();
-        self.issue_times.clear();
-        self.committed = ObjectStore::new();
-        self.guess = ObjectStore::new();
-        self.catalog.clear();
-        self.completed.clear();
-        self.joined_system = false;
-        self.in_cohort = false;
-        self.last_round_applied = None;
-        self.round = None;
-        self.buffered.clear();
-    }
-}
-
-/// Executes a wire operation against a store.
-///
-/// `Create` materializes the object (idempotently overwriting any stale
-/// instance) and always succeeds; `Shared` defers to the core engine.
-pub(crate) fn execute_wire(
-    op: &WireOp,
-    store: &mut ObjectStore,
-    registry: &OpRegistry,
-) -> Result<bool, ExecError> {
-    match op {
-        WireOp::Create {
-            object,
-            type_name,
-            init,
-        } => {
-            let mut obj = registry.construct(type_name)?;
-            obj.restore(init)
-                .expect("create: snapshot must match registered type");
-            store.insert(*object, obj);
-            Ok(true)
-        }
-        WireOp::Shared(op) => Ok(execute(op, store, registry)?.as_bool()),
-    }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::testutil::{counter_registry, Counter};
-    use guesstimate_core::args;
-
-    fn machine() -> Machine {
-        Machine::new_master(
-            MachineId::new(0),
-            Arc::new(counter_registry()),
-            MachineConfig::default(),
-        )
-    }
-
-    #[test]
-    fn create_instance_is_visible_in_guess_not_committed() {
-        let mut m = machine();
-        let id = m.create_instance(Counter { n: 5 });
-        assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(5));
-        assert_eq!(m.read_committed::<Counter, _>(id, |c| c.n), None);
-        assert_eq!(m.pending_len(), 1);
-        assert_eq!(m.object_type(id), Some("Counter"));
-        assert_eq!(m.join_instance(id), Some("Counter"));
-        assert_eq!(m.available_objects().len(), 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "not registered")]
-    fn create_instance_of_unregistered_type_panics() {
-        #[derive(Clone, Default)]
-        struct Ghost;
-        impl GState for Ghost {
-            const TYPE_NAME: &'static str = "Ghost";
-            fn snapshot(&self) -> guesstimate_core::Value {
-                guesstimate_core::Value::Unit
-            }
-            fn restore(
-                &mut self,
-                _: &guesstimate_core::Value,
-            ) -> Result<(), guesstimate_core::RestoreError> {
-                Ok(())
-            }
-        }
-        machine().create_instance(Ghost);
-    }
-
-    #[test]
-    fn issue_succeeds_on_guess_and_queues() {
-        let mut m = machine();
-        let id = m.create_instance(Counter { n: 0 });
-        let ok = m.issue(SharedOp::primitive(id, "add", args![3])).unwrap();
-        assert!(ok);
-        assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(3));
-        assert_eq!(m.pending_len(), 2);
-        assert_eq!(m.stats().issued, 2);
-    }
-
-    #[test]
-    fn issue_failure_drops_op_and_counts() {
-        let mut m = machine();
-        let id = m.create_instance(Counter { n: 0 });
-        // Precondition: counter never negative.
-        let ok = m.issue(SharedOp::primitive(id, "add", args![-5])).unwrap();
-        assert!(!ok);
-        assert_eq!(m.pending_len(), 1, "failed op not enqueued");
-        assert_eq!(m.stats().issue_failures, 1);
-        assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(0));
-    }
-
-    #[test]
-    fn issue_on_unknown_object_is_error() {
-        let mut m = machine();
-        let bogus = ObjectId::new(MachineId::new(9), 9);
-        assert!(m
-            .issue(SharedOp::primitive(bogus, "add", args![1]))
-            .is_err());
-    }
-
-    #[test]
-    fn apply_committed_round_commits_own_ops_and_pops_pending() {
-        let mut m = machine();
-        let id = m.create_instance(Counter { n: 0 });
-        m.issue(SharedOp::primitive(id, "add", args![3])).unwrap();
-        let batch: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        let n = m.apply_committed_round(batch, 0, guesstimate_net::SimTime::ZERO);
-        assert_eq!(n, 2);
-        assert_eq!(m.pending_len(), 0);
-        assert_eq!(m.completed_len(), 2);
-        assert_eq!(m.read_committed::<Counter, _>(id, |c| c.n), Some(3));
-        assert_eq!(m.guess_digest(), m.committed_digest());
-        assert_eq!(m.stats().committed_own, 2);
-        assert_eq!(m.stats().conflicts, 0);
-        // Each op executed twice: issue + commit.
-        assert_eq!(m.stats().exec_histogram[2], 2);
-        assert_eq!(m.stats().max_exec_count, 2);
-    }
-
-    #[test]
-    fn completion_runs_with_commit_result() {
-        use std::sync::atomic::{AtomicI32, Ordering};
-        let seen = Arc::new(AtomicI32::new(-1));
-        let mut m = machine();
-        let id = m.create_instance(Counter { n: 0 });
-        let s = seen.clone();
-        m.issue_with_completion(
-            SharedOp::primitive(id, "add", args![1]),
-            Box::new(move |b| s.store(b as i32, Ordering::SeqCst)),
-        )
-        .unwrap();
-        let batch: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        m.apply_committed_round(batch, 0, guesstimate_net::SimTime::ZERO);
-        assert_eq!(seen.load(Ordering::SeqCst), 1);
-        assert_eq!(m.stats().completions_run, 1);
-    }
-
-    #[test]
-    fn conflict_detected_when_foreign_op_invalidates_own() {
-        // Machine 0 issues add(5) with precondition n+delta <= 10; a foreign
-        // op that commits first pushes n to 8, so the own op fails at commit.
-        let mut m = machine();
-        let id = m.create_instance(Counter { n: 0 });
-        // Commit creation first so the foreign op can execute.
-        let create: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        m.apply_committed_round(create, 0, guesstimate_net::SimTime::ZERO);
-
-        m.issue(SharedOp::primitive(id, "add_capped", args![5, 10]))
-            .unwrap();
-        assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(5));
-
-        let foreign = WireEnvelope {
-            id: OpId::new(MachineId::new(1), 0),
-            op: WireOp::Shared(SharedOp::primitive(id, "add", args![8])),
-        };
-        let own = m.pending.front().cloned().unwrap();
-        // Foreign machine id 1 > 0? No: lexicographic order puts m0's op
-        // first... we want the foreign op to commit BEFORE ours, so give it
-        // machine id... m0 < m1, so our op sorts first and would succeed.
-        // Apply in explicit order instead: the protocol sorts; here we hand
-        // an already-ordered list with the foreign op first, modelling a
-        // foreign machine with a smaller id.
-        let n = m.apply_committed_round(vec![foreign, own], 0, guesstimate_net::SimTime::ZERO);
-        assert_eq!(n, 2);
-        assert_eq!(m.stats().conflicts, 1);
-        // Committed state has only the foreign add.
-        assert_eq!(m.read_committed::<Counter, _>(id, |c| c.n), Some(8));
-        assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(8));
-    }
-
-    #[test]
-    fn replay_of_still_pending_ops_rebuilds_guess() {
-        let mut m = machine();
-        let id = m.create_instance(Counter { n: 0 });
-        m.issue(SharedOp::primitive(id, "add", args![1])).unwrap();
-        // Simulate a round that commits only the creation (as if add was
-        // issued after our flush): commit the first pending op only.
-        let create = vec![m.pending.front().cloned().unwrap()];
-        m.apply_committed_round(create, 0, guesstimate_net::SimTime::ZERO);
-        // add(1) is still pending and was replayed onto the fresh guess.
-        assert_eq!(m.pending_len(), 1);
-        assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(1));
-        assert_eq!(m.read_committed::<Counter, _>(id, |c| c.n), Some(0));
-        assert_eq!(m.stats().replays, 1);
-        // Now commit it: 3 executions total (issue, replay, commit).
-        let rest: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        m.apply_committed_round(rest, 0, guesstimate_net::SimTime::ZERO);
-        assert_eq!(m.stats().exec_histogram[3], 1);
-        assert!(m.stats().max_exec_count <= 3);
-    }
-
-    #[test]
-    fn join_info_roundtrip_replicates_state() {
-        let mut master = machine();
-        let id = master.create_instance(Counter { n: 7 });
-        let batch: Vec<WireEnvelope> = master.pending.iter().cloned().collect();
-        master.apply_committed_round(batch, 0, guesstimate_net::SimTime::ZERO);
-
-        let (catalog, completed) = master.build_join_info();
-        let mut member = Machine::new_member(
-            MachineId::new(1),
-            Arc::new(counter_registry()),
-            MachineConfig::default(),
-        );
-        member.init_from_join_info(catalog, completed);
-        assert!(member.is_joined());
-        assert_eq!(member.committed_digest(), master.committed_digest());
-        assert_eq!(member.read::<Counter, _>(id, |c| c.n), Some(7));
-        assert_eq!(member.completed_len(), 1);
-    }
-
-    // --- Commute-aware replay skipping ---
-
-    use crate::testutil::{slots_registry, Slots};
-
-    /// A `Slots` machine with `commute_skip` on and its creation committed.
-    fn skip_machine(cfg: MachineConfig) -> (Machine, ObjectId) {
-        let mut m = Machine::new_master(
-            MachineId::new(0),
-            Arc::new(slots_registry()),
-            cfg.with_commute_skip(true),
-        );
-        let id = m.create_instance(Slots::default());
-        let create: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        m.apply_committed_round(create, 0, guesstimate_net::SimTime::ZERO);
-        (m, id)
-    }
-
-    fn foreign_put(id: ObjectId, seq: u64, key: &str, v: i64) -> WireEnvelope {
-        WireEnvelope {
-            id: OpId::new(MachineId::new(1), seq),
-            op: WireOp::Shared(SharedOp::primitive(id, "put", args![key, v])),
-        }
-    }
-
-    #[test]
-    fn foreign_free_round_skips_replay() {
-        let (mut m, id) = skip_machine(MachineConfig::default());
-        m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
-            .unwrap();
-        m.issue(SharedOp::primitive(id, "put", args!["b", 2]))
-            .unwrap();
-        // Commit only the first pending op: the round has no foreign ops, so
-        // the rebuild is always skippable.
-        let first = vec![m.pending.front().cloned().unwrap()];
-        m.apply_committed_round(first, 1, guesstimate_net::SimTime::ZERO);
-        assert_eq!(m.stats().replays, 0);
-        assert_eq!(m.stats().replays_skipped, 1);
-        assert_eq!(m.read::<Slots, _>(id, |s| s.m.len()), Some(2));
-        // The skipped replay is not an execution: when the op commits next
-        // round, its lifetime count is issue + commit = 2, not 3.
-        let rest: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
-        m.apply_committed_round(rest, 2, guesstimate_net::SimTime::ZERO);
-        assert_eq!(m.stats().exec_histogram[2], 3); // create + both puts
-        assert_eq!(m.guess_digest(), m.committed_digest());
-    }
-
-    #[test]
-    fn disjoint_foreign_op_skips_and_patches_guess() {
-        let (mut m, id) = skip_machine(MachineConfig::default());
-        m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
-            .unwrap();
-        let n = m.apply_committed_round(
-            vec![foreign_put(id, 0, "b", 2)],
-            1,
-            guesstimate_net::SimTime::ZERO,
-        );
-        assert_eq!(n, 1);
-        assert_eq!(m.stats().replays, 0);
-        assert_eq!(m.stats().replays_skipped, 1);
-        // Guess = committed (b=2) + still-pending local put (a=1).
-        assert_eq!(
-            m.read::<Slots, _>(id, |s| s.m.get("a").copied()),
-            Some(Some(1))
-        );
-        assert_eq!(
-            m.read::<Slots, _>(id, |s| s.m.get("b").copied()),
-            Some(Some(2))
-        );
-        assert_eq!(
-            m.read_committed::<Slots, _>(id, |s| s.m.get("a").copied()),
-            Some(None)
-        );
-    }
-
-    #[test]
-    fn overlapping_foreign_op_forces_rebuild() {
-        let (mut m, id) = skip_machine(MachineConfig::default());
-        m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
-            .unwrap();
-        m.apply_committed_round(
-            vec![foreign_put(id, 0, "a", 9)],
-            1,
-            guesstimate_net::SimTime::ZERO,
-        );
-        assert_eq!(m.stats().replays_skipped, 0);
-        assert_eq!(m.stats().replays, 1);
-        // Local pending put replayed on top of the conflicting foreign one.
-        assert_eq!(
-            m.read::<Slots, _>(id, |s| s.m.get("a").copied()),
-            Some(Some(1))
-        );
-    }
-
-    #[test]
-    fn undeclared_effect_forces_rebuild_unless_matrix_proves_it() {
-        // raw_put has no declared effect: same-object pairs cannot be judged…
-        let (mut m, id) = skip_machine(MachineConfig::default());
-        m.issue(SharedOp::primitive(id, "raw_put", args!["a", 1]))
-            .unwrap();
-        let foreign = WireEnvelope {
-            id: OpId::new(MachineId::new(1), 0),
-            op: WireOp::Shared(SharedOp::primitive(id, "raw_put", args!["b", 2])),
-        };
-        m.apply_committed_round(vec![foreign.clone()], 1, guesstimate_net::SimTime::ZERO);
-        assert_eq!(m.stats().replays, 1);
-        assert_eq!(m.stats().replays_skipped, 0);
-
-        // …unless an analysis-validated matrix vouches for the method pair.
-        let mut matrix = guesstimate_core::CommuteMatrix::new();
-        matrix.insert("Slots", "raw_put", "raw_put");
-        let (mut m, id) = skip_machine(MachineConfig::default().with_commute_matrix(matrix));
-        m.issue(SharedOp::primitive(id, "raw_put", args!["a", 1]))
-            .unwrap();
-        let foreign = WireEnvelope {
-            id: OpId::new(MachineId::new(1), 0),
-            op: WireOp::Shared(SharedOp::primitive(id, "raw_put", args!["b", 2])),
-        };
-        m.apply_committed_round(vec![foreign], 1, guesstimate_net::SimTime::ZERO);
-        assert_eq!(m.stats().replays, 0);
-        assert_eq!(m.stats().replays_skipped, 1);
-        assert_eq!(m.read::<Slots, _>(id, |s| s.m.len()), Some(2));
-    }
-
-    #[test]
-    fn skip_emits_round_scoped_trace_event() {
-        let tracer = Arc::new(guesstimate_net::RecordingTracer::new());
-        let (mut m, id) = skip_machine(MachineConfig::default());
-        m.set_tracer(tracer.clone());
-        m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
-            .unwrap();
-        m.apply_committed_round(
-            vec![foreign_put(id, 0, "b", 2)],
-            7,
-            guesstimate_net::SimTime::ZERO,
-        );
-        let skips: Vec<_> = tracer
-            .snapshot()
-            .into_iter()
-            .filter(|r| matches!(r.event, TraceEvent::ReplaySkipped { .. }))
-            .collect();
-        assert_eq!(skips.len(), 1);
-        assert_eq!(skips[0].event.round(), Some(7));
-        assert_eq!(
-            skips[0].event,
-            TraceEvent::ReplaySkipped {
-                round: 7,
-                pending: 1
-            }
-        );
-    }
-
-    #[test]
-    fn join_preserves_pre_join_pending_ops() {
-        let mut member = Machine::new_member(
-            MachineId::new(1),
-            Arc::new(counter_registry()),
-            MachineConfig::default(),
-        );
-        let own = member.create_instance(Counter { n: 1 });
-        member.init_from_join_info(vec![], vec![]);
-        assert_eq!(member.pending_len(), 1, "pre-join create still pending");
-        // The object survives on the guesstimated state via replay.
-        assert_eq!(member.read::<Counter, _>(own, |c| c.n), Some(1));
-        assert_eq!(member.read_committed::<Counter, _>(own, |c| c.n), None);
-    }
-
-    #[test]
-    fn restart_drops_pending_and_counts() {
-        let mut m = machine();
-        let id = m.create_instance(Counter { n: 0 });
-        m.issue_with_completion(SharedOp::primitive(id, "add", args![1]), Box::new(|_| {}))
-            .unwrap();
-        m.reset_for_restart();
-        assert_eq!(m.pending_len(), 0);
-        assert_eq!(m.completed_len(), 0);
-        assert_eq!(m.stats().restarts, 1);
-        assert_eq!(m.stats().ops_lost_to_restart, 2);
-        assert_eq!(m.stats().completions_dropped, 1);
-        assert!(!m.is_joined());
-        assert!(m.available_objects().is_empty());
-    }
-
-    #[test]
-    fn op_seq_survives_restart() {
-        // OpIds must never be reused across a restart, or the completed
-        // history would contain duplicate identities.
-        let mut m = machine();
-        let id = m.create_instance(Counter { n: 0 });
-        m.issue(SharedOp::primitive(id, "add", args![1])).unwrap();
-        let seq_before = m.op_seq;
-        m.reset_for_restart();
-        assert_eq!(m.op_seq, seq_before);
-    }
-
-    #[test]
-    fn debug_impl_is_nonempty() {
-        assert!(format!("{:?}", machine()).contains("Machine"));
-    }
-}
+#[path = "machine_tests.rs"]
+mod tests;

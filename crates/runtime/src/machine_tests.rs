@@ -1,0 +1,390 @@
+//! Unit tests for the local [`Machine`] API and the commit-side machinery
+//! in [`crate::exec`] (applied rounds, replay skipping, join info,
+//! restarts). Declared by `machine.rs` via `#[path]` so `super::*` still
+//! refers to that module.
+
+use super::*;
+use crate::testutil::{counter_registry, Counter};
+use guesstimate_core::args;
+
+fn machine() -> Machine {
+    Machine::new_master(
+        MachineId::new(0),
+        Arc::new(counter_registry()),
+        MachineConfig::default(),
+    )
+}
+
+#[test]
+fn create_instance_is_visible_in_guess_not_committed() {
+    let mut m = machine();
+    let id = m.create_instance(Counter { n: 5 });
+    assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(5));
+    assert_eq!(m.read_committed::<Counter, _>(id, |c| c.n), None);
+    assert_eq!(m.pending_len(), 1);
+    assert_eq!(m.object_type(id), Some("Counter"));
+    assert_eq!(m.join_instance(id), Some("Counter"));
+    assert_eq!(m.available_objects().len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "not registered")]
+fn create_instance_of_unregistered_type_panics() {
+    #[derive(Clone, Default)]
+    struct Ghost;
+    impl GState for Ghost {
+        const TYPE_NAME: &'static str = "Ghost";
+        fn snapshot(&self) -> guesstimate_core::Value {
+            guesstimate_core::Value::Unit
+        }
+        fn restore(
+            &mut self,
+            _: &guesstimate_core::Value,
+        ) -> Result<(), guesstimate_core::RestoreError> {
+            Ok(())
+        }
+    }
+    machine().create_instance(Ghost);
+}
+
+#[test]
+fn issue_succeeds_on_guess_and_queues() {
+    let mut m = machine();
+    let id = m.create_instance(Counter { n: 0 });
+    let ok = m.issue(SharedOp::primitive(id, "add", args![3])).unwrap();
+    assert!(ok);
+    assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(3));
+    assert_eq!(m.pending_len(), 2);
+    assert_eq!(m.stats().issued, 2);
+}
+
+#[test]
+fn issue_failure_drops_op_and_counts() {
+    let mut m = machine();
+    let id = m.create_instance(Counter { n: 0 });
+    // Precondition: counter never negative.
+    let ok = m.issue(SharedOp::primitive(id, "add", args![-5])).unwrap();
+    assert!(!ok);
+    assert_eq!(m.pending_len(), 1, "failed op not enqueued");
+    assert_eq!(m.stats().issue_failures, 1);
+    assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(0));
+}
+
+#[test]
+fn issue_on_unknown_object_is_error() {
+    let mut m = machine();
+    let bogus = ObjectId::new(MachineId::new(9), 9);
+    assert!(m
+        .issue(SharedOp::primitive(bogus, "add", args![1]))
+        .is_err());
+}
+
+#[test]
+fn apply_committed_round_commits_own_ops_and_pops_pending() {
+    let mut m = machine();
+    let id = m.create_instance(Counter { n: 0 });
+    m.issue(SharedOp::primitive(id, "add", args![3])).unwrap();
+    let batch: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
+    let n = m.apply_committed_round(batch, 0, guesstimate_net::SimTime::ZERO);
+    assert_eq!(n, 2);
+    assert_eq!(m.pending_len(), 0);
+    assert_eq!(m.completed_len(), 2);
+    assert_eq!(m.read_committed::<Counter, _>(id, |c| c.n), Some(3));
+    assert_eq!(m.guess_digest(), m.committed_digest());
+    assert_eq!(m.stats().committed_own, 2);
+    assert_eq!(m.stats().conflicts, 0);
+    // Each op executed twice: issue + commit.
+    assert_eq!(m.stats().exec_histogram[2], 2);
+    assert_eq!(m.stats().max_exec_count, 2);
+}
+
+#[test]
+fn completion_runs_with_commit_result() {
+    use std::sync::atomic::{AtomicI32, Ordering};
+    let seen = Arc::new(AtomicI32::new(-1));
+    let mut m = machine();
+    let id = m.create_instance(Counter { n: 0 });
+    let s = seen.clone();
+    m.issue_with_completion(
+        SharedOp::primitive(id, "add", args![1]),
+        Box::new(move |b| s.store(b as i32, Ordering::SeqCst)),
+    )
+    .unwrap();
+    let batch: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
+    m.apply_committed_round(batch, 0, guesstimate_net::SimTime::ZERO);
+    assert_eq!(seen.load(Ordering::SeqCst), 1);
+    assert_eq!(m.stats().completions_run, 1);
+}
+
+#[test]
+fn conflict_detected_when_foreign_op_invalidates_own() {
+    // Machine 0 issues add(5) with precondition n+delta <= 10; a foreign
+    // op that commits first pushes n to 8, so the own op fails at commit.
+    let mut m = machine();
+    let id = m.create_instance(Counter { n: 0 });
+    // Commit creation first so the foreign op can execute.
+    let create: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
+    m.apply_committed_round(create, 0, guesstimate_net::SimTime::ZERO);
+
+    m.issue(SharedOp::primitive(id, "add_capped", args![5, 10]))
+        .unwrap();
+    assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(5));
+
+    let foreign = WireEnvelope {
+        id: OpId::new(MachineId::new(1), 0),
+        op: WireOp::Shared(SharedOp::primitive(id, "add", args![8])),
+    };
+    let own = m.pending.front().cloned().unwrap();
+    // Foreign machine id 1 > 0? No: lexicographic order puts m0's op
+    // first... we want the foreign op to commit BEFORE ours, so give it
+    // machine id... m0 < m1, so our op sorts first and would succeed.
+    // Apply in explicit order instead: the protocol sorts; here we hand
+    // an already-ordered list with the foreign op first, modelling a
+    // foreign machine with a smaller id.
+    let n = m.apply_committed_round(vec![foreign, own], 0, guesstimate_net::SimTime::ZERO);
+    assert_eq!(n, 2);
+    assert_eq!(m.stats().conflicts, 1);
+    // Committed state has only the foreign add.
+    assert_eq!(m.read_committed::<Counter, _>(id, |c| c.n), Some(8));
+    assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(8));
+}
+
+#[test]
+fn replay_of_still_pending_ops_rebuilds_guess() {
+    let mut m = machine();
+    let id = m.create_instance(Counter { n: 0 });
+    m.issue(SharedOp::primitive(id, "add", args![1])).unwrap();
+    // Simulate a round that commits only the creation (as if add was
+    // issued after our flush): commit the first pending op only.
+    let create = vec![m.pending.front().cloned().unwrap()];
+    m.apply_committed_round(create, 0, guesstimate_net::SimTime::ZERO);
+    // add(1) is still pending and was replayed onto the fresh guess.
+    assert_eq!(m.pending_len(), 1);
+    assert_eq!(m.read::<Counter, _>(id, |c| c.n), Some(1));
+    assert_eq!(m.read_committed::<Counter, _>(id, |c| c.n), Some(0));
+    assert_eq!(m.stats().replays, 1);
+    // Now commit it: 3 executions total (issue, replay, commit).
+    let rest: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
+    m.apply_committed_round(rest, 0, guesstimate_net::SimTime::ZERO);
+    assert_eq!(m.stats().exec_histogram[3], 1);
+    assert!(m.stats().max_exec_count <= 3);
+}
+
+#[test]
+fn join_info_roundtrip_replicates_state() {
+    let mut master = machine();
+    let id = master.create_instance(Counter { n: 7 });
+    let batch: Vec<WireEnvelope> = master.pending.iter().cloned().collect();
+    master.apply_committed_round(batch, 0, guesstimate_net::SimTime::ZERO);
+
+    let (catalog, completed) = master.build_join_info();
+    let mut member = Machine::new_member(
+        MachineId::new(1),
+        Arc::new(counter_registry()),
+        MachineConfig::default(),
+    );
+    member.init_from_join_info(catalog, completed);
+    assert!(member.is_joined());
+    assert_eq!(member.committed_digest(), master.committed_digest());
+    assert_eq!(member.read::<Counter, _>(id, |c| c.n), Some(7));
+    assert_eq!(member.completed_len(), 1);
+}
+
+// --- Commute-aware replay skipping ---
+
+use crate::testutil::{slots_registry, Slots};
+
+/// A `Slots` machine with `commute_skip` on and its creation committed.
+fn skip_machine(cfg: MachineConfig) -> (Machine, ObjectId) {
+    let mut m = Machine::new_master(
+        MachineId::new(0),
+        Arc::new(slots_registry()),
+        cfg.with_commute_skip(true),
+    );
+    let id = m.create_instance(Slots::default());
+    let create: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
+    m.apply_committed_round(create, 0, guesstimate_net::SimTime::ZERO);
+    (m, id)
+}
+
+fn foreign_put(id: ObjectId, seq: u64, key: &str, v: i64) -> WireEnvelope {
+    WireEnvelope {
+        id: OpId::new(MachineId::new(1), seq),
+        op: WireOp::Shared(SharedOp::primitive(id, "put", args![key, v])),
+    }
+}
+
+#[test]
+fn foreign_free_round_skips_replay() {
+    let (mut m, id) = skip_machine(MachineConfig::default());
+    m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
+        .unwrap();
+    m.issue(SharedOp::primitive(id, "put", args!["b", 2]))
+        .unwrap();
+    // Commit only the first pending op: the round has no foreign ops, so
+    // the rebuild is always skippable.
+    let first = vec![m.pending.front().cloned().unwrap()];
+    m.apply_committed_round(first, 1, guesstimate_net::SimTime::ZERO);
+    assert_eq!(m.stats().replays, 0);
+    assert_eq!(m.stats().replays_skipped, 1);
+    assert_eq!(m.read::<Slots, _>(id, |s| s.m.len()), Some(2));
+    // The skipped replay is not an execution: when the op commits next
+    // round, its lifetime count is issue + commit = 2, not 3.
+    let rest: Vec<WireEnvelope> = m.pending.iter().cloned().collect();
+    m.apply_committed_round(rest, 2, guesstimate_net::SimTime::ZERO);
+    assert_eq!(m.stats().exec_histogram[2], 3); // create + both puts
+    assert_eq!(m.guess_digest(), m.committed_digest());
+}
+
+#[test]
+fn disjoint_foreign_op_skips_and_patches_guess() {
+    let (mut m, id) = skip_machine(MachineConfig::default());
+    m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
+        .unwrap();
+    let n = m.apply_committed_round(
+        vec![foreign_put(id, 0, "b", 2)],
+        1,
+        guesstimate_net::SimTime::ZERO,
+    );
+    assert_eq!(n, 1);
+    assert_eq!(m.stats().replays, 0);
+    assert_eq!(m.stats().replays_skipped, 1);
+    // Guess = committed (b=2) + still-pending local put (a=1).
+    assert_eq!(
+        m.read::<Slots, _>(id, |s| s.m.get("a").copied()),
+        Some(Some(1))
+    );
+    assert_eq!(
+        m.read::<Slots, _>(id, |s| s.m.get("b").copied()),
+        Some(Some(2))
+    );
+    assert_eq!(
+        m.read_committed::<Slots, _>(id, |s| s.m.get("a").copied()),
+        Some(None)
+    );
+}
+
+#[test]
+fn overlapping_foreign_op_forces_rebuild() {
+    let (mut m, id) = skip_machine(MachineConfig::default());
+    m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
+        .unwrap();
+    m.apply_committed_round(
+        vec![foreign_put(id, 0, "a", 9)],
+        1,
+        guesstimate_net::SimTime::ZERO,
+    );
+    assert_eq!(m.stats().replays_skipped, 0);
+    assert_eq!(m.stats().replays, 1);
+    // Local pending put replayed on top of the conflicting foreign one.
+    assert_eq!(
+        m.read::<Slots, _>(id, |s| s.m.get("a").copied()),
+        Some(Some(1))
+    );
+}
+
+#[test]
+fn undeclared_effect_forces_rebuild_unless_matrix_proves_it() {
+    // raw_put has no declared effect: same-object pairs cannot be judged…
+    let (mut m, id) = skip_machine(MachineConfig::default());
+    m.issue(SharedOp::primitive(id, "raw_put", args!["a", 1]))
+        .unwrap();
+    let foreign = WireEnvelope {
+        id: OpId::new(MachineId::new(1), 0),
+        op: WireOp::Shared(SharedOp::primitive(id, "raw_put", args!["b", 2])),
+    };
+    m.apply_committed_round(vec![foreign.clone()], 1, guesstimate_net::SimTime::ZERO);
+    assert_eq!(m.stats().replays, 1);
+    assert_eq!(m.stats().replays_skipped, 0);
+
+    // …unless an analysis-validated matrix vouches for the method pair.
+    let mut matrix = guesstimate_core::CommuteMatrix::new();
+    matrix.insert("Slots", "raw_put", "raw_put");
+    let (mut m, id) = skip_machine(MachineConfig::default().with_commute_matrix(matrix));
+    m.issue(SharedOp::primitive(id, "raw_put", args!["a", 1]))
+        .unwrap();
+    let foreign = WireEnvelope {
+        id: OpId::new(MachineId::new(1), 0),
+        op: WireOp::Shared(SharedOp::primitive(id, "raw_put", args!["b", 2])),
+    };
+    m.apply_committed_round(vec![foreign], 1, guesstimate_net::SimTime::ZERO);
+    assert_eq!(m.stats().replays, 0);
+    assert_eq!(m.stats().replays_skipped, 1);
+    assert_eq!(m.read::<Slots, _>(id, |s| s.m.len()), Some(2));
+}
+
+#[test]
+fn skip_emits_round_scoped_trace_event() {
+    let tracer = Arc::new(guesstimate_net::RecordingTracer::new());
+    let (mut m, id) = skip_machine(MachineConfig::default());
+    m.set_tracer(tracer.clone());
+    m.issue(SharedOp::primitive(id, "put", args!["a", 1]))
+        .unwrap();
+    m.apply_committed_round(
+        vec![foreign_put(id, 0, "b", 2)],
+        7,
+        guesstimate_net::SimTime::ZERO,
+    );
+    let skips: Vec<_> = tracer
+        .snapshot()
+        .into_iter()
+        .filter(|r| matches!(r.event, TraceEvent::ReplaySkipped { .. }))
+        .collect();
+    assert_eq!(skips.len(), 1);
+    assert_eq!(skips[0].event.round(), Some(7));
+    assert_eq!(
+        skips[0].event,
+        TraceEvent::ReplaySkipped {
+            round: 7,
+            pending: 1
+        }
+    );
+}
+
+#[test]
+fn join_preserves_pre_join_pending_ops() {
+    let mut member = Machine::new_member(
+        MachineId::new(1),
+        Arc::new(counter_registry()),
+        MachineConfig::default(),
+    );
+    let own = member.create_instance(Counter { n: 1 });
+    member.init_from_join_info(vec![], vec![]);
+    assert_eq!(member.pending_len(), 1, "pre-join create still pending");
+    // The object survives on the guesstimated state via replay.
+    assert_eq!(member.read::<Counter, _>(own, |c| c.n), Some(1));
+    assert_eq!(member.read_committed::<Counter, _>(own, |c| c.n), None);
+}
+
+#[test]
+fn restart_drops_pending_and_counts() {
+    let mut m = machine();
+    let id = m.create_instance(Counter { n: 0 });
+    m.issue_with_completion(SharedOp::primitive(id, "add", args![1]), Box::new(|_| {}))
+        .unwrap();
+    m.reset_for_restart();
+    assert_eq!(m.pending_len(), 0);
+    assert_eq!(m.completed_len(), 0);
+    assert_eq!(m.stats().restarts, 1);
+    assert_eq!(m.stats().ops_lost_to_restart, 2);
+    assert_eq!(m.stats().completions_dropped, 1);
+    assert!(!m.is_joined());
+    assert!(m.available_objects().is_empty());
+}
+
+#[test]
+fn op_seq_survives_restart() {
+    // OpIds must never be reused across a restart, or the completed
+    // history would contain duplicate identities.
+    let mut m = machine();
+    let id = m.create_instance(Counter { n: 0 });
+    m.issue(SharedOp::primitive(id, "add", args![1])).unwrap();
+    let seq_before = m.op_seq;
+    m.reset_for_restart();
+    assert_eq!(m.op_seq, seq_before);
+}
+
+#[test]
+fn debug_impl_is_nonempty() {
+    assert!(format!("{:?}", machine()).contains("Machine"));
+}

@@ -8,6 +8,8 @@
 //! *FlagCompletion* closes the round. Membership (enter/leave) and fault
 //! recovery (resend/restart) also ride the Signals channel.
 
+use std::sync::Arc;
+
 use guesstimate_core::{MachineId, ObjectId, OpId, SharedOp, Value};
 
 // Structural wire-size model used for byte accounting in
@@ -163,8 +165,10 @@ pub enum Msg {
         round: u64,
         /// The flushing machine.
         machine: MachineId,
-        /// Its pending operations, in issue order.
-        ops: Vec<WireEnvelope>,
+        /// Its pending operations, in issue order. Shared behind an
+        /// [`Arc`] so the broadcast fan-out and recovery resends reuse one
+        /// allocation instead of deep-copying envelopes per recipient.
+        ops: Arc<Vec<WireEnvelope>>,
     },
     /// Flushing machine → all: confirmation that its flush is complete
     /// (`count` operations); passes the turn to the next machine in order.
@@ -305,14 +309,14 @@ mod tests {
         let o = Msg::Ops {
             round: 3,
             machine: MachineId::new(1),
-            ops: vec![WireEnvelope {
+            ops: Arc::new(vec![WireEnvelope {
                 id: OpId::new(MachineId::new(1), 0),
                 op: WireOp::Shared(SharedOp::primitive(
                     ObjectId::new(MachineId::new(0), 0),
                     "f",
                     args![1],
                 )),
-            }],
+            }]),
         };
         assert_eq!(o, o.clone());
         assert_ne!(m, o);
@@ -345,17 +349,17 @@ mod tests {
         let empty = Msg::Ops {
             round: 1,
             machine: MachineId::new(1),
-            ops: vec![],
+            ops: Arc::new(vec![]),
         };
         let one = Msg::Ops {
             round: 1,
             machine: MachineId::new(1),
-            ops: vec![env(0)],
+            ops: Arc::new(vec![env(0)]),
         };
         let two = Msg::Ops {
             round: 1,
             machine: MachineId::new(1),
-            ops: vec![env(0), env(1)],
+            ops: Arc::new(vec![env(0), env(1)]),
         };
         assert!(empty.wire_size() < one.wire_size());
         assert_eq!(
@@ -391,7 +395,7 @@ mod tests {
             Msg::Ops {
                 round: 1,
                 machine,
-                ops: vec![],
+                ops: Arc::new(vec![]),
             },
             Msg::FlushDone {
                 round: 1,

@@ -1,7 +1,23 @@
-//! The synchronizer protocol: 3-stage master–slave synchronization,
-//! membership, and fault recovery (§4 of the paper).
+//! The composer: wires the role state machines of [`crate::roles`] to the
+//! mesh (§4 of the paper).
 //!
-//! One machine is the **master**; it periodically initiates a round:
+//! The synchronizer protocol itself — 3-stage master–slave rounds,
+//! membership, stall recovery, and the §9 failover election — is decided
+//! entirely inside the four sans-IO roles ([`crate::roles::master`],
+//! [`crate::roles::participant`], [`crate::roles::membership`],
+//! [`crate::roles::election`]). This module owns none of that logic; it
+//!
+//! 1. implements [`Actor`] for [`Machine`], routing each incoming message
+//!    or timer to the right role's `step` (buffering round messages that
+//!    arrive before their `BeginSync`, demoting a split-brain master), and
+//! 2. **lowers** the returned [`Effect`]s depth-first, in emission order,
+//!    onto the context: sends, broadcasts and timers go to the mesh;
+//!    store-touching effects (`Flush`, `TryApply`, `SelfRestart`, …) call
+//!    into the commit-side machinery of [`crate::exec`]; cross-role
+//!    effects (`JoinCohort`, `ServiceJoins`, `BeginApplyLocal`, …) feed
+//!    another role and lower its effects recursively.
+//!
+//! Round overview (the roles' module docs have the details):
 //!
 //! 1. **AddUpdatesToMesh** — machines flush their pending lists in a fixed
 //!    serial order (master first), each batch broadcast on the Operations
@@ -15,122 +31,19 @@
 //!    pending completion routines and replays its still-pending operations.
 //! 3. **FlagCompletion** — when all acknowledgments are in, the master
 //!    broadcasts `SyncComplete` and may start the next round any time after.
-//!
-//! **Recovery** (§4 "Failures and fault tolerance"): if a stage stalls
-//! longer than a threshold, the master first *resends* the signal the
-//! stalled machine failed to respond to; if the machine still does not
-//! respond it is removed from the round and sent a `Restart`, after which it
-//! re-enters through the membership path. **Membership** (§4 "Entering and
-//! leaving"): a new machine broadcasts a join request; between rounds the
-//! master ships it the object catalog and completed history; once the
-//! machine confirms, it participates from the next round onward.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use guesstimate_core::{MachineId, OpId};
-use guesstimate_net::{Actor, Channel, Ctx, SimTime, TraceEvent};
+use guesstimate_core::MachineId;
+use guesstimate_net::{Actor, Channel, Ctx, TraceEvent};
 
-use crate::machine::{JoinPhase, Machine};
-use crate::message::{Msg, WireEnvelope, WireOp};
-use crate::stats::SyncSample;
-
-const KIND_TICK: u64 = 0;
-const KIND_STAGE1: u64 = 1;
-const KIND_STAGE2: u64 = 2;
-const KIND_JOIN_RETRY: u64 = 3;
-const KIND_WATCHDOG: u64 = 4;
-const KIND_ELECTION_END: u64 = 5;
-
-fn tag(kind: u64, round: u64) -> u64 {
-    kind | (round << 8)
-}
-
-fn tag_kind(tag: u64) -> u64 {
-    tag & 0xFF
-}
-
-fn tag_round(tag: u64) -> u64 {
-    tag >> 8
-}
-
-/// Which stage the master is driving.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Stage {
-    Flush,
-    Apply,
-}
-
-/// Master-side bookkeeping for the round in progress.
-#[derive(Debug)]
-pub(crate) struct MasterRound {
-    pub(crate) round: u64,
-    pub(crate) started_at: SimTime,
-    /// When the master broadcast `BeginApply`, ending stage 1. `None` while
-    /// the round is still flushing; used to decompose the round duration
-    /// into per-stage timings in the final [`crate::SyncSample`].
-    pub(crate) apply_started_at: Option<SimTime>,
-    pub(crate) stage: Stage,
-    pub(crate) flush_counts: BTreeMap<MachineId, u64>,
-    pub(crate) counts: Vec<(MachineId, u64)>,
-    pub(crate) acks: BTreeSet<MachineId>,
-    pub(crate) nudged_flush: BTreeSet<MachineId>,
-    pub(crate) nudged_acks: BTreeSet<MachineId>,
-    pub(crate) resends: u64,
-    pub(crate) removals: u64,
-    pub(crate) ops_committed: u64,
-}
-
-impl MasterRound {
-    fn new(round: u64, started_at: SimTime) -> Self {
-        MasterRound {
-            round,
-            started_at,
-            apply_started_at: None,
-            stage: Stage::Flush,
-            flush_counts: BTreeMap::new(),
-            counts: Vec::new(),
-            acks: BTreeSet::new(),
-            nudged_flush: BTreeSet::new(),
-            nudged_acks: BTreeSet::new(),
-            resends: 0,
-            removals: 0,
-            ops_committed: 0,
-        }
-    }
-}
-
-/// Participant-side state of the round in progress (the master keeps one
-/// too — it participates like everyone else).
-#[derive(Debug)]
-pub(crate) struct RoundState {
-    pub(crate) round: u64,
-    pub(crate) order: Vec<MachineId>,
-    pub(crate) removed: BTreeSet<MachineId>,
-    pub(crate) flushed: bool,
-    pub(crate) my_flush: Vec<WireEnvelope>,
-    pub(crate) flush_done: BTreeMap<MachineId, u64>,
-    pub(crate) received: BTreeMap<MachineId, BTreeMap<OpId, WireOp>>,
-    pub(crate) counts: Option<BTreeMap<MachineId, u64>>,
-    pub(crate) applied: bool,
-    pub(crate) resend_requested: BTreeSet<MachineId>,
-}
-
-impl RoundState {
-    fn new(round: u64, order: Vec<MachineId>) -> Self {
-        RoundState {
-            round,
-            order,
-            removed: BTreeSet::new(),
-            flushed: false,
-            my_flush: Vec::new(),
-            flush_done: BTreeMap::new(),
-            received: BTreeMap::new(),
-            counts: None,
-            applied: false,
-            resend_requested: BTreeSet::new(),
-        }
-    }
-}
+use crate::machine::Machine;
+use crate::message::{Msg, WireEnvelope};
+use crate::roles::election::ElectionEvent;
+use crate::roles::master::MasterEvent;
+use crate::roles::membership::MembershipEvent;
+use crate::roles::participant::ParticipantEvent;
+use crate::roles::{tag, Effect, OpsBatch};
 
 fn msg_round(msg: &Msg) -> Option<u64> {
     match msg {
@@ -151,13 +64,16 @@ impl Actor for Machine {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         if self.is_master {
-            ctx.set_timer(self.cfg.sync_period, tag(KIND_TICK, 0));
+            ctx.set_timer(self.cfg.sync_period, tag::encode(tag::MASTER_TICK, 0));
         } else {
             ctx.broadcast(Channel::Signals, Msg::JoinRequest { machine: self.id });
-            ctx.set_timer(self.cfg.join_retry, tag(KIND_JOIN_RETRY, 0));
-            self.last_master_activity = ctx.now();
+            ctx.set_timer(
+                self.cfg.join_retry,
+                tag::encode(tag::MEMBERSHIP_JOIN_RETRY, 0),
+            );
+            self.election.last_master_activity = ctx.now();
             if let Some(timeout) = self.cfg.master_failover {
-                ctx.set_timer(timeout, tag(KIND_WATCHDOG, 0));
+                ctx.set_timer(timeout, tag::encode(tag::ELECTION_WATCHDOG, 0));
             }
         }
         self.paranoid_check("on_start");
@@ -179,7 +95,10 @@ impl Actor for Machine {
                         self.demote_and_rejoin(ctx);
                     }
                 } else {
-                    self.note_master_activity(ctx.now());
+                    let fx =
+                        self.election
+                            .step(ElectionEvent::MasterActivity, ctx.now(), &self.cfg);
+                    debug_assert!(fx.is_empty());
                 }
             }
             _ => {}
@@ -189,8 +108,8 @@ impl Actor for Machine {
             Msg::JoinInfo { catalog, completed } => {
                 self.handle_join_info(from, catalog, completed, ctx)
             }
-            Msg::JoinReady { machine } => self.handle_join_ready(machine),
-            Msg::Leave { machine } => self.handle_leave(machine),
+            Msg::JoinReady { machine } => self.handle_join_ready(machine, ctx),
+            Msg::Leave { machine } => self.handle_leave(machine, ctx),
             Msg::Restart => self.self_restart(ctx),
             Msg::BeginSync { round, order } => self.handle_begin_sync(round, order, ctx),
             Msg::MasterCandidate {
@@ -204,13 +123,28 @@ impl Actor for Machine {
     }
 
     fn on_timer(&mut self, timer_tag: u64, ctx: &mut Ctx<'_, Msg>) {
-        match tag_kind(timer_tag) {
-            KIND_TICK => self.handle_tick(ctx),
-            KIND_STAGE1 => self.handle_stage1_timeout(tag_round(timer_tag), ctx),
-            KIND_STAGE2 => self.handle_stage2_timeout(tag_round(timer_tag), ctx),
-            KIND_JOIN_RETRY => self.handle_join_retry(ctx),
-            KIND_WATCHDOG => self.handle_watchdog(ctx),
-            KIND_ELECTION_END => self.handle_election_end(tag_round(timer_tag), ctx),
+        match tag::kind(timer_tag) {
+            tag::MASTER_TICK => self.handle_tick(ctx),
+            tag::MASTER_STAGE1 => self.step_master(
+                MasterEvent::Stage1Timeout {
+                    round: tag::round(timer_tag),
+                },
+                ctx,
+            ),
+            tag::MASTER_STAGE2 => self.step_master(
+                MasterEvent::Stage2Timeout {
+                    round: tag::round(timer_tag),
+                },
+                ctx,
+            ),
+            tag::MEMBERSHIP_JOIN_RETRY => self.handle_join_retry(ctx),
+            tag::ELECTION_WATCHDOG => self.handle_watchdog(ctx),
+            tag::ELECTION_END => self.step_election(
+                ElectionEvent::WindowClosed {
+                    gen: tag::round(timer_tag),
+                },
+                ctx,
+            ),
             _ => {}
         }
         self.paranoid_check("on_timer");
@@ -223,118 +157,188 @@ impl Actor for Machine {
 
 impl Machine {
     // ------------------------------------------------------------------
+    // Role stepping + effect lowering
+    // ------------------------------------------------------------------
+
+    fn step_master(&mut self, ev: MasterEvent, ctx: &mut Ctx<'_, Msg>) {
+        let fx = self.master.step(ev, ctx.now(), &self.cfg);
+        self.lower(fx, ctx);
+    }
+
+    fn step_participant(&mut self, ev: ParticipantEvent, ctx: &mut Ctx<'_, Msg>) {
+        let fx = self.participant.step(ev, ctx.now(), &self.cfg);
+        self.lower(fx, ctx);
+    }
+
+    fn step_membership(&mut self, ev: MembershipEvent, ctx: &mut Ctx<'_, Msg>) {
+        let fx = self.membership.step(ev, ctx.now(), &self.cfg);
+        self.lower(fx, ctx);
+    }
+
+    fn step_election(&mut self, ev: ElectionEvent, ctx: &mut Ctx<'_, Msg>) {
+        let fx = self.election.step(ev, ctx.now(), &self.cfg);
+        self.lower(fx, ctx);
+    }
+
+    /// Lowers role effects depth-first, in emission order. The order is
+    /// observable (message sends, timer arms, trace records), so it must
+    /// not be re-arranged.
+    fn lower(&mut self, effects: Vec<Effect>, ctx: &mut Ctx<'_, Msg>) {
+        for fx in effects {
+            match fx {
+                Effect::Send { to, channel, msg } => ctx.send(to, channel, msg),
+                Effect::Broadcast { channel, msg } => ctx.broadcast(channel, msg),
+                Effect::SetTimer { after, tag } => ctx.set_timer(after, tag),
+                Effect::Trace(event) => self.trace(ctx.now(), event),
+                Effect::StartLocalRound { round, order } => {
+                    self.participant.start_local_round(round, order)
+                }
+                Effect::Flush => self.do_flush(ctx),
+                Effect::RebroadcastFlush => self.rebroadcast_flush(ctx),
+                Effect::MaybeFlushOnTurn => self.maybe_flush_on_turn(ctx),
+                Effect::TryApply => self.try_apply(ctx),
+                Effect::RetryApply => {
+                    if let Some(rs) = self.participant.round.as_mut() {
+                        rs.resend_requested.clear();
+                    }
+                    self.try_apply(ctx);
+                }
+                Effect::ReplayBuffered(msgs) => {
+                    for (from, msg) in msgs {
+                        self.dispatch_round_msg(from, msg, ctx);
+                    }
+                }
+                Effect::JoinCohort => self.membership.in_cohort = true,
+                Effect::CountSync => self.stats.syncs_seen += 1,
+                Effect::SelfRestart => self.self_restart(ctx),
+                Effect::ServiceJoins => self.service_joins(ctx),
+                Effect::SendJoinInfo { to } => {
+                    let (catalog, completed) = self.build_join_info();
+                    ctx.send(to, Channel::Signals, Msg::JoinInfo { catalog, completed });
+                }
+                Effect::BeginApplyLocal { round, counts } => {
+                    self.step_participant(ParticipantEvent::BeginApply { round, counts }, ctx)
+                }
+                Effect::RemoveFromRound { machine } => {
+                    if let Some(rs) = self.participant.round.as_mut() {
+                        rs.removed.insert(machine);
+                    }
+                    self.membership.members.remove(&machine);
+                }
+                Effect::ClearRound => self.participant.round = None,
+                Effect::RoundFinished { sample } => {
+                    self.telemetry.round_finished(
+                        sample.duration,
+                        sample.flush_duration,
+                        sample.apply_duration,
+                        sample.completion_duration,
+                        sample.resends,
+                        sample.removals,
+                    );
+                    self.trace(
+                        ctx.now(),
+                        TraceEvent::SyncComplete {
+                            round: sample.round,
+                            ops_committed: sample.ops_committed,
+                        },
+                    );
+                    self.stats.syncs_seen += 1;
+                    self.stats.sync_samples.push(sample);
+                }
+                Effect::RearmStage2 { round } => {
+                    if self.master.round_active() {
+                        ctx.set_timer(
+                            self.cfg.stall_timeout,
+                            tag::encode(tag::MASTER_STAGE2, round),
+                        );
+                    }
+                }
+                Effect::Promote => self.promote(ctx),
+                Effect::DeferToWinner => self.defer_to_winner(ctx),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Round-message routing (with buffering for out-of-order arrival)
     // ------------------------------------------------------------------
 
     fn route_round_msg(&mut self, from: MachineId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         let Some(round) = msg_round(&msg) else { return };
-        match &self.round {
-            Some(rs) if rs.round == round => self.dispatch_round_msg(from, msg, ctx),
-            Some(rs) if rs.round > round => {} // stale round: drop
+        match self.participant.active_round() {
+            Some(r) if r == round => self.dispatch_round_msg(from, msg, ctx),
+            Some(r) if r > round => {} // stale round: drop
             _ => {
                 // No active round, or a future round: buffer until BeginSync
                 // arrives (the Signals and Operations channels are
                 // independently delayed, so reordering is normal).
-                if round > self.last_round_applied.unwrap_or(0) {
-                    self.buffered.entry(round).or_default().push((from, msg));
-                    while self.buffered.len() > 8 {
-                        self.buffered.pop_first();
-                    }
-                }
+                self.participant.buffer_early(round, from, msg);
             }
         }
     }
 
     fn dispatch_round_msg(&mut self, from: MachineId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         match msg {
-            Msg::Ops { machine, ops, .. } => self.handle_ops(machine, ops, ctx),
+            Msg::Ops { machine, ops, .. } => {
+                self.step_participant(ParticipantEvent::Ops { machine, ops }, ctx)
+            }
             Msg::FlushDone { machine, count, .. } => self.note_flush_done(machine, count, ctx),
-            Msg::BeginApply { round, counts } => self.handle_begin_apply(round, counts, ctx),
-            Msg::OpsRequest { round } => self.handle_ops_request(round, from, ctx),
-            Msg::Ack { machine, .. } => self.handle_ack(machine, ctx),
-            Msg::SyncComplete { .. } => self.handle_sync_complete(ctx),
-            Msg::RoundUpdate { removed, .. } => self.handle_round_update(removed, ctx),
+            Msg::BeginApply { round, counts } => {
+                self.step_participant(ParticipantEvent::BeginApply { round, counts }, ctx)
+            }
+            Msg::OpsRequest { round } => self.step_participant(
+                ParticipantEvent::OpsRequest {
+                    round,
+                    requester: from,
+                },
+                ctx,
+            ),
+            Msg::Ack { machine, .. } if self.is_master => {
+                self.step_master(MasterEvent::Ack { machine }, ctx);
+            }
+            Msg::SyncComplete { .. } => self.step_participant(ParticipantEvent::SyncComplete, ctx),
+            Msg::RoundUpdate { removed, .. } => {
+                self.step_participant(ParticipantEvent::RoundUpdate { removed }, ctx)
+            }
             _ => {}
         }
     }
 
     // ------------------------------------------------------------------
-    // Stage 1: AddUpdatesToMesh
+    // Stage 1: AddUpdatesToMesh (store-touching flush machinery)
     // ------------------------------------------------------------------
 
     fn handle_begin_sync(&mut self, round: u64, order: Vec<MachineId>, ctx: &mut Ctx<'_, Msg>) {
-        if self.is_master || !self.joined_system {
+        if self.is_master || !self.membership.joined_system {
             return;
         }
-        let me_in = order.contains(&self.id);
-        if let Some(rs) = &self.round {
-            if rs.round == round {
-                // Duplicate or recovery nudge: make our flush visible again.
-                if me_in {
-                    if rs.flushed {
-                        self.rebroadcast_flush(ctx);
-                    } else {
-                        self.do_flush(ctx);
-                    }
-                }
-                return;
-            }
-            if rs.round > round {
-                return;
-            }
-            // A new round is starting while the previous one never finished
-            // for us. If we applied it, we only missed the SyncComplete and
-            // are still consistent; otherwise we have a committed-state gap.
-            if rs.applied {
-                self.stats.syncs_seen += 1;
-                self.round = None;
-            } else {
-                self.self_restart(ctx);
-                return;
-            }
-        }
-        if !me_in {
-            if self.in_cohort {
-                // Evicted (our Restart signal was probably lost): resync.
-                self.self_restart(ctx);
-            }
-            return;
-        }
-        if let Some(last) = self.last_round_applied {
-            if round > last + 1 {
-                // We missed at least one whole round: committed-state gap.
-                self.self_restart(ctx);
-                return;
-            }
-        } else {
-            self.last_round_applied = Some(round.saturating_sub(1));
-        }
-        self.in_cohort = true;
-        self.round = Some(RoundState::new(round, order));
-        let buffered = self.buffered.remove(&round).unwrap_or_default();
-        self.buffered.retain(|&r, _| r > round);
-        if self.cfg.parallel_flush {
-            self.do_flush(ctx);
-        } else {
-            self.maybe_flush_on_turn(ctx);
-        }
-        for (from, msg) in buffered {
-            self.dispatch_round_msg(from, msg, ctx);
-        }
+        let in_cohort = self.membership.in_cohort;
+        self.step_participant(
+            ParticipantEvent::BeginSync {
+                round,
+                order,
+                in_cohort,
+            },
+            ctx,
+        );
     }
 
     /// Flushes the pending list: broadcast the batch on the Operations
     /// channel, then confirm (and pass the turn) on the Signals channel.
+    ///
+    /// The batch is built once and shared behind an [`Arc`]: the broadcast
+    /// fan-out, the stored `my_flush` copy and any later `OpsRequest` reply
+    /// all reuse the same allocation.
     fn do_flush(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let Some(rs) = self.round.as_mut() else {
+        let Some(rs) = self.participant.round.as_mut() else {
             return;
         };
         if rs.flushed {
             return;
         }
         rs.flushed = true;
-        let batch: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
-        rs.my_flush = batch.clone();
+        let batch: OpsBatch = Arc::new(self.pending.iter().cloned().collect());
+        rs.my_flush = Arc::clone(&batch);
         let count = batch.len() as u64;
         // Our own ops participate in the consolidated list directly.
         rs.received.insert(
@@ -343,7 +347,7 @@ impl Machine {
         );
         let round = rs.round;
         self.telemetry.pending_depth(count);
-        for e in &batch {
+        for e in batch.iter() {
             self.telemetry.op_flushed(e.id, ctx.now());
         }
         if count > 0 {
@@ -370,18 +374,19 @@ impl Machine {
 
     /// Re-announces an already-performed flush (recovery nudge path).
     fn rebroadcast_flush(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let Some(rs) = self.round.as_ref() else {
+        let Some(rs) = self.participant.round.as_ref() else {
             return;
         };
         let round = rs.round;
         let count = rs.my_flush.len() as u64;
         if count > 0 {
+            let ops = Arc::clone(&rs.my_flush);
             ctx.broadcast(
                 Channel::Operations,
                 Msg::Ops {
                     round,
                     machine: self.id,
-                    ops: rs.my_flush.clone(),
+                    ops,
                 },
             );
             self.trace(ctx.now(), TraceEvent::OpsBatchSent { round, ops: count });
@@ -396,58 +401,16 @@ impl Machine {
         );
     }
 
+    /// Records a `FlushDone` in the participant round, then feeds it to
+    /// whichever side reacts: the master role tracks stage completion, a
+    /// plain participant checks whether the turn passed to it.
     fn note_flush_done(&mut self, machine: MachineId, count: u64, ctx: &mut Ctx<'_, Msg>) {
-        let Some(rs) = self.round.as_mut() else {
+        let Some(rs) = self.participant.round.as_mut() else {
             return;
         };
         rs.flush_done.insert(machine, count);
         if self.is_master {
-            let (newly, round, stage_done, next_turn) = {
-                let Some(mr) = self.master_round.as_mut() else {
-                    return;
-                };
-                if mr.stage != Stage::Flush {
-                    return;
-                }
-                let newly = mr.flush_counts.insert(machine, count).is_none();
-                let pending = || {
-                    rs.order
-                        .iter()
-                        .filter(|m| !rs.removed.contains(m) && !rs.flush_done.contains_key(m))
-                };
-                let stage_done = pending().next().is_none();
-                // Under serial turn-taking the next unflushed machine in the
-                // round order now holds the flush window.
-                let next_turn = if self.cfg.parallel_flush {
-                    None
-                } else {
-                    pending().next().copied()
-                };
-                (newly, mr.round, stage_done, next_turn)
-            };
-            if newly {
-                let now = ctx.now();
-                self.trace(
-                    now,
-                    TraceEvent::FlushWindowClosed {
-                        round,
-                        machine,
-                        ops: count,
-                    },
-                );
-                if let Some(next) = next_turn {
-                    self.trace(
-                        now,
-                        TraceEvent::FlushWindowOpened {
-                            round,
-                            machine: next,
-                        },
-                    );
-                }
-            }
-            if stage_done {
-                self.start_apply_stage(ctx);
-            }
+            self.step_master(MasterEvent::FlushDone { machine, count }, ctx);
         } else {
             self.maybe_flush_on_turn(ctx);
         }
@@ -456,101 +419,25 @@ impl Machine {
     /// Serial turn-taking: flush once every earlier machine in the round
     /// order has flushed (or been removed).
     fn maybe_flush_on_turn(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let ready = {
-            let Some(rs) = self.round.as_ref() else {
-                return;
-            };
-            if rs.flushed {
-                return;
-            }
-            let Some(pos) = rs.order.iter().position(|&m| m == self.id) else {
-                return;
-            };
-            rs.order[..pos]
-                .iter()
-                .all(|m| rs.flush_done.contains_key(m) || rs.removed.contains(m))
-        };
+        let ready = self
+            .participant
+            .round
+            .as_ref()
+            .is_some_and(|rs| rs.my_turn(self.id));
         if ready {
             self.do_flush(ctx);
         }
     }
 
     // ------------------------------------------------------------------
-    // Stage 2: ApplyUpdatesFromMesh
+    // Stage 2: ApplyUpdatesFromMesh (store-touching apply machinery)
     // ------------------------------------------------------------------
-
-    fn start_apply_stage(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let (round, counts) = {
-            let rs = self.round.as_ref().expect("round active");
-            let mr = self.master_round.as_mut().expect("master round active");
-            mr.stage = Stage::Apply;
-            mr.apply_started_at = Some(ctx.now());
-            let counts: Vec<(MachineId, u64)> = rs
-                .order
-                .iter()
-                .filter(|m| !rs.removed.contains(m))
-                .map(|m| (*m, *mr.flush_counts.get(m).unwrap_or(&0)))
-                .collect();
-            mr.counts = counts.clone();
-            (mr.round, counts)
-        };
-        ctx.broadcast(
-            Channel::Signals,
-            Msg::BeginApply {
-                round,
-                counts: counts.clone(),
-            },
-        );
-        self.trace(
-            ctx.now(),
-            TraceEvent::BeginApply {
-                round,
-                ops_total: counts.iter().map(|(_, c)| *c).sum(),
-            },
-        );
-        ctx.set_timer(self.cfg.stall_timeout, tag(KIND_STAGE2, round));
-        self.handle_begin_apply(round, counts, ctx);
-    }
-
-    fn handle_begin_apply(
-        &mut self,
-        round: u64,
-        counts: Vec<(MachineId, u64)>,
-        ctx: &mut Ctx<'_, Msg>,
-    ) {
-        let Some(rs) = self.round.as_mut() else {
-            return;
-        };
-        if rs.applied {
-            // Duplicate BeginApply (recovery): our Ack probably got lost.
-            let master = rs.order[0];
-            if master != self.id {
-                ctx.send(
-                    master,
-                    Channel::Signals,
-                    Msg::Ack {
-                        round,
-                        machine: self.id,
-                    },
-                );
-            }
-            return;
-        }
-        if rs.counts.is_some() {
-            // Duplicate BeginApply while we are still waiting for operation
-            // batches: the earlier OpsRequest (or its reply) was probably
-            // lost — allow a fresh resend request per source.
-            rs.resend_requested.clear();
-        }
-        rs.counts = Some(counts.into_iter().collect());
-        self.try_apply(ctx);
-    }
 
     /// Applies the round as soon as every expected operation has arrived;
     /// requests per-source resends for anything missing.
     fn try_apply(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let (round, missing) = {
-            let Some(rs) = self.round.as_ref() else {
+            let Some(rs) = self.participant.round.as_ref() else {
                 return;
             };
             if rs.applied {
@@ -569,7 +456,7 @@ impl Machine {
         if !missing.is_empty() {
             let mut requested = Vec::new();
             {
-                let rs = self.round.as_mut().expect("round active");
+                let rs = self.participant.round.as_mut().expect("round active");
                 for m in missing {
                     if m != self.id && rs.resend_requested.insert(m) {
                         requested.push(m);
@@ -588,7 +475,7 @@ impl Machine {
         // Assemble the consolidated pending list in lexicographic
         // (machineID, operationnumber) order and commit it.
         let ordered: Vec<WireEnvelope> = {
-            let rs = self.round.as_mut().expect("round active");
+            let rs = self.participant.round.as_mut().expect("round active");
             let counts = rs.counts.as_ref().expect("counts known");
             let mut ordered = Vec::new();
             for (m, _) in counts.iter() {
@@ -611,25 +498,13 @@ impl Machine {
         // `sg` but not yet in `sc` — the guesstimate-health divergence.
         self.telemetry.divergence(self.pending.len() as u64);
         let (round, master) = {
-            let rs = self.round.as_mut().expect("round active");
+            let rs = self.participant.round.as_mut().expect("round active");
             rs.applied = true;
             (rs.round, rs.order[0])
         };
-        self.last_round_applied = Some(round);
+        self.participant.last_round_applied = Some(round);
         if self.is_master {
-            {
-                let mr = self.master_round.as_mut().expect("master round");
-                mr.ops_committed = n;
-                mr.acks.insert(self.id);
-            }
-            self.trace(
-                ctx.now(),
-                TraceEvent::AckReceived {
-                    round,
-                    machine: self.id,
-                },
-            );
-            self.check_round_completion(ctx);
+            self.step_master(MasterEvent::RoundApplied { ops_committed: n }, ctx);
         } else {
             ctx.send(
                 master,
@@ -642,389 +517,20 @@ impl Machine {
         }
     }
 
-    fn handle_ops(&mut self, machine: MachineId, ops: Vec<WireEnvelope>, ctx: &mut Ctx<'_, Msg>) {
-        let (round, n) = {
-            let Some(rs) = self.round.as_mut() else {
-                return;
-            };
-            if rs.applied {
-                return;
-            }
-            let n = ops.len() as u64;
-            let entry = rs.received.entry(machine).or_default();
-            for e in ops {
-                entry.insert(e.id, e.op);
-            }
-            (rs.round, n)
-        };
-        self.trace(
-            ctx.now(),
-            TraceEvent::OpsBatchReceived {
-                round,
-                from: machine,
-                ops: n,
-            },
-        );
-        self.try_apply(ctx);
-    }
-
-    fn handle_ops_request(&mut self, round: u64, requester: MachineId, ctx: &mut Ctx<'_, Msg>) {
-        let Some(rs) = self.round.as_ref() else {
-            return;
-        };
-        if rs.round == round && rs.flushed {
-            ctx.send(
-                requester,
-                Channel::Operations,
-                Msg::Ops {
-                    round,
-                    machine: self.id,
-                    ops: rs.my_flush.clone(),
-                },
-            );
-        }
-    }
-
-    fn handle_round_update(&mut self, removed: Vec<MachineId>, ctx: &mut Ctx<'_, Msg>) {
-        if removed.contains(&self.id) {
-            // The master gave up on us this round; resync immediately
-            // rather than waiting for the (possibly lost) Restart signal.
-            self.self_restart(ctx);
-            return;
-        }
-        {
-            let Some(rs) = self.round.as_mut() else {
-                return;
-            };
-            rs.removed.extend(removed.iter().copied());
-        }
-        self.maybe_flush_on_turn(ctx);
-        self.try_apply(ctx);
-    }
-
     // ------------------------------------------------------------------
-    // Stage 3: FlagCompletion
-    // ------------------------------------------------------------------
-
-    fn handle_ack(&mut self, machine: MachineId, ctx: &mut Ctx<'_, Msg>) {
-        if !self.is_master {
-            return;
-        }
-        let newly = {
-            let Some(mr) = self.master_round.as_mut() else {
-                return;
-            };
-            if mr.acks.insert(machine) {
-                Some(mr.round)
-            } else {
-                None
-            }
-        };
-        if let Some(round) = newly {
-            self.trace(ctx.now(), TraceEvent::AckReceived { round, machine });
-        }
-        self.check_round_completion(ctx);
-    }
-
-    fn check_round_completion(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let done = {
-            let (Some(rs), Some(mr)) = (self.round.as_ref(), self.master_round.as_ref()) else {
-                return;
-            };
-            mr.stage == Stage::Apply
-                && rs
-                    .order
-                    .iter()
-                    .filter(|m| !rs.removed.contains(m))
-                    .all(|m| mr.acks.contains(m))
-        };
-        if done {
-            self.finish_round(ctx);
-        }
-    }
-
-    fn finish_round(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let rs = self.round.take().expect("round active");
-        let mr = self.master_round.take().expect("master round active");
-        ctx.broadcast(Channel::Signals, Msg::SyncComplete { round: mr.round });
-        let now = ctx.now();
-        let duration = now.saturating_since(mr.started_at);
-        // Per-stage decomposition: stage 1 ran from BeginSync until
-        // BeginApply went out, stage 2 from BeginApply until the last ack
-        // (i.e. now), and stage 3 — a single broadcast with no round trip —
-        // takes the remainder. The three parts sum to `duration` exactly.
-        let flush_duration = mr
-            .apply_started_at
-            .map_or(duration, |t| t.saturating_since(mr.started_at));
-        let apply_duration = mr
-            .apply_started_at
-            .map_or(SimTime::ZERO, |t| now.saturating_since(t));
-        let completion_duration = duration.saturating_since(flush_duration + apply_duration);
-        self.telemetry.round_finished(
-            duration,
-            flush_duration,
-            apply_duration,
-            completion_duration,
-            mr.resends,
-            mr.removals,
-        );
-        self.trace(
-            now,
-            TraceEvent::SyncComplete {
-                round: mr.round,
-                ops_committed: mr.ops_committed,
-            },
-        );
-        self.stats.syncs_seen += 1;
-        self.stats.sync_samples.push(SyncSample {
-            round: mr.round,
-            started_at: mr.started_at,
-            duration,
-            flush_duration,
-            apply_duration,
-            completion_duration,
-            participants: rs.order.len(),
-            ops_committed: mr.ops_committed,
-            ops_flushed: mr.flush_counts.values().sum(),
-            resends: mr.resends,
-            removals: mr.removals,
-        });
-        self.service_joins(ctx);
-        ctx.set_timer(self.cfg.sync_period, tag(KIND_TICK, 0));
-    }
-
-    fn handle_sync_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let (applied, round) = {
-            let Some(rs) = self.round.as_ref() else {
-                return;
-            };
-            (rs.applied, rs.round)
-        };
-        if applied {
-            self.round = None;
-            self.stats.syncs_seen += 1;
-            self.trace(ctx.now(), TraceEvent::SyncCompleteReceived { round });
-        } else {
-            // The round completed globally but we never applied it: we have
-            // a committed-state gap and must resync.
-            self.self_restart(ctx);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Master: round initiation and stall recovery
+    // Master: round initiation
     // ------------------------------------------------------------------
 
     fn handle_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
         if !self.is_master {
             return;
         }
-        if self.round.is_some() {
+        if self.participant.round.is_some() {
             return; // stage timers drive the active round
         }
         self.service_joins(ctx);
-        self.begin_round(ctx);
-    }
-
-    fn begin_round(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let round = self.next_round;
-        self.next_round += 1;
-        let order: Vec<MachineId> = self.members.iter().copied().collect();
-        debug_assert_eq!(order.first(), Some(&self.id), "master flushes first");
-        ctx.broadcast(
-            Channel::Signals,
-            Msg::BeginSync {
-                round,
-                order: order.clone(),
-            },
-        );
-        let participants = order.len() as u32;
-        self.master_round = Some(MasterRound::new(round, ctx.now()));
-        self.round = Some(RoundState::new(round, order));
-        self.last_round_applied.get_or_insert(round - 1);
-        self.trace(
-            ctx.now(),
-            TraceEvent::RoundStarted {
-                round,
-                participants,
-            },
-        );
-        if !self.cfg.parallel_flush {
-            // Serial turn-taking: the master flushes first.
-            self.trace(
-                ctx.now(),
-                TraceEvent::FlushWindowOpened {
-                    round,
-                    machine: self.id,
-                },
-            );
-        }
-        self.do_flush(ctx);
-        ctx.set_timer(self.cfg.stall_timeout, tag(KIND_STAGE1, round));
-    }
-
-    fn handle_stage1_timeout(&mut self, round: u64, ctx: &mut Ctx<'_, Msg>) {
-        let laggards = {
-            let (Some(rs), Some(mr)) = (self.round.as_ref(), self.master_round.as_ref()) else {
-                return;
-            };
-            if mr.round != round || mr.stage != Stage::Flush {
-                return;
-            }
-            let unflushed = rs
-                .order
-                .iter()
-                .filter(|m| !rs.removed.contains(m) && !rs.flush_done.contains_key(m))
-                .copied();
-            if self.cfg.parallel_flush {
-                unflushed.collect::<Vec<_>>()
-            } else {
-                // Serial turns: only the machine whose turn it is can be
-                // blocking the stage.
-                unflushed.take(1).collect()
-            }
-        };
-        if laggards.is_empty() {
-            return;
-        }
-        let mut newly_removed = Vec::new();
-        for m in laggards {
-            let nudged = self
-                .master_round
-                .as_ref()
-                .map(|mr| mr.nudged_flush.contains(&m))
-                .unwrap_or(false);
-            if nudged {
-                self.remove_from_round(m, ctx);
-                newly_removed.push(m);
-            } else {
-                let rs_order = self.round.as_ref().expect("round").order.clone();
-                let mr = self.master_round.as_mut().expect("master round");
-                mr.nudged_flush.insert(m);
-                debug_assert!(mr.resends < u64::MAX, "resend counter saturated");
-                mr.resends = mr.resends.saturating_add(1);
-                ctx.send(
-                    m,
-                    Channel::Signals,
-                    Msg::BeginSync {
-                        round,
-                        order: rs_order,
-                    },
-                );
-                self.trace(
-                    ctx.now(),
-                    TraceEvent::Resend {
-                        round,
-                        machine: m,
-                        stage: 1,
-                    },
-                );
-            }
-        }
-        if !newly_removed.is_empty() {
-            ctx.broadcast(
-                Channel::Signals,
-                Msg::RoundUpdate {
-                    round,
-                    removed: newly_removed,
-                },
-            );
-            // Removal may have unblocked the stage.
-            let stage_done = {
-                let (Some(rs), Some(mr)) = (self.round.as_ref(), self.master_round.as_ref()) else {
-                    return;
-                };
-                mr.stage == Stage::Flush
-                    && rs
-                        .order
-                        .iter()
-                        .filter(|m| !rs.removed.contains(m))
-                        .all(|m| rs.flush_done.contains_key(m))
-            };
-            if stage_done {
-                self.start_apply_stage(ctx);
-                return;
-            }
-        }
-        ctx.set_timer(self.cfg.stall_timeout, tag(KIND_STAGE1, round));
-    }
-
-    fn handle_stage2_timeout(&mut self, round: u64, ctx: &mut Ctx<'_, Msg>) {
-        let missing = {
-            let (Some(rs), Some(mr)) = (self.round.as_ref(), self.master_round.as_ref()) else {
-                return;
-            };
-            if mr.round != round || mr.stage != Stage::Apply {
-                return;
-            }
-            rs.order
-                .iter()
-                .filter(|m| !rs.removed.contains(m) && !mr.acks.contains(m))
-                .copied()
-                .collect::<Vec<_>>()
-        };
-        if missing.is_empty() {
-            return;
-        }
-        // If the master itself is still waiting for operation batches, the
-        // earlier resend requests were probably lost: retry them rather than
-        // treating ourselves as a stalled participant.
-        if missing.contains(&self.id) {
-            if let Some(rs) = self.round.as_mut() {
-                rs.resend_requested.clear();
-            }
-            self.try_apply(ctx);
-        }
-        let me = self.id;
-        let mut removed_any = false;
-        for m in missing.into_iter().filter(|&m| m != me) {
-            let nudged = self
-                .master_round
-                .as_ref()
-                .map(|mr| mr.nudged_acks.contains(&m))
-                .unwrap_or(false);
-            if nudged {
-                self.remove_from_round(m, ctx);
-                removed_any = true;
-            } else {
-                let mr = self.master_round.as_mut().expect("master round");
-                mr.nudged_acks.insert(m);
-                debug_assert!(mr.resends < u64::MAX, "resend counter saturated");
-                mr.resends = mr.resends.saturating_add(1);
-                let counts = mr.counts.clone();
-                ctx.send(m, Channel::Signals, Msg::BeginApply { round, counts });
-                self.trace(
-                    ctx.now(),
-                    TraceEvent::Resend {
-                        round,
-                        machine: m,
-                        stage: 2,
-                    },
-                );
-            }
-        }
-        if removed_any {
-            self.check_round_completion(ctx);
-        }
-        if self.master_round.is_some() {
-            ctx.set_timer(self.cfg.stall_timeout, tag(KIND_STAGE2, round));
-        }
-    }
-
-    fn remove_from_round(&mut self, m: MachineId, ctx: &mut Ctx<'_, Msg>) {
-        let mut round = 0;
-        if let Some(rs) = self.round.as_mut() {
-            rs.removed.insert(m);
-            round = rs.round;
-        }
-        if let Some(mr) = self.master_round.as_mut() {
-            debug_assert!(mr.removals < u64::MAX, "removal counter saturated");
-            mr.removals = mr.removals.saturating_add(1);
-            round = mr.round;
-        }
-        self.members.remove(&m);
-        ctx.send(m, Channel::Signals, Msg::Restart);
-        self.trace(ctx.now(), TraceEvent::Removed { round, machine: m });
+        let order: Vec<MachineId> = self.membership.members().iter().copied().collect();
+        self.step_master(MasterEvent::BeginRound { order }, ctx);
     }
 
     // ------------------------------------------------------------------
@@ -1032,16 +538,10 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn handle_join_request(&mut self, machine: MachineId, ctx: &mut Ctx<'_, Msg>) {
-        if !self.is_master || machine == self.id {
+        if !self.is_master {
             return;
         }
-        // A re-join from a current member means it restarted itself; its
-        // membership is void until the handshake completes again.
-        self.members.remove(&machine);
-        self.pending_joins.insert(machine, JoinPhase::Requested);
-        if self.round.is_none() {
-            self.service_joins(ctx);
-        }
+        self.step_membership(MembershipEvent::JoinRequest { machine }, ctx);
     }
 
     /// Between rounds, ship `JoinInfo` to every machine whose handshake
@@ -1049,67 +549,50 @@ impl Machine {
     /// send time guarantees a machine is only admitted if no operation
     /// committed since its snapshot was taken.
     fn service_joins(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        if !self.is_master || self.round.is_some() {
+        if !self.is_master || self.participant.round.is_some() {
             return;
         }
         let epoch = self.completed.len() as u64;
-        let needs: Vec<MachineId> = self
-            .pending_joins
-            .iter()
-            .filter(|(_, phase)| match phase {
-                JoinPhase::Requested => true,
-                JoinPhase::InfoSent(e) => *e != epoch,
-            })
-            .map(|(m, _)| *m)
-            .collect();
-        for m in needs {
-            let (catalog, completed) = self.build_join_info();
-            ctx.send(m, Channel::Signals, Msg::JoinInfo { catalog, completed });
-            self.pending_joins.insert(m, JoinPhase::InfoSent(epoch));
-        }
+        self.step_membership(MembershipEvent::ServiceJoins { epoch }, ctx);
     }
 
     fn handle_join_info(
         &mut self,
         from: MachineId,
         catalog: Vec<crate::message::ObjectInit>,
-        completed: Vec<OpId>,
+        completed: Vec<guesstimate_core::OpId>,
         ctx: &mut Ctx<'_, Msg>,
     ) {
         if self.is_master {
             return;
         }
-        if !self.in_cohort {
+        if !self.membership.in_cohort {
             self.init_from_join_info(catalog, completed);
         }
         ctx.send(from, Channel::Signals, Msg::JoinReady { machine: self.id });
     }
 
-    fn handle_join_ready(&mut self, machine: MachineId) {
+    fn handle_join_ready(&mut self, machine: MachineId, ctx: &mut Ctx<'_, Msg>) {
         if !self.is_master {
             return;
         }
         let epoch = self.completed.len() as u64;
-        match self.pending_joins.get(&machine) {
-            Some(JoinPhase::InfoSent(e)) if *e == epoch && self.round.is_none() => {
-                self.pending_joins.remove(&machine);
-                self.members.insert(machine);
-            }
-            Some(_) => {
-                // Snapshot went stale (a round committed in between) or a
-                // round is active: redo the handshake at the next gap.
-                self.pending_joins.insert(machine, JoinPhase::Requested);
-            }
-            None => {}
-        }
+        let round_active = self.participant.round.is_some();
+        self.step_membership(
+            MembershipEvent::JoinReady {
+                machine,
+                epoch,
+                round_active,
+            },
+            ctx,
+        );
     }
 
-    fn handle_leave(&mut self, machine: MachineId) {
+    fn handle_leave(&mut self, machine: MachineId, ctx: &mut Ctx<'_, Msg>) {
         if !self.is_master {
             return;
         }
-        self.members.remove(&machine);
-        self.pending_joins.remove(&machine);
+        self.step_membership(MembershipEvent::Leave { machine }, ctx);
     }
 
     /// Gracefully leaves the system (application API): intimates the master
@@ -1120,10 +603,10 @@ impl Machine {
     /// [`Machine::come_online`] — the §9 "Off-line updates" extension.
     pub fn leave(&mut self, ctx: &mut Ctx<'_, Msg>) {
         ctx.broadcast(Channel::Signals, Msg::Leave { machine: self.id });
-        self.joined_system = false;
-        self.in_cohort = false;
-        self.round = None;
-        self.buffered.clear();
+        self.membership.joined_system = false;
+        self.membership.in_cohort = false;
+        self.participant.round = None;
+        self.participant.buffered.clear();
     }
 
     /// §9 "Off-line updates": detaches from the system while continuing to
@@ -1147,7 +630,10 @@ impl Machine {
     /// round back.
     pub fn come_online(&mut self, ctx: &mut Ctx<'_, Msg>) {
         ctx.broadcast(Channel::Signals, Msg::JoinRequest { machine: self.id });
-        ctx.set_timer(self.cfg.join_retry, tag(KIND_JOIN_RETRY, 0));
+        ctx.set_timer(
+            self.cfg.join_retry,
+            tag::encode(tag::MEMBERSHIP_JOIN_RETRY, 0),
+        );
     }
 
     /// Join retries continue until the machine participates in a round
@@ -1157,55 +643,25 @@ impl Machine {
         if self.is_master {
             return;
         }
-        if !self.in_cohort {
-            ctx.broadcast(Channel::Signals, Msg::JoinRequest { machine: self.id });
-            ctx.set_timer(self.cfg.join_retry, tag(KIND_JOIN_RETRY, 0));
-        }
+        self.step_membership(MembershipEvent::JoinRetryTimer, ctx);
     }
 
     // ------------------------------------------------------------------
     // Master failover (§9 extension; off by default)
     // ------------------------------------------------------------------
 
-    fn note_master_activity(&mut self, now: SimTime) {
-        self.last_master_activity = now;
-        // A live master quells any election in progress.
-        self.election = None;
-    }
-
     fn handle_watchdog(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let Some(timeout) = self.cfg.master_failover else {
-            return;
-        };
         if self.is_master {
             return;
         }
-        let silence = ctx.now().saturating_since(self.last_master_activity);
-        if silence >= timeout && self.in_cohort && self.election.is_none() {
-            self.start_election(ctx);
-        }
-        ctx.set_timer(timeout, tag(KIND_WATCHDOG, 0));
-    }
-
-    fn start_election(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let last_round = self.last_round_applied.unwrap_or(0);
-        let mut candidates = BTreeMap::new();
-        candidates.insert(self.id, last_round);
-        self.election = Some(candidates);
-        self.election_gen += 1;
-        self.trace(ctx.now(), TraceEvent::ElectionStarted { last_round });
-        ctx.broadcast(
-            Channel::Signals,
-            Msg::MasterCandidate {
-                machine: self.id,
-                last_round,
+        let in_cohort = self.membership.in_cohort;
+        let last_round_applied = self.participant.last_round_applied.unwrap_or(0);
+        self.step_election(
+            ElectionEvent::Watchdog {
+                in_cohort,
+                last_round_applied,
             },
-        );
-        // The election window must comfortably cover a candidacy cascade
-        // (a couple of one-way latencies); the stall timeout does.
-        ctx.set_timer(
-            self.cfg.stall_timeout,
-            tag(KIND_ELECTION_END, self.election_gen),
+            ctx,
         );
     }
 
@@ -1220,81 +676,66 @@ impl Machine {
             ctx.broadcast(Channel::Signals, Msg::MasterHeartbeat);
             return;
         }
-        if self.cfg.master_failover.is_none() || !self.in_cohort {
-            return;
-        }
-        if self.election.is_none() {
-            // Join the cascade with our own candidacy.
-            self.start_election(ctx);
-        }
-        if let Some(candidates) = self.election.as_mut() {
-            candidates.insert(machine, last_round);
-        }
-    }
-
-    fn handle_election_end(&mut self, gen: u64, ctx: &mut Ctx<'_, Msg>) {
-        if gen != self.election_gen {
-            return; // stale window
-        }
-        let Some(candidates) = self.election.take() else {
-            return; // quelled by a heartbeat
-        };
-        // Winner: most committed progress, ties to the smallest id.
-        let winner = candidates
-            .iter()
-            .max_by_key(|(id, lr)| (**lr, std::cmp::Reverse(**id)))
-            .map(|(id, _)| *id)
-            .expect("own candidacy present");
-        if winner == self.id {
-            self.promote(ctx);
-        } else {
-            // Defer to the winner: rejoin through the membership path
-            // (pending operations are preserved, as in go_offline).
-            self.joined_system = false;
-            self.in_cohort = false;
-            self.round = None;
-            self.buffered.clear();
-            self.come_online(ctx);
-        }
+        let in_cohort = self.membership.in_cohort;
+        let last_round_applied = self.participant.last_round_applied.unwrap_or(0);
+        self.step_election(
+            ElectionEvent::Candidate {
+                machine,
+                last_round,
+                in_cohort,
+                last_round_applied,
+            },
+            ctx,
+        );
     }
 
     fn promote(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.is_master = true;
-        self.joined_system = true;
-        self.in_cohort = true;
-        self.members.clear();
-        self.members.insert(self.id);
-        self.pending_joins.clear();
-        self.round = None;
-        self.master_round = None;
+        self.membership.joined_system = true;
+        self.membership.in_cohort = true;
+        self.membership.members.clear();
+        self.membership.members.insert(self.id);
+        self.membership.pending_joins.clear();
+        self.participant.round = None;
+        self.master.active = None;
         // Skip a round number in case the dead master's last round was
         // partially committed somewhere.
-        self.next_round = self.last_round_applied.unwrap_or(0) + 2;
+        self.master.next_round = self.participant.last_round_applied.unwrap_or(0) + 2;
         self.stats.promotions += 1;
         self.trace(
             ctx.now(),
             TraceEvent::ElectionWon {
-                round: self.next_round,
+                round: self.master.next_round,
             },
         );
         ctx.broadcast(Channel::Signals, Msg::MasterHeartbeat);
-        ctx.set_timer(self.cfg.sync_period, tag(KIND_TICK, 0));
+        ctx.set_timer(self.cfg.sync_period, tag::encode(tag::MASTER_TICK, 0));
+    }
+
+    /// Defers to the election winner: rejoin through the membership path
+    /// (pending operations are preserved, as in go_offline).
+    fn defer_to_winner(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.membership.joined_system = false;
+        self.membership.in_cohort = false;
+        self.participant.round = None;
+        self.participant.buffered.clear();
+        self.come_online(ctx);
     }
 
     /// A master that lost a split-brain race steps down and rejoins.
     fn demote_and_rejoin(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.is_master = false;
-        self.master_round = None;
-        self.members.clear();
-        self.pending_joins.clear();
-        self.joined_system = false;
-        self.in_cohort = false;
-        self.round = None;
-        self.buffered.clear();
-        self.last_master_activity = ctx.now();
+        self.master.active = None;
+        self.membership.members.clear();
+        self.membership.pending_joins.clear();
+        self.membership.joined_system = false;
+        self.membership.in_cohort = false;
+        self.participant.round = None;
+        self.participant.buffered.clear();
+        self.election.last_master_activity = ctx.now();
         self.come_online(ctx);
         if let Some(timeout) = self.cfg.master_failover {
-            ctx.set_timer(timeout, tag(KIND_WATCHDOG, 0));
+            ctx.set_timer(timeout, tag::encode(tag::ELECTION_WATCHDOG, 0));
         }
     }
 
@@ -1305,800 +746,9 @@ impl Machine {
         self.reset_for_restart();
         self.trace(ctx.now(), TraceEvent::Restarted);
         ctx.broadcast(Channel::Signals, Msg::JoinRequest { machine: self.id });
-        ctx.set_timer(self.cfg.join_retry, tag(KIND_JOIN_RETRY, 0));
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::MachineConfig;
-    use crate::testutil::{counter_registry, Counter};
-    use guesstimate_core::{args, ObjectId, OpRegistry, SharedOp};
-    use guesstimate_net::{FaultPlan, LatencyModel, NetConfig, SimNet, StallWindow};
-    use std::sync::Arc;
-
-    fn cluster(
-        n: u32,
-        seed: u64,
-        latency: LatencyModel,
-        faults: FaultPlan,
-        cfg: MachineConfig,
-    ) -> SimNet<Machine> {
-        let registry = Arc::new(counter_registry());
-        let netcfg = NetConfig::lan(seed)
-            .with_latency(latency)
-            .with_faults(faults);
-        let mut net = SimNet::new(netcfg);
-        net.add_machine(
-            MachineId::new(0),
-            Machine::new_master(MachineId::new(0), registry.clone(), cfg.clone()),
+        ctx.set_timer(
+            self.cfg.join_retry,
+            tag::encode(tag::MEMBERSHIP_JOIN_RETRY, 0),
         );
-        for i in 1..n {
-            net.add_machine(
-                MachineId::new(i),
-                Machine::new_member(MachineId::new(i), registry.clone(), cfg.clone()),
-            );
-        }
-        net
-    }
-
-    fn default_cfg() -> MachineConfig {
-        // paranoid_checks: every protocol step re-validates `sg = [P](sc)`,
-        // so these tests no longer need ad-hoc mid-run invariant calls.
-        MachineConfig::default()
-            .with_sync_period(SimTime::from_millis(100))
-            .with_stall_timeout(SimTime::from_millis(500))
-            .with_join_retry(SimTime::from_millis(300))
-            .with_paranoid_checks(true)
-    }
-
-    fn fast_cluster(n: u32, seed: u64) -> SimNet<Machine> {
-        cluster(
-            n,
-            seed,
-            LatencyModel::constant_ms(10),
-            FaultPlan::new(),
-            default_cfg(),
-        )
-    }
-
-    fn assert_converged(net: &SimNet<Machine>, ids: &[u32]) {
-        let digests: Vec<u64> = ids
-            .iter()
-            .map(|&i| {
-                net.actor(MachineId::new(i))
-                    .expect("machine is registered on the mesh")
-                    .committed_digest()
-            })
-            .collect();
-        assert!(
-            digests.windows(2).all(|w| w[0] == w[1]),
-            "committed states diverged: {digests:?}"
-        );
-        for &i in ids {
-            let m = net
-                .actor(MachineId::new(i))
-                .expect("machine is registered on the mesh");
-            assert_eq!(m.pending_len(), 0, "machine {i} still has pending ops");
-            assert_eq!(
-                m.guess_digest(),
-                m.committed_digest(),
-                "machine {i}: sg != sc at quiescence"
-            );
-        }
-    }
-
-    #[test]
-    fn two_machines_converge_on_counter() {
-        let mut net = fast_cluster(2, 1);
-        // Let membership settle and create the object on the master.
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(2));
-        // Both machines see the object now; both add.
-        for i in 0..2 {
-            let m = net
-                .actor_mut(MachineId::new(i))
-                .expect("machine is registered on the mesh");
-            assert_eq!(m.object_type(obj), Some("Counter"));
-            assert!(m
-                .issue(SharedOp::primitive(obj, "add", args![1]))
-                .expect("issue: the target object is known to this machine"));
-        }
-        net.run_until(SimTime::from_secs(4));
-        assert_converged(&net, &[0, 1]);
-        for i in 0..2 {
-            let m = net
-                .actor(MachineId::new(i))
-                .expect("machine is registered on the mesh");
-            assert_eq!(m.read::<Counter, _>(obj, |c| c.n), Some(2));
-        }
-    }
-
-    #[test]
-    fn eight_machines_converge_under_load() {
-        let mut net = fast_cluster(8, 7);
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(2));
-        // Every machine issues 5 increments at staggered times.
-        for i in 0..8u32 {
-            for k in 0..5u64 {
-                net.schedule_call(
-                    SimTime::from_millis(2_000 + 97 * k + 13 * i as u64),
-                    MachineId::new(i),
-                    move |m: &mut Machine, _| {
-                        let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
-                    },
-                );
-            }
-        }
-        net.run_until(SimTime::from_secs(8));
-        assert_converged(&net, &[0, 1, 2, 3, 4, 5, 6, 7]);
-        assert_eq!(
-            net.actor(MachineId::new(3))
-                .expect("machine is registered on the mesh")
-                .read::<Counter, _>(obj, |c| c.n),
-            Some(40)
-        );
-    }
-
-    #[test]
-    fn conflicting_ops_commit_consistently_and_count_conflicts() {
-        let mut net = fast_cluster(4, 3);
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(2));
-        // All four try to claim the last 2 units of a capacity-3 resource
-        // in the same round: at most 3 add_capped(1, 3) can succeed.
-        for i in 0..4 {
-            net.schedule_call(
-                SimTime::from_millis(2_010 + i as u64),
-                MachineId::new(i),
-                move |m: &mut Machine, _| {
-                    let ok = m
-                        .issue(SharedOp::primitive(obj, "add_capped", args![1, 3]))
-                        .expect("issue: the target object is known to this machine");
-                    assert!(ok, "succeeds optimistically on the guesstimate");
-                },
-            );
-        }
-        net.run_until(SimTime::from_secs(5));
-        assert_converged(&net, &[0, 1, 2, 3]);
-        let n = net
-            .actor(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .read::<Counter, _>(obj, |c| c.n)
-            .expect("the object is replicated on this machine");
-        assert_eq!(n, 3, "cap respected in committed state");
-        let conflicts: u64 = (0..4)
-            .map(|i| {
-                net.actor(MachineId::new(i))
-                    .expect("machine is registered on the mesh")
-                    .stats()
-                    .conflicts
-            })
-            .sum();
-        assert_eq!(conflicts, 1, "exactly one issuer lost the race");
-    }
-
-    #[test]
-    fn completion_reports_commit_failure_on_conflict() {
-        use std::sync::atomic::{AtomicI32, Ordering};
-        let mut net = fast_cluster(2, 11);
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(2));
-        let seen = Arc::new(AtomicI32::new(-1));
-        // m0's op sorts first (smaller machine id) and wins; m1's loses.
-        let s = seen.clone();
-        net.call(MachineId::new(0), |m, _| {
-            assert!(m
-                .issue(SharedOp::primitive(obj, "add_capped", args![3, 3]))
-                .expect("issue: the target object is known to this machine"));
-        });
-        net.call(MachineId::new(1), |m, _| {
-            assert!(m
-                .issue_with_completion(
-                    SharedOp::primitive(obj, "add_capped", args![3, 3]),
-                    Box::new(move |b| s.store(b as i32, Ordering::SeqCst)),
-                )
-                .expect("issue: the target object is known to this machine"));
-        });
-        net.run_until(SimTime::from_secs(4));
-        assert_eq!(seen.load(Ordering::SeqCst), 0, "completion saw failure");
-        assert_eq!(
-            net.actor(MachineId::new(1))
-                .expect("machine is registered on the mesh")
-                .stats()
-                .conflicts,
-            1
-        );
-        assert_converged(&net, &[0, 1]);
-    }
-
-    #[test]
-    fn own_ops_execute_at_most_three_times() {
-        let mut net = fast_cluster(5, 13);
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(2));
-        // Dense issue schedule so some ops land inside sync rounds (and get
-        // the extra replay execution).
-        for i in 0..5u32 {
-            for k in 0..40u64 {
-                net.schedule_call(
-                    SimTime::from_millis(2_000 + 11 * k + 3 * i as u64),
-                    MachineId::new(i),
-                    move |m: &mut Machine, _| {
-                        let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
-                    },
-                );
-            }
-        }
-        net.run_until(SimTime::from_secs(10));
-        assert_converged(&net, &[0, 1, 2, 3, 4]);
-        for i in 0..5 {
-            let st = net
-                .actor(MachineId::new(i))
-                .expect("machine is registered on the mesh")
-                .stats();
-            assert!(
-                st.max_exec_count <= 3,
-                "machine {i}: op executed {} times",
-                st.max_exec_count
-            );
-            assert!(st.exec_histogram[2] > 0, "some ops executed twice");
-        }
-        // With a dense schedule, at least someone's op got the 3rd execution.
-        let threes: u64 = (0..5)
-            .map(|i| {
-                net.actor(MachineId::new(i))
-                    .expect("machine is registered on the mesh")
-                    .stats()
-                    .exec_histogram[3]
-            })
-            .sum();
-        assert!(threes > 0, "expected some triple executions");
-    }
-
-    #[test]
-    fn late_joiner_receives_full_state() {
-        let mut net = fast_cluster(2, 17);
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.call(MachineId::new(0), |m, _| {
-            assert!(m
-                .issue(SharedOp::primitive(obj, "add", args![5]))
-                .expect("issue: the target object is known to this machine"));
-        });
-        net.run_until(SimTime::from_secs(3));
-        // Machine 2 joins late.
-        let registry = Arc::new(counter_registry());
-        net.schedule_join(
-            SimTime::from_secs(3),
-            MachineId::new(2),
-            Machine::new_member(MachineId::new(2), registry, default_cfg()),
-        );
-        net.run_until(SimTime::from_secs(6));
-        let late = net
-            .actor(MachineId::new(2))
-            .expect("machine is registered on the mesh");
-        assert!(late.in_cohort(), "late joiner participates in rounds");
-        assert_eq!(late.read::<Counter, _>(obj, |c| c.n), Some(5));
-        assert_converged(&net, &[0, 1, 2]);
-        // And it can issue ops that commit everywhere.
-        net.call(MachineId::new(2), |m, _| {
-            assert!(m
-                .issue(SharedOp::primitive(obj, "add", args![2]))
-                .expect("issue: the target object is known to this machine"));
-        });
-        net.run_until(SimTime::from_secs(8));
-        assert_eq!(
-            net.actor(MachineId::new(0))
-                .expect("machine is registered on the mesh")
-                .read::<Counter, _>(obj, |c| c.n),
-            Some(7)
-        );
-    }
-
-    #[test]
-    fn stalled_machine_is_removed_restarted_and_rejoins() {
-        // Machine 2 goes silent from t=4s to t=8s. The master should remove
-        // it from a round, restart it, and re-admit it afterwards — while
-        // the others keep committing (the §7 failure/recovery story).
-        let faults = FaultPlan::new().with_stall(StallWindow::new(
-            MachineId::new(2),
-            SimTime::from_secs(4),
-            SimTime::from_secs(8),
-        ));
-        let mut net = cluster(3, 23, LatencyModel::constant_ms(10), faults, default_cfg());
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(2));
-        // Continuous activity on machines 0 and 1 throughout.
-        for k in 0..80u64 {
-            net.schedule_call(
-                SimTime::from_millis(2_000 + k * 100),
-                MachineId::new((k % 2) as u32),
-                move |m: &mut Machine, _| {
-                    let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
-                },
-            );
-        }
-        net.run_until(SimTime::from_secs(14));
-        let master_stats = net
-            .actor(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .stats()
-            .clone();
-        let removals: u64 = master_stats.sync_samples.iter().map(|s| s.removals).sum();
-        assert!(removals >= 1, "master removed the stalled machine");
-        let m2 = net
-            .actor(MachineId::new(2))
-            .expect("machine is registered on the mesh");
-        assert!(m2.stats().restarts >= 1, "machine 2 restarted");
-        assert!(m2.in_cohort(), "machine 2 rejoined");
-        assert_converged(&net, &[0, 1, 2]);
-        assert_eq!(
-            m2.read::<Counter, _>(obj, |c| c.n),
-            Some(80),
-            "no committed updates were lost"
-        );
-    }
-
-    #[test]
-    fn survives_random_message_loss() {
-        let faults = FaultPlan::new().with_drop_prob(0.02);
-        let mut net = cluster(4, 29, LatencyModel::constant_ms(10), faults, default_cfg());
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(3));
-        for i in 0..4u32 {
-            for k in 0..10u64 {
-                net.schedule_call(
-                    SimTime::from_millis(3_000 + 151 * k + 17 * i as u64),
-                    MachineId::new(i),
-                    move |m: &mut Machine, _| {
-                        let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
-                    },
-                );
-            }
-        }
-        // Long quiet tail so recovery can finish.
-        net.run_until(SimTime::from_secs(30));
-        // All currently-in-cohort machines agree.
-        let in_cohort: Vec<u32> = (0..4)
-            .filter(|&i| {
-                net.actor(MachineId::new(i))
-                    .expect("machine is registered on the mesh")
-                    .in_cohort()
-            })
-            .collect();
-        assert!(in_cohort.len() >= 2, "most machines still participating");
-        assert_converged(&net, &in_cohort);
-        // Committed value = 40 minus ops lost to restarts.
-        let lost: u64 = (0..4)
-            .map(|i| {
-                net.actor(MachineId::new(i))
-                    .expect("machine is registered on the mesh")
-                    .stats()
-                    .ops_lost_to_restart
-            })
-            .sum();
-        let n = net
-            .actor(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .read_committed::<Counter, _>(obj, |c| c.n)
-            .expect("the object is replicated on this machine");
-        assert_eq!(
-            n as u64 + lost,
-            40,
-            "every issued op committed or was lost to a restart"
-        );
-    }
-
-    #[test]
-    fn graceful_leave_shrinks_rounds() {
-        let mut net = fast_cluster(3, 31);
-        net.run_until(SimTime::from_secs(2));
-        assert_eq!(
-            net.actor(MachineId::new(0))
-                .expect("machine is registered on the mesh")
-                .members()
-                .len(),
-            3
-        );
-        net.call(MachineId::new(2), |m, ctx| m.leave(ctx));
-        net.run_until(SimTime::from_secs(4));
-        assert_eq!(
-            net.actor(MachineId::new(0))
-                .expect("machine is registered on the mesh")
-                .members()
-                .len(),
-            2
-        );
-        // Rounds keep completing with 2 participants.
-        let samples = &net
-            .actor(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .stats()
-            .sync_samples;
-        let last = samples
-            .last()
-            .expect("the master completed at least one round");
-        assert_eq!(last.participants, 2);
-    }
-
-    #[test]
-    fn parallel_flush_converges_too() {
-        let cfg = default_cfg().with_parallel_flush(true);
-        let mut net = cluster(6, 37, LatencyModel::constant_ms(10), FaultPlan::new(), cfg);
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(2));
-        for i in 0..6 {
-            net.call(MachineId::new(i), |m, _| {
-                let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
-            });
-        }
-        net.run_until(SimTime::from_secs(5));
-        assert_converged(&net, &[0, 1, 2, 3, 4, 5]);
-        assert_eq!(
-            net.actor(MachineId::new(5))
-                .expect("machine is registered on the mesh")
-                .read::<Counter, _>(obj, |c| c.n),
-            Some(6)
-        );
-    }
-
-    #[test]
-    fn sync_samples_are_recorded_with_plausible_durations() {
-        let mut net = fast_cluster(4, 41);
-        net.run_until(SimTime::from_secs(5));
-        let stats = net
-            .actor(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .stats();
-        assert!(stats.sync_samples.len() >= 10);
-        for s in &stats.sync_samples {
-            // With 10ms constant latency and 4 machines, a round takes a few
-            // dozen ms — never longer than the stall timeout in this test.
-            assert!(s.duration >= SimTime::from_millis(20), "{:?}", s);
-            assert!(s.duration < SimTime::from_millis(500), "{:?}", s);
-            assert!(!s.recovered());
-        }
-        // Serial flush: more participants, longer rounds (on average).
-        let early: Vec<_> = stats
-            .sync_samples
-            .iter()
-            .filter(|s| s.participants == 1)
-            .collect();
-        let late: Vec<_> = stats
-            .sync_samples
-            .iter()
-            .filter(|s| s.participants == 4)
-            .collect();
-        if let (Some(e), Some(l)) = (early.first(), late.first()) {
-            assert!(l.duration > e.duration);
-        }
-    }
-
-    #[test]
-    fn or_else_and_atomic_ops_flow_through_the_protocol() {
-        let mut net = fast_cluster(2, 43);
-        net.run_until(SimTime::from_secs(1));
-        let (a, b) = {
-            let m = net
-                .actor_mut(MachineId::new(0))
-                .expect("machine is registered on the mesh");
-            (
-                m.create_instance(Counter { n: 0 }),
-                m.create_instance(Counter { n: 0 }),
-            )
-        };
-        net.run_until(SimTime::from_secs(2));
-        net.call(MachineId::new(1), |m, _| {
-            // Atomic transfer-ish op plus an OrElse fallback.
-            let op = SharedOp::atomic(vec![
-                SharedOp::primitive(a, "add", args![-1]), // fails: would go negative
-                SharedOp::primitive(b, "add", args![1]),
-            ])
-            .or_else(SharedOp::primitive(b, "add", args![10]));
-            assert!(m
-                .issue(op)
-                .expect("issue: the target object is known to this machine"));
-        });
-        net.run_until(SimTime::from_secs(4));
-        assert_converged(&net, &[0, 1]);
-        let m0 = net
-            .actor(MachineId::new(0))
-            .expect("machine is registered on the mesh");
-        assert_eq!(m0.read::<Counter, _>(a, |c| c.n), Some(0));
-        assert_eq!(m0.read::<Counter, _>(b, |c| c.n), Some(10));
-    }
-
-    #[test]
-    fn registry_must_match_for_foreign_types() {
-        // A machine whose registry lacks a type cannot materialize foreign
-        // objects; creating locally panics upfront (checked in machine.rs).
-        // Here we verify the catalog propagates type names correctly.
-        let mut net = fast_cluster(2, 47);
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 3 });
-        net.run_until(SimTime::from_secs(3));
-        let m1 = net
-            .actor(MachineId::new(1))
-            .expect("machine is registered on the mesh");
-        assert_eq!(m1.object_type(obj), Some("Counter"));
-        assert_eq!(m1.available_objects().len(), 1);
-        assert_eq!(m1.read::<Counter, _>(obj, |c| c.n), Some(3));
-    }
-
-    #[test]
-    fn guess_state_reflects_local_ops_before_commit() {
-        // The heart of the model: reads see local effects immediately, even
-        // though the committed state lags until the next synchronization.
-        let mut net = fast_cluster(2, 53);
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(2));
-        let m0 = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh");
-        m0.issue(SharedOp::primitive(obj, "add", args![9]))
-            .expect("issue: the target object is known to this machine");
-        assert_eq!(m0.read::<Counter, _>(obj, |c| c.n), Some(9), "sg updated");
-        assert_eq!(
-            m0.read_committed::<Counter, _>(obj, |c| c.n),
-            Some(0),
-            "sc unchanged until commit"
-        );
-        assert_eq!(m0.pending_len(), 1);
-    }
-
-    /// Dedicated OpRegistry sharing test: two registries with the same
-    /// registrations behave identically (they need not be the same Arc).
-    #[test]
-    fn distinct_but_equal_registries_interoperate() {
-        let netcfg = NetConfig::lan(59).with_latency(LatencyModel::constant_ms(10));
-        let mut net = SimNet::new(netcfg);
-        net.add_machine(
-            MachineId::new(0),
-            Machine::new_master(
-                MachineId::new(0),
-                Arc::new(counter_registry()),
-                default_cfg(),
-            ),
-        );
-        net.add_machine(
-            MachineId::new(1),
-            Machine::new_member(
-                MachineId::new(1),
-                Arc::new(counter_registry()),
-                default_cfg(),
-            ),
-        );
-        net.run_until(SimTime::from_secs(1));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(2));
-        net.call(MachineId::new(1), |m, _| {
-            assert!(m
-                .issue(SharedOp::primitive(obj, "add", args![4]))
-                .expect("issue: the target object is known to this machine"));
-        });
-        net.run_until(SimTime::from_secs(4));
-        assert_eq!(
-            net.actor(MachineId::new(0))
-                .expect("machine is registered on the mesh")
-                .read::<Counter, _>(obj, |c| c.n),
-            Some(4)
-        );
-    }
-
-    #[test]
-    fn unknown_object_issue_does_not_poison_protocol() {
-        let mut net = fast_cluster(2, 61);
-        net.run_until(SimTime::from_secs(1));
-        let bogus = ObjectId::new(MachineId::new(9), 0);
-        net.call(MachineId::new(1), |m, _| {
-            assert!(m
-                .issue(SharedOp::primitive(bogus, "add", args![1]))
-                .is_err());
-        });
-        net.run_until(SimTime::from_secs(3));
-        // Rounds still complete.
-        assert!(
-            net.actor(MachineId::new(0))
-                .expect("machine is registered on the mesh")
-                .stats()
-                .syncs_seen
-                > 5
-        );
-    }
-
-    #[test]
-    fn empty_registry_types_are_queryable() {
-        let r: Arc<OpRegistry> = Arc::new(counter_registry());
-        assert!(r.has_type("Counter"));
-        assert!(r.has_method("Counter", "add_capped"));
-    }
-}
-
-#[cfg(test)]
-mod reorder_tests {
-    //! White-box schedules that force cross-channel reordering: the
-    //! Operations channel outruns the Signals channel, so `Ops` batches
-    //! (and even `BeginApply`) arrive before their round's `BeginSync` and
-    //! must be buffered.
-
-    use super::*;
-    use crate::config::MachineConfig;
-    use crate::testutil::{counter_registry, Counter};
-    use guesstimate_core::{args, SharedOp};
-    use guesstimate_net::{LatencyModel, NetConfig, SimNet};
-    use std::sync::Arc;
-
-    fn skewed_cluster(n: u32, ops_ms: u64, signals_ms: u64, seed: u64) -> SimNet<Machine> {
-        let registry = Arc::new(counter_registry());
-        let netcfg = NetConfig::lan(seed)
-            .with_latency(LatencyModel::constant_ms(ops_ms))
-            .with_signals_latency(LatencyModel::constant_ms(signals_ms));
-        let cfg = MachineConfig::default()
-            .with_sync_period(SimTime::from_millis(100))
-            .with_stall_timeout(SimTime::from_secs(2))
-            .with_join_retry(SimTime::from_millis(300));
-        let mut net = SimNet::new(netcfg);
-        net.add_machine(
-            MachineId::new(0),
-            Machine::new_master(MachineId::new(0), registry.clone(), cfg.clone()),
-        );
-        for i in 1..n {
-            net.add_machine(
-                MachineId::new(i),
-                Machine::new_member(MachineId::new(i), registry.clone(), cfg.clone()),
-            );
-        }
-        net
-    }
-
-    fn converged(net: &SimNet<Machine>, n: u32) -> bool {
-        let d0 = net
-            .actor(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .committed_digest();
-        (1..n).all(|i| {
-            net.actor(MachineId::new(i))
-                .expect("machine is registered on the mesh")
-                .committed_digest()
-                == d0
-        }) && (0..n).all(|i| {
-            net.actor(MachineId::new(i))
-                .expect("machine is registered on the mesh")
-                .pending_len()
-                == 0
-        })
-    }
-
-    #[test]
-    fn fast_ops_channel_forces_buffering_and_still_converges() {
-        // Ops arrive in 1 ms; signals take 40 ms. Every round's Ops batch
-        // lands long before its BeginSync.
-        let mut net = skewed_cluster(3, 1, 40, 71);
-        net.run_until(SimTime::from_secs(3));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(5));
-        for i in 0..3u32 {
-            for k in 0..8u64 {
-                net.schedule_call(
-                    SimTime::from_secs(5) + SimTime::from_millis(60 * k + 7 * u64::from(i)),
-                    MachineId::new(i),
-                    move |m: &mut Machine, _| {
-                        let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
-                    },
-                );
-            }
-        }
-        net.run_until(SimTime::from_secs(12));
-        assert!(converged(&net, 3));
-        assert_eq!(
-            net.actor(MachineId::new(1))
-                .expect("machine is registered on the mesh")
-                .read::<Counter, _>(obj, |c| c.n),
-            Some(24)
-        );
-        for i in 0..3 {
-            let m = net
-                .actor(MachineId::new(i))
-                .expect("machine is registered on the mesh");
-            assert!(m.check_guess_invariant());
-            assert!(m.stats().max_exec_count <= 3);
-        }
-    }
-
-    #[test]
-    fn slow_ops_channel_delays_apply_until_batches_arrive() {
-        // The opposite skew: signals race ahead (1 ms) while op batches
-        // crawl (50 ms), so BeginApply regularly precedes the data it
-        // authorizes and machines must wait (or request resends).
-        let mut net = skewed_cluster(3, 50, 1, 73);
-        net.run_until(SimTime::from_secs(3));
-        let obj = net
-            .actor_mut(MachineId::new(0))
-            .expect("machine is registered on the mesh")
-            .create_instance(Counter { n: 0 });
-        net.run_until(SimTime::from_secs(5));
-        for i in 0..3u32 {
-            net.call(MachineId::new(i), |m, _| {
-                let _ = m.issue(SharedOp::primitive(obj, "add", args![2]));
-            });
-        }
-        net.run_until(SimTime::from_secs(12));
-        assert!(converged(&net, 3));
-        assert_eq!(
-            net.actor(MachineId::new(2))
-                .expect("machine is registered on the mesh")
-                .read::<Counter, _>(obj, |c| c.n),
-            Some(6)
-        );
-    }
-
-    #[test]
-    fn buffered_rounds_are_bounded() {
-        // The future-round buffer must not grow without bound even when a
-        // machine is starved of BeginSyncs (signals crawl at 300 ms while
-        // the master keeps producing rounds).
-        let mut net = skewed_cluster(2, 1, 300, 79);
-        net.run_until(SimTime::from_secs(20));
-        for i in 0..2 {
-            let m = net
-                .actor(MachineId::new(i))
-                .expect("machine is registered on the mesh");
-            assert!(
-                m.buffered.len() <= 8,
-                "m{i}: buffer bounded, got {}",
-                m.buffered.len()
-            );
-        }
     }
 }

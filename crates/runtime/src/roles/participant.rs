@@ -1,0 +1,604 @@
+//! The participant side of the §4 synchronizer: flushing into rounds,
+//! collecting the consolidated list, applying and acknowledging.
+//!
+//! Every machine — the master included — participates in rounds through
+//! this role. It owns the per-round [`RoundState`], the buffer for round
+//! messages that arrive before their `BeginSync` (the Signals and
+//! Operations channels are independently delayed, so reordering is
+//! normal), and the machine's committed progress (`last_round_applied`).
+//! Flushing and applying touch the replicated stores, so those are
+//! [`Effect`]s lowered by the composer; everything decided *about* the
+//! round — when to flush, when a duplicate signal needs re-answering,
+//! when a gap forces a restart — is decided here, purely.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use guesstimate_core::{MachineId, OpId};
+use guesstimate_net::{Channel, SimTime, TraceEvent};
+
+use crate::config::MachineConfig;
+use crate::message::{Msg, WireOp};
+use crate::roles::{Effect, OpsBatch};
+
+/// Participant-side state of the round in progress (the master keeps one
+/// too — it participates like everyone else).
+#[derive(Debug)]
+pub struct RoundState {
+    /// Round number.
+    pub(crate) round: u64,
+    /// Flush order announced in `BeginSync` (master first).
+    pub(crate) order: Vec<MachineId>,
+    /// Machines the master removed from this round.
+    pub(crate) removed: BTreeSet<MachineId>,
+    /// Whether this machine has flushed its pending list.
+    pub(crate) flushed: bool,
+    /// The batch this machine flushed, kept for recovery resends. Shared
+    /// behind an [`Arc`]: the broadcast fan-out and any `OpsRequest` reply
+    /// reuse it without copying envelopes.
+    pub(crate) my_flush: OpsBatch,
+    /// Per-machine flushed-op counts heard via `FlushDone` (turn-taking).
+    pub(crate) flush_done: BTreeMap<MachineId, u64>,
+    /// Operation batches received so far, per source machine.
+    pub(crate) received: BTreeMap<MachineId, BTreeMap<OpId, WireOp>>,
+    /// Authoritative per-machine counts from `BeginApply`, once known.
+    pub(crate) counts: Option<BTreeMap<MachineId, u64>>,
+    /// Whether this machine has applied the consolidated list.
+    pub(crate) applied: bool,
+    /// Sources already asked for a resend (one request per source per
+    /// `BeginApply`).
+    pub(crate) resend_requested: BTreeSet<MachineId>,
+}
+
+impl RoundState {
+    fn new(round: u64, order: Vec<MachineId>) -> Self {
+        RoundState {
+            round,
+            order,
+            removed: BTreeSet::new(),
+            flushed: false,
+            my_flush: Arc::new(Vec::new()),
+            flush_done: BTreeMap::new(),
+            received: BTreeMap::new(),
+            counts: None,
+            applied: false,
+            resend_requested: BTreeSet::new(),
+        }
+    }
+
+    /// Serial turn-taking: `me` may flush once every earlier machine in
+    /// the round order has flushed (or been removed).
+    pub(crate) fn my_turn(&self, me: MachineId) -> bool {
+        if self.flushed {
+            return false;
+        }
+        let Some(pos) = self.order.iter().position(|&m| m == me) else {
+            return false;
+        };
+        self.order[..pos]
+            .iter()
+            .all(|m| self.flush_done.contains_key(m) || self.removed.contains(m))
+    }
+}
+
+/// Inputs to the participant role. Round-scoped events are only fed for
+/// the active round (the composer routes and buffers by round number).
+#[derive(Debug)]
+pub enum ParticipantEvent {
+    /// The master started (or re-announced) a round.
+    BeginSync {
+        /// Round number.
+        round: u64,
+        /// Flush order (also the participant set).
+        order: Vec<MachineId>,
+        /// Whether this machine currently counts itself in the cohort.
+        in_cohort: bool,
+    },
+    /// A batch of operations arrived on the Operations channel.
+    Ops {
+        /// The flushing machine.
+        machine: MachineId,
+        /// Its batch (shared, not copied).
+        ops: OpsBatch,
+    },
+    /// The master announced the authoritative per-machine counts.
+    BeginApply {
+        /// Round number.
+        round: u64,
+        /// The counts.
+        counts: Vec<(MachineId, u64)>,
+    },
+    /// A machine asked us to resend our flushed batch.
+    OpsRequest {
+        /// Round number.
+        round: u64,
+        /// Who is asking.
+        requester: MachineId,
+    },
+    /// The master flagged the round complete.
+    SyncComplete,
+    /// The master removed machines from the round.
+    RoundUpdate {
+        /// The removed machines.
+        removed: Vec<MachineId>,
+    },
+}
+
+/// The participant state machine: one per machine, master included.
+#[derive(Debug)]
+pub struct ParticipantRole {
+    me: MachineId,
+    /// The round in progress, if any.
+    pub(crate) round: Option<RoundState>,
+    /// Round messages that arrived before their `BeginSync`, keyed by
+    /// round number.
+    pub(crate) buffered: BTreeMap<u64, Vec<(MachineId, Msg)>>,
+    /// The highest round this machine has applied.
+    pub(crate) last_round_applied: Option<u64>,
+}
+
+impl ParticipantRole {
+    /// A fresh role for machine `me`.
+    pub fn new(me: MachineId) -> Self {
+        ParticipantRole {
+            me,
+            round: None,
+            buffered: BTreeMap::new(),
+            last_round_applied: None,
+        }
+    }
+
+    /// The active round number, if any.
+    pub fn active_round(&self) -> Option<u64> {
+        self.round.as_ref().map(|rs| rs.round)
+    }
+
+    /// The highest round this machine has applied.
+    pub fn last_round_applied(&self) -> Option<u64> {
+        self.last_round_applied
+    }
+
+    /// How many early rounds are currently buffered.
+    pub fn buffered_rounds(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Buffers a round message that arrived before its `BeginSync`.
+    /// Rounds at or below the applied watermark are dropped; the buffer is
+    /// bounded to the 8 highest rounds.
+    pub(crate) fn buffer_early(&mut self, round: u64, from: MachineId, msg: Msg) {
+        if round > self.last_round_applied.unwrap_or(0) {
+            self.buffered.entry(round).or_default().push((from, msg));
+            while self.buffered.len() > 8 {
+                self.buffered.pop_first();
+            }
+        }
+    }
+
+    /// Pure transition: consumes one event, returns the effects to lower.
+    pub fn step(
+        &mut self,
+        ev: ParticipantEvent,
+        _now: SimTime,
+        cfg: &MachineConfig,
+    ) -> Vec<Effect> {
+        match ev {
+            ParticipantEvent::BeginSync {
+                round,
+                order,
+                in_cohort,
+            } => self.on_begin_sync(round, order, in_cohort, cfg),
+            ParticipantEvent::Ops { machine, ops } => {
+                let Some(rs) = self.round.as_mut() else {
+                    return Vec::new();
+                };
+                if rs.applied {
+                    return Vec::new();
+                }
+                let n = ops.len() as u64;
+                let entry = rs.received.entry(machine).or_default();
+                for e in ops.iter() {
+                    entry.insert(e.id, e.op.clone());
+                }
+                vec![
+                    Effect::Trace(TraceEvent::OpsBatchReceived {
+                        round: rs.round,
+                        from: machine,
+                        ops: n,
+                    }),
+                    Effect::TryApply,
+                ]
+            }
+            ParticipantEvent::BeginApply { round, counts } => {
+                let Some(rs) = self.round.as_mut() else {
+                    return Vec::new();
+                };
+                if rs.applied {
+                    // Duplicate BeginApply (recovery): our Ack probably got
+                    // lost.
+                    let master = rs.order[0];
+                    if master != self.me {
+                        return vec![Effect::Send {
+                            to: master,
+                            channel: Channel::Signals,
+                            msg: Msg::Ack {
+                                round,
+                                machine: self.me,
+                            },
+                        }];
+                    }
+                    return Vec::new();
+                }
+                if rs.counts.is_some() {
+                    // Duplicate BeginApply while we are still waiting for
+                    // operation batches: the earlier OpsRequest (or its
+                    // reply) was probably lost — allow a fresh resend
+                    // request per source.
+                    rs.resend_requested.clear();
+                }
+                rs.counts = Some(counts.into_iter().collect());
+                vec![Effect::TryApply]
+            }
+            ParticipantEvent::OpsRequest { round, requester } => {
+                let Some(rs) = self.round.as_ref() else {
+                    return Vec::new();
+                };
+                if rs.round == round && rs.flushed {
+                    vec![Effect::Send {
+                        to: requester,
+                        channel: Channel::Operations,
+                        msg: Msg::Ops {
+                            round,
+                            machine: self.me,
+                            ops: Arc::clone(&rs.my_flush),
+                        },
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            ParticipantEvent::SyncComplete => {
+                let Some(rs) = self.round.as_ref() else {
+                    return Vec::new();
+                };
+                let round = rs.round;
+                if rs.applied {
+                    self.round = None;
+                    vec![
+                        Effect::CountSync,
+                        Effect::Trace(TraceEvent::SyncCompleteReceived { round }),
+                    ]
+                } else {
+                    // The round completed globally but we never applied it:
+                    // we have a committed-state gap and must resync.
+                    vec![Effect::SelfRestart]
+                }
+            }
+            ParticipantEvent::RoundUpdate { removed } => {
+                if removed.contains(&self.me) {
+                    // The master gave up on us this round; resync
+                    // immediately rather than waiting for the (possibly
+                    // lost) Restart signal.
+                    return vec![Effect::SelfRestart];
+                }
+                let Some(rs) = self.round.as_mut() else {
+                    return Vec::new();
+                };
+                rs.removed.extend(removed.iter().copied());
+                vec![Effect::MaybeFlushOnTurn, Effect::TryApply]
+            }
+        }
+    }
+
+    fn on_begin_sync(
+        &mut self,
+        round: u64,
+        order: Vec<MachineId>,
+        in_cohort: bool,
+        cfg: &MachineConfig,
+    ) -> Vec<Effect> {
+        let me_in = order.contains(&self.me);
+        let mut fx = Vec::new();
+        if let Some(rs) = &self.round {
+            if rs.round == round {
+                // Duplicate or recovery nudge: make our flush visible again.
+                if me_in {
+                    if rs.flushed {
+                        fx.push(Effect::RebroadcastFlush);
+                    } else {
+                        fx.push(Effect::Flush);
+                    }
+                }
+                return fx;
+            }
+            if rs.round > round {
+                return fx;
+            }
+            // A new round is starting while the previous one never finished
+            // for us. If we applied it, we only missed the SyncComplete and
+            // are still consistent; otherwise we have a committed-state gap.
+            if rs.applied {
+                fx.push(Effect::CountSync);
+                self.round = None;
+            } else {
+                fx.push(Effect::SelfRestart);
+                return fx;
+            }
+        }
+        if !me_in {
+            if in_cohort {
+                // Evicted (our Restart signal was probably lost): resync.
+                fx.push(Effect::SelfRestart);
+            }
+            return fx;
+        }
+        if let Some(last) = self.last_round_applied {
+            if round > last + 1 {
+                // We missed at least one whole round: committed-state gap.
+                fx.push(Effect::SelfRestart);
+                return fx;
+            }
+        } else {
+            self.last_round_applied = Some(round.saturating_sub(1));
+        }
+        fx.push(Effect::JoinCohort);
+        self.round = Some(RoundState::new(round, order));
+        let buffered = self.buffered.remove(&round).unwrap_or_default();
+        self.buffered.retain(|&r, _| r > round);
+        if cfg.parallel_flush {
+            fx.push(Effect::Flush);
+        } else {
+            fx.push(Effect::MaybeFlushOnTurn);
+        }
+        fx.push(Effect::ReplayBuffered(buffered));
+        fx
+    }
+
+    /// Installs the local round for a round this machine itself initiates
+    /// (the master's own participation), mirroring the `BeginSync` path
+    /// without the membership checks.
+    pub(crate) fn start_local_round(&mut self, round: u64, order: Vec<MachineId>) {
+        self.round = Some(RoundState::new(round, order));
+        if self.last_round_applied.is_none() {
+            self.last_round_applied = Some(round.saturating_sub(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Pure step-level tests: no net driver — events in, effects out.
+
+    use super::*;
+    use crate::message::WireEnvelope;
+    use guesstimate_core::{ObjectId, OpId, SharedOp};
+
+    fn id(n: u32) -> MachineId {
+        MachineId::new(n)
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::default()
+    }
+
+    fn order2() -> Vec<MachineId> {
+        vec![id(0), id(1)]
+    }
+
+    fn begin_sync(round: u64) -> ParticipantEvent {
+        ParticipantEvent::BeginSync {
+            round,
+            order: order2(),
+            in_cohort: true,
+        }
+    }
+
+    fn batch(machine: u32, n: u64) -> OpsBatch {
+        Arc::new(
+            (0..n)
+                .map(|i| WireEnvelope {
+                    id: OpId::new(MachineId::new(machine), i),
+                    op: WireOp::Shared(SharedOp::primitive(
+                        ObjectId::new(MachineId::new(machine), 0),
+                        "noop",
+                        vec![],
+                    )),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn begin_sync_installs_round_and_takes_turn() {
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        let fx = p.step(begin_sync(1), SimTime::ZERO, &c);
+        assert!(matches!(
+            fx[..],
+            [
+                Effect::JoinCohort,
+                Effect::MaybeFlushOnTurn,
+                Effect::ReplayBuffered(_)
+            ]
+        ));
+        assert_eq!(p.active_round(), Some(1));
+        assert_eq!(p.last_round_applied(), Some(0), "watermark seeded");
+    }
+
+    #[test]
+    fn duplicate_begin_sync_reflushes_or_rebroadcasts() {
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(1), SimTime::ZERO, &c);
+        // Not yet flushed: the nudge re-runs the flush.
+        let fx = p.step(begin_sync(1), SimTime::ZERO, &c);
+        assert!(matches!(fx[..], [Effect::Flush]));
+        // Flushed: the nudge only re-announces it.
+        p.round.as_mut().unwrap().flushed = true;
+        let fx = p.step(begin_sync(1), SimTime::ZERO, &c);
+        assert!(matches!(fx[..], [Effect::RebroadcastFlush]));
+    }
+
+    #[test]
+    fn round_gap_forces_a_restart() {
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(1), SimTime::ZERO, &c);
+        p.round.as_mut().unwrap().applied = true;
+        p.last_round_applied = Some(1);
+        // Round 3 announced but round 2 never reached us.
+        let fx = p.step(begin_sync(3), SimTime::ZERO, &c);
+        assert!(matches!(fx[..], [Effect::CountSync, Effect::SelfRestart]));
+    }
+
+    #[test]
+    fn ops_accumulate_until_counts_allow_apply() {
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(1), SimTime::ZERO, &c);
+        let fx = p.step(
+            ParticipantEvent::Ops {
+                machine: id(0),
+                ops: batch(0, 2),
+            },
+            SimTime::ZERO,
+            &c,
+        );
+        assert!(matches!(
+            fx[..],
+            [
+                Effect::Trace(TraceEvent::OpsBatchReceived { ops: 2, .. }),
+                Effect::TryApply
+            ]
+        ));
+        let fx = p.step(
+            ParticipantEvent::BeginApply {
+                round: 1,
+                counts: vec![(id(0), 2), (id(1), 0)],
+            },
+            SimTime::ZERO,
+            &c,
+        );
+        assert!(matches!(fx[..], [Effect::TryApply]));
+        assert_eq!(
+            p.round.as_ref().unwrap().received[&id(0)].len(),
+            2,
+            "batch retained for the apply"
+        );
+    }
+
+    #[test]
+    fn duplicate_begin_apply_after_apply_reacks() {
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(1), SimTime::ZERO, &c);
+        p.round.as_mut().unwrap().applied = true;
+        let fx = p.step(
+            ParticipantEvent::BeginApply {
+                round: 1,
+                counts: vec![(id(0), 0), (id(1), 0)],
+            },
+            SimTime::ZERO,
+            &c,
+        );
+        assert!(matches!(
+            fx[..],
+            [Effect::Send { to, msg: Msg::Ack { round: 1, .. }, .. }] if to == id(0)
+        ));
+    }
+
+    #[test]
+    fn ops_request_reshares_the_flush_without_copying() {
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(1), SimTime::ZERO, &c);
+        {
+            let rs = p.round.as_mut().unwrap();
+            rs.flushed = true;
+            rs.my_flush = batch(1, 3);
+        }
+        let fx = p.step(
+            ParticipantEvent::OpsRequest {
+                round: 1,
+                requester: id(0),
+            },
+            SimTime::ZERO,
+            &c,
+        );
+        let Effect::Send {
+            msg: Msg::Ops { ops, .. },
+            ..
+        } = &fx[0]
+        else {
+            panic!("Ops resend expected, got {:?}", fx[0]);
+        };
+        assert!(
+            Arc::ptr_eq(ops, &p.round.as_ref().unwrap().my_flush),
+            "resend shares the stored batch"
+        );
+    }
+
+    #[test]
+    fn premature_sync_complete_restarts() {
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(1), SimTime::ZERO, &c);
+        let fx = p.step(ParticipantEvent::SyncComplete, SimTime::ZERO, &c);
+        assert!(matches!(fx[..], [Effect::SelfRestart]));
+        // After applying, the same signal ends the round cleanly.
+        p.round.as_mut().unwrap().applied = true;
+        let fx = p.step(ParticipantEvent::SyncComplete, SimTime::ZERO, &c);
+        assert!(matches!(
+            fx[..],
+            [
+                Effect::CountSync,
+                Effect::Trace(TraceEvent::SyncCompleteReceived { round: 1 })
+            ]
+        ));
+        assert!(p.round.is_none());
+    }
+
+    #[test]
+    fn removal_of_self_restarts_removal_of_peer_unblocks() {
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(1), SimTime::ZERO, &c);
+        let fx = p.step(
+            ParticipantEvent::RoundUpdate {
+                removed: vec![id(0)],
+            },
+            SimTime::ZERO,
+            &c,
+        );
+        assert!(matches!(
+            fx[..],
+            [Effect::MaybeFlushOnTurn, Effect::TryApply]
+        ));
+        assert!(
+            p.round.as_ref().unwrap().my_turn(id(1)),
+            "peer removal passes the turn"
+        );
+        let fx = p.step(
+            ParticipantEvent::RoundUpdate {
+                removed: vec![id(1)],
+            },
+            SimTime::ZERO,
+            &c,
+        );
+        assert!(matches!(fx[..], [Effect::SelfRestart]));
+    }
+
+    #[test]
+    fn early_round_buffer_is_bounded_to_eight_rounds() {
+        let mut p = ParticipantRole::new(id(1));
+        for r in 1..=12 {
+            p.buffer_early(r, id(0), Msg::SyncComplete { round: r });
+        }
+        assert_eq!(p.buffered_rounds(), 8);
+        assert!(p.buffered.keys().min() == Some(&5), "oldest rounds evicted");
+        // Rounds at or below the applied watermark are dropped outright.
+        p.last_round_applied = Some(20);
+        p.buffer_early(20, id(0), Msg::SyncComplete { round: 20 });
+        assert_eq!(p.buffered_rounds(), 8);
+    }
+}

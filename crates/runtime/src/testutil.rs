@@ -6,7 +6,8 @@ use guesstimate_core::{EffectSpec, Footprint, GState, OpRegistry, RestoreError, 
 
 /// A counter with a non-negativity precondition — the minimal shared object.
 #[derive(Clone, Default, Debug, PartialEq)]
-pub(crate) struct Counter {
+pub struct Counter {
+    /// Current value.
     pub n: i64,
 }
 
@@ -26,7 +27,7 @@ impl GState for Counter {
 /// * `add_capped(d, cap)` — additionally fails if the counter would exceed
 ///   `cap` (an easy way to manufacture commit-time conflicts);
 /// * `set(v)` — unconditional.
-pub(crate) fn counter_registry() -> OpRegistry {
+pub fn counter_registry() -> OpRegistry {
     let mut r = OpRegistry::new();
     r.register_type::<Counter>();
     r.register_method::<Counter>("add", |c, a| {
@@ -58,7 +59,8 @@ pub(crate) fn counter_registry() -> OpRegistry {
 /// A string-keyed map of integer slots — the minimal object with a
 /// non-trivial footprint structure (each slot is its own state key).
 #[derive(Clone, Default, Debug, PartialEq)]
-pub(crate) struct Slots {
+pub struct Slots {
+    /// Slot contents, keyed by slot name.
     pub m: BTreeMap<String, i64>,
 }
 
@@ -92,7 +94,7 @@ impl GState for Slots {
 /// * `put(key, v)` — writes one slot, with a declared per-key footprint;
 /// * `raw_put(key, v)` — same behavior but **no** declared effect, so the
 ///   replay-skip judgment cannot reason about it.
-pub(crate) fn slots_registry() -> OpRegistry {
+pub fn slots_registry() -> OpRegistry {
     let mut r = OpRegistry::new();
     r.register_type::<Slots>();
     r.register_with_effects::<Slots>(

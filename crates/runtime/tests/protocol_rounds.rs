@@ -1,0 +1,794 @@
+//! End-to-end synchronization-round tests, driven through the public API
+//! over the deterministic virtual-time mesh: convergence, conflicts,
+//! bounded re-execution, membership churn, recovery, and cross-channel
+//! reordering.
+
+mod rounds {
+    use guesstimate_core::{args, MachineId, ObjectId, OpRegistry, SharedOp};
+    use guesstimate_net::{FaultPlan, LatencyModel, NetConfig, SimNet, SimTime, StallWindow};
+    use guesstimate_runtime::testutil::{counter_registry, Counter};
+    use guesstimate_runtime::{Machine, MachineConfig};
+    use std::sync::Arc;
+
+    fn cluster(
+        n: u32,
+        seed: u64,
+        latency: LatencyModel,
+        faults: FaultPlan,
+        cfg: MachineConfig,
+    ) -> SimNet<Machine> {
+        let registry = Arc::new(counter_registry());
+        let netcfg = NetConfig::lan(seed)
+            .with_latency(latency)
+            .with_faults(faults);
+        let mut net = SimNet::new(netcfg);
+        net.add_machine(
+            MachineId::new(0),
+            Machine::new_master(MachineId::new(0), registry.clone(), cfg.clone()),
+        );
+        for i in 1..n {
+            net.add_machine(
+                MachineId::new(i),
+                Machine::new_member(MachineId::new(i), registry.clone(), cfg.clone()),
+            );
+        }
+        net
+    }
+
+    fn default_cfg() -> MachineConfig {
+        // paranoid_checks: every protocol step re-validates `sg = [P](sc)`,
+        // so these tests no longer need ad-hoc mid-run invariant calls.
+        MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(100))
+            .with_stall_timeout(SimTime::from_millis(500))
+            .with_join_retry(SimTime::from_millis(300))
+            .with_paranoid_checks(true)
+    }
+
+    fn fast_cluster(n: u32, seed: u64) -> SimNet<Machine> {
+        cluster(
+            n,
+            seed,
+            LatencyModel::constant_ms(10),
+            FaultPlan::new(),
+            default_cfg(),
+        )
+    }
+
+    fn assert_converged(net: &SimNet<Machine>, ids: &[u32]) {
+        let digests: Vec<u64> = ids
+            .iter()
+            .map(|&i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine is registered on the mesh")
+                    .committed_digest()
+            })
+            .collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "committed states diverged: {digests:?}"
+        );
+        for &i in ids {
+            let m = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh");
+            assert_eq!(m.pending_len(), 0, "machine {i} still has pending ops");
+            assert_eq!(
+                m.guess_digest(),
+                m.committed_digest(),
+                "machine {i}: sg != sc at quiescence"
+            );
+        }
+    }
+
+    #[test]
+    fn two_machines_converge_on_counter() {
+        let mut net = fast_cluster(2, 1);
+        // Let membership settle and create the object on the master.
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(2));
+        // Both machines see the object now; both add.
+        for i in 0..2 {
+            let m = net
+                .actor_mut(MachineId::new(i))
+                .expect("machine is registered on the mesh");
+            assert_eq!(m.object_type(obj), Some("Counter"));
+            assert!(m
+                .issue(SharedOp::primitive(obj, "add", args![1]))
+                .expect("issue: the target object is known to this machine"));
+        }
+        net.run_until(SimTime::from_secs(4));
+        assert_converged(&net, &[0, 1]);
+        for i in 0..2 {
+            let m = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh");
+            assert_eq!(m.read::<Counter, _>(obj, |c| c.n), Some(2));
+        }
+    }
+
+    #[test]
+    fn eight_machines_converge_under_load() {
+        let mut net = fast_cluster(8, 7);
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(2));
+        // Every machine issues 5 increments at staggered times.
+        for i in 0..8u32 {
+            for k in 0..5u64 {
+                net.schedule_call(
+                    SimTime::from_millis(2_000 + 97 * k + 13 * i as u64),
+                    MachineId::new(i),
+                    move |m: &mut Machine, _| {
+                        let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
+                    },
+                );
+            }
+        }
+        net.run_until(SimTime::from_secs(8));
+        assert_converged(&net, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(
+            net.actor(MachineId::new(3))
+                .expect("machine is registered on the mesh")
+                .read::<Counter, _>(obj, |c| c.n),
+            Some(40)
+        );
+    }
+
+    #[test]
+    fn conflicting_ops_commit_consistently_and_count_conflicts() {
+        let mut net = fast_cluster(4, 3);
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(2));
+        // All four try to claim the last 2 units of a capacity-3 resource
+        // in the same round: at most 3 add_capped(1, 3) can succeed.
+        for i in 0..4 {
+            net.schedule_call(
+                SimTime::from_millis(2_010 + i as u64),
+                MachineId::new(i),
+                move |m: &mut Machine, _| {
+                    let ok = m
+                        .issue(SharedOp::primitive(obj, "add_capped", args![1, 3]))
+                        .expect("issue: the target object is known to this machine");
+                    assert!(ok, "succeeds optimistically on the guesstimate");
+                },
+            );
+        }
+        net.run_until(SimTime::from_secs(5));
+        assert_converged(&net, &[0, 1, 2, 3]);
+        let n = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .read::<Counter, _>(obj, |c| c.n)
+            .expect("the object is replicated on this machine");
+        assert_eq!(n, 3, "cap respected in committed state");
+        let conflicts: u64 = (0..4)
+            .map(|i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine is registered on the mesh")
+                    .stats()
+                    .conflicts
+            })
+            .sum();
+        assert_eq!(conflicts, 1, "exactly one issuer lost the race");
+    }
+
+    #[test]
+    fn completion_reports_commit_failure_on_conflict() {
+        use std::sync::atomic::{AtomicI32, Ordering};
+        let mut net = fast_cluster(2, 11);
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(2));
+        let seen = Arc::new(AtomicI32::new(-1));
+        // m0's op sorts first (smaller machine id) and wins; m1's loses.
+        let s = seen.clone();
+        net.call(MachineId::new(0), |m, _| {
+            assert!(m
+                .issue(SharedOp::primitive(obj, "add_capped", args![3, 3]))
+                .expect("issue: the target object is known to this machine"));
+        });
+        net.call(MachineId::new(1), |m, _| {
+            assert!(m
+                .issue_with_completion(
+                    SharedOp::primitive(obj, "add_capped", args![3, 3]),
+                    Box::new(move |b| s.store(b as i32, Ordering::SeqCst)),
+                )
+                .expect("issue: the target object is known to this machine"));
+        });
+        net.run_until(SimTime::from_secs(4));
+        assert_eq!(seen.load(Ordering::SeqCst), 0, "completion saw failure");
+        assert_eq!(
+            net.actor(MachineId::new(1))
+                .expect("machine is registered on the mesh")
+                .stats()
+                .conflicts,
+            1
+        );
+        assert_converged(&net, &[0, 1]);
+    }
+
+    #[test]
+    fn own_ops_execute_at_most_three_times() {
+        let mut net = fast_cluster(5, 13);
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(2));
+        // Dense issue schedule so some ops land inside sync rounds (and get
+        // the extra replay execution).
+        for i in 0..5u32 {
+            for k in 0..40u64 {
+                net.schedule_call(
+                    SimTime::from_millis(2_000 + 11 * k + 3 * i as u64),
+                    MachineId::new(i),
+                    move |m: &mut Machine, _| {
+                        let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
+                    },
+                );
+            }
+        }
+        net.run_until(SimTime::from_secs(10));
+        assert_converged(&net, &[0, 1, 2, 3, 4]);
+        for i in 0..5 {
+            let st = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh")
+                .stats();
+            assert!(
+                st.max_exec_count <= 3,
+                "machine {i}: op executed {} times",
+                st.max_exec_count
+            );
+            assert!(st.exec_histogram[2] > 0, "some ops executed twice");
+        }
+        // With a dense schedule, at least someone's op got the 3rd execution.
+        let threes: u64 = (0..5)
+            .map(|i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine is registered on the mesh")
+                    .stats()
+                    .exec_histogram[3]
+            })
+            .sum();
+        assert!(threes > 0, "expected some triple executions");
+    }
+
+    #[test]
+    fn late_joiner_receives_full_state() {
+        let mut net = fast_cluster(2, 17);
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.call(MachineId::new(0), |m, _| {
+            assert!(m
+                .issue(SharedOp::primitive(obj, "add", args![5]))
+                .expect("issue: the target object is known to this machine"));
+        });
+        net.run_until(SimTime::from_secs(3));
+        // Machine 2 joins late.
+        let registry = Arc::new(counter_registry());
+        net.schedule_join(
+            SimTime::from_secs(3),
+            MachineId::new(2),
+            Machine::new_member(MachineId::new(2), registry, default_cfg()),
+        );
+        net.run_until(SimTime::from_secs(6));
+        let late = net
+            .actor(MachineId::new(2))
+            .expect("machine is registered on the mesh");
+        assert!(late.in_cohort(), "late joiner participates in rounds");
+        assert_eq!(late.read::<Counter, _>(obj, |c| c.n), Some(5));
+        assert_converged(&net, &[0, 1, 2]);
+        // And it can issue ops that commit everywhere.
+        net.call(MachineId::new(2), |m, _| {
+            assert!(m
+                .issue(SharedOp::primitive(obj, "add", args![2]))
+                .expect("issue: the target object is known to this machine"));
+        });
+        net.run_until(SimTime::from_secs(8));
+        assert_eq!(
+            net.actor(MachineId::new(0))
+                .expect("machine is registered on the mesh")
+                .read::<Counter, _>(obj, |c| c.n),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn stalled_machine_is_removed_restarted_and_rejoins() {
+        // Machine 2 goes silent from t=4s to t=8s. The master should remove
+        // it from a round, restart it, and re-admit it afterwards — while
+        // the others keep committing (the §7 failure/recovery story).
+        let faults = FaultPlan::new().with_stall(StallWindow::new(
+            MachineId::new(2),
+            SimTime::from_secs(4),
+            SimTime::from_secs(8),
+        ));
+        let mut net = cluster(3, 23, LatencyModel::constant_ms(10), faults, default_cfg());
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(2));
+        // Continuous activity on machines 0 and 1 throughout.
+        for k in 0..80u64 {
+            net.schedule_call(
+                SimTime::from_millis(2_000 + k * 100),
+                MachineId::new((k % 2) as u32),
+                move |m: &mut Machine, _| {
+                    let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
+                },
+            );
+        }
+        net.run_until(SimTime::from_secs(14));
+        let master_stats = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .stats()
+            .clone();
+        let removals: u64 = master_stats.sync_samples.iter().map(|s| s.removals).sum();
+        assert!(removals >= 1, "master removed the stalled machine");
+        let m2 = net
+            .actor(MachineId::new(2))
+            .expect("machine is registered on the mesh");
+        assert!(m2.stats().restarts >= 1, "machine 2 restarted");
+        assert!(m2.in_cohort(), "machine 2 rejoined");
+        assert_converged(&net, &[0, 1, 2]);
+        assert_eq!(
+            m2.read::<Counter, _>(obj, |c| c.n),
+            Some(80),
+            "no committed updates were lost"
+        );
+    }
+
+    #[test]
+    fn survives_random_message_loss() {
+        let faults = FaultPlan::new().with_drop_prob(0.02);
+        let mut net = cluster(4, 29, LatencyModel::constant_ms(10), faults, default_cfg());
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(3));
+        for i in 0..4u32 {
+            for k in 0..10u64 {
+                net.schedule_call(
+                    SimTime::from_millis(3_000 + 151 * k + 17 * i as u64),
+                    MachineId::new(i),
+                    move |m: &mut Machine, _| {
+                        let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
+                    },
+                );
+            }
+        }
+        // Long quiet tail so recovery can finish.
+        net.run_until(SimTime::from_secs(30));
+        // All currently-in-cohort machines agree.
+        let in_cohort: Vec<u32> = (0..4)
+            .filter(|&i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine is registered on the mesh")
+                    .in_cohort()
+            })
+            .collect();
+        assert!(in_cohort.len() >= 2, "most machines still participating");
+        assert_converged(&net, &in_cohort);
+        // Committed value = 40 minus ops lost to restarts.
+        let lost: u64 = (0..4)
+            .map(|i| {
+                net.actor(MachineId::new(i))
+                    .expect("machine is registered on the mesh")
+                    .stats()
+                    .ops_lost_to_restart
+            })
+            .sum();
+        let n = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .read_committed::<Counter, _>(obj, |c| c.n)
+            .expect("the object is replicated on this machine");
+        assert_eq!(
+            n as u64 + lost,
+            40,
+            "every issued op committed or was lost to a restart"
+        );
+    }
+
+    #[test]
+    fn graceful_leave_shrinks_rounds() {
+        let mut net = fast_cluster(3, 31);
+        net.run_until(SimTime::from_secs(2));
+        assert_eq!(
+            net.actor(MachineId::new(0))
+                .expect("machine is registered on the mesh")
+                .members()
+                .len(),
+            3
+        );
+        net.call(MachineId::new(2), |m, ctx| m.leave(ctx));
+        net.run_until(SimTime::from_secs(4));
+        assert_eq!(
+            net.actor(MachineId::new(0))
+                .expect("machine is registered on the mesh")
+                .members()
+                .len(),
+            2
+        );
+        // Rounds keep completing with 2 participants.
+        let samples = &net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .stats()
+            .sync_samples;
+        let last = samples
+            .last()
+            .expect("the master completed at least one round");
+        assert_eq!(last.participants, 2);
+    }
+
+    #[test]
+    fn parallel_flush_converges_too() {
+        let cfg = default_cfg().with_parallel_flush(true);
+        let mut net = cluster(6, 37, LatencyModel::constant_ms(10), FaultPlan::new(), cfg);
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(2));
+        for i in 0..6 {
+            net.call(MachineId::new(i), |m, _| {
+                let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
+            });
+        }
+        net.run_until(SimTime::from_secs(5));
+        assert_converged(&net, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            net.actor(MachineId::new(5))
+                .expect("machine is registered on the mesh")
+                .read::<Counter, _>(obj, |c| c.n),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn sync_samples_are_recorded_with_plausible_durations() {
+        let mut net = fast_cluster(4, 41);
+        net.run_until(SimTime::from_secs(5));
+        let stats = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .stats();
+        assert!(stats.sync_samples.len() >= 10);
+        for s in &stats.sync_samples {
+            // With 10ms constant latency and 4 machines, a round takes a few
+            // dozen ms — never longer than the stall timeout in this test.
+            assert!(s.duration >= SimTime::from_millis(20), "{:?}", s);
+            assert!(s.duration < SimTime::from_millis(500), "{:?}", s);
+            assert!(!s.recovered());
+        }
+        // Serial flush: more participants, longer rounds (on average).
+        let early: Vec<_> = stats
+            .sync_samples
+            .iter()
+            .filter(|s| s.participants == 1)
+            .collect();
+        let late: Vec<_> = stats
+            .sync_samples
+            .iter()
+            .filter(|s| s.participants == 4)
+            .collect();
+        if let (Some(e), Some(l)) = (early.first(), late.first()) {
+            assert!(l.duration > e.duration);
+        }
+    }
+
+    #[test]
+    fn or_else_and_atomic_ops_flow_through_the_protocol() {
+        let mut net = fast_cluster(2, 43);
+        net.run_until(SimTime::from_secs(1));
+        let (a, b) = {
+            let m = net
+                .actor_mut(MachineId::new(0))
+                .expect("machine is registered on the mesh");
+            (
+                m.create_instance(Counter { n: 0 }),
+                m.create_instance(Counter { n: 0 }),
+            )
+        };
+        net.run_until(SimTime::from_secs(2));
+        net.call(MachineId::new(1), |m, _| {
+            // Atomic transfer-ish op plus an OrElse fallback.
+            let op = SharedOp::atomic(vec![
+                SharedOp::primitive(a, "add", args![-1]), // fails: would go negative
+                SharedOp::primitive(b, "add", args![1]),
+            ])
+            .or_else(SharedOp::primitive(b, "add", args![10]));
+            assert!(m
+                .issue(op)
+                .expect("issue: the target object is known to this machine"));
+        });
+        net.run_until(SimTime::from_secs(4));
+        assert_converged(&net, &[0, 1]);
+        let m0 = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh");
+        assert_eq!(m0.read::<Counter, _>(a, |c| c.n), Some(0));
+        assert_eq!(m0.read::<Counter, _>(b, |c| c.n), Some(10));
+    }
+
+    #[test]
+    fn registry_must_match_for_foreign_types() {
+        // A machine whose registry lacks a type cannot materialize foreign
+        // objects; creating locally panics upfront (checked in machine.rs).
+        // Here we verify the catalog propagates type names correctly.
+        let mut net = fast_cluster(2, 47);
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 3 });
+        net.run_until(SimTime::from_secs(3));
+        let m1 = net
+            .actor(MachineId::new(1))
+            .expect("machine is registered on the mesh");
+        assert_eq!(m1.object_type(obj), Some("Counter"));
+        assert_eq!(m1.available_objects().len(), 1);
+        assert_eq!(m1.read::<Counter, _>(obj, |c| c.n), Some(3));
+    }
+
+    #[test]
+    fn guess_state_reflects_local_ops_before_commit() {
+        // The heart of the model: reads see local effects immediately, even
+        // though the committed state lags until the next synchronization.
+        let mut net = fast_cluster(2, 53);
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(2));
+        let m0 = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh");
+        m0.issue(SharedOp::primitive(obj, "add", args![9]))
+            .expect("issue: the target object is known to this machine");
+        assert_eq!(m0.read::<Counter, _>(obj, |c| c.n), Some(9), "sg updated");
+        assert_eq!(
+            m0.read_committed::<Counter, _>(obj, |c| c.n),
+            Some(0),
+            "sc unchanged until commit"
+        );
+        assert_eq!(m0.pending_len(), 1);
+    }
+
+    /// Dedicated OpRegistry sharing test: two registries with the same
+    /// registrations behave identically (they need not be the same Arc).
+    #[test]
+    fn distinct_but_equal_registries_interoperate() {
+        let netcfg = NetConfig::lan(59).with_latency(LatencyModel::constant_ms(10));
+        let mut net = SimNet::new(netcfg);
+        net.add_machine(
+            MachineId::new(0),
+            Machine::new_master(
+                MachineId::new(0),
+                Arc::new(counter_registry()),
+                default_cfg(),
+            ),
+        );
+        net.add_machine(
+            MachineId::new(1),
+            Machine::new_member(
+                MachineId::new(1),
+                Arc::new(counter_registry()),
+                default_cfg(),
+            ),
+        );
+        net.run_until(SimTime::from_secs(1));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(2));
+        net.call(MachineId::new(1), |m, _| {
+            assert!(m
+                .issue(SharedOp::primitive(obj, "add", args![4]))
+                .expect("issue: the target object is known to this machine"));
+        });
+        net.run_until(SimTime::from_secs(4));
+        assert_eq!(
+            net.actor(MachineId::new(0))
+                .expect("machine is registered on the mesh")
+                .read::<Counter, _>(obj, |c| c.n),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn unknown_object_issue_does_not_poison_protocol() {
+        let mut net = fast_cluster(2, 61);
+        net.run_until(SimTime::from_secs(1));
+        let bogus = ObjectId::new(MachineId::new(9), 0);
+        net.call(MachineId::new(1), |m, _| {
+            assert!(m
+                .issue(SharedOp::primitive(bogus, "add", args![1]))
+                .is_err());
+        });
+        net.run_until(SimTime::from_secs(3));
+        // Rounds still complete.
+        assert!(
+            net.actor(MachineId::new(0))
+                .expect("machine is registered on the mesh")
+                .stats()
+                .syncs_seen
+                > 5
+        );
+    }
+
+    #[test]
+    fn empty_registry_types_are_queryable() {
+        let r: Arc<OpRegistry> = Arc::new(counter_registry());
+        assert!(r.has_type("Counter"));
+        assert!(r.has_method("Counter", "add_capped"));
+    }
+}
+
+mod reorder {
+    //! White-box schedules that force cross-channel reordering: the
+    //! Operations channel outruns the Signals channel, so `Ops` batches
+    //! (and even `BeginApply`) arrive before their round's `BeginSync` and
+    //! must be buffered.
+
+    use guesstimate_core::{args, MachineId, SharedOp};
+    use guesstimate_net::{LatencyModel, NetConfig, SimNet, SimTime};
+    use guesstimate_runtime::testutil::{counter_registry, Counter};
+    use guesstimate_runtime::{Machine, MachineConfig};
+    use std::sync::Arc;
+
+    fn skewed_cluster(n: u32, ops_ms: u64, signals_ms: u64, seed: u64) -> SimNet<Machine> {
+        let registry = Arc::new(counter_registry());
+        let netcfg = NetConfig::lan(seed)
+            .with_latency(LatencyModel::constant_ms(ops_ms))
+            .with_signals_latency(LatencyModel::constant_ms(signals_ms));
+        let cfg = MachineConfig::default()
+            .with_sync_period(SimTime::from_millis(100))
+            .with_stall_timeout(SimTime::from_secs(2))
+            .with_join_retry(SimTime::from_millis(300));
+        let mut net = SimNet::new(netcfg);
+        net.add_machine(
+            MachineId::new(0),
+            Machine::new_master(MachineId::new(0), registry.clone(), cfg.clone()),
+        );
+        for i in 1..n {
+            net.add_machine(
+                MachineId::new(i),
+                Machine::new_member(MachineId::new(i), registry.clone(), cfg.clone()),
+            );
+        }
+        net
+    }
+
+    fn converged(net: &SimNet<Machine>, n: u32) -> bool {
+        let d0 = net
+            .actor(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .committed_digest();
+        (1..n).all(|i| {
+            net.actor(MachineId::new(i))
+                .expect("machine is registered on the mesh")
+                .committed_digest()
+                == d0
+        }) && (0..n).all(|i| {
+            net.actor(MachineId::new(i))
+                .expect("machine is registered on the mesh")
+                .pending_len()
+                == 0
+        })
+    }
+
+    #[test]
+    fn fast_ops_channel_forces_buffering_and_still_converges() {
+        // Ops arrive in 1 ms; signals take 40 ms. Every round's Ops batch
+        // lands long before its BeginSync.
+        let mut net = skewed_cluster(3, 1, 40, 71);
+        net.run_until(SimTime::from_secs(3));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(5));
+        for i in 0..3u32 {
+            for k in 0..8u64 {
+                net.schedule_call(
+                    SimTime::from_secs(5) + SimTime::from_millis(60 * k + 7 * u64::from(i)),
+                    MachineId::new(i),
+                    move |m: &mut Machine, _| {
+                        let _ = m.issue(SharedOp::primitive(obj, "add", args![1]));
+                    },
+                );
+            }
+        }
+        net.run_until(SimTime::from_secs(12));
+        assert!(converged(&net, 3));
+        assert_eq!(
+            net.actor(MachineId::new(1))
+                .expect("machine is registered on the mesh")
+                .read::<Counter, _>(obj, |c| c.n),
+            Some(24)
+        );
+        for i in 0..3 {
+            let m = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh");
+            assert!(m.check_guess_invariant());
+            assert!(m.stats().max_exec_count <= 3);
+        }
+    }
+
+    #[test]
+    fn slow_ops_channel_delays_apply_until_batches_arrive() {
+        // The opposite skew: signals race ahead (1 ms) while op batches
+        // crawl (50 ms), so BeginApply regularly precedes the data it
+        // authorizes and machines must wait (or request resends).
+        let mut net = skewed_cluster(3, 50, 1, 73);
+        net.run_until(SimTime::from_secs(3));
+        let obj = net
+            .actor_mut(MachineId::new(0))
+            .expect("machine is registered on the mesh")
+            .create_instance(Counter { n: 0 });
+        net.run_until(SimTime::from_secs(5));
+        for i in 0..3u32 {
+            net.call(MachineId::new(i), |m, _| {
+                let _ = m.issue(SharedOp::primitive(obj, "add", args![2]));
+            });
+        }
+        net.run_until(SimTime::from_secs(12));
+        assert!(converged(&net, 3));
+        assert_eq!(
+            net.actor(MachineId::new(2))
+                .expect("machine is registered on the mesh")
+                .read::<Counter, _>(obj, |c| c.n),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn buffered_rounds_are_bounded() {
+        // The future-round buffer must not grow without bound even when a
+        // machine is starved of BeginSyncs (signals crawl at 300 ms while
+        // the master keeps producing rounds).
+        let mut net = skewed_cluster(2, 1, 300, 79);
+        net.run_until(SimTime::from_secs(20));
+        for i in 0..2 {
+            let m = net
+                .actor(MachineId::new(i))
+                .expect("machine is registered on the mesh");
+            assert!(
+                m.buffered_rounds() <= 8,
+                "m{i}: buffer bounded, got {}",
+                m.buffered_rounds()
+            );
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! Perfetto: one *track* (tid) per machine carrying instant events for
 //! protocol transitions, and one *async span* per operation stretching
 //! from issue to completion. Timestamps are microseconds — exactly
-//! [`SimTime::as_micros`], so virtual time maps 1:1 onto the viewer's
+//! [`guesstimate_net::SimTime::as_micros`], so virtual time maps 1:1 onto the viewer's
 //! timeline.
 
 use std::collections::BTreeSet;

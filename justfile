@@ -1,7 +1,7 @@
 # Developer workflow. Run `just check` before sending a change.
 
 # Everything CI would run, in order.
-check: fmt clippy test analyze mc-smoke bench-snapshot
+check: fmt clippy doc test analyze mc-smoke bench-snapshot
 
 # Formatting gate (no writes).
 fmt:
@@ -10,6 +10,11 @@ fmt:
 # Lint gate: the whole workspace, tests and bins included, warnings fatal.
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Doc gate: rustdoc warnings (broken intra-doc links, missing docs on the
+# public protocol surface) are fatal.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 # The full test suite (unit + integration + doctests, every crate).
 test:

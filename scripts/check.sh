@@ -5,6 +5,9 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Doc gate: rustdoc warnings (broken intra-doc links, missing docs on the
+# public protocol surface) are fatal.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 cargo test --workspace -q
 # Effect-analysis lint: undeclared effects, footprint under-approximations
 # and nondeterminism in any bundled app fail the check (docs/ANALYSIS.md).
