@@ -193,7 +193,7 @@ fn analyze_microblog() -> AppReport {
     spaces.push(MethodSpace {
         method: "unfollow".to_owned(),
         args: unfollow_args,
-        args_exhaustive: false,
+        args_exhaustive: true,
     });
     analyze_app(
         &reg,
@@ -236,12 +236,19 @@ fn main() {
     for r in &reports {
         println!("{}", r.format_matrix());
         let m = r.commute_matrix();
+        let universal = r.universal_commuters();
         println!(
-            "  pairs: {} · validated always-commute: {} · violations: {}\n",
+            "  pairs: {} · validated always-commute: {} · violations: {}",
             r.pairs.len(),
             m.len(),
             r.violations.len()
         );
+        // Methods eligible for the runtime's hybrid async commit path.
+        if universal.is_empty() {
+            println!("  universal commuters: (none)\n");
+        } else {
+            println!("  universal commuters: {}\n", universal.join(", "));
+        }
         violations += r.violations.len();
         for v in &r.violations {
             eprintln!("  {v}");

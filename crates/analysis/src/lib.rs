@@ -36,7 +36,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use guesstimate_core::{
-    execute, ArgView, CommuteMatrix, MachineId, ObjectId, ObjectStore, OpRegistry, SharedOp, Value,
+    execute, ArgView, CommuteMatrix, EffectSpec, MachineId, ObjectId, ObjectStore, OpRegistry,
+    SharedOp, Value,
 };
 use guesstimate_spec::{CaseSpace, SpecSuite};
 
@@ -252,6 +253,35 @@ impl AppReport {
         m
     }
 
+    /// The type's *universal commuters*: methods classified `Commute`
+    /// against **every** method of the type, the diagonal pair included,
+    /// that also declare an `EffectSpec` (no undeclared-effect violation).
+    ///
+    /// These are exactly the methods the runtime's hybrid async commit
+    /// path (`MachineConfig::async_commit`) may commit without a round:
+    /// commuting with anything that can ever interleave — in both final
+    /// state and results — makes arrival-order application
+    /// observationally equivalent to the total order. Mirrors
+    /// `guesstimate_runtime::commute::universal_commuters`, computed here
+    /// from the analysis verdicts instead of a validated matrix.
+    pub fn universal_commuters(&self) -> Vec<String> {
+        self.methods
+            .iter()
+            .filter(|m| {
+                !self
+                    .violations
+                    .iter()
+                    .any(|v| v.kind == ViolationKind::UndeclaredEffect && &v.method == *m)
+            })
+            .filter(|m| {
+                self.methods
+                    .iter()
+                    .all(|o| self.classification(m, o) == Some(Classification::Commute))
+            })
+            .cloned()
+            .collect()
+    }
+
     /// Renders the conflict matrix as an aligned text grid: `C` commute,
     /// `X` conflict, `?` unknown.
     pub fn format_matrix(&self) -> String {
@@ -444,7 +474,16 @@ pub fn analyze_app(
                     })
                 }
                 _ => false,
-            };
+            }
+            // Diagonal pairs may instead carry a declared `self_commuting`
+            // claim (e.g. blind counters: the write overlaps itself, but
+            // addition is order-insensitive). The claim is accepted only
+            // with exhaustive argument coverage, and the dynamic sweep
+            // below refutes a false one the same way it refutes an
+            // under-declared footprint.
+            || (a.method == b.method
+                && a.args_exhaustive
+                && fx1.is_some_and(EffectSpec::is_self_commuting));
             let mut counterexample = None;
             let mut cases = 0usize;
             let mut truncated = false;
@@ -548,6 +587,10 @@ pub fn report_to_json(reports: &[AppReport]) -> String {
                 Json::List(r.methods.iter().cloned().map(Json::Str).collect()),
             );
             app.insert("clean".to_owned(), Json::Bool(r.is_clean()));
+            app.insert(
+                "universal_commuters".to_owned(),
+                Json::List(r.universal_commuters().into_iter().map(Json::Str).collect()),
+            );
             app.insert(
                 "pairs".to_owned(),
                 Json::List(

@@ -5,6 +5,13 @@
 //! own post first on their guesstimated state, and the commit order decides
 //! the final, globally agreed order — no post is ever lost, so posts rarely
 //! conflict (`post` only fails on a missing topic).
+//!
+//! `like` is the board's *blind counter*: it bumps a per-key tally without
+//! reading topics, posts, or even whether the key exists. By construction it
+//! commutes — in state and result — with every method including itself, so
+//! the effect analysis classifies it a **universal commuter** and the
+//! runtime's hybrid async commit path (`MachineConfig::async_commit`) may
+//! commit it without waiting for a synchronization round.
 
 use std::collections::BTreeMap;
 
@@ -26,6 +33,12 @@ pub struct Post {
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct MessageBoard {
     topics: BTreeMap<String, Vec<Post>>,
+    /// Blind like tallies, keyed by an arbitrary client-chosen string
+    /// (conventionally `topic` or `topic/seq`). Deliberately *not*
+    /// referentially checked against topics: any existence precondition
+    /// would order `like` against `create_topic` and destroy the
+    /// universal commutation the hybrid path relies on.
+    likes: BTreeMap<String, u64>,
 }
 
 impl MessageBoard {
@@ -57,6 +70,24 @@ impl MessageBoard {
         true
     }
 
+    /// The like tally for a key (0 when never liked).
+    pub fn likes(&self, key: &str) -> u64 {
+        self.likes.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total likes across all keys.
+    pub fn like_count(&self) -> u64 {
+        self.likes.values().sum()
+    }
+
+    fn like(&mut self, key: &str) -> bool {
+        if key.is_empty() {
+            return false;
+        }
+        *self.likes.entry(key.to_owned()).or_insert(0) += 1;
+        true
+    }
+
     fn post(&mut self, topic: &str, author: &str, text: &str) -> bool {
         if author.is_empty() {
             return false;
@@ -78,7 +109,7 @@ impl GState for MessageBoard {
     const TYPE_NAME: &'static str = "MessageBoard";
 
     fn snapshot(&self) -> Value {
-        Value::map(self.topics.iter().map(|(name, posts)| {
+        let topics = Value::map(self.topics.iter().map(|(name, posts)| {
             (
                 name.clone(),
                 posts
@@ -91,13 +122,23 @@ impl GState for MessageBoard {
                     })
                     .collect(),
             )
-        }))
+        }));
+        let likes = Value::map(
+            self.likes
+                .iter()
+                .map(|(k, n)| (k.clone(), Value::from(*n as i64))),
+        );
+        Value::map([("topics", topics), ("likes", likes)])
     }
 
     fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
         let shape = || RestoreError::shape("message-board snapshot");
         self.topics.clear();
-        for (name, posts) in v.as_map().ok_or_else(shape)? {
+        for (name, posts) in v
+            .field("topics")
+            .and_then(Value::as_map)
+            .ok_or_else(shape)?
+        {
             let posts = posts
                 .as_list()
                 .ok_or_else(shape)?
@@ -119,6 +160,11 @@ impl GState for MessageBoard {
                 .collect::<Result<Vec<_>, RestoreError>>()?;
             self.topics.insert(name.clone(), posts);
         }
+        self.likes.clear();
+        for (k, n) in v.field("likes").and_then(Value::as_map).ok_or_else(shape)? {
+            let n = n.as_i64().ok_or_else(shape)?;
+            self.likes.insert(k.clone(), n as u64);
+        }
         Ok(())
     }
 }
@@ -136,11 +182,21 @@ pub mod ops {
     pub fn post(obj: ObjectId, topic: &str, author: &str, text: &str) -> SharedOp {
         SharedOp::primitive(obj, "post", args![topic, author, text])
     }
+
+    /// Blindly bump the like tally for a key.
+    pub fn like(obj: ObjectId, key: &str) -> SharedOp {
+        SharedOp::primitive(obj, "like", args![key])
+    }
 }
 
 fn apply_create(s: &mut MessageBoard, a: guesstimate_core::ArgView<'_>) -> bool {
     let Some(n) = a.str(0) else { return false };
     s.create_topic(n)
+}
+
+fn apply_like(s: &mut MessageBoard, a: guesstimate_core::ArgView<'_>) -> bool {
+    let Some(k) = a.str(0) else { return false };
+    s.like(k)
 }
 
 fn apply_post(s: &mut MessageBoard, a: guesstimate_core::ArgView<'_>) -> bool {
@@ -158,8 +214,8 @@ fn create_topic_effect() -> EffectSpec {
         if n.is_empty() {
             return Footprint::new();
         }
-        // The snapshot is a map keyed directly by topic name.
-        Footprint::new().reads([n]).writes([n])
+        let key = format!("topics/{n}");
+        Footprint::new().reads([key.clone()]).writes([key])
     })
 }
 
@@ -174,8 +230,25 @@ fn post_effect() -> EffectSpec {
         // Appends to the topic's post list: the list content depends on the
         // existing posts, so the whole topic key is both read and written —
         // two posts to the *same* topic deliberately conflict (order-visible).
-        Footprint::new().reads([t]).writes([t])
+        let key = format!("topics/{t}");
+        Footprint::new().reads([key.clone()]).writes([key])
     })
+}
+
+fn like_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let Some(k) = a.str(0) else {
+            return Footprint::new();
+        };
+        if k.is_empty() {
+            return Footprint::new();
+        }
+        // The increment reads the old tally; still commutes with itself
+        // because addition does.
+        let key = format!("likes/{k}");
+        Footprint::new().reads([key.clone()]).writes([key])
+    })
+    .self_commuting()
 }
 
 /// Registers the message-board type and operations.
@@ -187,6 +260,7 @@ pub fn register(registry: &mut OpRegistry) {
         apply_create,
     );
     registry.register_with_effects::<MessageBoard>("post", post_effect(), apply_post);
+    registry.register_with_effects::<MessageBoard>("like", like_effect(), apply_like);
 }
 
 fn post_contract() -> MethodContract {
@@ -199,7 +273,10 @@ fn post_contract() -> MethodContract {
         ) else {
             return false;
         };
-        let (Some(mp), Some(mq)) = (pre.as_map(), post.as_map()) else {
+        let (Some(mp), Some(mq)) = (
+            pre.field("topics").and_then(Value::as_map),
+            post.field("topics").and_then(Value::as_map),
+        ) else {
             return false;
         };
         let (Some(before), Some(after)) = (
@@ -229,12 +306,17 @@ pub fn register_checked(registry: &mut OpRegistry, log: &ConformanceLog) {
             let Some(name) = a.first().and_then(Value::as_str) else {
                 return false;
             };
-            pre.as_map().is_some_and(|m| !m.contains_key(name))
-                && post.as_map().is_some_and(|m| {
-                    m.get(name)
-                        .and_then(Value::as_list)
-                        .is_some_and(|l| l.is_empty())
-                })
+            pre.field("topics")
+                .and_then(Value::as_map)
+                .is_some_and(|m| !m.contains_key(name))
+                && post
+                    .field("topics")
+                    .and_then(Value::as_map)
+                    .is_some_and(|m| {
+                        m.get(name)
+                            .and_then(Value::as_list)
+                            .is_some_and(|l| l.is_empty())
+                    })
         }),
         log,
         apply_create,
@@ -246,6 +328,30 @@ pub fn register_checked(registry: &mut OpRegistry, log: &ConformanceLog) {
         log,
         apply_post,
     );
+    guesstimate_spec::register_checked::<MessageBoard>(
+        registry,
+        "like",
+        like_contract(),
+        log,
+        apply_like,
+    );
+}
+
+fn like_contract() -> MethodContract {
+    MethodContract::new().with_post(|pre, post, a| {
+        // φ_post: exactly this key's tally grew by one; topics untouched.
+        let Some(key) = a.first().and_then(Value::as_str) else {
+            return false;
+        };
+        let tally = |v: &Value| {
+            v.field("likes")
+                .and_then(Value::as_map)
+                .and_then(|m| m.get(key))
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+        };
+        tally(post) == tally(pre) + 1 && pre.field("topics") == post.field("topics")
+    })
 }
 
 /// Specification suite for the verifier table.
@@ -263,7 +369,10 @@ pub fn spec_suite() -> SpecSuite {
                 .assume_state_independent(),
             )
             .with_assertion("topics-never-disappear", |c| {
-                let (Some(mp), Some(mq)) = (c.pre.as_map(), c.post.as_map()) else {
+                let (Some(mp), Some(mq)) = (
+                    c.pre.field("topics").and_then(Value::as_map),
+                    c.post.field("topics").and_then(Value::as_map),
+                ) else {
                     return false;
                 };
                 mp.keys().all(|k| mq.contains_key(k))
@@ -283,7 +392,10 @@ pub fn spec_suite() -> SpecSuite {
                 .assume_state_independent(),
             )
             .with_assertion("posts-are-append-only", |c| {
-                let (Some(mp), Some(mq)) = (c.pre.as_map(), c.post.as_map()) else {
+                let (Some(mp), Some(mq)) = (
+                    c.pre.field("topics").and_then(Value::as_map),
+                    c.post.field("topics").and_then(Value::as_map),
+                ) else {
                     return false;
                 };
                 mp.iter().all(
@@ -296,6 +408,9 @@ pub fn spec_suite() -> SpecSuite {
                 )
             }),
     )
+    // Small-scope abstraction: present vs missing topic, anonymous author,
+    // empty body — the footprint depends only on the topic name, so these
+    // representatives generalize.
     .with_args(
         vec![
             args!["general", "ann", "hi"],
@@ -303,12 +418,32 @@ pub fn spec_suite() -> SpecSuite {
             args!["general", "", "hi"],
             args!["general", "ann", ""],
         ],
-        false,
+        true,
     );
+
+    let like = MethodSpec::new(
+        "like",
+        like_contract()
+            .with_assertion_obj(
+                Assertion::new("empty-key-fails", |c| {
+                    c.args.first().and_then(Value::as_str) != Some("")
+                        || (!c.result && c.pre == c.post)
+                })
+                .assume_state_independent(),
+            )
+            .with_assertion("likes-are-blind", |c| {
+                // Succeeds whether or not the key names a real topic: an
+                // existence check would order `like` after `create_topic`.
+                c.args.first().and_then(Value::as_str) == Some("") || c.result
+            }),
+    )
+    // Small-scope abstraction: a key with a topic, one without, and "".
+    .with_args(vec![args!["general"], args!["missing"], args![""]], true);
 
     SpecSuite::new("MessageBoard")
         .with_method(create)
         .with_method(post)
+        .with_method(like)
 }
 
 #[cfg(test)]
@@ -348,10 +483,23 @@ mod tests {
     }
 
     #[test]
+    fn likes_are_blind_and_additive() {
+        let mut b = MessageBoard::new();
+        assert!(b.like("general"), "no topic needed");
+        assert!(b.like("general"));
+        assert!(b.like("general/0"));
+        assert!(!b.like(""));
+        assert_eq!(b.likes("general"), 2);
+        assert_eq!(b.likes("nope"), 0);
+        assert_eq!(b.like_count(), 3);
+    }
+
+    #[test]
     fn snapshot_roundtrip() {
         let mut b = MessageBoard::new();
         b.create_topic("general");
         b.post("general", "ann", "hello");
+        b.like("general");
         let mut c = MessageBoard::new();
         GState::restore(&mut c, &GState::snapshot(&b)).unwrap();
         assert_eq!(b, c);
@@ -375,6 +523,8 @@ mod tests {
         execute(&ops::create_topic(obj, "general"), &mut store, &reg).unwrap();
         execute(&ops::post(obj, "general", "ann", "hi"), &mut store, &reg).unwrap();
         execute(&ops::post(obj, "missing", "ann", "hi"), &mut store, &reg).unwrap();
+        execute(&ops::like(obj, "general"), &mut store, &reg).unwrap();
+        execute(&ops::like(obj, "phantom"), &mut store, &reg).unwrap();
         assert!(log.is_empty(), "{:?}", log.violations());
     }
 
@@ -382,13 +532,14 @@ mod tests {
     fn spec_suite_verifies_cleanly() {
         use guesstimate_spec::{verify_suite, CaseSpace};
         let suite = spec_suite();
-        assert!(suite.assertion_count() >= 7);
+        assert!(suite.assertion_count() >= 10);
         let mut reg = OpRegistry::new();
         register(&mut reg);
         let mut b = MessageBoard::new();
         b.create_topic("general");
         let mut b2 = b.clone();
         b2.post("general", "ann", "hello");
+        b2.like("general");
         let states = vec![
             GState::snapshot(&MessageBoard::new()),
             GState::snapshot(&b),

@@ -5,6 +5,12 @@
 //! everyone they follow, newest first). Posting is conflict-free by design
 //! — like the message board, only membership operations (duplicate
 //! registration, redundant follow) can fail.
+//!
+//! `heart` is the blind applause counter: it bumps a per-handle tally
+//! without consulting users, follows, or posts, so it commutes — in state
+//! and result — with every method including itself. The effect analysis
+//! classifies it a **universal commuter**, making it eligible for the
+//! runtime's hybrid async commit path (`MachineConfig::async_commit`).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -30,6 +36,11 @@ pub struct MicroBlog {
     users: BTreeSet<String>,
     follows: BTreeMap<String, BTreeSet<String>>,
     posts: Vec<BlogPost>,
+    /// Blind heart tallies per handle. Deliberately outside the
+    /// referential-integrity invariant: hearts may land before the handle
+    /// registers (or never does) — any existence precondition would order
+    /// `heart` against `register` and break its universal commutation.
+    hearts: BTreeMap<String, u64>,
 }
 
 impl MicroBlog {
@@ -72,6 +83,24 @@ impl MicroBlog {
             .collect();
         out.reverse();
         out
+    }
+
+    /// The heart tally for a handle (0 when never hearted).
+    pub fn hearts(&self, handle: &str) -> u64 {
+        self.hearts.get(handle).copied().unwrap_or(0)
+    }
+
+    /// Total hearts across all handles.
+    pub fn heart_count(&self) -> u64 {
+        self.hearts.values().sum()
+    }
+
+    fn heart(&mut self, handle: &str) -> bool {
+        if handle.is_empty() {
+            return false;
+        }
+        *self.hearts.entry(handle.to_owned()).or_insert(0) += 1;
+        true
     }
 
     fn register(&mut self, user: &str) -> bool {
@@ -134,7 +163,17 @@ impl GState for MicroBlog {
                 ])
             })
             .collect();
-        Value::map([("users", users), ("follows", follows), ("posts", posts)])
+        let hearts = Value::map(
+            self.hearts
+                .iter()
+                .map(|(h, n)| (h.clone(), Value::from(*n as i64))),
+        );
+        Value::map([
+            ("users", users),
+            ("follows", follows),
+            ("posts", posts),
+            ("hearts", hearts),
+        ])
     }
 
     fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
@@ -181,6 +220,15 @@ impl GState for MicroBlog {
                 })
             })
             .collect::<Result<_, RestoreError>>()?;
+        self.hearts.clear();
+        for (h, n) in v
+            .field("hearts")
+            .and_then(Value::as_map)
+            .ok_or_else(shape)?
+        {
+            let n = n.as_i64().ok_or_else(shape)?;
+            self.hearts.insert(h.clone(), n as u64);
+        }
         Ok(())
     }
 }
@@ -208,6 +256,11 @@ pub mod ops {
     pub fn unfollow(obj: ObjectId, follower: &str, followee: &str) -> SharedOp {
         SharedOp::primitive(obj, "unfollow", args![follower, followee])
     }
+
+    /// Blindly applaud a handle.
+    pub fn heart(obj: ObjectId, handle: &str) -> SharedOp {
+        SharedOp::primitive(obj, "heart", args![handle])
+    }
 }
 
 fn apply_register(s: &mut MicroBlog, a: guesstimate_core::ArgView<'_>) -> bool {
@@ -234,6 +287,11 @@ fn apply_unfollow(s: &mut MicroBlog, a: guesstimate_core::ArgView<'_>) -> bool {
         return false;
     };
     s.unfollow(f, g)
+}
+
+fn apply_heart(s: &mut MicroBlog, a: guesstimate_core::ArgView<'_>) -> bool {
+    let Some(h) = a.str(0) else { return false };
+    s.heart(h)
 }
 
 fn register_effect() -> EffectSpec {
@@ -282,6 +340,22 @@ fn unfollow_effect() -> EffectSpec {
     })
 }
 
+fn heart_effect() -> EffectSpec {
+    EffectSpec::new(|a| {
+        let Some(h) = a.str(0) else {
+            return Footprint::new();
+        };
+        if h.is_empty() {
+            return Footprint::new();
+        }
+        // Reads the old tally, writes the new one; commutes with itself
+        // because addition does.
+        let key = format!("hearts/{h}");
+        Footprint::new().reads([key.clone()]).writes([key])
+    })
+    .self_commuting()
+}
+
 /// Registers the microblog type and operations.
 pub fn register(registry: &mut OpRegistry) {
     registry.register_type::<MicroBlog>();
@@ -289,6 +363,7 @@ pub fn register(registry: &mut OpRegistry) {
     registry.register_with_effects::<MicroBlog>("post", post_effect(), apply_post);
     registry.register_with_effects::<MicroBlog>("follow", follow_effect(), apply_follow);
     registry.register_with_effects::<MicroBlog>("unfollow", unfollow_effect(), apply_unfollow);
+    registry.register_with_effects::<MicroBlog>("heart", heart_effect(), apply_heart);
 }
 
 fn invariant(v: &Value) -> bool {
@@ -352,6 +427,35 @@ pub fn register_checked(registry: &mut OpRegistry, log: &ConformanceLog) {
         apply_follow,
     );
     guesstimate_spec::register_checked::<MicroBlog>(registry, "unfollow", inv, log, apply_unfollow);
+    guesstimate_spec::register_checked::<MicroBlog>(
+        registry,
+        "heart",
+        heart_contract(),
+        log,
+        apply_heart,
+    );
+}
+
+fn heart_contract() -> MethodContract {
+    MethodContract::new().with_post(|pre, post, a| {
+        // φ_post: exactly this handle's tally grew by one; the checked
+        // service state (users, follows, posts) is untouched. The handle
+        // need not be registered — hearts are blind by design.
+        let Some(h) = a.first().and_then(Value::as_str) else {
+            return false;
+        };
+        let tally = |v: &Value| {
+            v.field("hearts")
+                .and_then(Value::as_map)
+                .and_then(|m| m.get(h))
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+        };
+        tally(post) == tally(pre) + 1
+            && pre.field("users") == post.field("users")
+            && pre.field("follows") == post.field("follows")
+            && pre.field("posts") == post.field("posts")
+    })
 }
 
 /// Specification suite for the verifier table.
@@ -424,6 +528,9 @@ pub fn spec_suite() -> SpecSuite {
                 c.pre.field("follows") == c.post.field("follows")
             }),
     )
+    // Small-scope abstraction: registered vs unregistered author, empty
+    // body, empty handle — the footprint is argument-independent, so these
+    // representatives generalize.
     .with_args(
         vec![
             args!["ann", "hi"],
@@ -431,7 +538,7 @@ pub fn spec_suite() -> SpecSuite {
             args!["ann", ""],
             args!["", "hi"],
         ],
-        false,
+        true,
     );
 
     let follow = MethodSpec::new(
@@ -459,13 +566,34 @@ pub fn spec_suite() -> SpecSuite {
                 c.pre.field("posts") == c.post.field("posts")
             }),
     )
-    .with_args(follow_args, false);
+    // Small-scope abstraction: all pairings of two registered handles, an
+    // unregistered one, and "" — the footprint depends only on the follower.
+    .with_args(follow_args, true);
+
+    let heart = MethodSpec::new(
+        "heart",
+        heart_contract()
+            .with_assertion_obj(
+                Assertion::new("empty-handle-fails", |c| {
+                    c.args.first().and_then(Value::as_str) != Some("")
+                        || (!c.result && c.pre == c.post)
+                })
+                .assume_state_independent(),
+            )
+            .with_assertion("hearts-are-blind", |c| {
+                // Applauding an unregistered handle still succeeds: an
+                // existence check would order `heart` after `register`.
+                c.args.first().and_then(Value::as_str) == Some("") || c.result
+            }),
+    )
+    .with_args(handles.iter().map(|h| args![*h]).collect(), true);
 
     SpecSuite::new("MicroBlog")
         .with_invariant("referential-integrity", invariant)
         .with_method(register)
         .with_method(post)
         .with_method(follow)
+        .with_method(heart)
 }
 
 #[cfg(test)]
@@ -528,10 +656,23 @@ mod tests {
     }
 
     #[test]
+    fn hearts_are_blind_and_additive() {
+        let mut b = MicroBlog::new();
+        assert!(b.heart("ann"), "no registration needed");
+        assert!(b.heart("ann"));
+        assert!(b.heart("ghost"));
+        assert!(!b.heart(""));
+        assert_eq!(b.hearts("ann"), 2);
+        assert_eq!(b.hearts("bob"), 0);
+        assert_eq!(b.heart_count(), 3);
+    }
+
+    #[test]
     fn snapshot_roundtrip() {
         let mut b = blog();
         b.follow("ann", "bob");
         b.post("bob", "x");
+        b.heart("bob");
         let mut c = MicroBlog::new();
         GState::restore(&mut c, &GState::snapshot(&b)).unwrap();
         assert_eq!(b, c);
@@ -561,6 +702,8 @@ mod tests {
             ops::post(obj, "ghost", "nope"), // fails
             ops::unfollow(obj, "bob", "ann"),
             ops::register(obj, "dan"),
+            ops::heart(obj, "ann"),
+            ops::heart(obj, "nobody"),
         ] {
             let _ = execute(&op, &mut store, &reg).unwrap();
         }
@@ -571,12 +714,13 @@ mod tests {
     fn spec_suite_verifies_cleanly() {
         use guesstimate_spec::{verify_suite, CaseSpace};
         let suite = spec_suite();
-        assert!(suite.assertion_count() >= 14);
+        assert!(suite.assertion_count() >= 17);
         let mut reg = OpRegistry::new();
         register(&mut reg);
         let mut b = blog();
         b.follow("ann", "bob");
         b.post("bob", "x");
+        b.heart("bob");
         let states = vec![
             GState::snapshot(&MicroBlog::new()),
             GState::snapshot(&blog()),

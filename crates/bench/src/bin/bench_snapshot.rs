@@ -9,17 +9,23 @@
 //! 4. a paired run with the no-op telemetry handle commits a
 //!    byte-identical history (observational invisibility).
 //!
-//! Usage: `bench_snapshot [duration_secs] [seed] [out_json]`
-//! (defaults: 60, 42, `target/bench_snapshot.json`). Metrics artifacts
-//! (Prometheus text, JSON, Chrome trace) go under the
-//! `target/bench_snapshot_metrics` stem (override with
-//! `GUESSTIMATE_METRICS=<stem>`). Any violated invariant exits non-zero.
+//! 5. the hybrid commit path collapses commit lag for an all-commuting
+//!    blind-counter workload by at least 5x against the serialized-round
+//!    baseline (the PR-6 headline), written as a second summary.
+//!
+//! Usage: `bench_snapshot [duration_secs] [seed] [out_json] [hybrid_json]`
+//! (defaults: 60, 42, `target/bench_snapshot.json`,
+//! `target/bench_hybrid.json`). Metrics artifacts (Prometheus text, JSON,
+//! Chrome trace) go under the `target/bench_snapshot_metrics` stem
+//! (override with `GUESSTIMATE_METRICS=<stem>`). Any violated invariant
+//! exits non-zero.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use guesstimate_bench::{
-    metrics_stem, run_fig5, run_fig5_instrumented, write_jsonl, write_metrics_artifacts,
+    metrics_stem, run_fig5, run_fig5_instrumented, run_hybrid_lag, write_jsonl,
+    write_metrics_artifacts, HybridLagRow,
 };
 use guesstimate_net::{RecordingTracer, SimTime};
 use guesstimate_telemetry::Telemetry;
@@ -32,6 +38,10 @@ fn main() {
         .next()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target").join("bench_snapshot.json"));
+    let hybrid_json = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("bench_hybrid.json"));
 
     eprintln!("bench_snapshot: fig5 {duration}s, seed {seed}, telemetry on ...");
     let tracer = Arc::new(RecordingTracer::new());
@@ -123,5 +133,60 @@ fn main() {
     }
     std::fs::write(&out_json, &json).expect("write summary json");
     eprintln!("wrote summary to {}", out_json.display());
+
+    // Invariant 5: the hybrid commit path's headline — an all-commuting
+    // blind-counter workload commits at least 5x faster than under the
+    // serialized-round baseline, on both bundled counter apps.
+    eprintln!("bench_snapshot: hybrid commit-lag comparison ...");
+    let rows = run_hybrid_lag(seed, 4, SimTime::from_secs(30));
+    let mut ratios = Vec::new();
+    for pair in rows.chunks(2) {
+        let [ser, hy] = pair else {
+            unreachable!("rows come in serialized/hybrid pairs")
+        };
+        assert!(
+            ser.converged && hy.converged,
+            "{}: both modes converge",
+            ser.app
+        );
+        assert_eq!(ser.ops_async, 0, "{}: async path stays off", ser.app);
+        assert!(hy.ops_async > 0, "{}: async path must engage", hy.app);
+        let ratio =
+            ser.mean_commit_lag.as_micros() as f64 / hy.mean_commit_lag.as_micros().max(1) as f64;
+        assert!(
+            ratio >= 5.0,
+            "{}: serialized/hybrid commit-lag ratio {ratio:.1} < 5",
+            ser.app
+        );
+        ratios.push((ser.app, ratio));
+    }
+    let row_json = |r: &HybridLagRow| {
+        format!(
+            "    {{\"app\": \"{}\", \"mode\": \"{}\", \"ops_committed\": {}, \"ops_async\": {}, \"mean_commit_lag_us\": {}, \"converged\": {}}}",
+            r.app,
+            r.mode,
+            r.ops_committed,
+            r.ops_async,
+            r.mean_commit_lag.as_micros(),
+            r.converged,
+        )
+    };
+    let hybrid = format!(
+        "{{\n  \"bench\": \"hybrid_commit_lag\",\n  \"seed\": {seed},\n  \"users\": 4,\n  \"duration_secs\": 30,\n  \"rows\": [\n{}\n  ],\n{},\n  \"lag_collapse_ok\": true\n}}\n",
+        rows.iter().map(row_json).collect::<Vec<_>>().join(",\n"),
+        ratios
+            .iter()
+            .map(|(app, r)| format!("  \"lag_ratio_{app}\": {r:.1}"))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    if let Some(parent) = hybrid_json.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    std::fs::write(&hybrid_json, &hybrid).expect("write hybrid summary json");
+    eprintln!("wrote hybrid summary to {}", hybrid_json.display());
+    for (app, r) in &ratios {
+        eprintln!("  {app}: commit-lag collapse {r:.1}x");
+    }
     println!("bench_snapshot: all telemetry invariants hold");
 }

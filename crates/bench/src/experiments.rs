@@ -1110,6 +1110,165 @@ pub fn run_consistency_spectrum(seed: u64, users: u32) -> Vec<SpectrumRow> {
     rows
 }
 
+// ---------------------------------------------------------------------
+// Hybrid commit path: commit lag, serialized rounds vs async one-hop
+// ---------------------------------------------------------------------
+
+/// One row of the hybrid commit-lag comparison.
+#[derive(Debug, Clone)]
+pub struct HybridLagRow {
+    /// Application under load (`message_board` or `microblog`).
+    pub app: &'static str,
+    /// Commit path: `serialized` (rounds only) or `hybrid` (`async_commit`).
+    pub mode: &'static str,
+    /// Workload operations committed inside the measured window.
+    pub ops_committed: u64,
+    /// Of those, commits through the async path (0 in serialized mode).
+    pub ops_async: u64,
+    /// Mean issue-to-commit lag over the measured window.
+    pub mean_commit_lag: SimTime,
+    /// All machines ended on the same committed state with nothing pending.
+    pub converged: bool,
+}
+
+/// The commute matrix a deployment would load from the `analyze --json`
+/// archive, hand-mirrored for the two blind-counter apps (the bench crate
+/// does not run the validator; drift fails loudly because a missing pair
+/// de-classifies the method and the lag collapse disappears).
+fn blind_counter_matrix(app: &'static str) -> guesstimate_core::CommuteMatrix {
+    let mut m = guesstimate_core::CommuteMatrix::new();
+    match app {
+        "message_board" => {
+            for other in ["like", "post", "create_topic"] {
+                m.insert("MessageBoard", "like", other);
+            }
+        }
+        "microblog" => {
+            for other in ["heart", "register", "post", "follow", "unfollow"] {
+                m.insert("MicroBlog", "heart", other);
+            }
+        }
+        other => unreachable!("unknown app {other}"),
+    }
+    m
+}
+
+/// Runs one all-commuting blind-counter session and measures commit lag.
+///
+/// Every user spams the app's universal-commuter op (`like` / `heart`)
+/// through [`Machine::issue_hybrid`]; with `async_commit` off that is the
+/// paper's serialized round path (lag ≈ sync period), with it on the op
+/// commits at issue and broadcasts in one hop (lag ≈ 0).
+fn hybrid_lag_session(
+    app: &'static str,
+    async_on: bool,
+    seed: u64,
+    users: u32,
+    duration: SimTime,
+) -> HybridLagRow {
+    use guesstimate_apps::{message_board, microblog};
+
+    let mut registry = OpRegistry::new();
+    match app {
+        "message_board" => message_board::register(&mut registry),
+        "microblog" => microblog::register(&mut registry),
+        other => unreachable!("unknown app {other}"),
+    }
+    let mcfg = MachineConfig::default()
+        .with_sync_period(SimTime::from_millis(250))
+        .with_stall_timeout(SimTime::from_secs(3))
+        .with_commute_matrix(blind_counter_matrix(app))
+        .with_async_commit(async_on);
+    let netcfg = NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(30));
+    let telemetry = Telemetry::new();
+    let mut net = sim_cluster_instrumented(users, registry, mcfg, netcfg, None, telemetry.clone());
+    assert!(
+        run_until_cohort(&mut net, SimTime::from_secs(30)),
+        "cohort must assemble before the measured window"
+    );
+
+    // The shared object must *commit* everywhere before its blind counter
+    // is async-eligible (guess-only objects always serialize).
+    let board = {
+        let master = net.actor_mut(MachineId::new(0)).expect("master");
+        match app {
+            "message_board" => {
+                let obj = master.create_instance(message_board::MessageBoard::new());
+                assert!(master
+                    .issue(message_board::ops::create_topic(obj, "general"))
+                    .expect("known object"));
+                obj
+            }
+            "microblog" => master.create_instance(microblog::MicroBlog::new()),
+            other => unreachable!("unknown app {other}"),
+        }
+    };
+    net.run_until(net.now() + SimTime::from_secs(2));
+
+    let t0 = net.now();
+    let t_end = t0 + duration;
+    let step = SimTime::from_millis(400);
+    for i in 0..users {
+        let mut at = t0 + SimTime::from_millis(37 * u64::from(i));
+        while at < t_end {
+            net.schedule_call(at, MachineId::new(i), move |m: &mut Machine, ctx| {
+                let op = match app {
+                    "message_board" => message_board::ops::like(board, "general"),
+                    _ => microblog::ops::heart(board, "ann"),
+                };
+                let _ = m.issue_hybrid(op, None, ctx);
+            });
+            at += step;
+        }
+    }
+    net.run_until(t_end + SimTime::from_secs(10));
+
+    // Lag over the workload window only: the prelude's create/topic ops
+    // are round-committed in both modes and would dilute the comparison.
+    let lags: Vec<u64> = telemetry
+        .spans()
+        .iter()
+        .filter(|s| s.issued_at.is_some_and(|t| t >= t0))
+        .filter_map(|s| s.commit_lag().map(|l| l.as_micros()))
+        .collect();
+    let mean_commit_lag = if lags.is_empty() {
+        SimTime::ZERO
+    } else {
+        SimTime::from_micros(lags.iter().sum::<u64>() / lags.len() as u64)
+    };
+    let ids = net.members();
+    let digests: Vec<u64> = ids
+        .iter()
+        .map(|&i| net.actor(i).expect("member").committed_digest())
+        .collect();
+    let converged = digests.windows(2).all(|w| w[0] == w[1])
+        && ids
+            .iter()
+            .all(|&i| net.actor(i).expect("member").pending_len() == 0);
+    HybridLagRow {
+        app,
+        mode: if async_on { "hybrid" } else { "serialized" },
+        ops_committed: lags.len() as u64,
+        ops_async: telemetry.ops_committed_async(),
+        mean_commit_lag,
+        converged,
+    }
+}
+
+/// The hybrid-path headline: for an all-commuting workload, commit lag
+/// collapses from round-period scale to ~one hop. Four rows — each
+/// blind-counter app under the serialized baseline and the hybrid path,
+/// same seed and schedule.
+pub fn run_hybrid_lag(seed: u64, users: u32, duration: SimTime) -> Vec<HybridLagRow> {
+    let mut rows = Vec::new();
+    for app in ["message_board", "microblog"] {
+        for async_on in [false, true] {
+            rows.push(hybrid_lag_session(app, async_on, seed, users, duration));
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1197,6 +1356,29 @@ mod tests {
             r.mean_sync_excluding(SimTime::from_secs(12)),
             Some(SimTime::from_millis(200))
         );
+    }
+
+    #[test]
+    fn hybrid_lag_collapses_for_blind_counters() {
+        let rows = run_hybrid_lag(7, 3, SimTime::from_secs(10));
+        assert_eq!(rows.len(), 4);
+        for pair in rows.chunks(2) {
+            let (ser, hy) = (&pair[0], &pair[1]);
+            assert_eq!(ser.mode, "serialized");
+            assert_eq!(hy.mode, "hybrid");
+            assert!(ser.converged, "{}: serialized converged", ser.app);
+            assert!(hy.converged, "{}: hybrid converged", hy.app);
+            assert!(ser.ops_committed > 0 && hy.ops_committed > 0);
+            assert_eq!(ser.ops_async, 0, "{}: no async path off", ser.app);
+            assert!(hy.ops_async > 0, "{}: async path must engage", hy.app);
+            let ratio = ser.mean_commit_lag.as_micros() as f64
+                / hy.mean_commit_lag.as_micros().max(1) as f64;
+            assert!(
+                ratio >= 5.0,
+                "{}: serialized/hybrid lag ratio {ratio:.1} < 5",
+                ser.app
+            );
+        }
     }
 
     #[test]

@@ -177,6 +177,7 @@ impl Footprint {
 #[derive(Clone)]
 pub struct EffectSpec {
     footprint: Arc<dyn Fn(ArgView<'_>) -> Footprint + Send + Sync>,
+    self_commuting: bool,
 }
 
 impl EffectSpec {
@@ -184,7 +185,27 @@ impl EffectSpec {
     pub fn new(f: impl Fn(ArgView<'_>) -> Footprint + Send + Sync + 'static) -> Self {
         EffectSpec {
             footprint: Arc::new(f),
+            self_commuting: false,
         }
+    }
+
+    /// Declares that two invocations of this method always commute with
+    /// *each other* — in final state and results — even where their
+    /// footprints overlap (e.g. a blind counter: `n += 1` twice yields the
+    /// same tally in either order, and both report success).
+    ///
+    /// This is a **claim, not a proof**: the analysis crate's pairwise
+    /// classifier accepts it for the diagonal pair only when its dynamic
+    /// sweep finds no counterexample, and a refuting case is flagged as a
+    /// static/semantic disagreement just like an under-declared footprint.
+    pub fn self_commuting(mut self) -> Self {
+        self.self_commuting = true;
+        self
+    }
+
+    /// Whether the method declares diagonal commutativity.
+    pub fn is_self_commuting(&self) -> bool {
+        self.self_commuting
     }
 
     /// The declared footprint for one concrete argument vector.

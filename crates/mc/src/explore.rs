@@ -31,13 +31,20 @@
 //!   independent: delivery only mutates the target.
 //! * `Deliver(x)` / `Deliver(y)` to the **same machine** are independent
 //!   iff both are `Msg::Ops` batches of the *same round* from *different
-//!   senders* and every cross-pair of envelopes commutes per
-//!   [`wire_ops_commute`] (object-disjointness → validated
-//!   [`CommuteMatrix`] → argument-precise footprints). This is strictly
-//!   conservative: the receiver buffers a round's batches by operation id
-//!   and applies them in id order, so same-round batches commute at the
-//!   state level regardless — the commute gate only ever keeps *more*
-//!   interleavings than necessary, never fewer.
+//!   senders* and every cross-pair of envelopes — serialized batches and
+//!   piggybacked async windows alike — commutes per [`wire_ops_commute`]
+//!   (object-disjointness → validated [`CommuteMatrix`] →
+//!   argument-precise footprints). This is strictly conservative: the
+//!   receiver buffers a round's batches by operation id and applies them
+//!   in id order, so same-round batches commute at the state level
+//!   regardless — the commute gate only ever keeps *more* interleavings
+//!   than necessary, never fewer.
+//! * `Deliver` of two `Msg::AsyncOp`s to the same machine are
+//!   independent iff they come from different senders (same-sender
+//!   asyncs share a FIFO arrival slot) and their envelopes commute;
+//!   an `AsyncOp` and an `Ops` batch likewise, provided the flusher is
+//!   not the async op's own sender and the async envelope commutes with
+//!   everything the batch carries.
 //! * `Drop(x)` is independent of anything except a choice about the same
 //!   message.
 //! * `Admit` and `Timer` are dependent on everything (they change
@@ -54,7 +61,7 @@ use std::collections::BTreeSet;
 use guesstimate_core::{CommuteMatrix, MachineId};
 use guesstimate_net::SchedNet;
 use guesstimate_runtime::commute::wire_ops_commute;
-use guesstimate_runtime::{Machine, Msg};
+use guesstimate_runtime::{Machine, Msg, WireEnvelope};
 use guesstimate_telemetry::Telemetry;
 
 use crate::oracle::{check_step, check_terminal, state_digest, Violation};
@@ -172,32 +179,79 @@ fn independent(built: &Built, matrix: &CommuteMatrix, a: Step, b: Step) -> bool 
             if px.to != py.to {
                 return true;
             }
-            let (
-                Msg::Ops {
-                    round: ra,
-                    machine: sa,
-                    ops: oa,
-                },
-                Msg::Ops {
-                    round: rb,
-                    machine: sb,
-                    ops: ob,
-                },
-            ) = (&px.msg, &py.msg)
-            else {
-                return false;
-            };
-            if ra != rb || sa == sb {
-                return false;
-            }
             let Some(target) = net.actor(px.to) else {
                 return false;
             };
             let type_of = |oid| target.object_type(oid).map(str::to_owned);
-            oa.iter().all(|ea| {
-                ob.iter()
-                    .all(|eb| wire_ops_commute(&built.registry, matrix, &type_of, &ea.op, &eb.op))
-            })
+            let commute = |ea: &WireEnvelope, eb: &WireEnvelope| {
+                wire_ops_commute(&built.registry, matrix, &type_of, &ea.op, &eb.op)
+            };
+            // Envelopes a message applies (or stages) at the receiver:
+            // serialized batch plus the piggybacked async window for Ops,
+            // the single envelope for a standalone AsyncOp.
+            match (&px.msg, &py.msg) {
+                (
+                    Msg::Ops {
+                        round: ra,
+                        machine: sa,
+                        ops: oa,
+                        asyncs: aa,
+                    },
+                    Msg::Ops {
+                        round: rb,
+                        machine: sb,
+                        ops: ob,
+                        asyncs: ab,
+                    },
+                ) => {
+                    if ra != rb || sa == sb {
+                        return false;
+                    }
+                    let ea = oa.iter().chain(aa.iter().map(|(_, e)| e));
+                    ea.clone().all(|a| {
+                        ob.iter()
+                            .chain(ab.iter().map(|(_, e)| e))
+                            .all(|b| commute(a, b))
+                    })
+                }
+                (Msg::AsyncOp { env: ea, .. }, Msg::AsyncOp { env: eb, .. }) => {
+                    // Same-sender AsyncOps share an arrival-order slot.
+                    px.from != py.from && commute(ea, eb)
+                }
+                (
+                    Msg::AsyncOp { env, .. },
+                    Msg::Ops {
+                        machine,
+                        ops,
+                        asyncs,
+                        ..
+                    },
+                )
+                | (
+                    Msg::Ops {
+                        machine,
+                        ops,
+                        asyncs,
+                        ..
+                    },
+                    Msg::AsyncOp { env, .. },
+                ) => {
+                    // The async op must commute with both the ops the
+                    // round will apply and the piggybacked window; a flush
+                    // from the async op's own sender shares its slot.
+                    let sender = if matches!(&px.msg, Msg::AsyncOp { .. }) {
+                        px.from
+                    } else {
+                        py.from
+                    };
+                    sender != *machine
+                        && ops
+                            .iter()
+                            .chain(asyncs.iter().map(|(_, e)| e))
+                            .all(|b| commute(env, b))
+                }
+                _ => false,
+            }
         }
     }
 }
@@ -214,6 +268,10 @@ pub fn explore(
     tamper: Option<TamperSpec>,
     cfg: &ExploreConfig,
 ) -> Outcome {
+    // Resolve the matrix once: the preset's baseline pairs (which arm the
+    // hybrid path) must feed the POR independence relation and the
+    // machines' own classification identically.
+    let matrix = &preset.effective_matrix(matrix);
     let mut out = Outcome::default();
     let mut built = preset.build(matrix, tamper);
     let mut path: Vec<Step> = Vec::new();
@@ -292,7 +350,7 @@ pub fn explore(
         }
         out.max_depth = out.max_depth.max(path.len());
         cfg.telemetry.mc_oracle_check();
-        if let Some(v) = check_step(&built.net) {
+        if let Some(v) = check_step(&built.net, preset.hybrid) {
             out.violation = Some((v, path.clone()));
             return out;
         }
@@ -361,6 +419,7 @@ pub struct ReplayReport {
 pub fn replay(sched: &Schedule, matrix: &CommuteMatrix) -> Result<ReplayReport, String> {
     let preset =
         Preset::by_name(&sched.preset).ok_or_else(|| format!("unknown preset {}", sched.preset))?;
+    let matrix = &preset.effective_matrix(matrix);
     let mut built = preset.build(matrix, sched.tamper);
     let mut report = ReplayReport {
         applied: 0,
@@ -374,7 +433,7 @@ pub fn replay(sched: &Schedule, matrix: &CommuteMatrix) -> Result<ReplayReport, 
             report.skipped += 1;
             continue;
         }
-        if let Some(v) = check_step(&built.net) {
+        if let Some(v) = check_step(&built.net, preset.hybrid) {
             report.violation = Some(v);
             return Ok(report);
         }
@@ -417,6 +476,34 @@ mod tests {
         let p = Preset {
             eager: 2,
             ..*Preset::by_name("sudoku").unwrap()
+        };
+        let matrix = CommuteMatrix::new();
+        let full = explore(&p, &matrix, None, &small_cfg(false));
+        let reduced = explore(&p, &matrix, None, &small_cfg(true));
+        assert!(full.complete, "unreduced exploration must exhaust");
+        assert!(reduced.complete, "reduced exploration must exhaust");
+        assert!(full.violation.is_none(), "{:?}", full.violation);
+        assert!(reduced.violation.is_none(), "{:?}", reduced.violation);
+        assert_eq!(full.terminal_digests, reduced.terminal_digests);
+        assert!(
+            reduced.schedules < full.schedules,
+            "reduction explored {} of {} schedules — no pruning happened",
+            reduced.schedules,
+            full.schedules
+        );
+        assert!(reduced.pruned > 0);
+    }
+
+    /// The same soundness property on the hybrid preset: async `like`
+    /// deliveries are where the new AsyncOp independence arms prune, and
+    /// the pruned orders must reach the same terminal digests. Shrunk to
+    /// two machines and a lossless network so both trees exhaust.
+    #[test]
+    fn reduction_preserves_terminal_states_on_hybrid_message_board() {
+        let p = Preset {
+            eager: 2,
+            drop_budget: 0,
+            ..*Preset::by_name("message_board").unwrap()
         };
         let matrix = CommuteMatrix::new();
         let full = explore(&p, &matrix, None, &small_cfg(false));

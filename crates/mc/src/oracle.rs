@@ -8,7 +8,14 @@
 //!   single operation, pairwise agreement of completed histories (every
 //!   pair of machines' completion sequences must be prefix-ordered), and
 //!   committed-state digest equality whenever two machines have completed
-//!   the same number of operations.
+//!   the same number of operations. Under the **hybrid commit path**
+//!   (`hybrid = true`) async completions are unordered across machines,
+//!   so the prefix check applies to the *serialized* completion
+//!   subsequence ([`Machine::completed_serialized`]) and the digest
+//!   comparison is gated on the full completed *sets* being equal —
+//!   classification is per-method at issue time, so equal sets imply the
+//!   same serialized subsequence plus async ops that all commute, and the
+//!   committed states must agree.
 //! * **Terminal oracles** ([`check_terminal`]) run once per fully explored
 //!   schedule: the master's recorded commit history is replayed through
 //!   the executable semantic model ([`SemSystem`]) — `Create` envelopes
@@ -96,7 +103,12 @@ impl fmt::Display for Violation {
 }
 
 /// Runs the per-step oracles over every machine in the cluster.
-pub fn check_step(net: &SchedNet<Machine>) -> Option<Violation> {
+///
+/// `hybrid` selects the agreement discipline (see the module docs): the
+/// paper's total order over all completions, or — when the scenario runs
+/// the hybrid commit path — a total order over serialized completions
+/// only, with digests compared once the completed sets coincide.
+pub fn check_step(net: &SchedNet<Machine>, hybrid: bool) -> Option<Violation> {
     let ids = net.members();
     for &id in &ids {
         let m = net.actor(id).expect("listed member exists");
@@ -112,17 +124,41 @@ pub fn check_step(net: &SchedNet<Machine>) -> Option<Violation> {
         for &b in &ids[i + 1..] {
             let ma = net.actor(a).expect("member");
             let mb = net.actor(b).expect("member");
-            let (ca, cb) = (ma.completed_ops(), mb.completed_ops());
+            let (ca, cb) = if hybrid {
+                (ma.completed_serialized(), mb.completed_serialized())
+            } else {
+                (ma.completed_ops(), mb.completed_ops())
+            };
             let n = ca.len().min(cb.len());
             if ca[..n] != cb[..n] {
                 return Some(Violation::CompletedPrefix { a, b });
             }
-            if ca.len() == cb.len() && ma.committed_digest() != mb.committed_digest() {
+            let digests_comparable = if hybrid {
+                same_completed_set(ma, mb)
+            } else {
+                ca.len() == cb.len()
+            };
+            if digests_comparable && ma.committed_digest() != mb.committed_digest() {
                 return Some(Violation::CommittedDigest { a, b });
             }
         }
     }
     None
+}
+
+/// True when two machines have completed the same *set* of operations
+/// (in any order) — the hybrid path's precondition for demanding equal
+/// committed states.
+fn same_completed_set(a: &Machine, b: &Machine) -> bool {
+    let (ca, cb) = (a.completed_ops(), b.completed_ops());
+    if ca.len() != cb.len() {
+        return false;
+    }
+    let mut sa = ca.to_vec();
+    let mut sb = cb.to_vec();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    sa == sb
 }
 
 /// Replays the master's commit history through the semantic model and
@@ -131,6 +167,12 @@ pub fn check_step(net: &SchedNet<Machine>) -> Option<Violation> {
 /// `n_machines` is the scenario's total machine count (the abstract run
 /// has every machine present from the start; late join is an
 /// implementation detail the refinement mapping erases).
+///
+/// The check applies unchanged to hybrid scenarios: the master's history
+/// records every commit — serialized and async alike — in its own apply
+/// order, and that order is one admissible run of the abstract machine
+/// (async commits are just issue-and-commit steps whose placement the
+/// commutativity proof makes irrelevant to the final state).
 pub fn check_terminal(
     net: &SchedNet<Machine>,
     registry: &std::sync::Arc<OpRegistry>,
@@ -183,6 +225,14 @@ pub fn check_terminal(
 /// A deterministic digest of the cluster's observable state, used to prove
 /// the partial-order reduction sound on small scenarios: exploring with
 /// and without reduction must visit the same *set* of terminal digests.
+///
+/// The serialized completion sequence is hashed in order (it is the
+/// paper's total order); the full completed set is hashed *sorted*,
+/// because on the hybrid path the arrival order of commuting async ops
+/// is exactly what the reduction prunes — two interleavings it declares
+/// equivalent differ only in that order, and by construction reach the
+/// same committed state. On non-hybrid scenarios the two sequences
+/// coincide, so nothing is lost.
 pub fn state_digest(net: &SchedNet<Machine>) -> u64 {
     struct Fnv(u64);
     impl Hasher for Fnv {
@@ -202,7 +252,10 @@ pub fn state_digest(net: &SchedNet<Machine>) -> u64 {
         id.hash(&mut h);
         m.committed_digest().hash(&mut h);
         m.guess_digest().hash(&mut h);
-        m.completed_ops().hash(&mut h);
+        m.completed_serialized().hash(&mut h);
+        let mut completed = m.completed_ops().to_vec();
+        completed.sort_unstable();
+        completed.hash(&mut h);
         m.in_cohort().hash(&mut h);
     }
     h.finish()
@@ -225,7 +278,7 @@ mod tests {
             loop {
                 guard += 1;
                 assert!(guard < 100_000, "{}: run failed to converge", p.name);
-                assert_eq!(check_step(&built.net), None, "{}", p.name);
+                assert_eq!(check_step(&built.net, p.hybrid), None, "{}", p.name);
                 if let Some(&seq) = built.net.pending_msgs().first() {
                     built.net.deliver(seq);
                     continue;

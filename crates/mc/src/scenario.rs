@@ -16,15 +16,22 @@
 //! | `sudoku` | 3 | `update(1,1,1)`;`clear(1,1)` same cell | moves in disjoint rows/cols/boxes |
 //! | `auction` | 2 + late join | two first-bids on `lamp` | bids on different items |
 //! | `event_planner` | 2, lossy | two joins for the last `party` seat | user registration vs joins |
+//! | `message_board` | 3, lossy, hybrid | two posts to `general` (serialized) | async `like`s on all machines |
 //!
 //! The `auction` preset stages a third machine whose admission is itself
 //! a choice point (late join at any explored moment); `event_planner`
 //! grants the explorer a message-loss budget, driving the protocol's
-//! resend/recovery paths.
+//! resend/recovery paths. The `message_board` preset turns on the
+//! **hybrid commit path** (`async_commit`): its `like` injections are
+//! universal commuters that broadcast as `Msg::AsyncOp` and commit
+//! without rounds, while its conflicting posts keep the serialized round
+//! path — so the explorer interleaves async arrivals against round
+//! flushes, with a loss budget that forces the round-boundary fence's
+//! re-piggyback repair.
 
 use std::sync::Arc;
 
-use guesstimate_apps::{auction, event_planner, sudoku};
+use guesstimate_apps::{auction, event_planner, message_board, sudoku};
 use guesstimate_core::{CommuteMatrix, MachineId, ObjectId, OpRegistry, SharedOp};
 use guesstimate_net::{SchedNet, SimTime};
 use guesstimate_runtime::{Machine, MachineConfig, Msg};
@@ -44,6 +51,9 @@ pub struct Preset {
     pub rounds: u64,
     /// How many messages the explorer may drop per schedule.
     pub drop_budget: u32,
+    /// Enable the hybrid commit path (`async_commit`): eligible
+    /// injections broadcast as `Msg::AsyncOp` and commit without rounds.
+    pub hybrid: bool,
     /// One-line description for `mc --list`.
     pub blurb: &'static str,
 }
@@ -56,6 +66,7 @@ pub const PRESETS: &[Preset] = &[
         late_join: false,
         rounds: 2,
         drop_budget: 0,
+        hybrid: false,
         blurb: "3 machines; same-cell update/clear conflict vs disjoint-unit moves",
     },
     Preset {
@@ -64,6 +75,7 @@ pub const PRESETS: &[Preset] = &[
         late_join: true,
         rounds: 2,
         drop_budget: 0,
+        hybrid: false,
         blurb: "2 machines + late joiner; dueling first-bids vs cross-item bids",
     },
     Preset {
@@ -72,7 +84,17 @@ pub const PRESETS: &[Preset] = &[
         late_join: false,
         rounds: 3,
         drop_budget: 2,
+        hybrid: false,
         blurb: "2 machines, lossy network; last-seat race plus recovery paths",
+    },
+    Preset {
+        name: "message_board",
+        eager: 3,
+        late_join: false,
+        rounds: 2,
+        drop_budget: 2,
+        hybrid: true,
+        blurb: "3 machines, lossy, hybrid commit; async likes vs serialized same-topic posts",
     },
 ];
 
@@ -93,9 +115,29 @@ impl Preset {
             "sudoku" => sudoku::register(&mut reg),
             "auction" => auction::register(&mut reg),
             "event_planner" => event_planner::register(&mut reg),
+            "message_board" => message_board::register(&mut reg),
             other => unreachable!("unknown preset {other}"),
         }
         reg
+    }
+
+    /// The commute matrix the scenario runs under: the caller's matrix
+    /// (typically loaded from an `analyze --json` archive via `mc
+    /// --matrix`) extended with the preset's baseline pairs. The hybrid
+    /// preset needs `like`'s rows present even when no archive is given —
+    /// an empty matrix would silently classify every method as serialized
+    /// and the async path would never run. The inserted pairs mirror what
+    /// `analyze` validates for `MessageBoard`; inserting an
+    /// already-present pair is a no-op, so an archive matrix passes
+    /// through unchanged.
+    pub fn effective_matrix(&self, given: &CommuteMatrix) -> CommuteMatrix {
+        let mut m = given.clone();
+        if self.name == "message_board" {
+            for other in ["like", "post", "create_topic"] {
+                m.insert("MessageBoard", "like", other);
+            }
+        }
+        m
     }
 
     /// Creates the app object on the master and issues the ops that the
@@ -132,6 +174,16 @@ impl Preset {
                     );
                 }
                 (obj, 5)
+            }
+            "message_board" => {
+                let obj = master.create_instance(message_board::MessageBoard::new());
+                assert!(
+                    master
+                        .issue(message_board::ops::create_topic(obj, "general"))
+                        .expect("prelude issue"),
+                    "prelude op failed"
+                );
+                (obj, 2)
             }
             other => unreachable!("unknown preset {other}"),
         }
@@ -170,6 +222,20 @@ impl Preset {
                 // A fresh registration touches only `users/carol`.
                 (0, event_planner::ops::register_user(obj, "carol", "pw")),
             ],
+            "message_board" => vec![
+                // Two posts to the same topic: serialized, and the commit
+                // order decides the thread order — the conflict the round
+                // path must keep total.
+                (0, message_board::ops::post(obj, "general", "ann", "hi")),
+                (2, message_board::ops::post(obj, "general", "bob", "yo")),
+                // Blind likes: universal commuters that take the async
+                // path. Machine 1 issues two so same-sender FIFO ordering
+                // (a shared arrival slot the reduction must not split) is
+                // exercised alongside cross-sender reorderings.
+                (0, message_board::ops::like(obj, "general")),
+                (1, message_board::ops::like(obj, "general")),
+                (1, message_board::ops::like(obj, "general")),
+            ],
             other => unreachable!("unknown preset {other}"),
         }
     }
@@ -192,7 +258,8 @@ impl Preset {
             .with_stall_timeout(SimTime::from_millis(500))
             .with_record_history(true)
             .with_paranoid_checks(true)
-            .with_commute_matrix(matrix.clone());
+            .with_async_commit(self.hybrid)
+            .with_commute_matrix(self.effective_matrix(matrix));
 
         let mut net: SchedNet<Machine> = SchedNet::new();
         net.add_machine(
@@ -237,11 +304,28 @@ impl Preset {
             .into_iter()
             .filter(|&(m, _)| m < self.eager)
         {
-            let issued = net
-                .actor_mut(MachineId::new(machine))
-                .expect("machine exists")
-                .issue(op)
-                .expect("injection references known objects");
+            let id = MachineId::new(machine);
+            let issued = if self.hybrid {
+                // The hybrid issue path may broadcast an AsyncOp, so it
+                // needs a network context; the resulting in-flight
+                // messages become exploration choices like any other.
+                let mut ok = None;
+                assert!(
+                    net.call(id, |m, ctx| {
+                        ok = Some(
+                            m.issue_hybrid(op, None, ctx)
+                                .expect("injection references known objects"),
+                        );
+                    }),
+                    "machine exists"
+                );
+                ok.expect("call ran")
+            } else {
+                net.actor_mut(id)
+                    .expect("machine exists")
+                    .issue(op)
+                    .expect("injection references known objects")
+            };
             assert!(issued, "injected op failed at issue");
         }
 
@@ -313,7 +397,16 @@ mod tests {
     fn presets_build_and_quiesce() {
         for p in PRESETS {
             let built = p.build(&CommuteMatrix::new(), None);
-            assert!(built.net.pending_msgs().is_empty(), "{}", p.name);
+            // Serialized injections stay pending until a round; only the
+            // hybrid preset's async broadcasts may already be in flight.
+            for &seq in &built.net.pending_msgs() {
+                let msg = &built.net.pending_msg(seq).unwrap().msg;
+                assert!(
+                    p.hybrid && matches!(msg, Msg::AsyncOp { .. }),
+                    "{}: unexpected in-flight {msg:?}",
+                    p.name
+                );
+            }
             assert!(built.net.has_timers(), "{}: tick must be armed", p.name);
             assert_eq!(built.join_choice.is_some(), p.late_join, "{}", p.name);
             for i in 0..p.eager {
@@ -324,6 +417,24 @@ mod tests {
             let master = built.net.actor(MachineId::new(0)).unwrap();
             assert!(master.pending_len() > 0, "{}", p.name);
         }
+    }
+
+    #[test]
+    fn hybrid_preset_commits_asyncs_at_issue() {
+        let p = Preset::by_name("message_board").unwrap();
+        let built = p.build(&CommuteMatrix::new(), None);
+        // Machine 0's injections: one serialized post (pending) and one
+        // async like (committed at issue, on top of the 2 prelude ops).
+        let m0 = built.net.actor(MachineId::new(0)).unwrap();
+        assert_eq!(m0.completed_len(), 3);
+        assert_eq!(m0.completed_serialized().len(), 2);
+        assert_eq!(m0.pending_len(), 1);
+        // Machine 1 issued two async likes and nothing serialized.
+        let m1 = built.net.actor(MachineId::new(1)).unwrap();
+        assert_eq!(m1.completed_len(), 4);
+        assert_eq!(m1.pending_len(), 0);
+        // Each like broadcast to the two peers: 3 likes * 2 = 6 in flight.
+        assert_eq!(built.net.pending_msgs().len(), 6);
     }
 
     #[test]

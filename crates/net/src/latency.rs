@@ -80,8 +80,14 @@ impl LatencyModel {
 
     /// A LAN-like model: normal around `mean_ms` with 25% relative standard
     /// deviation, truncated at 1/4 of the mean.
+    ///
+    /// `mean_ms` is floored at 1: `lan_ms(0)` would otherwise degenerate to
+    /// `Normal(0, 0, min = 0)` — a constant zero-latency link wearing a
+    /// normal distribution's clothes, which silently defeats any experiment
+    /// varying this knob. Samples truncate toward zero microseconds (the
+    /// `as u64` cast), which at millisecond means loses well under 0.1%.
     pub fn lan_ms(mean_ms: u64) -> Self {
-        let mean_us = (mean_ms * 1_000) as f64;
+        let mean_us = (mean_ms.max(1) * 1_000) as f64;
         LatencyModel::Normal {
             mean_us,
             std_us: mean_us * 0.25,
@@ -217,6 +223,19 @@ mod tests {
         assert!(samples.iter().any(|&s| s > 50));
         assert!(samples.iter().any(|&s| s < 50));
         assert_eq!(m.mean().as_millis(), 51);
+    }
+
+    #[test]
+    fn lan_zero_mean_floors_to_one_millisecond() {
+        // A degenerate Normal(0, 0, 0) would make every sample zero; the
+        // floor keeps the model a real distribution.
+        let m = LatencyModel::lan_ms(0);
+        assert_eq!(m, LatencyModel::lan_ms(1));
+        assert_eq!(m.mean().as_micros(), 1_000);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(m.sample(&mut r).as_micros() >= 250);
+        }
     }
 
     #[test]

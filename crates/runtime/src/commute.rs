@@ -140,6 +140,36 @@ fn shared_footprints(
     }
 }
 
+/// The *universal commuters* of one type: methods the validated matrix
+/// proves always-commuting with **every** registered method of the type,
+/// including themselves (the diagonal pair). These are the methods
+/// eligible for the hybrid async commit path
+/// ([`crate::MachineConfig::async_commit`]): because they commute — in
+/// both final state and results — with anything that may ever interleave,
+/// applying them in arrival order instead of the round's total order is
+/// observationally safe.
+///
+/// A method additionally needs a declared [`guesstimate_core::EffectSpec`]
+/// (so footprint reasoning about it stays possible); methods without one
+/// are excluded. Types absent from the matrix yield the empty set.
+pub fn universal_commuters(
+    registry: &OpRegistry,
+    matrix: &CommuteMatrix,
+    type_name: &str,
+) -> BTreeSet<String> {
+    let methods = registry.methods_of(type_name);
+    methods
+        .iter()
+        .filter(|m| registry.effect_of(type_name, m).is_some())
+        .filter(|m| {
+            methods
+                .iter()
+                .all(|other| matrix.commutes(type_name, m, other))
+        })
+        .map(|m| (*m).to_owned())
+        .collect()
+}
+
 /// Full cascade for one pair: do `a` and `b` provably commute?
 ///
 /// Runs the three proofs in order — disjoint touched-object sets, the
@@ -258,6 +288,24 @@ mod tests {
             &create,
             &put(obj(0), "a")
         ));
+    }
+
+    #[test]
+    fn universal_commuters_need_full_matrix_rows_and_effects() {
+        let reg = slots_registry();
+        // Partial row: `put` commutes with itself but its pair with
+        // `raw_put` is unproven, so nothing is universal.
+        let mut m = CommuteMatrix::new();
+        m.insert("Slots", "put", "put");
+        assert!(universal_commuters(&reg, &m, "Slots").is_empty());
+        // Full rows: `put` qualifies; `raw_put` still does not because it
+        // has no declared effect.
+        m.insert("Slots", "put", "raw_put");
+        m.insert("Slots", "raw_put", "raw_put");
+        let u = universal_commuters(&reg, &m, "Slots");
+        assert_eq!(u.into_iter().collect::<Vec<_>>(), vec!["put".to_owned()]);
+        // Unknown types yield the empty set.
+        assert!(universal_commuters(&reg, &m, "NoSuchType").is_empty());
     }
 
     #[test]

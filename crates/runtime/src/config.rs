@@ -60,6 +60,15 @@ pub struct MachineConfig {
     /// replay makes debug runs quadratic in the pending-list length, which
     /// is why this is off by default.
     pub paranoid_checks: bool,
+    /// Hybrid commit path (see `docs/PROTOCOL.md` "Commute-first async
+    /// commits"): operations whose method is a *universal commuter* in
+    /// [`MachineConfig::commute_matrix`] — it commutes with every method of
+    /// its type, including itself — bypass the master-serialized round:
+    /// they commit on the issuer immediately, broadcast in one hop, and
+    /// apply at receivers in arrival order. Serialized operations keep the
+    /// paper's total order. Off by default — the paper commits everything
+    /// through rounds.
+    pub async_commit: bool,
 }
 
 impl Default for MachineConfig {
@@ -74,6 +83,7 @@ impl Default for MachineConfig {
             commute_skip: false,
             commute_matrix: CommuteMatrix::new(),
             paranoid_checks: false,
+            async_commit: false,
         }
     }
 }
@@ -135,6 +145,15 @@ impl MachineConfig {
     /// [`MachineConfig::paranoid_checks`]).
     pub fn with_paranoid_checks(mut self, on: bool) -> Self {
         self.paranoid_checks = on;
+        self
+    }
+
+    /// Enables the hybrid commute-first commit path (see
+    /// [`MachineConfig::async_commit`]). Only effective together with a
+    /// non-empty [`MachineConfig::commute_matrix`], which names the
+    /// analysis-validated commuting pairs.
+    pub fn with_async_commit(mut self, on: bool) -> Self {
+        self.async_commit = on;
         self
     }
 }

@@ -11,7 +11,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use guesstimate_core::{
-    execute, CompletionQueue, ExecError, Footprint, ObjectId, ObjectStore, OpId, OpRegistry,
+    execute, CompletionQueue, ExecError, Footprint, MachineId, ObjectId, ObjectStore, OpId,
+    OpRegistry,
 };
 use guesstimate_net::{SimTime, TraceEvent};
 
@@ -62,6 +63,7 @@ impl Machine {
             let result = execute_wire(&env.op, &mut self.committed, &self.registry)
                 .expect("commit: registries must agree on every machine");
             self.completed.push(env.id);
+            self.completed_serialized.push(env.id);
             if self.cfg.record_history {
                 self.history.push(env.clone());
             }
@@ -131,6 +133,11 @@ impl Machine {
             for hook in &mut self.remote_hooks {
                 hook(object);
             }
+        }
+        // Async operations held back because their object's Create had not
+        // committed here yet may have just become applicable.
+        if self.cfg.async_commit {
+            self.drain_async();
         }
         n
     }
@@ -211,8 +218,13 @@ impl Machine {
 
     /// Builds the catalog snapshot + completed history shipped to a joining
     /// machine (the master's side of "sends the new device both the list of
-    /// available objects and the list of completed operations").
-    pub(crate) fn build_join_info(&self) -> (Vec<ObjectInit>, Vec<OpId>) {
+    /// available objects and the list of completed operations"), plus the
+    /// hybrid path's serialized-only subsequence and per-sender async
+    /// watermarks (both trivial when `async_commit` is off).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn build_join_info(
+        &self,
+    ) -> (Vec<ObjectInit>, Vec<OpId>, Vec<OpId>, Vec<(MachineId, u64)>) {
         let catalog = self
             .committed
             .iter()
@@ -222,7 +234,12 @@ impl Machine {
                 state: obj.snapshot(),
             })
             .collect();
-        (catalog, self.completed.clone())
+        (
+            catalog,
+            self.completed.clone(),
+            self.completed_serialized.clone(),
+            self.async_watermarks(),
+        )
     }
 
     /// Initializes committed and guesstimated state from a `JoinInfo`.
@@ -230,7 +247,13 @@ impl Machine {
     /// Pending operations issued before admission are preserved and
     /// replayed onto the fresh guesstimated state; they commit in this
     /// machine's first round.
-    pub(crate) fn init_from_join_info(&mut self, catalog: Vec<ObjectInit>, completed: Vec<OpId>) {
+    pub(crate) fn init_from_join_info(
+        &mut self,
+        catalog: Vec<ObjectInit>,
+        completed: Vec<OpId>,
+        completed_serialized: Vec<OpId>,
+        async_watermarks: Vec<(MachineId, u64)>,
+    ) {
         self.committed = ObjectStore::new();
         self.catalog.clear();
         for oi in catalog {
@@ -244,6 +267,13 @@ impl Machine {
             self.catalog.insert(oi.id, oi.type_name);
         }
         self.completed = completed;
+        self.completed_serialized = completed_serialized;
+        let own_watermark = self.install_async_watermarks(async_watermarks);
+        if self.cfg.async_commit {
+            // Own async commits the master never saw are absent from the
+            // snapshot; re-apply them from the (restart-surviving) window.
+            self.restore_unseen_asyncs(own_watermark);
+        }
         self.guess.copy_from(&self.committed);
         let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
         for env in &still_pending {
@@ -260,9 +290,14 @@ impl Machine {
         self.membership.joined_system = true;
         // Round bookkeeping restarts with the new membership epoch: the
         // first BeginSync after (re-)admission re-anchors the numbering.
-        self.participant.last_round_applied = None;
+        self.participant.next_round_expected = None;
         self.participant.buffered.clear();
         self.participant.round = None;
+        // Async ops buffered while unjoined (or held on a missing object
+        // that the snapshot just materialized) may now be applicable.
+        if self.cfg.async_commit {
+            self.drain_async();
+        }
     }
 
     /// Resets all replicated state, as the paper's restart signal does:
@@ -284,9 +319,16 @@ impl Machine {
         self.guess = ObjectStore::new();
         self.catalog.clear();
         self.completed.clear();
+        self.completed_serialized.clear();
+        // Hybrid path: inbound async state is rebuilt from the rejoin's
+        // watermarks. The *outbound* fence window and the monotone
+        // `aseq_next` deliberately survive the restart — they are what lets
+        // a restarted issuer re-fence (and locally restore) async commits
+        // the master never observed; see `Machine::restore_unseen_asyncs`.
+        self.async_in.clear();
         self.membership.joined_system = false;
         self.membership.in_cohort = false;
-        self.participant.last_round_applied = None;
+        self.participant.next_round_expected = None;
         self.participant.round = None;
         self.participant.buffered.clear();
     }

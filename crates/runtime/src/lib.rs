@@ -75,6 +75,7 @@ mod cluster;
 pub mod commute;
 mod config;
 mod exec;
+mod hybrid;
 mod machine;
 mod message;
 mod protocol;

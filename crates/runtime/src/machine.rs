@@ -10,7 +10,7 @@
 //! initialization) lives in [`crate::exec`]. This module implements the
 //! local API: issuing (rule R2), reads, and the object catalog.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use guesstimate_core::{
@@ -22,6 +22,7 @@ use guesstimate_telemetry::Telemetry;
 
 use crate::config::MachineConfig;
 use crate::exec::execute_wire;
+use crate::hybrid::AsyncIn;
 use crate::message::{WireEnvelope, WireOp};
 use crate::roles::election::ElectionRole;
 use crate::roles::master::MasterRole;
@@ -71,6 +72,24 @@ pub struct Machine {
     pub(crate) obj_seq: u64,
     pub(crate) exec_counts: HashMap<OpId, u32>,
     pub(crate) issue_times: HashMap<OpId, SimTime>,
+
+    // --- Hybrid commit path (MachineConfig::async_commit) ---
+    /// Next async sequence number to stamp on an async-committed op.
+    /// Monotone across restarts — never reset, so receivers' watermarks
+    /// stay valid when this machine rejoins.
+    pub(crate) aseq_next: u64,
+    /// Async ops committed here since the last flush; piggybacked on the
+    /// next `Msg::Ops` as the round-boundary fence, then cleared.
+    pub(crate) async_window: Vec<(u64, WireEnvelope)>,
+    /// Per-sender inbound async state: watermark + reorder buffer.
+    pub(crate) async_in: BTreeMap<MachineId, AsyncIn>,
+    /// Memoized [`crate::commute::universal_commuters`] per type name.
+    pub(crate) universal_cache: HashMap<String, BTreeSet<String>>,
+    /// The serialized-only subsequence of `completed`, in round order.
+    /// Under the hybrid path the full `completed` list interleaves async
+    /// commits in per-machine arrival order, so round-total-order oracle
+    /// checks (prefix agreement) consult this list instead.
+    pub(crate) completed_serialized: Vec<OpId>,
 
     // --- Protocol roles (sans-IO state machines; see crate::roles) ---
     pub(crate) is_master: bool,
@@ -137,6 +156,11 @@ impl Machine {
             obj_seq: 0,
             exec_counts: HashMap::new(),
             issue_times: HashMap::new(),
+            aseq_next: 0,
+            async_window: Vec::new(),
+            async_in: BTreeMap::new(),
+            universal_cache: HashMap::new(),
+            completed_serialized: Vec::new(),
             is_master,
             master: MasterRole::new(id),
             participant: ParticipantRole::new(id),
@@ -219,6 +243,18 @@ impl Machine {
     /// committed states.
     pub fn completed_ops(&self) -> &[OpId] {
         &self.completed
+    }
+
+    /// The serialized-only subsequence of the completed operations, in the
+    /// master's round-total order.
+    ///
+    /// Identical to [`Machine::completed_ops`] unless the hybrid commit
+    /// path ([`crate::MachineConfig::async_commit`]) is enabled, in which
+    /// case async commits — which land in per-machine arrival order — are
+    /// excluded. The model checker's prefix-agreement oracle compares this
+    /// sequence across machines.
+    pub fn completed_serialized(&self) -> &[OpId] {
+        &self.completed_serialized
     }
 
     /// Deterministic digest of the committed state `sc`.
@@ -309,7 +345,7 @@ impl Machine {
         }
     }
 
-    fn next_op_id(&mut self) -> OpId {
+    pub(crate) fn next_op_id(&mut self) -> OpId {
         let id = OpId::new(self.id, self.op_seq);
         self.op_seq += 1;
         id
@@ -433,7 +469,7 @@ impl Machine {
         self.issue_inner(op, completion, Some(now))
     }
 
-    fn issue_inner(
+    pub(crate) fn issue_inner(
         &mut self,
         op: SharedOp,
         completion: Option<CompletionFn>,

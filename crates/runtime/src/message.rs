@@ -169,6 +169,14 @@ pub enum Msg {
         /// [`Arc`] so the broadcast fan-out and recovery resends reuse one
         /// allocation instead of deep-copying envelopes per recipient.
         ops: Arc<Vec<WireEnvelope>>,
+        /// Async-committed operations this machine issued since its
+        /// previous flush, as `(async sequence, envelope)` pairs (the
+        /// round-boundary fence of the hybrid commit path: the flush
+        /// piggybacks them so round reliability — counts, `OpsRequest`
+        /// resends — repairs any lost [`Msg::AsyncOp`] broadcast before
+        /// the round applies). Empty when
+        /// [`crate::MachineConfig::async_commit`] is off.
+        asyncs: Arc<Vec<(u64, WireEnvelope)>>,
     },
     /// Flushing machine → all: confirmation that its flush is complete
     /// (`count` operations); passes the turn to the next machine in order.
@@ -212,6 +220,19 @@ pub enum Msg {
         round: u64,
     },
 
+    // ---- Hybrid commit path (commute-first async commits) ----
+    /// Issuer → all: a universally-commuting operation, already committed
+    /// on the issuer, to be applied at each receiver in arrival order
+    /// (per-sender FIFO by `aseq`). Not part of any round; see
+    /// `docs/PROTOCOL.md` "Commute-first async commits".
+    AsyncOp {
+        /// Per-sender async sequence number (contiguous from 0); receivers
+        /// use it for per-sender FIFO ordering and duplicate suppression.
+        aseq: u64,
+        /// The committed operation with its issue identity.
+        env: WireEnvelope,
+    },
+
     // ---- Recovery ----
     /// Master → all: these machines were removed from the current round
     /// (stalled); do not wait for their flush and discard their ops.
@@ -249,6 +270,15 @@ pub enum Msg {
         catalog: Vec<ObjectInit>,
         /// Ids of all committed operations (the sequence `C`).
         completed: Vec<OpId>,
+        /// The serialized-only subsequence of `completed`, in round order
+        /// (equal to `completed` unless the hybrid commit path is on).
+        /// The joiner anchors its own serialized sequence here so the
+        /// prefix-agreement oracle holds across joins.
+        completed_serialized: Vec<OpId>,
+        /// Per-sender async watermarks on the master (`next expected
+        /// aseq`); the joiner starts its receive state here so async ops
+        /// already folded into the shipped catalog are not applied twice.
+        async_watermarks: Vec<(MachineId, u64)>,
     },
     /// Joining machine → master: initialized; include me from the next
     /// synchronization onward.
@@ -273,21 +303,36 @@ impl Msg {
     pub fn wire_size(&self) -> u64 {
         TAG + match self {
             Msg::BeginSync { order, .. } => ROUND + LEN + order.len() as u64 * MACHINE_ID,
-            Msg::Ops { ops, .. } => {
-                ROUND + MACHINE_ID + LEN + ops.iter().map(WireEnvelope::wire_size).sum::<u64>()
+            Msg::Ops { ops, asyncs, .. } => {
+                ROUND
+                    + MACHINE_ID
+                    + LEN
+                    + ops.iter().map(WireEnvelope::wire_size).sum::<u64>()
+                    + LEN
+                    + asyncs.iter().map(|(_, e)| 8 + e.wire_size()).sum::<u64>()
             }
             Msg::FlushDone { .. } => ROUND + MACHINE_ID + 8,
             Msg::BeginApply { counts, .. } => ROUND + LEN + counts.len() as u64 * (MACHINE_ID + 8),
             Msg::OpsRequest { .. } | Msg::SyncComplete { .. } => ROUND,
+            Msg::AsyncOp { env, .. } => 8 + env.wire_size(),
             Msg::Ack { .. } => ROUND + MACHINE_ID,
             Msg::RoundUpdate { removed, .. } => ROUND + LEN + removed.len() as u64 * MACHINE_ID,
             Msg::Restart | Msg::MasterHeartbeat => 0,
             Msg::MasterCandidate { .. } => MACHINE_ID + ROUND,
             Msg::JoinRequest { machine: _ } | Msg::JoinReady { machine: _ } => MACHINE_ID,
-            Msg::JoinInfo { catalog, completed } => {
+            Msg::JoinInfo {
+                catalog,
+                completed,
+                completed_serialized,
+                async_watermarks,
+            } => {
                 LEN + catalog.iter().map(ObjectInit::wire_size).sum::<u64>()
                     + LEN
                     + completed.len() as u64 * OP_ID
+                    + LEN
+                    + completed_serialized.len() as u64 * OP_ID
+                    + LEN
+                    + async_watermarks.len() as u64 * (MACHINE_ID + 8)
             }
             Msg::Leave { machine: _ } => MACHINE_ID,
         }
@@ -317,6 +362,7 @@ mod tests {
                     args![1],
                 )),
             }]),
+            asyncs: Arc::new(vec![]),
         };
         assert_eq!(o, o.clone());
         assert_ne!(m, o);
@@ -350,16 +396,19 @@ mod tests {
             round: 1,
             machine: MachineId::new(1),
             ops: Arc::new(vec![]),
+            asyncs: Arc::new(vec![]),
         };
         let one = Msg::Ops {
             round: 1,
             machine: MachineId::new(1),
             ops: Arc::new(vec![env(0)]),
+            asyncs: Arc::new(vec![]),
         };
         let two = Msg::Ops {
             round: 1,
             machine: MachineId::new(1),
             ops: Arc::new(vec![env(0), env(1)]),
+            asyncs: Arc::new(vec![]),
         };
         assert!(empty.wire_size() < one.wire_size());
         assert_eq!(
@@ -396,6 +445,28 @@ mod tests {
                 round: 1,
                 machine,
                 ops: Arc::new(vec![]),
+                asyncs: Arc::new(vec![(
+                    0,
+                    WireEnvelope {
+                        id: OpId::new(machine, 0),
+                        op: WireOp::Shared(SharedOp::primitive(
+                            ObjectId::new(machine, 0),
+                            "f",
+                            args![],
+                        )),
+                    },
+                )]),
+            },
+            Msg::AsyncOp {
+                aseq: 0,
+                env: WireEnvelope {
+                    id: OpId::new(machine, 1),
+                    op: WireOp::Shared(SharedOp::primitive(
+                        ObjectId::new(machine, 0),
+                        "g",
+                        args![1],
+                    )),
+                },
             },
             Msg::FlushDone {
                 round: 1,
@@ -427,6 +498,8 @@ mod tests {
                     state: Value::from(0),
                 }],
                 completed: vec![OpId::new(machine, 0)],
+                completed_serialized: vec![OpId::new(machine, 0)],
+                async_watermarks: vec![(machine, 3)],
             },
             Msg::JoinReady { machine },
             Msg::Leave { machine },

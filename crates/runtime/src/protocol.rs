@@ -105,9 +105,20 @@ impl Actor for Machine {
         }
         match msg {
             Msg::JoinRequest { machine } => self.handle_join_request(machine, ctx),
-            Msg::JoinInfo { catalog, completed } => {
-                self.handle_join_info(from, catalog, completed, ctx)
-            }
+            Msg::JoinInfo {
+                catalog,
+                completed,
+                completed_serialized,
+                async_watermarks,
+            } => self.handle_join_info(
+                from,
+                catalog,
+                completed,
+                completed_serialized,
+                async_watermarks,
+                ctx,
+            ),
+            Msg::AsyncOp { aseq, env } => self.handle_async_op(from, aseq, env),
             Msg::JoinReady { machine } => self.handle_join_ready(machine, ctx),
             Msg::Leave { machine } => self.handle_leave(machine, ctx),
             Msg::Restart => self.self_restart(ctx),
@@ -213,8 +224,18 @@ impl Machine {
                 Effect::SelfRestart => self.self_restart(ctx),
                 Effect::ServiceJoins => self.service_joins(ctx),
                 Effect::SendJoinInfo { to } => {
-                    let (catalog, completed) = self.build_join_info();
-                    ctx.send(to, Channel::Signals, Msg::JoinInfo { catalog, completed });
+                    let (catalog, completed, completed_serialized, async_watermarks) =
+                        self.build_join_info();
+                    ctx.send(
+                        to,
+                        Channel::Signals,
+                        Msg::JoinInfo {
+                            catalog,
+                            completed,
+                            completed_serialized,
+                            async_watermarks,
+                        },
+                    );
                 }
                 Effect::BeginApplyLocal { round, counts } => {
                     self.step_participant(ParticipantEvent::BeginApply { round, counts }, ctx)
@@ -225,7 +246,13 @@ impl Machine {
                     }
                     self.membership.members.remove(&machine);
                 }
-                Effect::ClearRound => self.participant.round = None,
+                Effect::ClearRound => {
+                    // The master finished the round: fenced async-window
+                    // entries are delivered everywhere, so trim before the
+                    // round state (and its piggyback record) goes away.
+                    self.trim_async_window();
+                    self.participant.round = None;
+                }
                 Effect::RoundFinished { sample } => {
                     self.telemetry.round_finished(
                         sample.duration,
@@ -264,6 +291,20 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn route_round_msg(&mut self, from: MachineId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        // The flush-piggybacked async window (the round-boundary fence)
+        // applies *before* round gating: it repairs lost `AsyncOp`
+        // broadcasts whether the carrying `Ops` message is current,
+        // buffered early, stale, or a resend — the per-sender watermark
+        // absorbs any duplicate.
+        if let Msg::Ops {
+            machine, asyncs, ..
+        } = &msg
+        {
+            if !asyncs.is_empty() {
+                let (machine, asyncs) = (*machine, Arc::clone(asyncs));
+                self.apply_async_batch(machine, &asyncs);
+            }
+        }
         let Some(round) = msg_round(&msg) else { return };
         match self.participant.active_round() {
             Some(r) if r == round => self.dispatch_round_msg(from, msg, ctx),
@@ -296,7 +337,13 @@ impl Machine {
             Msg::Ack { machine, .. } if self.is_master => {
                 self.step_master(MasterEvent::Ack { machine }, ctx);
             }
-            Msg::SyncComplete { .. } => self.step_participant(ParticipantEvent::SyncComplete, ctx),
+            Msg::SyncComplete { .. } => {
+                // The round completed everywhere: trim the async fence
+                // window while the round state still records what this
+                // machine's flush piggybacked.
+                self.trim_async_window();
+                self.step_participant(ParticipantEvent::SyncComplete, ctx)
+            }
             Msg::RoundUpdate { removed, .. } => {
                 self.step_participant(ParticipantEvent::RoundUpdate { removed }, ctx)
             }
@@ -330,6 +377,9 @@ impl Machine {
     /// fan-out, the stored `my_flush` copy and any later `OpsRequest` reply
     /// all reuse the same allocation.
     fn do_flush(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // The round-boundary fence: piggyback the not-yet-fenced async
+        // window on this flush (empty unless async_commit is on).
+        let asyncs = self.take_async_window();
         let Some(rs) = self.participant.round.as_mut() else {
             return;
         };
@@ -339,6 +389,7 @@ impl Machine {
         rs.flushed = true;
         let batch: OpsBatch = Arc::new(self.pending.iter().cloned().collect());
         rs.my_flush = Arc::clone(&batch);
+        rs.my_asyncs = Arc::clone(&asyncs);
         let count = batch.len() as u64;
         // Our own ops participate in the consolidated list directly.
         rs.received.insert(
@@ -350,13 +401,14 @@ impl Machine {
         for e in batch.iter() {
             self.telemetry.op_flushed(e.id, ctx.now());
         }
-        if count > 0 {
+        if count > 0 || !asyncs.is_empty() {
             ctx.broadcast(
                 Channel::Operations,
                 Msg::Ops {
                     round,
                     machine: self.id,
                     ops: batch,
+                    asyncs,
                 },
             );
             self.trace(ctx.now(), TraceEvent::OpsBatchSent { round, ops: count });
@@ -379,14 +431,16 @@ impl Machine {
         };
         let round = rs.round;
         let count = rs.my_flush.len() as u64;
-        if count > 0 {
+        if count > 0 || !rs.my_asyncs.is_empty() {
             let ops = Arc::clone(&rs.my_flush);
+            let asyncs = Arc::clone(&rs.my_asyncs);
             ctx.broadcast(
                 Channel::Operations,
                 Msg::Ops {
                     round,
                     machine: self.id,
                     ops,
+                    asyncs,
                 },
             );
             self.trace(ctx.now(), TraceEvent::OpsBatchSent { round, ops: count });
@@ -502,7 +556,7 @@ impl Machine {
             rs.applied = true;
             (rs.round, rs.order[0])
         };
-        self.participant.last_round_applied = Some(round);
+        self.participant.next_round_expected = Some(round + 1);
         if self.is_master {
             self.step_master(MasterEvent::RoundApplied { ops_committed: n }, ctx);
         } else {
@@ -561,13 +615,15 @@ impl Machine {
         from: MachineId,
         catalog: Vec<crate::message::ObjectInit>,
         completed: Vec<guesstimate_core::OpId>,
+        completed_serialized: Vec<guesstimate_core::OpId>,
+        async_watermarks: Vec<(MachineId, u64)>,
         ctx: &mut Ctx<'_, Msg>,
     ) {
         if self.is_master {
             return;
         }
         if !self.membership.in_cohort {
-            self.init_from_join_info(catalog, completed);
+            self.init_from_join_info(catalog, completed, completed_serialized, async_watermarks);
         }
         ctx.send(from, Channel::Signals, Msg::JoinReady { machine: self.id });
     }
@@ -655,7 +711,7 @@ impl Machine {
             return;
         }
         let in_cohort = self.membership.in_cohort;
-        let last_round_applied = self.participant.last_round_applied.unwrap_or(0);
+        let last_round_applied = self.participant.election_round_hint();
         self.step_election(
             ElectionEvent::Watchdog {
                 in_cohort,
@@ -677,7 +733,7 @@ impl Machine {
             return;
         }
         let in_cohort = self.membership.in_cohort;
-        let last_round_applied = self.participant.last_round_applied.unwrap_or(0);
+        let last_round_applied = self.participant.election_round_hint();
         self.step_election(
             ElectionEvent::Candidate {
                 machine,
@@ -700,7 +756,7 @@ impl Machine {
         self.master.active = None;
         // Skip a round number in case the dead master's last round was
         // partially committed somewhere.
-        self.master.next_round = self.participant.last_round_applied.unwrap_or(0) + 2;
+        self.master.next_round = self.participant.election_round_hint() + 2;
         self.stats.promotions += 1;
         self.trace(
             ctx.now(),

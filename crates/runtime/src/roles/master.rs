@@ -342,6 +342,21 @@ impl MasterRole {
         let apply_duration = mr
             .apply_started_at
             .map_or(SimTime::ZERO, |t| now.saturating_since(t));
+        // The stage timestamps are monotone by construction (BeginSync ≤
+        // BeginApply ≤ last ack), so the two stages can never exceed the
+        // round. If they do, a stage boundary was recorded out of order and
+        // the silent clamp below would fabricate a zero stage 3 — masking
+        // exactly the "stage durations partition the round" invariant that
+        // bench_snapshot asserts. Fail loudly in debug builds instead.
+        debug_assert!(
+            flush_duration + apply_duration <= duration,
+            "round {}: stage durations exceed the round duration \
+             ({:?} + {:?} > {:?}); a stage timestamp was recorded out of order",
+            mr.round,
+            flush_duration,
+            apply_duration,
+            duration,
+        );
         let completion_duration = duration.saturating_since(flush_duration + apply_duration);
         vec![
             Effect::ClearRound,
@@ -763,6 +778,50 @@ mod tests {
             matches!(fx[5], Effect::SetTimer { tag: t, .. } if tag::kind(t) == tag::MASTER_TICK)
         );
         assert!(m.active.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "stage durations exceed the round duration")]
+    fn out_of_order_stage_timestamps_are_rejected() {
+        // Regression: a round whose final ack is stamped *before* the
+        // apply stage began used to clamp the negative stage-3 remainder
+        // to zero silently. The debug assertion must fire instead.
+        let c = cfg();
+        let mut m = MasterRole::new(id(0));
+        m.step(
+            MasterEvent::BeginRound { order: order3() },
+            SimTime::from_millis(10),
+            &c,
+        );
+        for i in 0..3 {
+            // Stage 1 ends (BeginApply goes out) at t = 20ms.
+            m.step(
+                MasterEvent::FlushDone {
+                    machine: id(i),
+                    count: 1,
+                },
+                SimTime::from_millis(20),
+                &c,
+            );
+        }
+        m.step(
+            MasterEvent::RoundApplied { ops_committed: 3 },
+            SimTime::from_millis(20),
+            &c,
+        );
+        m.step(
+            MasterEvent::Ack { machine: id(1) },
+            SimTime::from_millis(20),
+            &c,
+        );
+        // Out-of-order clock: the last ack is stamped at t = 5ms, before
+        // the round even began. duration saturates to 0 while stage 1
+        // alone measured 10ms.
+        m.step(
+            MasterEvent::Ack { machine: id(2) },
+            SimTime::from_millis(5),
+            &c,
+        );
     }
 
     #[test]

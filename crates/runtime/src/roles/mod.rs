@@ -203,3 +203,8 @@ pub enum Effect {
 /// roles (the flush batch travels behind an [`Arc`] so broadcast fan-out
 /// and recovery resends never deep-copy envelopes).
 pub type OpsBatch = Arc<Vec<WireEnvelope>>;
+
+/// The async-committed `(aseq, envelope)` window a flush piggybacks (the
+/// hybrid commit path's round-boundary fence), shared behind an [`Arc`]
+/// for the same no-copy reason as [`OpsBatch`].
+pub type AsyncBatch = Arc<Vec<(u64, WireEnvelope)>>;

@@ -5,7 +5,7 @@
 //! this role. It owns the per-round [`RoundState`], the buffer for round
 //! messages that arrive before their `BeginSync` (the Signals and
 //! Operations channels are independently delayed, so reordering is
-//! normal), and the machine's committed progress (`last_round_applied`).
+//! normal), and the machine's committed progress (`next_round_expected`).
 //! Flushing and applying touch the replicated stores, so those are
 //! [`Effect`]s lowered by the composer; everything decided *about* the
 //! round — when to flush, when a duplicate signal needs re-answering,
@@ -19,7 +19,7 @@ use guesstimate_net::{Channel, SimTime, TraceEvent};
 
 use crate::config::MachineConfig;
 use crate::message::{Msg, WireOp};
-use crate::roles::{Effect, OpsBatch};
+use crate::roles::{AsyncBatch, Effect, OpsBatch};
 
 /// Participant-side state of the round in progress (the master keeps one
 /// too — it participates like everyone else).
@@ -37,6 +37,9 @@ pub struct RoundState {
     /// behind an [`Arc`]: the broadcast fan-out and any `OpsRequest` reply
     /// reuse it without copying envelopes.
     pub(crate) my_flush: OpsBatch,
+    /// The async-committed window this machine piggybacked on its flush
+    /// (hybrid commit path), kept for the same recovery resends.
+    pub(crate) my_asyncs: AsyncBatch,
     /// Per-machine flushed-op counts heard via `FlushDone` (turn-taking).
     pub(crate) flush_done: BTreeMap<MachineId, u64>,
     /// Operation batches received so far, per source machine.
@@ -58,6 +61,7 @@ impl RoundState {
             removed: BTreeSet::new(),
             flushed: false,
             my_flush: Arc::new(Vec::new()),
+            my_asyncs: Arc::new(Vec::new()),
             flush_done: BTreeMap::new(),
             received: BTreeMap::new(),
             counts: None,
@@ -133,8 +137,18 @@ pub struct ParticipantRole {
     /// Round messages that arrived before their `BeginSync`, keyed by
     /// round number.
     pub(crate) buffered: BTreeMap<u64, Vec<(MachineId, Msg)>>,
-    /// The highest round this machine has applied.
-    pub(crate) last_round_applied: Option<u64>,
+    /// The next round this machine expects to take part in. `None` means
+    /// freshly (re)joined — any first round is acceptable, because the
+    /// join snapshot already covers all earlier history. `Some(n)` means
+    /// the numbering is anchored: a `BeginSync` for a round greater than
+    /// `n` proves at least one whole round was missed (committed-state
+    /// gap).
+    ///
+    /// This replaces the former `last_round_applied: Option<u64>`
+    /// watermark, whose `Some(round - 1)` seeding conflated "applied
+    /// round 0" with "never applied anything" at round 0 and let the gap
+    /// check wave a missed round 0 through.
+    pub(crate) next_round_expected: Option<u64>,
 }
 
 impl ParticipantRole {
@@ -144,7 +158,7 @@ impl ParticipantRole {
             me,
             round: None,
             buffered: BTreeMap::new(),
-            last_round_applied: None,
+            next_round_expected: None,
         }
     }
 
@@ -153,9 +167,19 @@ impl ParticipantRole {
         self.round.as_ref().map(|rs| rs.round)
     }
 
-    /// The highest round this machine has applied.
-    pub fn last_round_applied(&self) -> Option<u64> {
-        self.last_round_applied
+    /// The next round this machine expects (`None` until a first round is
+    /// seen after a fresh (re)join).
+    pub fn next_round_expected(&self) -> Option<u64> {
+        self.next_round_expected
+    }
+
+    /// The committed-progress rank used by the §9 failover election: the
+    /// last round known applied (0 when fresh). Derived from
+    /// [`ParticipantRole::next_round_expected`] so the election ranks
+    /// match the pre-`next_round_expected` encoding exactly.
+    pub(crate) fn election_round_hint(&self) -> u64 {
+        self.next_round_expected
+            .map_or(0, |next| next.saturating_sub(1))
     }
 
     /// How many early rounds are currently buffered.
@@ -164,10 +188,10 @@ impl ParticipantRole {
     }
 
     /// Buffers a round message that arrived before its `BeginSync`.
-    /// Rounds at or below the applied watermark are dropped; the buffer is
-    /// bounded to the 8 highest rounds.
+    /// Rounds below the expected-round watermark are dropped; the buffer
+    /// is bounded to the 8 highest rounds.
     pub(crate) fn buffer_early(&mut self, round: u64, from: MachineId, msg: Msg) {
-        if round > self.last_round_applied.unwrap_or(0) {
+        if round >= self.next_round_expected.unwrap_or(0) {
             self.buffered.entry(round).or_default().push((from, msg));
             while self.buffered.len() > 8 {
                 self.buffered.pop_first();
@@ -251,6 +275,7 @@ impl ParticipantRole {
                             round,
                             machine: self.me,
                             ops: Arc::clone(&rs.my_flush),
+                            asyncs: Arc::clone(&rs.my_asyncs),
                         },
                     }]
                 } else {
@@ -332,14 +357,17 @@ impl ParticipantRole {
             }
             return fx;
         }
-        if let Some(last) = self.last_round_applied {
-            if round > last + 1 {
+        if let Some(next) = self.next_round_expected {
+            if round > next {
                 // We missed at least one whole round: committed-state gap.
                 fx.push(Effect::SelfRestart);
                 return fx;
             }
         } else {
-            self.last_round_applied = Some(round.saturating_sub(1));
+            // First round since (re)joining anchors the numbering; the
+            // join snapshot covers everything before it, so any starting
+            // round — including round 0 — is consistent.
+            self.next_round_expected = Some(round);
         }
         fx.push(Effect::JoinCohort);
         self.round = Some(RoundState::new(round, order));
@@ -359,8 +387,8 @@ impl ParticipantRole {
     /// without the membership checks.
     pub(crate) fn start_local_round(&mut self, round: u64, order: Vec<MachineId>) {
         self.round = Some(RoundState::new(round, order));
-        if self.last_round_applied.is_none() {
-            self.last_round_applied = Some(round.saturating_sub(1));
+        if self.next_round_expected.is_none() {
+            self.next_round_expected = Some(round);
         }
     }
 }
@@ -422,7 +450,56 @@ mod tests {
             ]
         ));
         assert_eq!(p.active_round(), Some(1));
-        assert_eq!(p.last_round_applied(), Some(0), "watermark seeded");
+        assert_eq!(p.next_round_expected(), Some(1), "numbering anchored");
+    }
+
+    #[test]
+    fn join_at_round_zero_gap_is_detected() {
+        // Regression: a fresh machine whose first round is round 0 must
+        // not be treated as having *applied* round 0. The old
+        // `last_round_applied = Some(round.saturating_sub(1))` seeding
+        // mapped round 0 to Some(0) — indistinguishable from a genuine
+        // apply — so a subsequent BeginSync(1) passed the gap check even
+        // though round 0's commits never landed here.
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(0), SimTime::ZERO, &c);
+        assert_eq!(p.active_round(), Some(0));
+        // Round 0 is torn down without ever being applied (e.g. the
+        // BeginSync was a stale re-announcement of a finished round).
+        p.round = None;
+        let fx = p.step(begin_sync(1), SimTime::ZERO, &c);
+        assert!(
+            matches!(fx[..], [Effect::SelfRestart]),
+            "unapplied round 0 is a committed-state gap, got {fx:?}"
+        );
+    }
+
+    #[test]
+    fn gap_at_round_one_is_detected() {
+        // Regression: same conflation one round later. A fresh machine
+        // saw BeginSync(1), never applied it, and the round was torn
+        // down; BeginSync(2) must restart it. The old seeding set
+        // last_round_applied = Some(0), and 2 > 0 + 1 is false, so the
+        // gap sailed through.
+        let c = cfg();
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(1), SimTime::ZERO, &c);
+        p.round = None;
+        let fx = p.step(begin_sync(2), SimTime::ZERO, &c);
+        assert!(
+            matches!(fx[..], [Effect::SelfRestart]),
+            "unapplied round 1 is a committed-state gap, got {fx:?}"
+        );
+        // Control: after actually applying round 1 the successor round
+        // is accepted.
+        let mut p = ParticipantRole::new(id(1));
+        p.step(begin_sync(1), SimTime::ZERO, &c);
+        p.round = None;
+        p.next_round_expected = Some(2); // the composer's post-apply update
+        let fx = p.step(begin_sync(2), SimTime::ZERO, &c);
+        assert!(!fx.iter().any(|e| matches!(e, Effect::SelfRestart)));
+        assert_eq!(p.active_round(), Some(2));
     }
 
     #[test]
@@ -445,7 +522,7 @@ mod tests {
         let mut p = ParticipantRole::new(id(1));
         p.step(begin_sync(1), SimTime::ZERO, &c);
         p.round.as_mut().unwrap().applied = true;
-        p.last_round_applied = Some(1);
+        p.next_round_expected = Some(2);
         // Round 3 announced but round 2 never reached us.
         let fx = p.step(begin_sync(3), SimTime::ZERO, &c);
         assert!(matches!(fx[..], [Effect::CountSync, Effect::SelfRestart]));
@@ -596,8 +673,8 @@ mod tests {
         }
         assert_eq!(p.buffered_rounds(), 8);
         assert!(p.buffered.keys().min() == Some(&5), "oldest rounds evicted");
-        // Rounds at or below the applied watermark are dropped outright.
-        p.last_round_applied = Some(20);
+        // Rounds below the expected-round watermark are dropped outright.
+        p.next_round_expected = Some(21);
         p.buffer_early(20, id(0), Msg::SyncComplete { round: 20 });
         assert_eq!(p.buffered_rounds(), 8);
     }

@@ -70,6 +70,13 @@ pub struct MachineStats {
     pub committed_own: u64,
     /// Foreign operations applied at commit.
     pub committed_foreign: u64,
+    /// Own operations committed through the async commute-first path
+    /// ([`crate::MachineConfig::async_commit`]) — a subset of
+    /// `committed_own`.
+    pub committed_async_own: u64,
+    /// Foreign async operations applied on arrival — a subset of
+    /// `committed_foreign`.
+    pub committed_async_foreign: u64,
     /// Own operations that succeeded at issue but failed at commit.
     pub conflicts: u64,
     /// Completion routines executed.
@@ -107,6 +114,10 @@ pub struct MachineStats {
     /// [`crate::Machine::issue_at`] (operations issued without a timestamp
     /// are not tracked).
     pub commit_latencies: Vec<SimTime>,
+    /// Issue-to-commit latencies of own operations committed through the
+    /// async path (a subset of neither list: serialized latencies land in
+    /// `commit_latencies`, async ones here).
+    pub async_commit_latencies: Vec<SimTime>,
 }
 
 impl MachineStats {

@@ -29,11 +29,14 @@ pub struct TelemetryInner {
     ops_issued: Arc<Counter>,
     ops_flushed: Arc<Counter>,
     ops_committed: Arc<Counter>,
+    ops_committed_async: Arc<Counter>,
     ops_completed: Arc<Counter>,
     ops_lost: Arc<Counter>,
     restarts: Arc<Counter>,
 
     commit_lag_us: Arc<Histogram>,
+    commit_lag_round_us: Arc<Histogram>,
+    commit_lag_async_us: Arc<Histogram>,
     exec_count: Arc<Histogram>,
 
     rounds: Arc<Counter>,
@@ -80,6 +83,10 @@ impl TelemetryInner {
                 "guesstimate_ops_committed_total",
                 "Own operations committed into sc on their issuing machine",
             ),
+            ops_committed_async: c(
+                "guesstimate_ops_committed_async_total",
+                "Own operations committed through the hybrid async path (subset of ops_committed)",
+            ),
             ops_completed: c(
                 "guesstimate_ops_completed_total",
                 "Completion callbacks delivered",
@@ -92,6 +99,14 @@ impl TelemetryInner {
             commit_lag_us: h(
                 "guesstimate_commit_lag_us",
                 "Virtual time from issue to commit, microseconds (one sample per committed own op)",
+            ),
+            commit_lag_round_us: h(
+                "guesstimate_commit_lag_round_us",
+                "Issue-to-commit lag of round-serialized ops, microseconds",
+            ),
+            commit_lag_async_us: h(
+                "guesstimate_commit_lag_async_us",
+                "Issue-to-commit lag of hybrid async-path ops, microseconds",
             ),
             exec_count: h(
                 "guesstimate_exec_count",
@@ -269,6 +284,33 @@ impl Telemetry {
             .unwrap_or(SimTime::ZERO);
         drop(spans);
         inner.commit_lag_us.observe(lag.as_micros());
+        inner.commit_lag_round_us.observe(lag.as_micros());
+    }
+
+    /// An own operation was committed through the hybrid async path
+    /// (commute-first commit — no round). Same accounting contract as
+    /// [`Telemetry::op_committed`]: bumps `ops_committed`, asserts the
+    /// ≤3 execution bound, contributes exactly one combined commit-lag
+    /// sample, and additionally feeds the async-path counter and
+    /// histogram so the two paths' latencies can be compared.
+    pub fn op_committed_async(&self, op: OpId, exec_count: u32, at: SimTime) {
+        let Some(inner) = &self.inner else { return };
+        assert!(
+            exec_count <= 3,
+            "{op} executed {exec_count} times; the paper bounds executions by 3"
+        );
+        inner.ops_committed.inc();
+        inner.ops_committed_async.inc();
+        inner.exec_count.observe(u64::from(exec_count));
+        let mut spans = inner.spans.lock();
+        spans.committed_async(op, exec_count, at);
+        let lag = spans
+            .get(op)
+            .and_then(|s| s.commit_lag())
+            .unwrap_or(SimTime::ZERO);
+        drop(spans);
+        inner.commit_lag_us.observe(lag.as_micros());
+        inner.commit_lag_async_us.observe(lag.as_micros());
     }
 
     /// An operation's completion callback ran.
@@ -409,6 +451,14 @@ impl Telemetry {
         self.inner.as_ref().map_or(0, |i| i.ops_committed.get())
     }
 
+    /// Async-path committed-op count (subset of [`Self::ops_committed`];
+    /// 0 when no-op).
+    pub fn ops_committed_async(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.ops_committed_async.get())
+    }
+
     /// Number of commit-lag samples (equals [`Self::ops_committed`] by
     /// construction; 0 when no-op).
     pub fn commit_lag_count(&self) -> u64 {
@@ -479,6 +529,33 @@ mod tests {
     fn exec_bound_violation_panics() {
         let t = Telemetry::new();
         t.op_committed(op(0, 0), 0, 4, SimTime::ZERO);
+    }
+
+    #[test]
+    fn async_commits_split_the_lag_but_share_the_totals() {
+        let t = Telemetry::new();
+        // One round-path commit, one async-path commit.
+        t.op_issued(op(0, 0), Some(SimTime::from_millis(1)));
+        t.op_committed(op(0, 0), 2, 3, SimTime::from_millis(101));
+        t.op_issued(op(0, 1), Some(SimTime::from_millis(4)));
+        t.op_committed_async(op(0, 1), 2, SimTime::from_millis(4));
+        // The combined accounting invariant holds across both paths...
+        assert_eq!(t.ops_committed(), 2);
+        assert_eq!(t.commit_lag_count(), 2);
+        // ...and the async subset is tracked separately.
+        assert_eq!(t.ops_committed_async(), 1);
+        let spans = t.spans();
+        let s = spans.iter().find(|s| s.op == op(0, 1)).unwrap();
+        assert!(s.committed_async);
+        assert_eq!(s.commit_round, None);
+        assert_eq!(s.commit_lag(), Some(SimTime::ZERO));
+        assert!(
+            !spans
+                .iter()
+                .find(|s| s.op == op(0, 0))
+                .unwrap()
+                .committed_async
+        );
     }
 
     #[test]

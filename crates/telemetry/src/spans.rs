@@ -34,8 +34,12 @@ pub struct OpSpan {
     /// When the op's completion callback ran (same protocol instant as
     /// commit in this runtime; kept separate for format fidelity).
     pub completed_at: Option<SimTime>,
-    /// The sync round that committed the op.
+    /// The sync round that committed the op (`None` for an op committed
+    /// through the hybrid async path, which bypasses rounds).
     pub commit_round: Option<u64>,
+    /// The op committed through the hybrid async path (commute-first
+    /// commit, no round).
+    pub committed_async: bool,
     /// Total executions on the issuing machine (issue + replays +
     /// commit). The paper bounds this by 3.
     pub exec_count: u32,
@@ -53,6 +57,7 @@ impl OpSpan {
             committed_at: None,
             completed_at: None,
             commit_round: None,
+            committed_async: false,
             exec_count: 0,
             lost: false,
         }
@@ -113,6 +118,16 @@ impl SpanBook {
         let s = self.entry(op);
         s.committed_at = Some(at);
         s.commit_round = Some(round);
+        s.exec_count = exec_count;
+        s.lost = false;
+    }
+
+    /// Records an async-path commit (no round; the hybrid commit path).
+    pub fn committed_async(&mut self, op: OpId, exec_count: u32, at: SimTime) {
+        let s = self.entry(op);
+        s.committed_at = Some(at);
+        s.commit_round = None;
+        s.committed_async = true;
         s.exec_count = exec_count;
         s.lost = false;
     }

@@ -6,16 +6,19 @@
 # 3 times, and the no-op handle leaves the committed history
 # byte-identical); this script additionally checks that the exported
 # artifacts exist and are well-formed, then publishes the
-# machine-readable summary as BENCH_pr4.json. See docs/OBSERVABILITY.md.
+# machine-readable summaries as BENCH_pr4.json and BENCH_pr6.json (the
+# hybrid commit-lag collapse, gated at >= 5x in-process). See
+# docs/OBSERVABILITY.md.
 set -eu
 cd "$(dirname "$0")/.."
 
 stem=target/bench_snapshot_metrics
 out=BENCH_pr4.json
+hybrid_out=BENCH_pr6.json
 GUESSTIMATE_METRICS="$stem" \
-    cargo run --release -q -p guesstimate-bench --bin bench_snapshot -- 60 42 "$out"
+    cargo run --release -q -p guesstimate-bench --bin bench_snapshot -- 60 42 "$out" "$hybrid_out"
 
-for f in "$stem.prom" "$stem.json" "${stem}_chrome.json" "${stem}_trace.jsonl" "$out"; do
+for f in "$stem.prom" "$stem.json" "${stem}_chrome.json" "${stem}_trace.jsonl" "$out" "$hybrid_out"; do
     if [ ! -s "$f" ]; then
         echo "bench_snapshot.sh: missing or empty artifact $f" >&2
         exit 1
@@ -24,11 +27,12 @@ done
 
 # Prometheus text: the metric families the dashboards key on must be
 # present with their TYPE lines, and the commit-lag histogram must carry
-# its _count series.
+# its _count series (including the per-path split).
 for pat in \
     '^# TYPE guesstimate_ops_committed_total counter$' \
     '^# TYPE guesstimate_commit_lag_us histogram$' \
     '^guesstimate_commit_lag_us_count ' \
+    '^# TYPE guesstimate_commit_lag_round_us histogram$' \
     '^# TYPE guesstimate_net_sent_total counter$'; do
     if ! grep -q "$pat" "$stem.prom"; then
         echo "bench_snapshot.sh: $stem.prom lacks /$pat/" >&2
@@ -38,7 +42,7 @@ done
 
 # JSON artifacts: object-shaped, and the Chrome trace must carry the
 # traceEvents array viewers look for.
-for f in "$stem.json" "${stem}_chrome.json" "$out"; do
+for f in "$stem.json" "${stem}_chrome.json" "$out" "$hybrid_out"; do
     case "$(head -c 1 "$f")" in
         '{') ;;
         *) echo "bench_snapshot.sh: $f is not a JSON object" >&2; exit 1 ;;
@@ -47,5 +51,6 @@ done
 grep -q '"traceEvents"' "${stem}_chrome.json"
 grep -q '"invisibility_ok": true' "$out"
 grep -q '"stage_sum_ok": true' "$out"
+grep -q '"lag_collapse_ok": true' "$hybrid_out"
 
-echo "bench_snapshot.sh: artifacts validated; summary in $out"
+echo "bench_snapshot.sh: artifacts validated; summaries in $out and $hybrid_out"

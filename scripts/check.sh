@@ -13,8 +13,10 @@ cargo test --workspace -q
 # and nondeterminism in any bundled app fail the check (docs/ANALYSIS.md).
 cargo run -q -p guesstimate-analysis --bin analyze
 # Model-checker smoke: bounded exploration of every preset with all
-# oracles armed (docs/MODELCHECK.md). The full-budget gated run is
-# CI's `mc` step / `just mc`.
+# oracles armed (docs/MODELCHECK.md) — `all` includes the hybrid
+# `message_board` preset, whose step oracle checks committed-digest
+# agreement under the commute-first async commit path. The full-budget
+# gated run is CI's `mc` step / `just mc`.
 cargo run -q -p guesstimate-mc --bin mc -- --preset all --max-schedules 400
 # Telemetry smoke: fixed-seed fig5 with the observability stack on,
 # self-validated invariants + artifact well-formedness
