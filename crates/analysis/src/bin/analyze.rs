@@ -238,10 +238,11 @@ fn main() {
         let m = r.commute_matrix();
         let universal = r.universal_commuters();
         println!(
-            "  pairs: {} · validated always-commute: {} · violations: {}",
+            "  pairs: {} · validated always-commute: {} · violations: {} · warnings: {}",
             r.pairs.len(),
             m.len(),
-            r.violations.len()
+            r.violations.len(),
+            r.warnings.len()
         );
         // Methods eligible for the runtime's hybrid async commit path.
         if universal.is_empty() {
@@ -252,6 +253,11 @@ fn main() {
         violations += r.violations.len();
         for v in &r.violations {
             eprintln!("  {v}");
+        }
+        // Dead-footprint advisories: sound over-approximations worth
+        // tightening, never fatal.
+        for w in &r.warnings {
+            println!("  warning: {w}");
         }
     }
     if let Some(path) = &json_out {

@@ -20,6 +20,14 @@
 //! * a **footprint sanitizer** refuting any declared effect whose write set
 //!   under-approximates observed snapshot diffs, plus an undeclared-effect
 //!   lint;
+//! * an **access-witness sanitizer** driving the same argument domains
+//!   through [`guesstimate_core::execute_witnessed`] and refuting any
+//!   declared footprint the *observed reads or writes* escape
+//!   ([`ViolationKind::UndeclaredRead`] / [`ViolationKind::UndeclaredWrite`])
+//!   — closing the classic soundness hole where a method silently reads a
+//!   path outside its declaration and gets misclassified as commuting —
+//!   plus **dead-footprint warnings** for declared paths never observed
+//!   touched across the sampled domain (see `docs/ANALYSIS.md` §Soundness);
 //! * a **determinism sanitizer** executing each method twice from identical
 //!   snapshots — divergence would silently break replica convergence;
 //! * the `analyze` binary printing the per-app conflict matrix and all
@@ -28,61 +36,21 @@
 //! The validated output feeds the runtime's commute-aware replay skipping
 //! (see `docs/ANALYSIS.md`).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod json;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use guesstimate_core::{
-    execute, ArgView, CommuteMatrix, EffectSpec, MachineId, ObjectId, ObjectStore, OpRegistry,
-    SharedOp, Value,
+    containment_escapes, execute, execute_witnessed, paths_overlap, AccessKind, ArgView,
+    CommuteMatrix, EffectSpec, MachineId, ObjectId, ObjectStore, OpRegistry, ProbeReads, SharedOp,
+    Value,
 };
 use guesstimate_spec::{CaseSpace, SpecSuite};
 
-/// Computes the set of snapshot paths at which two snapshots differ.
-///
-/// Maps recurse per key (a key present on only one side reports the key's
-/// path); lists of equal length recurse per index, lists of different
-/// length report the list's own path (append/remove moves indices, so the
-/// whole list is the honest footprint); scalars report their path. Paths
-/// use the same `/`-separated key language as [`guesstimate_core::Footprint`].
-pub fn snapshot_diff(pre: &Value, post: &Value) -> Vec<String> {
-    let mut out = Vec::new();
-    diff_into(pre, post, String::new(), &mut out);
-    out
-}
-
-fn diff_into(pre: &Value, post: &Value, path: String, out: &mut Vec<String>) {
-    if pre == post {
-        return;
-    }
-    let child = |path: &str, seg: &str| {
-        if path.is_empty() {
-            seg.to_owned()
-        } else {
-            format!("{path}/{seg}")
-        }
-    };
-    match (pre, post) {
-        (Value::Map(a), Value::Map(b)) => {
-            let keys: BTreeSet<&String> = a.keys().chain(b.keys()).collect();
-            for k in keys {
-                match (a.get(k), b.get(k)) {
-                    (Some(x), Some(y)) => diff_into(x, y, child(&path, k), out),
-                    _ => out.push(child(&path, k)),
-                }
-            }
-        }
-        (Value::List(a), Value::List(b)) if a.len() == b.len() => {
-            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
-                diff_into(x, y, child(&path, &i.to_string()), out);
-            }
-        }
-        _ => out.push(path),
-    }
-}
+pub use guesstimate_core::snapshot_diff;
 
 /// The commutativity classification of one method pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,10 +92,26 @@ pub enum ViolationKind {
     FootprintUnderApproximation,
     /// Executing the method twice from identical snapshots diverged.
     Nondeterminism,
+    /// The access witness observed a *read* of a path the declared
+    /// footprint covers with neither its read nor its write set: some
+    /// state outside the declaration observably influences the method's
+    /// behavior, so every footprint-based commutation judgment about it
+    /// is unsound. Detected by perturbation probing
+    /// ([`guesstimate_core::execute_witnessed`]).
+    UndeclaredRead,
+    /// The access witness observed a *write* escaping the declared write
+    /// set. Overlaps [`ViolationKind::FootprintUnderApproximation`] in
+    /// spirit, but the witness samples the case product with a stride, so
+    /// it can reach state/argument corners the sequential write sanitizer
+    /// stops short of.
+    UndeclaredWrite,
     /// The static judgment says every enumerated argument pair is disjoint,
     /// yet the semantic validator found a commutation counterexample: the
-    /// declared footprints are wrong in a way the write-sanitizer cannot
-    /// see (an undeclared *read*, typically).
+    /// declared footprints are wrong in a way the write-diff check alone
+    /// cannot see. Historically this was the only net that could snag an
+    /// undeclared read; the witness sanitizer now refutes those directly
+    /// ([`ViolationKind::UndeclaredRead`]), leaving this check as a
+    /// backstop for dependences no perturbation surfaced.
     StaticSemanticDisagreement,
 }
 
@@ -138,6 +122,8 @@ impl fmt::Display for ViolationKind {
             ViolationKind::UnanalyzedMethod => "unanalyzed-method",
             ViolationKind::FootprintUnderApproximation => "footprint-under-approximation",
             ViolationKind::Nondeterminism => "nondeterminism",
+            ViolationKind::UndeclaredRead => "undeclared-read",
+            ViolationKind::UndeclaredWrite => "undeclared-write",
             ViolationKind::StaticSemanticDisagreement => "static-semantic-disagreement",
         })
     }
@@ -224,6 +210,13 @@ pub struct AppReport {
     pub pairs: Vec<PairReport>,
     /// All lint violations.
     pub violations: Vec<AnalysisViolation>,
+    /// Non-fatal advisories — currently dead-footprint warnings: declared
+    /// paths the access witness never observed touched across the sampled
+    /// state × argument domain. Over-approximation is sound (declaring too
+    /// much only costs commutation opportunities), so these never affect
+    /// [`AppReport::is_clean`] or the `analyze` exit code; they point at
+    /// specs worth tightening.
+    pub warnings: Vec<String>,
 }
 
 impl AppReport {
@@ -353,6 +346,128 @@ fn render_case(state: &Value, a1: &[Value], a2: &[Value]) -> String {
     s
 }
 
+/// Per-method case cap for the access-witness sanitizer.
+///
+/// Witnessed execution re-runs the method once per perturbation candidate
+/// of every pre-state path ([`guesstimate_core::ProbeReads::All`]), so a
+/// case costs two to three orders of magnitude more than the plain
+/// write-diff sanitizer's. The witness loop therefore samples the
+/// state × argument product with a stride instead of walking its prefix —
+/// same total budget, spread across the whole domain.
+const WITNESS_CASE_CAP: usize = 192;
+
+/// Drives each (still-sanitized) method's sampled case domain through
+/// [`guesstimate_core::execute_witnessed`] and returns the witness
+/// violations, the dead-footprint warnings, and the set of refuted
+/// methods.
+fn witness_sanitize(
+    registry: &OpRegistry,
+    type_name: &str,
+    spaces: &[MethodSpace],
+    space: &CaseSpace,
+    sanitized: &BTreeSet<&str>,
+) -> (Vec<AnalysisViolation>, Vec<String>, BTreeSet<String>) {
+    let mut violations = Vec::new();
+    let mut warnings = Vec::new();
+    let mut refuted: BTreeSet<String> = BTreeSet::new();
+    let id = scratch_id();
+    for ms in spaces {
+        // Methods already refuted (or lacking a declared effect) are not
+        // worth the probing cost; their verdicts are already poisoned.
+        if !sanitized.contains(ms.method.as_str()) {
+            continue;
+        }
+        let Some(effect) = registry.effect_of(type_name, &ms.method) else {
+            continue;
+        };
+        let total = space.states.len() * ms.args.len();
+        if total == 0 {
+            continue;
+        }
+        let cap = space.max_cases.clamp(1, WITNESS_CASE_CAP);
+        let stride = total.div_ceil(cap);
+        let mut declared_union: BTreeSet<String> = BTreeSet::new();
+        let mut observed_union: BTreeSet<String> = BTreeSet::new();
+        let mut sampled = 0usize;
+        let mut escaped = false;
+        'method: for (case_idx, (state, argv)) in space
+            .states
+            .iter()
+            .flat_map(|s| ms.args.iter().map(move |a| (s, a)))
+            .enumerate()
+        {
+            if case_idx % stride != 0 {
+                continue;
+            }
+            let Ok(mut obj) = registry.construct(type_name) else {
+                break;
+            };
+            if obj.restore(state).is_err() {
+                continue;
+            }
+            let mut store = ObjectStore::new();
+            store.insert(id, obj);
+            let op = SharedOp::primitive(id, ms.method.as_str(), argv.clone());
+            let Ok((_, witness)) = execute_witnessed(&op, &mut store, registry, ProbeReads::All)
+            else {
+                continue;
+            };
+            sampled += 1;
+            let fp = effect.footprint(ArgView::new(argv));
+            declared_union.extend(fp.reads.iter().cloned());
+            declared_union.extend(fp.writes.iter().cloned());
+            for w in witness.values() {
+                observed_union.extend(w.reads.iter().cloned());
+                observed_union.extend(w.writes.iter().cloned());
+            }
+            let declared = BTreeMap::from([(id, fp)]);
+            if let Some(e) = containment_escapes(&witness, &declared).first() {
+                let fp = &declared[&id];
+                violations.push(AnalysisViolation {
+                    kind: match e.kind {
+                        AccessKind::Read => ViolationKind::UndeclaredRead,
+                        AccessKind::Write => ViolationKind::UndeclaredWrite,
+                    },
+                    type_name: type_name.to_owned(),
+                    method: ms.method.clone(),
+                    detail: format!(
+                        "witness observed {e}; declared reads {:?} writes {:?} ({})",
+                        fp.reads,
+                        fp.writes,
+                        render_case(state, argv, &[])
+                    ),
+                });
+                refuted.insert(ms.method.clone());
+                escaped = true;
+                break 'method;
+            }
+        }
+        // Dead-footprint advisory: a declared path no sampled case ever
+        // touched. Computed over the same sampled cases as the observed
+        // union, so a path declared only for arguments the stride skipped
+        // is not reported.
+        if !escaped && sampled > 0 {
+            let dead: Vec<&String> = declared_union
+                .iter()
+                .filter(|d| !observed_union.iter().any(|o| paths_overlap(d, o)))
+                .collect();
+            if !dead.is_empty() {
+                let mut listed: Vec<String> =
+                    dead.iter().take(8).map(|d| format!("{d:?}")).collect();
+                if dead.len() > listed.len() {
+                    listed.push(format!("… {} more", dead.len() - listed.len()));
+                }
+                warnings.push(format!(
+                    "{type_name}::{} declares {} never observed touched across {sampled} sampled cases — consider tightening the footprint",
+                    ms.method,
+                    listed.join(", "),
+                ));
+            }
+        }
+    }
+    (violations, warnings, refuted)
+}
+
 /// Runs the full analysis for one application type.
 ///
 /// `spaces` must cover every registered method of `type_name` (missing
@@ -448,6 +563,14 @@ pub fn analyze_app(
         }
     }
 
+    // --- access-witness sanitizer ----------------------------------------
+    let (witness_violations, warnings, refuted) =
+        witness_sanitize(registry, type_name, spaces, space, &sanitized);
+    violations.extend(witness_violations);
+    for m in &refuted {
+        sanitized.remove(m.as_str());
+    }
+
     // --- pairwise commutativity -----------------------------------------
     let mut pairs = Vec::new();
     for (i, ms1) in spaces.iter().enumerate() {
@@ -526,9 +649,12 @@ pub fn analyze_app(
                 && sanitized.contains(b.method.as_str());
             let classification = if counterexample.is_some() {
                 if static_ok {
-                    // The write sanitizer cannot catch undeclared reads; a
-                    // semantic counterexample under a static "disjoint"
-                    // verdict means the declaration is wrong.
+                    // A semantic counterexample under a static "disjoint"
+                    // verdict means the declaration is wrong in a way that
+                    // slipped past both the write-diff sanitizer and the
+                    // witness probes — a dependence no perturbation
+                    // surfaced. Rare since the witness sanitizer refutes
+                    // undeclared reads directly, but kept as a backstop.
                     violations.push(AnalysisViolation {
                         kind: ViolationKind::StaticSemanticDisagreement,
                         type_name: type_name.to_owned(),
@@ -536,6 +662,15 @@ pub fn analyze_app(
                         detail: counterexample.clone().unwrap_or_default(),
                     });
                 }
+                Classification::Conflict
+            } else if refuted.contains(a.method.as_str()) || refuted.contains(b.method.as_str()) {
+                // A witness-refuted footprint poisons every judgment about
+                // the method: the enumeration sweep only exercises the
+                // states it was given, and a method caught accessing
+                // outside its declaration is exactly the kind whose
+                // conflicts hide in states the sweep missed. Force the
+                // pair conservative, excluding the method from the matrix
+                // (and hence from the hybrid path's universal commuters).
                 Classification::Conflict
             } else if complete || static_ok {
                 Classification::Commute
@@ -558,17 +693,23 @@ pub fn analyze_app(
         methods,
         pairs,
         violations,
+        warnings,
     }
 }
 
 /// Renders a full analysis run as the archivable JSON document (schema
-/// version 1):
+/// version 2):
 ///
 /// ```json
-/// {"version": 1, "apps": [{"type": ..., "methods": [...], "clean": true,
+/// {"version": 2, "apps": [{"type": ..., "methods": [...], "clean": true,
 ///   "pairs": [{"a", "b", "classification", "cases", "static_commute",
-///   "counterexample"}, ...], "violations": [...]}]}
+///   "counterexample"}, ...], "violations": [...], "warnings": [...]}]}
 /// ```
+///
+/// Version 2 extends version 1 with the per-app `warnings` list (the
+/// witness sanitizer's dead-footprint advisories) and the two witness
+/// violation kinds in `violations[].kind`; everything version 1 carried
+/// is unchanged, so readers of either version interoperate.
 ///
 /// CI archives this file per run; [`matrices_from_json`] reads it back
 /// into a [`CommuteMatrix`] so downstream tools (the model checker, the
@@ -633,11 +774,15 @@ pub fn report_to_json(reports: &[AppReport]) -> String {
                         .collect(),
                 ),
             );
+            app.insert(
+                "warnings".to_owned(),
+                Json::List(r.warnings.iter().cloned().map(Json::Str).collect()),
+            );
             Json::Map(app)
         })
         .collect();
     let mut doc = BTreeMap::new();
-    doc.insert("version".to_owned(), Json::Num(1.0));
+    doc.insert("version".to_owned(), Json::Num(2.0));
     doc.insert("apps".to_owned(), Json::List(apps));
     Json::Map(doc).to_string()
 }
@@ -654,8 +799,10 @@ pub fn report_to_json(reports: &[AppReport]) -> String {
 pub fn matrices_from_json(text: &str) -> Result<CommuteMatrix, String> {
     use json::Json;
     let doc = Json::parse(text)?;
+    // Accept every schema version whose `pairs` shape is unchanged:
+    // version 2 only added fields this reader ignores.
     match doc.get("version").and_then(Json::as_u64) {
-        Some(1) => {}
+        Some(1 | 2) => {}
         Some(v) => return Err(format!("unsupported archive version {v}")),
         None => return Err("missing `version`".to_owned()),
     }
@@ -759,6 +906,12 @@ mod tests {
             s.b = v;
             true
         });
+        // BUG for the witness sanitizer: writes exactly what it declares,
+        // but silently *reads* `b` — invisible to the write-diff check.
+        r.register_with_effects::<Cells>("copy_b_to_a", cell_effect("a"), |s, _| {
+            s.a = s.b;
+            true
+        });
         r
     }
 
@@ -854,9 +1007,13 @@ mod tests {
     fn matrices_from_json_rejects_bad_archives() {
         assert!(matrices_from_json("{").is_err());
         assert!(matrices_from_json("{\"apps\": []}").is_err(), "no version");
-        assert!(matrices_from_json("{\"version\": 2, \"apps\": []}").is_err());
-        let empty = matrices_from_json("{\"version\": 1, \"apps\": []}").unwrap();
-        assert!(empty.is_empty());
+        assert!(matrices_from_json("{\"version\": 3, \"apps\": []}").is_err());
+        // Both shipped schema versions are accepted: v1 archives predate
+        // the witness fields, v2 archives carry them.
+        for v in [1, 2] {
+            let empty = matrices_from_json(&format!("{{\"version\": {v}, \"apps\": []}}")).unwrap();
+            assert!(empty.is_empty());
+        }
     }
 
     #[test]
@@ -896,6 +1053,81 @@ mod tests {
             report.classification("set_b", "sneaky"),
             Some(Classification::Commute)
         );
+    }
+
+    #[test]
+    fn witness_sanitizer_refutes_undeclared_reads() {
+        let report = analyze_app(
+            &registry(),
+            "Cells",
+            &[spc("set_a"), spc("set_b"), spc("copy_b_to_a")],
+            &CaseSpace::sampled(states(), 10_000),
+        );
+        assert!(
+            report.violations.iter().any(|v| {
+                v.kind == ViolationKind::UndeclaredRead
+                    && v.method == "copy_b_to_a"
+                    && v.detail.contains("`b`")
+            }),
+            "violations: {:?}",
+            report.violations
+        );
+        // Without the witness, set_b × copy_b_to_a would pass as Commute —
+        // declared footprints {b} and {a} are disjoint and the write
+        // sanitizer sees nothing wrong. The refutation must force it (and
+        // every other pair of the method) to Conflict.
+        assert_eq!(
+            report.classification("set_b", "copy_b_to_a"),
+            Some(Classification::Conflict)
+        );
+        assert_eq!(
+            report.classification("set_a", "copy_b_to_a"),
+            Some(Classification::Conflict)
+        );
+        assert!(!report
+            .universal_commuters()
+            .contains(&"copy_b_to_a".to_owned()));
+        // The honest pair is untouched by the refutation.
+        assert_eq!(
+            report.classification("set_a", "set_b"),
+            Some(Classification::Commute)
+        );
+    }
+
+    #[test]
+    fn dead_footprints_warn_without_failing_the_lint() {
+        let mut r = OpRegistry::new();
+        r.register_type::<Cells>();
+        // Over-declared: claims to read `b`, never does.
+        r.register_with_effects::<Cells>(
+            "bump_a",
+            EffectSpec::new(|_| Footprint::new().reads(["a", "b"]).writes(["a"])),
+            |s, _| {
+                s.a += 1;
+                true
+            },
+        );
+        let report = analyze_app(
+            &r,
+            "Cells",
+            &[spc("bump_a")],
+            &CaseSpace::sampled(states(), 10_000),
+        );
+        assert!(report.is_clean(), "over-approximation is sound");
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("bump_a") && w.contains("\"b\"")),
+            "warnings: {:?}",
+            report.warnings
+        );
+        // The advisory reaches the archive too.
+        let text = report_to_json(std::slice::from_ref(&report));
+        let doc = json::Json::parse(&text).unwrap();
+        assert_eq!(doc.get("version").and_then(json::Json::as_u64), Some(2));
+        let app = &doc.get("apps").unwrap().as_list().unwrap()[0];
+        assert!(!app.get("warnings").unwrap().as_list().unwrap().is_empty());
     }
 
     #[test]

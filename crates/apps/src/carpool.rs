@@ -258,8 +258,12 @@ fn disembark_effect() -> EffectSpec {
         let (Some(_), Some(v)) = (a.str(0), a.str(1)) else {
             return Footprint::new();
         };
-        let key = format!("{v}/riders");
-        Footprint::new().reads([key.clone()]).writes([key])
+        // The vehicle lookup observably depends on `v` *existing* (the
+        // access witness refutes a riders-only read set via its map-entry
+        // removal probe), and reading `v` covers `v/riders` too.
+        Footprint::new()
+            .reads([v.to_owned()])
+            .writes([format!("{v}/riders")])
     })
 }
 

@@ -13,6 +13,12 @@
 //!    blind-counter workload by at least 5x against the serialized-round
 //!    baseline (the PR-6 headline), written as a second summary.
 //!
+//! 6. a short paired run with apply-site witness checks on
+//!    (`SessionConfig::witness_checks`: paranoid invariants plus
+//!    access-witness read probing at every apply) produces a
+//!    byte-identical committed digest and identical issue/commit counts —
+//!    the witness layer observes, never perturbs.
+//!
 //! Usage: `bench_snapshot [duration_secs] [seed] [out_json] [hybrid_json]`
 //! (defaults: 60, 42, `target/bench_snapshot.json`,
 //! `target/bench_hybrid.json`). Metrics artifacts (Prometheus text, JSON,
@@ -117,8 +123,36 @@ fn main() {
         "commit counts must match"
     );
 
+    // Invariant 6: witness invisibility — a short paired run with
+    // paranoid + witness-read checks enabled reaches the exact same
+    // observable outcome as the plain run. Short because witnessing
+    // re-executes each apply once per uncovered path and the paranoid
+    // invariant replays are quadratic in the pending queue.
+    eprintln!("bench_snapshot: paired witnessed run ...");
+    let witness_secs = SimTime::from_secs(15);
+    let mut plain_cfg = guesstimate_bench::SessionConfig::paper_default(4, seed);
+    plain_cfg.duration = witness_secs;
+    let mut witness_cfg = plain_cfg.clone();
+    witness_cfg.witness_checks = true;
+    let plain = guesstimate_bench::run_session(&plain_cfg);
+    let witnessed = guesstimate_bench::run_session(&witness_cfg);
+    assert!(plain.converged, "plain run must converge");
+    assert!(witnessed.converged, "witnessed run must converge");
+    assert_eq!(
+        plain.committed_digest, witnessed.committed_digest,
+        "witnessing must not perturb the committed history"
+    );
+    assert_eq!(
+        plain.issued, witnessed.issued,
+        "witnessing must not change issue counts"
+    );
+    assert_eq!(
+        plain.committed, witnessed.committed,
+        "witnessing must not change commit counts"
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"bench_snapshot\",\n  \"seed\": {seed},\n  \"duration_secs\": {duration},\n  \"synchronizations\": {},\n  \"ops_issued\": {},\n  \"ops_committed\": {},\n  \"commit_lag_samples\": {},\n  \"max_exec_count\": {},\n  \"bytes_sent\": {},\n  \"bytes_delivered\": {},\n  \"trace_events\": {},\n  \"stage_sum_ok\": true,\n  \"invisibility_ok\": true,\n  \"converged\": true\n}}\n",
+        "{{\n  \"bench\": \"bench_snapshot\",\n  \"seed\": {seed},\n  \"duration_secs\": {duration},\n  \"synchronizations\": {},\n  \"ops_issued\": {},\n  \"ops_committed\": {},\n  \"commit_lag_samples\": {},\n  \"max_exec_count\": {},\n  \"bytes_sent\": {},\n  \"bytes_delivered\": {},\n  \"trace_events\": {},\n  \"stage_sum_ok\": true,\n  \"invisibility_ok\": true,\n  \"witness_invisibility_ok\": true,\n  \"converged\": true\n}}\n",
         instrumented.sync_samples.len(),
         instrumented.issued,
         instrumented.committed,

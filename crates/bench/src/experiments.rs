@@ -62,6 +62,13 @@ pub struct SessionConfig {
     /// `sg = [P](sc)` rebuild when a round's foreign commits provably
     /// commute with every pending local operation.
     pub commute_skip: bool,
+    /// Run every machine with `MachineConfig::paranoid_checks` **and**
+    /// `witness_reads`: per-step invariant replays plus access-witness
+    /// containment (read probing included) at every apply site. Purely
+    /// diagnostic and far slower; `bench_snapshot` uses a short paired
+    /// run to pin that witnessing never perturbs the measured protocol
+    /// (byte-identical committed digest, issue and commit counts).
+    pub witness_checks: bool,
 }
 
 impl SessionConfig {
@@ -82,6 +89,7 @@ impl SessionConfig {
             seed,
             parallel_flush: false,
             commute_skip: false,
+            witness_checks: false,
         }
     }
 }
@@ -179,7 +187,9 @@ pub fn run_session_instrumented(
         .with_stall_timeout(cfg.stall_timeout)
         .with_join_retry(SimTime::from_millis(700))
         .with_parallel_flush(cfg.parallel_flush)
-        .with_commute_skip(cfg.commute_skip);
+        .with_commute_skip(cfg.commute_skip)
+        .with_paranoid_checks(cfg.witness_checks)
+        .with_witness_reads(cfg.witness_checks);
 
     // Session-long fault plan: shift stall windows into absolute time after
     // the warm-up (measured window starts around t=32 s below).

@@ -165,6 +165,16 @@ impl Footprint {
     pub fn writes_cover(&self, path: &str) -> bool {
         self.writes.iter().any(|w| path_covers(w, path))
     }
+
+    /// True if some declared read key covers `path` (see [`path_covers`]).
+    ///
+    /// Used by the access-witness containment check: an observed read is
+    /// accounted for when the declared reads *or* writes cover it — a
+    /// declared write already conflicts with every other access of the
+    /// key, so reading a key one also writes needs no separate entry.
+    pub fn reads_cover(&self, path: &str) -> bool {
+        self.reads.iter().any(|r| path_covers(r, path))
+    }
 }
 
 /// A method's declared effect: argument vector → footprint.

@@ -25,6 +25,10 @@
 //! * [`execute`] — the operation execution engine, including per-object
 //!   copy-on-write for `Atomic` (all-or-nothing) and priority semantics for
 //!   `OrElse`.
+//! * [`execute_witnessed`] — the access-witness instrumentation mode: the
+//!   same execution, additionally observing the actual read/write paths
+//!   ([`AccessWitness`]) so declared [`EffectSpec`] footprints can be
+//!   *checked* instead of trusted (see [`witness`]).
 //!
 //! The distributed runtime that issues, propagates and commits operations
 //! lives in the `guesstimate-runtime` crate; the simulated peer-to-peer mesh
@@ -86,6 +90,7 @@ mod op;
 mod registry;
 mod store;
 mod value;
+pub mod witness;
 
 pub use completion::{CompletionFn, CompletionQueue, PendingCompletion};
 pub use effect::{path_covers, paths_overlap, CommuteMatrix, EffectSpec, Footprint, ROOT};
@@ -97,3 +102,7 @@ pub use op::{OpEnvelope, SharedOp};
 pub use registry::{ArgView, OpRegistry};
 pub use store::ObjectStore;
 pub use value::{value_digest, Value};
+pub use witness::{
+    containment_escapes, declared_footprints, execute_witnessed, snapshot_diff, AccessKind,
+    AccessWitness, ProbeReads, WitnessEscape,
+};

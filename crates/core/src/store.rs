@@ -282,6 +282,48 @@ mod tests {
         assert_ne!(a.digest(), b.digest());
     }
 
+    /// The digest is part of the cross-machine convergence protocol (and
+    /// of checked-in schedule/bench baselines), so its value for a fixed
+    /// store is pinned: an accidental change to the hash or to snapshot
+    /// canonicalization shows up here before it desynchronizes replicas
+    /// built from different versions.
+    #[test]
+    fn digest_of_fixed_store_is_pinned() {
+        let mut s = ObjectStore::new();
+        s.insert(oid(0, 0), Box::new(Num(42)));
+        s.insert(oid(1, 3), Box::new(Txt("guess".into())));
+        assert_eq!(s.digest(), 0x0D0B_E349_8FF8_4A78);
+        assert_eq!(ObjectStore::new().digest(), 0x2BC5_8221_66BF_4786);
+    }
+
+    /// Map-valued snapshots canonicalize by key, so logically equal maps
+    /// populated in different orders digest identically.
+    #[test]
+    fn map_snapshot_digest_ignores_population_order() {
+        #[derive(Clone, Default, Debug)]
+        struct Bag(std::collections::BTreeMap<String, i64>);
+        impl GState for Bag {
+            const TYPE_NAME: &'static str = "Bag";
+            fn snapshot(&self) -> Value {
+                Value::map(self.0.iter().map(|(k, v)| (k.clone(), Value::from(*v))))
+            }
+            fn restore(&mut self, _: &Value) -> Result<(), RestoreError> {
+                Ok(())
+            }
+        }
+        let mut x = Bag::default();
+        x.0.insert("b".into(), 2);
+        x.0.insert("a".into(), 1);
+        let mut y = Bag::default();
+        y.0.insert("a".into(), 1);
+        y.0.insert("b".into(), 2);
+        let mut sx = ObjectStore::new();
+        sx.insert(oid(0, 0), Box::new(x));
+        let mut sy = ObjectStore::new();
+        sy.insert(oid(0, 0), Box::new(y));
+        assert_eq!(sx.digest(), sy.digest());
+    }
+
     #[test]
     fn ids_are_sorted() {
         let mut s = ObjectStore::new();

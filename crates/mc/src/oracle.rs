@@ -5,7 +5,12 @@
 //! * **Step oracles** ([`check_step`]) run after *every* explored choice:
 //!   the per-machine guess invariant `sg = [P](sc)`
 //!   ([`Machine::check_guess_invariant`]), the ≤3-executions bound on any
-//!   single operation, pairwise agreement of completed histories (every
+//!   single operation, an empty per-machine witness-containment log (no
+//!   operation's observed accesses escaped its declared footprint at any
+//!   apply site — see [`guesstimate_runtime::WitnessViolation`]; the
+//!   `sneaky` negative preset runs with recording instead of asserting
+//!   precisely so this oracle is what reports it), pairwise agreement of
+//!   completed histories (every
 //!   pair of machines' completion sequences must be prefix-ordered), and
 //!   committed-state digest equality whenever two machines have completed
 //!   the same number of operations. Under the **hybrid commit path**
@@ -68,6 +73,15 @@ pub enum Violation {
         /// What diverged.
         detail: String,
     },
+    /// An operation's observed access footprint escaped its declared
+    /// effect at an apply site (recorded by the runtime's witness
+    /// containment check; see `guesstimate_runtime::WitnessViolation`).
+    WitnessEscape {
+        /// The machine that recorded the escape.
+        machine: MachineId,
+        /// The recorded violation, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -98,6 +112,9 @@ impl fmt::Display for Violation {
             Violation::Refinement { detail } => {
                 write!(f, "schedule does not refine the semantic model: {detail}")
             }
+            Violation::WitnessEscape { machine, detail } => {
+                write!(f, "witness escape on machine {machine}: {detail}")
+            }
         }
     }
 }
@@ -118,6 +135,12 @@ pub fn check_step(net: &SchedNet<Machine>, hybrid: bool) -> Option<Violation> {
         let count = m.stats().max_exec_count;
         if count > 3 {
             return Some(Violation::ExecBound { machine: id, count });
+        }
+        if let Some(w) = m.witness_violations().first() {
+            return Some(Violation::WitnessEscape {
+                machine: id,
+                detail: w.to_string(),
+            });
         }
     }
     for (i, &a) in ids.iter().enumerate() {

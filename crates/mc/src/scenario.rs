@@ -38,6 +38,93 @@ use guesstimate_runtime::{Machine, MachineConfig, Msg};
 
 use crate::schedule::TamperSpec;
 
+/// Fixture for the `sneaky` negative preset: a two-slot map whose
+/// `mirror` method deliberately **under-declares** its footprint — it
+/// copies `src` into `dst` while admitting only to touching `dst`. The
+/// commute matrix and replay-skip judgments built on that declaration
+/// are unsound for it, which is exactly what the witness-containment
+/// oracle must report.
+mod sneaky {
+    use std::collections::BTreeMap;
+
+    use guesstimate_core::{
+        args, EffectSpec, Footprint, GState, ObjectId, OpRegistry, RestoreError, SharedOp, Value,
+    };
+
+    /// Two integer slots, `src` and `dst`.
+    #[derive(Clone, Default, Debug)]
+    pub struct Mirror {
+        pub m: BTreeMap<String, i64>,
+    }
+
+    impl GState for Mirror {
+        const TYPE_NAME: &'static str = "Mirror";
+        fn snapshot(&self) -> Value {
+            Value::Map(
+                self.m
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(*v)))
+                    .collect(),
+            )
+        }
+        fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+            let Value::Map(m) = v else {
+                return Err(RestoreError::shape("map"));
+            };
+            self.m = m
+                .iter()
+                .map(|(k, v)| {
+                    v.as_i64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| RestoreError::shape("i64 slot"))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(())
+        }
+    }
+
+    pub fn register(reg: &mut OpRegistry) {
+        reg.register_type::<Mirror>();
+        // Honest: `bump(k, d)` reads and writes exactly slot `k`.
+        reg.register_with_effects::<Mirror>(
+            "bump",
+            EffectSpec::new(|a| {
+                let Some(k) = a.str(0) else {
+                    return Footprint::new();
+                };
+                Footprint::new().reads([k]).writes([k])
+            }),
+            |s: &mut Mirror, a| {
+                let (Some(k), Some(d)) = (a.str(0), a.i64(1)) else {
+                    return false;
+                };
+                *s.m.entry(k.to_owned()).or_insert(0) += d;
+                true
+            },
+        );
+        // Under-declared: actually reads `src`, declares only `dst`.
+        reg.register_with_effects::<Mirror>(
+            "mirror",
+            EffectSpec::new(|_| Footprint::new().reads(["dst"]).writes(["dst"])),
+            |s: &mut Mirror, _| {
+                let Some(v) = s.m.get("src").copied() else {
+                    return false;
+                };
+                s.m.insert("dst".to_owned(), v);
+                true
+            },
+        );
+    }
+
+    pub fn bump(obj: ObjectId, k: &str, d: i64) -> SharedOp {
+        SharedOp::primitive(obj, "bump", args![k, d])
+    }
+
+    pub fn mirror(obj: ObjectId) -> SharedOp {
+        SharedOp::primitive(obj, "mirror", args![])
+    }
+}
+
 /// One checking scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct Preset {
@@ -98,10 +185,33 @@ pub const PRESETS: &[Preset] = &[
     },
 ];
 
+/// Negative-test preset: a deliberately **under-declared** workload the
+/// witness-containment oracle must catch (its `mirror` injection reads
+/// `src` while declaring only `dst`; see the `sneaky` module). Not listed in
+/// [`PRESETS`] — the positive suites iterate those and this one violates
+/// by design — but reachable through [`Preset::by_name`], so `mc
+/// --preset sneaky` and schedule replays resolve it. Built with
+/// `witness_reads` on and `witness_assert` off: escapes are *recorded*
+/// on the machine for the oracle to report (and ddmin to shrink) instead
+/// of aborting mid-delivery.
+pub const SNEAKY: Preset = Preset {
+    name: "sneaky",
+    eager: 2,
+    late_join: false,
+    rounds: 2,
+    drop_budget: 0,
+    hybrid: false,
+    blurb: "negative test: under-declared read the witness oracle must catch",
+};
+
 impl Preset {
-    /// Looks up a preset by name.
+    /// Looks up a preset by name ([`PRESETS`] plus the hidden [`SNEAKY`]
+    /// negative preset).
     pub fn by_name(name: &str) -> Option<&'static Preset> {
-        PRESETS.iter().find(|p| p.name == name)
+        PRESETS
+            .iter()
+            .find(|p| p.name == name)
+            .or((SNEAKY.name == name).then_some(&SNEAKY))
     }
 
     /// Total machines once the staged joiner (if any) is admitted.
@@ -116,6 +226,7 @@ impl Preset {
             "auction" => auction::register(&mut reg),
             "event_planner" => event_planner::register(&mut reg),
             "message_board" => message_board::register(&mut reg),
+            "sneaky" => sneaky::register(&mut reg),
             other => unreachable!("unknown preset {other}"),
         }
         reg
@@ -185,6 +296,12 @@ impl Preset {
                 );
                 (obj, 2)
             }
+            "sneaky" => {
+                let obj = master.create_instance(sneaky::Mirror {
+                    m: [("src".to_owned(), 1), ("dst".to_owned(), 0)].into(),
+                });
+                (obj, 1)
+            }
             other => unreachable!("unknown preset {other}"),
         }
     }
@@ -236,6 +353,14 @@ impl Preset {
                 (1, message_board::ops::like(obj, "general")),
                 (1, message_board::ops::like(obj, "general")),
             ],
+            "sneaky" => vec![
+                // Honest slot bump on the master.
+                (0, sneaky::bump(obj, "src", 1)),
+                // The under-declared mirror: its hidden read of `src` is
+                // recorded the moment machine 1 issues it, so the witness
+                // oracle fires on the very first explored step.
+                (1, sneaky::mirror(obj)),
+            ],
             other => unreachable!("unknown preset {other}"),
         }
     }
@@ -259,7 +384,12 @@ impl Preset {
             .with_record_history(true)
             .with_paranoid_checks(true)
             .with_async_commit(self.hybrid)
-            .with_commute_matrix(self.effective_matrix(matrix));
+            .with_commute_matrix(self.effective_matrix(matrix))
+            // The negative preset probes for undeclared reads and records
+            // escapes instead of asserting, so the witness oracle (not a
+            // mid-delivery debug_assert) is what reports them.
+            .with_witness_reads(self.name == "sneaky")
+            .with_witness_assert(self.name != "sneaky");
 
         let mut net: SchedNet<Machine> = SchedNet::new();
         net.add_machine(

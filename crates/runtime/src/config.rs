@@ -69,6 +69,21 @@ pub struct MachineConfig {
     /// paper's total order. Off by default — the paper commits everything
     /// through rounds.
     pub async_commit: bool,
+    /// With [`MachineConfig::paranoid_checks`] on, additionally probe for
+    /// undeclared *reads* at every apply site (issue, commit, replay,
+    /// async apply) via
+    /// [`guesstimate_core::execute_witnessed`]'s perturbation probing —
+    /// the live analog of the analysis witness sanitizer. Each apply
+    /// re-executes the operation once per uncovered pre-state path, so
+    /// this is far costlier than the write-containment check (which
+    /// paranoid mode always performs) and is off by default.
+    pub witness_reads: bool,
+    /// Whether a witness-containment escape `debug_assert!`s (the
+    /// default). The model checker's negative preset turns this off so
+    /// escapes are *recorded* on the machine
+    /// ([`crate::Machine::witness_violations`]) for its oracle to report
+    /// — and ddmin-shrink — instead of aborting mid-delivery.
+    pub witness_assert: bool,
 }
 
 impl Default for MachineConfig {
@@ -84,6 +99,8 @@ impl Default for MachineConfig {
             commute_matrix: CommuteMatrix::new(),
             paranoid_checks: false,
             async_commit: false,
+            witness_reads: false,
+            witness_assert: true,
         }
     }
 }
@@ -145,6 +162,20 @@ impl MachineConfig {
     /// [`MachineConfig::paranoid_checks`]).
     pub fn with_paranoid_checks(mut self, on: bool) -> Self {
         self.paranoid_checks = on;
+        self
+    }
+
+    /// Enables read-probing at apply sites under paranoid checks (see
+    /// [`MachineConfig::witness_reads`]).
+    pub fn with_witness_reads(mut self, on: bool) -> Self {
+        self.witness_reads = on;
+        self
+    }
+
+    /// Sets whether witness escapes assert or are only recorded (see
+    /// [`MachineConfig::witness_assert`]).
+    pub fn with_witness_assert(mut self, on: bool) -> Self {
+        self.witness_assert = on;
         self
     }
 

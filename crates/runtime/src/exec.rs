@@ -11,12 +11,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use guesstimate_core::{
-    execute, CompletionQueue, ExecError, Footprint, MachineId, ObjectId, ObjectStore, OpId,
-    OpRegistry,
+    containment_escapes, declared_footprints, execute, execute_witnessed, CompletionQueue,
+    ExecError, ExecOutcome, Footprint, MachineId, ObjectId, ObjectStore, OpId, OpRegistry,
+    ProbeReads, SharedOp,
 };
 use guesstimate_net::{SimTime, TraceEvent};
 
 use crate::commute;
+use crate::config::MachineConfig;
 use crate::machine::Machine;
 use crate::message::{ObjectInit, WireEnvelope, WireOp};
 
@@ -60,8 +62,16 @@ impl Machine {
             {
                 self.catalog.insert(*object, type_name.clone());
             }
-            let result = execute_wire(&env.op, &mut self.committed, &self.registry)
-                .expect("commit: registries must agree on every machine");
+            let result = execute_wire_checked(
+                &env.op,
+                &mut self.committed,
+                &self.registry,
+                &self.cfg,
+                self.id,
+                "commit",
+                &mut self.witness_log,
+            )
+            .expect("commit: registries must agree on every machine");
             self.completed.push(env.id);
             self.completed_serialized.push(env.id);
             if self.cfg.record_history {
@@ -103,7 +113,15 @@ impl Machine {
             // `exec_counts` is deliberately left alone.
             for env in &ordered {
                 if env.id.machine() != self.id {
-                    let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
+                    let _ = execute_wire_checked(
+                        &env.op,
+                        &mut self.guess,
+                        &self.registry,
+                        &self.cfg,
+                        self.id,
+                        "commute-skip",
+                        &mut self.witness_log,
+                    );
                 }
             }
             let skipped = self.pending.len() as u64;
@@ -123,7 +141,15 @@ impl Machine {
             self.stats.completions_run += queue.run_all() as u64;
             let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
             for env in &still_pending {
-                let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
+                let _ = execute_wire_checked(
+                    &env.op,
+                    &mut self.guess,
+                    &self.registry,
+                    &self.cfg,
+                    self.id,
+                    "replay",
+                    &mut self.witness_log,
+                );
                 self.stats.replays += 1;
                 *self.exec_counts.entry(env.id).or_insert(0) += 1;
             }
@@ -283,7 +309,15 @@ impl Machine {
             {
                 self.catalog.insert(*object, type_name.clone());
             }
-            let _ = execute_wire(&env.op, &mut self.guess, &self.registry);
+            let _ = execute_wire_checked(
+                &env.op,
+                &mut self.guess,
+                &self.registry,
+                &self.cfg,
+                self.id,
+                "join-replay",
+                &mut self.witness_log,
+            );
             self.stats.replays += 1;
             *self.exec_counts.entry(env.id).or_insert(0) += 1;
         }
@@ -356,5 +390,100 @@ pub(crate) fn execute_wire(
             Ok(true)
         }
         WireOp::Shared(op) => Ok(execute(op, store, registry)?.as_bool()),
+    }
+}
+
+/// One witness-containment escape observed at a runtime apply site: the
+/// operation accessed state outside its methods' declared
+/// [`guesstimate_core::EffectSpec`] footprints.
+///
+/// Recorded on the machine ([`Machine::witness_violations`]); with
+/// [`MachineConfig::witness_assert`] (the default) it also
+/// `debug_assert!`s, making every paranoid test cluster and the model
+/// checker a live race detector for footprint declarations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessViolation {
+    /// The apply site that observed the escape ("issue", "commit",
+    /// "commute-skip", "replay", "join-replay", "async-issue",
+    /// "async-commit", "async-apply", "async-restore").
+    pub site: &'static str,
+    /// The rendered [`guesstimate_core::WitnessEscape`].
+    pub detail: String,
+}
+
+impl std::fmt::Display for WitnessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {}", self.detail, self.site)
+    }
+}
+
+/// Bound on recorded violations per machine: one escaping method at a hot
+/// apply site would otherwise grow the log with every delivery.
+const WITNESS_LOG_CAP: usize = 64;
+
+/// [`execute`] with witness-containment checking under
+/// [`MachineConfig::paranoid_checks`].
+///
+/// When paranoid mode is off, or any constituent method lacks a declared
+/// effect (nothing to contain against), this is exactly [`execute`].
+/// Otherwise the op runs witnessed — write containment always, read
+/// probing when [`MachineConfig::witness_reads`] — and any escape is
+/// recorded in `log` and (with [`MachineConfig::witness_assert`])
+/// `debug_assert!`ed.
+pub(crate) fn execute_shared_checked(
+    op: &SharedOp,
+    store: &mut ObjectStore,
+    registry: &OpRegistry,
+    cfg: &MachineConfig,
+    machine: MachineId,
+    site: &'static str,
+    log: &mut Vec<WitnessViolation>,
+) -> Result<ExecOutcome, ExecError> {
+    if !cfg.paranoid_checks {
+        return execute(op, store, registry);
+    }
+    let Some(declared) = declared_footprints(op, store, registry) else {
+        return execute(op, store, registry);
+    };
+    let probe = if cfg.witness_reads {
+        ProbeReads::Uncovered
+    } else {
+        ProbeReads::Off
+    };
+    let (outcome, witness) = execute_witnessed(op, store, registry, probe)?;
+    for escape in containment_escapes(&witness, &declared) {
+        if cfg.witness_assert {
+            debug_assert!(
+                false,
+                "witness escape on {machine:?} at {site}: {escape} (op {op:?})"
+            );
+        }
+        if log.len() < WITNESS_LOG_CAP {
+            log.push(WitnessViolation {
+                site,
+                detail: escape.to_string(),
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+/// [`execute_wire`] with witness-containment checking; see
+/// [`execute_shared_checked`]. `Create` has nothing to check (it writes
+/// its object's whole snapshot by definition).
+pub(crate) fn execute_wire_checked(
+    op: &WireOp,
+    store: &mut ObjectStore,
+    registry: &OpRegistry,
+    cfg: &MachineConfig,
+    machine: MachineId,
+    site: &'static str,
+    log: &mut Vec<WitnessViolation>,
+) -> Result<bool, ExecError> {
+    match op {
+        WireOp::Create { .. } => execute_wire(op, store, registry),
+        WireOp::Shared(op) => {
+            Ok(execute_shared_checked(op, store, registry, cfg, machine, site, log)?.as_bool())
+        }
     }
 }

@@ -48,11 +48,13 @@
 
 use std::collections::BTreeMap;
 
-use guesstimate_core::{execute, CompletionFn, ExecError, MachineId, SharedOp};
+use guesstimate_core::{CompletionFn, ExecError, MachineId, SharedOp};
 use guesstimate_net::{Channel, Ctx, SimTime};
 
 use crate::commute::universal_commuters;
+#[cfg(test)]
 use crate::exec::execute_wire;
+use crate::exec::execute_wire_checked;
 use crate::machine::Machine;
 use crate::message::{Msg, WireEnvelope, WireOp};
 use crate::roles::AsyncBatch;
@@ -148,7 +150,15 @@ impl Machine {
         ctx: &mut Ctx<'_, Msg>,
     ) -> Result<bool, ExecError> {
         let now = ctx.now();
-        let outcome = execute(&op, &mut self.guess, &self.registry)?;
+        let outcome = crate::exec::execute_shared_checked(
+            &op,
+            &mut self.guess,
+            &self.registry,
+            &self.cfg,
+            self.id,
+            "async-issue",
+            &mut self.witness_log,
+        )?;
         if !outcome.is_success() {
             self.stats.issue_failures += 1;
             return Ok(false);
@@ -158,8 +168,16 @@ impl Machine {
             id: op_id,
             op: WireOp::Shared(op),
         };
-        let result = execute_wire(&env.op, &mut self.committed, &self.registry)
-            .expect("async commit: the op just executed on sg, so sc must accept it");
+        let result = execute_wire_checked(
+            &env.op,
+            &mut self.committed,
+            &self.registry,
+            &self.cfg,
+            self.id,
+            "async-commit",
+            &mut self.witness_log,
+        )
+        .expect("async commit: the op just executed on sg, so sc must accept it");
         self.completed.push(op_id);
         if self.cfg.record_history {
             self.history.push(env.clone());
@@ -267,10 +285,26 @@ impl Machine {
     /// survives appending it to both sides), record it, fire remote-update
     /// hooks.
     fn apply_async_foreign(&mut self, env: WireEnvelope) {
-        let _ = execute_wire(&env.op, &mut self.committed, &self.registry)
-            .expect("async apply: registries must agree on every machine");
-        let _ = execute_wire(&env.op, &mut self.guess, &self.registry)
-            .expect("async apply: sg holds every object sc holds");
+        let _ = execute_wire_checked(
+            &env.op,
+            &mut self.committed,
+            &self.registry,
+            &self.cfg,
+            self.id,
+            "async-apply",
+            &mut self.witness_log,
+        )
+        .expect("async apply: registries must agree on every machine");
+        let _ = execute_wire_checked(
+            &env.op,
+            &mut self.guess,
+            &self.registry,
+            &self.cfg,
+            self.id,
+            "async-apply",
+            &mut self.witness_log,
+        )
+        .expect("async apply: sg holds every object sc holds");
         self.completed.push(env.id);
         if self.cfg.record_history {
             self.history.push(env.clone());
@@ -371,10 +405,26 @@ impl Machine {
             if *aseq < master_watermark {
                 continue; // folded into the join snapshot we just installed
             }
-            let _ = execute_wire(&env.op, &mut self.committed, &self.registry)
-                .expect("restore: async ops touch only objects committed before issue");
-            let _ = execute_wire(&env.op, &mut self.guess, &self.registry)
-                .expect("restore: sg holds every object sc holds");
+            let _ = execute_wire_checked(
+                &env.op,
+                &mut self.committed,
+                &self.registry,
+                &self.cfg,
+                self.id,
+                "async-restore",
+                &mut self.witness_log,
+            )
+            .expect("restore: async ops touch only objects committed before issue");
+            let _ = execute_wire_checked(
+                &env.op,
+                &mut self.guess,
+                &self.registry,
+                &self.cfg,
+                self.id,
+                "async-restore",
+                &mut self.witness_log,
+            )
+            .expect("restore: sg holds every object sc holds");
             self.completed.push(env.id);
             if self.cfg.record_history {
                 self.history.push(env.clone());
@@ -473,6 +523,50 @@ mod tests {
         // A duplicate is absorbed by the watermark.
         m.handle_async_op(sender, 0, put_env(1, 0, obj, "a"));
         assert_eq!(m.stats.committed_async_foreign, 2);
+        assert!(m.check_guess_invariant());
+    }
+
+    #[test]
+    fn async_gap_buffers_until_the_missing_aseq_arrives() {
+        let mut m = hybrid_machine(0);
+        let obj = ObjectId::new(MachineId::new(1), 0);
+        let create = WireOp::Create {
+            object: obj,
+            type_name: "Slots".into(),
+            init: guesstimate_core::Value::Map(Default::default()),
+        };
+        execute_wire(&create, &mut m.committed, &m.registry).unwrap();
+        execute_wire(&create, &mut m.guess, &m.registry).unwrap();
+        m.catalog.insert(obj, "Slots".into());
+        let sender = MachineId::new(1);
+        let put = |seq: u64, v: i64| WireEnvelope {
+            id: OpId::new(sender, seq),
+            op: WireOp::Shared(SharedOp::primitive(obj, "put", args!["x", v])),
+        };
+        // aseq 0 is in order: applies immediately.
+        m.handle_async_op(sender, 0, put(0, 10));
+        assert_eq!(m.stats.committed_async_foreign, 1);
+        // aseq 2 arrives with aseq 1 still in flight: a gap, so it must
+        // buffer — applying it now would reorder the sender's stream.
+        m.handle_async_op(sender, 2, put(2, 30));
+        assert_eq!(m.stats.committed_async_foreign, 1, "n+2 before n+1: held");
+        // aseq 1 fills the gap: both drain, in sender FIFO order.
+        m.handle_async_op(sender, 1, put(1, 20));
+        assert_eq!(m.stats.committed_async_foreign, 3);
+        assert_eq!(
+            m.completed_ops(),
+            &[
+                OpId::new(sender, 0),
+                OpId::new(sender, 1),
+                OpId::new(sender, 2)
+            ]
+        );
+        // All three wrote the same slot: FIFO means aseq 2's value lands
+        // last (2-before-1 would have left 20).
+        assert_eq!(
+            m.read::<crate::testutil::Slots, _>(obj, |s| s.m["x"]),
+            Some(30)
+        );
         assert!(m.check_guess_invariant());
     }
 

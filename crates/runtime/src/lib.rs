@@ -90,6 +90,7 @@ pub use cluster::{
     threaded_cluster_instrumented,
 };
 pub use config::MachineConfig;
+pub use exec::WitnessViolation;
 pub use machine::{Machine, RemoteUpdateHook};
 pub use message::{Msg, ObjectInit, WireEnvelope, WireOp};
 pub use stats::{MachineStats, SyncSample};

@@ -14,8 +14,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use guesstimate_core::{
-    execute, CompletionFn, ExecError, GState, MachineId, ObjectId, ObjectStore, OpId, OpRegistry,
-    SharedOp,
+    CompletionFn, ExecError, GState, MachineId, ObjectId, ObjectStore, OpId, OpRegistry, SharedOp,
 };
 use guesstimate_net::{NoopTracer, SimTime, TraceEvent, TraceRecord, Tracer};
 use guesstimate_telemetry::Telemetry;
@@ -100,6 +99,10 @@ pub struct Machine {
 
     pub(crate) history: Vec<WireEnvelope>,
     pub(crate) remote_hooks: Vec<RemoteUpdateHook>,
+    /// Witness-containment escapes recorded at apply sites under
+    /// [`MachineConfig::paranoid_checks`]; see
+    /// [`crate::exec::WitnessViolation`].
+    pub(crate) witness_log: Vec<crate::exec::WitnessViolation>,
     pub(crate) stats: MachineStats,
     pub(crate) tracer: Arc<dyn Tracer>,
     pub(crate) telemetry: Telemetry,
@@ -168,6 +171,7 @@ impl Machine {
             election: ElectionRole::new(id),
             history: Vec::new(),
             remote_hooks: Vec::new(),
+            witness_log: Vec::new(),
             stats: MachineStats::default(),
             tracer: Arc::new(NoopTracer),
             telemetry: Telemetry::noop(),
@@ -345,6 +349,19 @@ impl Machine {
         }
     }
 
+    /// Witness-containment escapes recorded at this machine's apply sites
+    /// (issue, commit, replay, async paths) under
+    /// [`MachineConfig::paranoid_checks`].
+    ///
+    /// Empty unless a method accessed state outside its declared
+    /// [`guesstimate_core::EffectSpec`] footprint. With
+    /// [`MachineConfig::witness_assert`] disabled, escapes accumulate here
+    /// (bounded) instead of `debug_assert!`ing — the model checker's
+    /// witness oracle reads this log after every step.
+    pub fn witness_violations(&self) -> &[crate::exec::WitnessViolation] {
+        &self.witness_log
+    }
+
     pub(crate) fn next_op_id(&mut self) -> OpId {
         let id = OpId::new(self.id, self.op_seq);
         self.op_seq += 1;
@@ -475,7 +492,15 @@ impl Machine {
         completion: Option<CompletionFn>,
         issued_at: Option<SimTime>,
     ) -> Result<bool, ExecError> {
-        let outcome = execute(&op, &mut self.guess, &self.registry)?;
+        let outcome = crate::exec::execute_shared_checked(
+            &op,
+            &mut self.guess,
+            &self.registry,
+            &self.cfg,
+            self.id,
+            "issue",
+            &mut self.witness_log,
+        )?;
         if !outcome.is_success() {
             self.stats.issue_failures += 1;
             return Ok(false);

@@ -388,3 +388,77 @@ fn op_seq_survives_restart() {
 fn debug_impl_is_nonempty() {
     assert!(format!("{:?}", machine()).contains("Machine"));
 }
+
+// ---- witness containment at apply sites ------------------------------------
+
+/// `slots_registry` plus a `copy(src, dst)` method whose declared footprint
+/// under-declares: it reads `src` but only admits to touching `dst`. The
+/// live witness check must catch this at issue time.
+fn leaky_slots_registry() -> OpRegistry {
+    use guesstimate_core::{EffectSpec, Footprint};
+    let mut r = slots_registry();
+    r.register_with_effects::<Slots>(
+        "copy",
+        EffectSpec::new(|a| {
+            let Some(dst) = a.str(1) else {
+                return Footprint::new();
+            };
+            Footprint::new().reads([dst]).writes([dst])
+        }),
+        |s: &mut Slots, a| {
+            let (Some(src), Some(dst)) = (a.str(0), a.str(1)) else {
+                return false;
+            };
+            let Some(v) = s.m.get(src).copied() else {
+                return false;
+            };
+            s.m.insert(dst.to_owned(), v);
+            true
+        },
+    );
+    r
+}
+
+fn witness_machine(assert_on: bool) -> (Machine, ObjectId) {
+    let cfg = MachineConfig::default()
+        .with_paranoid_checks(true)
+        .with_witness_reads(true)
+        .with_witness_assert(assert_on);
+    let mut m = Machine::new_master(MachineId::new(0), Arc::new(leaky_slots_registry()), cfg);
+    let id = m.create_instance(Slots {
+        m: [("src".to_owned(), 7), ("dst".to_owned(), 0)].into(),
+    });
+    (m, id)
+}
+
+#[test]
+fn undeclared_read_is_recorded_when_witness_assert_is_off() {
+    let (mut m, id) = witness_machine(false);
+    assert!(m.witness_violations().is_empty());
+    let ok = m
+        .issue(SharedOp::primitive(id, "copy", args!["src", "dst"]))
+        .unwrap();
+    assert!(ok, "the op itself succeeds; only its declaration is wrong");
+    let v = m
+        .witness_violations()
+        .first()
+        .expect("escape recorded, not asserted");
+    assert_eq!(v.site, "issue");
+    assert!(
+        v.detail.contains("src"),
+        "detail names the leaked path: {}",
+        v.detail
+    );
+    // An honestly-declared method adds nothing.
+    m.issue(SharedOp::primitive(id, "put", args!["dst", 3]))
+        .unwrap();
+    assert_eq!(m.witness_violations().len(), 1);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "witness escape")]
+fn undeclared_read_asserts_by_default() {
+    let (mut m, id) = witness_machine(true);
+    let _ = m.issue(SharedOp::primitive(id, "copy", args!["src", "dst"]));
+}

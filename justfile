@@ -21,9 +21,20 @@ test:
     cargo test --workspace -q
 
 # Effect-analysis lint: conflict matrices for all six apps; any undeclared
-# effect, footprint under-approximation or nondeterminism is fatal.
+# effect, footprint under-approximation, nondeterminism, or witness-refuted
+# footprint (undeclared read/write) is fatal.
 analyze:
     cargo run -q -p guesstimate-analysis --bin analyze
+
+# Effect-witness soundness, all three layers (docs/ANALYSIS.md "Soundness"):
+# the analyzer's witness sanitizer over the six apps, the core witness
+# recorder's unit tests, the runtime's apply-site containment tests, and
+# the model checker's sneaky-preset detection + shrink regression.
+sanitize:
+    cargo run -q -p guesstimate-analysis --bin analyze
+    cargo test -q -p guesstimate-core witness
+    cargo test -q -p guesstimate-runtime undeclared_read
+    cargo test -q --test mc_regressions under_declared_read
 
 # Model-checker smoke: a quick bounded exploration of every preset
 # (debug build, small budget) — catches oracle violations early.

@@ -9,8 +9,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # public protocol surface) are fatal.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 cargo test --workspace -q
-# Effect-analysis lint: undeclared effects, footprint under-approximations
-# and nondeterminism in any bundled app fail the check (docs/ANALYSIS.md).
+# Effect-analysis lint: undeclared effects, footprint under-approximations,
+# nondeterminism and witness-refuted footprints (undeclared reads/writes
+# caught by perturbation probing — `just sanitize` runs this plus the
+# runtime/mc layers in isolation) fail the check (docs/ANALYSIS.md).
 cargo run -q -p guesstimate-analysis --bin analyze
 # Model-checker smoke: bounded exploration of every preset with all
 # oracles armed (docs/MODELCHECK.md) — `all` includes the hybrid

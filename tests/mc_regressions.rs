@@ -10,7 +10,9 @@
 //! has not regressed.
 
 use guesstimate_core::CommuteMatrix;
-use guesstimate_mc::{explore, minimize, replay, ExploreConfig, Preset, Schedule, TamperSpec};
+use guesstimate_mc::{
+    explore, minimize, replay, ExploreConfig, Preset, Schedule, Step, TamperSpec, Violation,
+};
 
 fn schedule_files() -> Vec<std::path::PathBuf> {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/schedules");
@@ -93,4 +95,121 @@ fn seeded_commit_reorder_is_detected_and_shrunk() {
         first.violation, second.violation,
         "repro must be deterministic"
     );
+}
+
+/// Three-layer soundness demo, model-checker layer (the other two are the
+/// analysis witness sanitizer and the runtime's paranoid apply-site
+/// assert): the hidden `sneaky` preset injects a `mirror` operation whose
+/// declared footprint omits its read of `src`. The witness-containment
+/// oracle must report it, ddmin must shrink the repro, and the shrunken
+/// schedule must replay deterministically.
+#[test]
+fn under_declared_read_is_caught_shrunk_and_replayable() {
+    let preset = *Preset::by_name("sneaky").expect("hidden negative preset");
+    assert!(
+        guesstimate_mc::PRESETS.iter().all(|p| p.name != "sneaky"),
+        "the negative preset must stay out of the positive suites"
+    );
+    let matrix = CommuteMatrix::new();
+    let out = explore(&preset, &matrix, None, &ExploreConfig::default());
+    let (violation, steps) = out
+        .violation
+        .expect("an undeclared read must trip the witness oracle");
+    assert!(
+        matches!(violation, Violation::WitnessEscape { .. }),
+        "wrong oracle fired: {violation}"
+    );
+    assert!(
+        violation.to_string().contains("src"),
+        "the report names the leaked path: {violation}"
+    );
+    let raw = Schedule {
+        preset: preset.name.to_owned(),
+        tamper: None,
+        steps,
+    };
+    let min = minimize(&raw, &matrix);
+    assert!(min.steps.len() <= raw.steps.len());
+    let reparsed = Schedule::from_json(&min.to_json()).expect("well-formed file");
+    let first = replay(&reparsed, &matrix).expect("known preset");
+    let second = replay(&reparsed, &matrix).expect("known preset");
+    assert!(
+        matches!(first.violation, Some(Violation::WitnessEscape { .. })),
+        "minimized repro lost the violation: {:?}",
+        first.violation
+    );
+    assert_eq!(
+        first.violation, second.violation,
+        "repro must be deterministic"
+    );
+}
+
+/// Regenerates `tests/schedules/message-board-async-gap.json`: machine 1's
+/// second async `like` (aseq 1) is delivered to machine 0 *before* its
+/// first (aseq 0), forcing the per-sender reorder buffer to hold the gap
+/// and release FIFO — then the run drains deterministically to a clean
+/// quiescent state. Run with `--ignored --nocapture` and paste the output
+/// into the schedule file.
+#[test]
+#[ignore = "generator for the checked-in async-gap schedule"]
+fn generate_message_board_async_gap_schedule() {
+    use guesstimate_core::MachineId;
+    use guesstimate_runtime::Msg;
+
+    let preset = *Preset::by_name("message_board").expect("built-in preset");
+    let matrix = CommuteMatrix::new();
+    let effective = preset.effective_matrix(&matrix);
+    let mut built = preset.build(&effective, None);
+    let mut steps = Vec::new();
+
+    let mut gap: Vec<(u64, u64)> = built
+        .net
+        .pending_msgs()
+        .iter()
+        .filter_map(|&s| {
+            let p = built.net.pending_msg(s)?;
+            match &p.msg {
+                Msg::AsyncOp { aseq, .. }
+                    if p.from == MachineId::new(1) && p.to == MachineId::new(0) =>
+                {
+                    Some((*aseq, s))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    gap.sort_unstable();
+    gap.reverse(); // highest aseq first: a same-sender gap at machine 0
+    assert_eq!(gap.len(), 2, "machine 1 broadcast two likes to machine 0");
+    for &(_, seq) in &gap {
+        assert!(built.net.deliver(seq));
+        steps.push(Step::Deliver(seq));
+    }
+
+    let rounds_target = built.base_rounds + preset.rounds;
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        assert!(guard < 100_000, "drain failed to converge");
+        if let Some(&seq) = built.net.pending_msgs().first() {
+            assert!(built.net.deliver(seq));
+            steps.push(Step::Deliver(seq));
+            continue;
+        }
+        let master = built.net.actor(MachineId::new(0)).expect("master");
+        if master.stats().syncs_seen >= rounds_target {
+            break;
+        }
+        assert!(built.net.fire_next_timer(), "drain stalled");
+        steps.push(Step::Timer);
+    }
+
+    let sched = Schedule {
+        preset: preset.name.to_owned(),
+        tamper: None,
+        steps,
+    };
+    let report = replay(&sched, &matrix).expect("known preset");
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    println!("{}", sched.to_json());
 }
