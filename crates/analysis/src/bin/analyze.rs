@@ -6,205 +6,28 @@
 //! exits non-zero when any violation is found (so `scripts/check.sh` can
 //! gate on it).
 //!
-//! `--json PATH` additionally writes the machine-readable archive
-//! ([`guesstimate_analysis::report_to_json`], schema v1): CI stores it as
-//! a build artifact, and the model checker's `--matrix` flag loads the
-//! validated commute matrix from it without re-running this validator.
+//! `--shard-plan` additionally derives each app's [`guesstimate_core::ShardPlan`]
+//! from the validated footprints (interference graph → union-find
+//! partition → routing keys), validates it with the static sanitizer, a
+//! run-it-twice determinism check, and the witness-backed escape check,
+//! and prints the plan; any sanitizer problem or witnessed shard escape is
+//! fatal.
+//!
+//! `--json PATH` writes the machine-readable archive
+//! ([`guesstimate_analysis::report_to_json`], schema v3; with
+//! `--shard-plan` the per-app `shard_plan` objects are included): CI
+//! stores it as a build artifact, and the model checker's `--matrix` flag
+//! loads the validated commute matrix from it without re-running this
+//! validator.
 
-use guesstimate_analysis::{
-    analyze_app, method_spaces_from_suite, report_to_json, AppReport, MethodSpace,
-};
-use guesstimate_core::{
-    args, execute, MachineId, ObjectId, ObjectStore, OpRegistry, SharedOp, Value,
-};
-use guesstimate_spec::CaseSpace;
-
-/// Case cap per method (sanitizers) and per pair (commutation check).
-const MAX_CASES: usize = 4_000;
-
-fn scratch() -> ObjectId {
-    ObjectId::new(MachineId::new(0), 0)
-}
-
-/// Builds representative states by executing an op sequence through the
-/// registry, snapshotting after every step (the bench crate's idiom).
-fn states_by_ops(reg: &OpRegistry, type_name: &str, seq: &[SharedOp]) -> Vec<Value> {
-    let o = scratch();
-    let mut store = ObjectStore::new();
-    store.insert(o, reg.construct(type_name).expect("registered"));
-    let mut out = vec![store.get(o).expect("present").snapshot()];
-    for op in seq {
-        let _ = execute(op, &mut store, reg);
-        out.push(store.get(o).expect("present").snapshot());
-    }
-    out
-}
-
-fn analyze_sudoku() -> AppReport {
-    use guesstimate_apps::sudoku;
-    let mut reg = OpRegistry::new();
-    sudoku::register(&mut reg);
-    let mut states = sudoku::sampled_states(6, 0xA11CE).states;
-    states.push(guesstimate_core::GState::snapshot(&sudoku::example_puzzle()));
-    let spaces = method_spaces_from_suite(&sudoku::spec_suite());
-    analyze_app(
-        &reg,
-        "Sudoku",
-        &spaces,
-        &CaseSpace::sampled(states, MAX_CASES),
-    )
-}
-
-fn analyze_event_planner() -> AppReport {
-    use guesstimate_apps::event_planner::{self as ep, ops};
-    let mut reg = OpRegistry::new();
-    ep::register(&mut reg);
-    let o = scratch();
-    let states = states_by_ops(
-        &reg,
-        "EventPlanner",
-        &[
-            ops::register_user(o, "ann", "pw"),
-            ops::register_user(o, "bob", "pw"),
-            ops::create_event(o, "party", 1),
-            ops::create_event(o, "dinner", 2),
-            ops::sign_in(o, "ann", "pw"),
-            ops::join(o, "ann", "party"),
-            ops::join(o, "bob", "dinner"),
-            ops::leave(o, "ann", "party"),
-        ],
-    );
-    let mut spaces = method_spaces_from_suite(&ep::spec_suite());
-    // The suite has no sign_out spec; give it the sign_in user space.
-    spaces.push(MethodSpace {
-        method: "sign_out".to_owned(),
-        args: ["ann", "bob", "ghost", ""]
-            .iter()
-            .map(|u| args![*u])
-            .collect(),
-        args_exhaustive: false,
-    });
-    analyze_app(
-        &reg,
-        "EventPlanner",
-        &spaces,
-        &CaseSpace::sampled(states, MAX_CASES),
-    )
-}
-
-fn analyze_message_board() -> AppReport {
-    use guesstimate_apps::message_board::{self as mb, ops};
-    let mut reg = OpRegistry::new();
-    mb::register(&mut reg);
-    let o = scratch();
-    let states = states_by_ops(
-        &reg,
-        "MessageBoard",
-        &[
-            ops::create_topic(o, "general"),
-            ops::post(o, "general", "ann", "hi"),
-            ops::create_topic(o, "random"),
-            ops::post(o, "general", "bob", "yo"),
-        ],
-    );
-    let spaces = method_spaces_from_suite(&mb::spec_suite());
-    analyze_app(
-        &reg,
-        "MessageBoard",
-        &spaces,
-        &CaseSpace::sampled(states, MAX_CASES),
-    )
-}
-
-fn analyze_carpool() -> AppReport {
-    use guesstimate_apps::carpool::{self as cp, ops};
-    let mut reg = OpRegistry::new();
-    cp::register(&mut reg);
-    let o = scratch();
-    let states = states_by_ops(
-        &reg,
-        "CarPool",
-        &[
-            ops::add_vehicle(o, "v1", 1, "party"),
-            ops::add_vehicle(o, "v2", 2, "party"),
-            ops::board(o, "ann", "v1"),
-            ops::board(o, "bob", "v2"),
-            ops::disembark(o, "ann", "v1"),
-        ],
-    );
-    let spaces = method_spaces_from_suite(&cp::spec_suite());
-    analyze_app(
-        &reg,
-        "CarPool",
-        &spaces,
-        &CaseSpace::sampled(states, MAX_CASES),
-    )
-}
-
-fn analyze_auction() -> AppReport {
-    use guesstimate_apps::auction::{self as au, ops};
-    let mut reg = OpRegistry::new();
-    au::register(&mut reg);
-    let o = scratch();
-    let states = states_by_ops(
-        &reg,
-        "Auction",
-        &[
-            ops::list_item(o, "lamp", "seller", 10, 5),
-            ops::bid(o, "lamp", "ann", 10),
-            ops::list_item(o, "sofa", "bob", 0, 1),
-            ops::close(o, "sofa", "bob"),
-        ],
-    );
-    let spaces = method_spaces_from_suite(&au::spec_suite());
-    analyze_app(
-        &reg,
-        "Auction",
-        &spaces,
-        &CaseSpace::sampled(states, MAX_CASES),
-    )
-}
-
-fn analyze_microblog() -> AppReport {
-    use guesstimate_apps::microblog::{self as micro, ops};
-    let mut reg = OpRegistry::new();
-    micro::register(&mut reg);
-    let o = scratch();
-    let states = states_by_ops(
-        &reg,
-        "MicroBlog",
-        &[
-            ops::register(o, "ann"),
-            ops::register(o, "bob"),
-            ops::follow(o, "ann", "bob"),
-            ops::post(o, "bob", "x"),
-            ops::unfollow(o, "ann", "bob"),
-        ],
-    );
-    let mut spaces = method_spaces_from_suite(&micro::spec_suite());
-    // The suite has no unfollow spec; reuse follow's handle pairs.
-    let handles = ["ann", "bob", "ghost", ""];
-    let mut unfollow_args = Vec::new();
-    for f in handles {
-        for g in handles {
-            unfollow_args.push(args![f, g]);
-        }
-    }
-    spaces.push(MethodSpace {
-        method: "unfollow".to_owned(),
-        args: unfollow_args,
-        args_exhaustive: true,
-    });
-    analyze_app(
-        &reg,
-        "MicroBlog",
-        &spaces,
-        &CaseSpace::sampled(states, MAX_CASES),
-    )
-}
+use guesstimate_analysis::harness::analyze_all_apps;
+use guesstimate_analysis::shard::format_shard_plan;
+use guesstimate_analysis::{report_to_json, report_to_json_with_plans};
+use guesstimate_core::ShardPlan;
 
 fn main() {
     let mut json_out: Option<String> = None;
+    let mut shard_plan = false;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -215,25 +38,22 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--shard-plan" => shard_plan = true,
             other => {
-                eprintln!("unknown argument `{other}` (usage: analyze [--json PATH])");
+                eprintln!(
+                    "unknown argument `{other}` (usage: analyze [--shard-plan] [--json PATH])"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let reports = [
-        analyze_sudoku(),
-        analyze_event_planner(),
-        analyze_message_board(),
-        analyze_carpool(),
-        analyze_auction(),
-        analyze_microblog(),
-    ];
+    let analyses = analyze_all_apps();
 
     println!("operation effect analysis — conflict matrices (C commute, X conflict, ? unknown)\n");
     let mut violations = 0usize;
-    for r in &reports {
+    for a in &analyses {
+        let r = &a.report;
         println!("{}", r.format_matrix());
         let m = r.commute_matrix();
         let universal = r.universal_commuters();
@@ -260,14 +80,69 @@ fn main() {
             println!("  warning: {w}");
         }
     }
+
+    let mut plan: Option<ShardPlan> = None;
+    let mut shard_problems = 0usize;
+    if shard_plan {
+        let mut combined = ShardPlan::new();
+        let problems = &mut shard_problems;
+        for a in &analyses {
+            let tp = a.derive_shard_plan();
+            // Stability: a second derivation must agree exactly (the same
+            // invariant `scripts/check.sh` rechecks at the byte level).
+            if a.derive_shard_plan() != tp {
+                eprintln!(
+                    "  shard plan for {} is not stable across two derivations",
+                    a.report.type_name
+                );
+                *problems += 1;
+            }
+            for p in a.sanitize_shard_plan(&tp) {
+                eprintln!("  shard sanitizer: {p}");
+                *problems += 1;
+            }
+            for e in a.witness_check_shard_plan(&tp) {
+                eprintln!("  shard escape: {e}");
+                *problems += 1;
+            }
+            combined.types.insert(a.report.type_name.clone(), tp);
+        }
+        println!("{}", format_shard_plan(&combined));
+        let (local, cross) = combined
+            .types
+            .values()
+            .flat_map(|tp| tp.routes.values())
+            .fold((0usize, 0usize), |(l, c), r| match r {
+                guesstimate_core::Routing::Local { .. } => (l + 1, c),
+                guesstimate_core::Routing::CrossShard => (l, c + 1),
+            });
+        if shard_problems == 0 {
+            println!(
+                "shard plans clean: {} components across {} apps, {local} local / {cross} cross-shard routes, zero witnessed escapes\n",
+                combined.types.values().map(|t| t.components.len()).sum::<usize>(),
+                combined.types.len(),
+            );
+        }
+        plan = Some(combined);
+    }
+
     if let Some(path) = &json_out {
         // Archive even on failure: the violations are exactly what a CI
         // artifact should preserve for the post-mortem.
-        if let Err(e) = std::fs::write(path, report_to_json(&reports)) {
+        let reports: Vec<_> = analyses.iter().map(|a| a.report.clone()).collect();
+        let doc = match &plan {
+            Some(p) => report_to_json_with_plans(&reports, Some(p)),
+            None => report_to_json(&reports),
+        };
+        if let Err(e) = std::fs::write(path, doc) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         }
         println!("wrote JSON archive to {path}");
+    }
+    if shard_problems > 0 {
+        eprintln!("shard-plan validation FAILED: {shard_problems} problem(s)");
+        std::process::exit(1);
     }
     if violations > 0 {
         eprintln!("effect analysis FAILED: {violations} violation(s)");

@@ -38,7 +38,9 @@
 
 #![deny(missing_docs)]
 
+pub mod harness;
 pub mod json;
+pub mod shard;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -507,6 +509,12 @@ pub fn analyze_app(
         }
     }
 
+    // Sort the method spaces so every downstream list — violations, pairs,
+    // the rendered matrix — is deterministic regardless of caller order.
+    let mut sorted_spaces = spaces.to_vec();
+    sorted_spaces.sort_by(|x, y| x.method.cmp(&y.method));
+    let spaces = &sorted_spaces[..];
+
     // --- sanitizers: determinism + footprint writes ---------------------
     // Methods whose declared footprints survive the sanitizer; only these
     // may be promoted to Commute by the static judgment.
@@ -688,6 +696,10 @@ pub fn analyze_app(
         }
     }
 
+    // Belt and braces on top of the space sort: the report's pair list is
+    // ordered by (a, b) no matter how the loop above evolves.
+    pairs.sort_by(|x: &PairReport, y: &PairReport| (&x.a, &x.b).cmp(&(&y.a, &y.b)));
+
     AppReport {
         type_name: type_name.to_owned(),
         methods,
@@ -706,22 +718,84 @@ pub fn analyze_app(
 ///   "counterexample"}, ...], "violations": [...], "warnings": [...]}]}
 /// ```
 ///
-/// Version 2 extends version 1 with the per-app `warnings` list (the
+/// Version 2 extended version 1 with the per-app `warnings` list (the
 /// witness sanitizer's dead-footprint advisories) and the two witness
-/// violation kinds in `violations[].kind`; everything version 1 carried
-/// is unchanged, so readers of either version interoperate.
+/// violation kinds in `violations[].kind`; version 3 adds the optional
+/// per-app `shard_plan` object ([`report_to_json_with_plans`]). Everything
+/// earlier versions carried is unchanged, so readers of any accepted
+/// version interoperate.
 ///
 /// CI archives this file per run; [`matrices_from_json`] reads it back
 /// into a [`CommuteMatrix`] so downstream tools (the model checker, the
 /// runtime's replay skipping) reuse the validated verdicts without
-/// re-running the bounded-exhaustive validator.
+/// re-running the bounded-exhaustive validator, and
+/// [`shard_plans_from_json`] recovers the
+/// [`guesstimate_core::ShardPlan`] for the runtime's router.
 pub fn report_to_json(reports: &[AppReport]) -> String {
+    report_to_json_with_plans(reports, None)
+}
+
+/// [`report_to_json`] with an optional shard plan: each app whose type the
+/// plan covers gains a `"shard_plan"` field. Prefix patterns render via
+/// [`guesstimate_core::PathPattern::render`], which percent-escapes `/`
+/// (and pattern metacharacters) inside literal segments so a rendered
+/// prefix always splits unambiguously.
+pub fn report_to_json_with_plans(
+    reports: &[AppReport],
+    plans: Option<&guesstimate_core::ShardPlan>,
+) -> String {
+    use guesstimate_core::Routing;
     use json::Json;
     use std::collections::BTreeMap;
     let apps: Vec<Json> = reports
         .iter()
         .map(|r| {
             let mut app = BTreeMap::new();
+            if let Some(tp) = plans.and_then(|p| p.types.get(&r.type_name)) {
+                let components: Vec<Json> = tp
+                    .components
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let mut m = BTreeMap::new();
+                        m.insert("id".to_owned(), Json::Num(i as f64));
+                        m.insert("keyed".to_owned(), Json::Bool(c.keyed));
+                        m.insert(
+                            "prefixes".to_owned(),
+                            Json::List(c.prefixes.iter().map(|p| Json::Str(p.render())).collect()),
+                        );
+                        Json::Map(m)
+                    })
+                    .collect();
+                let routes: BTreeMap<String, Json> = tp
+                    .routes
+                    .iter()
+                    .map(|(method, route)| {
+                        let mut m = BTreeMap::new();
+                        match route {
+                            Routing::Local { component, key_arg } => {
+                                m.insert("kind".to_owned(), Json::Str("local".to_owned()));
+                                m.insert("component".to_owned(), Json::Num(f64::from(*component)));
+                                m.insert(
+                                    "key_arg".to_owned(),
+                                    match key_arg {
+                                        Some(i) => Json::Num(*i as f64),
+                                        None => Json::Null,
+                                    },
+                                );
+                            }
+                            Routing::CrossShard => {
+                                m.insert("kind".to_owned(), Json::Str("cross".to_owned()));
+                            }
+                        }
+                        (method.clone(), Json::Map(m))
+                    })
+                    .collect();
+                let mut sp = BTreeMap::new();
+                sp.insert("components".to_owned(), Json::List(components));
+                sp.insert("routes".to_owned(), Json::Map(routes));
+                app.insert("shard_plan".to_owned(), Json::Map(sp));
+            }
             app.insert("type".to_owned(), Json::Str(r.type_name.clone()));
             app.insert(
                 "methods".to_owned(),
@@ -782,7 +856,7 @@ pub fn report_to_json(reports: &[AppReport]) -> String {
         })
         .collect();
     let mut doc = BTreeMap::new();
-    doc.insert("version".to_owned(), Json::Num(2.0));
+    doc.insert("version".to_owned(), Json::Num(3.0));
     doc.insert("apps".to_owned(), Json::List(apps));
     Json::Map(doc).to_string()
 }
@@ -800,9 +874,9 @@ pub fn matrices_from_json(text: &str) -> Result<CommuteMatrix, String> {
     use json::Json;
     let doc = Json::parse(text)?;
     // Accept every schema version whose `pairs` shape is unchanged:
-    // version 2 only added fields this reader ignores.
+    // versions 2 and 3 only added fields this reader ignores.
     match doc.get("version").and_then(Json::as_u64) {
-        Some(1 | 2) => {}
+        Some(1..=3) => {}
         Some(v) => return Err(format!("unsupported archive version {v}")),
         None => return Err("missing `version`".to_owned()),
     }
@@ -834,6 +908,85 @@ pub fn matrices_from_json(text: &str) -> Result<CommuteMatrix, String> {
         }
     }
     Ok(matrix)
+}
+
+/// Reads the per-app `shard_plan` objects of a schema-v3 archive back into
+/// a combined [`guesstimate_core::ShardPlan`]. Apps without a plan (or
+/// older archives, which cannot carry one) contribute nothing.
+///
+/// # Errors
+///
+/// Returns a description of the first syntactic or shape problem,
+/// including unknown versions (same negotiation as
+/// [`matrices_from_json`]) and prefix patterns that fail to parse.
+pub fn shard_plans_from_json(text: &str) -> Result<guesstimate_core::ShardPlan, String> {
+    use guesstimate_core::{ComponentPlan, PathPattern, Routing, ShardPlan, TypePlan};
+    use json::Json;
+    let doc = Json::parse(text)?;
+    match doc.get("version").and_then(Json::as_u64) {
+        Some(1..=3) => {}
+        Some(v) => return Err(format!("unsupported archive version {v}")),
+        None => return Err("missing `version`".to_owned()),
+    }
+    let apps = doc
+        .get("apps")
+        .and_then(Json::as_list)
+        .ok_or("missing `apps` array")?;
+    let mut plan = ShardPlan::new();
+    for app in apps {
+        let ty = app
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("app missing `type`")?;
+        let Some(sp) = app.get("shard_plan") else {
+            continue;
+        };
+        let mut tp = TypePlan::default();
+        for c in sp
+            .get("components")
+            .and_then(Json::as_list)
+            .ok_or("shard_plan missing `components`")?
+        {
+            let keyed = c
+                .get("keyed")
+                .and_then(Json::as_bool)
+                .ok_or("component missing `keyed`")?;
+            let mut prefixes = Vec::new();
+            for p in c
+                .get("prefixes")
+                .and_then(Json::as_list)
+                .ok_or("component missing `prefixes`")?
+            {
+                let text = p.as_str().ok_or("prefix must be a string")?;
+                prefixes.push(PathPattern::parse(text)?);
+            }
+            tp.components.push(ComponentPlan { prefixes, keyed });
+        }
+        let routes = sp
+            .get("routes")
+            .and_then(Json::as_map)
+            .ok_or("shard_plan missing `routes`")?;
+        for (method, r) in routes {
+            let route = match r.get("kind").and_then(Json::as_str) {
+                Some("cross") => Routing::CrossShard,
+                Some("local") => Routing::Local {
+                    component: r
+                        .get("component")
+                        .and_then(Json::as_u64)
+                        .ok_or("local route missing `component`")?
+                        as u32,
+                    key_arg: match r.get("key_arg") {
+                        None | Some(Json::Null) => None,
+                        Some(v) => Some(v.as_u64().ok_or("`key_arg` must be a number")? as usize),
+                    },
+                },
+                other => return Err(format!("unknown route kind {other:?}")),
+            };
+            tp.routes.insert(method.clone(), route);
+        }
+        plan.types.insert(ty.to_owned(), tp);
+    }
+    Ok(plan)
 }
 
 #[cfg(test)]
@@ -1007,13 +1160,73 @@ mod tests {
     fn matrices_from_json_rejects_bad_archives() {
         assert!(matrices_from_json("{").is_err());
         assert!(matrices_from_json("{\"apps\": []}").is_err(), "no version");
-        assert!(matrices_from_json("{\"version\": 3, \"apps\": []}").is_err());
-        // Both shipped schema versions are accepted: v1 archives predate
-        // the witness fields, v2 archives carry them.
-        for v in [1, 2] {
+        // An unknown future version fails with a *named* error, not a panic.
+        let err = matrices_from_json("{\"version\": 4, \"apps\": []}").unwrap_err();
+        assert!(err.contains("unsupported archive version 4"), "{err}");
+        let err = shard_plans_from_json("{\"version\": 4, \"apps\": []}").unwrap_err();
+        assert!(err.contains("unsupported archive version 4"), "{err}");
+        // All shipped schema versions are accepted: v1 archives predate
+        // the witness fields, v2 archives carry them, v3 adds shard plans.
+        for v in [1, 2, 3] {
             let empty = matrices_from_json(&format!("{{\"version\": {v}, \"apps\": []}}")).unwrap();
             assert!(empty.is_empty());
         }
+    }
+
+    /// Version-negotiation fixtures: a minimal archive of each shipped
+    /// schema version loads into the same commute matrix.
+    #[test]
+    fn matrices_from_json_loads_v1_v2_v3_fixtures() {
+        let v1 = r#"{"version": 1, "apps": [{"type": "Cells", "pairs": [
+            {"a": "set_a", "b": "set_b", "classification": "Commute"}]}]}"#;
+        let v2 = r#"{"version": 2, "apps": [{"type": "Cells", "warnings": [], "pairs": [
+            {"a": "set_a", "b": "set_b", "classification": "Commute",
+             "cases": 4, "static_commute": true, "counterexample": null}]}]}"#;
+        let v3 = r#"{"version": 3, "apps": [{"type": "Cells", "warnings": [], "pairs": [
+            {"a": "set_a", "b": "set_b", "classification": "Commute",
+             "cases": 4, "static_commute": true, "counterexample": null}],
+            "shard_plan": {"components": [{"id": 0, "keyed": false, "prefixes": ["a"]}],
+                           "routes": {"set_a": {"kind": "local", "component": 0, "key_arg": null},
+                                      "set_b": {"kind": "cross"}}}}]}"#;
+        for text in [v1, v2, v3] {
+            let m = matrices_from_json(text).unwrap();
+            assert!(m.commutes("Cells", "set_a", "set_b"), "fixture: {text}");
+        }
+        // Only the v3 fixture carries a plan; earlier versions load empty.
+        assert!(shard_plans_from_json(v1).unwrap().types.is_empty());
+        assert!(shard_plans_from_json(v2).unwrap().types.is_empty());
+        let plan = shard_plans_from_json(v3).unwrap();
+        let tp = &plan.types["Cells"];
+        assert_eq!(tp.components.len(), 1);
+        assert!(!tp.components[0].keyed);
+        assert_eq!(
+            tp.routes["set_a"],
+            guesstimate_core::Routing::Local {
+                component: 0,
+                key_arg: None
+            }
+        );
+        assert_eq!(tp.routes["set_b"], guesstimate_core::Routing::CrossShard);
+    }
+
+    /// A derived plan round-trips through the v3 archive exactly.
+    #[test]
+    fn shard_plan_roundtrips_through_v3_json() {
+        let r = registry();
+        let spaces = [spc("set_a"), spc("set_b"), spc("append"), spc("sneaky")];
+        let space = CaseSpace::sampled(states(), 1_000);
+        let report = analyze_app(&r, "Cells", &spaces, &space);
+        let tp = shard::derive_type_plan(&r, "Cells", &spaces, &report);
+        assert_eq!(
+            shard::derive_type_plan(&r, "Cells", &spaces, &report),
+            tp,
+            "derivation is deterministic"
+        );
+        let mut plan = guesstimate_core::ShardPlan::new();
+        plan.types.insert("Cells".to_owned(), tp);
+        let text = report_to_json_with_plans(std::slice::from_ref(&report), Some(&plan));
+        let reread = shard_plans_from_json(&text).unwrap();
+        assert_eq!(reread, plan);
     }
 
     #[test]
@@ -1125,7 +1338,7 @@ mod tests {
         // The advisory reaches the archive too.
         let text = report_to_json(std::slice::from_ref(&report));
         let doc = json::Json::parse(&text).unwrap();
-        assert_eq!(doc.get("version").and_then(json::Json::as_u64), Some(2));
+        assert_eq!(doc.get("version").and_then(json::Json::as_u64), Some(3));
         let app = &doc.get("apps").unwrap().as_list().unwrap()[0];
         assert!(!app.get("warnings").unwrap().as_list().unwrap().is_empty());
     }

@@ -19,12 +19,19 @@
 //!    byte-identical committed digest and identical issue/commit counts —
 //!    the witness layer observes, never perturbs.
 //!
-//! Usage: `bench_snapshot [duration_secs] [seed] [out_json] [hybrid_json]`
-//! (defaults: 60, 42, `target/bench_snapshot.json`,
-//! `target/bench_hybrid.json`). Metrics artifacts (Prometheus text, JSON,
-//! Chrome trace) go under the `target/bench_snapshot_metrics` stem
-//! (override with `GUESSTIMATE_METRICS=<stem>`). Any violated invariant
-//! exits non-zero.
+//! 7. the shard-partition analysis (docs/ANALYSIS.md "Shard plans")
+//!    yields a balanced population: every app's derived plan routes its
+//!    whole analysis-suite op population, only CarPool needs a
+//!    cross-shard route, and the per-app shard-balance rows (shard
+//!    count, per-shard op share, cross fraction) are written as a third
+//!    summary.
+//!
+//! Usage: `bench_snapshot [duration_secs] [seed] [out_json] [hybrid_json]
+//! [shards_json]` (defaults: 60, 42, `target/bench_snapshot.json`,
+//! `target/bench_hybrid.json`, `target/bench_shards.json`). Metrics
+//! artifacts (Prometheus text, JSON, Chrome trace) go under the
+//! `target/bench_snapshot_metrics` stem (override with
+//! `GUESSTIMATE_METRICS=<stem>`). Any violated invariant exits non-zero.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -48,6 +55,10 @@ fn main() {
         .next()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target").join("bench_hybrid.json"));
+    let shards_json = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("bench_shards.json"));
 
     eprintln!("bench_snapshot: fig5 {duration}s, seed {seed}, telemetry on ...");
     let tracer = Arc::new(RecordingTracer::new());
@@ -222,5 +233,57 @@ fn main() {
     for (app, r) in &ratios {
         eprintln!("  {app}: commit-lag collapse {r:.1}x");
     }
+
+    // Invariant 7: shard balance — every app's derived plan routes its
+    // whole analysis-suite op population, and only CarPool (whose `board`
+    // spans the vehicle and rider components) needs a cross-shard route.
+    eprintln!("bench_snapshot: shard-balance summary ...");
+    let rows = guesstimate_bench::shard_balance_rows();
+    assert_eq!(rows.len(), 6, "one shard-balance row per bundled app");
+    for r in &rows {
+        assert!(r.total() > 0, "{}: empty op population", r.app);
+        assert!(r.shard_count() >= 1, "{}: no local shard", r.app);
+    }
+    let crossing: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.cross_ops() > 0)
+        .map(|r| r.app.as_str())
+        .collect();
+    assert_eq!(
+        crossing,
+        ["CarPool"],
+        "cross-shard routes must stay confined to CarPool"
+    );
+    let app_json = |r: &guesstimate_bench::ShardBalanceRow| {
+        let per_shard = r
+            .per_shard
+            .iter()
+            .map(|(s, n)| {
+                format!(
+                    "        {{\"shard\": \"{s}\", \"ops\": {n}, \"share\": {:.3}}}",
+                    *n as f64 / r.total().max(1) as f64
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "    {{\"app\": \"{}\", \"shards\": {}, \"ops_total\": {}, \"cross_fraction\": {:.3}, \"max_share\": {:.3}, \"per_shard\": [\n{per_shard}\n    ]}}",
+            r.app,
+            r.shard_count(),
+            r.total(),
+            r.cross_fraction(),
+            r.max_share(),
+        )
+    };
+    let shards = format!(
+        "{{\n  \"bench\": \"shard_balance\",\n  \"apps\": [\n{}\n  ],\n  \"cross_only_carpool_ok\": true\n}}\n",
+        rows.iter().map(app_json).collect::<Vec<_>>().join(",\n"),
+    );
+    if let Some(parent) = shards_json.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    std::fs::write(&shards_json, &shards).expect("write shard-balance summary json");
+    eprintln!("wrote shard-balance summary to {}", shards_json.display());
+    print!("{}", guesstimate_bench::render_shard_balance(&rows));
     println!("bench_snapshot: all telemetry invariants hold");
 }

@@ -155,4 +155,12 @@ fn main() {
         path.display()
     );
     print!("{}", render_timelines(&timelines));
+
+    // How the derived shard plans would spread each app's operation
+    // population — the static counterpart of the figure's sync timings.
+    println!();
+    print!(
+        "{}",
+        guesstimate_bench::render_shard_balance(&guesstimate_bench::shard_balance_rows())
+    );
 }

@@ -133,4 +133,13 @@ fn main() {
         mean_ms(&|t| t.completion_spread()),
         timelines.len()
     );
+
+    // How the derived shard plans would spread each app's operation
+    // population — the ceiling a future multi-group synchronizer could
+    // exploit to make sync time sublinear in users.
+    println!();
+    print!(
+        "{}",
+        guesstimate_bench::render_shard_balance(&guesstimate_bench::shard_balance_rows())
+    );
 }

@@ -24,6 +24,7 @@
 
 pub mod artifacts;
 pub mod experiments;
+pub mod shard_balance;
 pub mod trace;
 pub mod workload;
 
@@ -35,6 +36,7 @@ pub use experiments::{
     Fig6Row, Fig7Row, HistogramBucket, HybridLagRow, ResponsivenessRow, SessionConfig,
     SessionResult, SpecTableRow, SpectrumRow,
 };
+pub use shard_balance::{render_shard_balance, shard_balance_rows, ShardBalanceRow};
 pub use trace::{
     record_to_json, render_timelines, summarize_rounds, write_jsonl, JsonlSink, RoundTimeline,
 };

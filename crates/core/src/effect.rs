@@ -22,74 +22,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use crate::paths::{path_covers, paths_overlap};
 use crate::registry::ArgView;
-
-/// The path denoting the *entire* object snapshot.
-///
-/// Some methods scan state that cannot be named from their arguments alone
-/// (e.g. "does this user already have a ride on *any* vehicle?"). Declaring
-/// a read of [`ROOT`] conservatively marks the whole snapshot as read:
-/// [`ROOT`] overlaps, and covers, every path.
-pub const ROOT: &str = "";
-
-/// True if two snapshot paths can denote overlapping state.
-///
-/// Paths are `/`-separated; a path covers its whole subtree, so two paths
-/// overlap iff one is a (segment-wise) prefix of the other. `"events"`
-/// overlaps `"events/party"` but not `"users/ann"`. The empty path
-/// ([`ROOT`]) denotes the whole snapshot and overlaps everything.
-///
-/// # Examples
-///
-/// ```
-/// use guesstimate_core::{paths_overlap, ROOT};
-/// assert!(paths_overlap("events", "events/party"));
-/// assert!(paths_overlap("grid/17", "grid/17"));
-/// assert!(!paths_overlap("grid/17", "grid/2"));
-/// assert!(!paths_overlap("users/ann", "events"));
-/// assert!(paths_overlap(ROOT, "users/ann"));
-/// ```
-pub fn paths_overlap(a: &str, b: &str) -> bool {
-    if a.is_empty() || b.is_empty() {
-        return true; // ROOT overlaps everything
-    }
-    let mut xs = a.split('/');
-    let mut ys = b.split('/');
-    loop {
-        match (xs.next(), ys.next()) {
-            (Some(x), Some(y)) => {
-                if x != y {
-                    return false;
-                }
-            }
-            // One path exhausted: it is a prefix of the other (or equal).
-            _ => return true,
-        }
-    }
-}
-
-/// True if `ancestor` covers `path`: equal, or a segment-wise prefix.
-/// [`ROOT`] covers every path.
-///
-/// Used by the footprint sanitizer — an observed state change at `path` is
-/// accounted for iff some declared write key covers it.
-pub fn path_covers(ancestor: &str, path: &str) -> bool {
-    if ancestor.is_empty() {
-        return true; // ROOT covers everything
-    }
-    if path.is_empty() {
-        return false; // only ROOT covers ROOT
-    }
-    let mut xs = ancestor.split('/');
-    let mut ys = path.split('/');
-    loop {
-        let Some(x) = xs.next() else { return true };
-        match ys.next() {
-            Some(y) if x == y => {}
-            _ => return false,
-        }
-    }
-}
 
 /// The read/write footprint of one method invocation (concrete arguments).
 ///
@@ -280,30 +214,6 @@ impl CommuteMatrix {
 mod tests {
     use super::*;
     use crate::args;
-
-    #[test]
-    fn overlap_is_prefix_based_and_symmetric() {
-        assert!(paths_overlap("a", "a"));
-        assert!(paths_overlap("a", "a/b"));
-        assert!(paths_overlap("a/b", "a"));
-        assert!(!paths_overlap("a/b", "a/c"));
-        assert!(!paths_overlap("ab", "a"));
-        assert!(!paths_overlap("a", "ab"), "segment, not string, prefix");
-        assert!(paths_overlap(ROOT, "a/b"));
-        assert!(paths_overlap("a/b", ROOT));
-        assert!(paths_overlap(ROOT, ROOT));
-    }
-
-    #[test]
-    fn covers_is_directional() {
-        assert!(path_covers("a", "a/b/c"));
-        assert!(path_covers("a/b", "a/b"));
-        assert!(!path_covers("a/b/c", "a/b"));
-        assert!(!path_covers("x", "a"));
-        assert!(path_covers(ROOT, "a/b"));
-        assert!(path_covers(ROOT, ROOT));
-        assert!(!path_covers("a", ROOT));
-    }
 
     #[test]
     fn disjointness_checks_ww_and_rw() {

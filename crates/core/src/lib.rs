@@ -87,19 +87,23 @@ mod exec;
 mod ids;
 mod object;
 mod op;
+pub mod paths;
 mod registry;
+pub mod shard;
 mod store;
 mod value;
 pub mod witness;
 
 pub use completion::{CompletionFn, CompletionQueue, PendingCompletion};
-pub use effect::{path_covers, paths_overlap, CommuteMatrix, EffectSpec, Footprint, ROOT};
+pub use effect::{CommuteMatrix, EffectSpec, Footprint};
 pub use error::{ExecError, RestoreError};
 pub use exec::{execute, execute_against, CowOverlay, ExecOutcome, ObjectAccess};
 pub use ids::{MachineId, ObjectId, OpId};
 pub use object::{GState, SharedObject};
 pub use op::{OpEnvelope, SharedOp};
+pub use paths::{path_covers, paths_overlap, PathPattern, ROOT};
 pub use registry::{ArgView, OpRegistry};
+pub use shard::{key_render, ComponentPlan, Routing, ShardId, ShardPlan, TypePlan};
 pub use store::ObjectStore;
 pub use value::{value_digest, Value};
 pub use witness::{

@@ -1,0 +1,496 @@
+//! The `/`-separated snapshot-path algebra.
+//!
+//! Snapshot paths name nodes in an object's canonical [`crate::GState::snapshot`]
+//! tree: `"topics/general"` is the `general` entry of the top-level `topics`
+//! map, `""` ([`ROOT`]) is the whole snapshot. Every consumer of footprints —
+//! the effect sanitizer, the access-witness checker, the commute matrix and
+//! the shard-partition analysis — reasons over the same two relations:
+//! *overlap* (can two paths denote intersecting state?) and *cover* (does one
+//! path's subtree contain the other?). This module is their single home.
+//!
+//! On top of concrete paths it defines [`PathPattern`]: a path whose segments
+//! may be literals, argument-derived *keys*, or wildcards. Patterns are the
+//! node language of the shard-partition interference graph: the analysis
+//! abstracts each method's concrete footprints into patterns, partitions the
+//! pattern space into components, and the runtime router re-instantiates the
+//! key segments from an operation's actual arguments.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The path denoting the *entire* object snapshot.
+///
+/// Some methods scan state that cannot be named from their arguments alone
+/// (e.g. "does this user already have a ride on *any* vehicle?"). Declaring
+/// a read of [`ROOT`] conservatively marks the whole snapshot as read:
+/// [`ROOT`] overlaps, and covers, every path.
+pub const ROOT: &str = "";
+
+/// True if two snapshot paths can denote overlapping state.
+///
+/// Paths are `/`-separated; a path covers its whole subtree, so two paths
+/// overlap iff one is a (segment-wise) prefix of the other. `"events"`
+/// overlaps `"events/party"` but not `"users/ann"`. The empty path
+/// ([`ROOT`]) denotes the whole snapshot and overlaps everything.
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::{paths_overlap, ROOT};
+/// assert!(paths_overlap("events", "events/party"));
+/// assert!(paths_overlap("grid/17", "grid/17"));
+/// assert!(!paths_overlap("grid/17", "grid/2"));
+/// assert!(!paths_overlap("users/ann", "events"));
+/// assert!(paths_overlap(ROOT, "users/ann"));
+/// ```
+pub fn paths_overlap(a: &str, b: &str) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return true; // ROOT overlaps everything
+    }
+    let mut xs = a.split('/');
+    let mut ys = b.split('/');
+    loop {
+        match (xs.next(), ys.next()) {
+            (Some(x), Some(y)) => {
+                if x != y {
+                    return false;
+                }
+            }
+            // One path exhausted: it is a prefix of the other (or equal).
+            _ => return true,
+        }
+    }
+}
+
+/// True if `ancestor` covers `path`: equal, or a segment-wise prefix.
+/// [`ROOT`] covers every path.
+///
+/// Used by the footprint sanitizer — an observed state change at `path` is
+/// accounted for iff some declared write key covers it.
+pub fn path_covers(ancestor: &str, path: &str) -> bool {
+    if ancestor.is_empty() {
+        return true; // ROOT covers everything
+    }
+    if path.is_empty() {
+        return false; // only ROOT covers ROOT
+    }
+    let mut xs = ancestor.split('/');
+    let mut ys = path.split('/');
+    loop {
+        let Some(x) = xs.next() else { return true };
+        match ys.next() {
+            Some(y) if x == y => {}
+            _ => return false,
+        }
+    }
+}
+
+/// Appends segment `seg` to `path` (`ROOT` + `"a"` is `"a"`, not `"/a"`).
+pub fn child(path: &str, seg: &str) -> String {
+    if path.is_empty() {
+        seg.to_owned()
+    } else {
+        format!("{path}/{seg}")
+    }
+}
+
+/// Splits `path` into `(parent, last_segment)`; `None` for [`ROOT`].
+pub fn split_last(path: &str) -> Option<(&str, &str)> {
+    if path.is_empty() {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(i) => Some((&path[..i], &path[i + 1..])),
+        None => Some(("", path)),
+    }
+}
+
+/// Percent-escapes one path segment for embedding in rendered patterns and
+/// JSON exports: `%` → `%25`, `/` → `%2F`, `*` → `%2A`, `{` → `%7B`.
+///
+/// Snapshot segments are arbitrary map keys, so a key containing `/` (or a
+/// key that *looks like* a wildcard) must not be confusable with pattern
+/// structure in the serialized form. [`unescape_segment`] inverts this.
+pub fn escape_segment(seg: &str) -> String {
+    let mut out = String::with_capacity(seg.len());
+    for c in seg.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '/' => out.push_str("%2F"),
+            '*' => out.push_str("%2A"),
+            '{' => out.push_str("%7B"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverts [`escape_segment`]. Unknown or truncated `%` escapes are an error.
+pub fn unescape_segment(seg: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(seg.len());
+    let mut chars = seg.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let pair: String = chars.by_ref().take(2).collect();
+        match pair.as_str() {
+            "25" => out.push('%'),
+            "2F" => out.push('/'),
+            "2A" => out.push('*'),
+            "7B" => out.push('{'),
+            other => return Err(format!("bad escape `%{other}` in segment `{seg}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// One segment of a [`PathPattern`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Seg {
+    /// A fixed segment that must match exactly.
+    Lit(String),
+    /// A segment equal to the rendering of the method's argument `i` — the
+    /// candidate shard key. Renders as `{i}`.
+    Key(usize),
+    /// A segment the analysis could not tie to an argument (e.g. a computed
+    /// index). Matches any single segment; renders as `*`.
+    Any,
+}
+
+/// A symbolic snapshot-path prefix: the node language of the shard-partition
+/// interference graph.
+///
+/// A pattern denotes the set of concrete paths obtained by substituting each
+/// [`Seg::Key`] with the rendering of the named argument and each
+/// [`Seg::Any`] with an arbitrary segment — plus, as with concrete paths,
+/// the entire subtree below. The empty pattern denotes [`ROOT`].
+///
+/// # Examples
+///
+/// ```
+/// use guesstimate_core::paths::PathPattern;
+/// let p = PathPattern::parse("topics/{0}").unwrap();
+/// assert!(p.covers("topics/general/posts", Some("general")));
+/// assert!(!p.covers("topics/general", Some("news")));
+/// let q = PathPattern::parse("topics/*").unwrap();
+/// assert!(q.covers("topics/anything", None));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathPattern {
+    segs: Vec<Seg>,
+}
+
+impl PathPattern {
+    /// The pattern denoting the whole snapshot ([`ROOT`]).
+    pub fn root() -> Self {
+        PathPattern::default()
+    }
+
+    /// Builds a pattern from segments.
+    pub fn new(segs: impl IntoIterator<Item = Seg>) -> Self {
+        PathPattern {
+            segs: segs.into_iter().collect(),
+        }
+    }
+
+    /// A pattern matching exactly the concrete path `path` (all literals).
+    pub fn lit(path: &str) -> Self {
+        if path.is_empty() {
+            return PathPattern::root();
+        }
+        PathPattern {
+            segs: path.split('/').map(|s| Seg::Lit(s.to_owned())).collect(),
+        }
+    }
+
+    /// The segments.
+    pub fn segs(&self) -> &[Seg] {
+        &self.segs
+    }
+
+    /// True if this is the [`ROOT`] pattern.
+    pub fn is_root(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// The set of argument indices used as [`Seg::Key`] segments.
+    pub fn key_args(&self) -> BTreeSet<usize> {
+        self.segs
+            .iter()
+            .filter_map(|s| match s {
+                Seg::Key(i) => Some(*i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True if any segment is an unkeyed wildcard ([`Seg::Any`]).
+    pub fn has_wildcard(&self) -> bool {
+        self.segs.iter().any(|s| matches!(s, Seg::Any))
+    }
+
+    /// Renders the pattern: literal segments percent-escaped
+    /// ([`escape_segment`]), keys as `{i}`, wildcards as `*`, joined by `/`.
+    /// [`ROOT`] renders as the empty string. [`PathPattern::parse`] inverts
+    /// this exactly.
+    pub fn render(&self) -> String {
+        self.segs
+            .iter()
+            .map(|s| match s {
+                Seg::Lit(l) => escape_segment(l),
+                Seg::Key(i) => format!("{{{i}}}"),
+                Seg::Any => "*".to_owned(),
+            })
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+
+    /// Parses a rendered pattern (the inverse of [`PathPattern::render`]).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text.is_empty() {
+            return Ok(PathPattern::root());
+        }
+        let mut segs = Vec::new();
+        for raw in text.split('/') {
+            if raw == "*" {
+                segs.push(Seg::Any);
+            } else if let Some(idx) = raw.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+                let i: usize = idx
+                    .parse()
+                    .map_err(|_| format!("bad key segment `{raw}` in pattern `{text}`"))?;
+                segs.push(Seg::Key(i));
+            } else if raw.is_empty() {
+                return Err(format!("empty segment in pattern `{text}`"));
+            } else {
+                segs.push(Seg::Lit(unescape_segment(raw)?));
+            }
+        }
+        Ok(PathPattern { segs })
+    }
+
+    /// True if this pattern, instantiated at shard key `key`, covers the
+    /// concrete path `path` (equal or a segment-wise prefix of it).
+    ///
+    /// [`Seg::Key`] segments match only the key when one is given, and any
+    /// segment otherwise; [`Seg::Any`] matches any segment. The [`ROOT`]
+    /// pattern covers everything; only it covers [`ROOT`].
+    pub fn covers(&self, path: &str, key: Option<&str>) -> bool {
+        if self.is_root() {
+            return true;
+        }
+        if path.is_empty() {
+            return false;
+        }
+        let mut ps = path.split('/');
+        for seg in &self.segs {
+            let Some(p) = ps.next() else { return false };
+            let ok = match seg {
+                Seg::Lit(l) => l == p,
+                Seg::Key(_) => key.is_none_or(|k| k == p),
+                Seg::Any => true,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if the two patterns can denote overlapping state under *some*
+    /// instantiation of their key and wildcard segments.
+    ///
+    /// This is the conservative relation that drives interference-graph
+    /// edges: [`Seg::Key`] and [`Seg::Any`] match anything, and (as with
+    /// concrete paths) exhausting one pattern makes it a prefix of the
+    /// other.
+    pub fn overlaps(&self, other: &Self) -> bool {
+        let mut xs = self.segs.iter();
+        let mut ys = other.segs.iter();
+        loop {
+            match (xs.next(), ys.next()) {
+                (Some(x), Some(y)) => {
+                    if let (Seg::Lit(a), Seg::Lit(b)) = (x, y) {
+                        if a != b {
+                            return false;
+                        }
+                    }
+                }
+                _ => return true,
+            }
+        }
+    }
+
+    /// True if the two patterns can overlap even when their key segments are
+    /// bound to *distinct* shard-key values.
+    ///
+    /// This is the decidable soundness check behind keyed components: if no
+    /// pattern pair (including a pattern against itself) overlaps under
+    /// distinct keys, ops carrying different key values are guaranteed
+    /// disjoint and the component can be split per key at runtime.
+    /// Key-vs-literal and any wildcard stay conservatively overlapping.
+    pub fn overlaps_under_distinct_keys(&self, other: &Self) -> bool {
+        let mut xs = self.segs.iter();
+        let mut ys = other.segs.iter();
+        loop {
+            match (xs.next(), ys.next()) {
+                (Some(x), Some(y)) => match (x, y) {
+                    // Both sides substitute their (distinct) key value here:
+                    // the segments cannot be equal, so the paths diverge.
+                    (Seg::Key(_), Seg::Key(_)) => return false,
+                    (Seg::Lit(a), Seg::Lit(b)) if a != b => return false,
+                    _ => {}
+                },
+                _ => return true,
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_prefix_based_and_symmetric() {
+        assert!(paths_overlap("a", "a"));
+        assert!(paths_overlap("a", "a/b"));
+        assert!(paths_overlap("a/b", "a"));
+        assert!(!paths_overlap("a/b", "a/c"));
+        assert!(!paths_overlap("ab", "a"));
+        assert!(!paths_overlap("a", "ab"), "segment, not string, prefix");
+        assert!(paths_overlap(ROOT, "a/b"));
+        assert!(paths_overlap("a/b", ROOT));
+        assert!(paths_overlap(ROOT, ROOT));
+    }
+
+    #[test]
+    fn covers_is_directional() {
+        assert!(path_covers("a", "a/b/c"));
+        assert!(path_covers("a/b", "a/b"));
+        assert!(!path_covers("a/b/c", "a/b"));
+        assert!(!path_covers("x", "a"));
+        assert!(path_covers(ROOT, "a/b"));
+        assert!(path_covers(ROOT, ROOT));
+        assert!(!path_covers("a", ROOT));
+    }
+
+    #[test]
+    fn empty_segments_are_ordinary_segments() {
+        // A trailing slash produces an empty final segment; the algebra
+        // treats it as a normal (odd) map key, not as ROOT.
+        assert!(paths_overlap("a/", "a"));
+        assert!(path_covers("a", "a/"));
+        assert!(!path_covers("a/", "a"));
+        assert!(!paths_overlap("a/", "a/b"));
+        assert_eq!(split_last("a/"), Some(("a", "")));
+    }
+
+    #[test]
+    fn exact_match_and_child_roundtrip() {
+        assert!(paths_overlap("grid/17", "grid/17"));
+        assert!(path_covers("grid/17", "grid/17"));
+        assert_eq!(child(ROOT, "a"), "a");
+        assert_eq!(child("a", "b"), "a/b");
+        assert_eq!(split_last("a/b"), Some(("a", "b")));
+        assert_eq!(split_last("a"), Some(("", "a")));
+        assert_eq!(split_last(ROOT), None);
+    }
+
+    #[test]
+    fn map_entry_wildcard_covers_any_entry() {
+        let p = PathPattern::parse("grid/*").unwrap();
+        assert!(p.covers("grid/17", None));
+        assert!(p.covers("grid/17/digit", None));
+        assert!(p.covers("grid/17", Some("ignored"))); // Any ignores the key
+        assert!(!p.covers("fixed/17", None));
+        assert!(!p.covers("grid", None), "wildcard needs an entry segment");
+    }
+
+    #[test]
+    fn segment_escaping_roundtrips_slash_adjacent_keys() {
+        for raw in ["a/b", "a%2Fb", "*", "{0}", "50%", "plain", ""] {
+            let esc = escape_segment(raw);
+            assert!(!esc.contains('/'), "`{esc}` must stay one segment");
+            assert_eq!(unescape_segment(&esc).unwrap(), raw);
+        }
+        assert_eq!(escape_segment("a/b"), "a%2Fb");
+        assert!(unescape_segment("bad%zz").is_err());
+        assert!(unescape_segment("trunc%2").is_err());
+    }
+
+    #[test]
+    fn pattern_render_parse_roundtrip() {
+        for text in ["", "topics/{0}", "grid/*", "a%2Fb/c", "{1}/riders", "x/%2A"] {
+            let p = PathPattern::parse(text).unwrap();
+            assert_eq!(p.render(), text);
+            assert_eq!(PathPattern::parse(&p.render()).unwrap(), p);
+        }
+        // A literal segment that *looks like* a wildcard or key renders
+        // escaped, so parsing cannot confuse it with pattern structure.
+        let lit_star = PathPattern::new([Seg::Lit("*".into())]);
+        assert_eq!(lit_star.render(), "%2A");
+        let lit_key = PathPattern::new([Seg::Lit("{0}".into())]);
+        assert_eq!(lit_key.render(), "%7B0}");
+        assert_eq!(PathPattern::parse(&lit_key.render()).unwrap(), lit_key);
+        assert!(PathPattern::parse("a//b").is_err());
+        assert!(PathPattern::parse("{x}").is_err());
+    }
+
+    #[test]
+    fn pattern_covers_instantiates_keys() {
+        let p = PathPattern::parse("topics/{0}").unwrap();
+        assert!(p.covers("topics/general", Some("general")));
+        assert!(p.covers("topics/general/posts", Some("general")));
+        assert!(!p.covers("topics/news", Some("general")));
+        assert!(p.covers("topics/news", None), "unkeyed: key matches any");
+        assert!(!p.covers("likes/news", Some("news")));
+        assert!(!p.covers("topics", Some("general")), "prefix of pattern");
+        assert!(PathPattern::root().covers(ROOT, None));
+        assert!(PathPattern::root().covers("anything/at/all", None));
+        assert!(!p.covers(ROOT, None));
+    }
+
+    #[test]
+    fn symbolic_overlap_is_conservative() {
+        let key = PathPattern::parse("topics/{0}").unwrap();
+        let wild = PathPattern::parse("topics/*").unwrap();
+        let lit = PathPattern::parse("topics/general").unwrap();
+        let other = PathPattern::parse("likes/{0}").unwrap();
+        assert!(key.overlaps(&wild));
+        assert!(key.overlaps(&lit));
+        assert!(key.overlaps(&key));
+        assert!(!key.overlaps(&other));
+        assert!(PathPattern::root().overlaps(&key));
+        let parent = PathPattern::parse("topics").unwrap();
+        assert!(parent.overlaps(&key), "prefix pattern overlaps subtree");
+    }
+
+    #[test]
+    fn distinct_key_overlap_detects_unshardable_patterns() {
+        let key = PathPattern::parse("topics/{0}").unwrap();
+        assert!(
+            !key.overlaps_under_distinct_keys(&key),
+            "distinct keys name distinct topics"
+        );
+        let flat = PathPattern::parse("{0}").unwrap();
+        let by_other_arg = PathPattern::parse("{1}/riders").unwrap();
+        assert!(!flat.overlaps_under_distinct_keys(&by_other_arg));
+        let lit = PathPattern::parse("topics/general").unwrap();
+        assert!(key.overlaps_under_distinct_keys(&lit), "key may equal lit");
+        let wild = PathPattern::parse("topics/*").unwrap();
+        assert!(key.overlaps_under_distinct_keys(&wild));
+        let parent = PathPattern::parse("topics").unwrap();
+        assert!(
+            key.overlaps_under_distinct_keys(&parent),
+            "unkeyed prefix covers every key's subtree"
+        );
+    }
+}

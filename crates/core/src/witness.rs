@@ -38,11 +38,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use crate::effect::{paths_overlap, Footprint};
+use crate::effect::Footprint;
 use crate::error::ExecError;
 use crate::exec::{execute, ExecOutcome};
 use crate::ids::ObjectId;
 use crate::op::SharedOp;
+use crate::paths::{child, paths_overlap, split_last};
 use crate::registry::{ArgView, OpRegistry};
 use crate::store::ObjectStore;
 use crate::value::Value;
@@ -85,14 +86,6 @@ fn diff_into(pre: &Value, post: &Value, path: String, out: &mut Vec<String>) {
             }
         }
         _ => out.push(path),
-    }
-}
-
-fn child(path: &str, seg: &str) -> String {
-    if path.is_empty() {
-        seg.to_owned()
-    } else {
-        format!("{path}/{seg}")
     }
 }
 
@@ -456,16 +449,6 @@ fn node_mutations(v: &Value) -> Vec<Value> {
             Value::Map(m)
         })
         .collect(),
-    }
-}
-
-fn split_last(path: &str) -> Option<(&str, &str)> {
-    if path.is_empty() {
-        return None;
-    }
-    match path.rfind('/') {
-        Some(i) => Some((&path[..i], &path[i + 1..])),
-        None => Some(("", path)),
     }
 }
 

@@ -37,6 +37,6 @@ pub mod shrink;
 
 pub use explore::{explore, replay, ExploreConfig, Outcome, ReplayReport};
 pub use oracle::{check_step, check_terminal, state_digest, Violation};
-pub use scenario::{Built, Preset, PRESETS, SNEAKY};
+pub use scenario::{Built, Preset, MISKEYED, PRESETS, SNEAKY};
 pub use schedule::{Schedule, Step, TamperSpec};
 pub use shrink::minimize;

@@ -9,7 +9,11 @@
 //!   operation's observed accesses escaped its declared footprint at any
 //!   apply site — see [`guesstimate_runtime::WitnessViolation`]; the
 //!   `sneaky` negative preset runs with recording instead of asserting
-//!   precisely so this oracle is what reports it), pairwise agreement of
+//!   precisely so this oracle is what reports it), an empty per-machine
+//!   shard-containment log when a shard plan is installed (no committed
+//!   operation's declared footprint escaped its routed shard — see
+//!   [`guesstimate_runtime::ShardViolation`]; the `miskeyed` negative
+//!   preset is caught here), pairwise agreement of
 //!   completed histories (every
 //!   pair of machines' completion sequences must be prefix-ordered), and
 //!   committed-state digest equality whenever two machines have completed
@@ -82,6 +86,18 @@ pub enum Violation {
         /// The recorded violation, rendered.
         detail: String,
     },
+    /// A committed operation's declared footprint escaped the shard the
+    /// installed shard plan routed it to (recorded by the runtime's
+    /// shard containment check; see
+    /// `guesstimate_runtime::ShardViolation`). Fires when the plan and
+    /// the effect declarations disagree — e.g. the `miskeyed` negative
+    /// preset's deliberately wrong routing key.
+    ShardEscape {
+        /// The machine that recorded the escape.
+        machine: MachineId,
+        /// The recorded violation, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -115,6 +131,9 @@ impl fmt::Display for Violation {
             Violation::WitnessEscape { machine, detail } => {
                 write!(f, "witness escape on machine {machine}: {detail}")
             }
+            Violation::ShardEscape { machine, detail } => {
+                write!(f, "shard escape on machine {machine}: {detail}")
+            }
         }
     }
 }
@@ -140,6 +159,12 @@ pub fn check_step(net: &SchedNet<Machine>, hybrid: bool) -> Option<Violation> {
             return Some(Violation::WitnessEscape {
                 machine: id,
                 detail: w.to_string(),
+            });
+        }
+        if let Some(v) = m.shard_violations().first() {
+            return Some(Violation::ShardEscape {
+                machine: id,
+                detail: v.to_string(),
             });
         }
     }

@@ -125,6 +125,115 @@ mod sneaky {
     }
 }
 
+/// Fixture for the `miskeyed` negative preset: an honestly-declared topic
+/// board paired with a deliberately **mis-keyed** shard plan. `post(topic,
+/// author)` reads and writes exactly `topics/{topic}`, but the hand-built
+/// plan routes `post` by its *author* argument — so every post whose
+/// author differs from its topic commits into a shard whose key cannot
+/// cover the touched path. The runtime's shard containment check (see
+/// `guesstimate_runtime::ShardViolation`) must record the escape at the
+/// first round commit, and the checker's `ShardEscape` oracle must report
+/// it.
+mod miskeyed {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use guesstimate_core::{
+        args, ComponentPlan, EffectSpec, Footprint, GState, ObjectId, OpRegistry, PathPattern,
+        RestoreError, Routing, ShardPlan, SharedOp, TypePlan, Value,
+    };
+
+    /// Per-topic post tallies, snapshotted under a `topics` subtree so
+    /// footprint paths have the shape `topics/{topic}`.
+    #[derive(Clone, Default, Debug)]
+    pub struct Board {
+        pub topics: BTreeMap<String, i64>,
+    }
+
+    impl GState for Board {
+        const TYPE_NAME: &'static str = "KeyedBoard";
+        fn snapshot(&self) -> Value {
+            Value::Map(
+                [(
+                    "topics".to_owned(),
+                    Value::Map(
+                        self.topics
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::from(*v)))
+                            .collect(),
+                    ),
+                )]
+                .into(),
+            )
+        }
+        fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+            let Value::Map(m) = v else {
+                return Err(RestoreError::shape("map"));
+            };
+            let Some(Value::Map(topics)) = m.get("topics") else {
+                return Err(RestoreError::shape("topics map"));
+            };
+            self.topics = topics
+                .iter()
+                .map(|(k, v)| {
+                    v.as_i64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| RestoreError::shape("i64 tally"))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(())
+        }
+    }
+
+    pub fn register(reg: &mut OpRegistry) {
+        reg.register_type::<Board>();
+        // Honest: `post(topic, author)` reads and writes `topics/{topic}`.
+        reg.register_with_effects::<Board>(
+            "post",
+            EffectSpec::new(|a| match a.str(0) {
+                Some(t) => Footprint::new()
+                    .reads([format!("topics/{t}")])
+                    .writes([format!("topics/{t}")]),
+                None => Footprint::new(),
+            }),
+            |s: &mut Board, a| {
+                let (Some(t), Some(_author)) = (a.str(0), a.str(1)) else {
+                    return false;
+                };
+                *s.topics.entry(t.to_owned()).or_insert(0) += 1;
+                true
+            },
+        );
+    }
+
+    /// The deliberately mis-keyed plan: the component is right
+    /// (`topics/{0}`, keyed), but `post` is routed by argument **1** —
+    /// the author — where the analysis would have derived argument 0.
+    pub fn plan() -> Arc<ShardPlan> {
+        let mut tp = TypePlan {
+            components: vec![ComponentPlan {
+                prefixes: vec![PathPattern::parse("topics/{0}").expect("valid pattern")],
+                keyed: true,
+            }],
+            routes: BTreeMap::new(),
+        };
+        tp.routes.insert(
+            "post".to_owned(),
+            Routing::Local {
+                component: 0,
+                key_arg: Some(1),
+            },
+        );
+        let mut plan = ShardPlan::new();
+        plan.types.insert(Board::TYPE_NAME.to_owned(), tp);
+        Arc::new(plan)
+    }
+
+    pub fn post(obj: ObjectId, topic: &str, author: &str) -> SharedOp {
+        SharedOp::primitive(obj, "post", args![topic, author])
+    }
+}
+
 /// One checking scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct Preset {
@@ -204,14 +313,33 @@ pub const SNEAKY: Preset = Preset {
     blurb: "negative test: under-declared read the witness oracle must catch",
 };
 
+/// Negative-test preset: an honestly-declared workload under a
+/// deliberately **mis-keyed** shard plan (its `post` route keys by the
+/// author argument instead of the topic; see the `miskeyed` module).
+/// Hidden from [`PRESETS`] like [`SNEAKY`] — it violates by design — but
+/// reachable through [`Preset::by_name`], so `mc --preset miskeyed` and
+/// schedule replays resolve it. Built with `witness_assert` off: shard
+/// escapes are *recorded* on the machine for the `ShardEscape` oracle to
+/// report (and ddmin to shrink) instead of aborting mid-delivery.
+pub const MISKEYED: Preset = Preset {
+    name: "miskeyed",
+    eager: 2,
+    late_join: false,
+    rounds: 2,
+    drop_budget: 0,
+    hybrid: false,
+    blurb: "negative test: mis-keyed shard plan the shard-escape oracle must catch",
+};
+
 impl Preset {
     /// Looks up a preset by name ([`PRESETS`] plus the hidden [`SNEAKY`]
-    /// negative preset).
+    /// and [`MISKEYED`] negative presets).
     pub fn by_name(name: &str) -> Option<&'static Preset> {
         PRESETS
             .iter()
             .find(|p| p.name == name)
             .or((SNEAKY.name == name).then_some(&SNEAKY))
+            .or((MISKEYED.name == name).then_some(&MISKEYED))
     }
 
     /// Total machines once the staged joiner (if any) is admitted.
@@ -227,6 +355,7 @@ impl Preset {
             "event_planner" => event_planner::register(&mut reg),
             "message_board" => message_board::register(&mut reg),
             "sneaky" => sneaky::register(&mut reg),
+            "miskeyed" => miskeyed::register(&mut reg),
             other => unreachable!("unknown preset {other}"),
         }
         reg
@@ -302,6 +431,7 @@ impl Preset {
                 });
                 (obj, 1)
             }
+            "miskeyed" => (master.create_instance(miskeyed::Board::default()), 1),
             other => unreachable!("unknown preset {other}"),
         }
     }
@@ -361,6 +491,15 @@ impl Preset {
                 // oracle fires on the very first explored step.
                 (1, sneaky::mirror(obj)),
             ],
+            "miskeyed" => vec![
+                // Honest posts. The mis-keyed plan routes each by its
+                // author, so the first round commit lands `topics/news`
+                // in shard `KeyedBoard:0/ann` (and `topics/sport` in
+                // `KeyedBoard:0/bob`) — escapes the shard containment
+                // check records on every machine.
+                (0, miskeyed::post(obj, "news", "ann")),
+                (1, miskeyed::post(obj, "sport", "bob")),
+            ],
             other => unreachable!("unknown preset {other}"),
         }
     }
@@ -377,7 +516,7 @@ impl Preset {
         // Timeout spacing mirrors deployment ratios (tick < join retry <
         // stall) so timer-only phases preserve protocol behavior; absolute
         // values are irrelevant under the controlled clock.
-        let cfg = MachineConfig::default()
+        let mut cfg = MachineConfig::default()
             .with_sync_period(SimTime::from_millis(100))
             .with_join_retry(SimTime::from_millis(300))
             .with_stall_timeout(SimTime::from_millis(500))
@@ -385,11 +524,16 @@ impl Preset {
             .with_paranoid_checks(true)
             .with_async_commit(self.hybrid)
             .with_commute_matrix(self.effective_matrix(matrix))
-            // The negative preset probes for undeclared reads and records
-            // escapes instead of asserting, so the witness oracle (not a
-            // mid-delivery debug_assert) is what reports them.
+            // The negative presets record escapes instead of asserting, so
+            // an oracle (not a mid-delivery debug_assert) is what reports
+            // them: `sneaky` additionally probes for undeclared reads.
             .with_witness_reads(self.name == "sneaky")
-            .with_witness_assert(self.name != "sneaky");
+            .with_witness_assert(!matches!(self.name, "sneaky" | "miskeyed"));
+        if self.name == "miskeyed" {
+            // The deliberately wrong plan the shard containment check —
+            // and the checker's ShardEscape oracle — must catch.
+            cfg = cfg.with_shard_plan(miskeyed::plan());
+        }
 
         let mut net: SchedNet<Machine> = SchedNet::new();
         net.add_machine(

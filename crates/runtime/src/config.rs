@@ -1,6 +1,8 @@
 //! Runtime configuration.
 
-use guesstimate_core::CommuteMatrix;
+use std::sync::Arc;
+
+use guesstimate_core::{CommuteMatrix, ShardPlan};
 use guesstimate_net::SimTime;
 
 /// Tunables of a GUESSTIMATE machine.
@@ -84,6 +86,15 @@ pub struct MachineConfig {
     /// ([`crate::Machine::witness_violations`]) for its oracle to report
     /// — and ddmin-shrink — instead of aborting mid-delivery.
     pub witness_assert: bool,
+    /// An analysis-derived shard plan (`analyze --shard-plan`; see
+    /// `docs/ANALYSIS.md` "Shard plans"). When installed, every commit is
+    /// labeled with its routed [`guesstimate_core::ShardId`] (feeding the
+    /// per-shard telemetry counter), and under
+    /// [`MachineConfig::paranoid_checks`] the commit sites additionally
+    /// assert that the operation's declared footprints stay inside the
+    /// routed shard (see [`crate::ShardViolation`]). `None` (the default)
+    /// disables all shard accounting.
+    pub shard_plan: Option<Arc<ShardPlan>>,
 }
 
 impl Default for MachineConfig {
@@ -101,6 +112,7 @@ impl Default for MachineConfig {
             async_commit: false,
             witness_reads: false,
             witness_assert: true,
+            shard_plan: None,
         }
     }
 }
@@ -176,6 +188,13 @@ impl MachineConfig {
     /// [`MachineConfig::witness_assert`]).
     pub fn with_witness_assert(mut self, on: bool) -> Self {
         self.witness_assert = on;
+        self
+    }
+
+    /// Installs an analysis-derived shard plan (see
+    /// [`MachineConfig::shard_plan`]).
+    pub fn with_shard_plan(mut self, plan: Arc<ShardPlan>) -> Self {
+        self.shard_plan = Some(plan);
         self
     }
 

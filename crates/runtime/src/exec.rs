@@ -72,6 +72,7 @@ impl Machine {
                 &mut self.witness_log,
             )
             .expect("commit: registries must agree on every machine");
+            self.note_shard_commit(&env.op, "commit");
             self.completed.push(env.id);
             self.completed_serialized.push(env.id);
             if self.cfg.record_history {

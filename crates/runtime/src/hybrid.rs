@@ -178,6 +178,7 @@ impl Machine {
             &mut self.witness_log,
         )
         .expect("async commit: the op just executed on sg, so sc must accept it");
+        self.note_shard_commit(&env.op, "async-commit");
         self.completed.push(op_id);
         if self.cfg.record_history {
             self.history.push(env.clone());
@@ -305,6 +306,7 @@ impl Machine {
             &mut self.witness_log,
         )
         .expect("async apply: sg holds every object sc holds");
+        self.note_shard_commit(&env.op, "async-apply");
         self.completed.push(env.id);
         if self.cfg.record_history {
             self.history.push(env.clone());

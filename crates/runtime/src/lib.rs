@@ -80,6 +80,7 @@ mod machine;
 mod message;
 mod protocol;
 pub mod roles;
+pub mod shard;
 mod stats;
 #[doc(hidden)]
 pub mod testutil;
@@ -93,4 +94,5 @@ pub use config::MachineConfig;
 pub use exec::WitnessViolation;
 pub use machine::{Machine, RemoteUpdateHook};
 pub use message::{Msg, ObjectInit, WireEnvelope, WireOp};
+pub use shard::{ShardRouter, ShardViolation};
 pub use stats::{MachineStats, SyncSample};

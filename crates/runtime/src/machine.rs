@@ -103,6 +103,11 @@ pub struct Machine {
     /// [`MachineConfig::paranoid_checks`]; see
     /// [`crate::exec::WitnessViolation`].
     pub(crate) witness_log: Vec<crate::exec::WitnessViolation>,
+    /// Shard-containment escapes recorded at commit sites when a
+    /// [`MachineConfig::shard_plan`] is installed under
+    /// [`MachineConfig::paranoid_checks`]; see
+    /// [`crate::shard::ShardViolation`].
+    pub(crate) shard_log: Vec<crate::shard::ShardViolation>,
     pub(crate) stats: MachineStats,
     pub(crate) tracer: Arc<dyn Tracer>,
     pub(crate) telemetry: Telemetry,
@@ -172,6 +177,7 @@ impl Machine {
             history: Vec::new(),
             remote_hooks: Vec::new(),
             witness_log: Vec::new(),
+            shard_log: Vec::new(),
             stats: MachineStats::default(),
             tracer: Arc::new(NoopTracer),
             telemetry: Telemetry::noop(),
@@ -360,6 +366,18 @@ impl Machine {
     /// witness oracle reads this log after every step.
     pub fn witness_violations(&self) -> &[crate::exec::WitnessViolation] {
         &self.witness_log
+    }
+
+    /// The shard-containment escapes recorded on this machine.
+    ///
+    /// Empty unless a [`MachineConfig::shard_plan`] is installed, paranoid
+    /// checks are on, and a committed operation's declared footprint
+    /// escaped its routed shard. With [`MachineConfig::witness_assert`]
+    /// disabled, escapes accumulate here (bounded) instead of
+    /// `debug_assert!`ing — the model checker's shard oracle reads this
+    /// log after every step.
+    pub fn shard_violations(&self) -> &[crate::shard::ShardViolation] {
+        &self.shard_log
     }
 
     pub(crate) fn next_op_id(&mut self) -> OpId {

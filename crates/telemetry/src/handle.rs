@@ -8,6 +8,7 @@
 //! protocol keep its hooks unconditionally wired without observable
 //! overhead (see the zero-overhead test in `tests/`).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use guesstimate_core::{MachineId, OpId};
@@ -65,6 +66,11 @@ pub struct TelemetryInner {
     mc_schedules: Arc<Counter>,
     mc_pruned: Arc<Counter>,
     mc_oracle_checks: Arc<Counter>,
+
+    /// Per-shard commit counters, registered lazily: shard labels are
+    /// data-dependent (keyed shards embed argument values), so they
+    /// cannot be pre-registered like the instruments above.
+    shard_ops: parking_lot::Mutex<BTreeMap<String, Arc<Counter>>>,
 }
 
 impl TelemetryInner {
@@ -198,6 +204,7 @@ impl TelemetryInner {
                 "guesstimate_mc_oracle_checks_total",
                 "Model-checker oracle evaluations",
             ),
+            shard_ops: parking_lot::Mutex::new(BTreeMap::new()),
             spans: parking_lot::Mutex::new(SpanBook::new()),
             registry,
         }
@@ -318,6 +325,24 @@ impl Telemetry {
         let Some(inner) = &self.inner else { return };
         inner.ops_completed.inc();
         inner.spans.lock().completed(op, at);
+    }
+
+    /// An operation was committed into shard `shard` (the rendered
+    /// [`guesstimate_core::ShardId`]; called by the runtime's commit
+    /// sites when a shard plan is installed). The counter for a label is
+    /// registered on first use — shard labels are data-dependent, so
+    /// they cannot be pre-registered.
+    pub fn shard_op(&self, shard: &str) {
+        let Some(inner) = &self.inner else { return };
+        let mut map = inner.shard_ops.lock();
+        let counter = map.entry(shard.to_owned()).or_insert_with(|| {
+            inner.registry.counter_with_labels(
+                "guesstimate_shard_ops_total",
+                "Operations committed, by routed shard",
+                &[("shard", shard)],
+            )
+        });
+        counter.inc();
     }
 
     /// `machine` restarted: its uncommitted spans are lost.
@@ -463,6 +488,20 @@ impl Telemetry {
     /// construction; 0 when no-op).
     pub fn commit_lag_count(&self) -> u64 {
         self.inner.as_ref().map_or(0, |i| i.commit_lag_us.count())
+    }
+
+    /// Per-shard committed-op counts, sorted by shard label (empty when
+    /// no-op or no shard plan was installed).
+    pub fn shard_ops(&self) -> Vec<(String, u64)> {
+        match &self.inner {
+            Some(inner) => inner
+                .shard_ops
+                .lock()
+                .iter()
+                .map(|(label, c)| (label.clone(), c.get()))
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Number of exec-count samples strictly above `n` (0 when no-op).

@@ -1,7 +1,7 @@
 # Developer workflow. Run `just check` before sending a change.
 
 # Everything CI would run, in order.
-check: fmt clippy doc test analyze mc-smoke bench-snapshot
+check: fmt clippy doc test analyze shards mc-smoke bench-snapshot
 
 # Formatting gate (no writes).
 fmt:
@@ -26,15 +26,28 @@ test:
 analyze:
     cargo run -q -p guesstimate-analysis --bin analyze
 
+# Shard-plan gate: derive + sanitize + witness-check every app's ShardPlan
+# and archive it, then re-derive and require the archive byte-identical
+# (deterministic derivation; docs/ANALYSIS.md "Shard plans").
+shards:
+    cargo run -q -p guesstimate-analysis --bin analyze -- --shard-plan --json target/shard_plans.json
+    cargo run -q -p guesstimate-analysis --bin analyze -- --shard-plan --json target/shard_plans_again.json > /dev/null
+    cmp target/shard_plans.json target/shard_plans_again.json
+
 # Effect-witness soundness, all three layers (docs/ANALYSIS.md "Soundness"):
 # the analyzer's witness sanitizer over the six apps, the core witness
 # recorder's unit tests, the runtime's apply-site containment tests, and
-# the model checker's sneaky-preset detection + shrink regression.
-sanitize:
+# the model checker's sneaky-preset detection + shrink regression — plus
+# the same three layers for shard plans (static sanitizer + witness escape
+# check in `shards`, the runtime shard-containment tests, and the mc
+# mis-keyed-preset detection + shrink regression).
+sanitize: shards
     cargo run -q -p guesstimate-analysis --bin analyze
     cargo test -q -p guesstimate-core witness
     cargo test -q -p guesstimate-runtime undeclared_read
     cargo test -q --test mc_regressions under_declared_read
+    cargo test -q -p guesstimate-runtime shard
+    cargo test -q --test mc_regressions mis_keyed
 
 # Model-checker smoke: a quick bounded exploration of every preset
 # (debug build, small budget) — catches oracle violations early.

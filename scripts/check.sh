@@ -13,7 +13,12 @@ cargo test --workspace -q
 # nondeterminism and witness-refuted footprints (undeclared reads/writes
 # caught by perturbation probing — `just sanitize` runs this plus the
 # runtime/mc layers in isolation) fail the check (docs/ANALYSIS.md).
-cargo run -q -p guesstimate-analysis --bin analyze
+# `--shard-plan` additionally derives, sanitizes and witness-checks each
+# app's ShardPlan (docs/ANALYSIS.md "Shard plans"); the second run must
+# produce a byte-identical archive (deterministic derivation).
+cargo run -q -p guesstimate-analysis --bin analyze -- --shard-plan --json target/shard_plans.json
+cargo run -q -p guesstimate-analysis --bin analyze -- --shard-plan --json target/shard_plans_again.json > /dev/null
+cmp target/shard_plans.json target/shard_plans_again.json
 # Model-checker smoke: bounded exploration of every preset with all
 # oracles armed (docs/MODELCHECK.md) — `all` includes the hybrid
 # `message_board` preset, whose step oracle checks committed-digest

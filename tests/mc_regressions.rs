@@ -5,9 +5,10 @@
 //! tamper block are interesting interleavings (message loss, late join,
 //! cross-machine reorderings) that once exercised tricky protocol paths:
 //! replaying them must stay oracle-clean. Schedules *with* a tamper block
-//! are seeded-corruption repros: replaying them must still produce a
-//! deterministic oracle violation, proving the checker's detection power
-//! has not regressed.
+//! — or recorded against a hidden negative preset (one absent from
+//! [`guesstimate_mc::PRESETS`], such as `miskeyed`) — are repros:
+//! replaying them must still produce a deterministic oracle violation,
+//! proving the checker's detection power has not regressed.
 
 use guesstimate_core::CommuteMatrix;
 use guesstimate_mc::{
@@ -33,10 +34,13 @@ fn checked_in_schedules_replay_as_recorded() {
         let text = std::fs::read_to_string(&path).expect("schedule file readable");
         let sched = Schedule::from_json(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
         let report = replay(&sched, &matrix).unwrap_or_else(|e| panic!("{path:?}: {e}"));
-        if sched.tamper.is_some() {
+        let negative_preset = guesstimate_mc::PRESETS
+            .iter()
+            .all(|p| p.name != sched.preset);
+        if sched.tamper.is_some() || negative_preset {
             assert!(
                 report.violation.is_some(),
-                "{path:?}: tampered schedule no longer reproduces a violation"
+                "{path:?}: repro schedule no longer reproduces a violation"
             );
         } else {
             assert!(
@@ -142,6 +146,85 @@ fn under_declared_read_is_caught_shrunk_and_replayable() {
         first.violation, second.violation,
         "repro must be deterministic"
     );
+}
+
+/// Three-layer soundness demo for shard plans, model-checker layer (the
+/// other two are the analysis sanitizer and the witness-backed escape
+/// check in `analyze --shard-plan`): the hidden `miskeyed` preset installs
+/// a shard plan whose `post` route keys by the *author* argument instead
+/// of the topic, so the first committed post's `topics/news` write lands
+/// outside its routed `KeyedBoard:0/ann` shard. The runtime containment
+/// check records the escape, the `ShardEscape` oracle must report it,
+/// ddmin must shrink the repro, and the shrunken schedule must replay
+/// deterministically.
+#[test]
+fn mis_keyed_shard_plan_is_caught_shrunk_and_replayable() {
+    let preset = *Preset::by_name("miskeyed").expect("hidden negative preset");
+    assert!(
+        guesstimate_mc::PRESETS.iter().all(|p| p.name != "miskeyed"),
+        "the negative preset must stay out of the positive suites"
+    );
+    let matrix = CommuteMatrix::new();
+    let out = explore(&preset, &matrix, None, &ExploreConfig::default());
+    let (violation, steps) = out
+        .violation
+        .expect("a mis-keyed shard plan must trip the shard-escape oracle");
+    assert!(
+        matches!(violation, Violation::ShardEscape { .. }),
+        "wrong oracle fired: {violation}"
+    );
+    let report = violation.to_string();
+    assert!(
+        report.contains("topics/") && report.contains("KeyedBoard:0/"),
+        "the report names the escaping path and the routed shard: {violation}"
+    );
+    let raw = Schedule {
+        preset: preset.name.to_owned(),
+        tamper: None,
+        steps,
+    };
+    let min = minimize(&raw, &matrix);
+    assert!(min.steps.len() <= raw.steps.len());
+    let reparsed = Schedule::from_json(&min.to_json()).expect("well-formed file");
+    let first = replay(&reparsed, &matrix).expect("known preset");
+    let second = replay(&reparsed, &matrix).expect("known preset");
+    assert!(
+        matches!(first.violation, Some(Violation::ShardEscape { .. })),
+        "minimized repro lost the violation: {:?}",
+        first.violation
+    );
+    assert_eq!(
+        first.violation, second.violation,
+        "repro must be deterministic"
+    );
+}
+
+/// Regenerates `tests/schedules/miskeyed-shard-escape.json`: the minimized
+/// shard-escape repro for the hidden `miskeyed` preset, checked in so the
+/// replay suite proves the `ShardEscape` oracle's detection power has not
+/// regressed. Run with `--ignored --nocapture` and paste the output into
+/// the schedule file.
+#[test]
+#[ignore = "generator for the checked-in shard-escape schedule"]
+fn generate_miskeyed_shard_escape_schedule() {
+    let preset = *Preset::by_name("miskeyed").expect("hidden negative preset");
+    let matrix = CommuteMatrix::new();
+    let out = explore(&preset, &matrix, None, &ExploreConfig::default());
+    let (violation, steps) = out.violation.expect("mis-keyed plan must violate");
+    assert!(matches!(violation, Violation::ShardEscape { .. }));
+    let raw = Schedule {
+        preset: preset.name.to_owned(),
+        tamper: None,
+        steps,
+    };
+    let min = minimize(&raw, &matrix);
+    let report = replay(&min, &matrix).expect("known preset");
+    assert!(
+        matches!(report.violation, Some(Violation::ShardEscape { .. })),
+        "{:?}",
+        report.violation
+    );
+    println!("{}", min.to_json());
 }
 
 /// Regenerates `tests/schedules/message-board-async-gap.json`: machine 1's
