@@ -26,10 +26,21 @@
 //!    count, per-shard op share, cross fraction) are written as a third
 //!    summary.
 //!
+//! 8. the merged causal timeline of the fig5 run passes the strict
+//!    happens-before check (every receive matches an earlier send, no
+//!    stamp reuse), and the per-op lag waterfall attributes 100% of each
+//!    committed op's lag to named stages that sum exactly — on the
+//!    serialized path here and on the async path via a traced hybrid
+//!    session; every re-execution event carries a cause tag, and a
+//!    flight-recorder bundle built from the same run validates
+//!    round-trip (the PR-9 causal-observability summary is written as a
+//!    fourth summary, `BENCH_pr9.json` under CI).
+//!
 //! Usage: `bench_snapshot [duration_secs] [seed] [out_json] [hybrid_json]
-//! [shards_json]` (defaults: 60, 42, `target/bench_snapshot.json`,
-//! `target/bench_hybrid.json`, `target/bench_shards.json`). Metrics
-//! artifacts (Prometheus text, JSON, Chrome trace) go under the
+//! [shards_json] [obs_json]` (defaults: 60, 42,
+//! `target/bench_snapshot.json`, `target/bench_hybrid.json`,
+//! `target/bench_shards.json`, `target/bench_obs.json`). Metrics
+//! artifacts (Prometheus text, JSON, Chrome trace, op spans) go under the
 //! `target/bench_snapshot_metrics` stem (override with
 //! `GUESSTIMATE_METRICS=<stem>`). Any violated invariant exits non-zero.
 
@@ -37,10 +48,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use guesstimate_bench::{
-    metrics_stem, run_fig5, run_fig5_instrumented, run_hybrid_lag, write_jsonl,
+    metrics_stem, run_fig5, run_fig5_instrumented, run_hybrid_lag, run_hybrid_traced, write_jsonl,
     write_metrics_artifacts, HybridLagRow,
 };
-use guesstimate_net::{RecordingTracer, SimTime};
+use guesstimate_net::{RecordingTracer, SimTime, Tracer};
+use guesstimate_obs::{validate_postmortem, FlightRecorder};
 use guesstimate_telemetry::Telemetry;
 
 fn main() {
@@ -59,14 +71,25 @@ fn main() {
         .next()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target").join("bench_shards.json"));
+    let obs_json = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("bench_obs.json"));
 
     eprintln!("bench_snapshot: fig5 {duration}s, seed {seed}, telemetry on ...");
     let tracer = Arc::new(RecordingTracer::new());
+    // Tee the same stream into a flight recorder so invariant 8 can
+    // validate the postmortem bundle a crash would have produced.
+    let recorder = Arc::new(FlightRecorder::default());
+    let tee: Arc<dyn Tracer> = Arc::new(guesstimate_obs::TeeTracer::new(
+        tracer.clone(),
+        recorder.clone(),
+    ));
     let telemetry = Telemetry::new();
     let instrumented = run_fig5_instrumented(
         seed,
         SimTime::from_secs(duration),
-        Some(tracer.clone()),
+        Some(tee),
         telemetry.clone(),
     );
 
@@ -285,5 +308,119 @@ fn main() {
     std::fs::write(&shards_json, &shards).expect("write shard-balance summary json");
     eprintln!("wrote shard-balance summary to {}", shards_json.display());
     print!("{}", guesstimate_bench::render_shard_balance(&rows));
+
+    // Invariant 8: causal observability — strict happens-before on the
+    // merged fig5 timeline, exact per-op lag attribution on both commit
+    // paths, cause-tagged re-executions, and a postmortem bundle that
+    // validates round-trip.
+    eprintln!("bench_snapshot: causal timeline + lag attribution ...");
+    let trace_text = std::fs::read_to_string(&trace_path).expect("read trace back");
+    let spans_text =
+        std::fs::read_to_string(guesstimate_obs::spans_path(&stem)).expect("read spans back");
+    let report = guesstimate_obs::report::run(&trace_text, &spans_text).expect("obs report");
+    assert!(
+        report.hb.ok(),
+        "strict happens-before must hold on the fig5 timeline: {:?}",
+        report.hb
+    );
+    assert!(
+        report.waterfall.verify_exact_sum(),
+        "per-op lag stages must sum exactly to each op's total lag"
+    );
+    let serialized_ops = report
+        .waterfall
+        .ops
+        .iter()
+        .filter(|o| o.path == "serialized")
+        .count();
+    assert!(serialized_ops > 0, "fig5 exercises the serialized path");
+    let lines: Vec<guesstimate_obs::TraceLine> = trace_text
+        .lines()
+        .map(|l| guesstimate_obs::TraceLine::parse(l).expect("trace line"))
+        .collect();
+    let reexecs: Vec<_> = lines.iter().filter(|l| l.event == "reexecuted").collect();
+    assert!(
+        reexecs.iter().all(|l| l.cause.is_some()),
+        "every re-execution must carry a cause tag"
+    );
+    let report_json = guesstimate_obs::to_json(&report);
+    guesstimate_analysis::json::Json::parse(&report_json).expect("obs report JSON parses");
+
+    // The async commit path decomposes exactly too: a traced hybrid
+    // blind-counter session, same pipeline.
+    eprintln!("bench_snapshot: traced hybrid session (async-path attribution) ...");
+    let (hy_row, hy_records, hy_telemetry) = run_hybrid_traced(seed, 4, SimTime::from_secs(20));
+    assert!(hy_row.converged, "hybrid session must converge");
+    assert!(
+        hy_row.ops_async > 0,
+        "hybrid session engages the async path"
+    );
+    let hy_trace: String = hy_records
+        .iter()
+        .map(|r| guesstimate_obs::record_to_json(r) + "\n")
+        .collect();
+    let hy_spans: String = hy_telemetry
+        .spans()
+        .iter()
+        .map(|s| s.to_json_line() + "\n")
+        .collect();
+    let hy_report = guesstimate_obs::report::run(&hy_trace, &hy_spans).expect("hybrid obs report");
+    assert!(
+        hy_report.hb.ok(),
+        "strict happens-before must hold on the hybrid timeline: {:?}",
+        hy_report.hb
+    );
+    assert!(
+        hy_report.waterfall.verify_exact_sum(),
+        "async-path lag stages must sum exactly"
+    );
+    let async_ops = hy_report
+        .waterfall
+        .ops
+        .iter()
+        .filter(|o| o.path == "async")
+        .count();
+    assert!(async_ops > 0, "waterfall must attribute async-path ops");
+
+    // The flight recorder that shadowed the fig5 run produces a bundle
+    // the validator accepts (re-parses every event, re-runs the
+    // happens-before check, cross-checks the embedded verdict).
+    let bundle = recorder.dump_json("bench_snapshot self-check", &[]);
+    let pm = validate_postmortem(&bundle).expect("postmortem bundle validates");
+    assert!(pm.hb_ok, "postmortem window must be causally consistent");
+    assert!(pm.events > 0, "postmortem carries recent events");
+
+    let reexec_rows = report
+        .waterfall
+        .reexec
+        .iter()
+        .map(|(cause, t)| {
+            format!(
+                "    {{\"cause\": \"{cause}\", \"events\": {}, \"ops\": {}}}",
+                t.events, t.ops
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let obs_summary = format!(
+        "{{\n  \"bench\": \"causal_observability\",\n  \"seed\": {seed},\n  \"duration_secs\": {duration},\n  \"trace_events\": {},\n  \"hb_sends\": {},\n  \"hb_receives\": {},\n  \"hb_matched\": {},\n  \"hb_unreceived\": {},\n  \"ops_attributed_serialized\": {serialized_ops},\n  \"ops_attributed_async\": {async_ops},\n  \"ops_excluded_untimed\": {},\n  \"reexec_events\": {},\n  \"reexec_causes\": [\n{reexec_rows}\n  ],\n  \"postmortem_events\": {},\n  \"hb_ok\": true,\n  \"exact_sum_ok\": true,\n  \"async_exact_sum_ok\": true,\n  \"reexec_caused_ok\": true,\n  \"postmortem_ok\": true\n}}\n",
+        report.events,
+        report.hb.sends,
+        report.hb.receives,
+        report.hb.matched,
+        report.hb.unreceived,
+        report.waterfall.excluded_untimed,
+        reexecs.len(),
+        pm.events,
+    );
+    if let Some(parent) = obs_json.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    std::fs::write(&obs_json, &obs_summary).expect("write obs summary json");
+    eprintln!(
+        "wrote causal-observability summary to {}",
+        obs_json.display()
+    );
+
     println!("bench_snapshot: all telemetry invariants hold");
 }

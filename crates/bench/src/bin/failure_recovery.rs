@@ -26,17 +26,13 @@ use std::sync::Arc;
 
 use guesstimate_bench::experiments::{run_session_instrumented, ActivityLevel, SessionConfig};
 use guesstimate_bench::{
-    metrics_stem, render_timelines, summarize_rounds, write_jsonl, write_metrics_artifacts,
+    metrics_stem, render_timelines, summarize_rounds, trace_path, write_jsonl,
+    write_metrics_artifacts,
 };
 use guesstimate_core::MachineId;
-use guesstimate_net::{FaultPlan, RecordingTracer, SimTime, StallWindow};
+use guesstimate_net::{FaultPlan, RecordingTracer, SimTime, StallWindow, Tracer};
+use guesstimate_obs::{FlightRecorder, TeeTracer};
 use guesstimate_telemetry::Telemetry;
-
-fn trace_path(default_name: &str) -> PathBuf {
-    std::env::var_os("GUESSTIMATE_TRACE")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target").join(default_name))
-}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -65,8 +61,15 @@ fn main() {
 
     eprintln!("running failure/recovery session: 6 users, {duration}s, 2 stalls + 0.2% loss ...");
     let tracer = Arc::new(RecordingTracer::new());
+    let recorder = Arc::new(FlightRecorder::default());
+    let postmortem = PathBuf::from(format!(
+        "{}_postmortem.json",
+        metrics_stem("failure_recovery_metrics").to_string_lossy()
+    ));
+    FlightRecorder::install_panic_dump(recorder.clone(), postmortem);
+    let tee: Arc<dyn Tracer> = Arc::new(TeeTracer::new(tracer.clone(), recorder));
     let telemetry = Telemetry::new();
-    let r = run_session_instrumented(&cfg, Some(tracer.clone()), telemetry.clone());
+    let r = run_session_instrumented(&cfg, Some(tee), telemetry.clone());
 
     let records = tracer.take();
     let path = trace_path("failure_recovery_trace.jsonl");

@@ -19,17 +19,12 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use guesstimate_bench::{
-    histogram, metrics_stem, render_timelines, run_fig5_instrumented, summarize_rounds,
+    histogram, metrics_stem, render_timelines, run_fig5_instrumented, summarize_rounds, trace_path,
     write_jsonl, write_metrics_artifacts,
 };
-use guesstimate_net::{RecordingTracer, SimTime};
+use guesstimate_net::{RecordingTracer, SimTime, Tracer};
+use guesstimate_obs::{FlightRecorder, TeeTracer};
 use guesstimate_telemetry::Telemetry;
-
-fn trace_path(default_name: &str) -> PathBuf {
-    std::env::var_os("GUESSTIMATE_TRACE")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target").join(default_name))
-}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -38,11 +33,21 @@ fn main() {
 
     eprintln!("running fig5: 8 users, 2 grids, {duration}s virtual, seed {seed} ...");
     let tracer = Arc::new(RecordingTracer::new());
+    // The flight recorder keeps a bounded ring of recent events; if this
+    // binary panics mid-run, a postmortem bundle lands next to the
+    // metrics artifacts instead of losing the whole session.
+    let recorder = Arc::new(FlightRecorder::default());
+    let postmortem = PathBuf::from(format!(
+        "{}_postmortem.json",
+        metrics_stem("fig5_metrics").to_string_lossy()
+    ));
+    FlightRecorder::install_panic_dump(recorder.clone(), postmortem);
+    let tee: Arc<dyn Tracer> = Arc::new(TeeTracer::new(tracer.clone(), recorder));
     let telemetry = Telemetry::new();
     let result = run_fig5_instrumented(
         seed,
         SimTime::from_secs(duration),
-        Some(tracer.clone()),
+        Some(tee),
         telemetry.clone(),
     );
 

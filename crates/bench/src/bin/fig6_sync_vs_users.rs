@@ -17,16 +17,12 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use guesstimate_bench::{
-    metrics_stem, run_fig6_instrumented, summarize_rounds, write_jsonl, write_metrics_artifacts,
+    metrics_stem, run_fig6_instrumented, summarize_rounds, trace_path, write_jsonl,
+    write_metrics_artifacts,
 };
-use guesstimate_net::{RecordingTracer, SimTime};
+use guesstimate_net::{RecordingTracer, SimTime, Tracer};
+use guesstimate_obs::{FlightRecorder, TeeTracer};
 use guesstimate_telemetry::Telemetry;
-
-fn trace_path(default_name: &str) -> PathBuf {
-    std::env::var_os("GUESSTIMATE_TRACE")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target").join(default_name))
-}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -35,11 +31,18 @@ fn main() {
 
     eprintln!("running fig6: users 2..=8 x {{active, idle}}, {duration}s each, seed {seed} ...");
     let tracer = Arc::new(RecordingTracer::new());
+    let recorder = Arc::new(FlightRecorder::default());
+    let postmortem = PathBuf::from(format!(
+        "{}_postmortem.json",
+        metrics_stem("fig6_metrics").to_string_lossy()
+    ));
+    FlightRecorder::install_panic_dump(recorder.clone(), postmortem);
+    let tee: Arc<dyn Tracer> = Arc::new(TeeTracer::new(tracer.clone(), recorder));
     let telemetry = Telemetry::new();
     let rows = run_fig6_instrumented(
         seed,
         SimTime::from_secs(duration),
-        Some(tracer.clone()),
+        Some(tee),
         telemetry.clone(),
     );
 

@@ -1175,6 +1175,8 @@ fn hybrid_lag_session(
     seed: u64,
     users: u32,
     duration: SimTime,
+    tracer: Option<Arc<dyn Tracer>>,
+    telemetry: Telemetry,
 ) -> HybridLagRow {
     use guesstimate_apps::{message_board, microblog};
 
@@ -1190,8 +1192,8 @@ fn hybrid_lag_session(
         .with_commute_matrix(blind_counter_matrix(app))
         .with_async_commit(async_on);
     let netcfg = NetConfig::lan(seed).with_latency(LatencyModel::lan_ms(30));
-    let telemetry = Telemetry::new();
-    let mut net = sim_cluster_instrumented(users, registry, mcfg, netcfg, None, telemetry.clone());
+    let mut net =
+        sim_cluster_instrumented(users, registry, mcfg, netcfg, tracer, telemetry.clone());
     assert!(
         run_until_cohort(&mut net, SimTime::from_secs(30)),
         "cohort must assemble before the measured window"
@@ -1273,10 +1275,42 @@ pub fn run_hybrid_lag(seed: u64, users: u32, duration: SimTime) -> Vec<HybridLag
     let mut rows = Vec::new();
     for app in ["message_board", "microblog"] {
         for async_on in [false, true] {
-            rows.push(hybrid_lag_session(app, async_on, seed, users, duration));
+            rows.push(hybrid_lag_session(
+                app,
+                async_on,
+                seed,
+                users,
+                duration,
+                None,
+                Telemetry::new(),
+            ));
         }
     }
     rows
+}
+
+/// One fully-traced hybrid blind-counter session (`message_board` with
+/// `async_commit` on): returns the comparison row, the driver+machine
+/// trace records, and the telemetry handle whose spans carry the
+/// async-path commit times — the inputs the lag-attribution waterfall
+/// needs to exercise the `async_commit` stage decomposition.
+pub fn run_hybrid_traced(
+    seed: u64,
+    users: u32,
+    duration: SimTime,
+) -> (HybridLagRow, Vec<guesstimate_net::TraceRecord>, Telemetry) {
+    let tracer = Arc::new(guesstimate_net::RecordingTracer::new());
+    let telemetry = Telemetry::new();
+    let row = hybrid_lag_session(
+        "message_board",
+        true,
+        seed,
+        users,
+        duration,
+        Some(tracer.clone()),
+        telemetry.clone(),
+    );
+    (row, tracer.take(), telemetry)
 }
 
 #[cfg(test)]

@@ -22,98 +22,9 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 use guesstimate_net::{SimTime, TraceEvent, TraceRecord, Tracer};
-
-/// Renders one trace record as a single-line JSON object.
-///
-/// Keys: `at_us` (timestamp in virtual microseconds), `src` (emitting
-/// machine index), `event` (stable snake_case name), then the variant's
-/// scalar fields under their field names (machine ids as indices).
-pub fn record_to_json(r: &TraceRecord) -> String {
-    let mut s = String::with_capacity(96);
-    let _ = write!(
-        s,
-        "{{\"at_us\":{},\"src\":{},\"event\":\"{}\"",
-        r.at.as_micros(),
-        r.source.index(),
-        r.event.name()
-    );
-    match r.event {
-        TraceEvent::RoundStarted {
-            round,
-            participants,
-        } => {
-            let _ = write!(s, ",\"round\":{round},\"participants\":{participants}");
-        }
-        TraceEvent::FlushWindowOpened { round, machine } => {
-            let _ = write!(s, ",\"round\":{round},\"machine\":{}", machine.index());
-        }
-        TraceEvent::FlushWindowClosed {
-            round,
-            machine,
-            ops,
-        } => {
-            let _ = write!(
-                s,
-                ",\"round\":{round},\"machine\":{},\"ops\":{ops}",
-                machine.index()
-            );
-        }
-        TraceEvent::OpsBatchSent { round, ops } => {
-            let _ = write!(s, ",\"round\":{round},\"ops\":{ops}");
-        }
-        TraceEvent::OpsBatchReceived { round, from, ops } => {
-            let _ = write!(
-                s,
-                ",\"round\":{round},\"from\":{},\"ops\":{ops}",
-                from.index()
-            );
-        }
-        TraceEvent::BeginApply { round, ops_total } => {
-            let _ = write!(s, ",\"round\":{round},\"ops_total\":{ops_total}");
-        }
-        TraceEvent::AckReceived { round, machine } => {
-            let _ = write!(s, ",\"round\":{round},\"machine\":{}", machine.index());
-        }
-        TraceEvent::SyncComplete {
-            round,
-            ops_committed,
-        } => {
-            let _ = write!(s, ",\"round\":{round},\"ops_committed\":{ops_committed}");
-        }
-        TraceEvent::SyncCompleteReceived { round } => {
-            let _ = write!(s, ",\"round\":{round}");
-        }
-        TraceEvent::ReplaySkipped { round, pending } => {
-            let _ = write!(s, ",\"round\":{round},\"pending\":{pending}");
-        }
-        TraceEvent::Resend {
-            round,
-            machine,
-            stage,
-        } => {
-            let _ = write!(
-                s,
-                ",\"round\":{round},\"machine\":{},\"stage\":{stage}",
-                machine.index()
-            );
-        }
-        TraceEvent::OpsResendRequested { round, source } => {
-            let _ = write!(s, ",\"round\":{round},\"source\":{}", source.index());
-        }
-        TraceEvent::Removed { round, machine } => {
-            let _ = write!(s, ",\"round\":{round},\"machine\":{}", machine.index());
-        }
-        TraceEvent::Restarted => {}
-        TraceEvent::ElectionStarted { last_round } => {
-            let _ = write!(s, ",\"last_round\":{last_round}");
-        }
-        TraceEvent::ElectionWon { round } => {
-            let _ = write!(s, ",\"round\":{round}");
-        }
-    }
-    s.push('}');
-    s
-}
+// The canonical line format (writer + reader) lives in `guesstimate-obs`;
+// re-exported here so the sinks below and older call sites share it.
+pub use guesstimate_obs::record_to_json;
 
 /// Writes a recorded trace to `path`, one JSON object per line.
 ///

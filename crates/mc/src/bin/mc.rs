@@ -11,9 +11,13 @@
 //! Default mode explores each selected preset within the schedule
 //! budget, printing explored/pruned counts and the prune ratio. On an
 //! oracle violation the offending schedule is minimized, written as a
-//! replayable JSON file (into `--out`, default the working directory),
-//! and the process exits 1. `--replay FILE` instead replays a schedule
-//! file and reports whether it still violates. `--matrix FILE` loads a
+//! replayable JSON file (into `--out`, default the working directory)
+//! alongside a flight-recorder postmortem bundle
+//! (`mc-postmortem-<preset>.json`: the minimized replay's causal
+//! timeline, per-machine state summaries, and happens-before verdict;
+//! inspect with `obs --postmortem`), and the process exits 1.
+//! `--replay FILE` instead replays a schedule file and reports whether
+//! it still violates, dumping `FILE.postmortem.json` when it does. `--matrix FILE` loads a
 //! validated commute matrix from an `analyze --json` archive, sharpening
 //! the partial-order reduction beyond footprint reasoning alone.
 //! `--metrics FILE` (or the `GUESSTIMATE_METRICS` environment variable)
@@ -25,12 +29,15 @@
 //! a `--min-*` gate failed), 2 usage/IO error.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use guesstimate_analysis::matrices_from_json;
 use guesstimate_core::CommuteMatrix;
 use guesstimate_mc::{
-    explore, minimize, replay, ExploreConfig, Preset, Schedule, TamperSpec, PRESETS,
+    explore, minimize, replay_traced, ExploreConfig, Preset, Schedule, TamperSpec, PRESETS,
 };
+use guesstimate_net::Tracer;
+use guesstimate_obs::FlightRecorder;
 use guesstimate_telemetry::Telemetry;
 
 struct Args {
@@ -144,10 +151,40 @@ fn parse_args() -> Result<Option<Args>, String> {
     Ok(Some(args))
 }
 
+/// Replays the minimized schedule with a flight recorder attached and
+/// writes the postmortem bundle (recent causal timeline, machine state
+/// summaries, happens-before verdict) next to the repro file.
+///
+/// Stamp allocation is deterministic driver state, so the bundle's
+/// timeline is itself replayable: `obs --postmortem FILE` re-checks it.
+fn write_postmortem(
+    sched: &Schedule,
+    matrix: &CommuteMatrix,
+    file: &str,
+    violation: &str,
+) -> Result<(), String> {
+    // Generous capacity: minimized schedules are short, so the whole
+    // replay fits in the ring and nothing is dropped from the window.
+    let recorder = Arc::new(FlightRecorder::new(4096));
+    let tracer: Arc<dyn Tracer> = recorder.clone();
+    let (_, states) = replay_traced(sched, matrix, tracer)?;
+    let reason = format!("mc oracle violation ({}): {violation}", sched.preset);
+    recorder
+        .write_postmortem(file.as_ref(), &reason, &states)
+        .map_err(|e| format!("{file}: {e}"))?;
+    println!(
+        "{}: wrote postmortem bundle to {file} (inspect with: obs --postmortem {file})",
+        sched.preset
+    );
+    Ok(())
+}
+
 fn run_replay(path: &str, matrix: &CommuteMatrix) -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let sched = Schedule::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-    let report = replay(&sched, matrix)?;
+    let recorder = Arc::new(FlightRecorder::new(4096));
+    let tracer: Arc<dyn Tracer> = recorder.clone();
+    let (report, states) = replay_traced(&sched, matrix, tracer.clone())?;
     println!(
         "replayed {path}: {} applied, {} skipped",
         report.applied, report.skipped
@@ -155,6 +192,12 @@ fn run_replay(path: &str, matrix: &CommuteMatrix) -> Result<ExitCode, String> {
     match report.violation {
         Some(v) => {
             println!("violation reproduced: {v}");
+            let file = format!("{path}.postmortem.json");
+            let reason = format!("mc replay violation ({}): {v}", sched.preset);
+            recorder
+                .write_postmortem(file.as_ref(), &reason, &states)
+                .map_err(|e| format!("{file}: {e}"))?;
+            println!("wrote postmortem bundle to {file}");
             Ok(ExitCode::from(1))
         }
         None => {
@@ -233,6 +276,8 @@ fn run(mut args: Args) -> Result<ExitCode, String> {
                 "{}: wrote repro to {file} (replay with: mc --replay {file})",
                 preset.name
             );
+            let pm = format!("{}/mc-postmortem-{}.json", args.out_dir, preset.name);
+            write_postmortem(&min, &args.matrix, &pm, &violation.to_string())?;
             write_metrics(args.metrics.as_deref(), &telemetry)?;
             return Ok(ExitCode::from(1));
         }

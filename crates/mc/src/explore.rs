@@ -417,10 +417,47 @@ pub struct ReplayReport {
 ///
 /// Returns `Err` when the schedule names an unknown preset.
 pub fn replay(sched: &Schedule, matrix: &CommuteMatrix) -> Result<ReplayReport, String> {
+    replay_inner(sched, matrix, None).map(|(report, _)| report)
+}
+
+/// [`replay`] with a shared trace sink installed on the scheduler driver
+/// and every initial machine *before* any step executes, plus a
+/// [`guesstimate_runtime::StateSummary`] snapshot of each machine at the
+/// end.
+///
+/// Message-stamp allocation is part of the deterministic driver state,
+/// so replaying the same schedule reproduces the exact same stamped
+/// causal timeline — which is what makes a flight-recorder postmortem
+/// bundle replayable and its happens-before check meaningful.
+///
+/// # Errors
+///
+/// Returns `Err` when the schedule names an unknown preset.
+pub fn replay_traced(
+    sched: &Schedule,
+    matrix: &CommuteMatrix,
+    tracer: std::sync::Arc<dyn guesstimate_net::Tracer>,
+) -> Result<(ReplayReport, Vec<guesstimate_runtime::StateSummary>), String> {
+    replay_inner(sched, matrix, Some(tracer))
+}
+
+fn replay_inner(
+    sched: &Schedule,
+    matrix: &CommuteMatrix,
+    tracer: Option<std::sync::Arc<dyn guesstimate_net::Tracer>>,
+) -> Result<(ReplayReport, Vec<guesstimate_runtime::StateSummary>), String> {
     let preset =
         Preset::by_name(&sched.preset).ok_or_else(|| format!("unknown preset {}", sched.preset))?;
     let matrix = &preset.effective_matrix(matrix);
     let mut built = preset.build(matrix, sched.tamper);
+    if let Some(t) = tracer {
+        built.net.set_tracer(t.clone());
+        for i in 0..preset.total_machines() {
+            if let Some(m) = built.net.actor_mut(MachineId::new(i)) {
+                m.set_tracer(t.clone());
+            }
+        }
+    }
     let mut report = ReplayReport {
         applied: 0,
         skipped: 0,
@@ -435,7 +472,7 @@ pub fn replay(sched: &Schedule, matrix: &CommuteMatrix) -> Result<ReplayReport, 
         }
         if let Some(v) = check_step(&built.net, preset.hybrid) {
             report.violation = Some(v);
-            return Ok(report);
+            return Ok((report, summaries(&built, preset)));
         }
     }
     let quiesced = built.net.pending_msgs().is_empty()
@@ -449,7 +486,17 @@ pub fn replay(sched: &Schedule, matrix: &CommuteMatrix) -> Result<ReplayReport, 
     if quiesced {
         report.violation = check_terminal(&built.net, &built.registry, preset.total_machines());
     }
-    Ok(report)
+    let states = summaries(&built, preset);
+    Ok((report, states))
+}
+
+/// State summaries of every machine currently admitted to the net, in
+/// machine-id order.
+fn summaries(built: &Built, preset: &Preset) -> Vec<guesstimate_runtime::StateSummary> {
+    (0..preset.total_machines())
+        .filter_map(|i| built.net.actor(MachineId::new(i)))
+        .map(Machine::state_summary)
+        .collect()
 }
 
 #[cfg(test)]

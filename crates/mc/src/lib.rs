@@ -35,7 +35,7 @@ pub mod scenario;
 pub mod schedule;
 pub mod shrink;
 
-pub use explore::{explore, replay, ExploreConfig, Outcome, ReplayReport};
+pub use explore::{explore, replay, replay_traced, ExploreConfig, Outcome, ReplayReport};
 pub use oracle::{check_step, check_terminal, state_digest, Violation};
 pub use scenario::{Built, Preset, MISKEYED, PRESETS, SNEAKY};
 pub use schedule::{Schedule, Step, TamperSpec};

@@ -113,6 +113,17 @@ pub trait Actor: Send + 'static {
         let _ = msg;
         std::mem::size_of::<Self::Msg>() as u64
     }
+
+    /// A short, stable label for `msg`, recorded on the causal
+    /// [`crate::TraceEvent::MsgSent`]/[`crate::TraceEvent::MsgReceived`]
+    /// events so merged cluster timelines can be filtered by message kind.
+    ///
+    /// The default labels every message `"msg"`; protocol actors override
+    /// this with one snake_case name per variant.
+    fn msg_kind(msg: &Self::Msg) -> &'static str {
+        let _ = msg;
+        "msg"
+    }
 }
 
 #[cfg(test)]

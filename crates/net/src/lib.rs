@@ -99,4 +99,4 @@ pub use sched::{PendingMsg, SchedNet, TamperHook};
 pub use sim::{NetConfig, SimNet};
 pub use threaded::{ThreadedHandle, ThreadedNet};
 pub use time::SimTime;
-pub use trace::{NoopTracer, RecordingTracer, TraceEvent, TraceRecord, Tracer};
+pub use trace::{NoopTracer, RecordingTracer, ReplayCause, TraceEvent, TraceRecord, Tracer};

@@ -33,6 +33,7 @@
 //! test surface, not a protocol feature.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use guesstimate_core::MachineId;
 
@@ -40,6 +41,7 @@ use crate::actor::{Action, Actor, Ctx};
 use crate::channel::Channel;
 use crate::metrics::NetMetrics;
 use crate::time::SimTime;
+use crate::trace::{NoopTracer, TraceEvent, TraceRecord, Tracer};
 
 /// A message leg awaiting a delivery decision.
 #[derive(Debug, Clone)]
@@ -54,6 +56,9 @@ pub struct PendingMsg<M> {
     pub channel: Channel,
     /// The payload.
     pub msg: M,
+    /// Causal stamp of the send action this leg belongs to; broadcast
+    /// fan-out legs share one stamp (see [`TraceEvent::MsgSent`]).
+    pub stamp: u64,
 }
 
 /// A pending timer, ordered by `(due, seq)`.
@@ -79,9 +84,11 @@ pub struct SchedNet<A: Actor> {
     timers: BTreeMap<TimerKey, (MachineId, u64)>,
     now: SimTime,
     seq: u64,
+    stamps: u64,
     tamper: Option<TamperHook<A::Msg>>,
     tampered: u64,
     metrics: NetMetrics,
+    tracer: Arc<dyn Tracer>,
 }
 
 impl<A: Actor> std::fmt::Debug for SchedNet<A> {
@@ -112,10 +119,28 @@ impl<A: Actor> SchedNet<A> {
             timers: BTreeMap::new(),
             now: SimTime::ZERO,
             seq: 0,
+            stamps: 0,
             tamper: None,
             tampered: 0,
             metrics: NetMetrics::default(),
+            tracer: Arc::new(NoopTracer),
         }
+    }
+
+    /// Installs a tracer for driver-level causal-stamp events
+    /// ([`TraceEvent::MsgSent`] / [`TraceEvent::MsgReceived`]). Used by the
+    /// model checker's postmortem replay to reconstruct the causal
+    /// timeline of a shrunken violating schedule.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    fn trace(&self, source: MachineId, event: TraceEvent) {
+        self.tracer.record(TraceRecord {
+            at: self.now,
+            source,
+            event,
+        });
     }
 
     /// The current virtual time (advanced only by timer firings).
@@ -227,6 +252,14 @@ impl<A: Actor> SchedNet<A> {
         if self.machines.contains_key(&p.to) {
             self.metrics.delivered += 1;
             self.metrics.bytes_delivered += A::msg_size(&p.msg);
+            self.trace(
+                p.to,
+                TraceEvent::MsgReceived {
+                    origin: p.from,
+                    stamp: p.stamp,
+                    kind: A::msg_kind(&p.msg),
+                },
+            );
             self.invoke(p.to, |a, ctx| a.on_message(p.from, p.channel, p.msg, ctx));
         } else {
             self.metrics.dropped += 1;
@@ -282,6 +315,24 @@ impl<A: Actor> SchedNet<A> {
         s
     }
 
+    /// Allocates one causal stamp for a send action and records its
+    /// [`TraceEvent::MsgSent`]. Stamp allocation is part of the
+    /// deterministic driver state, so replaying a recorded schedule
+    /// reproduces identical stamps.
+    fn next_stamp(&mut self, src: MachineId, msg: &A::Msg) -> u64 {
+        let stamp = self.stamps;
+        self.stamps += 1;
+        self.trace(
+            src,
+            TraceEvent::MsgSent {
+                stamp,
+                kind: A::msg_kind(msg),
+                bytes: A::msg_size(msg),
+            },
+        );
+        stamp
+    }
+
     fn invoke(&mut self, id: MachineId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>)) {
         let mut actions = Vec::new();
         {
@@ -292,6 +343,7 @@ impl<A: Actor> SchedNet<A> {
         for action in actions {
             match action {
                 Action::Broadcast(channel, msg) => {
+                    let stamp = self.next_stamp(id, &msg);
                     let targets: Vec<MachineId> =
                         self.machines.keys().copied().filter(|&m| m != id).collect();
                     for to in targets {
@@ -306,11 +358,13 @@ impl<A: Actor> SchedNet<A> {
                                 to,
                                 channel,
                                 msg: msg.clone(),
+                                stamp,
                             },
                         );
                     }
                 }
                 Action::Send(to, channel, msg) => {
+                    let stamp = self.next_stamp(id, &msg);
                     let seq = self.next_seq();
                     self.metrics.sent += 1;
                     self.metrics.bytes_sent += A::msg_size(&msg);
@@ -322,6 +376,7 @@ impl<A: Actor> SchedNet<A> {
                             to,
                             channel,
                             msg,
+                            stamp,
                         },
                     );
                 }

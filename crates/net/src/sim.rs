@@ -8,6 +8,7 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 use guesstimate_core::MachineId;
 use rand::rngs::StdRng;
@@ -19,6 +20,7 @@ use crate::fault::{FaultEvent, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::metrics::NetMetrics;
 use crate::time::SimTime;
+use crate::trace::{NoopTracer, TraceEvent, TraceRecord, Tracer};
 
 /// Static configuration of a simulated mesh.
 #[derive(Debug, Clone)]
@@ -79,6 +81,9 @@ enum EventKind<A: Actor> {
         to: MachineId,
         channel: Channel,
         msg: A::Msg,
+        /// Causal stamp of the send action this leg belongs to (see
+        /// [`TraceEvent::MsgSent`]); broadcast legs share one stamp.
+        stamp: u64,
     },
     Timer {
         machine: MachineId,
@@ -140,8 +145,10 @@ pub struct SimNet<A: Actor> {
     queue: BinaryHeap<Scheduled<A>>,
     now: SimTime,
     seq: u64,
+    stamps: u64,
     rng: StdRng,
     metrics: NetMetrics,
+    tracer: Arc<dyn Tracer>,
 }
 
 impl<A: Actor> std::fmt::Debug for SimNet<A> {
@@ -164,7 +171,9 @@ impl<A: Actor> SimNet<A> {
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
+            stamps: 0,
             metrics: NetMetrics::default(),
+            tracer: Arc::new(NoopTracer),
             cfg,
         };
         for ev in net.cfg.faults.events().to_vec() {
@@ -181,6 +190,23 @@ impl<A: Actor> SimNet<A> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    /// Installs a tracer for driver-level causal-stamp events
+    /// ([`TraceEvent::MsgSent`] / [`TraceEvent::MsgReceived`]).
+    ///
+    /// Distinct from any tracer the *actors* hold for protocol events; a
+    /// cluster typically shares one sink between both so the streams merge.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    fn trace(&self, source: MachineId, event: TraceEvent) {
+        self.tracer.record(TraceRecord {
+            at: self.now,
+            source,
+            event,
+        });
     }
 
     /// The current virtual time.
@@ -281,6 +307,7 @@ impl<A: Actor> SimNet<A> {
                 to,
                 channel,
                 msg,
+                stamp,
             } => {
                 let stalled = self.cfg.faults.is_stalled(to, self.now)
                     || self.cfg.faults.is_cut(from, to, self.now);
@@ -289,6 +316,14 @@ impl<A: Actor> SimNet<A> {
                 } else {
                     self.metrics.delivered += 1;
                     self.metrics.bytes_delivered += A::msg_size(&msg);
+                    self.trace(
+                        to,
+                        TraceEvent::MsgReceived {
+                            origin: from,
+                            stamp,
+                            kind: A::msg_kind(&msg),
+                        },
+                    );
                     self.invoke(to, |a, ctx| a.on_message(from, channel, msg, ctx));
                 }
             }
@@ -358,6 +393,7 @@ impl<A: Actor> SimNet<A> {
         for action in actions {
             match action {
                 Action::Broadcast(channel, msg) => {
+                    let stamp = self.next_stamp(src, &msg);
                     let targets: Vec<MachineId> = self
                         .machines
                         .keys()
@@ -365,11 +401,12 @@ impl<A: Actor> SimNet<A> {
                         .filter(|&m| m != src)
                         .collect();
                     for to in targets {
-                        self.schedule_delivery(src, to, channel, msg.clone());
+                        self.schedule_delivery(src, to, channel, msg.clone(), stamp);
                     }
                 }
                 Action::Send(to, channel, msg) => {
-                    self.schedule_delivery(src, to, channel, msg);
+                    let stamp = self.next_stamp(src, &msg);
+                    self.schedule_delivery(src, to, channel, msg, stamp);
                 }
                 Action::SetTimer { delay, tag } => {
                     let at = self.now + delay;
@@ -379,8 +416,30 @@ impl<A: Actor> SimNet<A> {
         }
     }
 
-    fn schedule_delivery(&mut self, from: MachineId, to: MachineId, channel: Channel, msg: A::Msg)
-    where
+    /// Allocates one causal stamp for a send action and records its
+    /// [`TraceEvent::MsgSent`] (broadcast fan-out legs share the stamp).
+    fn next_stamp(&mut self, src: MachineId, msg: &A::Msg) -> u64 {
+        let stamp = self.stamps;
+        self.stamps += 1;
+        self.trace(
+            src,
+            TraceEvent::MsgSent {
+                stamp,
+                kind: A::msg_kind(msg),
+                bytes: A::msg_size(msg),
+            },
+        );
+        stamp
+    }
+
+    fn schedule_delivery(
+        &mut self,
+        from: MachineId,
+        to: MachineId,
+        channel: Channel,
+        msg: A::Msg,
+        stamp: u64,
+    ) where
         A::Msg: Clone,
     {
         self.metrics.sent += 1;
@@ -406,6 +465,7 @@ impl<A: Actor> SimNet<A> {
                 to,
                 channel,
                 msg: msg.clone(),
+                stamp,
             },
         );
         if duplicate {
@@ -418,6 +478,7 @@ impl<A: Actor> SimNet<A> {
                     to,
                     channel,
                     msg,
+                    stamp,
                 },
             );
         }

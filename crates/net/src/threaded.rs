@@ -12,6 +12,7 @@
 //! experiments).
 
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -27,6 +28,7 @@ use crate::channel::Channel;
 use crate::latency::LatencyModel;
 use crate::metrics::NetMetrics;
 use crate::time::SimTime;
+use crate::trace::{NoopTracer, TraceEvent, TraceRecord, Tracer};
 
 enum Submission<M> {
     Deliver {
@@ -35,6 +37,7 @@ enum Submission<M> {
         to: MachineId,
         channel: Channel,
         msg: M,
+        stamp: u64,
     },
     Timer {
         at: SimTime,
@@ -56,6 +59,7 @@ enum DueItem<M> {
         to: MachineId,
         channel: Channel,
         msg: M,
+        stamp: u64,
     },
     Timer {
         machine: MachineId,
@@ -87,11 +91,17 @@ struct Shared<A: Actor> {
     latency: LatencyModel,
     rng: Mutex<StdRng>,
     metrics: Mutex<NetMetrics>,
+    stamps: AtomicU64,
+    tracer: RwLock<Arc<dyn Tracer>>,
 }
 
 impl<A: Actor> Shared<A> {
     fn now(&self) -> SimTime {
         SimTime::from(self.start.elapsed())
+    }
+
+    fn trace(&self, at: SimTime, source: MachineId, event: TraceEvent) {
+        self.tracer.read().record(TraceRecord { at, source, event });
     }
 
     /// Runs `f` on the actor with a live context, then routes its actions.
@@ -114,6 +124,7 @@ impl<A: Actor> Shared<A> {
         for action in actions {
             match action {
                 Action::Broadcast(channel, msg) => {
+                    let stamp = self.next_stamp(now, src, &msg);
                     let targets: Vec<MachineId> = self
                         .machines
                         .read()
@@ -122,11 +133,12 @@ impl<A: Actor> Shared<A> {
                         .filter(|&m| m != src)
                         .collect();
                     for to in targets {
-                        self.submit_delivery(now, src, to, channel, msg.clone());
+                        self.submit_delivery(now, src, to, channel, msg.clone(), stamp);
                     }
                 }
                 Action::Send(to, channel, msg) => {
-                    self.submit_delivery(now, src, to, channel, msg);
+                    let stamp = self.next_stamp(now, src, &msg);
+                    self.submit_delivery(now, src, to, channel, msg, stamp);
                 }
                 Action::SetTimer { delay, tag } => {
                     let _ = self.tx.send(Submission::Timer {
@@ -139,6 +151,22 @@ impl<A: Actor> Shared<A> {
         }
     }
 
+    /// Allocates one causal stamp for a send action and records its
+    /// [`TraceEvent::MsgSent`] (broadcast fan-out legs share the stamp).
+    fn next_stamp(&self, now: SimTime, src: MachineId, msg: &A::Msg) -> u64 {
+        let stamp = self.stamps.fetch_add(1, AtomicOrdering::Relaxed);
+        self.trace(
+            now,
+            src,
+            TraceEvent::MsgSent {
+                stamp,
+                kind: A::msg_kind(msg),
+                bytes: A::msg_size(msg),
+            },
+        );
+        stamp
+    }
+
     fn submit_delivery(
         &self,
         now: SimTime,
@@ -146,6 +174,7 @@ impl<A: Actor> Shared<A> {
         to: MachineId,
         channel: Channel,
         msg: A::Msg,
+        stamp: u64,
     ) {
         {
             let mut m = self.metrics.lock();
@@ -159,6 +188,7 @@ impl<A: Actor> Shared<A> {
             to,
             channel,
             msg,
+            stamp,
         });
     }
 }
@@ -261,6 +291,8 @@ impl<A: Actor> ThreadedNet<A> {
             latency,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             metrics: Mutex::new(NetMetrics::default()),
+            stamps: AtomicU64::new(0),
+            tracer: RwLock::new(Arc::new(NoopTracer)),
         });
         let service = {
             let shared = shared.clone();
@@ -291,6 +323,16 @@ impl<A: Actor> ThreadedNet<A> {
     /// Removes a machine from the mesh; in-flight messages to it are dropped.
     pub fn remove_machine(&self, id: MachineId) {
         self.shared.machines.write().remove(&id);
+    }
+
+    /// Installs a tracer for driver-level causal-stamp events
+    /// ([`TraceEvent::MsgSent`] / [`TraceEvent::MsgReceived`]).
+    ///
+    /// Receive events are recorded from the delivery-service thread; sends
+    /// from whichever application thread drove the actor — the sink must
+    /// tolerate concurrent `record` calls (all shipped tracers do).
+    pub fn set_tracer(&self, tracer: Arc<dyn Tracer>) {
+        *self.shared.tracer.write() = tracer;
     }
 
     /// Wall-clock time since mesh start.
@@ -339,8 +381,26 @@ fn delivery_service<A: Actor>(shared: Arc<Shared<A>>, rx: Receiver<Submission<A:
                     to,
                     channel,
                     msg,
+                    stamp,
                 } => {
                     let size = A::msg_size(&msg);
+                    let kind = A::msg_kind(&msg);
+                    // Record the receive *before* on_message so any reply's
+                    // MsgSent timestamp is never earlier than this receive.
+                    // (If the machine leaves in the tiny window before
+                    // invoke, the extra receive is still HB-consistent:
+                    // its matching send exists.)
+                    if shared.machines.read().contains_key(&to) {
+                        shared.trace(
+                            shared.now(),
+                            to,
+                            TraceEvent::MsgReceived {
+                                origin: from,
+                                stamp,
+                                kind,
+                            },
+                        );
+                    }
                     let delivered =
                         shared.invoke(to, |a, ctx| a.on_message(from, channel, msg, ctx));
                     let mut m = shared.metrics.lock();
@@ -371,6 +431,7 @@ fn delivery_service<A: Actor>(shared: Arc<Shared<A>>, rx: Receiver<Submission<A:
                 to,
                 channel,
                 msg,
+                stamp,
             }) => {
                 seq += 1;
                 heap.push(Due {
@@ -381,6 +442,7 @@ fn delivery_service<A: Actor>(shared: Arc<Shared<A>>, rx: Receiver<Submission<A:
                         to,
                         channel,
                         msg,
+                        stamp,
                     },
                 });
             }

@@ -31,6 +31,39 @@ use guesstimate_core::MachineId;
 
 use crate::time::SimTime;
 
+/// Why a machine re-executed guesstimated work: the cause tag carried by
+/// every [`TraceEvent::Reexecuted`] record, so a merged cluster timeline
+/// can attribute each `sg` replay (or in-place patch) to what forced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayCause {
+    /// A foreign, conflicting commit entered the round: the commute check
+    /// could not prove the round's foreign commits past the pending list,
+    /// so `sg` was rebuilt from `sc` and every pending op re-executed.
+    ForeignConflict,
+    /// Ordinary round bookkeeping: the round carried only this machine's
+    /// own commits (or nothing replay-relevant) but still-pending ops had
+    /// to re-execute onto the rebuilt guesstimate.
+    RoundReplay,
+    /// The hybrid commit path patched a foreign async commit into `sc`
+    /// and `sg` in place (per-sender reorder-buffer drain).
+    AsyncPatch,
+    /// Pending ops issued before (or while) joining re-executed onto a
+    /// fresh join snapshot.
+    JoinReplay,
+}
+
+impl ReplayCause {
+    /// Stable snake_case name for this cause, suitable for log keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplayCause::ForeignConflict => "foreign_conflict",
+            ReplayCause::RoundReplay => "round_replay",
+            ReplayCause::AsyncPatch => "async_patch",
+            ReplayCause::JoinReplay => "join_replay",
+        }
+    }
+}
+
 /// One observable transition of the sync protocol.
 ///
 /// Variants map one-to-one onto the protocol described in
@@ -150,6 +183,47 @@ pub enum TraceEvent {
     },
     /// The emitting machine reset itself and is rejoining the mesh.
     Restarted,
+    /// The emitting machine handed one send action to the mesh driver.
+    ///
+    /// `(source, stamp)` is the message's **causal stamp**: drivers assign
+    /// one monotone stamp per send *action*, so a broadcast's fan-out legs
+    /// all share it — one `MsgSent` pairs with up to N
+    /// [`TraceEvent::MsgReceived`] records, and each such pair is a
+    /// send→receive happens-before edge of the cluster timeline. A dropped
+    /// leg simply has no matching receive.
+    MsgSent {
+        /// The driver's per-send-action causal stamp (monotone per driver).
+        stamp: u64,
+        /// Static message kind (see `Actor::msg_kind`).
+        kind: &'static str,
+        /// Structural wire size of the message in bytes.
+        bytes: u64,
+    },
+    /// The emitting machine received (and processed) one message.
+    ///
+    /// `(origin, stamp)` names the matching [`TraceEvent::MsgSent`]; a
+    /// duplicated delivery repeats the receive with the same stamp.
+    MsgReceived {
+        /// The machine that sent the message.
+        origin: MachineId,
+        /// The sender's causal stamp for the carrying send action.
+        stamp: u64,
+        /// Static message kind (see `Actor::msg_kind`).
+        kind: &'static str,
+    },
+    /// The emitting machine re-executed guesstimated work, tagged with why.
+    ///
+    /// Machine-scoped (like [`TraceEvent::Restarted`]): the `round` field
+    /// is informational — `0` for causes that are not round-driven
+    /// ([`ReplayCause::AsyncPatch`], [`ReplayCause::JoinReplay`]).
+    Reexecuted {
+        /// Round that drove the re-execution (0 when not round-driven).
+        round: u64,
+        /// Number of operations re-executed (or patched in place).
+        pending: u64,
+        /// What forced the re-execution.
+        cause: ReplayCause,
+    },
     /// The emitting machine started a master election.
     ElectionStarted {
         /// Last round the candidate saw complete.
@@ -180,6 +254,9 @@ impl TraceEvent {
             TraceEvent::OpsResendRequested { .. } => "ops_resend_requested",
             TraceEvent::Removed { .. } => "removed",
             TraceEvent::Restarted => "restarted",
+            TraceEvent::MsgSent { .. } => "msg_sent",
+            TraceEvent::MsgReceived { .. } => "msg_received",
+            TraceEvent::Reexecuted { .. } => "reexecuted",
             TraceEvent::ElectionStarted { .. } => "election_started",
             TraceEvent::ElectionWon { .. } => "election_won",
         }
@@ -187,8 +264,12 @@ impl TraceEvent {
 
     /// The sync round this event belongs to, if it is round-scoped.
     ///
-    /// [`TraceEvent::Restarted`] and the election events are machine-scoped
-    /// and return `None`.
+    /// [`TraceEvent::Restarted`], the election events, the causal-stamp
+    /// events ([`TraceEvent::MsgSent`]/[`TraceEvent::MsgReceived`]) and
+    /// [`TraceEvent::Reexecuted`] are machine-scoped and return `None`
+    /// (`Reexecuted` keeps its informational `round` field out of the
+    /// round timelines because async patches and join replays are not
+    /// driven by any round).
     pub fn round(&self) -> Option<u64> {
         match *self {
             TraceEvent::RoundStarted { round, .. }
@@ -205,6 +286,9 @@ impl TraceEvent {
             | TraceEvent::OpsResendRequested { round, .. }
             | TraceEvent::Removed { round, .. } => Some(round),
             TraceEvent::Restarted
+            | TraceEvent::MsgSent { .. }
+            | TraceEvent::MsgReceived { .. }
+            | TraceEvent::Reexecuted { .. }
             | TraceEvent::ElectionStarted { .. }
             | TraceEvent::ElectionWon { .. } => None,
         }
@@ -381,6 +465,21 @@ mod tests {
                 machine: m,
             },
             TraceEvent::Restarted,
+            TraceEvent::MsgSent {
+                stamp: 0,
+                kind: "msg",
+                bytes: 0,
+            },
+            TraceEvent::MsgReceived {
+                origin: m,
+                stamp: 0,
+                kind: "msg",
+            },
+            TraceEvent::Reexecuted {
+                round: 0,
+                pending: 0,
+                cause: ReplayCause::RoundReplay,
+            },
             TraceEvent::ElectionStarted { last_round: 0 },
             TraceEvent::ElectionWon { round: 0 },
         ];
@@ -389,9 +488,22 @@ mod tests {
         // Round-scoped vs machine-scoped split.
         assert_eq!(
             events.iter().filter(|e| e.round().is_none()).count(),
-            3,
-            "exactly restarted + two election events are machine-scoped"
+            6,
+            "restarted + elections + causal-stamp events + reexecuted are machine-scoped"
         );
+    }
+
+    #[test]
+    fn replay_cause_names_are_stable_and_distinct() {
+        let causes = [
+            ReplayCause::ForeignConflict,
+            ReplayCause::RoundReplay,
+            ReplayCause::AsyncPatch,
+            ReplayCause::JoinReplay,
+        ];
+        let names: std::collections::BTreeSet<_> = causes.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), causes.len());
+        assert_eq!(ReplayCause::ForeignConflict.name(), "foreign_conflict");
     }
 
     #[test]

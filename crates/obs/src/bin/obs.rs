@@ -1,0 +1,111 @@
+//! The observability report binary.
+//!
+//! Reads a protocol trace (JSONL) and its spans artifact, merges the
+//! per-machine streams into one causal cluster timeline, checks the
+//! happens-before discipline, and prints the per-op lag waterfall with
+//! re-execution attribution. Exits non-zero when the timeline violates
+//! happens-before or any op's lag partition fails to sum exactly.
+//!
+//! ```text
+//! obs [--trace PATH] [--spans PATH] [--json OUT] [--postmortem PATH]
+//! ```
+//!
+//! Defaults follow the shared artifact conventions (see
+//! `guesstimate_obs::env`): the trace from `GUESSTIMATE_TRACE` or
+//! `target/fig5_trace.jsonl`, the spans next to the `GUESSTIMATE_METRICS`
+//! stem or `target/fig5_metrics_spans.jsonl`. `--postmortem` validates a
+//! flight-recorder bundle instead of building a report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use guesstimate_obs::{env, report, validate_postmortem};
+
+fn main() -> ExitCode {
+    let mut trace = None;
+    let mut spans = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut postmortem: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--trace" => trace = Some(PathBuf::from(value("--trace"))),
+            "--spans" => spans = Some(PathBuf::from(value("--spans"))),
+            "--json" => json_out = Some(PathBuf::from(value("--json"))),
+            "--postmortem" => postmortem = Some(PathBuf::from(value("--postmortem"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: obs [--trace PATH] [--spans PATH] [--json OUT] [--postmortem PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = postmortem {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_postmortem(&text) {
+            Ok(s) => {
+                println!(
+                    "postmortem ok: reason={:?} machines={} events={} states={} hb_ok={}",
+                    s.reason, s.machines, s.events, s.states, s.hb_ok
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("obs: malformed postmortem: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let trace = trace.unwrap_or_else(|| env::trace_path("fig5_trace.jsonl"));
+    let spans = spans.unwrap_or_else(|| env::spans_path(&env::metrics_stem("fig5_metrics")));
+    let trace_text = match std::fs::read_to_string(&trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs: cannot read trace {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // A missing spans artifact degrades to timeline-only reporting.
+    let spans_text = std::fs::read_to_string(&spans).unwrap_or_default();
+
+    let report = match report::run(&trace_text, &spans_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("obs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report::render_text(&report));
+    if let Some(out) = json_out {
+        if let Some(parent) = out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&out, report::to_json(&report)) {
+            eprintln!("obs: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report json: {}", out.display());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

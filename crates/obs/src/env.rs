@@ -1,0 +1,66 @@
+//! Artifact-path resolution shared by every binary in the workspace.
+//!
+//! Historically each bench binary carried its own copy of the
+//! `GUESSTIMATE_TRACE` / `GUESSTIMATE_METRICS` lookup; this module is the
+//! single definition. The precedence, everywhere, is:
+//!
+//! 1. an explicit CLI flag, when the binary has one (handled by the
+//!    binary itself — it simply never calls these helpers);
+//! 2. the environment variable (`GUESSTIMATE_TRACE` for the protocol
+//!    trace path, `GUESSTIMATE_METRICS` for the metrics artifact stem),
+//!    which overrides the location **wholesale** — no default directory
+//!    is prepended;
+//! 3. the binary's default name under `target/`.
+
+use std::path::PathBuf;
+
+/// Resolves the protocol-trace JSONL path: `GUESSTIMATE_TRACE` wholesale
+/// if set, otherwise `target/<default_name>`.
+pub fn trace_path(default_name: &str) -> PathBuf {
+    std::env::var_os("GUESSTIMATE_TRACE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join(default_name))
+}
+
+/// Resolves the metrics artifact stem: `GUESSTIMATE_METRICS` wholesale if
+/// set, otherwise `target/<default_stem>`. Writers extend the stem with
+/// `.prom`, `.json`, `_chrome.json`, and `_spans.jsonl`.
+pub fn metrics_stem(default_stem: &str) -> PathBuf {
+    std::env::var_os("GUESSTIMATE_METRICS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join(default_stem))
+}
+
+/// The spans-artifact path derived from a metrics stem
+/// (`<stem>_spans.jsonl`).
+pub fn spans_path(stem: &std::path::Path) -> PathBuf {
+    PathBuf::from(format!("{}_spans.jsonl", stem.to_string_lossy()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_land_under_target() {
+        // Only the default branch is exercised: mutating the environment
+        // is not safe under the parallel test harness.
+        if std::env::var_os("GUESSTIMATE_TRACE").is_none() {
+            assert_eq!(
+                trace_path("t.jsonl"),
+                PathBuf::from("target").join("t.jsonl")
+            );
+        }
+        if std::env::var_os("GUESSTIMATE_METRICS").is_none() {
+            assert_eq!(metrics_stem("m"), PathBuf::from("target").join("m"));
+        }
+    }
+
+    #[test]
+    fn spans_path_extends_the_stem() {
+        assert_eq!(
+            spans_path(&PathBuf::from("target/fig5_metrics")),
+            PathBuf::from("target/fig5_metrics_spans.jsonl")
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # guesstimate-obs
+//!
+//! Cluster-wide causal observability for GUESSTIMATE runs:
+//!
+//! * **Causal timeline** — every message carries an origin `(machine,
+//!   stamp)` allocated by the network driver at the send action; the
+//!   per-machine JSONL trace streams merge ([`merge`]) into one
+//!   causally-ordered cluster timeline whose happens-before discipline is
+//!   checkable ([`check_happens_before`]).
+//! * **Lag waterfalls** — [`waterfall`] joins the merged timeline with
+//!   the per-op spans and decomposes each committed op's lag into named
+//!   stages that sum *exactly* to the total, plus re-execution
+//!   attribution (every speculative replay tagged with its recorded
+//!   cause) and per-machine guess-divergence windows.
+//! * **Flight recorder** — [`FlightRecorder`] keeps a bounded ring of
+//!   recent events per machine and dumps a postmortem bundle (timeline +
+//!   machine state summaries + happens-before verdict) when a model-
+//!   checking oracle, paranoid invariant, witness/shard escape, or bench
+//!   panic fires.
+//!
+//! The `obs` binary ties it together: it reads a trace and its spans
+//! artifact, prints the report, and exits non-zero when the timeline is
+//! causally inconsistent or the lag partition is not exact. See
+//! `docs/OBSERVABILITY.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod env;
+pub mod flight;
+pub mod report;
+pub mod timeline;
+pub mod trace_json;
+pub mod waterfall;
+
+pub use env::{metrics_stem, spans_path, trace_path};
+pub use flight::{validate_postmortem, FlightRecorder, PostmortemSummary, TeeTracer};
+pub use report::{render_text, to_json, Report};
+pub use timeline::{check_happens_before, merge, HbReport, HbViolation};
+pub use trace_json::{record_to_json, TraceLine};
+pub use waterfall::{OpWaterfall, ReexecTotals, SpanLine, WaterfallReport};

@@ -67,7 +67,12 @@ pub fn sim_cluster(
 ///     Some(tracer.clone()),
 /// );
 /// assert_eq!(net.members().len(), 3);
-/// assert!(tracer.is_empty(), "nothing traced before the sim runs");
+/// // Before the sim runs, only the join-request broadcasts (message sends
+/// // stamped by the driver) have been traced — no protocol events yet.
+/// assert!(tracer
+///     .snapshot()
+///     .iter()
+///     .all(|r| matches!(r.event, guesstimate_net::TraceEvent::MsgSent { .. })));
 /// ```
 pub fn sim_cluster_traced(
     n: u32,
@@ -117,6 +122,11 @@ pub fn sim_cluster_instrumented(
 ) -> SimNet<Machine> {
     let registry = Arc::new(registry);
     let mut net = SimNet::new(netcfg);
+    if let Some(t) = &tracer {
+        // Share the sink with the driver so message send/receive stamps land
+        // in the same stream as the machines' protocol events.
+        net.set_tracer(t.clone());
+    }
     let machine = |i: u32| {
         let id = MachineId::new(i);
         let mut m = if i == 0 {

@@ -15,7 +15,7 @@ use guesstimate_core::{
     ExecError, ExecOutcome, Footprint, MachineId, ObjectId, ObjectStore, OpId, OpRegistry,
     ProbeReads, SharedOp,
 };
-use guesstimate_net::{SimTime, TraceEvent};
+use guesstimate_net::{ReplayCause, SimTime, TraceEvent};
 
 use crate::commute;
 use crate::config::MachineConfig;
@@ -154,6 +154,21 @@ impl Machine {
                 self.stats.replays += 1;
                 *self.exec_counts.entry(env.id).or_insert(0) += 1;
             }
+            if !still_pending.is_empty() {
+                let cause = if ordered.iter().any(|e| e.id.machine() != self.id) {
+                    ReplayCause::ForeignConflict
+                } else {
+                    ReplayCause::RoundReplay
+                };
+                self.trace(
+                    now,
+                    TraceEvent::Reexecuted {
+                        round,
+                        pending: still_pending.len() as u64,
+                        cause,
+                    },
+                );
+            }
         }
         self.stats.rounds_applied += 1;
         for object in remote_touched {
@@ -164,7 +179,7 @@ impl Machine {
         // Async operations held back because their object's Create had not
         // committed here yet may have just become applicable.
         if self.cfg.async_commit {
-            self.drain_async();
+            self.drain_async(now);
         }
         n
     }
@@ -280,6 +295,7 @@ impl Machine {
         completed: Vec<OpId>,
         completed_serialized: Vec<OpId>,
         async_watermarks: Vec<(MachineId, u64)>,
+        now: SimTime,
     ) {
         self.committed = ObjectStore::new();
         self.catalog.clear();
@@ -299,7 +315,7 @@ impl Machine {
         if self.cfg.async_commit {
             // Own async commits the master never saw are absent from the
             // snapshot; re-apply them from the (restart-surviving) window.
-            self.restore_unseen_asyncs(own_watermark);
+            self.restore_unseen_asyncs(own_watermark, now);
         }
         self.guess.copy_from(&self.committed);
         let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
@@ -322,6 +338,16 @@ impl Machine {
             self.stats.replays += 1;
             *self.exec_counts.entry(env.id).or_insert(0) += 1;
         }
+        if !still_pending.is_empty() {
+            self.trace(
+                now,
+                TraceEvent::Reexecuted {
+                    round: 0,
+                    pending: still_pending.len() as u64,
+                    cause: ReplayCause::JoinReplay,
+                },
+            );
+        }
         self.membership.joined_system = true;
         // Round bookkeeping restarts with the new membership epoch: the
         // first BeginSync after (re-)admission re-anchors the numbering.
@@ -331,7 +357,7 @@ impl Machine {
         // Async ops buffered while unjoined (or held on a missing object
         // that the snapshot just materialized) may now be applicable.
         if self.cfg.async_commit {
-            self.drain_async();
+            self.drain_async(now);
         }
     }
 

@@ -49,7 +49,7 @@
 use std::collections::BTreeMap;
 
 use guesstimate_core::{CompletionFn, ExecError, MachineId, SharedOp};
-use guesstimate_net::{Channel, Ctx, SimTime};
+use guesstimate_net::{Channel, Ctx, ReplayCause, SimTime, TraceEvent};
 
 use crate::commute::universal_commuters;
 #[cfg(test)]
@@ -211,7 +211,13 @@ impl Machine {
 
     /// Receives one [`Msg::AsyncOp`]: buffer by `(sender, aseq)`, then
     /// drain everything that became applicable.
-    pub(crate) fn handle_async_op(&mut self, from: MachineId, aseq: u64, env: WireEnvelope) {
+    pub(crate) fn handle_async_op(
+        &mut self,
+        from: MachineId,
+        aseq: u64,
+        env: WireEnvelope,
+        now: SimTime,
+    ) {
         if !self.cfg.async_commit || !self.membership.joined_system || from == self.id {
             return;
         }
@@ -220,7 +226,7 @@ impl Machine {
             return; // duplicate: already applied or folded into a join snapshot
         }
         slot.buffer.insert(aseq, env);
-        self.drain_async();
+        self.drain_async(now);
     }
 
     /// Applies a flush-piggybacked async window (the round-boundary
@@ -228,7 +234,7 @@ impl Machine {
     /// `AsyncOp` broadcasts even when the carrying `Ops` message is
     /// buffered early, stale, or resent — the watermark absorbs every
     /// duplicate.
-    pub(crate) fn apply_async_batch(&mut self, from: MachineId, asyncs: &AsyncBatch) {
+    pub(crate) fn apply_async_batch(&mut self, from: MachineId, asyncs: &AsyncBatch, now: SimTime) {
         if !self.cfg.async_commit
             || !self.membership.joined_system
             || from == self.id
@@ -243,7 +249,7 @@ impl Machine {
             }
             slot.buffer.insert(*aseq, env.clone());
         }
-        self.drain_async();
+        self.drain_async(now);
     }
 
     /// Drains every buffered async operation that is ready: in-sequence
@@ -251,7 +257,8 @@ impl Machine {
     /// committed here. An operation racing ahead of its object's `Create`
     /// (which travels the serialized path) simply waits; the drain re-runs
     /// after every round apply and join initialization.
-    pub(crate) fn drain_async(&mut self) {
+    pub(crate) fn drain_async(&mut self, now: SimTime) {
+        let mut applied: u64 = 0;
         let senders: Vec<MachineId> = self.async_in.keys().copied().collect();
         for sender in senders {
             loop {
@@ -274,10 +281,23 @@ impl Machine {
                     }
                 };
                 match ready {
-                    Some(env) => self.apply_async_foreign(env),
+                    Some(env) => {
+                        self.apply_async_foreign(env);
+                        applied += 1;
+                    }
                     None => break,
                 }
             }
+        }
+        if applied > 0 {
+            self.trace(
+                now,
+                TraceEvent::Reexecuted {
+                    round: 0,
+                    pending: applied,
+                    cause: ReplayCause::AsyncPatch,
+                },
+            );
         }
     }
 
@@ -401,12 +421,14 @@ impl Machine {
     ///
     /// Completion routines for these operations were already run in the
     /// previous incarnation and are not re-run.
-    pub(crate) fn restore_unseen_asyncs(&mut self, master_watermark: u64) {
+    pub(crate) fn restore_unseen_asyncs(&mut self, master_watermark: u64, now: SimTime) {
+        let mut restored: u64 = 0;
         let window = std::mem::take(&mut self.async_window);
         for (aseq, env) in &window {
             if *aseq < master_watermark {
                 continue; // folded into the join snapshot we just installed
             }
+            restored += 1;
             let _ = execute_wire_checked(
                 &env.op,
                 &mut self.committed,
@@ -438,6 +460,16 @@ impl Machine {
             self.stats.committed_async_own += 1;
         }
         self.async_window = window;
+        if restored > 0 {
+            self.trace(
+                now,
+                TraceEvent::Reexecuted {
+                    round: 0,
+                    pending: restored,
+                    cause: ReplayCause::AsyncPatch,
+                },
+            );
+        }
     }
 }
 
@@ -515,15 +547,15 @@ mod tests {
         m.catalog.insert(obj, "Slots".into());
         let sender = MachineId::new(1);
         // aseq 1 arrives first: buffered, not applied.
-        m.handle_async_op(sender, 1, put_env(1, 1, obj, "b"));
+        m.handle_async_op(sender, 1, put_env(1, 1, obj, "b"), SimTime::ZERO);
         assert_eq!(m.stats.committed_async_foreign, 0);
         // aseq 0 arrives: both drain, in order.
-        m.handle_async_op(sender, 0, put_env(1, 0, obj, "a"));
+        m.handle_async_op(sender, 0, put_env(1, 0, obj, "a"), SimTime::ZERO);
         assert_eq!(m.stats.committed_async_foreign, 2);
         assert_eq!(m.completed_ops().len(), 2);
         assert!(m.completed_serialized().is_empty());
         // A duplicate is absorbed by the watermark.
-        m.handle_async_op(sender, 0, put_env(1, 0, obj, "a"));
+        m.handle_async_op(sender, 0, put_env(1, 0, obj, "a"), SimTime::ZERO);
         assert_eq!(m.stats.committed_async_foreign, 2);
         assert!(m.check_guess_invariant());
     }
@@ -546,14 +578,14 @@ mod tests {
             op: WireOp::Shared(SharedOp::primitive(obj, "put", args!["x", v])),
         };
         // aseq 0 is in order: applies immediately.
-        m.handle_async_op(sender, 0, put(0, 10));
+        m.handle_async_op(sender, 0, put(0, 10), SimTime::ZERO);
         assert_eq!(m.stats.committed_async_foreign, 1);
         // aseq 2 arrives with aseq 1 still in flight: a gap, so it must
         // buffer — applying it now would reorder the sender's stream.
-        m.handle_async_op(sender, 2, put(2, 30));
+        m.handle_async_op(sender, 2, put(2, 30), SimTime::ZERO);
         assert_eq!(m.stats.committed_async_foreign, 1, "n+2 before n+1: held");
         // aseq 1 fills the gap: both drain, in sender FIFO order.
-        m.handle_async_op(sender, 1, put(1, 20));
+        m.handle_async_op(sender, 1, put(1, 20), SimTime::ZERO);
         assert_eq!(m.stats.committed_async_foreign, 3);
         assert_eq!(
             m.completed_ops(),
@@ -577,7 +609,7 @@ mod tests {
         let mut m = hybrid_machine(0);
         let obj = ObjectId::new(MachineId::new(1), 0);
         let sender = MachineId::new(1);
-        m.handle_async_op(sender, 0, put_env(1, 0, obj, "a"));
+        m.handle_async_op(sender, 0, put_env(1, 0, obj, "a"), SimTime::ZERO);
         assert_eq!(m.stats.committed_async_foreign, 0, "object unknown: held");
         // The object's Create commits (as it would in a round)...
         let create = WireOp::Create {
@@ -589,7 +621,7 @@ mod tests {
         execute_wire(&create, &mut m.guess, &m.registry).unwrap();
         m.catalog.insert(obj, "Slots".into());
         // ...and the post-apply drain releases the held op.
-        m.drain_async();
+        m.drain_async(SimTime::ZERO);
         assert_eq!(m.stats.committed_async_foreign, 1);
     }
 
@@ -605,7 +637,7 @@ mod tests {
         execute_wire(&create, &mut master.committed, &master.registry).unwrap();
         execute_wire(&create, &mut master.guess, &master.registry).unwrap();
         master.catalog.insert(obj, "Slots".into());
-        master.handle_async_op(MachineId::new(1), 0, put_env(1, 0, obj, "a"));
+        master.handle_async_op(MachineId::new(1), 0, put_env(1, 0, obj, "a"), SimTime::ZERO);
         master.aseq_next = 5;
         let wm = master.async_watermarks();
         assert_eq!(wm, vec![(MachineId::new(0), 5), (MachineId::new(1), 1)]);
@@ -614,7 +646,7 @@ mod tests {
         let own = joiner.install_async_watermarks(wm);
         assert_eq!(own, 0, "no entry for machine 2 in the master's map");
         // A replayed duplicate of sender 1's aseq 0 is now absorbed.
-        joiner.handle_async_op(MachineId::new(1), 0, put_env(1, 0, obj, "a"));
+        joiner.handle_async_op(MachineId::new(1), 0, put_env(1, 0, obj, "a"), SimTime::ZERO);
         assert_eq!(joiner.stats.committed_async_foreign, 0);
     }
 

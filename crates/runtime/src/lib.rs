@@ -92,7 +92,7 @@ pub use cluster::{
 };
 pub use config::MachineConfig;
 pub use exec::WitnessViolation;
-pub use machine::{Machine, RemoteUpdateHook};
+pub use machine::{Machine, RemoteUpdateHook, StateSummary};
 pub use message::{Msg, ObjectInit, WireEnvelope, WireOp};
 pub use shard::{ShardRouter, ShardViolation};
 pub use stats::{MachineStats, SyncSample};

@@ -565,6 +565,63 @@ impl Machine {
     pub fn read_committed<T: GState, R>(&self, id: ObjectId, f: impl FnOnce(&T) -> R) -> Option<R> {
         self.committed.get_as::<T>(id).map(f)
     }
+
+    /// A compact snapshot of this machine's role/protocol state, captured
+    /// for flight-recorder postmortem bundles (see `guesstimate-obs`).
+    pub fn state_summary(&self) -> StateSummary {
+        StateSummary {
+            id: self.id,
+            is_master: self.is_master,
+            joined: self.membership.is_joined(),
+            in_cohort: self.membership.in_cohort(),
+            active_round: self.participant.active_round(),
+            pending: self.pending.len() as u64,
+            completed: self.completed.len() as u64,
+            completed_serialized: self.completed_serialized.len() as u64,
+            committed_digest: self.committed.digest(),
+            guess_digest: self.guess.digest(),
+            guess_invariant_holds: self.check_guess_invariant(),
+            witness_violations: self.witness_log.len() as u64,
+            shard_violations: self.shard_log.len() as u64,
+            restarts: self.stats.restarts,
+        }
+    }
+}
+
+/// A compact, allocation-free snapshot of one machine's protocol state,
+/// produced by [`Machine::state_summary`] for postmortem bundles: enough
+/// to see each machine's role, progress, and store digests at the moment
+/// a violation fired, without serializing the stores themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSummary {
+    /// The machine.
+    pub id: MachineId,
+    /// Whether it currently acts as master.
+    pub is_master: bool,
+    /// Whether it has been admitted to the system.
+    pub joined: bool,
+    /// Whether it has participated in a synchronization round.
+    pub in_cohort: bool,
+    /// The round the participant role is currently in, if any.
+    pub active_round: Option<u64>,
+    /// Length of the pending list `P`.
+    pub pending: u64,
+    /// Length of the completed sequence `C`.
+    pub completed: u64,
+    /// Length of the serialized-only completed subsequence.
+    pub completed_serialized: u64,
+    /// Digest of the committed store `sc`.
+    pub committed_digest: u64,
+    /// Digest of the guesstimated store `sg`.
+    pub guess_digest: u64,
+    /// Whether `[P](sc) = sg` held at capture time.
+    pub guess_invariant_holds: bool,
+    /// Witness-containment escapes recorded so far.
+    pub witness_violations: u64,
+    /// Shard-containment escapes recorded so far.
+    pub shard_violations: u64,
+    /// Restarts this machine has performed.
+    pub restarts: u64,
 }
 
 #[cfg(test)]

@@ -183,7 +183,13 @@ fn join_info_roundtrip_replicates_state() {
         Arc::new(counter_registry()),
         MachineConfig::default(),
     );
-    member.init_from_join_info(catalog, completed, completed_serialized, watermarks);
+    member.init_from_join_info(
+        catalog,
+        completed,
+        completed_serialized,
+        watermarks,
+        SimTime::ZERO,
+    );
     assert!(member.is_joined());
     assert_eq!(member.committed_digest(), master.committed_digest());
     assert_eq!(member.read::<Counter, _>(id, |c| c.n), Some(7));
@@ -349,7 +355,7 @@ fn join_preserves_pre_join_pending_ops() {
         MachineConfig::default(),
     );
     let own = member.create_instance(Counter { n: 1 });
-    member.init_from_join_info(vec![], vec![], vec![], vec![]);
+    member.init_from_join_info(vec![], vec![], vec![], vec![], SimTime::ZERO);
     assert_eq!(member.pending_len(), 1, "pre-join create still pending");
     // The object survives on the guesstimated state via replay.
     assert_eq!(member.read::<Counter, _>(own, |c| c.n), Some(1));

@@ -118,7 +118,7 @@ impl Actor for Machine {
                 async_watermarks,
                 ctx,
             ),
-            Msg::AsyncOp { aseq, env } => self.handle_async_op(from, aseq, env),
+            Msg::AsyncOp { aseq, env } => self.handle_async_op(from, aseq, env, ctx.now()),
             Msg::JoinReady { machine } => self.handle_join_ready(machine, ctx),
             Msg::Leave { machine } => self.handle_leave(machine, ctx),
             Msg::Restart => self.self_restart(ctx),
@@ -163,6 +163,27 @@ impl Actor for Machine {
 
     fn msg_size(msg: &Msg) -> u64 {
         msg.wire_size()
+    }
+
+    fn msg_kind(msg: &Msg) -> &'static str {
+        match msg {
+            Msg::BeginSync { .. } => "begin_sync",
+            Msg::Ops { .. } => "ops",
+            Msg::FlushDone { .. } => "flush_done",
+            Msg::BeginApply { .. } => "begin_apply",
+            Msg::OpsRequest { .. } => "ops_request",
+            Msg::Ack { .. } => "ack",
+            Msg::SyncComplete { .. } => "sync_complete",
+            Msg::RoundUpdate { .. } => "round_update",
+            Msg::AsyncOp { .. } => "async_op",
+            Msg::Restart => "restart",
+            Msg::MasterCandidate { .. } => "master_candidate",
+            Msg::MasterHeartbeat => "master_heartbeat",
+            Msg::JoinRequest { .. } => "join_request",
+            Msg::JoinInfo { .. } => "join_info",
+            Msg::JoinReady { .. } => "join_ready",
+            Msg::Leave { .. } => "leave",
+        }
     }
 }
 
@@ -302,7 +323,7 @@ impl Machine {
         {
             if !asyncs.is_empty() {
                 let (machine, asyncs) = (*machine, Arc::clone(asyncs));
-                self.apply_async_batch(machine, &asyncs);
+                self.apply_async_batch(machine, &asyncs, ctx.now());
             }
         }
         let Some(round) = msg_round(&msg) else { return };
@@ -623,7 +644,13 @@ impl Machine {
             return;
         }
         if !self.membership.in_cohort {
-            self.init_from_join_info(catalog, completed, completed_serialized, async_watermarks);
+            self.init_from_join_info(
+                catalog,
+                completed,
+                completed_serialized,
+                async_watermarks,
+                ctx.now(),
+            );
         }
         ctx.send(from, Channel::Signals, Msg::JoinReady { machine: self.id });
     }

@@ -52,12 +52,23 @@ pub fn render(records: &[TraceRecord], spans: &[OpSpan]) -> String {
 
     // One async span per op: issue (or first observable instant) → the
     // completion callback. Uncommitted spans render as zero-length with
-    // a status arg so lost ops are still visible on the timeline.
+    // a status arg so lost ops are still visible on the timeline. Every
+    // begin is paired with an end in the same iteration, so a run cut
+    // short at shutdown never leaves a dangling async span.
     for s in spans {
-        let Some(begin) = s.issued_at.or(s.flushed_at).or(s.committed_at) else {
+        let Some(begin) = s
+            .issued_at
+            .or(s.flushed_at)
+            .or(s.committed_at)
+            .or(s.completed_at)
+        else {
             continue;
         };
-        let end = s.completed_at.or(s.committed_at).unwrap_or(begin);
+        let end = s
+            .completed_at
+            .or(s.committed_at)
+            .unwrap_or(begin)
+            .max(begin);
         let status = if s.committed() {
             "committed"
         } else if s.lost {
@@ -148,5 +159,71 @@ mod tests {
         assert!(json.contains("\"status\":\"lost\""));
         assert!(json.contains("\"ph\":\"b\",\"ts\":7000"));
         assert!(json.contains("\"ph\":\"e\",\"ts\":7000"));
+    }
+
+    #[test]
+    fn empty_inputs_render_a_valid_document() {
+        assert_eq!(
+            render(&[], &[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn committed_but_never_completed_ends_at_commit() {
+        // A run cut short at shutdown: the op committed but its
+        // completion callback never ran. The async span must still
+        // close (at the commit instant), not dangle.
+        let mut book = SpanBook::new();
+        let op = OpId::new(MachineId::new(0), 3);
+        book.issued(op, Some(SimTime::from_millis(2)));
+        book.committed(op, 1, 2, SimTime::from_millis(9));
+        let json = render(&[], &book.snapshot());
+        assert!(json.contains("\"ph\":\"b\",\"ts\":2000"));
+        assert!(json.contains("\"ph\":\"e\",\"ts\":9000"));
+        assert_eq!(
+            json.matches("\"ph\":\"b\"").count(),
+            json.matches("\"ph\":\"e\"").count()
+        );
+    }
+
+    #[test]
+    fn every_begin_has_a_matching_end_across_statuses() {
+        let mut book = SpanBook::new();
+        // Committed + completed.
+        book.issued(
+            OpId::new(MachineId::new(0), 0),
+            Some(SimTime::from_millis(1)),
+        );
+        book.committed(
+            OpId::new(MachineId::new(0), 0),
+            1,
+            1,
+            SimTime::from_millis(4),
+        );
+        book.completed(OpId::new(MachineId::new(0), 0), SimTime::from_millis(4));
+        // In-flight at shutdown (flushed, never committed).
+        book.issued(
+            OpId::new(MachineId::new(1), 0),
+            Some(SimTime::from_millis(2)),
+        );
+        book.flushed(OpId::new(MachineId::new(1), 0), SimTime::from_millis(3));
+        // Lost to a restart.
+        book.issued(
+            OpId::new(MachineId::new(2), 0),
+            Some(SimTime::from_millis(2)),
+        );
+        book.machine_restarted(MachineId::new(2));
+        // Untimed issue (no observable instant): contributes no span.
+        book.issued(OpId::new(MachineId::new(3), 0), None);
+        let json = render(&[], &book.snapshot());
+        assert_eq!(json.matches("\"ph\":\"b\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"e\"").count(), 3);
+        assert!(json.contains("\"status\":\"in-flight\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
     }
 }

@@ -75,6 +75,35 @@ impl OpSpan {
     pub fn committed(&self) -> bool {
         self.committed_at.is_some()
     }
+
+    /// Renders the span as one JSON object (a JSONL line, no trailing
+    /// newline). Timestamps are virtual microseconds; unset edges render
+    /// as `null`. This is the `<stem>_spans.jsonl` artifact format the
+    /// `obs` report binary joins against the protocol trace.
+    pub fn to_json_line(&self) -> String {
+        let us = |t: Option<SimTime>| match t {
+            Some(t) => t.as_micros().to_string(),
+            None => "null".to_owned(),
+        };
+        let round = match self.commit_round {
+            Some(r) => r.to_string(),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"machine\":{},\"seq\":{},\"issued_us\":{},\"flushed_us\":{},\
+             \"committed_us\":{},\"completed_us\":{},\"round\":{round},\
+             \"async\":{},\"exec_count\":{},\"lost\":{}}}",
+            self.op.machine().index(),
+            self.op.seq(),
+            us(self.issued_at),
+            us(self.flushed_at),
+            us(self.committed_at),
+            us(self.completed_at),
+            self.committed_async,
+            self.exec_count,
+            self.lost,
+        )
+    }
 }
 
 /// The set of spans for a run, keyed by [`OpId`].

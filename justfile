@@ -60,6 +60,14 @@ mc-smoke:
 bench-snapshot:
     ./scripts/bench_snapshot.sh
 
+# Causal cluster report: run fig5 (short, traced) and then the obs
+# report binary over its trace + spans — the merged happens-before
+# timeline, the per-op lag waterfall, re-execution attribution, and
+# guess-divergence windows (docs/OBSERVABILITY.md "Lag waterfalls").
+obs:
+    cargo run --release -q -p guesstimate-bench --bin fig5_sync_distribution 120 42 > /dev/null
+    cargo run --release -q -p guesstimate-obs --bin obs
+
 # The CI model-checking gate: release build, full budget, with the
 # validated commute matrix from the effect analysis; requires >= 10k
 # schedules per preset and >= 30% pruning from the reduction.

@@ -7,10 +7,13 @@
 # byte-identical); this script additionally checks that the exported
 # artifacts exist and are well-formed, then publishes the
 # machine-readable summaries as BENCH_pr4.json, BENCH_pr6.json (the
-# hybrid commit-lag collapse, gated at >= 5x in-process) and
-# BENCH_pr8.json (the per-app shard-balance rows from the derived shard
-# plans, gated in-process on cross-shard routes staying confined to
-# CarPool). See docs/OBSERVABILITY.md and docs/ANALYSIS.md "Shard plans".
+# hybrid commit-lag collapse, gated at >= 5x in-process), BENCH_pr8.json
+# (the per-app shard-balance rows from the derived shard plans, gated
+# in-process on cross-shard routes staying confined to CarPool), and
+# BENCH_pr9.json (the causal-observability gate: strict happens-before
+# on the merged timeline, exact per-op lag attribution on both commit
+# paths, cause-tagged re-executions, postmortem round-trip). See
+# docs/OBSERVABILITY.md and docs/ANALYSIS.md "Shard plans".
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,10 +21,11 @@ stem=target/bench_snapshot_metrics
 out=BENCH_pr4.json
 hybrid_out=BENCH_pr6.json
 shards_out=BENCH_pr8.json
+obs_out=BENCH_pr9.json
 GUESSTIMATE_METRICS="$stem" \
-    cargo run --release -q -p guesstimate-bench --bin bench_snapshot -- 60 42 "$out" "$hybrid_out" "$shards_out"
+    cargo run --release -q -p guesstimate-bench --bin bench_snapshot -- 60 42 "$out" "$hybrid_out" "$shards_out" "$obs_out"
 
-for f in "$stem.prom" "$stem.json" "${stem}_chrome.json" "${stem}_trace.jsonl" "$out" "$hybrid_out" "$shards_out"; do
+for f in "$stem.prom" "$stem.json" "${stem}_chrome.json" "${stem}_spans.jsonl" "${stem}_trace.jsonl" "$out" "$hybrid_out" "$shards_out" "$obs_out"; do
     if [ ! -s "$f" ]; then
         echo "bench_snapshot.sh: missing or empty artifact $f" >&2
         exit 1
@@ -45,7 +49,7 @@ done
 
 # JSON artifacts: object-shaped, and the Chrome trace must carry the
 # traceEvents array viewers look for.
-for f in "$stem.json" "${stem}_chrome.json" "$out" "$hybrid_out" "$shards_out"; do
+for f in "$stem.json" "${stem}_chrome.json" "$out" "$hybrid_out" "$shards_out" "$obs_out"; do
     case "$(head -c 1 "$f")" in
         '{') ;;
         *) echo "bench_snapshot.sh: $f is not a JSON object" >&2; exit 1 ;;
@@ -56,5 +60,14 @@ grep -q '"invisibility_ok": true' "$out"
 grep -q '"stage_sum_ok": true' "$out"
 grep -q '"lag_collapse_ok": true' "$hybrid_out"
 grep -q '"cross_only_carpool_ok": true' "$shards_out"
+grep -q '"hb_ok": true' "$obs_out"
+grep -q '"exact_sum_ok": true' "$obs_out"
+grep -q '"async_exact_sum_ok": true' "$obs_out"
+grep -q '"postmortem_ok": true' "$obs_out"
 
-echo "bench_snapshot.sh: artifacts validated; summaries in $out, $hybrid_out and $shards_out"
+# The standalone report binary agrees: run it over the snapshot's own
+# trace + spans artifacts and require a clean exit.
+GUESSTIMATE_TRACE="${stem}_trace.jsonl" GUESSTIMATE_METRICS="$stem" \
+    cargo run --release -q -p guesstimate-obs --bin obs >/dev/null
+
+echo "bench_snapshot.sh: artifacts validated; summaries in $out, $hybrid_out, $shards_out and $obs_out"
