@@ -39,7 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod harness;
-pub mod json;
+pub use guesstimate_core::json;
 pub mod shard;
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -911,82 +911,17 @@ pub fn matrices_from_json(text: &str) -> Result<CommuteMatrix, String> {
 }
 
 /// Reads the per-app `shard_plan` objects of a schema-v3 archive back into
-/// a combined [`guesstimate_core::ShardPlan`]. Apps without a plan (or
-/// older archives, which cannot carry one) contribute nothing.
+/// a combined [`guesstimate_core::ShardPlan`]. Now a thin wrapper over
+/// [`guesstimate_core::ShardPlan::from_json_archive`], which moved to the
+/// core crate so the runtime can load plans without depending on the
+/// analyzer.
 ///
 /// # Errors
 ///
-/// Returns a description of the first syntactic or shape problem,
-/// including unknown versions (same negotiation as
-/// [`matrices_from_json`]) and prefix patterns that fail to parse.
+/// Returns a description of the first syntactic or shape problem (see
+/// [`guesstimate_core::ShardPlan::from_json_archive`]).
 pub fn shard_plans_from_json(text: &str) -> Result<guesstimate_core::ShardPlan, String> {
-    use guesstimate_core::{ComponentPlan, PathPattern, Routing, ShardPlan, TypePlan};
-    use json::Json;
-    let doc = Json::parse(text)?;
-    match doc.get("version").and_then(Json::as_u64) {
-        Some(1..=3) => {}
-        Some(v) => return Err(format!("unsupported archive version {v}")),
-        None => return Err("missing `version`".to_owned()),
-    }
-    let apps = doc
-        .get("apps")
-        .and_then(Json::as_list)
-        .ok_or("missing `apps` array")?;
-    let mut plan = ShardPlan::new();
-    for app in apps {
-        let ty = app
-            .get("type")
-            .and_then(Json::as_str)
-            .ok_or("app missing `type`")?;
-        let Some(sp) = app.get("shard_plan") else {
-            continue;
-        };
-        let mut tp = TypePlan::default();
-        for c in sp
-            .get("components")
-            .and_then(Json::as_list)
-            .ok_or("shard_plan missing `components`")?
-        {
-            let keyed = c
-                .get("keyed")
-                .and_then(Json::as_bool)
-                .ok_or("component missing `keyed`")?;
-            let mut prefixes = Vec::new();
-            for p in c
-                .get("prefixes")
-                .and_then(Json::as_list)
-                .ok_or("component missing `prefixes`")?
-            {
-                let text = p.as_str().ok_or("prefix must be a string")?;
-                prefixes.push(PathPattern::parse(text)?);
-            }
-            tp.components.push(ComponentPlan { prefixes, keyed });
-        }
-        let routes = sp
-            .get("routes")
-            .and_then(Json::as_map)
-            .ok_or("shard_plan missing `routes`")?;
-        for (method, r) in routes {
-            let route = match r.get("kind").and_then(Json::as_str) {
-                Some("cross") => Routing::CrossShard,
-                Some("local") => Routing::Local {
-                    component: r
-                        .get("component")
-                        .and_then(Json::as_u64)
-                        .ok_or("local route missing `component`")?
-                        as u32,
-                    key_arg: match r.get("key_arg") {
-                        None | Some(Json::Null) => None,
-                        Some(v) => Some(v.as_u64().ok_or("`key_arg` must be a number")? as usize),
-                    },
-                },
-                other => return Err(format!("unknown route kind {other:?}")),
-            };
-            tp.routes.insert(method.clone(), route);
-        }
-        plan.types.insert(ty.to_owned(), tp);
-    }
-    Ok(plan)
+    guesstimate_core::ShardPlan::from_json_archive(text)
 }
 
 #[cfg(test)]

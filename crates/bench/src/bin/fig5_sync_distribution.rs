@@ -146,6 +146,10 @@ fn main() {
         "# max executions per op  : {}  [paper bound: 3]",
         telemetry.max_exec_count()
     );
+    println!(
+        "# cross-routed commits   : {}  [guesstimate_cross_routes_total: only the board creations, which span every component; moves stay in-shard]",
+        telemetry.cross_routes()
+    );
     println!("# converged              : {}", result.converged);
 
     // Per-stage breakdown of the slowest rounds: the >12 s outliers should

@@ -136,6 +136,10 @@ fn main() {
         mean_ms(&|t| t.completion_spread()),
         timelines.len()
     );
+    println!(
+        "# cross-routed commits   : {}  [guesstimate_cross_routes_total, 8-user session: only the board creations, which span every component; moves stay in-shard]",
+        telemetry.cross_routes()
+    );
 
     // How the derived shard plans would spread each app's operation
     // population — the ceiling a future multi-group synchronizer could

@@ -1,0 +1,384 @@
+//! Shard-scaling bench: aggregate committed throughput vs sync-group count.
+//!
+//! 8 nodes on a [`guesstimate_net::ThreadedNet`] (real threads, 1 ms links)
+//! run the same CPU-weighted counter workload under G ∈ {1, 2, 4, 8} sync
+//! groups with partitioned hosting ([`MultiClusterSpec::partitioned`]):
+//! node `i` hosts exactly group `i % G`, so every operation is replicated
+//! to — and executed by — only its group's `8 / G` members instead of the
+//! whole cluster. The single delivery thread pays the cluster's total
+//! apply work, so aggregate committed ops/s grows near-linearly with the
+//! group count: the multi-group synchronizer's headline.
+//!
+//! Self-validated invariants, written to the summary JSON:
+//!
+//! 1. `ok_scaling` — committed ops/s is strictly monotone in the group
+//!    count and the 4-group configuration sustains at least 2.5x the
+//!    single-group baseline;
+//! 2. `ok_stage_partition` — for every sync group, the per-group
+//!    flush/apply/completion stage-duration sums partition that group's
+//!    summed round durations (within 4 µs of truncation slack per round),
+//!    and the group's commit-lag histogram holds one sample per committed
+//!    operation.
+//!
+//! Usage: `shard_scaling [ops_per_node] [work] [seed] [out_json]`
+//! (defaults: 200, 30000, 42, `target/bench_shard_scaling.json`; the
+//! `bench-shards` just target publishes the summary as `BENCH_pr10.json`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use guesstimate_core::{
+    args, ComponentPlan, GState, ObjectId, OpRegistry, PathPattern, RestoreError, Routing,
+    ShardPlan, SharedOp, TypePlan, Value,
+};
+use guesstimate_net::{LatencyModel, SimTime};
+use guesstimate_runtime::multigroup::{multi_threaded_cluster, GroupTable, MultiClusterSpec};
+use guesstimate_runtime::MachineConfig;
+use guesstimate_telemetry::Telemetry;
+
+const NODES: u32 = 8;
+const FIELDS: [&str; NODES as usize] = ["c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"];
+const METHODS: [&str; NODES as usize] = [
+    "bump0", "bump1", "bump2", "bump3", "bump4", "bump5", "bump6", "bump7",
+];
+
+/// Eight independent counters; the shard plan splits them into `G`
+/// components of `8 / G` fields each.
+#[derive(Clone, Default, Debug)]
+struct Cells {
+    c: [i64; NODES as usize],
+}
+
+impl GState for Cells {
+    const TYPE_NAME: &'static str = "Cells";
+    fn snapshot(&self) -> Value {
+        let mut m = BTreeMap::new();
+        for (name, v) in FIELDS.iter().zip(self.c.iter()) {
+            m.insert((*name).to_owned(), Value::from(*v));
+        }
+        Value::Map(m)
+    }
+    fn restore(&mut self, v: &Value) -> Result<(), RestoreError> {
+        let Value::Map(m) = v else {
+            return Err(RestoreError::shape("map"));
+        };
+        for (name, c) in FIELDS.iter().zip(self.c.iter_mut()) {
+            *c = m.get(*name).and_then(Value::as_i64).unwrap_or(0);
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic CPU burn standing in for real application work, so the
+/// delivery thread's apply cost — not message latency — dominates the run.
+fn churn(mut x: i64, iters: u32) -> i64 {
+    for _ in 0..iters {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x ^= x >> 29;
+    }
+    x
+}
+
+fn registry(work: u32) -> OpRegistry {
+    let mut r = OpRegistry::new();
+    r.register_type::<Cells>();
+    for (i, name) in METHODS.iter().enumerate() {
+        r.register_method::<Cells>(name, move |p: &mut Cells, a| {
+            let Some(d) = a.i64(0) else { return false };
+            // `black_box` forces the burn to actually run without letting
+            // its result perturb the committed value (a pure counter).
+            std::hint::black_box(churn(p.c[i] ^ d, work));
+            p.c[i] += d;
+            true
+        });
+    }
+    r
+}
+
+/// `G` components over the eight fields: component `j` owns the fields
+/// with index ≡ `j` (mod `G`), and `bump_i` routes to component `i % G`.
+fn plan_for(groups: u32) -> Arc<ShardPlan> {
+    let mut tp = TypePlan {
+        components: (0..groups)
+            .map(|j| ComponentPlan {
+                prefixes: FIELDS
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i as u32 % groups == j)
+                    .map(|(_, f)| PathPattern::parse(f).expect("field pattern"))
+                    .collect(),
+                keyed: false,
+            })
+            .collect(),
+        routes: BTreeMap::new(),
+    };
+    for (i, m) in METHODS.iter().enumerate() {
+        tp.routes.insert(
+            (*m).to_owned(),
+            Routing::Local {
+                component: i as u32 % groups,
+                key_arg: None,
+            },
+        );
+    }
+    let mut p = ShardPlan::new();
+    p.types.insert("Cells".to_owned(), tp);
+    Arc::new(p)
+}
+
+/// One configuration's measured result plus its per-group stage audit.
+struct Row {
+    groups: u32,
+    ops: u64,
+    elapsed: Duration,
+    ops_per_sec: f64,
+    rounds: u64,
+    stage_partition_ok: bool,
+}
+
+fn wait_until(what: &str, deadline: Duration, mut done: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while !done() {
+        assert!(
+            t0.elapsed() < deadline,
+            "shard_scaling: timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn run_config(groups: u32, ops_per_node: u32, work: u32, seed: u64) -> Row {
+    let plan = plan_for(groups);
+    let table = Arc::new(GroupTable::from_plan(Arc::clone(&plan)));
+    let spec = MultiClusterSpec::partitioned(NODES, Arc::clone(&table));
+    // Every bump pair commutes (distinct methods touch disjoint fields;
+    // a method with itself is a commutative add), so commute-aware replay
+    // skipping keeps the guess rebuild out of the measurement: what's
+    // left is exactly the per-member apply work the partition divides.
+    let mut matrix = guesstimate_core::CommuteMatrix::new();
+    for a in METHODS {
+        for b in METHODS {
+            matrix.insert("Cells", a, b);
+        }
+    }
+    let cfg = MachineConfig::default()
+        .with_sync_period(SimTime::from_millis(15))
+        .with_stall_timeout(SimTime::from_secs(30))
+        .with_join_retry(SimTime::from_millis(40))
+        .with_commute_skip(true)
+        .with_commute_matrix(matrix)
+        .with_shard_plan(plan);
+    let telemetry = Telemetry::new();
+    let (_net, handles) = multi_threaded_cluster(
+        &spec,
+        Arc::new(registry(work)),
+        cfg,
+        LatencyModel::constant_ms(1),
+        seed,
+        telemetry.clone(),
+    );
+
+    wait_until("cluster join", Duration::from_secs(60), || {
+        handles
+            .iter()
+            .all(|h| h.read(|mm| mm.all_joined()).unwrap_or(false))
+    });
+
+    // One shared object per group, created on the group's master (node
+    // `g`); its creation commits through the group's own round, which is
+    // how the other members learn the id.
+    let objs: Vec<ObjectId> = (0..groups)
+        .map(|g| {
+            handles[g as usize]
+                .with(|mm, ctx| mm.create_instance(Cells::default(), ctx))
+                .expect("master alive")
+        })
+        .collect();
+    wait_until("object creation commits", Duration::from_secs(60), || {
+        handles
+            .iter()
+            .all(|h| h.read(|mm| mm.committed_total() >= 1).unwrap_or(false))
+    });
+
+    // The measured window: every node issues `ops_per_node` bumps of its
+    // own field (routed to its hosted group), then the clock stops when
+    // every node has committed its whole group's workload.
+    let per_node_share = u64::from(NODES / groups) * u64::from(ops_per_node);
+    let expected = 1 + per_node_share;
+    let t0 = Instant::now();
+    for n in 0..NODES {
+        let g = n % groups;
+        let obj = objs[g as usize];
+        let method = METHODS[n as usize];
+        let h = &handles[n as usize];
+        for _ in 0..ops_per_node {
+            h.with(|mm, ctx| {
+                mm.issue(SharedOp::primitive(obj, method, args![1]), None, ctx)
+                    .expect("routed issue");
+            })
+            .expect("node alive");
+        }
+    }
+    wait_until("workload commit", Duration::from_secs(120), || {
+        handles.iter().all(|h| {
+            h.read(|mm| mm.committed_total() >= expected)
+                .unwrap_or(false)
+        })
+    });
+    let elapsed = t0.elapsed();
+
+    // Result audit: the committed counters hold exactly the issued bumps.
+    for n in 0..NODES {
+        let g = n % groups;
+        let got = handles[n as usize]
+            .read(|mm| {
+                mm.group(g)
+                    .expect("hosted")
+                    .read_committed::<Cells, _>(objs[g as usize], |c| c.c[n as usize])
+            })
+            .flatten();
+        assert_eq!(
+            got,
+            Some(i64::from(ops_per_node)),
+            "node {n}: field {} must hold its full bump count",
+            FIELDS[n as usize]
+        );
+    }
+
+    // Per-group stage audit over the run's telemetry: the three stage
+    // sums partition each group's round-duration sum (up to 4 µs of
+    // `as_micros` truncation per round), and the group's commit-lag
+    // histogram holds one sample per committed op.
+    let mut rounds = 0;
+    let mut stage_partition_ok = true;
+    for g in 0..groups {
+        let label = table.label(g).to_owned();
+        let s = telemetry
+            .group_round_stats(&label)
+            .unwrap_or_else(|| panic!("group {label} recorded no rounds"));
+        assert!(s.rounds > 0, "group {label}: no rounds completed");
+        assert!(
+            s.ops_committed >= per_node_share,
+            "group {label}: committed {} < workload {per_node_share}",
+            s.ops_committed
+        );
+        let stage_sum = s.flush_us + s.apply_us + s.completion_us;
+        let slack = 4 * s.rounds;
+        let partitions = stage_sum <= s.duration_us + slack
+            && s.duration_us <= stage_sum + slack
+            && s.lag_samples == s.ops_committed;
+        if !partitions {
+            eprintln!(
+                "group {label}: stage partition violated: flush {} + apply {} + completion {} \
+                 vs duration {} over {} rounds ({} lag samples / {} commits)",
+                s.flush_us,
+                s.apply_us,
+                s.completion_us,
+                s.duration_us,
+                s.rounds,
+                s.lag_samples,
+                s.ops_committed
+            );
+        }
+        stage_partition_ok &= partitions;
+        rounds += s.rounds;
+    }
+
+    let ops = u64::from(NODES) * u64::from(ops_per_node);
+    let ops_per_sec = ops as f64 / elapsed.as_secs_f64();
+    Row {
+        groups,
+        ops,
+        elapsed,
+        ops_per_sec,
+        rounds,
+        stage_partition_ok,
+    }
+}
+
+fn main() {
+    let mut cli = std::env::args().skip(1);
+    let ops_per_node: u32 = cli.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let work: u32 = cli.next().and_then(|a| a.parse().ok()).unwrap_or(30_000);
+    let seed: u64 = cli.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let out_json = cli
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("bench_shard_scaling.json"));
+
+    eprintln!(
+        "shard_scaling: {NODES} nodes, {ops_per_node} ops/node, work {work}, seed {seed} ..."
+    );
+    let rows: Vec<Row> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&g| {
+            let r = run_config(g, ops_per_node, work, seed + u64::from(g));
+            eprintln!(
+                "  G={:<2} {:>6} ops in {:>8.1} ms -> {:>9.0} ops/s ({} rounds)",
+                r.groups,
+                r.ops,
+                r.elapsed.as_secs_f64() * 1e3,
+                r.ops_per_sec,
+                r.rounds
+            );
+            r
+        })
+        .collect();
+
+    let monotone = rows.windows(2).all(|w| w[1].ops_per_sec > w[0].ops_per_sec);
+    let speedup_4x = rows[2].ops_per_sec / rows[0].ops_per_sec;
+    let ok_scaling = monotone && speedup_4x >= 2.5;
+    let ok_stage_partition = rows.iter().all(|r| r.stage_partition_ok);
+
+    println!("# shard scaling: aggregate committed ops/s vs sync-group count");
+    println!(
+        "{:>7} {:>8} {:>12} {:>12} {:>8}",
+        "groups", "ops", "elapsed_ms", "ops_per_sec", "rounds"
+    );
+    for r in &rows {
+        println!(
+            "{:>7} {:>8} {:>12.1} {:>12.0} {:>8}",
+            r.groups,
+            r.ops,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.ops_per_sec,
+            r.rounds
+        );
+    }
+    println!("# 4-group speedup over single group: {speedup_4x:.2}x (gate: >= 2.5x)");
+    println!("# monotone in group count: {monotone}");
+    println!("# per-group stage partition: {ok_stage_partition}");
+
+    let row_json = |r: &Row| {
+        format!(
+            "    {{\"groups\": {}, \"nodes\": {NODES}, \"ops\": {}, \"elapsed_ms\": {:.1}, \"ops_per_sec\": {:.0}, \"rounds\": {}}}",
+            r.groups,
+            r.ops,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.ops_per_sec,
+            r.rounds
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"seed\": {seed},\n  \"ops_per_node\": {ops_per_node},\n  \"work\": {work},\n  \"rows\": [\n{}\n  ],\n  \"speedup_4_groups\": {speedup_4x:.2},\n  \"ok_scaling\": {ok_scaling},\n  \"ok_stage_partition\": {ok_stage_partition}\n}}\n",
+        rows.iter().map(row_json).collect::<Vec<_>>().join(",\n"),
+    );
+    if let Some(parent) = out_json.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    std::fs::write(&out_json, &json).expect("write summary json");
+    eprintln!("wrote summary to {}", out_json.display());
+
+    assert!(
+        ok_scaling,
+        "aggregate throughput must scale with group count (monotone {monotone}, 4-group speedup {speedup_4x:.2}x)"
+    );
+    assert!(
+        ok_stage_partition,
+        "per-group stage durations must partition rounds"
+    );
+}

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use guesstimate_apps::sudoku;
-use guesstimate_core::{MachineId, ObjectId, OpRegistry};
+use guesstimate_core::{MachineId, ObjectId, OpRegistry, ShardPlan};
 use guesstimate_net::{
     FaultPlan, LatencyModel, NetConfig, NetMetrics, SimNet, SimTime, StallWindow, Tracer,
 };
@@ -148,6 +148,20 @@ impl SessionResult {
     }
 }
 
+/// The Sudoku app's analysis-derived shard plan, computed once: installed
+/// on every session machine so the shard-labeled commit counters — the
+/// dedicated Cross-route counter included — are live during figure runs.
+fn sudoku_shard_plan() -> Arc<ShardPlan> {
+    static PLAN: std::sync::OnceLock<Arc<ShardPlan>> = std::sync::OnceLock::new();
+    Arc::clone(PLAN.get_or_init(|| {
+        let a = guesstimate_analysis::harness::analyze_sudoku();
+        let mut plan = ShardPlan::new();
+        plan.types
+            .insert(a.report.type_name.clone(), a.derive_shard_plan());
+        Arc::new(plan)
+    }))
+}
+
 /// Runs one measured Sudoku session.
 ///
 /// Timeline: cohort assembly (up to 30 s) → board creation + 2 s settle →
@@ -189,7 +203,13 @@ pub fn run_session_instrumented(
         .with_parallel_flush(cfg.parallel_flush)
         .with_commute_skip(cfg.commute_skip)
         .with_paranoid_checks(cfg.witness_checks)
-        .with_witness_reads(cfg.witness_checks);
+        .with_witness_reads(cfg.witness_checks)
+        // Sudoku's analysis-derived shard plan rides along so the
+        // per-shard and Cross-route commit counters are live (the fig5 /
+        // fig6 footer rows); routing is note-and-count only, so the
+        // committed history is untouched (the telemetry-invisibility
+        // invariant pins this).
+        .with_shard_plan(sudoku_shard_plan());
 
     // Session-long fault plan: shift stall windows into absolute time after
     // the warm-up (measured window starts around t=32 s below).

@@ -85,6 +85,7 @@ mod effect;
 mod error;
 mod exec;
 mod ids;
+pub mod json;
 mod object;
 mod op;
 pub mod paths;

@@ -124,6 +124,86 @@ impl ShardPlan {
         ShardPlan::default()
     }
 
+    /// Reads the per-app `shard_plan` objects of an `analyze --json`
+    /// archive (schema v3; v1/v2 archives parse but carry no plans) back
+    /// into a combined plan — the runtime-side loader behind
+    /// `MachineConfig::with_shard_plan_from_json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntactic or shape problem,
+    /// including unknown versions and prefix patterns that fail to parse.
+    pub fn from_json_archive(text: &str) -> Result<Self, String> {
+        use crate::json::Json;
+        let doc = Json::parse(text)?;
+        match doc.get("version").and_then(Json::as_u64) {
+            Some(1..=3) => {}
+            Some(v) => return Err(format!("unsupported archive version {v}")),
+            None => return Err("missing `version`".to_owned()),
+        }
+        let apps = doc
+            .get("apps")
+            .and_then(Json::as_list)
+            .ok_or("missing `apps` array")?;
+        let mut plan = ShardPlan::new();
+        for app in apps {
+            let ty = app
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or("app missing `type`")?;
+            let Some(sp) = app.get("shard_plan") else {
+                continue;
+            };
+            let mut tp = TypePlan::default();
+            for c in sp
+                .get("components")
+                .and_then(Json::as_list)
+                .ok_or("shard_plan missing `components`")?
+            {
+                let keyed = c
+                    .get("keyed")
+                    .and_then(Json::as_bool)
+                    .ok_or("component missing `keyed`")?;
+                let mut prefixes = Vec::new();
+                for p in c
+                    .get("prefixes")
+                    .and_then(Json::as_list)
+                    .ok_or("component missing `prefixes`")?
+                {
+                    let text = p.as_str().ok_or("prefix must be a string")?;
+                    prefixes.push(PathPattern::parse(text)?);
+                }
+                tp.components.push(ComponentPlan { prefixes, keyed });
+            }
+            let routes = sp
+                .get("routes")
+                .and_then(Json::as_map)
+                .ok_or("shard_plan missing `routes`")?;
+            for (method, r) in routes {
+                let route = match r.get("kind").and_then(Json::as_str) {
+                    Some("cross") => Routing::CrossShard,
+                    Some("local") => Routing::Local {
+                        component: r
+                            .get("component")
+                            .and_then(Json::as_u64)
+                            .ok_or("local route missing `component`")?
+                            as u32,
+                        key_arg: match r.get("key_arg") {
+                            None | Some(Json::Null) => None,
+                            Some(v) => {
+                                Some(v.as_u64().ok_or("`key_arg` must be a number")? as usize)
+                            }
+                        },
+                    },
+                    other => return Err(format!("unknown route kind {other:?}")),
+                };
+                tp.routes.insert(method.clone(), route);
+            }
+            plan.types.insert(ty.to_owned(), tp);
+        }
+        Ok(plan)
+    }
+
     /// Routes one primitive method invocation.
     ///
     /// Unknown types or methods, and keyed routes whose key argument is

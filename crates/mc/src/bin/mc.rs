@@ -34,7 +34,8 @@ use std::sync::Arc;
 use guesstimate_analysis::matrices_from_json;
 use guesstimate_core::CommuteMatrix;
 use guesstimate_mc::{
-    explore, minimize, replay_traced, ExploreConfig, Preset, Schedule, TamperSpec, PRESETS,
+    explore, minimize, multigroup, replay_traced, ExploreConfig, Preset, Schedule, TamperSpec,
+    CROSS_GROUP, PRESETS,
 };
 use guesstimate_net::Tracer;
 use guesstimate_obs::FlightRecorder;
@@ -42,6 +43,9 @@ use guesstimate_telemetry::Telemetry;
 
 struct Args {
     presets: Vec<&'static Preset>,
+    /// Run the multi-group `cross-group` preset (not part of `all`: it
+    /// explores a different cluster shape with its own oracles).
+    cross_group: bool,
     rounds: Option<u64>,
     cfg: ExploreConfig,
     matrix: CommuteMatrix,
@@ -74,6 +78,7 @@ fn parse_tamper(s: &str) -> Result<TamperSpec, String> {
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         presets: PRESETS.iter().collect(),
+        cross_group: false,
         rounds: None,
         cfg: ExploreConfig::default(),
         matrix: CommuteMatrix::new(),
@@ -93,11 +98,17 @@ fn parse_args() -> Result<Option<Args>, String> {
                 for p in PRESETS {
                     println!("{:<14} {}", p.name, p.blurb);
                 }
+                println!(
+                    "{CROSS_GROUP:<14} multi-group cluster: per-group rounds + one coordinated cross round"
+                );
                 return Ok(None);
             }
             "--preset" => {
                 let v = need("--preset", argv.next())?;
-                if v != "all" {
+                if v == CROSS_GROUP {
+                    args.presets = Vec::new();
+                    args.cross_group = true;
+                } else if v != "all" {
                     let p =
                         Preset::by_name(&v).ok_or(format!("unknown preset `{v}` (try --list)"))?;
                     args.presets = vec![p];
@@ -311,6 +322,72 @@ fn run(mut args: Args) -> Result<ExitCode, String> {
                     "{}: GATE FAILED: prune ratio {ratio:.3}, wanted >= {min}",
                     preset.name
                 );
+                gate_failed = true;
+            }
+        }
+    }
+    if args.cross_group {
+        let out = multigroup::explore(&args.cfg);
+        let ratio = out.pruned as f64 / (out.pruned + out.schedules).max(1) as f64;
+        println!(
+            "{:<14} schedules {:>7}  pruned {:>7} ({:>5.1}%)  truncated {:>5}  max depth {:>3}  steps {:>9}{}",
+            CROSS_GROUP,
+            out.schedules,
+            out.pruned,
+            100.0 * ratio,
+            out.truncated,
+            out.max_depth,
+            out.steps_executed,
+            if out.complete { "  (exhausted)" } else { "" },
+        );
+        if let Some((violation, steps)) = out.violation {
+            println!(
+                "{CROSS_GROUP}: VIOLATION after {} steps: {violation}",
+                steps.len()
+            );
+            let raw = Schedule {
+                preset: CROSS_GROUP.to_owned(),
+                tamper: None,
+                steps,
+            };
+            let min = minimize(&raw, &args.matrix);
+            println!(
+                "{CROSS_GROUP}: minimized {} -> {} steps",
+                raw.steps.len(),
+                min.steps.len()
+            );
+            let file = format!("{}/mc-repro-{CROSS_GROUP}.json", args.out_dir);
+            std::fs::write(&file, min.to_json()).map_err(|e| format!("{file}: {e}"))?;
+            println!("{CROSS_GROUP}: wrote repro to {file} (replay with: mc --replay {file})");
+            let pm = format!("{}/mc-postmortem-{CROSS_GROUP}.json", args.out_dir);
+            write_postmortem(&min, &args.matrix, &pm, &violation.to_string())?;
+            write_metrics(args.metrics.as_deref(), &telemetry)?;
+            return Ok(ExitCode::from(1));
+        }
+        if let (Some(path), Some(steps)) = (&args.emit, &out.sample) {
+            let sched = Schedule {
+                preset: CROSS_GROUP.to_owned(),
+                tamper: None,
+                steps: steps.clone(),
+            };
+            std::fs::write(path, sched.to_json()).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{CROSS_GROUP}: wrote sample schedule ({} steps) to {path}",
+                steps.len()
+            );
+        }
+        if let Some(min) = args.min_schedules {
+            if out.schedules < min {
+                eprintln!(
+                    "{CROSS_GROUP}: GATE FAILED: explored {} schedules, wanted >= {min}",
+                    out.schedules
+                );
+                gate_failed = true;
+            }
+        }
+        if let Some(min) = args.min_prune {
+            if args.cfg.reduction && ratio < min {
+                eprintln!("{CROSS_GROUP}: GATE FAILED: prune ratio {ratio:.3}, wanted >= {min}");
                 gate_failed = true;
             }
         }

@@ -446,6 +446,13 @@ fn replay_inner(
     matrix: &CommuteMatrix,
     tracer: Option<std::sync::Arc<dyn guesstimate_net::Tracer>>,
 ) -> Result<(ReplayReport, Vec<guesstimate_runtime::StateSummary>), String> {
+    // The multi-group preset builds its own cluster shape (MultiMachine
+    // wrappers, no tamper, no commute matrix); driver-level tracing does
+    // not reach the inner machines, so its bundles carry state summaries
+    // with an empty causal timeline.
+    if sched.preset == crate::multigroup::CROSS_GROUP {
+        return Ok(crate::multigroup::replay_with_summaries(sched));
+    }
     let preset =
         Preset::by_name(&sched.preset).ok_or_else(|| format!("unknown preset {}", sched.preset))?;
     let matrix = &preset.effective_matrix(matrix);

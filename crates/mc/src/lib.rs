@@ -22,6 +22,9 @@
 //!   JSON schedule file format.
 //! * [`mod@explore`] — the DFS explorer, the independence relation, and
 //!   schedule replay.
+//! * [`mod@multigroup`] — the `cross-group` preset: multi-group
+//!   [`guesstimate_runtime::MultiMachine`] clusters, per-group prefix
+//!   oracles, and the coordinated cross-round oracle.
 //! * [`oracle`] — step/terminal oracles and the state digest.
 //! * [`shrink`] — ddmin minimization of failing schedules.
 //!
@@ -30,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod multigroup;
 pub mod oracle;
 pub mod scenario;
 pub mod schedule;
 pub mod shrink;
 
 pub use explore::{explore, replay, replay_traced, ExploreConfig, Outcome, ReplayReport};
+pub use multigroup::CROSS_GROUP;
 pub use oracle::{check_step, check_terminal, state_digest, Violation};
 pub use scenario::{Built, Preset, MISKEYED, PRESETS, SNEAKY};
 pub use schedule::{Schedule, Step, TamperSpec};

@@ -98,6 +98,16 @@ pub enum Violation {
         /// The recorded violation, rendered.
         detail: String,
     },
+    /// The multi-group coordinated cross round misbehaved: a node
+    /// resolved a cross operation more or fewer times than it was
+    /// submitted, nodes at the same resolution count disagree on the
+    /// `(xid, result)` digest, a fence survived quiescence, or the
+    /// merged committed states diverge at a terminal state (see the
+    /// `multigroup` module).
+    CrossRound {
+        /// What went wrong, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -133,6 +143,9 @@ impl fmt::Display for Violation {
             }
             Violation::ShardEscape { machine, detail } => {
                 write!(f, "shard escape on machine {machine}: {detail}")
+            }
+            Violation::CrossRound { detail } => {
+                write!(f, "cross-group coordinated round violation: {detail}")
             }
         }
     }
@@ -238,6 +251,9 @@ pub fn check_terminal(
             WireOp::Shared(op) => model
                 .issue_forced(env.id.machine(), env.id, op.clone())
                 .and_then(|()| model.commit(env.id.machine()).map(|_| ())),
+            // Multi-group coordination markers are store no-ops; the
+            // single-group presets this oracle serves never produce them.
+            WireOp::CrossMarker { .. } => Ok(()),
         };
         if let Err(e) = r {
             return Some(Violation::Refinement {

@@ -36,6 +36,9 @@ pub fn wire_objects(op: &WireOp) -> BTreeSet<ObjectId> {
     match op {
         WireOp::Create { object, .. } => BTreeSet::from([*object]),
         WireOp::Shared(op) => op.objects_touched(),
+        // A marker is a store no-op within its group; the payload executes
+        // at the wrapper layer, outside this group's commit order.
+        WireOp::CrossMarker { .. } => BTreeSet::new(),
     }
 }
 
@@ -88,6 +91,7 @@ pub fn wire_footprints(
             Some(m)
         }
         WireOp::Shared(op) => shared_footprints(registry, type_of, op),
+        WireOp::CrossMarker { .. } => Some(BTreeMap::new()),
     }
 }
 

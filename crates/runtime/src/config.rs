@@ -198,6 +198,21 @@ impl MachineConfig {
         self
     }
 
+    /// Installs a shard plan parsed from an `analyze --json` schema-v3
+    /// archive (the deployable form of [`MachineConfig::with_shard_plan`]):
+    /// the build step runs `guesstimate analyze --json`, ships the archive
+    /// with the application, and the runtime loads the validated plans
+    /// back at startup without depending on the analyzer crate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed archives (see
+    /// [`ShardPlan::from_json_archive`]).
+    pub fn with_shard_plan_from_json(self, archive: &str) -> Result<Self, String> {
+        let plan = ShardPlan::from_json_archive(archive)?;
+        Ok(self.with_shard_plan(Arc::new(plan)))
+    }
+
     /// Enables the hybrid commute-first commit path (see
     /// [`MachineConfig::async_commit`]). Only effective together with a
     /// non-empty [`MachineConfig::commute_matrix`], which names the
@@ -230,5 +245,37 @@ mod tests {
         assert_eq!(c.stall_timeout, SimTime::from_millis(500));
         assert_eq!(c.join_retry, SimTime::from_millis(100));
         assert!(c.parallel_flush);
+    }
+
+    #[test]
+    fn shard_plan_loads_from_v3_archive() {
+        let archive = r#"{
+          "version": 3,
+          "apps": [{
+            "type": "Pair",
+            "shard_plan": {
+              "components": [
+                {"id": 0, "keyed": false, "prefixes": ["a"]},
+                {"id": 1, "keyed": false, "prefixes": ["b"]}
+              ],
+              "routes": {
+                "bump_a": {"kind": "local", "component": 0, "key_arg": null},
+                "mix": {"kind": "cross"}
+              }
+            }
+          }]
+        }"#;
+        let cfg = MachineConfig::default()
+            .with_shard_plan_from_json(archive)
+            .unwrap();
+        let plan = cfg.shard_plan.as_ref().unwrap();
+        assert_eq!(plan.types["Pair"].components.len(), 2);
+        assert!(matches!(
+            plan.types["Pair"].routes["mix"],
+            guesstimate_core::Routing::CrossShard
+        ));
+        assert!(MachineConfig::default()
+            .with_shard_plan_from_json("{\"version\": 9, \"apps\": []}")
+            .is_err());
     }
 }

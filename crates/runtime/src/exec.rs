@@ -54,6 +54,9 @@ impl Machine {
                     WireOp::Shared(op) => {
                         remote_touched.extend(op.objects_touched());
                     }
+                    // Markers touch no state; the wrapper fires hooks for the
+                    // payload's objects when the coordinated round resolves.
+                    WireOp::CrossMarker { .. } => {}
                 }
             }
             if let WireOp::Create {
@@ -73,6 +76,12 @@ impl Machine {
             )
             .expect("commit: registries must agree on every machine");
             self.note_shard_commit(&env.op, "commit");
+            if matches!(env.op, WireOp::CrossMarker { .. }) {
+                // Hand the committed marker to the multi-group wrapper: its
+                // position in this group's commit order *is* the agreed
+                // interleaving point of the coordinated round.
+                self.cross_commits.push(env.clone());
+            }
             self.completed.push(env.id);
             self.completed_serialized.push(env.id);
             if self.cfg.record_history {
@@ -381,6 +390,7 @@ impl Machine {
         self.catalog.clear();
         self.completed.clear();
         self.completed_serialized.clear();
+        self.cross_commits.clear();
         // Hybrid path: inbound async state is rebuilt from the rejoin's
         // watermarks. The *outbound* fence window and the monotone
         // `aseq_next` deliberately survive the restart — they are what lets
@@ -417,6 +427,9 @@ pub(crate) fn execute_wire(
             Ok(true)
         }
         WireOp::Shared(op) => Ok(execute(op, store, registry)?.as_bool()),
+        // Markers are store no-ops: the payload runs against the merged
+        // multi-group state at resolution, not here.
+        WireOp::CrossMarker { .. } => Ok(true),
     }
 }
 
@@ -508,7 +521,7 @@ pub(crate) fn execute_wire_checked(
     log: &mut Vec<WitnessViolation>,
 ) -> Result<bool, ExecError> {
     match op {
-        WireOp::Create { .. } => execute_wire(op, store, registry),
+        WireOp::Create { .. } | WireOp::CrossMarker { .. } => execute_wire(op, store, registry),
         WireOp::Shared(op) => {
             Ok(execute_shared_checked(op, store, registry, cfg, machine, site, log)?.as_bool())
         }

@@ -78,6 +78,7 @@ mod exec;
 mod hybrid;
 mod machine;
 mod message;
+pub mod multigroup;
 mod protocol;
 pub mod roles;
 pub mod shard;
@@ -94,5 +95,9 @@ pub use config::MachineConfig;
 pub use exec::WitnessViolation;
 pub use machine::{Machine, RemoteUpdateHook, StateSummary};
 pub use message::{Msg, ObjectInit, WireEnvelope, WireOp};
+pub use multigroup::{
+    multi_sim_cluster, multi_threaded_cluster, run_multi_until_joined, GMsg, GroupId, GroupRoute,
+    GroupTable, IssueOutcome, MultiClusterSpec, MultiMachine,
+};
 pub use shard::{ShardRouter, ShardViolation};
 pub use stats::{MachineStats, SyncSample};

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use guesstimate_core::{
     CompletionFn, ExecError, GState, MachineId, ObjectId, ObjectStore, OpId, OpRegistry, SharedOp,
+    Value,
 };
 use guesstimate_net::{NoopTracer, SimTime, TraceEvent, TraceRecord, Tracer};
 use guesstimate_telemetry::Telemetry;
@@ -89,6 +90,11 @@ pub struct Machine {
     /// commits in per-machine arrival order, so round-total-order oracle
     /// checks (prefix agreement) consult this list instead.
     pub(crate) completed_serialized: Vec<OpId>,
+    /// Committed-but-unresolved [`crate::message::WireOp::CrossMarker`]
+    /// envelopes, in this group's commit order. Only populated in
+    /// multi-group mode; drained by the [`crate::multigroup::MultiMachine`]
+    /// wrapper after every dispatched event.
+    pub(crate) cross_commits: Vec<WireEnvelope>,
 
     // --- Protocol roles (sans-IO state machines; see crate::roles) ---
     pub(crate) is_master: bool,
@@ -169,6 +175,7 @@ impl Machine {
             async_in: BTreeMap::new(),
             universal_cache: HashMap::new(),
             completed_serialized: Vec::new(),
+            cross_commits: Vec::new(),
             is_master,
             master: MasterRole::new(id),
             participant: ParticipantRole::new(id),
@@ -425,6 +432,145 @@ impl Machine {
         self.telemetry.op_issued(op_id, None);
         self.note_pending_depth();
         object
+    }
+
+    /// Like [`Machine::create_instance`] but with a caller-chosen
+    /// [`ObjectId`] — multi-group mode fans one logical creation out to
+    /// every hosted group's machine under a *shared* id, so the copies
+    /// stay mergeable (see [`crate::multigroup::MultiMachine`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `T` is unregistered or the id is already cataloged here.
+    pub(crate) fn create_instance_as<T: GState>(&mut self, object: ObjectId, init: T) {
+        assert!(
+            self.registry.has_type(T::TYPE_NAME),
+            "create_instance_as: type {:?} is not registered",
+            T::TYPE_NAME
+        );
+        assert!(
+            !self.catalog.contains_key(&object),
+            "create_instance_as: object {object:?} already exists"
+        );
+        let snap = GState::snapshot(&init);
+        self.catalog.insert(object, T::TYPE_NAME.to_owned());
+        self.guess.insert(object, Box::new(init));
+        let op_id = self.next_op_id();
+        self.pending.push_back(WireEnvelope {
+            id: op_id,
+            op: WireOp::Create {
+                object,
+                type_name: T::TYPE_NAME.to_owned(),
+                init: snap,
+            },
+        });
+        self.exec_counts.insert(op_id, 1);
+        self.stats.issued += 1;
+        self.telemetry.op_issued(op_id, None);
+        self.note_pending_depth();
+    }
+
+    /// Appends a [`WireOp::CrossMarker`] to the pending list (multi-group
+    /// coordinator only). Markers are store no-ops, so there is no R2
+    /// issue-time execution; they flow through flush and commit like any
+    /// pending operation and surface in
+    /// [`Machine::take_cross_commits`] once committed.
+    pub(crate) fn issue_cross_marker(
+        &mut self,
+        xid: u64,
+        origin: MachineId,
+        oseq: u64,
+        groups: Vec<u32>,
+        op: SharedOp,
+    ) -> OpId {
+        let op_id = self.next_op_id();
+        self.pending.push_back(WireEnvelope {
+            id: op_id,
+            op: WireOp::CrossMarker {
+                xid,
+                origin,
+                oseq,
+                groups,
+                op,
+            },
+        });
+        self.exec_counts.insert(op_id, 1);
+        self.stats.issued += 1;
+        self.telemetry.op_issued(op_id, None);
+        self.note_pending_depth();
+        op_id
+    }
+
+    /// Drains the committed-but-unresolved cross markers (commit order).
+    pub(crate) fn take_cross_commits(&mut self) -> Vec<WireEnvelope> {
+        std::mem::take(&mut self.cross_commits)
+    }
+
+    /// Canonical snapshot of one object's **committed** state, or `None`
+    /// if the object has not materialized here (multi-group merge input).
+    pub(crate) fn committed_object_snapshot(&self, id: ObjectId) -> Option<Value> {
+        self.committed.get(id).map(|o| o.snapshot())
+    }
+
+    /// Canonical snapshot of one object's **guesstimated** state, or
+    /// `None` if absent (multi-group merged-read input).
+    pub(crate) fn guess_object_snapshot(&self, id: ObjectId) -> Option<Value> {
+        self.guess.get(id).map(|o| o.snapshot())
+    }
+
+    /// Executes a cross-routed payload against this group's committed
+    /// store at its marker's interleaving point (multi-group coordinated
+    /// round). Every involved group runs the identical deterministic
+    /// payload on the identical merged pre-state, so the boolean result
+    /// agrees across groups and across nodes.
+    pub(crate) fn execute_cross_payload(&mut self, op: &SharedOp) -> bool {
+        crate::exec::execute_shared_checked(
+            op,
+            &mut self.committed,
+            &self.registry,
+            &self.cfg,
+            self.id,
+            "cross-resolve",
+            &mut self.witness_log,
+        )
+        .map(|o| o.as_bool())
+        .unwrap_or(false)
+    }
+
+    /// Overwrites one committed object's state from a canonical snapshot
+    /// (multi-group coordinated-round write-back). The caller must follow
+    /// up with [`Machine::rebuild_guess_from_committed`] to restore the
+    /// `sg = [P](sc)` invariant.
+    pub(crate) fn overwrite_committed_object(&mut self, id: ObjectId, v: &Value) {
+        if let Some(obj) = self.committed.get_mut(id) {
+            obj.restore(v)
+                .expect("cross write-back: merged snapshot must match the object's type");
+        }
+    }
+
+    /// Re-establishes `sg = [P](sc)` from scratch after an out-of-band
+    /// committed-store write (the cross coordinated-round write-back):
+    /// copy `sc → sg`, then replay the pending list in order.
+    ///
+    /// Replays here are extension-level re-executions attributable to the
+    /// cross round, *outside* the paper's ≤3-executions-per-op budget; they
+    /// are counted in [`crate::MachineStats::replays`] but deliberately do
+    /// not bump the per-op `exec_counts` consumed by that bound.
+    pub(crate) fn rebuild_guess_from_committed(&mut self) {
+        self.guess.copy_from(&self.committed);
+        let still_pending: Vec<WireEnvelope> = self.pending.iter().cloned().collect();
+        for env in &still_pending {
+            let _ = crate::exec::execute_wire_checked(
+                &env.op,
+                &mut self.guess,
+                &self.registry,
+                &self.cfg,
+                self.id,
+                "cross-rebuild",
+                &mut self.witness_log,
+            );
+            self.stats.replays += 1;
+        }
     }
 
     /// All objects this machine knows about: `(id, type name)` pairs

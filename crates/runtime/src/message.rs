@@ -72,6 +72,35 @@ pub enum WireOp {
     },
     /// An application-level shared operation.
     Shared(SharedOp),
+    /// A cross-group coordination marker (multi-group mode only; see
+    /// [`crate::multigroup`]).
+    ///
+    /// A `Cross`-routed operation cannot be serialized by any single sync
+    /// group, so the coordinator issues one marker carrying the payload into
+    /// *every* involved group's round. Committing a marker is a no-op on the
+    /// group's store; it only fixes the deterministic interleaving point at
+    /// which the wrapper later executes the payload against the merged
+    /// per-group state (and it fences the group: the wrapper buffers the
+    /// group's events from marker commit until the coordinated round
+    /// resolves).
+    CrossMarker {
+        /// Coordinator-assigned global sequence number: markers commit in
+        /// `xid` order within every involved group.
+        xid: u64,
+        /// The *node* (outer machine id) that submitted the operation; its
+        /// wrapper runs the completion when the marker resolves.
+        origin: MachineId,
+        /// The submitter's local cross-submission sequence number (keys the
+        /// completion callback on the origin node).
+        oseq: u64,
+        /// The involved sync groups: the coordinator issues one identical
+        /// marker into each, and a node resolves the round once every
+        /// hosted involved group has committed its copy.
+        groups: Vec<u32>,
+        /// The cross-routed payload, executed once per involved group
+        /// against the merged state at resolution.
+        op: SharedOp,
+    },
 }
 
 impl WireOp {
@@ -84,7 +113,7 @@ impl WireOp {
                 type_name,
                 init,
             } => Some((*object, type_name, init)),
-            WireOp::Shared(_) => None,
+            WireOp::Shared(_) | WireOp::CrossMarker { .. } => None,
         }
     }
 
@@ -92,7 +121,7 @@ impl WireOp {
     pub fn as_shared(&self) -> Option<&SharedOp> {
         match self {
             WireOp::Shared(op) => Some(op),
-            WireOp::Create { .. } => None,
+            WireOp::Create { .. } | WireOp::CrossMarker { .. } => None,
         }
     }
 
@@ -103,6 +132,9 @@ impl WireOp {
                 type_name, init, ..
             } => OBJECT_ID + LEN + type_name.len() as u64 + value_size(init),
             WireOp::Shared(op) => shared_op_size(op),
+            WireOp::CrossMarker { op, groups, .. } => {
+                8 + MACHINE_ID + 8 + LEN + 4 * groups.len() as u64 + shared_op_size(op)
+            }
         }
     }
 }

@@ -55,6 +55,9 @@ impl ShardRouter {
         match op {
             WireOp::Create { .. } => ShardId::Cross,
             WireOp::Shared(op) => self.shard_of_shared(op, type_of),
+            // Markers are the multi-group commit vehicle *of* a cross-routed
+            // payload; the payload itself already routed `Cross`.
+            WireOp::CrossMarker { .. } => ShardId::Cross,
         }
     }
 
@@ -134,11 +137,21 @@ impl Machine {
         let Some(plan) = self.cfg.shard_plan.clone() else {
             return;
         };
+        if let WireOp::CrossMarker { .. } = op {
+            // Count markers under their own label: the cross *payload* is
+            // already counted once (below) per involved group's marker, and
+            // markers never carry a footprint to contain.
+            self.telemetry.shard_op("cross-marker");
+            return;
+        }
         let catalog = &self.catalog;
         let type_of = |id| catalog.get(&id).cloned();
         let shard = ShardRouter::new(Arc::clone(&plan)).shard_of(op, &type_of);
         let label = shard.to_string();
         self.telemetry.shard_op(&label);
+        if shard == ShardId::Cross {
+            self.telemetry.cross_route();
+        }
         if !self.cfg.paranoid_checks || shard == ShardId::Cross {
             return;
         }

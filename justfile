@@ -1,7 +1,7 @@
 # Developer workflow. Run `just check` before sending a change.
 
 # Everything CI would run, in order.
-check: fmt clippy doc test analyze shards mc-smoke bench-snapshot
+check: fmt clippy doc test analyze shards mc-smoke bench-snapshot bench-shards
 
 # Formatting gate (no writes).
 fmt:
@@ -50,15 +50,25 @@ sanitize: shards
     cargo test -q --test mc_regressions mis_keyed
 
 # Model-checker smoke: a quick bounded exploration of every preset
-# (debug build, small budget) — catches oracle violations early.
+# (debug build, small budget) — catches oracle violations early. The
+# cross-group preset runs separately: it explores a multi-group cluster
+# shape with its own oracles, so `all` does not include it.
 mc-smoke:
     cargo run -q -p guesstimate-mc --bin mc -- --preset all --max-schedules 400
+    cargo run -q -p guesstimate-mc --bin mc -- --preset cross-group --max-schedules 400
 
 # Telemetry smoke: fixed-seed fig5 with metrics + spans + exporters on;
 # validates the observability invariants and artifact well-formedness,
 # and refreshes BENCH_pr4.json (docs/OBSERVABILITY.md).
 bench-snapshot:
     ./scripts/bench_snapshot.sh
+
+# Shard-scaling gate: fixed-seed multi-group run over ThreadedNet at
+# 1/2/4/8 sync groups; validates per-group stage partitioning and the
+# >= 2.5x 4-group throughput gate, and refreshes BENCH_pr10.json
+# (docs/PROTOCOL.md "Multi-group synchronization").
+bench-shards:
+    ./scripts/bench_shards.sh
 
 # Causal cluster report: run fig5 (short, traced) and then the obs
 # report binary over its trace + spans — the merged happens-before
@@ -76,6 +86,8 @@ mc:
     cargo run --release -q -p guesstimate-mc --bin mc -- --preset all \
         --matrix target/analysis.json --max-schedules 12000 \
         --min-schedules 10000 --min-prune 0.30
+    cargo run --release -q -p guesstimate-mc --bin mc -- --preset cross-group \
+        --max-schedules 12000 --min-schedules 10000
 
 # Tier-1 smoke: what the release gate runs.
 tier1:

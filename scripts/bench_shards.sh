@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Shard-scaling gate: a fixed-seed run of the multi-group synchronizer
+# over ThreadedNet at 1/2/4/8 sync groups. The shard_scaling binary
+# validates the invariants in-process (per-group stage durations
+# partition every group's rounds, one lag sample per committed op,
+# aggregate committed ops/s strictly monotone in the group count with
+# the 4-group cluster >= 2.5x the single group); this script checks the
+# published summary is well-formed and carries both verdicts, then
+# publishes it as BENCH_pr10.json. See docs/PROTOCOL.md "Multi-group
+# synchronization".
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_pr10.json
+cargo run --release -q -p guesstimate-bench --bin shard_scaling -- 200 30000 42 "$out"
+
+if [ ! -s "$out" ]; then
+    echo "bench_shards.sh: missing or empty artifact $out" >&2
+    exit 1
+fi
+case "$(head -c 1 "$out")" in
+    '{') ;;
+    *) echo "bench_shards.sh: $out is not a JSON object" >&2; exit 1 ;;
+esac
+grep -q '"ok_scaling": true' "$out"
+grep -q '"ok_stage_partition": true' "$out"
+
+echo "bench_shards.sh: shard scaling validated; summary in $out"

@@ -34,9 +34,13 @@ fn checked_in_schedules_replay_as_recorded() {
         let text = std::fs::read_to_string(&path).expect("schedule file readable");
         let sched = Schedule::from_json(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
         let report = replay(&sched, &matrix).unwrap_or_else(|e| panic!("{path:?}: {e}"));
-        let negative_preset = guesstimate_mc::PRESETS
-            .iter()
-            .all(|p| p.name != sched.preset);
+        // `cross-group` lives outside PRESETS (it explores a different
+        // cluster shape) but is a positive preset: its schedules must
+        // replay clean.
+        let negative_preset = sched.preset != guesstimate_mc::CROSS_GROUP
+            && guesstimate_mc::PRESETS
+                .iter()
+                .all(|p| p.name != sched.preset);
         if sched.tamper.is_some() || negative_preset {
             assert!(
                 report.violation.is_some(),
@@ -293,6 +297,59 @@ fn generate_message_board_async_gap_schedule() {
         steps,
     };
     let report = replay(&sched, &matrix).expect("known preset");
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    println!("{}", sched.to_json());
+}
+
+/// Regenerates `tests/schedules/cross-group-coordinated-round.json`: the
+/// multi-group cluster's coordinated cross round under an adversarial
+/// delivery order — every post-prelude wave is delivered in *reverse*
+/// seq order, so the `CrossSubmit`, the per-group markers and the local
+/// round traffic interleave maximally — then drained to quiescence.
+/// Replaying it must stay clean through the per-group prefix, committed
+/// digest and cross-round oracles. Run with `--ignored --nocapture` and
+/// paste the output into the schedule file.
+#[test]
+#[ignore = "generator for the checked-in cross-group schedule"]
+fn generate_cross_group_coordinated_round_schedule() {
+    use guesstimate_mc::multigroup;
+
+    let mut built = multigroup::build();
+    let mut steps = Vec::new();
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        assert!(guard < 100_000, "drain failed to converge");
+        assert_eq!(multigroup::check_step(&built.net), None);
+        let pending = built.net.pending_msgs();
+        if let Some(&seq) = pending.last() {
+            assert!(built.net.deliver(seq));
+            steps.push(Step::Deliver(seq));
+            continue;
+        }
+        let node0 = built
+            .net
+            .actor(guesstimate_core::MachineId::new(0))
+            .expect("node 0");
+        let rounds_done = built.base_rounds.iter().all(|(&g, &base)| {
+            node0
+                .group(g)
+                .is_some_and(|m| m.stats().syncs_seen >= base + 2)
+        });
+        if rounds_done && node0.cross_resolved() == 1 {
+            break;
+        }
+        assert!(built.net.fire_next_timer(), "drain stalled");
+        steps.push(Step::Timer);
+    }
+    assert_eq!(multigroup::check_terminal(&built.net), None);
+
+    let sched = Schedule {
+        preset: guesstimate_mc::CROSS_GROUP.to_owned(),
+        tamper: None,
+        steps,
+    };
+    let report = replay(&sched, &CommuteMatrix::new()).expect("dispatches to multigroup");
     assert!(report.violation.is_none(), "{:?}", report.violation);
     println!("{}", sched.to_json());
 }

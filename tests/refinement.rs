@@ -42,6 +42,9 @@ fn replay_history(history: &[guesstimate::runtime::WireEnvelope], reg: &OpRegist
             WireOp::Shared(op) => {
                 let _ = execute(op, &mut store, reg);
             }
+            // Cross markers are multi-group placeholders; this workload is
+            // single-group, so none can appear in its history.
+            WireOp::CrossMarker { .. } => panic!("single-group history has no cross markers"),
         }
     }
     store
@@ -120,6 +123,7 @@ fn runtime_committed_state_equals_history_replay() {
         .map(|e| match &e.op {
             WireOp::Shared(op) => op.clone(),
             WireOp::Create { .. } => panic!("creations must form a prefix in this workload"),
+            WireOp::CrossMarker { .. } => panic!("single-group history has no cross markers"),
         })
         .collect();
     let semantic = replay_in_commit_order(&initial, &shared_ops, &reg);
